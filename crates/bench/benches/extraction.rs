@@ -1,0 +1,67 @@
+//! Front-end throughput: lexing, parsing, symbol tables and program-graph
+//! extraction over generated corpus files (the paper extracts graphs for
+//! 118k files, so extraction cost matters).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use typilus_corpus::{generate, CorpusConfig};
+use typilus_graph::{build_graph, GraphConfig};
+use typilus_pyast::{parse, tokenize, SymbolTable};
+
+fn bench_frontend(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig { files: 30, seed: 11, ..CorpusConfig::default() });
+    let sources: Vec<String> = corpus.files.iter().map(|f| f.source.clone()).collect();
+    let total_bytes: u64 = sources.iter().map(|s| s.len() as u64).sum();
+
+    let mut group = c.benchmark_group("frontend");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("tokenize", |b| {
+        b.iter(|| {
+            for s in &sources {
+                criterion::black_box(tokenize(s).expect("lexes"));
+            }
+        });
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            for s in &sources {
+                criterion::black_box(parse(s).expect("parses"));
+            }
+        });
+    });
+    group.bench_function("parse_symbols_graph", |b| {
+        b.iter(|| {
+            for s in &sources {
+                let parsed = parse(s).expect("parses");
+                let table = SymbolTable::build(&parsed.module);
+                criterion::black_box(build_graph(
+                    &parsed,
+                    &table,
+                    &GraphConfig::default(),
+                    "bench.py",
+                ));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig {
+        files: 60,
+        duplicate_rate: 0.2,
+        seed: 12,
+        ..CorpusConfig::default()
+    });
+    let sources: Vec<&str> = corpus.files.iter().map(|f| f.source.as_str()).collect();
+    c.bench_function("dedup_72_files", |b| {
+        b.iter(|| {
+            criterion::black_box(typilus_corpus::deduplicate(
+                &sources,
+                typilus_corpus::DEFAULT_THRESHOLD,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! The paper's "Computational Speed" comparison (Sec. 6.1): one training
+//! epoch and inference over the same data for the GNN vs the biRNN
+//! (and the path model), where the paper reports the GNN ~60× faster to
+//! train and ~29× faster at inference than the biRNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typilus::{EncoderKind, GraphConfig, LossKind, ModelConfig};
+use typilus_corpus::{generate, CorpusConfig};
+use typilus_models::{PreparedFile, TypeModel};
+use typilus_nn::Adam;
+
+struct Fixture {
+    model: TypeModel,
+    prepared: Vec<PreparedFile>,
+}
+
+fn fixture(encoder: EncoderKind) -> Fixture {
+    let corpus = generate(&CorpusConfig { files: 12, seed: 5, ..CorpusConfig::default() });
+    let data =
+        typilus::PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 5);
+    let config = ModelConfig {
+        encoder,
+        loss: LossKind::Typilus,
+        dim: 32,
+        gnn_steps: 8,
+        min_subtoken_count: 1,
+        ..ModelConfig::default()
+    };
+    let graphs = data.graphs_of(&data.split.train);
+    let model = TypeModel::new(config, &graphs);
+    let prepared: Vec<PreparedFile> =
+        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    Fixture { model, prepared }
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_epoch");
+    group.sample_size(10);
+    for encoder in [EncoderKind::Graph, EncoderKind::Seq, EncoderKind::Path] {
+        let mut fx = fixture(encoder);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{encoder:?}")),
+            &encoder,
+            |b, _| {
+                b.iter(|| {
+                    let mut adam = Adam::new(0.01);
+                    for chunk in fx.prepared.chunks(8) {
+                        let batch: Vec<&PreparedFile> = chunk.iter().collect();
+                        if let Some((_, grads)) = fx.model.train_step(&batch) {
+                            adam.step(&mut fx.model.params, grads);
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_per_file");
+    group.sample_size(20);
+    for encoder in [EncoderKind::Graph, EncoderKind::Seq, EncoderKind::Path] {
+        let fx = fixture(encoder);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{encoder:?}")),
+            &encoder,
+            |b, _| {
+                b.iter(|| {
+                    for file in &fx.prepared {
+                        if !file.targets.is_empty() {
+                            criterion::black_box(fx.model.embed_inference(file));
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates paper **Fig. 4**: precision–recall curves for
+//! Graph2Class, Graph2Space and Typilus under the three match criteria,
+//! sweeping the prediction-confidence threshold.
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin fig4
+//! ```
+
+use typilus::{
+    default_thresholds, evaluate_files, pr_curve, Criterion, EncoderKind, GraphConfig, LossKind,
+};
+use typilus_bench::{config_for, maybe_write_csv, prepare, train_logged, variant_name, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let thresholds = default_thresholds();
+
+    for loss in [LossKind::Class, LossKind::Space, LossKind::Typilus] {
+        let name = variant_name(EncoderKind::Graph, loss);
+        let config = config_for(&scale, EncoderKind::Graph, loss, graph);
+        let system = train_logged(name, &data, &config);
+        let examples = evaluate_files(&system, &data, &data.split.test);
+        println!("\nFig. 4 ({name}): precision-recall by confidence threshold");
+        println!(
+            "{:>9} {:>8}  {:>8} {:>8} {:>8}",
+            "threshold", "recall", "exact", "param", "neutral"
+        );
+        let exact = pr_curve(&examples, &system.hierarchy, Criterion::Exact, &thresholds);
+        let param =
+            pr_curve(&examples, &system.hierarchy, Criterion::UpToParametric, &thresholds);
+        let neutral = pr_curve(&examples, &system.hierarchy, Criterion::Neutral, &thresholds);
+        let mut csv_rows = Vec::new();
+        for ((e, p), n) in exact.iter().zip(&param).zip(&neutral) {
+            println!(
+                "{:>9.2} {:>7.1}%  {:>7.1}% {:>7.1}% {:>7.1}%",
+                e.threshold,
+                100.0 * e.recall,
+                100.0 * e.precision,
+                100.0 * p.precision,
+                100.0 * n.precision
+            );
+            csv_rows.push(format!(
+                "{},{},{},{},{}",
+                e.threshold, e.recall, e.precision, p.precision, n.precision
+            ));
+        }
+        maybe_write_csv(
+            &format!("fig4_{}", name.to_lowercase().replace('-', "_")),
+            "threshold,recall,exact_precision,param_precision,neutral_precision",
+            &csv_rows,
+        );
+    }
+    println!("\nExpected shape (paper Fig. 4): precision rises as recall drops;");
+    println!("Typilus holds the highest neutral precision at moderate recall.");
+}

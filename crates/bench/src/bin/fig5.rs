@@ -1,0 +1,45 @@
+//! Regenerates paper **Fig. 5**: Typilus' exact match and match up to
+//! parametric type, bucketed by how many training annotations the
+//! ground-truth type has.
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin fig5
+//! ```
+
+use typilus::{by_annotation_count, evaluate_files, EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, train_logged, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let system = train_logged("Typilus", &data, &config);
+    let examples = evaluate_files(&system, &data, &data.split.test);
+
+    // Scaled-down analogue of the paper's 2..10000 buckets.
+    let bounds = [2usize, 5, 10, 20, 50, 100, 200];
+    let rows = by_annotation_count(&examples, &system.hierarchy, &bounds);
+    println!("Fig. 5: performance bucketed by annotation count of the true type");
+    println!(
+        "{:>16} {:>7} {:>13} {:>18}",
+        "annotation count", "n", "exact match", "match up to param"
+    );
+    let mut lower = 0usize;
+    for (upper, rates) in rows {
+        let label = if upper == usize::MAX {
+            format!("{lower}+")
+        } else {
+            format!("{lower}-{}", upper - 1)
+        };
+        println!(
+            "{label:>16} {:>7} {:>12.1}% {:>17.1}%",
+            rates.count, rates.exact, rates.up_to_parametric
+        );
+        if upper != usize::MAX {
+            lower = upper;
+        }
+    }
+    println!("\nExpected shape (paper Fig. 5): performance climbs with annotation");
+    println!("count but stays useful on the rare buckets (the open-vocabulary win).");
+}

@@ -1,0 +1,61 @@
+//! Regenerates paper **Fig. 6**: the (k, p) grid of Eq. 5 — the change
+//! in match-up-to-parametric relative to the grid median, for the kNN
+//! neighbour count `k` and the distance exponent `p`.
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin fig6
+//! ```
+
+use typilus::{
+    evaluate_files, EncoderKind, GraphConfig, KnnConfig, LossKind, MatchRates,
+};
+use typilus_bench::{config_for, maybe_write_csv, prepare, train_logged, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let mut system = train_logged("Typilus", &data, &config);
+
+    let ks = [1usize, 2, 3, 4, 5, 7, 9, 11, 13, 16, 19, 25];
+    let ps = [0.01f32, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0];
+
+    // Evaluate the whole grid with one trained model and one fixed type
+    // map, exactly as the paper does.
+    let mut grid = vec![vec![0.0f64; ps.len()]; ks.len()];
+    for (ki, &k) in ks.iter().enumerate() {
+        for (pi, &p) in ps.iter().enumerate() {
+            system.config.knn = KnnConfig { k, p };
+            let examples = evaluate_files(&system, &data, &data.split.test);
+            let rates = MatchRates::compute(&examples, &system.hierarchy, |_| true);
+            grid[ki][pi] = rates.up_to_parametric;
+        }
+    }
+    let mut values: Vec<f64> = grid.iter().flatten().copied().collect();
+    values.sort_by(f64::total_cmp);
+    let median = values[values.len() / 2];
+
+    println!("Fig. 6: match-up-to-parametric delta vs grid median ({median:.1}%)");
+    print!("{:>5}", "k\\p");
+    for p in ps {
+        print!("{p:>7.2}");
+    }
+    println!();
+    for (&k, row) in ks.iter().zip(&grid) {
+        print!("{k:>5}");
+        for &cell in row.iter().take(ps.len()) {
+            print!("{:>7.1}", cell - median);
+        }
+        println!();
+    }
+    let mut csv_rows = Vec::new();
+    for (ki, &k) in ks.iter().enumerate() {
+        for (pi, &p) in ps.iter().enumerate() {
+            csv_rows.push(format!("{k},{p},{}", grid[ki][pi]));
+        }
+    }
+    maybe_write_csv("fig6_grid", "k,p,match_up_to_parametric", &csv_rows);
+    println!("\nExpected shape (paper Fig. 6): k = 1-2 clearly below the median;");
+    println!("larger k with moderately large p gives the best corner.");
+}

@@ -1,0 +1,59 @@
+//! Regenerates paper **Table 2**: the nine encoder × loss variants with
+//! exact match / match-up-to-parametric (all, common, rare) and type
+//! neutrality.
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin table2
+//! ```
+//!
+//! Optional: `--lambda <f32>` sweeps the classification weight of Eq. 4
+//! for the Typilus variants (DESIGN.md extension).
+
+use typilus::{evaluate_files, table2_row, GraphConfig};
+use typilus_bench::{all_variants, config_for, prepare, train_logged, variant_name, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let lambda: Option<f32> = std::env::args()
+        .skip_while(|a| a != "--lambda")
+        .nth(1)
+        .and_then(|v| v.parse().ok());
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    eprintln!(
+        "corpus: {} files ({} train / {} valid / {} test)",
+        data.files.len(),
+        data.split.train.len(),
+        data.split.valid.len(),
+        data.split.test.len()
+    );
+
+    println!("Table 2: quantitative evaluation (common = type seen >= {} times in training)", scale.common_threshold);
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}  {:>9} {:>9} {:>9}  {:>8}",
+        "Model", "Ex.All", "Ex.Comm", "Ex.Rare", "Par.All", "Par.Comm", "Par.Rare", "Neutral"
+    );
+    for (encoder, loss) in all_variants() {
+        let name = variant_name(encoder, loss);
+        let mut config = config_for(&scale, encoder, loss, graph);
+        if let (Some(l), typilus::LossKind::Typilus) = (lambda, loss) {
+            config.model.lambda = l;
+        }
+        let system = train_logged(name, &data, &config);
+        let examples = evaluate_files(&system, &data, &data.split.test);
+        let row = table2_row(&examples, &system.hierarchy, scale.common_threshold);
+        println!(
+            "{:<14} {:>8.1}% {:>8.1}% {:>8.1}%  {:>8.1}% {:>8.1}% {:>8.1}%  {:>7.1}%",
+            name,
+            row.exact_all,
+            row.exact_common,
+            row.exact_rare,
+            row.para_all,
+            row.para_common,
+            row.para_rare,
+            row.neutral
+        );
+    }
+    println!("\nExpected shape (paper): Graph > Seq > Path; *2Class collapses on rare");
+    println!("types; *Typilus (combined loss, Eq. 4) best overall.");
+}

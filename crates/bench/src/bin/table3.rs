@@ -1,0 +1,45 @@
+//! Regenerates paper **Table 3**: Typilus' performance broken down by
+//! symbol kind (variables, parameters, function returns).
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin table3
+//! ```
+
+use typilus::{by_kind, evaluate_files, EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, train_logged, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let system = train_logged("Typilus", &data, &config);
+    let examples = evaluate_files(&system, &data, &data.split.test);
+    let b = by_kind(&examples, &system.hierarchy);
+
+    let total = (b.variables.count + b.parameters.count + b.returns.count).max(1);
+    println!("Table 3: Typilus performance by kind of symbol");
+    println!("{:<28} {:>10} {:>10} {:>10}", "", "Var", "FuncPara", "Ret");
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
+        "% Exact Match", b.variables.exact, b.parameters.exact, b.returns.exact
+    );
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
+        "% Match up to Parametric",
+        b.variables.up_to_parametric,
+        b.parameters.up_to_parametric,
+        b.returns.up_to_parametric
+    );
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
+        "% Type Neutral", b.variables.neutral, b.parameters.neutral, b.returns.neutral
+    );
+    println!(
+        "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
+        "Proportion of testset",
+        100.0 * b.variables.count as f64 / total as f64,
+        100.0 * b.parameters.count as f64 / total as f64,
+        100.0 * b.returns.count as f64 / total as f64
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates paper **Table 5**: type-checking accuracy of Typilus'
+//! predictions modulo the two optional type checkers, broken into the
+//! `ϵ→τ` / `τ→τ'` / `τ→τ` substitution categories.
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin table5
+//! ```
+
+use typilus::{check_predictions, Category, CheckerProfile, EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, train_logged, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let system = train_logged("Typilus", &data, &config);
+
+    let mypy =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0).1;
+    let pytype =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Pytype, 0.0).1;
+
+    println!("Table 5: type checking accuracy modulo checker");
+    println!(
+        "{:<22} {:>11} {:>7}   {:>11} {:>7}",
+        "Annotation", "mypy Prop.", "Acc.", "pytype Prop.", "Acc."
+    );
+    let rows = [
+        ("eps -> tau", Category::FreshAnnotation),
+        ("tau -> tau'", Category::ChangedAnnotation),
+        ("tau -> tau", Category::SameAnnotation),
+    ];
+    for (label, cat) in rows {
+        let (m, p) = match cat {
+            Category::FreshAnnotation => (&mypy.fresh, &pytype.fresh),
+            Category::ChangedAnnotation => (&mypy.changed, &pytype.changed),
+            Category::SameAnnotation => (&mypy.same, &pytype.same),
+        };
+        println!(
+            "{:<22} {:>10.0}% {:>6.0}%   {:>11.0}% {:>6.0}%",
+            label,
+            mypy.proportion(cat),
+            m.accuracy(),
+            pytype.proportion(cat),
+            p.accuracy()
+        );
+    }
+    println!(
+        "{:<22} {:>10.0}% {:>6.0}%   {:>11.0}% {:>6.0}%",
+        "Overall",
+        100.0,
+        mypy.overall().accuracy(),
+        100.0,
+        pytype.overall().accuracy()
+    );
+    println!(
+        "\nassessed files: mypy {} (discarded {}), pytype {} (discarded {})",
+        mypy.assessed_files, mypy.discarded_files, pytype.assessed_files, pytype.discarded_files
+    );
+    println!("assessed predictions: mypy {}, pytype {}", mypy.overall().total, pytype.overall().total);
+    println!("\nExpected shape (paper): high overall accuracy, tau->tau at 100%;");
+    println!("pytype (extra inference) accepts fewer predictions than mypy.");
+}

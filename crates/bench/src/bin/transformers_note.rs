@@ -1,0 +1,36 @@
+//! Regenerates the paper's Sec. 6.1 **"Transformers"** paragraph: a
+//! small transformer in place of DeepTyper's biGRU, trained identically,
+//! with the finding that it does not improve on the recurrent baseline
+//! (transformers want more data than the corpus provides).
+//!
+//! ```sh
+//! cargo run --release -p typilus-bench --bin transformers_note
+//! ```
+
+use typilus::{evaluate_files, table2_row, EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, train_logged, variant_name, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+
+    println!("Sec. 6.1 'Transformers': small transformer vs the biGRU baseline");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}  {:>8}",
+        "Model", "Ex.All", "Ex.Comm", "Ex.Rare", "Neutral"
+    );
+    for encoder in [EncoderKind::Seq, EncoderKind::Transformer] {
+        let name = variant_name(encoder, LossKind::Typilus);
+        let config = config_for(&scale, encoder, LossKind::Typilus, graph);
+        let system = train_logged(name, &data, &config);
+        let examples = evaluate_files(&system, &data, &data.split.test);
+        let row = table2_row(&examples, &system.hierarchy, scale.common_threshold);
+        println!(
+            "{:<22} {:>8.1}% {:>8.1}% {:>8.1}%  {:>7.1}%",
+            name, row.exact_all, row.exact_common, row.exact_rare, row.neutral
+        );
+    }
+    println!("\nExpected shape (paper): the transformer does not improve on the");
+    println!("biGRU at this data scale.");
+}

@@ -1,0 +1,281 @@
+//! Builtin function and method signatures used by the type inferencer.
+//!
+//! A pragmatic subset of CPython's builtins: enough for the checker to
+//! reason about idiomatic annotated code (string/collection methods,
+//! constructors, `len`/`range`/`sorted`/...).
+
+use typilus_types::PyType;
+
+fn named(n: &str) -> PyType {
+    PyType::named(n)
+}
+
+fn generic(n: &str, args: Vec<PyType>) -> PyType {
+    PyType::generic(n, args)
+}
+
+/// Result of looking up an attribute/method on a receiver type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodLookup {
+    /// The method exists and returns this type when called.
+    Returns(PyType),
+    /// The receiver type is tracked and has no such attribute — an
+    /// attribute error.
+    UnknownAttribute,
+    /// The receiver type is not tracked; no conclusion.
+    NotTracked,
+}
+
+/// First type argument of a generic, defaulting to `Any`.
+fn arg0(ty: &PyType) -> PyType {
+    match ty {
+        PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+        _ => PyType::Any,
+    }
+}
+
+/// Second type argument of a generic, defaulting to `Any`.
+fn arg1(ty: &PyType) -> PyType {
+    match ty {
+        PyType::Named { args, .. } if args.len() > 1 => args[1].clone(),
+        _ => PyType::Any,
+    }
+}
+
+/// Looks up a method/attribute on a receiver of a known type.
+pub fn method_on(receiver: &PyType, method: &str) -> MethodLookup {
+    use MethodLookup::*;
+    let base = receiver.base_name();
+    match base {
+        "str" => match method {
+            "upper" | "lower" | "strip" | "lstrip" | "rstrip" | "title" | "capitalize"
+            | "replace" | "join" | "format" | "zfill" | "center" | "ljust" | "rjust"
+            | "casefold" | "swapcase" | "expandtabs" | "format_map" | "translate" => {
+                Returns(named("str"))
+            }
+            "split" | "rsplit" | "splitlines" => Returns(generic("List", vec![named("str")])),
+            "partition" | "rpartition" => Returns(generic(
+                "Tuple",
+                vec![named("str"), named("str"), named("str")],
+            )),
+            "startswith" | "endswith" | "isdigit" | "isalpha" | "isalnum" | "islower"
+            | "isupper" | "isspace" | "istitle" | "isidentifier" | "isnumeric"
+            | "isdecimal" | "isprintable" | "isascii" => Returns(named("bool")),
+            "find" | "rfind" | "index" | "rindex" | "count" => Returns(named("int")),
+            "encode" => Returns(named("bytes")),
+            _ => UnknownAttribute,
+        },
+        "bytes" | "bytearray" => match method {
+            "decode" => Returns(named("str")),
+            "hex" => Returns(named("str")),
+            "split" => Returns(generic("List", vec![named("bytes")])),
+            "startswith" | "endswith" => Returns(named("bool")),
+            "find" | "count" | "index" => Returns(named("int")),
+            "strip" | "lstrip" | "rstrip" | "upper" | "lower" | "replace" => {
+                Returns(named("bytes"))
+            }
+            _ => UnknownAttribute,
+        },
+        "List" => match method {
+            "append" | "extend" | "insert" | "clear" | "sort" | "reverse" | "remove" => {
+                Returns(PyType::None)
+            }
+            "pop" => Returns(arg0(receiver)),
+            "index" | "count" => Returns(named("int")),
+            "copy" => Returns(receiver.clone()),
+            _ => UnknownAttribute,
+        },
+        "Dict" => match method {
+            "get" => Returns(PyType::optional(arg1(receiver))),
+            "keys" => Returns(generic("Iterable", vec![arg0(receiver)])),
+            "values" => Returns(generic("Iterable", vec![arg1(receiver)])),
+            "items" => Returns(generic(
+                "Iterable",
+                vec![generic("Tuple", vec![arg0(receiver), arg1(receiver)])],
+            )),
+            "pop" | "setdefault" => Returns(arg1(receiver)),
+            "update" | "clear" => Returns(PyType::None),
+            "copy" => Returns(receiver.clone()),
+            "popitem" => Returns(generic("Tuple", vec![arg0(receiver), arg1(receiver)])),
+            _ => UnknownAttribute,
+        },
+        "Set" | "FrozenSet" => match method {
+            "add" | "discard" | "clear" | "remove" | "update" => Returns(PyType::None),
+            "pop" => Returns(arg0(receiver)),
+            "union" | "intersection" | "difference" | "symmetric_difference" | "copy" => {
+                Returns(receiver.clone())
+            }
+            "issubset" | "issuperset" | "isdisjoint" => Returns(named("bool")),
+            _ => UnknownAttribute,
+        },
+        "int" => match method {
+            "bit_length" | "bit_count" => Returns(named("int")),
+            "to_bytes" => Returns(named("bytes")),
+            _ => UnknownAttribute,
+        },
+        "float" => match method {
+            "is_integer" => Returns(named("bool")),
+            "hex" => Returns(named("str")),
+            _ => UnknownAttribute,
+        },
+        "bool" => match method {
+            "bit_length" => Returns(named("int")),
+            _ => UnknownAttribute,
+        },
+        _ => NotTracked,
+    }
+}
+
+/// Return type of a call to a builtin function, given (possibly unknown)
+/// argument types. `None` means the name is not a tracked builtin.
+pub fn builtin_call(name: &str, args: &[Option<PyType>]) -> Option<PyType> {
+    let first = args.first().and_then(|a| a.clone());
+    Some(match name {
+        "len" | "id" | "hash" | "ord" => named("int"),
+        "abs" => first.unwrap_or(PyType::Any),
+        "round" => match &first {
+            // round(x) -> int; round(x, n) -> float.
+            _ if args.len() >= 2 => named("float"),
+            _ => named("int"),
+        },
+        "min" | "max" | "sum" => match &first {
+            Some(t) if t.base_name() == "List" || t.base_name() == "Set" => arg0(t),
+            Some(t) if args.len() > 1 => t.clone(),
+            _ => PyType::Any,
+        },
+        "sorted" => match &first {
+            Some(t) => generic("List", vec![element_of(t).unwrap_or(PyType::Any)]),
+            None => named("List"),
+        },
+        "reversed" | "iter" => match &first {
+            Some(t) => generic("Iterator", vec![element_of(t).unwrap_or(PyType::Any)]),
+            None => named("Iterator"),
+        },
+        "next" => match &first {
+            Some(t) if t.base_name() == "Iterator" || t.base_name() == "Generator" => arg0(t),
+            _ => PyType::Any,
+        },
+        "enumerate" => generic(
+            "Iterator",
+            vec![generic(
+                "Tuple",
+                vec![
+                    named("int"),
+                    first.as_ref().and_then(element_of).unwrap_or(PyType::Any),
+                ],
+            )],
+        ),
+        "zip" | "map" | "filter" => named("Iterator"),
+        "range" => named("range"),
+        "print" => PyType::None,
+        "input" => named("str"),
+        "open" => named("IO"),
+        "isinstance" | "issubclass" | "callable" | "hasattr" | "any" | "all" => named("bool"),
+        "repr" | "chr" | "format" | "hex" | "oct" | "bin" | "ascii" => named("str"),
+        "str" => named("str"),
+        "int" => named("int"),
+        "float" => named("float"),
+        "bool" => named("bool"),
+        "bytes" => named("bytes"),
+        "complex" => named("complex"),
+        "list" => match &first {
+            Some(t) => generic("List", vec![element_of(t).unwrap_or(PyType::Any)]),
+            None => named("List"),
+        },
+        "set" => match &first {
+            Some(t) => generic("Set", vec![element_of(t).unwrap_or(PyType::Any)]),
+            None => named("Set"),
+        },
+        "tuple" => named("Tuple"),
+        "dict" => named("Dict"),
+        "frozenset" => named("FrozenSet"),
+        "type" => named("Type"),
+        "vars" | "globals" | "locals" => generic("Dict", vec![named("str"), PyType::Any]),
+        "getattr" | "setattr" | "delattr" | "eval" | "exec" => PyType::Any,
+        _ => return None,
+    })
+}
+
+/// The element type produced by iterating a value of type `ty`, if the
+/// type is known iterable; `None` when iteration is not understood.
+pub fn element_of(ty: &PyType) -> Option<PyType> {
+    match ty.base_name() {
+        "List" | "Set" | "FrozenSet" | "Sequence" | "Iterable" | "Iterator" | "Generator"
+        | "MutableSequence" | "Collection" | "AbstractSet" | "MutableSet" => Some(arg0(ty)),
+        "Dict" | "Mapping" | "MutableMapping" => Some(arg0(ty)),
+        "Tuple" => match ty {
+            PyType::Named { args, .. } if !args.is_empty() => {
+                Some(PyType::union(args.clone()))
+            }
+            _ => Some(PyType::Any),
+        },
+        "str" => Some(PyType::named("str")),
+        "bytes" => Some(PyType::named("int")),
+        "range" => Some(PyType::named("int")),
+        "IO" => Some(PyType::named("str")),
+        _ => None,
+    }
+}
+
+/// Whether a value of type `ty` is known to be non-iterable (iterating it
+/// is an error in both checker profiles).
+pub fn known_not_iterable(ty: &PyType) -> bool {
+    matches!(ty.base_name(), "int" | "float" | "bool" | "complex") || *ty == PyType::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> PyType {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn str_methods() {
+        assert_eq!(method_on(&t("str"), "upper"), MethodLookup::Returns(t("str")));
+        assert_eq!(method_on(&t("str"), "split"), MethodLookup::Returns(t("List[str]")));
+        assert_eq!(method_on(&t("str"), "append"), MethodLookup::UnknownAttribute);
+    }
+
+    #[test]
+    fn container_methods_track_elements() {
+        assert_eq!(method_on(&t("List[int]"), "pop"), MethodLookup::Returns(t("int")));
+        assert_eq!(
+            method_on(&t("Dict[str, int]"), "get"),
+            MethodLookup::Returns(t("Optional[int]"))
+        );
+        assert_eq!(method_on(&t("Set[bytes]"), "pop"), MethodLookup::Returns(t("bytes")));
+    }
+
+    #[test]
+    fn untracked_receivers_are_not_flagged() {
+        assert_eq!(method_on(&t("torch.Tensor"), "backward"), MethodLookup::NotTracked);
+    }
+
+    #[test]
+    fn builtin_calls() {
+        assert_eq!(builtin_call("len", &[Some(t("List[int]"))]), Some(t("int")));
+        assert_eq!(builtin_call("sorted", &[Some(t("Set[str]"))]), Some(t("List[str]")));
+        assert_eq!(builtin_call("range", &[Some(t("int"))]), Some(t("range")));
+        assert_eq!(builtin_call("unknown_fn", &[]), None);
+    }
+
+    #[test]
+    fn iteration_elements() {
+        assert_eq!(element_of(&t("List[str]")), Some(t("str")));
+        assert_eq!(element_of(&t("Dict[str, int]")), Some(t("str")));
+        assert_eq!(element_of(&t("str")), Some(t("str")));
+        assert_eq!(element_of(&t("range")), Some(t("int")));
+        assert_eq!(element_of(&t("Tuple[int, str]")), Some(t("Union[int, str]")));
+        assert_eq!(element_of(&t("CustomThing")), None);
+    }
+
+    #[test]
+    fn non_iterables() {
+        assert!(known_not_iterable(&t("int")));
+        assert!(known_not_iterable(&PyType::None));
+        assert!(!known_not_iterable(&t("List[int]")));
+        assert!(!known_not_iterable(&t("Custom")));
+    }
+}

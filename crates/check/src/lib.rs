@@ -1,0 +1,37 @@
+//! # typilus-check
+//!
+//! An optional type checker for the Python subset, standing in for mypy
+//! and pytype in the Typilus reproduction (paper Sec. 6.3). Two
+//! profiles: [`CheckerProfile::Mypy`] reasons only from explicit
+//! annotations; [`CheckerProfile::Pytype`] additionally infers types of
+//! unannotated locals, so it can disprove more type assignments. Both
+//! stay silent wherever the partial context leaves types unknown —
+//! optional typing's defining property, and the reason incorrect
+//! annotations can survive in sparsely annotated code (Sec. 7).
+//!
+//! ```
+//! use typilus_check::{CheckerProfile, TypeChecker};
+//! use typilus_pyast::{parse, SymbolTable};
+//!
+//! # fn main() -> Result<(), typilus_pyast::ParseError> {
+//! let parsed = parse("x: int = 'oops'\n")?;
+//! let table = SymbolTable::build(&parsed.module);
+//! let issues = TypeChecker::new(CheckerProfile::Mypy).check(&parsed, &table);
+//! assert_eq!(issues.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod checker;
+pub mod env;
+pub mod infer;
+
+pub use checker::{CheckerProfile, IssueCode, TypeChecker, TypeIssue};
+pub use env::{Signature, TypeEnv};
+pub use infer::Inferencer;
+
+#[cfg(test)]
+mod tests;

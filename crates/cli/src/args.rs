@@ -1,0 +1,138 @@
+//! A small flag parser (no external argument-parsing crate is available
+//! offline): `--key value` pairs, `--flag` booleans, and positionals.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced for malformed or unknown arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `known_flags` lists options that take no
+    /// value; every other `--name` consumes the next token as its value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a value-taking option has no following token.
+    pub fn parse(
+        raw: impl IntoIterator<Item = String>,
+        known_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if known_flags.contains(&name) {
+                    out.flags.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                    out.options.insert(name.to_string(), value);
+                }
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// An option's raw value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An option parsed to a type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}")))
+            }
+        }
+    }
+
+    /// A required option.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the option is missing.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name).ok_or_else(|| ArgError(format!("--{name} is required")))
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str], flags: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()), flags).unwrap()
+    }
+
+    #[test]
+    fn mixed_arguments() {
+        let a = parse(
+            &["predict", "--model", "m.bin", "--top", "3", "--check", "file.py"],
+            &["check"],
+        );
+        assert_eq!(a.positionals(), &["predict", "file.py"]);
+        assert_eq!(a.get("model"), Some("m.bin"));
+        assert_eq!(a.get_parsed("top", 1usize).unwrap(), 3);
+        assert!(a.has_flag("check"));
+        assert!(!a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse(&["train"], &[]);
+        assert_eq!(a.get_parsed("epochs", 12usize).unwrap(), 12);
+        assert!(a.require("corpus").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let r = Args::parse(["--model".to_string()], &[]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let a = parse(&["--epochs", "many"], &[]);
+        assert!(a.get_parsed("epochs", 1usize).is_err());
+    }
+}

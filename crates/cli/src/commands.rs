@@ -1,0 +1,253 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use std::error::Error;
+use std::path::Path;
+use typilus::{
+    evaluate_files, table2_row, train, Aggregation, CheckerProfile, EncoderKind, GraphConfig,
+    KnnConfig, LossKind, ModelConfig, NodeInit, PreparedCorpus, TrainedSystem, TypilusConfig,
+};
+use typilus_check::TypeChecker;
+use typilus_corpus::{generate, CorpusConfig};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Prints usage and exits the dispatcher cleanly.
+pub fn usage() {
+    eprintln!(
+        "\
+typilus — neural type hints for Python (Typilus, PLDI 2020, in Rust)
+
+USAGE:
+  typilus gen-corpus --out DIR [--files N] [--seed S] [--error-rate F]
+  typilus train      --corpus DIR --model OUT [--encoder graph|seq|path|transformer]
+                     [--loss class|space|typilus] [--epochs N] [--dim D]
+                     [--gnn-steps T] [--lr F] [--seed S]
+  typilus predict    --model FILE [--top K] [--min-confidence F] [--check] PY_FILE...
+  typilus eval       --model FILE --corpus DIR [--common N]
+  typilus audit      --model FILE --corpus DIR [--min-confidence F]
+
+Corpora are directories of .py files. Models are .typilus artefacts
+written by `train` (see typilus::TrainedSystem::save)."
+    );
+}
+
+/// Reads all `.py` files under `dir` (one level or nested).
+fn read_corpus_dir(dir: &str) -> Result<Vec<(String, String)>, Box<dyn Error>> {
+    let mut out = Vec::new();
+    fn walk(dir: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "py") {
+                let source = std::fs::read_to_string(&path)?;
+                out.push((path.display().to_string(), source));
+            }
+        }
+        Ok(())
+    }
+    walk(Path::new(dir), &mut out)?;
+    if out.is_empty() {
+        return Err(format!("no .py files found under {dir}").into());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn load_prepared(dir: &str, graph: &GraphConfig, seed: u64) -> Result<PreparedCorpus, Box<dyn Error>> {
+    let files = read_corpus_dir(dir)?;
+    let named: Vec<(&str, &str)> =
+        files.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let data = PreparedCorpus::from_sources(&named, graph, seed);
+    eprintln!(
+        "loaded {} files from {dir} ({} train / {} valid / {} test)",
+        data.files.len(),
+        data.split.train.len(),
+        data.split.valid.len(),
+        data.split.test.len()
+    );
+    Ok(data)
+}
+
+/// `typilus gen-corpus`
+pub fn gen_corpus(args: &Args) -> CmdResult {
+    let out_dir = args.require("out")?;
+    let files = args.get_parsed("files", 120usize)?;
+    let seed = args.get_parsed("seed", 0u64)?;
+    let error_rate = args.get_parsed("error-rate", 0.0f64)?;
+    let corpus =
+        generate(&CorpusConfig { files, seed, error_rate, ..CorpusConfig::default() });
+    for f in &corpus.files {
+        let path = Path::new(out_dir).join(&f.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &f.source)?;
+    }
+    let planted: usize = corpus.files.iter().map(|f| f.injected_errors.len()).sum();
+    println!(
+        "wrote {} files to {out_dir} ({} planted annotation errors)",
+        corpus.files.len(),
+        planted
+    );
+    Ok(())
+}
+
+fn encoder_from(name: &str) -> Result<EncoderKind, ArgError> {
+    Ok(match name {
+        "graph" => EncoderKind::Graph,
+        "seq" => EncoderKind::Seq,
+        "path" => EncoderKind::Path,
+        "transformer" => EncoderKind::Transformer,
+        other => return Err(ArgError(format!("unknown encoder {other:?}"))),
+    })
+}
+
+fn loss_from(name: &str) -> Result<LossKind, ArgError> {
+    Ok(match name {
+        "class" => LossKind::Class,
+        "space" => LossKind::Space,
+        "typilus" => LossKind::Typilus,
+        other => return Err(ArgError(format!("unknown loss {other:?}"))),
+    })
+}
+
+/// `typilus train`
+pub fn train_cmd(args: &Args) -> CmdResult {
+    let corpus_dir = args.require("corpus")?;
+    let model_path = args.require("model")?.to_string();
+    let seed = args.get_parsed("seed", 0u64)?;
+    let graph = GraphConfig::default();
+    let data = load_prepared(corpus_dir, &graph, seed)?;
+    let config = TypilusConfig {
+        model: ModelConfig {
+            encoder: encoder_from(args.get("encoder").unwrap_or("graph"))?,
+            loss: loss_from(args.get("loss").unwrap_or("typilus"))?,
+            dim: args.get_parsed("dim", 32usize)?,
+            gnn_steps: args.get_parsed("gnn-steps", 8usize)?,
+            node_init: NodeInit::Subtoken,
+            aggregation: Aggregation::Max,
+            seed,
+            ..ModelConfig::default()
+        },
+        graph,
+        epochs: args.get_parsed("epochs", 15usize)?,
+        batch_size: args.get_parsed("batch-size", 8usize)?,
+        lr: args.get_parsed("lr", 0.015f32)?,
+        knn: KnnConfig::default(),
+        common_threshold: args.get_parsed("common", 15usize)?,
+        seed,
+        ..TypilusConfig::default()
+    };
+    let system = train(&data, &config);
+    for e in &system.epochs {
+        eprintln!("epoch {:>3}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
+    }
+    system.save(&model_path)?;
+    println!(
+        "saved model to {model_path} ({} weights, {} type-map markers, {} distinct types)",
+        system.model.params.scalar_count(),
+        system.type_map.len(),
+        system.type_map.distinct_types()
+    );
+    Ok(())
+}
+
+/// `typilus predict`
+pub fn predict_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let top = args.get_parsed("top", 3usize)?;
+    let min_confidence = args.get_parsed("min-confidence", 0.0f32)?;
+    let run_checker = args.has_flag("check");
+    let files = &args.positionals()[1..];
+    if files.is_empty() {
+        return Err("predict needs at least one .py file".into());
+    }
+    let system = TrainedSystem::load(model_path)?;
+    let checker = TypeChecker::new(CheckerProfile::Mypy);
+    for file in files {
+        let source = std::fs::read_to_string(file)?;
+        println!("== {file}");
+        let predictions = system.predict_source(&source)?;
+        // For the optional checker filter we need the parsed module.
+        let parsed = typilus_pyast::parse(&source)?;
+        let table = typilus_pyast::SymbolTable::build(&parsed.module);
+        for p in predictions {
+            if p.confidence() < min_confidence {
+                continue;
+            }
+            let mut shown = Vec::new();
+            for c in p.candidates.iter().take(top) {
+                let verdict = if run_checker && !c.ty.is_top() {
+                    let issues =
+                        checker.check_with_override(&parsed, &table, p.symbol, c.ty.clone());
+                    if issues.is_empty() { " [ok]" } else { " [type error]" }
+                } else {
+                    ""
+                };
+                shown.push(format!("{} (p={:.2}){verdict}", c.ty, c.probability));
+            }
+            if shown.is_empty() {
+                continue;
+            }
+            println!("  {:<20} {:<10} {}", p.name, format!("{:?}", p.kind), shown.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// `typilus eval`
+pub fn eval_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let corpus_dir = args.require("corpus")?;
+    let common = args.get_parsed("common", 15usize)?;
+    let system = TrainedSystem::load(model_path)?;
+    let data = load_prepared(corpus_dir, &system.config.graph, system.config.seed)?;
+    let examples = evaluate_files(&system, &data, &data.split.test);
+    let row = table2_row(&examples, &system.hierarchy, common);
+    println!("evaluated {} annotated symbols from the test split", row.counts.0);
+    println!("  exact match:            {:>5.1}% (common {:.1}%, rare {:.1}%)", row.exact_all, row.exact_common, row.exact_rare);
+    println!("  match up to parametric: {:>5.1}% (common {:.1}%, rare {:.1}%)", row.para_all, row.para_common, row.para_rare);
+    println!("  type neutral:           {:>5.1}%", row.neutral);
+    Ok(())
+}
+
+/// `typilus audit`
+pub fn audit_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let corpus_dir = args.require("corpus")?;
+    let min_confidence = args.get_parsed("min-confidence", 0.8f32)?;
+    let system = TrainedSystem::load(model_path)?;
+    let data = load_prepared(corpus_dir, &system.config.graph, system.config.seed)?;
+    let checker = TypeChecker::new(CheckerProfile::Mypy);
+    let mut findings = 0usize;
+    println!(
+        "{:<40} {:<18} {:<18} {:<18} conf",
+        "file", "symbol", "annotated", "predicted"
+    );
+    for (idx, file) in data.files.iter().enumerate() {
+        for p in system.predict_file(&data, idx) {
+            let (Some(original), Some(top)) = (&p.ground_truth, p.top()) else { continue };
+            if top.ty == *original || top.probability < min_confidence {
+                continue;
+            }
+            let issues =
+                checker.check_with_override(&file.parsed, &file.table, p.symbol, top.ty.clone());
+            if issues.is_empty() {
+                findings += 1;
+                println!(
+                    "{:<40} {:<18} {:<18} {:<18} {:.2}",
+                    file.name,
+                    p.name,
+                    original.to_string(),
+                    top.ty.to_string(),
+                    top.probability
+                );
+            }
+        }
+    }
+    println!("\n{findings} confident, type-checkable disagreements");
+    Ok(())
+}

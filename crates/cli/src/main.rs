@@ -1,0 +1,50 @@
+//! `typilus` — the command-line face of the Typilus reproduction.
+//!
+//! ```sh
+//! typilus gen-corpus --out /tmp/corpus --files 80
+//! typilus train --corpus /tmp/corpus --model /tmp/model.typilus
+//! typilus predict --model /tmp/model.typilus --check some_file.py
+//! typilus eval --model /tmp/model.typilus --corpus /tmp/corpus
+//! typilus audit --model /tmp/model.typilus --corpus /tmp/corpus
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw, &["check", "help"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::usage();
+            std::process::exit(2);
+        }
+    };
+    let Some(command) = parsed.positionals().first().map(String::as_str) else {
+        commands::usage();
+        std::process::exit(2);
+    };
+    let result = match command {
+        "gen-corpus" => commands::gen_corpus(&parsed),
+        "train" => commands::train_cmd(&parsed),
+        "predict" => commands::predict_cmd(&parsed),
+        "eval" => commands::eval_cmd(&parsed),
+        "audit" => commands::audit_cmd(&parsed),
+        "help" | "--help" => {
+            commands::usage();
+            return;
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            commands::usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

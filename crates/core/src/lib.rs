@@ -1,0 +1,66 @@
+//! # typilus
+//!
+//! A Rust reproduction of *Typilus: Neural Type Hints* (Allamanis,
+//! Barr, Ducousso & Gao, PLDI 2020): graph-neural type prediction for
+//! Python with a deep-similarity-learned **TypeSpace**, adaptive kNN
+//! prediction over an open type vocabulary, and type-checker filtering.
+//!
+//! This crate is the public face of the system; the substrates live in
+//! sibling crates (`typilus-pyast`, `typilus-graph`, `typilus-nn`,
+//! `typilus-models`, `typilus-space`, `typilus-check`,
+//! `typilus-corpus`). The pipeline is:
+//!
+//! 1. [`PreparedCorpus::from_corpus`] — parse, deduplicate, build
+//!    program graphs, split 70-10-20.
+//! 2. [`train`] — train the encoder with the configured loss
+//!    (classification / space / Typilus) and build the type map.
+//! 3. [`TrainedSystem::predict_file`] / `predict_source` — kNN type
+//!    predictions with confidences.
+//! 4. [`metrics`] and [`typecheck_eval`] — every table and figure of
+//!    the paper's evaluation.
+//!
+//! ```no_run
+//! use typilus::{train, PreparedCorpus, TypilusConfig};
+//! use typilus_corpus::{generate, CorpusConfig};
+//!
+//! let corpus = generate(&CorpusConfig::default());
+//! let data = PreparedCorpus::from_corpus(
+//!     &corpus,
+//!     &typilus_graph::GraphConfig::default(),
+//!     0,
+//! );
+//! let system = train(&data, &TypilusConfig::default());
+//! let preds = system.predict_file(&data, data.split.test[0]);
+//! for p in preds.iter().take(5) {
+//!     println!("{}: {:?}", p.name, p.top().map(|t| t.ty.to_string()));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod metrics;
+pub mod persist;
+pub mod pipeline;
+pub mod suggest;
+pub mod typecheck_eval;
+
+pub use data::{PreparedCorpus, SourceFile};
+pub use metrics::{
+    by_annotation_count, by_kind, default_thresholds, evaluate_files, pr_curve, table2_row,
+    Criterion, EvalExample, KindBreakdown, MatchRates, PrPoint, Table2Row,
+};
+pub use persist::PersistError;
+pub use pipeline::{train, EpochStats, SymbolPrediction, TrainedSystem, TypilusConfig};
+pub use suggest::{SuggestOptions, Suggestion};
+pub use typecheck_eval::{
+    check_pr_curve, check_predictions, Category, CategoryStats, CheckPrPoint,
+    CheckedPrediction, Table5,
+};
+
+// Re-export the substrate types users need at the API boundary.
+pub use typilus_check::CheckerProfile;
+pub use typilus_graph::{EdgeLabel, EdgeSet, GraphConfig};
+pub use typilus_models::{Aggregation, EncoderKind, LossKind, ModelConfig, NodeInit};
+pub use typilus_space::{KnnConfig, TypePrediction};
+pub use typilus_types::{PyType, TypeHierarchy};

@@ -1,0 +1,367 @@
+//! Evaluation metrics: the three match criteria of paper Sec. 6.1
+//! (exact match, match up to parametric type, type neutrality), the
+//! common/rare breakdown of Table 2, the per-kind breakdown of Table 3,
+//! the annotation-count buckets of Fig. 5 and the precision–recall
+//! machinery of Fig. 4.
+
+use crate::data::PreparedCorpus;
+use crate::pipeline::{SymbolPrediction, TrainedSystem};
+use typilus_pyast::SymbolKind;
+use typilus_types::{PyType, TypeHierarchy};
+
+/// One evaluated prediction: a symbol with ground truth and candidates.
+#[derive(Debug, Clone)]
+pub struct EvalExample {
+    /// The prediction.
+    pub prediction: SymbolPrediction,
+    /// Ground truth (always present for evaluation examples).
+    pub truth: PyType,
+    /// How often the ground-truth type occurred in training annotations.
+    pub truth_train_count: usize,
+}
+
+impl EvalExample {
+    /// Top predicted type, if any.
+    pub fn top(&self) -> Option<&PyType> {
+        self.prediction.top().map(|t| &t.ty)
+    }
+
+    /// Confidence of the top prediction.
+    pub fn confidence(&self) -> f32 {
+        self.prediction.confidence()
+    }
+}
+
+/// Collects evaluation examples over a set of file indices (typically the
+/// test split): every annotated symbol becomes one example.
+pub fn evaluate_files(
+    system: &TrainedSystem,
+    data: &PreparedCorpus,
+    indices: &[usize],
+) -> Vec<EvalExample> {
+    let mut out = Vec::new();
+    for &idx in indices {
+        for prediction in system.predict_file(data, idx) {
+            let Some(truth) = prediction.ground_truth.clone() else { continue };
+            let truth_train_count = system.train_count(&truth);
+            out.push(EvalExample { prediction, truth, truth_train_count });
+        }
+    }
+    out
+}
+
+/// The three match criteria evaluated over a set of examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchRates {
+    /// % of predictions matching the ground truth exactly.
+    pub exact: f64,
+    /// % matching when type parameters are ignored.
+    pub up_to_parametric: f64,
+    /// % type-neutral with the ground truth.
+    pub neutral: f64,
+    /// Number of examples measured.
+    pub count: usize,
+}
+
+impl MatchRates {
+    /// Rates over examples passing `filter`. Examples without any
+    /// prediction count as misses.
+    pub fn compute(
+        examples: &[EvalExample],
+        hierarchy: &TypeHierarchy,
+        filter: impl Fn(&EvalExample) -> bool,
+    ) -> MatchRates {
+        let mut exact = 0usize;
+        let mut para = 0usize;
+        let mut neutral = 0usize;
+        let mut count = 0usize;
+        for e in examples.iter().filter(|e| filter(e)) {
+            count += 1;
+            let Some(top) = e.top() else { continue };
+            if top.matches_exactly(&e.truth) {
+                exact += 1;
+            }
+            if top.matches_up_to_parametric(&e.truth) {
+                para += 1;
+            }
+            if hierarchy.is_neutral(top, &e.truth) {
+                neutral += 1;
+            }
+        }
+        MatchRates {
+            exact: pct(exact, count),
+            up_to_parametric: pct(para, count),
+            neutral: pct(neutral, count),
+            count,
+        }
+    }
+}
+
+fn pct(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        100.0 * a as f64 / b as f64
+    }
+}
+
+/// One row of paper Table 2: all/common/rare breakdowns of exact match
+/// and match-up-to-parametric, plus overall type neutrality.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Exact match over all examples (%).
+    pub exact_all: f64,
+    /// Exact match over common types (%).
+    pub exact_common: f64,
+    /// Exact match over rare types (%).
+    pub exact_rare: f64,
+    /// Up-to-parametric over all examples (%).
+    pub para_all: f64,
+    /// Up-to-parametric over common types (%).
+    pub para_common: f64,
+    /// Up-to-parametric over rare types (%).
+    pub para_rare: f64,
+    /// Type neutrality over all examples (%).
+    pub neutral: f64,
+    /// Example counts: (all, common, rare).
+    pub counts: (usize, usize, usize),
+}
+
+/// Computes a Table 2 row. `common_threshold` is the "seen ≥ N times in
+/// training" cut (paper: 100 at full corpus scale).
+pub fn table2_row(
+    examples: &[EvalExample],
+    hierarchy: &TypeHierarchy,
+    common_threshold: usize,
+) -> Table2Row {
+    let all = MatchRates::compute(examples, hierarchy, |_| true);
+    let common = MatchRates::compute(examples, hierarchy, |e| {
+        e.truth_train_count >= common_threshold
+    });
+    let rare = MatchRates::compute(examples, hierarchy, |e| {
+        e.truth_train_count < common_threshold
+    });
+    Table2Row {
+        exact_all: all.exact,
+        exact_common: common.exact,
+        exact_rare: rare.exact,
+        para_all: all.up_to_parametric,
+        para_common: common.up_to_parametric,
+        para_rare: rare.up_to_parametric,
+        neutral: all.neutral,
+        counts: (all.count, common.count, rare.count),
+    }
+}
+
+/// Paper Table 3: performance by symbol kind.
+#[derive(Debug, Clone)]
+pub struct KindBreakdown {
+    /// Rates for variables (including `self.x` members).
+    pub variables: MatchRates,
+    /// Rates for function parameters.
+    pub parameters: MatchRates,
+    /// Rates for function returns.
+    pub returns: MatchRates,
+}
+
+/// Computes the Table 3 breakdown.
+pub fn by_kind(examples: &[EvalExample], hierarchy: &TypeHierarchy) -> KindBreakdown {
+    let kind_of = |e: &EvalExample| e.prediction.kind;
+    KindBreakdown {
+        variables: MatchRates::compute(examples, hierarchy, |e| {
+            matches!(kind_of(e), SymbolKind::Variable | SymbolKind::ClassMember)
+        }),
+        parameters: MatchRates::compute(examples, hierarchy, |e| {
+            kind_of(e) == SymbolKind::Parameter
+        }),
+        returns: MatchRates::compute(examples, hierarchy, |e| kind_of(e) == SymbolKind::Return),
+    }
+}
+
+/// Fig. 5: rates bucketed by how often the ground-truth type was
+/// annotated in training. Returns `(bucket upper bound, rates)` rows.
+pub fn by_annotation_count(
+    examples: &[EvalExample],
+    hierarchy: &TypeHierarchy,
+    bucket_bounds: &[usize],
+) -> Vec<(usize, MatchRates)> {
+    let mut out = Vec::new();
+    let mut lower = 0usize;
+    for &upper in bucket_bounds {
+        let rates = MatchRates::compute(examples, hierarchy, |e| {
+            e.truth_train_count >= lower && e.truth_train_count < upper
+        });
+        out.push((upper, rates));
+        lower = upper;
+    }
+    let last = MatchRates::compute(examples, hierarchy, |e| e.truth_train_count >= lower);
+    out.push((usize::MAX, last));
+    out
+}
+
+/// A match criterion selector for precision–recall curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Exact type match.
+    Exact,
+    /// Match ignoring type parameters.
+    UpToParametric,
+    /// Type neutrality.
+    Neutral,
+}
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Confidence threshold producing this point.
+    pub threshold: f32,
+    /// Fraction of symbols with a prediction above the threshold.
+    pub recall: f64,
+    /// Fraction correct among those predicted.
+    pub precision: f64,
+}
+
+/// Fig. 4: sweeps the confidence threshold and reports precision/recall
+/// under the chosen criterion. Points are ordered by increasing
+/// threshold (decreasing recall).
+pub fn pr_curve(
+    examples: &[EvalExample],
+    hierarchy: &TypeHierarchy,
+    criterion: Criterion,
+    thresholds: &[f32],
+) -> Vec<PrPoint> {
+    let correct = |e: &EvalExample| -> bool {
+        match (criterion, e.top()) {
+            (_, None) => false,
+            (Criterion::Exact, Some(t)) => t.matches_exactly(&e.truth),
+            (Criterion::UpToParametric, Some(t)) => t.matches_up_to_parametric(&e.truth),
+            (Criterion::Neutral, Some(t)) => hierarchy.is_neutral(t, &e.truth),
+        }
+    };
+    let total = examples.len();
+    thresholds
+        .iter()
+        .map(|&th| {
+            let predicted: Vec<&EvalExample> =
+                examples.iter().filter(|e| e.confidence() >= th).collect();
+            let correct_count = predicted.iter().filter(|e| correct(e)).count();
+            PrPoint {
+                threshold: th,
+                recall: if total == 0 { 0.0 } else { predicted.len() as f64 / total as f64 },
+                precision: if predicted.is_empty() {
+                    1.0
+                } else {
+                    correct_count as f64 / predicted.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// The default threshold sweep used by the figure harnesses.
+pub fn default_thresholds() -> Vec<f32> {
+    (0..=20).map(|i| i as f32 / 20.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SymbolPrediction;
+    use typilus_pyast::symtable::SymbolId;
+    use typilus_space::TypePrediction;
+
+    fn example(truth: &str, predicted: Option<(&str, f32)>, count: usize) -> EvalExample {
+        EvalExample {
+            prediction: SymbolPrediction {
+                file_idx: 0,
+                symbol: SymbolId(0),
+                name: "x".into(),
+                kind: SymbolKind::Variable,
+                ground_truth: Some(truth.parse().unwrap()),
+                candidates: predicted
+                    .map(|(ty, p)| {
+                        vec![TypePrediction { ty: ty.parse().unwrap(), probability: p }]
+                    })
+                    .unwrap_or_default(),
+            },
+            truth: truth.parse().unwrap(),
+            truth_train_count: count,
+        }
+    }
+
+    #[test]
+    fn match_rates_cover_criteria() {
+        let h = TypeHierarchy::new();
+        let examples = vec![
+            example("int", Some(("int", 0.9)), 100),          // exact
+            example("List[int]", Some(("List[str]", 0.8)), 5), // para only
+            example("List[int]", Some(("Sequence[int]", 0.7)), 5), // neutral only
+            example("str", Some(("bytes", 0.6)), 100),        // none
+            example("str", None, 100),                        // no prediction
+        ];
+        let r = MatchRates::compute(&examples, &h, |_| true);
+        assert_eq!(r.count, 5);
+        assert!((r.exact - 20.0).abs() < 1e-9);
+        assert!((r.up_to_parametric - 40.0).abs() < 1e-9);
+        assert!((r.neutral - 40.0).abs() < 1e-9, "exact + supertype are neutral: {r:?}");
+    }
+
+    #[test]
+    fn table2_rare_common_split() {
+        let h = TypeHierarchy::new();
+        let examples = vec![
+            example("int", Some(("int", 0.9)), 100),
+            example("FooBar", Some(("FooBar", 0.9)), 1),
+            example("BazQux", Some(("int", 0.9)), 1),
+        ];
+        let row = table2_row(&examples, &h, 10);
+        assert_eq!(row.counts, (3, 1, 2));
+        assert!((row.exact_common - 100.0).abs() < 1e-9);
+        assert!((row.exact_rare - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let h = TypeHierarchy::new();
+        let examples = vec![
+            example("int", Some(("int", 0.9)), 10),
+            example("str", Some(("bytes", 0.5)), 10),
+            example("bool", Some(("bool", 0.2)), 10),
+        ];
+        let curve = pr_curve(&examples, &h, Criterion::Exact, &[0.0, 0.4, 0.8]);
+        assert!(curve[0].recall >= curve[1].recall);
+        assert!(curve[1].recall >= curve[2].recall);
+        // High threshold keeps only the confident correct prediction.
+        assert!((curve[2].precision - 1.0).abs() < 1e-9);
+        // Low threshold includes the wrong one.
+        assert!(curve[0].precision < 1.0);
+    }
+
+    #[test]
+    fn annotation_count_buckets() {
+        let h = TypeHierarchy::new();
+        let examples = vec![
+            example("int", Some(("int", 0.9)), 3),
+            example("str", Some(("str", 0.9)), 50),
+        ];
+        let buckets = by_annotation_count(&examples, &h, &[10, 100]);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].1.count, 1);
+        assert_eq!(buckets[1].1.count, 1);
+        assert_eq!(buckets[2].1.count, 0);
+    }
+
+    #[test]
+    fn kind_breakdown_partitions() {
+        let h = TypeHierarchy::new();
+        let mut e1 = example("int", Some(("int", 0.9)), 10);
+        e1.prediction.kind = SymbolKind::Parameter;
+        let mut e2 = example("str", Some(("str", 0.9)), 10);
+        e2.prediction.kind = SymbolKind::Return;
+        let e3 = example("bool", Some(("bool", 0.9)), 10);
+        let b = by_kind(&[e1, e2, e3], &h);
+        assert_eq!(b.parameters.count, 1);
+        assert_eq!(b.returns.count, 1);
+        assert_eq!(b.variables.count, 1);
+    }
+}

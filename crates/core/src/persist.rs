@@ -1,0 +1,196 @@
+//! Saving and loading trained systems.
+//!
+//! Artefacts are encoded with the project's binary serde format
+//! (`typilus-serbin`) behind a small header with a magic string and a
+//! format version, so stale files fail loudly instead of decoding into
+//! garbage weights.
+
+use crate::pipeline::TrainedSystem;
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes at the start of every artefact file.
+const MAGIC: &[u8; 8] = b"TYPILUS\0";
+/// Bump when the on-disk layout of [`TrainedSystem`] changes.
+const VERSION: u32 = 1;
+
+/// Errors of artefact persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the Typilus magic.
+    NotATypilusArtefact,
+    /// The file was written by an incompatible version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// Encoding/decoding failure.
+    Codec(typilus_serbin::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::NotATypilusArtefact => write!(f, "not a typilus artefact file"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "artefact version {found}, this build expects {expected}")
+            }
+            PersistError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<typilus_serbin::Error> for PersistError {
+    fn from(e: typilus_serbin::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+impl TrainedSystem {
+    /// Serialises the system (weights, type map, vocabularies, lattice,
+    /// config) to bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error if encoding fails.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, PersistError> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&typilus_serbin::to_bytes(self)?);
+        Ok(out)
+    }
+
+    /// Restores a system from bytes produced by [`TrainedSystem::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on wrong magic, wrong version or corrupted payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainedSystem, PersistError> {
+        if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::NotATypilusArtefact);
+        }
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+        let found = u32::from_le_bytes(ver);
+        if found != VERSION {
+            return Err(PersistError::VersionMismatch { found, expected: VERSION });
+        }
+        Ok(typilus_serbin::from_bytes(&bytes[MAGIC.len() + 4..])?)
+    }
+
+    /// Saves the system to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and codec errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Loads a system from a file saved with [`TrainedSystem::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem, format and codec errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainedSystem, PersistError> {
+        let bytes = std::fs::read(path)?;
+        TrainedSystem::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PreparedCorpus;
+    use crate::pipeline::{train, TypilusConfig};
+    use typilus_corpus::{generate, CorpusConfig};
+    use typilus_models::ModelConfig;
+
+    fn tiny_system() -> (TrainedSystem, PreparedCorpus) {
+        let corpus = generate(&CorpusConfig { files: 8, seed: 2, ..CorpusConfig::default() });
+        let data =
+            PreparedCorpus::from_corpus(&corpus, &typilus_graph::GraphConfig::default(), 2);
+        let config = TypilusConfig {
+            model: ModelConfig {
+                dim: 8,
+                gnn_steps: 2,
+                min_subtoken_count: 1,
+                ..ModelConfig::default()
+            },
+            epochs: 2,
+            ..TypilusConfig::default()
+        };
+        (train(&data, &config), data)
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let (system, data) = tiny_system();
+        let bytes = system.to_bytes().expect("encodes");
+        let restored = TrainedSystem::from_bytes(&bytes).expect("decodes");
+        // Identical predictions on every test file.
+        for &idx in &data.split.test {
+            let a = system.predict_file(&data, idx);
+            let b = restored.predict_file(&data, idx);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(
+                    x.top().map(|t| t.ty.to_string()),
+                    y.top().map(|t| t.ty.to_string())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let (system, _) = tiny_system();
+        let dir = std::env::temp_dir().join("typilus_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.typilus");
+        system.save(&path).expect("saves");
+        let restored = TrainedSystem::load(&path).expect("loads");
+        assert_eq!(restored.type_map.len(), system.type_map.len());
+        assert_eq!(restored.config.epochs, system.config.epochs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let err = TrainedSystem::from_bytes(b"NOTMAGIC....").unwrap_err();
+        assert!(matches!(err, PersistError::NotATypilusArtefact));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (system, _) = tiny_system();
+        let mut bytes = system.to_bytes().unwrap();
+        bytes[8] = 99; // corrupt the version field
+        let err = TrainedSystem::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, PersistError::VersionMismatch { found: 99, .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let (system, _) = tiny_system();
+        let bytes = system.to_bytes().unwrap();
+        let err = TrainedSystem::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, PersistError::Codec(_)));
+    }
+}

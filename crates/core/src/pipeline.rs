@@ -1,0 +1,288 @@
+//! The end-to-end Typilus pipeline (paper Fig. 1): train the encoder
+//! with the chosen loss, build the type map from known annotations,
+//! predict by kNN in the TypeSpace, optionally filter through the type
+//! checker.
+
+use crate::data::{PreparedCorpus, SourceFile};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use typilus_graph::GraphConfig;
+use typilus_models::{LossKind, ModelConfig, PreparedFile, TypeModel};
+use typilus_nn::Adam;
+use typilus_pyast::symtable::{SymbolId, SymbolKind};
+use typilus_space::{KnnConfig, RpForestConfig, TypeMap, TypePrediction};
+use typilus_types::{PyType, TypeHierarchy};
+
+/// Pipeline hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TypilusConfig {
+    /// Model architecture and loss.
+    pub model: ModelConfig,
+    /// Graph construction (annotation erasure, edge ablations).
+    pub graph: GraphConfig,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Files per minibatch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// kNN prediction parameters (Eq. 5).
+    pub knn: KnnConfig,
+    /// Whether to build the approximate (Annoy-like) index over the
+    /// type map; small maps use exact search.
+    pub approximate_index: bool,
+    /// Types seen at least this many times in training count as
+    /// *common* in the evaluation breakdown (paper: 100 at full scale).
+    pub common_threshold: usize,
+    /// Pipeline RNG seed (batch shuffling).
+    pub seed: u64,
+}
+
+impl Default for TypilusConfig {
+    fn default() -> Self {
+        TypilusConfig {
+            model: ModelConfig::default(),
+            graph: GraphConfig::default(),
+            epochs: 12,
+            batch_size: 8,
+            lr: 0.01,
+            knn: KnnConfig::default(),
+            approximate_index: false,
+            common_threshold: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Progress of one training epoch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch number, from 0.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+}
+
+/// A prediction for one symbol of a file.
+#[derive(Debug, Clone)]
+pub struct SymbolPrediction {
+    /// Index of the file in the corpus.
+    pub file_idx: usize,
+    /// The symbol in that file's symbol table.
+    pub symbol: SymbolId,
+    /// Symbol name.
+    pub name: String,
+    /// Symbol kind (variable / parameter / return).
+    pub kind: SymbolKind,
+    /// Ground-truth type, when the source was annotated.
+    pub ground_truth: Option<PyType>,
+    /// Ranked candidate types with probabilities.
+    pub candidates: Vec<TypePrediction>,
+}
+
+impl SymbolPrediction {
+    /// The top candidate, if any.
+    pub fn top(&self) -> Option<&TypePrediction> {
+        self.candidates.first()
+    }
+
+    /// Confidence of the top candidate (0 when there is none).
+    pub fn confidence(&self) -> f32 {
+        self.top().map(|t| t.probability).unwrap_or(0.0)
+    }
+}
+
+/// A trained Typilus system: encoder + type map + evaluation lattice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedSystem {
+    /// The trained model.
+    pub model: TypeModel,
+    /// The adaptive type map (empty for pure classification models).
+    pub type_map: TypeMap,
+    /// Lattice with the corpus' user classes registered.
+    pub hierarchy: TypeHierarchy,
+    /// Count of each ground-truth type in the training annotations,
+    /// for common/rare breakdowns.
+    pub train_type_counts: HashMap<String, usize>,
+    /// Configuration used.
+    pub config: TypilusConfig,
+    /// Per-epoch statistics of the training run.
+    pub epochs: Vec<EpochStats>,
+}
+
+/// Trains a system on the prepared corpus' training split.
+pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
+    let train_graphs = data.graphs_of(&data.split.train);
+    let model = TypeModel::new(config.model, &train_graphs);
+
+    // Prepare every file once.
+    let prepared: Vec<PreparedFile> =
+        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+
+    let mut optimizer = Adam::new(config.lr);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = model;
+    let mut epoch_stats = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let start = std::time::Instant::now();
+        let mut order = data.split.train.clone();
+        order.shuffle(&mut rng);
+        let mut losses = Vec::new();
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch: Vec<&PreparedFile> = chunk.iter().map(|&i| &prepared[i]).collect();
+            if let Some((loss, grads)) = model.train_step(&batch) {
+                if loss.is_finite() {
+                    losses.push(loss);
+                    optimizer.step(&mut model.params, grads);
+                }
+            }
+        }
+        let mean_loss = if losses.is_empty() {
+            0.0
+        } else {
+            losses.iter().sum::<f32>() / losses.len() as f32
+        };
+        epoch_stats.push(EpochStats {
+            epoch,
+            mean_loss,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Type map over the training + validation annotations (as in the
+    // paper's qualitative setup: "we built the type map over the
+    // training and the validation sets").
+    let mut type_map = TypeMap::new(config.model.dim);
+    let mut train_type_counts: HashMap<String, usize> = HashMap::new();
+    for &idx in data.split.train.iter().chain(&data.split.valid) {
+        let file = &prepared[idx];
+        if file.targets.is_empty() {
+            continue;
+        }
+        let Some(embeddings) = model.embed_inference(file) else { continue };
+        for (t, target) in file.targets.iter().enumerate() {
+            let Some(ty) = &target.ty else { continue };
+            type_map.add(embeddings.row(t).to_vec(), ty.clone());
+            if data.split.train.contains(&idx) {
+                *train_type_counts.entry(ty.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    if config.approximate_index && type_map.len() > 64 {
+        type_map.build_index(RpForestConfig::default(), config.seed);
+    }
+
+    let mut hierarchy = TypeHierarchy::new();
+    data.register_classes(&mut hierarchy);
+
+    TrainedSystem {
+        model,
+        type_map,
+        hierarchy,
+        train_type_counts,
+        config: *config,
+        epochs: epoch_stats,
+    }
+}
+
+impl TrainedSystem {
+    /// Predicts types for every annotatable symbol of one corpus file.
+    pub fn predict_file(&self, data: &PreparedCorpus, file_idx: usize) -> Vec<SymbolPrediction> {
+        let file = &data.files[file_idx];
+        let prepared = self.model.prepare(&file.graph);
+        self.predict_prepared(&prepared, file_idx)
+    }
+
+    /// Predicts types for an out-of-corpus source string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the source is not valid Python.
+    pub fn predict_source(
+        &self,
+        source: &str,
+    ) -> Result<Vec<SymbolPrediction>, typilus_pyast::ParseError> {
+        let parsed = typilus_pyast::parse(source)?;
+        let table = typilus_pyast::SymbolTable::build(&parsed.module);
+        let graph =
+            typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<input>");
+        let prepared = self.model.prepare(&graph);
+        Ok(self.predict_prepared(&prepared, usize::MAX))
+    }
+
+    /// Predicts over an already-prepared file.
+    pub fn predict_prepared(
+        &self,
+        prepared: &PreparedFile,
+        file_idx: usize,
+    ) -> Vec<SymbolPrediction> {
+        if prepared.targets.is_empty() {
+            return Vec::new();
+        }
+        let class_predictions = if self.model.config.loss == LossKind::Class {
+            self.model.predict_class(prepared)
+        } else {
+            None
+        };
+        let embeddings = self.model.embed_inference(prepared);
+        let mut out = Vec::with_capacity(prepared.targets.len());
+        for (t, target) in prepared.targets.iter().enumerate() {
+            let candidates = match (&class_predictions, &embeddings) {
+                (Some(preds), _) => {
+                    let (ty, p) = &preds[t];
+                    vec![TypePrediction { ty: ty.clone(), probability: *p }]
+                }
+                (None, Some(emb)) => self.type_map.predict(emb.row(t), self.config.knn),
+                (None, None) => Vec::new(),
+            };
+            out.push(SymbolPrediction {
+                file_idx,
+                symbol: target.symbol,
+                name: target.name.clone(),
+                kind: target.kind,
+                ground_truth: target.ty.clone(),
+                candidates,
+            });
+        }
+        out
+    }
+
+    /// One-shot open-vocabulary adaptation: embeds the named symbol from
+    /// `source` and binds its embedding to `ty` in the type map, without
+    /// any retraining (paper Sec. 4.2).
+    ///
+    /// Returns `false` when the symbol is not found in the snippet.
+    pub fn bind_type_example(&mut self, source: &str, symbol_name: &str, ty: PyType) -> bool {
+        let Ok(parsed) = typilus_pyast::parse(source) else { return false };
+        let table = typilus_pyast::SymbolTable::build(&parsed.module);
+        let graph =
+            typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<binding>");
+        let prepared = self.model.prepare(&graph);
+        let Some(idx) = prepared.targets.iter().position(|t| t.name == symbol_name) else {
+            return false;
+        };
+        let Some(embeddings) = self.model.embed_inference(&prepared) else { return false };
+        self.type_map.add(embeddings.row(idx).to_vec(), ty);
+        true
+    }
+
+    /// Number of training annotations of a type (0 if unseen).
+    pub fn train_count(&self, ty: &PyType) -> usize {
+        self.train_type_counts.get(&ty.to_string()).copied().unwrap_or(0)
+    }
+
+    /// Whether a type counts as *common* under the configured threshold.
+    pub fn is_common(&self, ty: &PyType) -> bool {
+        self.train_count(ty) >= self.config.common_threshold
+    }
+
+    /// Access to the evaluation source file.
+    pub fn file<'d>(&self, data: &'d PreparedCorpus, idx: usize) -> &'d SourceFile {
+        &data.files[idx]
+    }
+}

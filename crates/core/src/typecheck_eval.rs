@@ -1,0 +1,198 @@
+//! Correctness modulo a type checker (paper Sec. 6.3, Table 5, Fig. 7).
+//!
+//! For every top prediction over the test files: substitute it as the
+//! symbol's annotation (adding one for unannotated symbols, replacing
+//! the existing one otherwise), run the optional type checker, and count
+//! the prediction *incorrect* if the substitution introduces a type
+//! error. Files that fail to type check before any substitution are
+//! discarded, exactly as in the paper.
+
+use crate::data::PreparedCorpus;
+use crate::pipeline::TrainedSystem;
+use typilus_check::{CheckerProfile, TypeChecker};
+use typilus_types::PyType;
+
+/// The paper's three substitution categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// `ϵ → τ`: the symbol had no annotation.
+    FreshAnnotation,
+    /// `τ → τ'`: the prediction differs from the original annotation.
+    ChangedAnnotation,
+    /// `τ → τ`: the prediction equals the original annotation.
+    SameAnnotation,
+}
+
+/// Outcome of one substituted prediction.
+#[derive(Debug, Clone)]
+pub struct CheckedPrediction {
+    /// Which substitution category this was.
+    pub category: Category,
+    /// Whether the program still type checks after substitution.
+    pub passes: bool,
+    /// The model's confidence in the prediction.
+    pub confidence: f32,
+    /// The predicted type.
+    pub predicted: PyType,
+    /// File index of the substitution.
+    pub file_idx: usize,
+    /// Symbol name.
+    pub symbol_name: String,
+}
+
+/// Aggregate results per category (one column pair of Table 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CategoryStats {
+    /// Number of assessed predictions in the category.
+    pub total: usize,
+    /// Number that type check after substitution.
+    pub passing: usize,
+}
+
+impl CategoryStats {
+    /// Accuracy (% passing), 100 when empty.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.passing as f64 / self.total as f64
+        }
+    }
+}
+
+/// Full Table 5 numbers for one checker profile.
+#[derive(Debug, Clone, Default)]
+pub struct Table5 {
+    /// `ϵ → τ` row.
+    pub fresh: CategoryStats,
+    /// `τ → τ'` row.
+    pub changed: CategoryStats,
+    /// `τ → τ` row.
+    pub same: CategoryStats,
+    /// Files discarded because they fail checking before substitution.
+    pub discarded_files: usize,
+    /// Files assessed.
+    pub assessed_files: usize,
+}
+
+impl Table5 {
+    /// Overall totals across categories.
+    pub fn overall(&self) -> CategoryStats {
+        CategoryStats {
+            total: self.fresh.total + self.changed.total + self.same.total,
+            passing: self.fresh.passing + self.changed.passing + self.same.passing,
+        }
+    }
+
+    /// Proportion of assessed predictions in a category (%).
+    pub fn proportion(&self, category: Category) -> f64 {
+        let total = self.overall().total;
+        if total == 0 {
+            return 0.0;
+        }
+        let c = match category {
+            Category::FreshAnnotation => self.fresh.total,
+            Category::ChangedAnnotation => self.changed.total,
+            Category::SameAnnotation => self.same.total,
+        };
+        100.0 * c as f64 / total as f64
+    }
+}
+
+/// Runs the substitution experiment over `indices` with one checker
+/// profile, returning per-prediction outcomes and the aggregate table.
+pub fn check_predictions(
+    system: &TrainedSystem,
+    data: &PreparedCorpus,
+    indices: &[usize],
+    profile: CheckerProfile,
+    min_confidence: f32,
+) -> (Vec<CheckedPrediction>, Table5) {
+    let checker = TypeChecker::new(profile);
+    let mut outcomes = Vec::new();
+    let mut table = Table5::default();
+    for &idx in indices {
+        let file = &data.files[idx];
+        // Discard files that fail before substitution (paper protocol).
+        if !checker.check(&file.parsed, &file.table).is_empty() {
+            table.discarded_files += 1;
+            continue;
+        }
+        table.assessed_files += 1;
+        for prediction in system.predict_file(data, idx) {
+            let Some(top) = prediction.top() else { continue };
+            // The paper skips Any predictions.
+            if top.ty.is_top() {
+                continue;
+            }
+            if prediction.confidence() < min_confidence {
+                continue;
+            }
+            let category = match &prediction.ground_truth {
+                None => Category::FreshAnnotation,
+                Some(orig) if *orig == top.ty => Category::SameAnnotation,
+                Some(_) => Category::ChangedAnnotation,
+            };
+            let issues = checker.check_with_override(
+                &file.parsed,
+                &file.table,
+                prediction.symbol,
+                top.ty.clone(),
+            );
+            let passes = issues.is_empty();
+            let stats = match category {
+                Category::FreshAnnotation => &mut table.fresh,
+                Category::ChangedAnnotation => &mut table.changed,
+                Category::SameAnnotation => &mut table.same,
+            };
+            stats.total += 1;
+            if passes {
+                stats.passing += 1;
+            }
+            outcomes.push(CheckedPrediction {
+                category,
+                passes,
+                confidence: prediction.confidence(),
+                predicted: top.ty.clone(),
+                file_idx: idx,
+                symbol_name: prediction.name.clone(),
+            });
+        }
+    }
+    (outcomes, table)
+}
+
+/// One point of the Fig. 7 precision–recall curve: precision = fraction
+/// type-checking among predictions above the threshold; recall =
+/// fraction of all assessed predictions above the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckPrPoint {
+    /// Confidence threshold.
+    pub threshold: f32,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+}
+
+/// Sweeps the confidence threshold over checked predictions (Fig. 7).
+pub fn check_pr_curve(outcomes: &[CheckedPrediction], thresholds: &[f32]) -> Vec<CheckPrPoint> {
+    let total = outcomes.len();
+    thresholds
+        .iter()
+        .map(|&th| {
+            let kept: Vec<&CheckedPrediction> =
+                outcomes.iter().filter(|o| o.confidence >= th).collect();
+            let passing = kept.iter().filter(|o| o.passes).count();
+            CheckPrPoint {
+                threshold: th,
+                recall: if total == 0 { 0.0 } else { kept.len() as f64 / total as f64 },
+                precision: if kept.is_empty() {
+                    1.0
+                } else {
+                    passing as f64 / kept.len() as f64
+                },
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,142 @@
+//! Near-duplicate detection and removal.
+//!
+//! The paper runs the deduplication tool of Allamanis (2019) and removes
+//! more than 133k near-duplicate files before any experiment, keeping
+//! one exemplar per duplicate cluster — skipping this step would leak
+//! test data into training and inflate every metric. This module
+//! reimplements the core of that tool: identifier-multiset Jaccard
+//! similarity with a configurable threshold, clustering, one exemplar
+//! kept per cluster.
+
+use std::collections::HashMap;
+use typilus_pyast::{tokenize, TokenKind};
+
+/// Similarity threshold above which two files count as near-duplicates
+/// (the published tool's default operating point).
+pub const DEFAULT_THRESHOLD: f64 = 0.8;
+
+/// The identifier multiset of a file, as sorted (token, count) pairs.
+fn identifier_profile(source: &str) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    if let Ok(tokens) = tokenize(source) {
+        for t in tokens {
+            if t.kind == TokenKind::Name {
+                *counts.entry(t.lexeme).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Multiset Jaccard similarity of two identifier profiles.
+fn jaccard(a: &HashMap<String, usize>, b: &HashMap<String, usize>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    for (k, &ca) in a {
+        let cb = b.get(k).copied().unwrap_or(0);
+        intersection += ca.min(cb);
+        union += ca.max(cb);
+    }
+    for (k, &cb) in b {
+        if !a.contains_key(k) {
+            union += cb;
+        }
+    }
+    if union == 0 {
+        return 1.0;
+    }
+    intersection as f64 / union as f64
+}
+
+/// Clusters near-duplicate sources and returns the indices to *keep*
+/// (one exemplar — the first — per cluster), in the original order.
+pub fn deduplicate(sources: &[&str], threshold: f64) -> Vec<usize> {
+    let profiles: Vec<HashMap<String, usize>> =
+        sources.iter().map(|s| identifier_profile(s)).collect();
+    let mut keep: Vec<usize> = Vec::new();
+    'files: for (i, profile) in profiles.iter().enumerate() {
+        for &kept in &keep {
+            if jaccard(profile, &profiles[kept]) >= threshold {
+                continue 'files; // duplicate of an already-kept exemplar
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// Number of files that `deduplicate` would remove.
+pub fn duplicate_count(sources: &[&str], threshold: f64) -> usize {
+    sources.len() - deduplicate(sources, threshold).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str = "def add(count: int) -> int:\n    total = count + 1\n    return total\n";
+    // Same identifiers, one rename: high similarity.
+    const A2: &str = "def add(count: int) -> int:\n    total = count + 2\n    return total\n";
+    const B: &str = "def greet(name: str) -> str:\n    message = name.upper()\n    return message\n";
+
+    #[test]
+    fn exact_duplicates_removed() {
+        let keep = deduplicate(&[A, A, B], DEFAULT_THRESHOLD);
+        assert_eq!(keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn near_duplicates_removed() {
+        let keep = deduplicate(&[A, A2, B], DEFAULT_THRESHOLD);
+        assert_eq!(keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn distinct_files_kept() {
+        let keep = deduplicate(&[A, B], DEFAULT_THRESHOLD);
+        assert_eq!(keep, vec![0, 1]);
+    }
+
+    #[test]
+    fn generated_duplicates_are_caught() {
+        use crate::gen::{generate, CorpusConfig};
+        let corpus = generate(&CorpusConfig {
+            files: 15,
+            duplicate_rate: 0.4,
+            seed: 2,
+            ..CorpusConfig::default()
+        });
+        let sources: Vec<&str> = corpus.files.iter().map(|f| f.source.as_str()).collect();
+        let removed = duplicate_count(&sources, DEFAULT_THRESHOLD);
+        let injected = corpus.files.iter().filter(|f| f.is_duplicate).count();
+        assert!(
+            removed >= injected,
+            "dedup removed {removed}, injected {injected}"
+        );
+    }
+
+    #[test]
+    fn raised_threshold_keeps_looser_matches() {
+        // C shares most identifiers with A but adds a new one, so its
+        // similarity is below 1 and a maximal threshold keeps both.
+        const C: &str =
+            "def add(count: int) -> int:\n    total = count + 1\n    bonus = total\n    return bonus\n";
+        let keep = deduplicate(&[A, C], 1.0);
+        assert_eq!(keep.len(), 2);
+        // At the default threshold they still count as near-duplicates.
+        let keep = deduplicate(&[A, C], 0.6);
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn jaccard_properties() {
+        let pa = identifier_profile(A);
+        let pb = identifier_profile(B);
+        assert!((jaccard(&pa, &pa) - 1.0).abs() < 1e-9);
+        assert_eq!(jaccard(&pa, &pb), jaccard(&pb, &pa));
+        assert!(jaccard(&pa, &pb) < 0.3);
+    }
+}

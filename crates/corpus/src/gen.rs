@@ -1,0 +1,800 @@
+//! Type-directed synthesis of annotated Python files.
+//!
+//! Every generated expression is produced *for* a target type, and every
+//! symbol's name is drawn from its type's characteristic name pool — so
+//! the corpus carries the name/usage/type correlations that make
+//! probabilistic type inference learnable, while staying (optionally)
+//! type-correct so the checker experiments have a clean baseline.
+
+use crate::universe::{TypeProfile, Universe, UniverseConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use typilus_types::PyType;
+
+/// A deliberately wrong annotation planted in a file (paper Sec. 7: the
+/// fairseq/allennlp scenario).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectedError {
+    /// The symbol whose annotation was corrupted.
+    pub symbol_name: String,
+    /// What the type really is (how the body uses it).
+    pub true_type: PyType,
+    /// What the annotation claims.
+    pub wrong_type: PyType,
+    /// File the error lives in.
+    pub file: String,
+}
+
+/// One generated source file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedFile {
+    /// Pseudo-path of the file.
+    pub name: String,
+    /// Python source text.
+    pub source: String,
+    /// Annotation errors planted in this file.
+    pub injected_errors: Vec<InjectedError>,
+    /// Whether this file is a near-duplicate of another.
+    pub is_duplicate: bool,
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of base (non-duplicate) files.
+    pub files: usize,
+    /// Functions per file (inclusive range).
+    pub functions_per_file: (usize, usize),
+    /// Probability that a parameter/return gets an annotation.
+    pub annotation_prob: f64,
+    /// Probability that a local variable gets an annotation.
+    pub local_annotation_prob: f64,
+    /// Fraction of annotations that are deliberately wrong.
+    pub error_rate: f64,
+    /// Probability that a symbol takes a type-agnostic generic name
+    /// (`value`, `data`, ...) instead of a type-characteristic one.
+    pub generic_name_prob: f64,
+    /// Fraction of additional near-duplicate files appended (the paper
+    /// found >133k duplicate files in the wild and deduplicates them).
+    pub duplicate_rate: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Universe construction.
+    pub universe: UniverseConfig,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            files: 120,
+            functions_per_file: (2, 5),
+            annotation_prob: 0.7,
+            local_annotation_prob: 0.2,
+            error_rate: 0.0,
+            generic_name_prob: 0.3,
+            duplicate_rate: 0.1,
+            seed: 0,
+            universe: UniverseConfig::default(),
+        }
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All files, base files first, duplicates appended.
+    pub files: Vec<GeneratedFile>,
+    /// The type universe used.
+    pub universe: Universe,
+}
+
+/// Generates a corpus.
+pub fn generate(config: &CorpusConfig) -> Corpus {
+    let universe = Universe::build(&config.universe);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut files = Vec::with_capacity(config.files);
+    let classes = universe.user_classes();
+    for i in 0..config.files {
+        // Spread class definitions over the first files so every user
+        // type is declared somewhere in the corpus.
+        let owned: Vec<&str> = classes
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| c % config.files.max(1) == i)
+            .map(|(_, &n)| n)
+            .collect();
+        let mut synth = Synth { universe: &universe, rng: &mut rng, config, fns: Vec::new() };
+        let file = synth.file(i, &owned);
+        files.push(file);
+    }
+    // Near-duplicates.
+    let dup_count = (config.files as f64 * config.duplicate_rate).round() as usize;
+    for d in 0..dup_count {
+        let source_idx = rng.gen_range(0..config.files);
+        let original = files[source_idx].clone();
+        let mutated = mutate_duplicate(&original.source, &mut rng);
+        files.push(GeneratedFile {
+            name: format!("dup_{d:03}/{}", original.name.replace('/', "_")),
+            source: mutated,
+            injected_errors: Vec::new(),
+            is_duplicate: true,
+        });
+    }
+    Corpus { files, universe }
+}
+
+/// Renames a couple of identifiers and literals — enough to defeat exact
+/// hashing, not enough to defeat near-duplicate detection.
+fn mutate_duplicate(source: &str, rng: &mut StdRng) -> String {
+    let mut out = source.replace("result", "outcome").replace("helper", "util");
+    if rng.gen_bool(0.5) {
+        out = out.replace(" 2", " 3");
+    }
+    out
+}
+
+struct FnSig {
+    name: String,
+    params: Vec<(String, PyType)>,
+    ret: PyType,
+}
+
+struct Synth<'u, 'r> {
+    universe: &'u Universe,
+    rng: &'r mut StdRng,
+    config: &'r CorpusConfig,
+    /// Functions defined so far in the current file (callable later).
+    fns: Vec<FnSig>,
+}
+
+/// In-scope typed variables.
+#[derive(Default, Clone)]
+struct Env {
+    vars: Vec<(String, PyType)>,
+}
+
+impl Env {
+    fn add(&mut self, name: &str, ty: PyType) {
+        self.vars.push((name.to_string(), ty));
+    }
+
+    fn of_type<'e>(&'e self, ty: &PyType) -> Vec<&'e str> {
+        self.vars.iter().filter(|(_, t)| t == ty).map(|(n, _)| n.as_str()).collect()
+    }
+
+    fn of_base<'e>(&'e self, base: &str) -> Vec<(&'e str, &'e PyType)> {
+        self.vars
+            .iter()
+            .filter(|(_, t)| t.base_name() == base)
+            .map(|(n, t)| (n.as_str(), t))
+            .collect()
+    }
+
+    fn used(&self, name: &str) -> bool {
+        self.vars.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Names that real developers attach to values of *any* type. Mixing
+/// them in keeps names predictive-but-ambiguous, which is what makes
+/// rare types genuinely hard for closed-vocabulary classifiers (the
+/// paper's Sec. 7 notes user-defined types are hard precisely because
+/// their naming signal is sparse).
+const GENERIC_NAMES: &[&str] = &[
+    "value", "data", "result", "item", "obj", "out", "tmp", "arg", "current", "res",
+];
+
+impl Synth<'_, '_> {
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.rng.gen_range(0..options.len())]
+    }
+
+    fn fresh_name(&mut self, profile: &TypeProfile, env: &Env) -> String {
+        let stem = if self.rng.gen_bool(self.config.generic_name_prob) {
+            self.pick(GENERIC_NAMES).to_string()
+        } else {
+            self.pick(&profile.names).clone()
+        };
+        if !env.used(&stem) {
+            return stem;
+        }
+        for i in 2..100 {
+            let cand = format!("{stem}{i}");
+            if !env.used(&cand) {
+                return cand;
+            }
+        }
+        format!("{stem}_x")
+    }
+
+    /// An expression of type `ty`, preferring in-scope variables.
+    fn expr_of(&mut self, ty: &PyType, env: &Env, depth: usize) -> String {
+        let vars = env.of_type(ty);
+        if !vars.is_empty() && self.rng.gen_bool(0.6) {
+            return self.pick(&vars).to_string();
+        }
+        if depth > 2 {
+            return self.literal_of(ty, env, depth);
+        }
+        match ty.base_name() {
+            "int" => {
+                let mut options: Vec<String> = vec![self.rng.gen_range(0..100).to_string()];
+                for (n, t) in env.of_base("List").into_iter().chain(env.of_base("Dict")) {
+                    let _ = t;
+                    options.push(format!("len({n})"));
+                }
+                for (n, _) in env.of_base("str") {
+                    options.push(format!("len({n})"));
+                }
+                for (n, _) in env.of_base("int") {
+                    options.push(format!("{n} + 1"));
+                    options.push(format!("{n} * 2"));
+                }
+                self.pick(&options).clone()
+            }
+            "float" => {
+                let mut options: Vec<String> =
+                    vec![format!("{}.{}", self.rng.gen_range(0..9), self.rng.gen_range(1..9))];
+                for (n, _) in env.of_base("float") {
+                    options.push(format!("{n} * 0.5"));
+                }
+                for (n, _) in env.of_base("int") {
+                    options.push(format!("{n} + 0.5"));
+                }
+                self.pick(&options).clone()
+            }
+            "bool" => {
+                let mut options: Vec<String> = vec!["True".into(), "False".into()];
+                for (n, _) in env.of_base("int") {
+                    options.push(format!("{n} > 0"));
+                }
+                for (n, _) in env.of_base("str") {
+                    options.push(format!("{n}.startswith('a')"));
+                }
+                for (n, _) in env.of_base("bool") {
+                    options.push(format!("not {n}"));
+                }
+                self.pick(&options).clone()
+            }
+            "str" => {
+                let words = ["alpha", "beta", "delta", "gamma", "omega", "sigma"];
+                let mut options: Vec<String> =
+                    vec![format!("'{}'", self.pick(&words))];
+                for (n, _) in env.of_base("str") {
+                    options.push(format!("{n}.upper()"));
+                    options.push(format!("{n}.strip()"));
+                    options.push(format!("{n} + '_tag'"));
+                }
+                self.pick(&options).clone()
+            }
+            "bytes" => {
+                let mut options: Vec<String> = vec!["b'data'".into()];
+                for (n, _) in env.of_base("str") {
+                    options.push(format!("{n}.encode()"));
+                }
+                self.pick(&options).clone()
+            }
+            "complex" => "1j".to_string(),
+            "List" => self.list_expr(ty, env, depth),
+            "Set" => match ty {
+                PyType::Named { args, .. } if !args.is_empty() => {
+                    let a = self.expr_of(&args[0].clone(), env, depth + 1);
+                    let b = self.expr_of(&args[0].clone(), env, depth + 1);
+                    format!("{{{a}, {b}}}")
+                }
+                _ => "set()".to_string(),
+            },
+            "Dict" => match ty {
+                PyType::Named { args, .. } if args.len() == 2 => {
+                    let k = self.expr_of(&args[0].clone(), env, depth + 1);
+                    let v = self.expr_of(&args[1].clone(), env, depth + 1);
+                    format!("{{{k}: {v}}}")
+                }
+                _ => "{}".to_string(),
+            },
+            "Tuple" => match ty {
+                PyType::Named { args, .. } if !args.is_empty() => {
+                    let parts: Vec<String> = args
+                        .clone()
+                        .iter()
+                        .map(|a| self.expr_of(a, env, depth + 1))
+                        .collect();
+                    format!("({})", parts.join(", "))
+                }
+                _ => "()".to_string(),
+            },
+            "Union" => match ty {
+                PyType::Union(members) => {
+                    // Prefer a non-None member; sometimes emit None for
+                    // Optionals.
+                    if members.contains(&PyType::None) && self.rng.gen_bool(0.25) {
+                        "None".to_string()
+                    } else {
+                        let non_none: Vec<PyType> = members
+                            .iter()
+                            .filter(|m| **m != PyType::None)
+                            .cloned()
+                            .collect();
+                        let m = self.pick(&non_none).clone();
+                        self.expr_of(&m, env, depth + 1)
+                    }
+                }
+                _ => "None".to_string(),
+            },
+            "Iterable" | "Iterator" | "Sequence" => {
+                let inner = match ty {
+                    PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+                    _ => PyType::Any,
+                };
+                self.list_expr(&PyType::generic("List", vec![inner]), env, depth)
+            }
+            "Callable" => match ty {
+                PyType::Callable { params: Some(ps), .. } if ps.len() == 1 => {
+                    "lambda v: v + 1".to_string()
+                }
+                _ => "lambda v: v".to_string(),
+            },
+            name if self.is_user_class(name) => format!("{name}()"),
+            _ => self.literal_of(ty, env, depth),
+        }
+    }
+
+    fn list_expr(&mut self, ty: &PyType, env: &Env, depth: usize) -> String {
+        let inner = match ty {
+            PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+            _ => PyType::Any,
+        };
+        if inner == PyType::named("str") {
+            if let Some((n, _)) = env.of_base("str").first() {
+                if self.rng.gen_bool(0.3) {
+                    return format!("{n}.split()");
+                }
+            }
+        }
+        let a = self.expr_of(&inner, env, depth + 1);
+        let b = self.expr_of(&inner, env, depth + 1);
+        format!("[{a}, {b}]")
+    }
+
+    fn literal_of(&mut self, ty: &PyType, env: &Env, _depth: usize) -> String {
+        match ty.base_name() {
+            "int" => "0".into(),
+            "float" => "0.5".into(),
+            "bool" => "True".into(),
+            "str" => "'value'".into(),
+            "bytes" => "b''".into(),
+            "complex" => "0j".into(),
+            "List" | "Sequence" | "Iterable" | "Iterator" => "[]".into(),
+            "Dict" => "{}".into(),
+            "Set" => "set()".into(),
+            "Tuple" => "()".into(),
+            "Union" => "None".into(),
+            "Callable" => "lambda v: v".into(),
+            name if self.is_user_class(name) => format!("{name}()"),
+            _ => {
+                let _ = env;
+                "None".into()
+            }
+        }
+    }
+
+    fn is_user_class(&self, name: &str) -> bool {
+        self.universe
+            .profiles()
+            .iter()
+            .any(|p| p.user_defined && p.ty.base_name() == name)
+    }
+
+    /// A body statement, possibly extending the environment.
+    fn statement(&mut self, env: &mut Env, indent: &str, out: &mut String) {
+        let choice = self.rng.gen_range(0..10);
+        match choice {
+            // Typed local.
+            0..=3 => {
+                let idx = self.universe.sample(self.rng);
+                let profile = self.universe.profile(idx).clone();
+                let name = self.fresh_name(&profile, env);
+                let value = self.expr_of(&profile.ty, env, 0);
+                if self.rng.gen_bool(self.config.local_annotation_prob) {
+                    out.push_str(&format!("{indent}{name}: {} = {value}\n", profile.ty));
+                } else {
+                    out.push_str(&format!("{indent}{name} = {value}\n"));
+                }
+                env.add(&name, profile.ty.clone());
+            }
+            // For loop over a list variable.
+            4 => {
+                let lists = env.of_base("List");
+                if let Some((list_name, list_ty)) = lists.first() {
+                    let list_name = list_name.to_string();
+                    let elem_ty = match list_ty {
+                        PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+                        _ => PyType::Any,
+                    };
+                    let elem = if env.used("item") { "entry" } else { "item" }.to_string();
+                    let mut inner_env = env.clone();
+                    inner_env.add(&elem, elem_ty);
+                    let inner = self.simple_update(&mut inner_env, &elem);
+                    out.push_str(&format!(
+                        "{indent}for {elem} in {list_name}:\n{indent}    {inner}\n"
+                    ));
+                } else {
+                    let n = self.rng.gen_range(2..6);
+                    let counter = if env.used("i") { "j" } else { "i" }.to_string();
+                    let mut inner_env = env.clone();
+                    inner_env.add(&counter, PyType::named("int"));
+                    let inner = self.simple_update(&mut inner_env, &counter);
+                    out.push_str(&format!(
+                        "{indent}for {counter} in range({n}):\n{indent}    {inner}\n"
+                    ));
+                }
+            }
+            // Conditional; prefers the idiomatic Optional-guard when an
+            // Optional variable is in scope (`if x is not None:`), which
+            // also exercises the checker's flow narrowing.
+            5 => {
+                let optionals: Vec<String> = env
+                    .vars
+                    .iter()
+                    .filter(|(_, t)| {
+                        matches!(t, PyType::Union(m) if m.contains(&PyType::None))
+                    })
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                if let Some(opt) = optionals.first() {
+                    if self.rng.gen_bool(0.6) {
+                        out.push_str(&format!(
+                            "{indent}if {opt} is not None:\n{indent}    print({opt})\n"
+                        ));
+                        return;
+                    }
+                }
+                let cond = self.expr_of(&PyType::named("bool"), env, 0);
+                let mut inner_env = env.clone();
+                let mut inner = String::new();
+                self.statement(&mut inner_env, &format!("{indent}    "), &mut inner);
+                if inner.trim().is_empty() {
+                    inner = format!("{indent}    pass\n");
+                }
+                out.push_str(&format!("{indent}if {cond}:\n{inner}"));
+            }
+            // Augmented assignment on a numeric/str variable.
+            6 => {
+                let nums: Vec<String> = env
+                    .of_base("int")
+                    .into_iter()
+                    .chain(env.of_base("float"))
+                    .chain(env.of_base("str"))
+                    .map(|(n, _)| n.to_string())
+                    .collect();
+                if let Some(var) = nums.first() {
+                    let ty = env
+                        .vars
+                        .iter()
+                        .find(|(n, _)| n == var)
+                        .map(|(_, t)| t.clone())
+                        .expect("var came from env");
+                    let rhs = self.expr_of(&ty, env, 1);
+                    out.push_str(&format!("{indent}{var} += {rhs}\n"));
+                } else {
+                    out.push_str(&format!("{indent}pass\n"));
+                }
+            }
+            // Container mutation.
+            7 => {
+                let lists = env.of_base("List");
+                if let Some((name, ty)) = lists.first() {
+                    let name = name.to_string();
+                    let elem = match ty {
+                        PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+                        _ => PyType::Any,
+                    };
+                    let value = self.expr_of(&elem, env, 1);
+                    out.push_str(&format!("{indent}{name}.append({value})\n"));
+                } else {
+                    out.push_str(&format!("{indent}pass\n"));
+                }
+            }
+            // Call to an earlier function in this file.
+            8 => {
+                if self.fns.is_empty() {
+                    out.push_str(&format!("{indent}pass\n"));
+                    return;
+                }
+                let f_idx = self.rng.gen_range(0..self.fns.len());
+                let (fname, params, ret) = {
+                    let f = &self.fns[f_idx];
+                    (f.name.clone(), f.params.clone(), f.ret.clone())
+                };
+                let args: Vec<String> =
+                    params.iter().map(|(_, t)| self.expr_of(t, env, 1)).collect();
+                let ret_profile = self
+                    .universe
+                    .profiles()
+                    .iter()
+                    .find(|p| p.ty == ret)
+                    .cloned();
+                let var = match ret_profile {
+                    Some(p) => self.fresh_name(&p, env),
+                    None => "outcome".to_string(),
+                };
+                out.push_str(&format!("{indent}{var} = {fname}({})\n", args.join(", ")));
+                env.add(&var, ret);
+            }
+            // Print-like side effect.
+            _ => {
+                if let Some((n, _)) = env.vars.first() {
+                    let n = n.clone();
+                    out.push_str(&format!("{indent}print({n})\n"));
+                } else {
+                    out.push_str(&format!("{indent}pass\n"));
+                }
+            }
+        }
+    }
+
+    /// A one-line statement updating or using `var` (for loop bodies).
+    fn simple_update(&mut self, env: &mut Env, var: &str) -> String {
+        let ty = env
+            .vars
+            .iter()
+            .find(|(n, _)| n == var)
+            .map(|(_, t)| t.clone())
+            .unwrap_or(PyType::Any);
+        match ty.base_name() {
+            "int" | "float" => format!("total = {var} + {var}"),
+            "str" => format!("print({var}.lower())"),
+            _ => format!("print({var})"),
+        }
+    }
+
+    /// Emits one function and registers its signature.
+    fn function(&mut self, file: &str, fn_index: usize, out: &mut String) -> Vec<InjectedError> {
+        let mut errors = Vec::new();
+        let n_params = self.rng.gen_range(1..=3);
+        let mut env = Env::default();
+        let mut params: Vec<(String, PyType)> = Vec::new();
+        let mut param_texts: Vec<String> = Vec::new();
+        for _ in 0..n_params {
+            let idx = self.universe.sample(self.rng);
+            let profile = self.universe.profile(idx).clone();
+            let name = self.fresh_name(&profile, &env);
+            env.add(&name, profile.ty.clone());
+            params.push((name.clone(), profile.ty.clone()));
+            if self.rng.gen_bool(self.config.annotation_prob) {
+                let annotated_ty = if self.rng.gen_bool(self.config.error_rate) {
+                    let wrong = confusable(&profile.ty);
+                    errors.push(InjectedError {
+                        symbol_name: name.clone(),
+                        true_type: profile.ty.clone(),
+                        wrong_type: wrong.clone(),
+                        file: file.to_string(),
+                    });
+                    wrong
+                } else {
+                    profile.ty.clone()
+                };
+                param_texts.push(format!("{name}: {annotated_ty}"));
+            } else {
+                param_texts.push(name.clone());
+            }
+        }
+        // Return type.
+        let ret_idx = self.universe.sample(self.rng);
+        let ret = self.universe.profile(ret_idx).ty.clone();
+        let verbs = ["build", "load", "compute", "update", "merge", "select", "format", "resolve"];
+        let verb = self.pick(&verbs);
+        let noun = params
+            .first()
+            .map(|(n, _)| n.split('_').next().unwrap_or("value").to_string())
+            .unwrap_or_else(|| "value".to_string());
+        let fname = format!("{verb}_{noun}_{fn_index}");
+        let ret_annotation = if self.rng.gen_bool(self.config.annotation_prob) {
+            format!(" -> {ret}")
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("def {fname}({}){}:\n", param_texts.join(", "), ret_annotation));
+        // Body.
+        let n_stmts = self.rng.gen_range(2..=4);
+        for _ in 0..n_stmts {
+            self.statement(&mut env, "    ", out);
+        }
+        let ret_expr = self.expr_of(&ret, &env, 0);
+        out.push_str(&format!("    return {ret_expr}\n\n\n"));
+        self.fns.push(FnSig { name: fname, params, ret });
+        errors
+    }
+
+    /// Emits a class definition for a user type.
+    fn class(&mut self, class_name: &str, out: &mut String) {
+        // Two typed fields drawn from the head of the universe.
+        let f1 = self.universe.profile(self.rng.gen_range(0..4)).clone();
+        let f2 = self.universe.profile(self.rng.gen_range(0..4)).clone();
+        let mut env = Env::default();
+        let n1 = self.fresh_name(&f1, &env);
+        env.add(&n1, f1.ty.clone());
+        let n2 = self.fresh_name(&f2, &env);
+        env.add(&n2, f2.ty.clone());
+        let d1 = self.literal_of(&f1.ty, &env, 0);
+        let d2 = self.literal_of(&f2.ty, &env, 0);
+        out.push_str(&format!(
+            "class {class_name}:\n    def __init__(self, {n1}: {} = {d1}, {n2}: {} = {d2}) -> None:\n        self.{n1} = {n1}\n        self.{n2} = {n2}\n",
+            f1.ty, f2.ty
+        ));
+        // One getter method.
+        out.push_str(&format!(
+            "\n    def get_{n1}(self) -> {}:\n        return self.{n1}\n\n\n",
+            f1.ty
+        ));
+    }
+
+    fn file(&mut self, index: usize, owned_classes: &[&str]) -> GeneratedFile {
+        let name = format!("repo_{:02}/module_{index:03}.py", index % 20);
+        let mut source = String::new();
+        source.push_str("from typing import Dict, List, Optional, Set, Tuple, Iterable, Callable\n\n\n");
+        let mut errors = Vec::new();
+        for class_name in owned_classes {
+            self.class(class_name, &mut source);
+        }
+        let (lo, hi) = self.config.functions_per_file;
+        let n_fns = self.rng.gen_range(lo..=hi);
+        for f in 0..n_fns {
+            errors.extend(self.function(&name, f, &mut source));
+        }
+        GeneratedFile { name, source, injected_errors: errors, is_duplicate: false }
+    }
+}
+
+/// A plausible-but-wrong type for annotation-error injection: the
+/// confusions the paper observes in the wild (int↔float, str↔bytes,
+/// `T`↔`Optional[T]`, `T`↔`List[T]`).
+pub fn confusable(ty: &PyType) -> PyType {
+    match ty.base_name() {
+        "int" => PyType::named("float"),
+        "float" => PyType::named("int"),
+        "str" => PyType::named("bytes"),
+        "bytes" => PyType::named("str"),
+        "bool" => PyType::named("int"),
+        "List" => match ty {
+            PyType::Named { args, .. } if !args.is_empty() => args[0].clone(),
+            _ => PyType::named("str"),
+        },
+        "Union" => match ty {
+            // Optional[T] (or any union): drop the None / extra members.
+            PyType::Union(members) => members
+                .iter()
+                .find(|m| **m != PyType::None)
+                .cloned()
+                .unwrap_or_else(|| PyType::named("str")),
+            _ => PyType::named("str"),
+        },
+        _ => PyType::optional(ty.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typilus_pyast::parse;
+
+    fn small_config() -> CorpusConfig {
+        CorpusConfig { files: 20, seed: 3, ..CorpusConfig::default() }
+    }
+
+    #[test]
+    fn every_generated_file_parses() {
+        let corpus = generate(&small_config());
+        assert_eq!(corpus.files.len(), 22); // 20 + 10% duplicates
+        for f in &corpus.files {
+            parse(&f.source).unwrap_or_else(|e| {
+                panic!("generated file {} fails to parse: {e}\n{}", f.name, f.source)
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        for (x, y) in a.files.iter().zip(&b.files) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_config());
+        let b = generate(&CorpusConfig { seed: 99, ..small_config() });
+        assert_ne!(a.files[0].source, b.files[0].source);
+    }
+
+    #[test]
+    fn corpus_contains_annotations_and_symbols() {
+        let corpus = generate(&small_config());
+        let mut annotated = 0usize;
+        let mut total = 0usize;
+        for f in &corpus.files {
+            let parsed = parse(&f.source).unwrap();
+            let table = typilus_pyast::SymbolTable::build(&parsed.module);
+            for s in table.annotatable_symbols() {
+                total += 1;
+                if s.annotation.is_some() {
+                    annotated += 1;
+                }
+            }
+        }
+        assert!(total > 200, "too few symbols: {total}");
+        assert!(annotated * 10 >= total * 2, "too few annotations: {annotated}/{total}");
+    }
+
+    #[test]
+    fn user_classes_are_defined_somewhere() {
+        let corpus = generate(&small_config());
+        let all_source: String =
+            corpus.files.iter().map(|f| f.source.as_str()).collect();
+        let classes = corpus.universe.user_classes();
+        let defined = classes
+            .iter()
+            .filter(|c| all_source.contains(&format!("class {c}:")))
+            .count();
+        assert_eq!(defined, classes.len(), "all user classes must be declared");
+    }
+
+    #[test]
+    fn error_injection_records_ground_truth() {
+        let config = CorpusConfig { error_rate: 0.3, files: 10, seed: 5, ..CorpusConfig::default() };
+        let corpus = generate(&config);
+        let errors: Vec<&InjectedError> =
+            corpus.files.iter().flat_map(|f| f.injected_errors.iter()).collect();
+        assert!(!errors.is_empty());
+        for e in errors {
+            assert_ne!(e.true_type, e.wrong_type);
+        }
+    }
+
+    #[test]
+    fn duplicates_flagged() {
+        let corpus = generate(&small_config());
+        let dups = corpus.files.iter().filter(|f| f.is_duplicate).count();
+        assert_eq!(dups, 2);
+    }
+
+    #[test]
+    fn confusable_types() {
+        let int: PyType = "int".parse().unwrap();
+        assert_eq!(confusable(&int).to_string(), "float");
+        let ls: PyType = "List[str]".parse().unwrap();
+        assert_eq!(confusable(&ls).to_string(), "str");
+        let user: PyType = "TokenBuffer".parse().unwrap();
+        assert_eq!(confusable(&user).to_string(), "Optional[TokenBuffer]");
+    }
+
+    #[test]
+    fn rare_types_form_a_substantial_minority() {
+        // Mirror of the paper's data section: ~32% of annotations are
+        // rare. With a laptop-scale corpus we accept 15–60%.
+        let config = CorpusConfig { files: 60, seed: 11, ..CorpusConfig::default() };
+        let corpus = generate(&config);
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for f in &corpus.files {
+            let parsed = parse(&f.source).unwrap();
+            let table = typilus_pyast::SymbolTable::build(&parsed.module);
+            for s in table.annotatable_symbols() {
+                if let Some(a) = &s.annotation {
+                    *counts.entry(a.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let total: usize = counts.values().sum();
+        let threshold = 20usize; // scaled-down "common" cut
+        let rare: usize =
+            counts.values().filter(|&&c| c < threshold).copied().sum();
+        let frac = rare as f64 / total as f64;
+        assert!(
+            (0.10..=0.70).contains(&frac),
+            "rare fraction {frac:.2} out of expected band (total {total})"
+        );
+    }
+}

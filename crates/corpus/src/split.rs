@@ -1,0 +1,74 @@
+//! Train / validation / test splitting (the paper uses 70-10-20).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A three-way split of file indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training set indices.
+    pub train: Vec<usize>,
+    /// Validation set indices.
+    pub valid: Vec<usize>,
+    /// Test set indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` items into 70% train / 10% valid / 20% test after a
+/// seeded shuffle (the paper's proportions).
+pub fn split(n: usize, seed: u64) -> Split {
+    split_with(n, seed, 0.7, 0.1)
+}
+
+/// Splits with explicit train/valid fractions (test takes the rest).
+///
+/// # Panics
+///
+/// Panics if the fractions are negative or sum above 1.
+pub fn split_with(n: usize, seed: u64, train_frac: f64, valid_frac: f64) -> Split {
+    assert!(train_frac >= 0.0 && valid_frac >= 0.0 && train_frac + valid_frac <= 1.0);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let train_end = (n as f64 * train_frac).round() as usize;
+    let valid_end = train_end + (n as f64 * valid_frac).round() as usize;
+    let valid_end = valid_end.min(n);
+    Split {
+        train: indices[..train_end.min(n)].to_vec(),
+        valid: indices[train_end.min(n)..valid_end].to_vec(),
+        test: indices[valid_end..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partitions_cover_everything_once() {
+        let s = split(100, 1);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 20);
+        let all: HashSet<usize> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(split(50, 9), split(50, 9));
+        assert_ne!(split(50, 9), split(50, 10));
+    }
+
+    #[test]
+    fn small_inputs() {
+        let s = split(3, 0);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 3);
+        let s = split(0, 0);
+        assert!(s.train.is_empty() && s.valid.is_empty() && s.test.is_empty());
+    }
+}

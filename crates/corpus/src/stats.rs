@@ -1,0 +1,121 @@
+//! Corpus statistics, mirroring the "Data" paragraph of paper Sec. 6.
+
+use crate::gen::Corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use typilus_pyast::{parse, SymbolTable};
+
+/// Summary statistics of a corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of files (after any dedup the caller applied).
+    pub files: usize,
+    /// Total annotatable symbols.
+    pub symbols: usize,
+    /// Symbols with a usable (non-`Any`, non-`None`) annotation.
+    pub annotated: usize,
+    /// Distinct annotation strings.
+    pub distinct_types: usize,
+    /// Fraction of the annotation mass held by the 10 most frequent types.
+    pub top10_mass: f64,
+    /// Fraction of annotations whose type occurs fewer than
+    /// `rare_threshold` times.
+    pub rare_fraction: f64,
+    /// The threshold used for `rare_fraction`.
+    pub rare_threshold: usize,
+    /// Fraction of annotations that are parametric (`30%` in the paper).
+    pub parametric_fraction: f64,
+    /// Annotation counts per type, most frequent first.
+    pub type_counts: Vec<(String, usize)>,
+}
+
+/// Computes statistics over the (non-duplicate) files of a corpus.
+///
+/// `rare_threshold` is the "seen fewer than N times" cut — the paper
+/// uses 100 at full scale; scaled corpora use a smaller cut.
+pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut symbols = 0usize;
+    let mut annotated = 0usize;
+    let mut parametric = 0usize;
+    let mut files = 0usize;
+    for f in corpus.files.iter().filter(|f| !f.is_duplicate) {
+        files += 1;
+        let Ok(parsed) = parse(&f.source) else { continue };
+        let table = SymbolTable::build(&parsed.module);
+        for s in table.annotatable_symbols() {
+            symbols += 1;
+            let Some(text) = &s.annotation else { continue };
+            let Ok(ty) = text.parse::<typilus_types::PyType>() else { continue };
+            if ty.is_top() || ty == typilus_types::PyType::None {
+                continue;
+            }
+            annotated += 1;
+            if ty.is_parametric() {
+                parametric += 1;
+            }
+            *counts.entry(ty.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut type_counts: Vec<(String, usize)> = counts.into_iter().collect();
+    type_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: usize = type_counts.iter().map(|(_, c)| c).sum();
+    let top10: usize = type_counts.iter().take(10).map(|(_, c)| c).sum();
+    let rare: usize =
+        type_counts.iter().filter(|(_, c)| *c < rare_threshold).map(|(_, c)| c).sum();
+    CorpusStats {
+        files,
+        symbols,
+        annotated,
+        distinct_types: type_counts.len(),
+        top10_mass: ratio(top10, total),
+        rare_fraction: ratio(rare, total),
+        rare_threshold,
+        parametric_fraction: ratio(parametric, annotated),
+        type_counts,
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, CorpusConfig};
+
+    #[test]
+    fn stats_reflect_paper_shape() {
+        let corpus = generate(&CorpusConfig { files: 60, seed: 4, ..CorpusConfig::default() });
+        let stats = corpus_stats(&corpus, 20);
+        assert!(stats.symbols > stats.annotated);
+        assert!(stats.annotated > 300, "annotated = {}", stats.annotated);
+        assert!(stats.distinct_types > 30, "distinct = {}", stats.distinct_types);
+        // Head dominance and a fat tail, as in the paper's data section.
+        assert!(stats.top10_mass > 0.35, "top10 = {}", stats.top10_mass);
+        assert!(stats.rare_fraction > 0.1, "rare = {}", stats.rare_fraction);
+        // ~30% parametric annotations in the paper; wide band here.
+        assert!(
+            (0.1..=0.7).contains(&stats.parametric_fraction),
+            "parametric = {}",
+            stats.parametric_fraction
+        );
+    }
+
+    #[test]
+    fn duplicates_excluded_from_stats() {
+        let corpus = generate(&CorpusConfig {
+            files: 10,
+            duplicate_rate: 0.5,
+            seed: 8,
+            ..CorpusConfig::default()
+        });
+        let stats = corpus_stats(&corpus, 5);
+        assert_eq!(stats.files, 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the corpus generator: every configuration in
+//! a broad band must yield parseable, analysable, type-consistent files.
+
+use proptest::prelude::*;
+use typilus_corpus::{generate, split_with, CorpusConfig, UniverseConfig};
+use typilus_pyast::{parse, SymbolTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpora_parse_and_bind(
+        seed in 0u64..10_000,
+        files in 1usize..8,
+        annotation_prob in 0.0f64..1.0,
+        error_rate in 0.0f64..0.5,
+    ) {
+        let corpus = generate(&CorpusConfig {
+            files,
+            seed,
+            annotation_prob,
+            error_rate,
+            duplicate_rate: 0.0,
+            ..CorpusConfig::default()
+        });
+        prop_assert_eq!(corpus.files.len(), files);
+        for f in &corpus.files {
+            let parsed = parse(&f.source)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}\n{}", f.name, f.source)))?;
+            let table = SymbolTable::build(&parsed.module);
+            prop_assert!(!table.is_empty(), "file {} has no symbols", f.name);
+            // Every recorded annotation parses as a type.
+            for s in table.symbols() {
+                if let Some(a) = &s.annotation {
+                    prop_assert!(
+                        a.parse::<typilus_types::PyType>().is_ok(),
+                        "unparsable annotation {a:?} in {}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn universe_scales(user_types in 1usize..200) {
+        let u = typilus_corpus::Universe::build(&UniverseConfig {
+            user_types,
+            zipf_exponent: 1.1,
+        });
+        prop_assert!(u.len() >= 25 + user_types);
+        prop_assert_eq!(u.user_classes().len(), user_types);
+    }
+
+    #[test]
+    fn split_is_a_partition(n in 0usize..500, seed in 0u64..1000, train in 0.0f64..1.0) {
+        let valid = (1.0 - train) / 3.0;
+        let s = split_with(n, seed, train, valid);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,556 @@
+//! Program-graph construction (paper Sec. 5.1, Fig. 3).
+//!
+//! Builds the four-node-category, eight-edge-label graph from a parsed
+//! file and its symbol table. Annotations are erased by default so that a
+//! model trained on these graphs predicts the original annotations rather
+//! than reading them off.
+
+use crate::dataflow::may_use_edges;
+use crate::edge::{Edge, EdgeLabel, EdgeSet};
+use crate::shape::{expr_children, expr_label, stmt_children, stmt_label, ChildRef};
+use crate::subtoken::subtokens;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use typilus_pyast::ast::{Expr, ExprKind, NodeId, Stmt, StmtKind};
+use typilus_pyast::symtable::{SymbolId, SymbolKind, SymbolTable};
+use typilus_pyast::{Parsed, Span, TokenKind};
+
+/// The category of a graph node (paper Sec. 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A raw lexeme of the program.
+    Token,
+    /// A non-terminal of the syntax tree.
+    NonTerminal,
+    /// A subtoken vocabulary node shared across identifiers.
+    Vocabulary,
+    /// A unique symbol from the symbol table (the "supernode").
+    Symbol,
+}
+
+/// One node of the program graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Node category.
+    pub kind: NodeKind,
+    /// Text used to derive the node's initial representation: a lexeme
+    /// for tokens, a non-terminal label for syntax nodes, the subtoken
+    /// for vocabulary nodes, the symbol name for symbol nodes.
+    pub label: String,
+}
+
+/// A prediction target: an annotatable symbol and its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetSymbol {
+    /// Index of the symbol's graph node.
+    pub node: u32,
+    /// Symbol id in the file's symbol table.
+    pub symbol: SymbolId,
+    /// Symbol name.
+    pub name: String,
+    /// Variable / parameter / return.
+    pub kind: SymbolKind,
+    /// Ground-truth annotation text, if the source was annotated.
+    pub annotation: Option<String>,
+}
+
+/// The program graph of one source file.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgramGraph {
+    /// All nodes; indices are edge endpoints.
+    pub nodes: Vec<GraphNode>,
+    /// All directed labelled edges.
+    pub edges: Vec<Edge>,
+    /// Prediction targets (annotatable symbols).
+    pub targets: Vec<TargetSymbol>,
+    /// Source-file label, for provenance in corpora.
+    pub file: String,
+}
+
+impl ProgramGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges of one label.
+    pub fn edges_with(&self, label: EdgeLabel) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.label == label)
+    }
+}
+
+/// Configuration of the graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Erase type annotations from the graph (the default for training
+    /// and prediction; the model must not see the labels).
+    pub erase_annotations: bool,
+    /// Which edge labels to emit (ablation studies disable some).
+    pub edges: EdgeSet,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { erase_annotations: true, edges: EdgeSet::all() }
+    }
+}
+
+/// Builds the program graph of a parsed file.
+pub fn build_graph(
+    parsed: &Parsed,
+    table: &SymbolTable,
+    config: &GraphConfig,
+    file: &str,
+) -> ProgramGraph {
+    Builder::new(parsed, table, *config).run(file)
+}
+
+struct Builder<'a> {
+    parsed: &'a Parsed,
+    table: &'a SymbolTable,
+    config: GraphConfig,
+    graph: ProgramGraph,
+    /// token index -> graph node (only for included tokens).
+    token_nodes: HashMap<usize, u32>,
+    /// token start offset -> graph node.
+    token_by_offset: HashMap<usize, u32>,
+    /// AST node id -> graph node.
+    ast_nodes: HashMap<NodeId, u32>,
+    /// subtoken -> vocabulary node.
+    vocab_nodes: HashMap<String, u32>,
+    /// symbol -> symbol node.
+    symbol_nodes: HashMap<SymbolId, u32>,
+    /// Spans of erased annotation expressions.
+    erased_spans: Vec<Span>,
+    /// Node ids of erased annotation expressions.
+    erased_nodes: HashSet<NodeId>,
+    /// Included token indices in order.
+    included_tokens: Vec<usize>,
+    /// Sorted start offsets of included tokens (parallel to included_tokens).
+    token_offsets: Vec<usize>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(parsed: &'a Parsed, table: &'a SymbolTable, config: GraphConfig) -> Self {
+        Builder {
+            parsed,
+            table,
+            config,
+            graph: ProgramGraph::default(),
+            token_nodes: HashMap::new(),
+            token_by_offset: HashMap::new(),
+            ast_nodes: HashMap::new(),
+            vocab_nodes: HashMap::new(),
+            symbol_nodes: HashMap::new(),
+            erased_spans: Vec::new(),
+            erased_nodes: HashSet::new(),
+            included_tokens: Vec::new(),
+            token_offsets: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> u32 {
+        let idx = self.graph.nodes.len() as u32;
+        self.graph.nodes.push(GraphNode { kind, label: label.into() });
+        idx
+    }
+
+    fn add_edge(&mut self, src: u32, dst: u32, label: EdgeLabel) {
+        if self.config.edges.contains(label) {
+            self.graph.edges.push(Edge { src, dst, label });
+        }
+    }
+
+    fn run(mut self, file: &str) -> ProgramGraph {
+        let parsed = self.parsed;
+        self.graph.file = file.to_string();
+        if self.config.erase_annotations {
+            self.collect_erased();
+        }
+        self.build_token_nodes();
+        // Module root node.
+        let root = self.add_node(NodeKind::NonTerminal, "module");
+        let body: Vec<ChildRef<'a>> = parsed.module.body.iter().map(ChildRef::Stmt).collect();
+        for child in &body {
+            let c = self.build_ast(*child);
+            self.add_edge(root, c, EdgeLabel::Child);
+        }
+        self.attach_tokens(root, parsed.module.meta.span, &body);
+        self.build_symbol_nodes();
+        self.build_use_edges();
+        self.build_returns_to();
+        self.build_assigned_from_stmts(&parsed.module.body);
+        self.collect_targets();
+        self.graph
+    }
+
+    /// Records annotation spans and node ids so they are skipped.
+    fn collect_erased(&mut self) {
+        fn visit(stmts: &[Stmt], spans: &mut Vec<Span>, ids: &mut HashSet<NodeId>) {
+            fn mark(e: &Expr, spans: &mut Vec<Span>, ids: &mut HashSet<NodeId>) {
+                spans.push(e.meta.span);
+                ids.insert(e.meta.id);
+            }
+            for stmt in stmts {
+                match &stmt.kind {
+                    StmtKind::FunctionDef(f) => {
+                        for p in &f.params {
+                            if let Some(a) = &p.annotation {
+                                mark(a, spans, ids);
+                            }
+                        }
+                        if let Some(r) = &f.returns {
+                            mark(r, spans, ids);
+                        }
+                        visit(&f.body, spans, ids);
+                    }
+                    StmtKind::ClassDef(c) => visit(&c.body, spans, ids),
+                    StmtKind::AnnAssign { annotation, .. } => {
+                        mark(annotation, spans, ids);
+                    }
+                    StmtKind::If { body, orelse, .. }
+                    | StmtKind::While { body, orelse, .. }
+                    | StmtKind::For { body, orelse, .. } => {
+                        visit(body, spans, ids);
+                        visit(orelse, spans, ids);
+                    }
+                    StmtKind::With { body, .. } => visit(body, spans, ids),
+                    StmtKind::Try { body, handlers, orelse, finalbody } => {
+                        visit(body, spans, ids);
+                        for h in handlers {
+                            visit(&h.body, spans, ids);
+                        }
+                        visit(orelse, spans, ids);
+                        visit(finalbody, spans, ids);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut spans = Vec::new();
+        let mut ids = HashSet::new();
+        visit(&self.parsed.module.body, &mut spans, &mut ids);
+        self.erased_spans = spans;
+        self.erased_nodes = ids;
+    }
+
+    fn is_erased_offset(&self, offset: usize) -> bool {
+        self.erased_spans
+            .iter()
+            .any(|s| offset >= s.start.offset && offset < s.end.offset)
+    }
+
+    fn build_token_nodes(&mut self) {
+        let mut prev: Option<u32> = None;
+        for (i, tok) in self.parsed.tokens.iter().enumerate() {
+            if tok.kind.is_layout() {
+                continue;
+            }
+            if self.config.erase_annotations {
+                if tok.kind == TokenKind::Arrow {
+                    continue;
+                }
+                if self.is_erased_offset(tok.span.start.offset) {
+                    continue;
+                }
+            }
+            let node = self.add_node(NodeKind::Token, tok.lexeme.clone());
+            self.token_nodes.insert(i, node);
+            self.token_by_offset.insert(tok.span.start.offset, node);
+            self.included_tokens.push(i);
+            self.token_offsets.push(tok.span.start.offset);
+            if let Some(p) = prev {
+                self.add_edge(p, node, EdgeLabel::NextToken);
+            }
+            prev = Some(node);
+            // SUBTOKEN_OF for identifiers.
+            if tok.kind == TokenKind::Name {
+                for sub in subtokens(&tok.lexeme) {
+                    let v = match self.vocab_nodes.get(&sub) {
+                        Some(&v) => v,
+                        None => {
+                            let v = self.add_node(NodeKind::Vocabulary, sub.clone());
+                            self.vocab_nodes.insert(sub, v);
+                            v
+                        }
+                    };
+                    self.add_edge(node, v, EdgeLabel::SubtokenOf);
+                }
+            }
+        }
+    }
+
+    /// Builds the non-terminal node for one AST element and recurses.
+    fn build_ast(&mut self, child: ChildRef<'_>) -> u32 {
+        let (label, id, span, kids) = match child {
+            ChildRef::Stmt(s) => (
+                stmt_label(s),
+                s.meta.id,
+                s.meta.span,
+                stmt_children(s, self.config.erase_annotations),
+            ),
+            ChildRef::Expr(e) => (expr_label(e), e.meta.id, e.meta.span, expr_children(e)),
+        };
+        let node = self.add_node(NodeKind::NonTerminal, label);
+        self.ast_nodes.insert(id, node);
+        let mut kept = Vec::new();
+        for k in kids {
+            if self.erased_nodes.contains(&k.node_id()) {
+                continue;
+            }
+            let c = self.build_ast(k);
+            self.add_edge(node, c, EdgeLabel::Child);
+            kept.push(k);
+        }
+        self.attach_tokens(node, span, &kept);
+        node
+    }
+
+    /// CHILD edges from a syntax node to the tokens in its span that are
+    /// not covered by any of its children.
+    fn attach_tokens(&mut self, node: u32, span: Span, children: &[ChildRef<'_>]) {
+        let lo = self.token_offsets.partition_point(|&o| o < span.start.offset);
+        let hi = self.token_offsets.partition_point(|&o| o < span.end.offset);
+        let child_spans: Vec<Span> = children.iter().map(|c| c.span()).collect();
+        for i in lo..hi {
+            let off = self.token_offsets[i];
+            if child_spans.iter().any(|s| off >= s.start.offset && off < s.end.offset) {
+                continue;
+            }
+            let tok_idx = self.included_tokens[i];
+            if let Some(&t) = self.token_nodes.get(&tok_idx) {
+                self.add_edge(node, t, EdgeLabel::Child);
+            }
+        }
+    }
+
+    fn build_symbol_nodes(&mut self) {
+        for sym in self.table.symbols() {
+            let needs_node = !sym.occurrences.is_empty()
+                || sym.kind == SymbolKind::Return
+                || sym.is_annotatable();
+            if !needs_node {
+                continue;
+            }
+            let node = self.add_node(NodeKind::Symbol, sym.name.clone());
+            self.symbol_nodes.insert(sym.id, node);
+            // OCCURRENCE_OF from every bound token to the symbol node.
+            for span in sym.occurrences.clone() {
+                if let Some(&t) = self.token_by_offset.get(&span.start.offset) {
+                    self.add_edge(t, node, EdgeLabel::OccurrenceOf);
+                }
+            }
+        }
+        // Return symbols: connect the function-def syntax node.
+        let parsed = self.parsed;
+        for stmt in collect_function_defs(&parsed.module.body) {
+            if let Some(ret) = self.table.return_symbol(stmt) {
+                if let (Some(&f), Some(&s)) =
+                    (self.ast_nodes.get(&stmt), self.symbol_nodes.get(&ret.id))
+                {
+                    self.add_edge(f, s, EdgeLabel::OccurrenceOf);
+                }
+            }
+        }
+    }
+
+    fn build_use_edges(&mut self) {
+        // NEXT_LEXICAL_USE: consecutive occurrences of a symbol. Free
+        // (unresolved) names are still variables from the graph's view.
+        for sym in self.table.symbols() {
+            if !matches!(
+                sym.kind,
+                SymbolKind::Variable
+                    | SymbolKind::Parameter
+                    | SymbolKind::ClassMember
+                    | SymbolKind::Unresolved
+            ) {
+                continue;
+            }
+            let nodes: Vec<u32> = sym
+                .occurrences
+                .iter()
+                .filter_map(|s| self.token_by_offset.get(&s.start.offset).copied())
+                .collect();
+            for pair in nodes.windows(2) {
+                self.add_edge(pair[0], pair[1], EdgeLabel::NextLexicalUse);
+            }
+        }
+        // NEXT_MAY_USE via dataflow.
+        if self.config.edges.contains(EdgeLabel::NextMayUse) {
+            let parsed = self.parsed;
+            for (from, to) in may_use_edges(&parsed.module.body, self.table) {
+                if let (Some(&a), Some(&b)) =
+                    (self.token_by_offset.get(&from), self.token_by_offset.get(&to))
+                {
+                    self.add_edge(a, b, EdgeLabel::NextMayUse);
+                }
+            }
+        }
+    }
+
+    fn build_returns_to(&mut self) {
+        // Walk function bodies; connect return/yield statements to the
+        // function definition node.
+        fn walk(
+            builder: &mut Builder<'_>,
+            stmts: &[Stmt],
+            current_func: Option<NodeId>,
+        ) {
+            for stmt in stmts {
+                match &stmt.kind {
+                    StmtKind::FunctionDef(f) => {
+                        walk(builder, &f.body, Some(stmt.meta.id));
+                    }
+                    StmtKind::ClassDef(c) => walk(builder, &c.body, current_func),
+                    StmtKind::Return(_) => {
+                        if let Some(func) = current_func {
+                            if let (Some(&r), Some(&f)) = (
+                                builder.ast_nodes.get(&stmt.meta.id),
+                                builder.ast_nodes.get(&func),
+                            ) {
+                                builder.add_edge(r, f, EdgeLabel::ReturnsTo);
+                            }
+                        }
+                    }
+                    StmtKind::Expr(e)
+                        if matches!(
+                            e.kind,
+                            ExprKind::Yield(_) | ExprKind::YieldFrom(_)
+                        ) =>
+                    {
+                        if let Some(func) = current_func {
+                            if let (Some(&y), Some(&f)) = (
+                                builder.ast_nodes.get(&e.meta.id),
+                                builder.ast_nodes.get(&func),
+                            ) {
+                                builder.add_edge(y, f, EdgeLabel::ReturnsTo);
+                            }
+                        }
+                    }
+                    StmtKind::If { body, orelse, .. }
+                    | StmtKind::While { body, orelse, .. }
+                    | StmtKind::For { body, orelse, .. } => {
+                        walk(builder, body, current_func);
+                        walk(builder, orelse, current_func);
+                    }
+                    StmtKind::With { body, .. } => walk(builder, body, current_func),
+                    StmtKind::Try { body, handlers, orelse, finalbody } => {
+                        walk(builder, body, current_func);
+                        for h in handlers {
+                            walk(builder, &h.body, current_func);
+                        }
+                        walk(builder, orelse, current_func);
+                        walk(builder, finalbody, current_func);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let parsed = self.parsed;
+        walk(self, &parsed.module.body, None);
+    }
+
+    fn build_assigned_from_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match &stmt.kind {
+                StmtKind::Assign { targets, value } => {
+                    for t in targets {
+                        self.assigned_from(value, t);
+                    }
+                }
+                StmtKind::AnnAssign { target, value: Some(v), .. } => {
+                    self.assigned_from(v, target);
+                }
+                StmtKind::AugAssign { target, value, .. } => {
+                    self.assigned_from(value, target);
+                }
+                _ => {}
+            }
+            // Recurse uniformly; walrus assignments can occur in any
+            // expression position (if tests, call arguments, ...).
+            for child in stmt_children(stmt, self.config.erase_annotations) {
+                match child {
+                    ChildRef::Expr(e) => self.build_assigned_from_exprs(e),
+                    ChildRef::Stmt(s) => self.build_assigned_from_stmts(std::slice::from_ref(s)),
+                }
+            }
+        }
+    }
+
+    /// Walrus expressions also carry ASSIGNED_FROM edges.
+    fn build_assigned_from_exprs(&mut self, expr: &Expr) {
+        if let ExprKind::Walrus { target, value } = &expr.kind {
+            self.assigned_from(value, target);
+        }
+        for child in expr_children(expr) {
+            if let ChildRef::Expr(e) = child {
+                self.build_assigned_from_exprs(e);
+            }
+        }
+    }
+
+    fn assigned_from(&mut self, value: &Expr, target: &Expr) {
+        if let (Some(&v), Some(&t)) =
+            (self.ast_nodes.get(&value.meta.id), self.ast_nodes.get(&target.meta.id))
+        {
+            self.add_edge(v, t, EdgeLabel::AssignedFrom);
+        }
+    }
+
+    fn collect_targets(&mut self) {
+        for sym in self.table.symbols() {
+            if !sym.is_annotatable() {
+                continue;
+            }
+            if let Some(&node) = self.symbol_nodes.get(&sym.id) {
+                self.graph.targets.push(TargetSymbol {
+                    node,
+                    symbol: sym.id,
+                    name: sym.name.clone(),
+                    kind: sym.kind,
+                    annotation: sym.annotation.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Node ids of all function definitions, at any nesting depth.
+fn collect_function_defs(stmts: &[Stmt]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    fn walk(stmts: &[Stmt], out: &mut Vec<NodeId>) {
+        for stmt in stmts {
+            match &stmt.kind {
+                StmtKind::FunctionDef(f) => {
+                    out.push(stmt.meta.id);
+                    walk(&f.body, out);
+                }
+                StmtKind::ClassDef(c) => walk(&c.body, out),
+                StmtKind::If { body, orelse, .. }
+                | StmtKind::While { body, orelse, .. }
+                | StmtKind::For { body, orelse, .. } => {
+                    walk(body, out);
+                    walk(orelse, out);
+                }
+                StmtKind::With { body, .. } => walk(body, out),
+                StmtKind::Try { body, handlers, orelse, finalbody } => {
+                    walk(body, out);
+                    for h in handlers {
+                        walk(&h.body, out);
+                    }
+                    walk(orelse, out);
+                    walk(finalbody, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}

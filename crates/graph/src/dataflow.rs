@@ -1,0 +1,332 @@
+//! Approximate may-use dataflow for the NEXT_MAY_USE edges.
+//!
+//! Computes, for every variable occurrence, the set of occurrences of the
+//! same symbol that *may* execute next, branching-aware: after the last
+//! use in an `if` branch, both the join point and nothing else may follow;
+//! uses in a loop body may be followed by uses at the loop head. This is
+//! the standard approximation used by Allamanis et al. (2018), which the
+//! Typilus paper adopts.
+
+use std::collections::{HashMap, HashSet};
+use typilus_pyast::ast::{Stmt, StmtKind};
+use typilus_pyast::symtable::{SymbolId, SymbolKind, SymbolTable};
+use typilus_pyast::Span;
+
+/// A `(from, to)` pair of occurrence byte offsets: the token at `from`
+/// may be followed by the use at `to`.
+pub type MayUseEdge = (usize, usize);
+
+/// Computes the NEXT_MAY_USE edge list for a module body.
+///
+/// Only variable-like symbols participate (variables, parameters, class
+/// members); function and class names are skipped, matching the paper's
+/// "token bound to a variable" phrasing.
+pub fn may_use_edges(body: &[Stmt], table: &SymbolTable) -> Vec<MayUseEdge> {
+    // Sorted (offset, symbol) list over variable-like symbols.
+    let mut occs: Vec<(usize, SymbolId)> = Vec::new();
+    for sym in table.symbols() {
+        if !matches!(
+            sym.kind,
+            SymbolKind::Variable | SymbolKind::Parameter | SymbolKind::ClassMember
+        ) {
+            continue;
+        }
+        for span in &sym.occurrences {
+            occs.push((span.start.offset, sym.id));
+        }
+    }
+    occs.sort_unstable_by_key(|&(off, _)| off);
+
+    let mut analysis = Analysis { occs, edges: Vec::new() };
+    analysis.block(body, State::new(), true);
+    analysis.edges.sort_unstable();
+    analysis.edges.dedup();
+    analysis.edges
+}
+
+/// symbol -> set of offsets of upcoming possible next uses.
+type State = HashMap<SymbolId, HashSet<usize>>;
+
+fn union(mut a: State, b: &State) -> State {
+    for (k, v) in b {
+        a.entry(*k).or_default().extend(v.iter().copied());
+    }
+    a
+}
+
+struct Analysis {
+    occs: Vec<(usize, SymbolId)>,
+    edges: Vec<MayUseEdge>,
+}
+
+impl Analysis {
+    /// Occurrences inside `span` excluding the given child spans.
+    fn occurrences_in(&self, span: Span, exclude: &[Span]) -> Vec<(usize, SymbolId)> {
+        let lo = self.occs.partition_point(|&(off, _)| off < span.start.offset);
+        let hi = self.occs.partition_point(|&(off, _)| off < span.end.offset);
+        self.occs[lo..hi]
+            .iter()
+            .filter(|&&(off, _)| {
+                !exclude.iter().any(|e| off >= e.start.offset && off < e.end.offset)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Processes a linear run of occurrences backwards through `state`.
+    fn linear(&mut self, occs: &[(usize, SymbolId)], mut state: State, emit: bool) -> State {
+        for &(off, sym) in occs.iter().rev() {
+            if emit {
+                if let Some(next) = state.get(&sym) {
+                    for &to in next {
+                        self.edges.push((off, to));
+                    }
+                }
+            }
+            state.insert(sym, HashSet::from([off]));
+        }
+        state
+    }
+
+    /// Analyses a block backwards; returns the entry state.
+    fn block(&mut self, stmts: &[Stmt], exit: State, emit: bool) -> State {
+        let mut state = exit;
+        for stmt in stmts.iter().rev() {
+            state = self.stmt(stmt, state, emit);
+        }
+        state
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, after: State, emit: bool) -> State {
+        match &stmt.kind {
+            StmtKind::FunctionDef(f) => {
+                // New control-flow context; analyse the body in isolation.
+                self.block(&f.body, State::new(), emit);
+                after
+            }
+            StmtKind::ClassDef(c) => {
+                self.block(&c.body, State::new(), emit);
+                after
+            }
+            StmtKind::If { body, orelse, .. } => {
+                let then_entry = self.block(body, after.clone(), emit);
+                let else_entry = if orelse.is_empty() {
+                    after.clone()
+                } else {
+                    self.block(orelse, after.clone(), emit)
+                };
+                let merged = union(then_entry, &else_entry);
+                let header = self.header_occurrences(stmt, body, orelse);
+                self.linear(&header, merged, emit)
+            }
+            StmtKind::While { body, orelse, .. } | StmtKind::For { body, orelse, .. } => {
+                // First pass (no emission) to approximate the loop entry.
+                let probe = self.block(body, after.clone(), false);
+                let header = self.header_occurrences(stmt, body, orelse);
+                let head_probe = self.linear(&header, union(probe, &after), false);
+                // Second pass: the loop body may be followed by the head.
+                let body_exit = union(after.clone(), &head_probe);
+                let body_entry = self.block(body, body_exit, emit);
+                let orelse_entry = if orelse.is_empty() {
+                    after.clone()
+                } else {
+                    self.block(orelse, after.clone(), emit)
+                };
+                let merged = union(union(body_entry, &orelse_entry), &after);
+                self.linear(&header, merged, emit)
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                let final_entry = if finalbody.is_empty() {
+                    after.clone()
+                } else {
+                    self.block(finalbody, after.clone(), emit)
+                };
+                let orelse_entry = if orelse.is_empty() {
+                    final_entry.clone()
+                } else {
+                    self.block(orelse, final_entry.clone(), emit)
+                };
+                let mut merged = self.block(body, orelse_entry, emit);
+                for h in handlers {
+                    let h_entry = self.block(&h.body, final_entry.clone(), emit);
+                    merged = union(merged, &h_entry);
+                }
+                merged
+            }
+            StmtKind::With { body, .. } => {
+                let body_entry = self.block(body, after, emit);
+                let header = self.header_occurrences(stmt, body, &[]);
+                self.linear(&header, body_entry, emit)
+            }
+            _ => {
+                // Linear statement: all occurrences in source order.
+                let occs = self.occurrences_in(stmt.meta.span, &[]);
+                self.linear(&occs, after, emit)
+            }
+        }
+    }
+
+    /// Occurrences in the statement header (span minus nested blocks).
+    fn header_occurrences(
+        &self,
+        stmt: &Stmt,
+        body: &[Stmt],
+        orelse: &[Stmt],
+    ) -> Vec<(usize, SymbolId)> {
+        let mut exclude = Vec::new();
+        if let (Some(first), Some(last)) = (body.first(), body.last()) {
+            exclude.push(first.meta.span.merge(last.meta.span));
+        }
+        if let (Some(first), Some(last)) = (orelse.first(), orelse.last()) {
+            exclude.push(first.meta.span.merge(last.meta.span));
+        }
+        self.occurrences_in(stmt.meta.span, &exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typilus_pyast::{parse, SymbolTable};
+
+    /// Maps edge offsets back to the source text they point at, for
+    /// readable assertions.
+    fn edges_named(src: &str) -> Vec<(String, usize, String, usize)> {
+        let parsed = parse(src).unwrap();
+        let table = SymbolTable::build(&parsed.module);
+        let word_at = |off: usize| -> String {
+            src[off..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect()
+        };
+        may_use_edges(&parsed.module.body, &table)
+            .into_iter()
+            .map(|(a, b)| (word_at(a), a, word_at(b), b))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let src = "x = 1\ny = x\nz = x\n";
+        let edges = edges_named(src);
+        // x(def) -> x(use1) -> x(use2); no edge def->use2 directly.
+        let x_edges: Vec<_> = edges.iter().filter(|e| e.0 == "x").collect();
+        assert_eq!(x_edges.len(), 2);
+        assert!(x_edges[0].1 < x_edges[0].3);
+    }
+
+    #[test]
+    fn branches_fork_next_use() {
+        let src = "\
+x = 1
+if c:
+    a = x
+else:
+    b = x
+";
+        let edges = edges_named(src);
+        // The definition of x may be followed by either branch's use.
+        let from_def: Vec<_> =
+            edges.iter().filter(|e| e.0 == "x" && e.1 == 0).collect();
+        assert_eq!(from_def.len(), 2, "{edges:?}");
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let src = "\
+total = 0
+while cond:
+    total = total + 1
+print(total)
+";
+        let edges = edges_named(src);
+        // The use inside the loop may be followed by the loop-head read of
+        // `total` again (back edge): some edge goes backwards in offsets.
+        assert!(
+            edges.iter().any(|e| e.0 == "total" && e.3 <= e.1),
+            "expected a loop back edge, got {edges:?}"
+        );
+    }
+
+    #[test]
+    fn function_bodies_are_isolated() {
+        let src = "\
+x = 1
+def f():
+    y = 2
+    return y
+z = x
+";
+        let edges = edges_named(src);
+        assert!(edges.iter().any(|e| e.0 == "x"));
+        assert!(edges.iter().any(|e| e.0 == "y"));
+        // No edge from y to x or vice versa.
+        for e in &edges {
+            assert_eq!(e.0, e.2, "may-use edges stay within one symbol: {e:?}");
+        }
+    }
+
+    #[test]
+    fn only_variables_participate() {
+        let src = "def f():\n    pass\nf()\nf()\n";
+        let edges = edges_named(src);
+        assert!(edges.is_empty(), "function names have no may-use edges: {edges:?}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use typilus_pyast::{parse, SymbolTable};
+
+    fn edges_of(src: &str) -> Vec<MayUseEdge> {
+        let parsed = parse(src).unwrap();
+        let table = SymbolTable::build(&parsed.module);
+        may_use_edges(&parsed.module.body, &table)
+    }
+
+    #[test]
+    fn try_handler_merges_states() {
+        let src = "\
+x = 1
+try:
+    a = x
+except Exception:
+    b = x
+print(x)
+";
+        let edges = edges_of(src);
+        // Definition of x flows into both the try body and the handler.
+        let from_def: Vec<_> = edges.iter().filter(|(f, _)| *f == 0).collect();
+        assert!(from_def.len() >= 2, "{edges:?}");
+    }
+
+    #[test]
+    fn with_body_flows() {
+        let src = "fh = acquire()\nwith fh:\n    fh.read()\n";
+        let edges = edges_of(src);
+        assert!(!edges.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_have_back_edges() {
+        let src = "\
+total = 0
+while outer:
+    while inner:
+        total = total + 1
+";
+        let edges = edges_of(src);
+        assert!(
+            edges.iter().any(|(f, t)| t <= f),
+            "nested loops need a back edge: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn empty_module_has_no_edges() {
+        assert!(edges_of("\n").is_empty());
+        assert!(edges_of("pass\n").is_empty());
+    }
+}

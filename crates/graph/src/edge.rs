@@ -1,0 +1,187 @@
+//! Edge labels of the Typilus program graph (paper Table 1) and edge-set
+//! filters used by the ablation study (paper Table 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight edge labels of the Typilus graph representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EdgeLabel {
+    /// Connects two consecutive token nodes.
+    NextToken,
+    /// Connects syntax nodes to their children nodes and tokens.
+    Child,
+    /// Connects each token bound to a variable to all potential next uses.
+    NextMayUse,
+    /// Connects each token bound to a variable to its next lexical use.
+    NextLexicalUse,
+    /// Connects the right-hand side of an assignment to its left-hand side.
+    AssignedFrom,
+    /// Connects `return`/`yield` statements to the enclosing function node.
+    ReturnsTo,
+    /// Connects token and syntax nodes that bind to a symbol to its
+    /// symbol node.
+    OccurrenceOf,
+    /// Connects identifier tokens to the vocabulary nodes of their
+    /// subtokens.
+    SubtokenOf,
+}
+
+impl EdgeLabel {
+    /// Number of distinct labels.
+    pub const COUNT: usize = 8;
+
+    /// All labels in a fixed order (index = `as_index`).
+    pub const ALL: [EdgeLabel; EdgeLabel::COUNT] = [
+        EdgeLabel::NextToken,
+        EdgeLabel::Child,
+        EdgeLabel::NextMayUse,
+        EdgeLabel::NextLexicalUse,
+        EdgeLabel::AssignedFrom,
+        EdgeLabel::ReturnsTo,
+        EdgeLabel::OccurrenceOf,
+        EdgeLabel::SubtokenOf,
+    ];
+
+    /// Stable index of the label in `0..COUNT`.
+    pub fn as_index(self) -> usize {
+        match self {
+            EdgeLabel::NextToken => 0,
+            EdgeLabel::Child => 1,
+            EdgeLabel::NextMayUse => 2,
+            EdgeLabel::NextLexicalUse => 3,
+            EdgeLabel::AssignedFrom => 4,
+            EdgeLabel::ReturnsTo => 5,
+            EdgeLabel::OccurrenceOf => 6,
+            EdgeLabel::SubtokenOf => 7,
+        }
+    }
+
+    /// The paper's name of the edge label (`NEXT_TOKEN`, ...).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            EdgeLabel::NextToken => "NEXT_TOKEN",
+            EdgeLabel::Child => "CHILD",
+            EdgeLabel::NextMayUse => "NEXT_MAY_USE",
+            EdgeLabel::NextLexicalUse => "NEXT_LEXICAL_USE",
+            EdgeLabel::AssignedFrom => "ASSIGNED_FROM",
+            EdgeLabel::ReturnsTo => "RETURNS_TO",
+            EdgeLabel::OccurrenceOf => "OCCURRENCE_OF",
+            EdgeLabel::SubtokenOf => "SUBTOKEN_OF",
+        }
+    }
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A set of enabled edge labels, used to ablate the graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeSet(u8);
+
+impl EdgeSet {
+    /// The full graph: all eight labels.
+    pub fn all() -> EdgeSet {
+        EdgeSet(0xff)
+    }
+
+    /// No edges at all (the "only names" ablation).
+    pub fn none() -> EdgeSet {
+        EdgeSet(0)
+    }
+
+    /// A set from explicit labels.
+    pub fn from_labels(labels: &[EdgeLabel]) -> EdgeSet {
+        let mut s = EdgeSet(0);
+        for &l in labels {
+            s = s.with(l);
+        }
+        s
+    }
+
+    /// Returns the set with `label` enabled.
+    pub fn with(self, label: EdgeLabel) -> EdgeSet {
+        EdgeSet(self.0 | (1 << label.as_index()))
+    }
+
+    /// Returns the set with `label` disabled.
+    pub fn without(self, label: EdgeLabel) -> EdgeSet {
+        EdgeSet(self.0 & !(1 << label.as_index()))
+    }
+
+    /// Whether `label` is enabled.
+    pub fn contains(self, label: EdgeLabel) -> bool {
+        self.0 & (1 << label.as_index()) != 0
+    }
+
+    /// Paper Table 4 ablation: no syntactic edges (NEXT_TOKEN and CHILD).
+    pub fn without_syntactic() -> EdgeSet {
+        EdgeSet::all().without(EdgeLabel::NextToken).without(EdgeLabel::Child)
+    }
+
+    /// Paper Table 4 ablation: no NEXT_LEXICAL_USE / NEXT_MAY_USE edges.
+    pub fn without_use_edges() -> EdgeSet {
+        EdgeSet::all().without(EdgeLabel::NextLexicalUse).without(EdgeLabel::NextMayUse)
+    }
+
+    /// The "only names" configuration: symbol and subtoken structure only
+    /// (OCCURRENCE_OF + SUBTOKEN_OF), no relational signal.
+    pub fn only_names() -> EdgeSet {
+        EdgeSet::from_labels(&[EdgeLabel::OccurrenceOf, EdgeLabel::SubtokenOf])
+    }
+}
+
+impl Default for EdgeSet {
+    fn default() -> Self {
+        EdgeSet::all()
+    }
+}
+
+/// One directed, labelled edge between graph node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Edge label.
+    pub label: EdgeLabel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in EdgeLabel::ALL {
+            assert!(seen.insert(l.as_index()));
+            assert_eq!(EdgeLabel::ALL[l.as_index()], l);
+        }
+        assert_eq!(seen.len(), EdgeLabel::COUNT);
+    }
+
+    #[test]
+    fn set_operations() {
+        let s = EdgeSet::all().without(EdgeLabel::Child);
+        assert!(!s.contains(EdgeLabel::Child));
+        assert!(s.contains(EdgeLabel::NextToken));
+        assert!(s.with(EdgeLabel::Child).contains(EdgeLabel::Child));
+        assert!(!EdgeSet::none().contains(EdgeLabel::NextToken));
+    }
+
+    #[test]
+    fn ablation_presets() {
+        let ns = EdgeSet::without_syntactic();
+        assert!(!ns.contains(EdgeLabel::NextToken));
+        assert!(!ns.contains(EdgeLabel::Child));
+        assert!(ns.contains(EdgeLabel::OccurrenceOf));
+        let on = EdgeSet::only_names();
+        assert!(on.contains(EdgeLabel::SubtokenOf));
+        assert!(!on.contains(EdgeLabel::AssignedFrom));
+    }
+}

@@ -1,0 +1,111 @@
+//! Identifier subtokenisation.
+//!
+//! Splits identifiers on `snake_case`, `camelCase`, `PascalCase`, digit
+//! boundaries and acronym boundaries, lower-casing the result — the
+//! deterministic `SubTok(·)` of the paper (Eq. 7), also used for the
+//! SUBTOKEN_OF vocabulary nodes.
+
+/// Splits an identifier into lowercase subtokens.
+///
+/// `numNodes` → `["num", "nodes"]`; `HTTPResponse` → `["http",
+/// "response"]`; `max_pool2d` → `["max", "pool", "2", "d"]`. Identifiers
+/// with no letters or digits yield an empty vector.
+pub fn subtokens(identifier: &str) -> Vec<String> {
+    let chars: Vec<char> = identifier.chars().collect();
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<String>| {
+        if !cur.is_empty() {
+            out.push(cur.to_lowercase());
+            cur.clear();
+        }
+    };
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if !c.is_alphanumeric() {
+            flush(&mut cur, &mut out);
+            continue;
+        }
+        let prev = if i > 0 { Some(chars[i - 1]) } else { None };
+        let next = chars.get(i + 1).copied();
+        let boundary = match prev {
+            None => false,
+            Some(p) => {
+                // lower -> Upper: camelCase
+                (p.is_lowercase() && c.is_uppercase())
+                    // letter <-> digit
+                    || (p.is_ascii_digit() != c.is_ascii_digit())
+                    // ACRONYMWord: Upper Upper lower => break before last upper
+                    || (p.is_uppercase()
+                        && c.is_uppercase()
+                        && next.is_some_and(|n| n.is_lowercase()))
+            }
+        };
+        if boundary {
+            flush(&mut cur, &mut out);
+        }
+        cur.push(c);
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(input: &str) -> Vec<String> {
+        subtokens(input)
+    }
+
+    #[test]
+    fn snake_case() {
+        assert_eq!(s("num_nodes"), vec!["num", "nodes"]);
+        assert_eq!(s("_private_name_"), vec!["private", "name"]);
+    }
+
+    #[test]
+    fn camel_and_pascal_case() {
+        assert_eq!(s("numNodes"), vec!["num", "nodes"]);
+        assert_eq!(s("GetNodes"), vec!["get", "nodes"]);
+        assert_eq!(s("getHTTPResponse"), vec!["get", "http", "response"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(s("conv2d"), vec!["conv", "2", "d"]);
+        assert_eq!(s("x1"), vec!["x", "1"]);
+    }
+
+    #[test]
+    fn single_words() {
+        assert_eq!(s("count"), vec!["count"]);
+        assert_eq!(s("X"), vec!["x"]);
+    }
+
+    #[test]
+    fn empty_and_symbols() {
+        assert!(s("").is_empty());
+        assert!(s("__").is_empty());
+    }
+
+    #[test]
+    fn shared_subtokens_across_identifiers() {
+        // The motivating example from the paper: numNodes and getNodes
+        // share the `nodes` subtoken.
+        let a = s("numNodes");
+        let b = s("getNodes");
+        assert!(a.iter().any(|t| b.contains(t)));
+    }
+
+    #[test]
+    fn proptest_idempotent_lowercase() {
+        // Subtokens contain no uppercase and no separators.
+        for ident in ["A_bC2", "someVarName", "HTTP2Server", "a__b"] {
+            for t in s(ident) {
+                assert_eq!(t, t.to_lowercase());
+                assert!(!t.contains('_'));
+            }
+        }
+    }
+}

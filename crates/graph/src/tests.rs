@@ -1,0 +1,281 @@
+//! Whole-graph construction tests, mirroring the paper's Fig. 3 example.
+
+use crate::builder::{build_graph, GraphConfig, NodeKind, ProgramGraph};
+use crate::edge::{EdgeLabel, EdgeSet};
+use typilus_pyast::{parse, SymbolTable};
+
+fn graph(src: &str) -> ProgramGraph {
+    graph_with(src, &GraphConfig::default())
+}
+
+fn graph_with(src: &str, config: &GraphConfig) -> ProgramGraph {
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    build_graph(&parsed, &table, config, "test.py")
+}
+
+fn labels_of(g: &ProgramGraph, kind: NodeKind) -> Vec<&str> {
+    g.nodes.iter().filter(|n| n.kind == kind).map(|n| n.label.as_str()).collect()
+}
+
+#[test]
+fn fig3_example_structure() {
+    // The paper's running example: foo = get_foo(i, i + 1)
+    let g = graph("foo = get_foo(i, i + 1)\n");
+    let tokens = labels_of(&g, NodeKind::Token);
+    assert_eq!(tokens, vec!["foo", "=", "get_foo", "(", "i", ",", "i", "+", "1", ")"]);
+    // Vocabulary nodes: foo, get, i, 1? (numbers are not identifiers).
+    let vocab = labels_of(&g, NodeKind::Vocabulary);
+    assert!(vocab.contains(&"foo"));
+    assert!(vocab.contains(&"get"));
+    assert!(vocab.contains(&"i"));
+    // Symbol nodes: foo, get_foo, i.
+    let symbols = labels_of(&g, NodeKind::Symbol);
+    assert!(symbols.contains(&"foo"));
+    assert!(symbols.contains(&"get_foo"));
+    assert!(symbols.contains(&"i"));
+    // Non-terminals include assign, call, binop_add.
+    let nts = labels_of(&g, NodeKind::NonTerminal);
+    assert!(nts.contains(&"assign"));
+    assert!(nts.contains(&"call"));
+    assert!(nts.contains(&"binop_add"));
+    // Every edge label except RETURNS_TO appears.
+    assert!(g.edges_with(EdgeLabel::NextToken).count() >= 9);
+    assert!(g.edges_with(EdgeLabel::Child).count() > 0);
+    assert!(g.edges_with(EdgeLabel::OccurrenceOf).count() >= 4);
+    assert!(g.edges_with(EdgeLabel::SubtokenOf).count() >= 4);
+    assert!(g.edges_with(EdgeLabel::AssignedFrom).count() == 1);
+    // Two `i` occurrences: one NEXT_LEXICAL_USE edge.
+    assert_eq!(g.edges_with(EdgeLabel::NextLexicalUse).count(), 1);
+}
+
+#[test]
+fn annotations_are_erased_by_default() {
+    let g = graph("def f(x: int) -> str:\n    y: List[int] = []\n    return 'a'\n");
+    let tokens = labels_of(&g, NodeKind::Token);
+    assert!(!tokens.contains(&"int"), "annotation tokens must be erased: {tokens:?}");
+    assert!(!tokens.contains(&"str"));
+    assert!(!tokens.contains(&"List"));
+    assert!(!tokens.contains(&"->"));
+    // But ground truth is preserved on the targets.
+    let x = g.targets.iter().find(|t| t.name == "x").unwrap();
+    assert_eq!(x.annotation.as_deref(), Some("int"));
+    let y = g.targets.iter().find(|t| t.name == "y").unwrap();
+    assert_eq!(y.annotation.as_deref(), Some("List[int]"));
+}
+
+#[test]
+fn annotations_kept_when_configured() {
+    let config = GraphConfig { erase_annotations: false, ..GraphConfig::default() };
+    let g = graph_with("def f(x: int) -> str:\n    return 'a'\n", &config);
+    let tokens = labels_of(&g, NodeKind::Token);
+    assert!(tokens.contains(&"int"));
+    assert!(tokens.contains(&"str"));
+}
+
+#[test]
+fn returns_to_edges() {
+    let g = graph("def f(n):\n    if n:\n        return 1\n    return 2\n");
+    assert_eq!(g.edges_with(EdgeLabel::ReturnsTo).count(), 2);
+}
+
+#[test]
+fn yield_also_returns_to() {
+    let g = graph("def g(xs):\n    for x in xs:\n        yield x\n");
+    assert_eq!(g.edges_with(EdgeLabel::ReturnsTo).count(), 1);
+}
+
+#[test]
+fn return_symbol_is_target_with_occurrence() {
+    let g = graph("def f() -> int:\n    return 1\n");
+    let ret = g
+        .targets
+        .iter()
+        .find(|t| t.kind == typilus_pyast::SymbolKind::Return)
+        .expect("return target");
+    assert_eq!(ret.annotation.as_deref(), Some("int"));
+    // The function-def node connects to the return symbol node.
+    let occ: Vec<_> = g
+        .edges_with(EdgeLabel::OccurrenceOf)
+        .filter(|e| e.dst == ret.node)
+        .collect();
+    assert!(!occ.is_empty(), "function node links to return symbol");
+}
+
+#[test]
+fn edge_filter_removes_labels() {
+    let src = "a = 1\nb = a + 1\n";
+    let full = graph(src);
+    let config = GraphConfig { edges: EdgeSet::without_syntactic(), ..GraphConfig::default() };
+    let filtered = graph_with(src, &config);
+    assert!(full.edges_with(EdgeLabel::NextToken).count() > 0);
+    assert_eq!(filtered.edges_with(EdgeLabel::NextToken).count(), 0);
+    assert_eq!(filtered.edges_with(EdgeLabel::Child).count(), 0);
+    assert!(filtered.edges_with(EdgeLabel::OccurrenceOf).count() > 0);
+}
+
+#[test]
+fn only_names_keeps_symbol_structure() {
+    let config = GraphConfig { edges: EdgeSet::only_names(), ..GraphConfig::default() };
+    let g = graph_with("value_count = other_count + 1\n", &config);
+    assert!(g.edges_with(EdgeLabel::SubtokenOf).count() >= 3);
+    assert!(g.edges_with(EdgeLabel::OccurrenceOf).count() >= 2);
+    assert_eq!(g.edges_with(EdgeLabel::NextToken).count(), 0);
+    assert_eq!(g.edges_with(EdgeLabel::AssignedFrom).count(), 0);
+}
+
+#[test]
+fn subtokens_shared_between_identifiers() {
+    let g = graph("num_nodes = 3\nget_nodes(num_nodes)\n");
+    // `nodes` vocabulary node is shared: at least 3 SUBTOKEN_OF edges
+    // point at it (num_nodes x2, get_nodes x1).
+    let nodes_vocab = g
+        .nodes
+        .iter()
+        .position(|n| n.kind == NodeKind::Vocabulary && n.label == "nodes")
+        .expect("vocab node") as u32;
+    let count = g
+        .edges_with(EdgeLabel::SubtokenOf)
+        .filter(|e| e.dst == nodes_vocab)
+        .count();
+    assert_eq!(count, 3);
+}
+
+#[test]
+fn member_symbols_connect_across_methods() {
+    let src = "\
+class C:
+    def __init__(self):
+        self.weight = 0
+    def get(self):
+        return self.weight
+";
+    let g = graph(src);
+    let member = g
+        .nodes
+        .iter()
+        .position(|n| n.kind == NodeKind::Symbol && n.label == "self.weight")
+        .expect("member symbol") as u32;
+    let occ = g.edges_with(EdgeLabel::OccurrenceOf).filter(|e| e.dst == member).count();
+    assert_eq!(occ, 2);
+}
+
+#[test]
+fn all_edges_reference_valid_nodes() {
+    let src = "\
+import os
+class A(Base):
+    def run(self, steps: int) -> bool:
+        total = 0
+        for i in range(steps):
+            total += i
+            if total > 10:
+                break
+        return total > steps
+";
+    let g = graph(src);
+    let n = g.node_count() as u32;
+    for e in &g.edges {
+        assert!(e.src < n, "edge source {e:?} out of range");
+        assert!(e.dst < n, "edge target {e:?} out of range");
+    }
+    for t in &g.targets {
+        assert!(t.node < n);
+        assert_eq!(g.nodes[t.node as usize].kind, NodeKind::Symbol);
+    }
+}
+
+#[test]
+fn assigned_from_in_walrus_and_augassign() {
+    let g = graph("x = 0\nx += compute()\nif (y := x) > 1:\n    pass\n");
+    assert!(g.edges_with(EdgeLabel::AssignedFrom).count() >= 3);
+}
+
+#[test]
+fn empty_file_yields_empty_graph() {
+    let g = graph("\n");
+    assert!(g.targets.is_empty());
+    // Only the module node exists.
+    assert_eq!(labels_of(&g, NodeKind::Token).len(), 0);
+}
+
+#[test]
+fn graph_is_deterministic() {
+    let src = "def f(a, b):\n    return a + b\n";
+    let g1 = graph(src);
+    let g2 = graph(src);
+    assert_eq!(g1.nodes, g2.nodes);
+    assert_eq!(g1.edges, g2.edges);
+    assert_eq!(g1.targets, g2.targets);
+}
+
+#[test]
+fn next_may_use_edges_appear_in_graph() {
+    let g = graph("x = 1\nif c:\n    a = x\nelse:\n    b = x\n");
+    // The definition of x may be followed by either branch's use, so at
+    // least two NEXT_MAY_USE edges leave its first token.
+    let count = g.edges_with(EdgeLabel::NextMayUse).count();
+    assert!(count >= 2, "expected branching may-use edges, got {count}");
+}
+
+#[test]
+fn try_except_bodies_are_graphed() {
+    let src = "\
+try:
+    risky()
+except ValueError as err:
+    print(err)
+finally:
+    cleanup()
+";
+    let g = graph(src);
+    let nts = labels_of(&g, NodeKind::NonTerminal);
+    assert!(nts.contains(&"try_stmt"));
+    // `err` is bound in the handler and used once more.
+    assert_eq!(g.edges_with(EdgeLabel::NextLexicalUse).count(), 1);
+}
+
+#[test]
+fn lambda_and_comprehension_nodes() {
+    let g = graph("f = lambda v: v + 1\nys = [g(x) for x in xs if x]\n");
+    let nts = labels_of(&g, NodeKind::NonTerminal);
+    assert!(nts.contains(&"lambda_expr"));
+    assert!(nts.contains(&"list_comp"));
+}
+
+#[test]
+fn operators_receive_distinct_labels() {
+    let g = graph("a = b ** c\nd = e @ f\n");
+    let nts = labels_of(&g, NodeKind::NonTerminal);
+    assert!(nts.contains(&"binop_pow"));
+    assert!(nts.contains(&"binop_matmul"));
+}
+
+#[test]
+fn string_and_number_tokens_have_no_subtoken_edges() {
+    let g = graph("s = 'hello world'\nn = 42\n");
+    for e in g.edges_with(EdgeLabel::SubtokenOf) {
+        let label = &g.nodes[e.src as usize].label;
+        assert!(
+            !label.starts_with('\'') && !label.chars().all(|c| c.is_ascii_digit()),
+            "literal {label:?} should not have subtokens"
+        );
+    }
+}
+
+#[test]
+fn decorated_methods_graph_cleanly() {
+    let src = "\
+class Api:
+    @staticmethod
+    def ping(host: str) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return self._name
+";
+    let g = graph(src);
+    assert!(g.targets.iter().any(|t| t.name == "host"));
+    assert_eq!(g.edges_with(EdgeLabel::ReturnsTo).count(), 2);
+}

@@ -1,0 +1,98 @@
+//! Property-based invariants of subtokenisation and graph construction,
+//! driven by the synthetic corpus generator as a source of realistic
+//! programs.
+
+use proptest::prelude::*;
+use typilus_graph::{build_graph, subtokens, EdgeLabel, EdgeSet, GraphConfig, NodeKind};
+use typilus_pyast::{parse, SymbolTable};
+
+fn arb_identifier() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,20}"
+}
+
+proptest! {
+    #[test]
+    fn subtokens_are_lowercase_alnum(ident in arb_identifier()) {
+        for t in subtokens(&ident) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(&t, &t.to_lowercase());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            // Each subtoken is purely alphabetic or purely numeric.
+            prop_assert!(
+                t.chars().all(|c| c.is_alphabetic()) || t.chars().all(|c| c.is_numeric())
+            );
+        }
+    }
+
+    #[test]
+    fn subtokens_cover_all_alnum_chars(ident in arb_identifier()) {
+        let expected: usize = ident.chars().filter(|c| c.is_alphanumeric()).count();
+        let got: usize = subtokens(&ident).iter().map(String::len).sum();
+        prop_assert_eq!(got, expected, "no characters lost or invented for {}", ident);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn graphs_of_generated_files_are_well_formed(seed in 0u64..5000) {
+        let corpus = typilus_corpus::generate(&typilus_corpus::CorpusConfig {
+            files: 1,
+            duplicate_rate: 0.0,
+            seed,
+            ..typilus_corpus::CorpusConfig::default()
+        });
+        let source = &corpus.files[0].source;
+        let parsed = parse(source).expect("generated files parse");
+        let table = SymbolTable::build(&parsed.module);
+        let g = build_graph(&parsed, &table, &GraphConfig::default(), "p.py");
+
+        // All edges reference valid nodes.
+        let n = g.node_count() as u32;
+        for e in &g.edges {
+            prop_assert!(e.src < n && e.dst < n);
+        }
+        // Every OCCURRENCE_OF edge ends at a symbol node.
+        for e in g.edges_with(EdgeLabel::OccurrenceOf) {
+            prop_assert_eq!(g.nodes[e.dst as usize].kind, NodeKind::Symbol);
+        }
+        // Every SUBTOKEN_OF edge goes token -> vocabulary.
+        for e in g.edges_with(EdgeLabel::SubtokenOf) {
+            prop_assert_eq!(g.nodes[e.src as usize].kind, NodeKind::Token);
+            prop_assert_eq!(g.nodes[e.dst as usize].kind, NodeKind::Vocabulary);
+        }
+        // NEXT_TOKEN forms a chain over the token nodes.
+        let token_count = g.nodes.iter().filter(|x| x.kind == NodeKind::Token).count();
+        prop_assert_eq!(
+            g.edges_with(EdgeLabel::NextToken).count(),
+            token_count.saturating_sub(1)
+        );
+        // Annotation erasure: no annotation text survives as tokens, but
+        // targets keep their ground truth.
+        prop_assert!(!g.targets.is_empty());
+        // Targets point at symbol nodes.
+        for t in &g.targets {
+            prop_assert_eq!(g.nodes[t.node as usize].kind, NodeKind::Symbol);
+        }
+    }
+
+    #[test]
+    fn edge_filters_are_respected(seed in 0u64..2000) {
+        let corpus = typilus_corpus::generate(&typilus_corpus::CorpusConfig {
+            files: 1,
+            duplicate_rate: 0.0,
+            seed,
+            ..typilus_corpus::CorpusConfig::default()
+        });
+        let parsed = parse(&corpus.files[0].source).expect("parses");
+        let table = SymbolTable::build(&parsed.module);
+        let config = GraphConfig {
+            edges: EdgeSet::without_syntactic(),
+            ..GraphConfig::default()
+        };
+        let g = build_graph(&parsed, &table, &config, "p.py");
+        prop_assert_eq!(g.edges_with(EdgeLabel::NextToken).count(), 0);
+        prop_assert_eq!(g.edges_with(EdgeLabel::Child).count(), 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Model-ready views of a program graph.
+//!
+//! All three encoder families (graph, sequence, path) consume the same
+//! [`ProgramGraph`]; a [`PreparedFile`] precomputes the id tensors each
+//! needs: subtoken/token/char ids per node, edges grouped by label and
+//! direction, the token sequence with variable-consistency groups, and
+//! leaf-to-leaf AST paths per prediction target.
+
+use crate::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use typilus_graph::{subtokens, EdgeLabel, NodeKind, ProgramGraph};
+use typilus_pyast::SymbolKind;
+use typilus_types::PyType;
+
+/// Number of directed relation slots: eight labels × two directions.
+pub const NUM_RELATIONS: usize = EdgeLabel::COUNT * 2;
+
+/// How initial node representations are formed (paper Table 4, bottom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeInit {
+    /// Mean of learned subtoken embeddings (the paper's default, Eq. 7).
+    Subtoken,
+    /// One embedding per whole label (token-level, as DeepTyper).
+    Token,
+    /// Mean of character embeddings (a light stand-in for the paper's
+    /// character CNN).
+    Char,
+}
+
+/// A prediction target with its parsed ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreparedTarget {
+    /// Graph node index of the symbol.
+    pub node: u32,
+    /// The symbol's id in the file's symbol table.
+    pub symbol: typilus_pyast::SymbolId,
+    /// Symbol name.
+    pub name: String,
+    /// Variable / parameter / return / member.
+    pub kind: SymbolKind,
+    /// Parsed ground-truth type, if the source had a (parsable)
+    /// annotation that is neither `Any` nor bare `None`.
+    pub ty: Option<PyType>,
+}
+
+/// One leaf-to-leaf AST path for the path-based encoder: subtokens of the
+/// start leaf, labels of the interior nodes, subtokens of the end leaf.
+///
+/// Ids live in a *combined* space: endpoint subtokens use subtoken-vocab
+/// ids in `0..subtoken_vocab.len()`; interior non-terminal labels use
+/// token-vocab ids offset by `subtoken_vocab.len()`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeafPath {
+    /// Element ids along the path in the combined id space.
+    pub element_ids: Vec<usize>,
+}
+
+/// A program graph preprocessed into the tensors the models need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreparedFile {
+    /// Number of graph nodes.
+    pub num_nodes: usize,
+    /// Subtoken ids per node.
+    pub node_subtokens: Vec<Vec<usize>>,
+    /// Whole-label id per node (token-level vocabulary).
+    pub node_token_id: Vec<usize>,
+    /// Character ids per node (bytes mapped into a small alphabet).
+    pub node_chars: Vec<Vec<usize>>,
+    /// `(src, dst)` pairs per relation: index `2k` is label `k` forward,
+    /// `2k+1` is label `k` reversed.
+    pub relations: Vec<Vec<(u32, u32)>>,
+    /// Prediction targets.
+    pub targets: Vec<PreparedTarget>,
+    /// Graph-node indices of the token sequence, in source order.
+    pub token_seq: Vec<u32>,
+    /// Consistency group per sequence position (positions bound to the
+    /// same symbol share a group id).
+    pub token_group: Vec<usize>,
+    /// Number of consistency groups.
+    pub num_groups: usize,
+    /// For each target, the sequence positions bound to its symbol.
+    pub target_positions: Vec<Vec<usize>>,
+    /// For each target, sampled leaf-to-leaf paths.
+    pub target_paths: Vec<Vec<LeafPath>>,
+    /// Source file label.
+    pub file: String,
+}
+
+/// Construction options for [`PreparedFile`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PrepareConfig {
+    /// Maximum tokens kept for the sequence view.
+    pub max_seq_len: usize,
+    /// Maximum paths sampled per target.
+    pub max_paths_per_target: usize,
+    /// Maximum interior length of a sampled path.
+    pub max_path_len: usize,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig { max_seq_len: 400, max_paths_per_target: 8, max_path_len: 9 }
+    }
+}
+
+/// Maps a character to a small stable alphabet id (1..=38); 0 is UNK.
+pub fn char_id(c: char) -> usize {
+    match c {
+        'a'..='z' => 1 + (c as usize - 'a' as usize),
+        'A'..='Z' => 1 + (c as usize - 'A' as usize),
+        '0'..='9' => 27 + (c as usize - '0' as usize),
+        '_' => 37,
+        '.' => 38,
+        _ => 0,
+    }
+}
+
+/// Size of the character alphabet (including UNK).
+pub const CHAR_VOCAB: usize = 39;
+
+/// Counts subtoken and whole-label frequencies over graphs, for building
+/// the vocabularies.
+pub fn count_labels(
+    graphs: &[ProgramGraph],
+) -> (HashMap<String, usize>, HashMap<String, usize>) {
+    let mut sub = HashMap::new();
+    let mut tok = HashMap::new();
+    for g in graphs {
+        for n in &g.nodes {
+            *tok.entry(n.label.clone()).or_insert(0) += 1;
+            for s in subtokens(&n.label) {
+                *sub.entry(s).or_insert(0) += 1;
+            }
+        }
+    }
+    (sub, tok)
+}
+
+/// Parses an annotation string to the ground-truth type used in training
+/// and evaluation. `Any`, bare `None` and unparsable annotations yield
+/// `None` (the paper excludes `Any`/`None` annotations from its dataset).
+pub fn parse_ground_truth(annotation: Option<&str>) -> Option<PyType> {
+    let text = annotation?;
+    let ty: PyType = text.parse().ok()?;
+    if ty.is_top() || ty == PyType::None {
+        return None;
+    }
+    Some(ty)
+}
+
+/// Prepares one program graph for all encoders.
+pub fn prepare(
+    graph: &ProgramGraph,
+    subtoken_vocab: &Vocab,
+    token_vocab: &Vocab,
+    config: &PrepareConfig,
+) -> PreparedFile {
+    let num_nodes = graph.nodes.len();
+    let mut node_subtokens = Vec::with_capacity(num_nodes);
+    let mut node_token_id = Vec::with_capacity(num_nodes);
+    let mut node_chars = Vec::with_capacity(num_nodes);
+    for n in &graph.nodes {
+        let subs: Vec<usize> =
+            subtokens(&n.label).iter().map(|s| subtoken_vocab.id(s)).collect();
+        node_subtokens.push(if subs.is_empty() { vec![crate::vocab::UNK_ID] } else { subs });
+        node_token_id.push(token_vocab.id(&n.label));
+        let chars: Vec<usize> = n.label.chars().take(24).map(char_id).collect();
+        node_chars.push(if chars.is_empty() { vec![0] } else { chars });
+    }
+
+    // Relations: forward and reverse per label.
+    let mut relations = vec![Vec::new(); NUM_RELATIONS];
+    for e in &graph.edges {
+        let k = e.label.as_index();
+        relations[2 * k].push((e.src, e.dst));
+        relations[2 * k + 1].push((e.dst, e.src));
+    }
+
+    // Targets with parsed ground truth.
+    let targets: Vec<PreparedTarget> = graph
+        .targets
+        .iter()
+        .map(|t| PreparedTarget {
+            node: t.node,
+            symbol: t.symbol,
+            name: t.name.clone(),
+            kind: t.kind,
+            ty: parse_ground_truth(t.annotation.as_deref()),
+        })
+        .collect();
+
+    // Sequence view: token nodes in creation order are source order.
+    let token_seq: Vec<u32> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.kind == NodeKind::Token)
+        .map(|(i, _)| i as u32)
+        .take(config.max_seq_len)
+        .collect();
+    let pos_of_node: HashMap<u32, usize> =
+        token_seq.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+
+    // Consistency groups: token positions bound to the same symbol node.
+    let mut symbol_group: HashMap<u32, usize> = HashMap::new();
+    let mut token_group = vec![0usize; token_seq.len()];
+    let mut next_group = 0usize;
+    let mut bound: HashMap<usize, u32> = HashMap::new(); // position -> symbol node
+    for e in graph.edges_with(EdgeLabel::OccurrenceOf) {
+        if let Some(&pos) = pos_of_node.get(&e.src) {
+            bound.insert(pos, e.dst);
+        }
+    }
+    for (pos, group) in token_group.iter_mut().enumerate() {
+        let g = match bound.get(&pos) {
+            Some(&sym) => *symbol_group.entry(sym).or_insert_with(|| {
+                let g = next_group;
+                next_group += 1;
+                g
+            }),
+            None => {
+                let g = next_group;
+                next_group += 1;
+                g
+            }
+        };
+        *group = g;
+    }
+
+    // Positions per target symbol.
+    let mut positions_by_symbol: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (&pos, &sym) in &bound {
+        positions_by_symbol.entry(sym).or_default().push(pos);
+    }
+    for v in positions_by_symbol.values_mut() {
+        v.sort_unstable();
+    }
+    // Return symbols have no token occurrences; use the occurrence edge
+    // from the function-def non-terminal: approximate with the nearest
+    // token position via OCCURRENCE_OF from non-terminals.
+    let mut nonterm_occurrence: HashMap<u32, u32> = HashMap::new();
+    for e in graph.edges_with(EdgeLabel::OccurrenceOf) {
+        if graph.nodes[e.src as usize].kind == NodeKind::NonTerminal {
+            nonterm_occurrence.insert(e.dst, e.src);
+        }
+    }
+    // Paths: parent pointers from CHILD edges.
+    let mut parent: Vec<Option<u32>> = vec![None; num_nodes];
+    for e in graph.edges_with(EdgeLabel::Child) {
+        parent[e.dst as usize] = Some(e.src);
+    }
+
+    let target_positions: Vec<Vec<usize>> = targets
+        .iter()
+        .map(|t| {
+            let direct = positions_by_symbol.get(&t.node).cloned().unwrap_or_default();
+            if !direct.is_empty() {
+                return direct;
+            }
+            // Return symbols have no token occurrences; fall back to the
+            // function header tokens (children of the function-def node),
+            // which is how DeepTyper anchors return predictions.
+            match nonterm_occurrence.get(&t.node) {
+                Some(&func_node) => token_seq
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| parent[n as usize] == Some(func_node))
+                    .map(|(p, _)| p)
+                    .take(4)
+                    .collect(),
+                None => Vec::new(),
+            }
+        })
+        .collect();
+    let identifier_tokens: Vec<u32> = token_seq
+        .iter()
+        .copied()
+        .filter(|&n| {
+            let label = &graph.nodes[n as usize].label;
+            label.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        })
+        .collect();
+    let target_paths: Vec<Vec<LeafPath>> = targets
+        .iter()
+        .map(|t| {
+            let starts: Vec<u32> = positions_by_symbol
+                .get(&t.node)
+                .map(|ps| ps.iter().map(|&p| token_seq[p]).collect())
+                .unwrap_or_else(|| {
+                    nonterm_occurrence.get(&t.node).map(|&n| vec![n]).unwrap_or_default()
+                });
+            sample_paths(
+                graph,
+                &parent,
+                &starts,
+                &identifier_tokens,
+                subtoken_vocab,
+                token_vocab,
+                config,
+            )
+        })
+        .collect();
+
+    PreparedFile {
+        num_nodes,
+        node_subtokens,
+        node_token_id,
+        node_chars,
+        relations,
+        targets,
+        token_seq,
+        token_group,
+        num_groups: next_group,
+        target_positions,
+        target_paths,
+        file: graph.file.clone(),
+    }
+}
+
+/// Deterministically samples leaf-to-leaf paths from each start node to
+/// nearby identifier tokens through the AST parent chain.
+#[allow(clippy::too_many_arguments)]
+fn sample_paths(
+    graph: &ProgramGraph,
+    parent: &[Option<u32>],
+    starts: &[u32],
+    identifier_tokens: &[u32],
+    subtoken_vocab: &Vocab,
+    token_vocab: &Vocab,
+    config: &PrepareConfig,
+) -> Vec<LeafPath> {
+    let ancestors = |mut n: u32| -> Vec<u32> {
+        let mut out = vec![n];
+        while let Some(p) = parent[n as usize] {
+            out.push(p);
+            n = p;
+            if out.len() > 32 {
+                break;
+            }
+        }
+        out
+    };
+    let mut paths = Vec::new();
+    'outer: for &start in starts {
+        let up = ancestors(start);
+        let up_pos: HashMap<u32, usize> = up.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        // Nearest identifier tokens around the start in sequence order.
+        for &other in identifier_tokens {
+            if other == start {
+                continue;
+            }
+            let down = ancestors(other);
+            // Lowest common ancestor.
+            let Some((lca_down_idx, lca_up_idx)) = down
+                .iter()
+                .enumerate()
+                .find_map(|(i, n)| up_pos.get(n).map(|&j| (i, j)))
+            else {
+                continue;
+            };
+            let interior_len = lca_up_idx + lca_down_idx;
+            if interior_len > config.max_path_len {
+                continue;
+            }
+            let mut element_ids = Vec::new();
+            for s in subtokens(&graph.nodes[start as usize].label) {
+                element_ids.push(subtoken_vocab.id(&s));
+            }
+            // Up through interior labels (token-level vocab, offset into
+            // the combined id space).
+            let offset = subtoken_vocab.len();
+            for &n in up.iter().take(lca_up_idx + 1).skip(1) {
+                element_ids.push(offset + token_vocab.id(&graph.nodes[n as usize].label));
+            }
+            for &n in down.iter().take(lca_down_idx).skip(1).rev() {
+                element_ids.push(offset + token_vocab.id(&graph.nodes[n as usize].label));
+            }
+            for s in subtokens(&graph.nodes[other as usize].label) {
+                element_ids.push(subtoken_vocab.id(&s));
+            }
+            paths.push(LeafPath { element_ids });
+            if paths.len() >= config.max_paths_per_target {
+                break 'outer;
+            }
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typilus_graph::{build_graph, GraphConfig};
+    use typilus_pyast::{parse, SymbolTable};
+
+    fn prepared(src: &str) -> PreparedFile {
+        let parsed = parse(src).unwrap();
+        let table = SymbolTable::build(&parsed.module);
+        let graph = build_graph(&parsed, &table, &GraphConfig::default(), "t.py");
+        let (sub, tok) = count_labels(std::slice::from_ref(&graph));
+        let sv = Vocab::build(&sub, 1, 1000);
+        let tv = Vocab::build(&tok, 1, 1000);
+        prepare(&graph, &sv, &tv, &PrepareConfig::default())
+    }
+
+    #[test]
+    fn relations_include_reverses() {
+        let p = prepared("x = 1\ny = x\n");
+        let k = EdgeLabel::NextToken.as_index();
+        assert_eq!(p.relations[2 * k].len(), p.relations[2 * k + 1].len());
+        let fwd = &p.relations[2 * k][0];
+        let rev = &p.relations[2 * k + 1][0];
+        assert_eq!((fwd.0, fwd.1), (rev.1, rev.0));
+    }
+
+    #[test]
+    fn ground_truth_parsing() {
+        let p = prepared("def f(a: int, b: Any, c) -> None:\n    return None\n");
+        let a = p.targets.iter().find(|t| t.name == "a").unwrap();
+        assert_eq!(a.ty.as_ref().unwrap().to_string(), "int");
+        let b = p.targets.iter().find(|t| t.name == "b").unwrap();
+        assert!(b.ty.is_none(), "Any is excluded");
+        let c = p.targets.iter().find(|t| t.name == "c").unwrap();
+        assert!(c.ty.is_none(), "unannotated");
+        let ret = p.targets.iter().find(|t| t.kind == SymbolKind::Return).unwrap();
+        assert!(ret.ty.is_none(), "bare None return is excluded");
+    }
+
+    #[test]
+    fn consistency_groups_share_symbols() {
+        let p = prepared("total = 1\nresult = total + total\n");
+        // Find positions of the three `total` tokens.
+        let positions: Vec<usize> = p
+            .token_seq
+            .iter()
+            .enumerate()
+            .filter(|(_, &_n)| true)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!positions.is_empty());
+        let total_positions: Vec<usize> = p
+            .targets
+            .iter()
+            .find(|t| t.name == "total")
+            .map(|t| {
+                p.target_positions[p.targets.iter().position(|x| x.name == t.name).unwrap()]
+                    .clone()
+            })
+            .unwrap();
+        assert_eq!(total_positions.len(), 3);
+        let g0 = p.token_group[total_positions[0]];
+        assert!(total_positions.iter().all(|&pos| p.token_group[pos] == g0));
+    }
+
+    #[test]
+    fn paths_exist_for_parameters() {
+        let p = prepared("def f(count):\n    return count + offset\n");
+        let count_idx = p.targets.iter().position(|t| t.name == "count").unwrap();
+        assert!(
+            !p.target_paths[count_idx].is_empty(),
+            "expected paths for parameter symbol"
+        );
+        for path in &p.target_paths[count_idx] {
+            assert!(!path.element_ids.is_empty());
+        }
+    }
+
+    #[test]
+    fn subtoken_fallback_to_unk() {
+        let p = prepared("x = 1\n");
+        // Every node has at least one subtoken id.
+        assert!(p.node_subtokens.iter().all(|s| !s.is_empty()));
+        assert!(p.node_chars.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn char_alphabet() {
+        assert_eq!(char_id('a'), 1);
+        assert_eq!(char_id('A'), 1);
+        assert_eq!(char_id('z'), 26);
+        assert_eq!(char_id('0'), 27);
+        assert_eq!(char_id('_'), 37);
+        assert_eq!(char_id('!'), 0);
+        assert!(CHAR_VOCAB > char_id('.'));
+    }
+}

@@ -1,0 +1,182 @@
+//! Subtoken, token and type vocabularies.
+//!
+//! The paper's models represent identifiers through *subtokens* (open
+//! vocabulary via SUBTOKEN_OF sharing); the classification losses need a
+//! closed *type* vocabulary over the training annotations — which is
+//! exactly why `*2Class` models hit a ceiling on rare types.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use typilus_types::PyType;
+
+/// Reserved id for out-of-vocabulary entries.
+pub const UNK_ID: usize = 0;
+
+/// A string vocabulary with frequency-based construction and an UNK slot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    by_name: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from counted occurrences, keeping entries seen
+    /// at least `min_count` times, up to `max_size` (most frequent first).
+    /// Index 0 is always the UNK entry.
+    pub fn build(counts: &HashMap<String, usize>, min_count: usize, max_size: usize) -> Vocab {
+        let mut entries: Vec<(&String, &usize)> =
+            counts.iter().filter(|(_, &c)| c >= min_count).collect();
+        entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        entries.truncate(max_size.saturating_sub(1));
+        let mut v = Vocab { by_name: HashMap::new(), names: vec!["<unk>".to_string()] };
+        for (name, _) in entries {
+            v.by_name.insert(name.clone(), v.names.len());
+            v.names.push(name.clone());
+        }
+        v
+    }
+
+    /// Looks up an entry, falling back to [`UNK_ID`].
+    pub fn id(&self, name: &str) -> usize {
+        self.by_name.get(name).copied().unwrap_or(UNK_ID)
+    }
+
+    /// Whether the entry is in vocabulary.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The entry for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of entries including UNK.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether only the UNK entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+}
+
+/// A closed type vocabulary for classification heads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TypeVocab {
+    by_type: HashMap<String, usize>,
+    types: Vec<PyType>,
+}
+
+impl TypeVocab {
+    /// Builds a type vocabulary from training annotations, keeping types
+    /// seen at least `min_count` times. Index 0 is the UNK type (`Any`).
+    pub fn build<'a>(
+        annotations: impl Iterator<Item = &'a PyType>,
+        min_count: usize,
+    ) -> TypeVocab {
+        let mut counts: HashMap<String, (usize, PyType)> = HashMap::new();
+        for ty in annotations {
+            let e = counts.entry(ty.to_string()).or_insert((0, ty.clone()));
+            e.0 += 1;
+        }
+        let mut entries: Vec<(String, usize, PyType)> = counts
+            .into_iter()
+            .filter(|(_, (c, _))| *c >= min_count)
+            .map(|(k, (c, t))| (k, c, t))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut v = TypeVocab { by_type: HashMap::new(), types: vec![PyType::Any] };
+        for (key, _, ty) in entries {
+            v.by_type.insert(key, v.types.len());
+            v.types.push(ty);
+        }
+        v
+    }
+
+    /// The class id of a type, [`UNK_ID`] when unseen.
+    pub fn id(&self, ty: &PyType) -> usize {
+        self.by_type.get(&ty.to_string()).copied().unwrap_or(UNK_ID)
+    }
+
+    /// Whether the exact type is in vocabulary.
+    pub fn contains(&self, ty: &PyType) -> bool {
+        self.by_type.contains_key(&ty.to_string())
+    }
+
+    /// The type for a class id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ty(&self, id: usize) -> &PyType {
+        &self.types[id]
+    }
+
+    /// Number of classes including UNK.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether only the UNK class exists.
+    pub fn is_empty(&self) -> bool {
+        self.types.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_build_order_and_unk() {
+        let mut counts = HashMap::new();
+        counts.insert("nodes".to_string(), 10);
+        counts.insert("num".to_string(), 5);
+        counts.insert("rare".to_string(), 1);
+        let v = Vocab::build(&counts, 2, 100);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.id("nodes"), 1);
+        assert_eq!(v.id("num"), 2);
+        assert_eq!(v.id("rare"), UNK_ID);
+        assert_eq!(v.name(0), "<unk>");
+    }
+
+    #[test]
+    fn vocab_max_size_truncates() {
+        let mut counts = HashMap::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            counts.insert(name.to_string(), 10 - i);
+        }
+        let v = Vocab::build(&counts, 1, 3);
+        assert_eq!(v.len(), 3); // unk + top 2
+        assert!(v.contains("a"));
+        assert!(!v.contains("d"));
+    }
+
+    #[test]
+    fn type_vocab_round_trip() {
+        let types: Vec<PyType> =
+            ["int", "str", "int", "List[int]"].iter().map(|s| s.parse().unwrap()).collect();
+        let v = TypeVocab::build(types.iter(), 1);
+        assert_eq!(v.len(), 4); // Any + int + str + List[int]
+        let int: PyType = "int".parse().unwrap();
+        assert_eq!(v.ty(v.id(&int)), &int);
+        let unseen: PyType = "bytes".parse().unwrap();
+        assert_eq!(v.id(&unseen), UNK_ID);
+    }
+
+    #[test]
+    fn type_vocab_min_count_drops_rare() {
+        let types: Vec<PyType> =
+            ["int", "int", "Foo"].iter().map(|s| s.parse().unwrap()).collect();
+        let v = TypeVocab::build(types.iter(), 2);
+        assert!(v.contains(&"int".parse().unwrap()));
+        assert!(!v.contains(&"Foo".parse().unwrap()));
+    }
+}

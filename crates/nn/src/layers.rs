@@ -1,0 +1,275 @@
+//! Reusable neural layers: linear projections, GRU cells and embeddings.
+//!
+//! A layer owns [`ParamId`]s into a shared [`ParamSet`]; applying the
+//! layer records operations on a [`Tape`].
+
+use crate::params::{ParamId, ParamSet};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = x·W + b`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with bias.
+    pub fn new<R: Rng>(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Linear {
+        let w = params.add(format!("{name}.w"), Tensor::glorot(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b: Some(b), in_dim, out_dim }
+    }
+
+    /// Creates a linear layer without bias (e.g. GGNN message functions).
+    pub fn new_no_bias<R: Rng>(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Linear {
+        let w = params.add(format!("{name}.w"), Tensor::glorot(in_dim, out_dim, rng));
+        Linear { w, b: None, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a `[n, in_dim]` batch.
+    pub fn apply(&self, tape: &mut Tape<'_>, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let b = tape.param(b);
+                tape.add_row(y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+/// A gated recurrent unit cell (Cho et al., 2014), the `f_t` of the GGNN.
+///
+/// `h' = (1-z)⊙h + z⊙ĥ` with `z = σ(x·Wz + h·Uz + bz)`,
+/// `r = σ(x·Wr + h·Ur + br)`, `ĥ = tanh(x·Wh + (r⊙h)·Uh + bh)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Creates a GRU cell.
+    pub fn new<R: Rng>(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> GruCell {
+        let mut mat = |suffix: &str, r: usize, c: usize, rng: &mut R| {
+            params.add(format!("{name}.{suffix}"), Tensor::glorot(r, c, rng))
+        };
+        let wz = mat("wz", in_dim, hidden_dim, rng);
+        let uz = mat("uz", hidden_dim, hidden_dim, rng);
+        let wr = mat("wr", in_dim, hidden_dim, rng);
+        let ur = mat("ur", hidden_dim, hidden_dim, rng);
+        let wh = mat("wh", in_dim, hidden_dim, rng);
+        let uh = mat("uh", hidden_dim, hidden_dim, rng);
+        let bz = params.add(format!("{name}.bz"), Tensor::zeros(1, hidden_dim));
+        let br = params.add(format!("{name}.br"), Tensor::zeros(1, hidden_dim));
+        let bh = params.add(format!("{name}.bh"), Tensor::zeros(1, hidden_dim));
+        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden_dim }
+    }
+
+    /// One step: inputs `x` `[n, in_dim]`, state `h` `[n, hidden_dim]`.
+    pub fn step(&self, tape: &mut Tape<'_>, x: Var, h: Var) -> Var {
+        let wz = tape.param(self.wz);
+        let uz = tape.param(self.uz);
+        let bz = tape.param(self.bz);
+        let xz = tape.matmul(x, wz);
+        let hz = tape.matmul(h, uz);
+        let z = tape.add(xz, hz);
+        let z = tape.add_row(z, bz);
+        let z = tape.sigmoid(z);
+
+        let wr = tape.param(self.wr);
+        let ur = tape.param(self.ur);
+        let br = tape.param(self.br);
+        let xr = tape.matmul(x, wr);
+        let hr = tape.matmul(h, ur);
+        let r = tape.add(xr, hr);
+        let r = tape.add_row(r, br);
+        let r = tape.sigmoid(r);
+
+        let wh = tape.param(self.wh);
+        let uh = tape.param(self.uh);
+        let bh = tape.param(self.bh);
+        let xh = tape.matmul(x, wh);
+        let rh = tape.mul(r, h);
+        let rhu = tape.matmul(rh, uh);
+        let cand = tape.add(xh, rhu);
+        let cand = tape.add_row(cand, bh);
+        let cand = tape.tanh(cand);
+
+        // h' = (1 - z) ⊙ h + z ⊙ cand  =  h - z⊙h + z⊙cand
+        let zh = tape.mul(z, h);
+        let zc = tape.mul(z, cand);
+        let keep = tape.sub(h, zh);
+        tape.add(keep, zc)
+    }
+}
+
+/// An embedding table with mean pooling over id groups, used for the
+/// subtoken-averaged initial node states of the paper (Eq. 7).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Embedding {
+    table: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding table of `vocab × dim`.
+    pub fn new<R: Rng>(
+        params: &mut ParamSet,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Embedding {
+        let table = params.add(format!("{name}.table"), Tensor::uniform(vocab, dim, 0.1, rng));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up rows for `ids`, producing `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn lookup(&self, tape: &mut Tape<'_>, ids: &[usize]) -> Var {
+        let t = tape.param(self.table);
+        tape.gather(t, ids)
+    }
+
+    /// Mean-pools token embeddings into group embeddings: `ids[i]`
+    /// contributes to group `groups[i]`; produces `[num_groups, dim]`.
+    /// Groups with no ids get zero rows.
+    pub fn lookup_mean(
+        &self,
+        tape: &mut Tape<'_>,
+        ids: &[usize],
+        groups: &[usize],
+        num_groups: usize,
+    ) -> Var {
+        if ids.is_empty() {
+            return tape.input(Tensor::zeros(num_groups, self.dim));
+        }
+        let rows = self.lookup(tape, ids);
+        tape.segment_mean(rows, groups, num_groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = ParamSet::new();
+        let lin = Linear::new(&mut params, "l", 4, 3, &mut rng);
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::zeros(5, 4));
+        let y = lin.apply(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn gru_step_shapes_and_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        let gru = GruCell::new(&mut params, "g", 4, 6, &mut rng);
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::glorot(3, 4, &mut rng));
+        let h0 = tape.input(Tensor::zeros(3, 6));
+        let h1 = gru.step(&mut tape, x, h0);
+        let h2 = gru.step(&mut tape, x, h1);
+        assert_eq!(tape.value(h2).shape(), (3, 6));
+        let loss = tape.mean_all(h2);
+        let grads = tape.backward(loss);
+        // All nine GRU parameters receive gradients.
+        let with_grads = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        assert_eq!(with_grads, 9);
+    }
+
+    #[test]
+    fn gru_state_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let gru = GruCell::new(&mut params, "g", 2, 4, &mut rng);
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::full(1, 2, 10.0));
+        let mut h = tape.input(Tensor::zeros(1, 4));
+        for _ in 0..50 {
+            h = gru.step(&mut tape, x, h);
+        }
+        assert!(tape.value(h).as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn embedding_mean_pooling() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = ParamSet::new();
+        let emb = Embedding::new(&mut params, "e", 10, 3, &mut rng);
+        let mut tape = Tape::new(&params);
+        // Group 0: ids 1 and 2; group 1: id 3; group 2: empty.
+        let pooled = emb.lookup_mean(&mut tape, &[1, 2, 3], &[0, 0, 1], 3);
+        assert_eq!(tape.value(pooled).shape(), (3, 3));
+        assert_eq!(tape.value(pooled).row(2), &[0.0, 0.0, 0.0]);
+        let e1 = params.get(ParamId(0)).row(1).to_vec();
+        let e2 = params.get(ParamId(0)).row(2).to_vec();
+        for c in 0..3 {
+            let expect = (e1[c] + e2[c]) / 2.0;
+            assert!((tape.value(pooled).get(0, c) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_empty_lookup() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamSet::new();
+        let emb = Embedding::new(&mut params, "e", 4, 2, &mut rng);
+        let mut tape = Tape::new(&params);
+        let pooled = emb.lookup_mean(&mut tape, &[], &[], 2);
+        assert_eq!(tape.value(pooled).shape(), (2, 2));
+        assert_eq!(tape.value(pooled).sum(), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # typilus-nn
+//!
+//! A small tape-based automatic-differentiation library: the neural
+//! substrate of the Typilus reproduction (the original system uses
+//! TensorFlow, which is unavailable here). It provides dense `f32`
+//! tensors, reverse-mode autodiff with the segment operations graph
+//! neural networks need (gather, segment sum/mean/max, pairwise L1),
+//! GRU cells, embeddings and Adam.
+//!
+//! ```
+//! use typilus_nn::{ParamSet, Tape, Tensor};
+//!
+//! let mut params = ParamSet::new();
+//! let w = params.add("w", Tensor::scalar(2.0));
+//! let mut tape = Tape::new(&params);
+//! let wv = tape.param(w);
+//! let sq = tape.mul(wv, wv); // loss = w^2
+//! let loss = tape.sum_all(sq);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).unwrap().item(), 4.0); // d(w^2)/dw = 2w
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub use layers::{Embedding, GruCell, Linear};
+pub use optim::{Adam, Sgd};
+pub use params::{Gradients, ParamId, ParamSet};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,151 @@
+//! Optimizers: Adam (the paper's stack uses Adam-family training) and
+//! plain SGD for tests and ablations.
+
+use crate::params::{Gradients, ParamId, ParamSet};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Adam optimizer (Kingma & Ba, 2015).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Max global gradient norm; gradients are rescaled above it.
+    pub clip_norm: Option<f32>,
+    t: u64,
+    m: BTreeMap<ParamId, Tensor>,
+    v: BTreeMap<ParamId, Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyperparameters and the given rate.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(5.0),
+            t: 0,
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
+        }
+    }
+
+    /// Applies one update step from `grads` onto `params`.
+    pub fn step(&mut self, params: &mut ParamSet, mut grads: Gradients) {
+        if let Some(max_norm) = self.clip_norm {
+            let norm = grads.global_norm();
+            if norm > max_norm {
+                grads.scale(max_norm / norm);
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads.iter() {
+            let shape = g.shape();
+            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let p = params.get_mut(id);
+            debug_assert_eq!(p.shape(), shape, "gradient shape mismatch for {id:?}");
+            for i in 0..g.len() {
+                let gi = g.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given rate.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+
+    /// Applies one update step.
+    pub fn step(&self, params: &mut ParamSet, grads: &Gradients) {
+        for (id, g) in grads.iter() {
+            let p = params.get_mut(id);
+            for i in 0..g.len() {
+                p.as_mut_slice()[i] -= self.lr * g.as_slice()[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimises (w - 3)^2 and expects convergence to 3.
+    fn quadratic_descent(mut step: impl FnMut(&mut ParamSet, Gradients)) -> f32 {
+        let mut params = ParamSet::new();
+        let id = params.add("w", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            let grads = {
+                let mut tape = Tape::new(&params);
+                let w = tape.param(id);
+                let c = tape.add_scalar(w, -3.0);
+                let sq = tape.mul(c, c);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss)
+            };
+            step(&mut params, grads);
+        }
+        params.get(id).item()
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let w = quadratic_descent(|p, g| adam.step(p, g));
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let sgd = Sgd::new(0.05);
+        let w = quadratic_descent(|p, g| sgd.step(p, &g));
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut params = ParamSet::new();
+        let id = params.add("w", Tensor::scalar(0.0));
+        let mut grads = Gradients::new();
+        grads.accumulate(id, Tensor::scalar(1e6));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut params, grads);
+        // A huge gradient must not produce a huge step.
+        assert!(params.get(id).item().abs() < 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Persistent parameter storage.
+//!
+//! Tapes are rebuilt every training step (define-by-run), so trainable
+//! parameters live outside the tape in a [`ParamSet`]. A tape references
+//! them by [`ParamId`]; `backward` returns [`Gradients`] keyed the same
+//! way, which an optimizer applies back onto the set.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a parameter within one [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// A named collection of trainable tensors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> ParamSet {
+        ParamSet::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        let id = ParamId(self.tensors.len());
+        self.tensors.push(tensor);
+        self.names.push(name.into());
+        id
+    }
+
+    /// The current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The registered name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.tensors
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+}
+
+/// Gradients of a scalar loss with respect to a [`ParamSet`].
+/// Gradients are ordered by [`ParamId`] so that accumulation, norm
+/// computation and optimizer updates are bit-deterministic across runs
+/// (hash-map iteration order would reorder float summations).
+#[derive(Debug, Clone, Default)]
+pub struct Gradients {
+    by_param: BTreeMap<ParamId, Tensor>,
+}
+
+impl Gradients {
+    /// Creates an empty gradient map.
+    pub fn new() -> Gradients {
+        Gradients::default()
+    }
+
+    /// Accumulates a gradient for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing gradient for `id` has a different shape.
+    pub fn accumulate(&mut self, id: ParamId, grad: Tensor) {
+        match self.by_param.get_mut(&id) {
+            Some(existing) => existing.add_assign(&grad),
+            None => {
+                self.by_param.insert(id, grad);
+            }
+        }
+    }
+
+    /// The gradient for `id`, if any op touched it.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param.get(&id)
+    }
+
+    /// Iterates over all (id, gradient) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.by_param.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Merges another gradient map into this one.
+    pub fn merge(&mut self, other: Gradients) {
+        for (id, g) in other.by_param {
+            self.accumulate(id, g);
+        }
+    }
+
+    /// Global L2 norm over all gradients (for clipping / logging).
+    pub fn global_norm(&self) -> f32 {
+        self.by_param
+            .values()
+            .map(|t| t.as_slice().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients in place (gradient clipping).
+    pub fn scale(&mut self, s: f32) {
+        for t in self.by_param.values_mut() {
+            t.scale_assign(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = ParamSet::new();
+        let id = p.add("w", Tensor::zeros(2, 2));
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.get(id).shape(), (2, 2));
+        assert_eq!(p.scalar_count(), 4);
+    }
+
+    #[test]
+    fn gradient_accumulation() {
+        let mut g = Gradients::new();
+        let id = ParamId(0);
+        g.accumulate(id, Tensor::full(1, 2, 1.0));
+        g.accumulate(id, Tensor::full(1, 2, 2.0));
+        assert_eq!(g.get(id).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_and_norm() {
+        let mut a = Gradients::new();
+        a.accumulate(ParamId(0), Tensor::full(1, 1, 3.0));
+        let mut b = Gradients::new();
+        b.accumulate(ParamId(0), Tensor::full(1, 1, 1.0));
+        b.accumulate(ParamId(1), Tensor::full(1, 1, 4.0));
+        a.merge(b);
+        assert_eq!(a.get(ParamId(0)).unwrap().item(), 4.0);
+        assert!((a.global_norm() - (32.0f32).sqrt()).abs() < 1e-6);
+    }
+}

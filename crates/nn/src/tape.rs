@@ -1,0 +1,1032 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation applied to [`Var`] handles; calling
+//! [`Tape::backward`] on a scalar loss walks the record in reverse and
+//! returns gradients for every parameter that participated. Tapes are
+//! cheap and rebuilt per training step, which is what lets the GNN unroll
+//! a different message-passing structure for every input graph.
+
+use crate::params::{Gradients, ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // some payloads are forward-only (kept for Debug clarity)
+enum Op {
+    /// Constant input; no gradient.
+    Input,
+    /// Read of a trainable parameter.
+    Param(ParamId),
+    Matmul(Var, Var),
+    /// `a · bᵀ`
+    MatmulT(Var, Var),
+    Transpose(Var),
+    Add(Var, Var),
+    /// `[n,m] + [1,m]` broadcast over rows.
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    Sigmoid(Var),
+    Exp(Var),
+    Tanh(Var),
+    Relu(Var),
+    /// Row gather: `out[i] = a[indices[i]]`.
+    Gather(Var, Vec<usize>),
+    /// Segment sum: `out[s] = Σ_{i: seg[i]=s} a[i]`.
+    SegmentSum(Var, Vec<usize>, usize),
+    /// Segment mean.
+    SegmentMean(Var, Vec<usize>, usize),
+    /// Segment elementwise max; `argmax[s*cols+c]` = winning row or usize::MAX.
+    SegmentMax(Var, Vec<usize>, usize, Vec<usize>),
+    /// Pairwise L1 distances between rows: `out[i,j] = ||a[i]-a[j]||₁`.
+    PairwiseL1(Var),
+    /// Row-wise log-softmax.
+    LogSoftmax(Var),
+    /// Row-wise standardisation (LayerNorm without affine parameters).
+    RowNorm(Var),
+    /// Negative log likelihood of per-row labels, averaged: `1×1`.
+    NllLoss(Var, Vec<usize>),
+    /// Elementwise multiplication by a constant mask.
+    MulConst(Var, Tensor),
+    /// Sum of all elements: `1×1`.
+    SumAll(Var),
+    /// Vertical concatenation of rows.
+    ConcatRows(Vec<Var>),
+    /// Horizontal concatenation of columns.
+    ConcatCols(Vec<Var>),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A gradient tape over a [`ParamSet`].
+pub struct Tape<'p> {
+    params: &'p ParamSet,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Tape<'p> {
+    /// Creates a fresh tape reading parameters from `params`.
+    pub fn new(params: &'p ParamSet) -> Tape<'p> {
+        Tape { params, nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- sources ---------------------------------------------------------
+
+    /// Records a constant input (no gradient flows into it).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Input)
+    }
+
+    /// Records a read of parameter `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the tape's parameter set.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.params.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    // ---- arithmetic -------------------------------------------------------
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_t(self.value(b));
+        self.push(v, Op::MatmulT(a, b))
+    }
+
+    /// `aᵀ`.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transposed();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Elementwise `a + b` (same shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let mut out = va.clone();
+        out.add_assign(vb);
+        self.push(out, Op::Add(a, b))
+    }
+
+    /// `a + row` where `row` is `1×m`, broadcast over the rows of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or `row` is not a single row.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (va, vr) = (self.value(a), self.value(row));
+        assert_eq!(vr.rows(), 1, "add_row needs a 1×m row");
+        assert_eq!(va.cols(), vr.cols(), "add_row width mismatch");
+        let mut out = va.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + vr.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(out, Op::AddRow(a, row))
+    }
+
+    /// Elementwise `a - b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
+        let mut out = va.clone();
+        for (x, &y) in out.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+            *x -= y;
+        }
+        self.push(out, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let mut out = va.clone();
+        for (x, &y) in out.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+            *x *= y;
+        }
+        self.push(out, Op::Mul(a, b))
+    }
+
+    /// `a * c` for a scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).map(|x| x * c);
+        self.push(out, Op::Scale(a, c))
+    }
+
+    /// `a + c` elementwise for a scalar constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).map(|x| x + c);
+        self.push(out, Op::AddScalar(a, c))
+    }
+
+    // ---- nonlinearities ----------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(out, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f32::tanh);
+        self.push(out, Op::Tanh(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(f32::exp);
+        self.push(out, Op::Exp(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let out = self.value(a).map(|x| x.max(0.0));
+        self.push(out, Op::Relu(a))
+    }
+
+    // ---- structure ops -----------------------------------------------------
+
+    /// Row gather: `out[i] = a[indices[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&mut self, a: Var, indices: &[usize]) -> Var {
+        let va = self.value(a);
+        let mut out = Tensor::zeros(indices.len(), va.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < va.rows(), "gather index {idx} out of bounds");
+            out.row_mut(i).copy_from_slice(va.row(idx));
+        }
+        self.push(out, Op::Gather(a, indices.to_vec()))
+    }
+
+    /// Segment sum: rows of `a` grouped by `segments`, summed per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments.len() != a.rows()` or an id `>= num_segments`.
+    pub fn segment_sum(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
+        let va = self.value(a);
+        assert_eq!(segments.len(), va.rows(), "segment id per row required");
+        let mut out = Tensor::zeros(num_segments, va.cols());
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < num_segments, "segment id {s} out of range");
+            for c in 0..va.cols() {
+                let v = out.get(s, c) + va.get(i, c);
+                out.set(s, c, v);
+            }
+        }
+        self.push(out, Op::SegmentSum(a, segments.to_vec(), num_segments))
+    }
+
+    /// Segment mean; empty segments produce zero rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tape::segment_sum`].
+    pub fn segment_mean(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
+        let va = self.value(a);
+        assert_eq!(segments.len(), va.rows(), "segment id per row required");
+        let mut out = Tensor::zeros(num_segments, va.cols());
+        let mut counts = vec![0usize; num_segments];
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < num_segments, "segment id {s} out of range");
+            counts[s] += 1;
+            for c in 0..va.cols() {
+                let v = out.get(s, c) + va.get(i, c);
+                out.set(s, c, v);
+            }
+        }
+        for (s, &n) in counts.iter().enumerate() {
+            if n > 1 {
+                let inv = 1.0 / n as f32;
+                for c in 0..out.cols() {
+                    let v = out.get(s, c) * inv;
+                    out.set(s, c, v);
+                }
+            }
+        }
+        self.push(out, Op::SegmentMean(a, segments.to_vec(), num_segments))
+    }
+
+    /// Segment elementwise max; empty segments produce zero rows. This is
+    /// the max-pooling aggregation the paper uses in its GGNN.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tape::segment_sum`].
+    pub fn segment_max(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
+        let va = self.value(a);
+        assert_eq!(segments.len(), va.rows(), "segment id per row required");
+        let cols = va.cols();
+        let mut out = Tensor::full(num_segments, cols, f32::NEG_INFINITY);
+        let mut argmax = vec![usize::MAX; num_segments * cols];
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < num_segments, "segment id {s} out of range");
+            for c in 0..cols {
+                if va.get(i, c) > out.get(s, c) {
+                    out.set(s, c, va.get(i, c));
+                    argmax[s * cols + c] = i;
+                }
+            }
+        }
+        // Empty segments: zero, no gradient.
+        for s in 0..num_segments {
+            for c in 0..cols {
+                if argmax[s * cols + c] == usize::MAX {
+                    out.set(s, c, 0.0);
+                }
+            }
+        }
+        self.push(out, Op::SegmentMax(a, segments.to_vec(), num_segments, argmax))
+    }
+
+    /// Pairwise L1 distance matrix between the rows of `a`.
+    pub fn pairwise_l1(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let n = va.rows();
+        let mut out = Tensor::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = Tensor::l1_row_distance(va.row(i), va.row(j));
+                out.set(i, j, d);
+                out.set(j, i, d);
+            }
+        }
+        self.push(out, Op::PairwiseL1(a))
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let mut out = va.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for x in row.iter_mut() {
+                *x -= logsum;
+            }
+        }
+        self.push(out, Op::LogSoftmax(a))
+    }
+
+    /// Row-wise standardisation: each row is shifted to zero mean and
+    /// scaled to unit variance (plus a small epsilon) — LayerNorm
+    /// without learned affine parameters.
+    pub fn row_norm(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let mut out = va.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv;
+            }
+        }
+        self.push(out, Op::RowNorm(a))
+    }
+
+    /// Mean negative log-likelihood of `labels` under row-wise
+    /// log-probabilities `logp` (pair with [`Tape::log_softmax`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logp.rows()` or a label is out of range.
+    pub fn nll_loss(&mut self, logp: Var, labels: &[usize]) -> Var {
+        let v = self.value(logp);
+        assert_eq!(labels.len(), v.rows(), "one label per row required");
+        let mut total = 0.0;
+        for (r, &l) in labels.iter().enumerate() {
+            assert!(l < v.cols(), "label {l} out of range");
+            total -= v.get(r, l);
+        }
+        let out = Tensor::scalar(total / labels.len().max(1) as f32);
+        self.push(out, Op::NllLoss(logp, labels.to_vec()))
+    }
+
+    /// Elementwise product with a constant mask (no gradient through the
+    /// mask) — used to select loss terms without breaking differentiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_const(&mut self, a: Var, mask: &Tensor) -> Var {
+        let va = self.value(a);
+        assert_eq!(va.shape(), mask.shape(), "mask shape mismatch");
+        let mut out = va.clone();
+        for (x, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *x *= m;
+        }
+        self.push(out, Op::MulConst(a, mask.clone()))
+    }
+
+    /// Sum of all elements, as a `1×1` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let out = Tensor::scalar(self.value(a).sum());
+        self.push(out, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, as a `1×1` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).len().max(1) as f32;
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Vertically concatenates rows of several variables (same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or widths differ.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let cols = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut out = Tensor::zeros(total, cols);
+        let mut r = 0;
+        for &p in parts {
+            let vp = self.value(p);
+            assert_eq!(vp.cols(), cols, "concat_rows width mismatch");
+            for i in 0..vp.rows() {
+                out.row_mut(r).copy_from_slice(vp.row(i));
+                r += 1;
+            }
+        }
+        self.push(out, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Horizontally concatenates columns of several variables (same
+    /// number of rows) — e.g. joining forward and backward RNN states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut out = Tensor::zeros(rows, total);
+        let mut base = 0;
+        for &p in parts {
+            let vp = self.value(p);
+            assert_eq!(vp.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                for c in 0..vp.cols() {
+                    out.set(r, base + c, vp.get(r, c));
+                }
+            }
+            base += vp.cols();
+        }
+        self.push(out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Computes gradients of the scalar `loss` with respect to every
+    /// parameter touched by the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+        let mut out = Gradients::new();
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[i];
+            match &node.op {
+                Op::Input => {}
+                Op::Param(id) => out.accumulate(*id, g),
+                Op::Matmul(a, b) => {
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    accumulate(&mut grads, *a, g.matmul_t(vb));
+                    accumulate(&mut grads, *b, va.transposed().matmul(&g));
+                }
+                Op::MatmulT(a, b) => {
+                    // out = a · bᵀ : da = g · b ; db = gᵀ · a
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    accumulate(&mut grads, *a, g.matmul(vb));
+                    accumulate(&mut grads, *b, g.transposed().matmul(va));
+                }
+                Op::Transpose(a) => accumulate(&mut grads, *a, g.transposed()),
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, row) => {
+                    let mut row_grad = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let v = row_grad.get(0, c) + g.get(r, c);
+                            row_grad.set(0, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *row, row_grad);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let mut ga = g.clone();
+                    for (x, &y) in ga.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+                        *x *= y;
+                    }
+                    let mut gb = g;
+                    for (x, &y) in gb.as_mut_slice().iter_mut().zip(va.as_slice()) {
+                        *x *= y;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Scale(a, c) => accumulate(&mut grads, *a, g.map(|x| x * c)),
+                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (x, &s) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *x *= s * (1.0 - s);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Exp(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (x, &e) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *x *= e;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (x, &t) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *x *= 1.0 - t * t;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Relu(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (x, &v) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        if v <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Gather(a, indices) => {
+                    let va = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(va.rows(), va.cols());
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for c in 0..g.cols() {
+                            let v = ga.get(idx, c) + g.get(i, c);
+                            ga.set(idx, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SegmentSum(a, segments, _) => {
+                    let va = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(va.rows(), va.cols());
+                    for (i, &s) in segments.iter().enumerate() {
+                        ga.row_mut(i).copy_from_slice(g.row(s));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SegmentMean(a, segments, num) => {
+                    let va = &self.nodes[a.0].value;
+                    let mut counts = vec![0usize; *num];
+                    for &s in segments {
+                        counts[s] += 1;
+                    }
+                    let mut ga = Tensor::zeros(va.rows(), va.cols());
+                    for (i, &s) in segments.iter().enumerate() {
+                        let inv = 1.0 / counts[s].max(1) as f32;
+                        for c in 0..g.cols() {
+                            ga.set(i, c, g.get(s, c) * inv);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SegmentMax(a, _, _, argmax) => {
+                    let va = &self.nodes[a.0].value;
+                    let cols = va.cols();
+                    let mut ga = Tensor::zeros(va.rows(), va.cols());
+                    for s in 0..g.rows() {
+                        for c in 0..cols {
+                            let winner = argmax[s * cols + c];
+                            if winner != usize::MAX {
+                                let v = ga.get(winner, c) + g.get(s, c);
+                                ga.set(winner, c, v);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::PairwiseL1(a) => {
+                    let va = &self.nodes[a.0].value;
+                    let n = va.rows();
+                    let mut ga = Tensor::zeros(n, va.cols());
+                    for i in 0..n {
+                        for j in 0..n {
+                            if i == j {
+                                continue;
+                            }
+                            let w = g.get(i, j);
+                            if w == 0.0 {
+                                continue;
+                            }
+                            for c in 0..va.cols() {
+                                let s = (va.get(i, c) - va.get(j, c)).signum();
+                                let vi = ga.get(i, c) + w * s;
+                                ga.set(i, c, vi);
+                                let vj = ga.get(j, c) - w * s;
+                                ga.set(j, c, vj);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::LogSoftmax(a) => {
+                    // dx = g - softmax(x) * rowsum(g)
+                    let y = &node.value; // log-probabilities
+                    let mut ga = g.clone();
+                    for r in 0..y.rows() {
+                        let rowsum: f32 = g.row(r).iter().sum();
+                        for c in 0..y.cols() {
+                            let p = y.get(r, c).exp();
+                            let v = g.get(r, c) - p * rowsum;
+                            ga.set(r, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::RowNorm(a) => {
+                    // y = (x - mu) / sigma;
+                    // dx = (g - mean(g) - y * mean(g*y)) / sigma
+                    let x = &self.nodes[a.0].value;
+                    let y = &node.value;
+                    let mut ga = g.clone();
+                    for r in 0..y.rows() {
+                        let n = y.cols() as f32;
+                        let mean_x = x.row(r).iter().sum::<f32>() / n;
+                        let var =
+                            x.row(r).iter().map(|v| (v - mean_x).powi(2)).sum::<f32>() / n;
+                        let inv = 1.0 / (var + 1e-5).sqrt();
+                        let mean_g = g.row(r).iter().sum::<f32>() / n;
+                        let mean_gy = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(gv, yv)| gv * yv)
+                            .sum::<f32>()
+                            / n;
+                        for c in 0..y.cols() {
+                            let v = (g.get(r, c) - mean_g - y.get(r, c) * mean_gy) * inv;
+                            ga.set(r, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::NllLoss(logp, labels) => {
+                    let v = &self.nodes[logp.0].value;
+                    let scale = g.item() / labels.len().max(1) as f32;
+                    let mut ga = Tensor::zeros(v.rows(), v.cols());
+                    for (r, &l) in labels.iter().enumerate() {
+                        ga.set(r, l, -scale);
+                    }
+                    accumulate(&mut grads, *logp, ga);
+                }
+                Op::MulConst(a, mask) => {
+                    let mut ga = g;
+                    for (x, &m) in ga.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                        *x *= m;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SumAll(a) => {
+                    let va = &self.nodes[a.0].value;
+                    let ga = Tensor::full(va.rows(), va.cols(), g.item());
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut r = 0;
+                    for &p in parts {
+                        let rows = self.nodes[p.0].value.rows();
+                        let cols = self.nodes[p.0].value.cols();
+                        let mut gp = Tensor::zeros(rows, cols);
+                        for i in 0..rows {
+                            gp.row_mut(i).copy_from_slice(g.row(r + i));
+                        }
+                        r += rows;
+                        accumulate(&mut grads, p, gp);
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut base = 0;
+                    for &p in parts {
+                        let rows = self.nodes[p.0].value.rows();
+                        let cols = self.nodes[p.0].value.cols();
+                        let mut gp = Tensor::zeros(rows, cols);
+                        for r in 0..rows {
+                            for c in 0..cols {
+                                gp.set(r, c, g.get(r, base + c));
+                            }
+                        }
+                        base += cols;
+                        accumulate(&mut grads, p, gp);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically checks d loss / d param against finite differences.
+    fn check_gradient(
+        build: impl Fn(&mut Tape<'_>, Var) -> Var,
+        init: Tensor,
+        tol: f32,
+    ) {
+        let mut params = ParamSet::new();
+        let id = params.add("w", init);
+        // Analytic gradient.
+        let analytic = {
+            let mut tape = Tape::new(&params);
+            let w = tape.param(id);
+            let loss = build(&mut tape, w);
+            tape.backward(loss).get(id).expect("param used").clone()
+        };
+        // Finite differences.
+        let eps = 1e-3;
+        let (rows, cols) = params.get(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = params.get(id).get(r, c);
+                params.get_mut(id).set(r, c, orig + eps);
+                let plus = {
+                    let mut tape = Tape::new(&params);
+                    let w = tape.param(id);
+                    build(&mut tape, w);
+                    let loss_idx = tape.len() - 1;
+                    tape.value(Var(loss_idx)).item()
+                };
+                params.get_mut(id).set(r, c, orig - eps);
+                let minus = {
+                    let mut tape = Tape::new(&params);
+                    let w = tape.param(id);
+                    build(&mut tape, w);
+                    let loss_idx = tape.len() - 1;
+                    tape.value(Var(loss_idx)).item()
+                };
+                params.get_mut(id).set(r, c, orig);
+                let numeric = (plus - minus) / (2.0 * eps);
+                let got = analytic.get(r, c);
+                assert!(
+                    (numeric - got).abs() < tol,
+                    "grad mismatch at ({r},{c}): numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::glorot(3, 4, &mut rng);
+        check_gradient(
+            move |tape, w| {
+                let xin = tape.input(x.clone());
+                let y = tape.matmul(xin, w);
+                let y = tape.tanh(y);
+                tape.mean_all(y)
+            },
+            Tensor::glorot(4, 2, &mut StdRng::seed_from_u64(12)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_relu_add() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::glorot(2, 3, &mut rng);
+        check_gradient(
+            move |tape, w| {
+                let xin = tape.input(x.clone());
+                let s = tape.mul(xin, w);
+                let s = tape.sigmoid(s);
+                let r = tape.relu(s);
+                let r2 = tape.add(r, s);
+                tape.sum_all(r2)
+            },
+            Tensor::glorot(2, 3, &mut StdRng::seed_from_u64(22)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_log_softmax_nll() {
+        check_gradient(
+            |tape, w| {
+                let lp = tape.log_softmax(w);
+                tape.nll_loss(lp, &[1, 0])
+            },
+            Tensor::from_vec(2, 3, vec![0.1, 0.5, -0.2, 0.3, -0.4, 0.8]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_segment_sum() {
+        check_gradient(
+            |tape, w| {
+                let g = tape.gather(w, &[0, 1, 1, 2]);
+                let s = tape.segment_sum(g, &[0, 0, 1, 1], 2);
+                let s = tape.tanh(s);
+                tape.sum_all(s)
+            },
+            Tensor::from_vec(3, 2, vec![0.5, -0.2, 0.1, 0.9, -0.7, 0.3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_segment_mean_and_max() {
+        check_gradient(
+            |tape, w| {
+                let mean = tape.segment_mean(w, &[0, 0, 1], 2);
+                let max = tape.segment_max(w, &[0, 0, 1], 2);
+                let out = tape.add(mean, max);
+                tape.sum_all(out)
+            },
+            Tensor::from_vec(3, 2, vec![0.5, -0.2, 0.1, 0.9, -0.7, 0.3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_pairwise_l1() {
+        check_gradient(
+            |tape, w| {
+                let d = tape.pairwise_l1(w);
+                let mask = Tensor::from_vec(3, 3, vec![0., 1., 0., 0., 0., 1., 0., 0., 0.]);
+                let sel = tape.mul_const(d, &mask);
+                tape.sum_all(sel)
+            },
+            Tensor::from_vec(3, 2, vec![0.9, -0.2, 0.1, 0.7, -0.5, 0.3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_and_matmul_t() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Tensor::glorot(3, 4, &mut rng);
+        let b = Tensor::glorot(1, 3, &mut rng);
+        check_gradient(
+            move |tape, w| {
+                let xin = tape.input(x.clone());
+                let bin = tape.input(b.clone());
+                let y = tape.matmul_t(xin, w); // [3,4]x[3,4]T -> [3,3]
+                let y = tape.add_row(y, bin);
+                let y = tape.sigmoid(y);
+                tape.mean_all(y)
+            },
+            Tensor::glorot(3, 4, &mut StdRng::seed_from_u64(32)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_and_transpose() {
+        check_gradient(
+            |tape, w| {
+                let t = tape.transpose(w);
+                let c = tape.concat_rows(&[t, t]);
+                let c = tape.tanh(c);
+                tape.sum_all(c)
+            },
+            Tensor::from_vec(2, 3, vec![0.2, -0.1, 0.4, 0.6, -0.3, 0.5]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_exp() {
+        check_gradient(
+            |tape, w| {
+                let e = tape.exp(w);
+                tape.mean_all(e)
+            },
+            Tensor::from_vec(1, 3, vec![0.1, -0.5, 0.9]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_row_norm() {
+        check_gradient(
+            |tape, w| {
+                let n = tape.row_norm(w);
+                let t = tape.tanh(n);
+                tape.mean_all(t)
+            },
+            Tensor::from_vec(2, 4, vec![0.3, -0.6, 0.2, 0.8, 1.2, -0.1, 0.4, -0.9]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn row_norm_standardises() {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let n = tape.row_norm(x);
+        let row = tape.value(n).row(0).to_vec();
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        check_gradient(
+            |tape, w| {
+                let c = tape.concat_cols(&[w, w]);
+                let t = tape.tanh(c);
+                tape.mean_all(t)
+            },
+            Tensor::from_vec(2, 2, vec![0.3, -0.6, 0.2, 0.8]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn segment_max_empty_segment_is_zero() {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let m = tape.segment_max(x, &[0, 0], 3);
+        assert_eq!(tape.value(m).row(1), &[0.0, 0.0]);
+        assert_eq!(tape.value(m).row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_normalise() {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]));
+        let lp = tape.log_softmax(x);
+        for r in 0..2 {
+            let total: f32 = tape.value(lp).row(r).iter().map(|&x| x.exp()).sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unused_params_get_no_gradient() {
+        let mut params = ParamSet::new();
+        let used = params.add("used", Tensor::scalar(2.0));
+        let unused = params.add("unused", Tensor::scalar(5.0));
+        let mut tape = Tape::new(&params);
+        let w = tape.param(used);
+        let loss = tape.sum_all(w);
+        let grads = tape.backward(loss);
+        assert!(grads.get(used).is_some());
+        assert!(grads.get(unused).is_none());
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        let mut params = ParamSet::new();
+        let id = params.add("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new(&params);
+        let a = tape.param(id);
+        let b = tape.param(id);
+        let s = tape.add(a, b); // loss = 2w -> dw = 2
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(id).unwrap().item(), 2.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal dense 2-D `f32` tensor.
+//!
+//! Everything in the reproduction's neural stack is a matrix: batches are
+//! rows, features are columns, scalars are `1×1`. The type deliberately
+//! supports only what the models need; it is not a general ndarray.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Tensor {
+        Tensor { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Creates a `1×1` scalar tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor { data: vec![value], rows: 1, cols: 1 }
+    }
+
+    /// Creates a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
+        Tensor { data, rows, cols }
+    }
+
+    /// Glorot/Xavier-uniform initialisation.
+    pub fn glorot<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor { data, rows, cols }
+    }
+
+    /// Uniform initialisation in `[-limit, limit]`.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> Tensor {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor { data, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable access to one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a `1×1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1×1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a scalar tensor");
+        self.data[0]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Elementwise map, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// L1 distance between two rows of (possibly different) tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different widths.
+    pub fn l1_row_distance(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "row width mismatch");
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, ...]", self.data[0], self.data[1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::glorot(4, 5, &mut rng);
+        let b = Tensor::glorot(3, 5, &mut rng);
+        let direct = a.matmul_t(&b);
+        let via_transpose = a.matmul(&b.transposed());
+        for (x, y) in direct.as_slice().iter().zip(via_transpose.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::glorot(3, 7, &mut rng);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn l1_distance() {
+        assert_eq!(Tensor::l1_row_distance(&[1., 2.], &[3., 0.]), 4.0);
+    }
+
+    #[test]
+    fn glorot_within_limits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::glorot(10, 10, &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based gradient checking and op invariants for the autodiff
+//! substrate: analytic gradients must agree with finite differences on
+//! random programs, and structural ops must conserve mass.
+
+use proptest::prelude::*;
+use typilus_nn::{ParamSet, Tape, Tensor};
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Compares analytic and numeric gradients of `build` at `init`.
+fn gradient_matches(
+    build: impl Fn(&mut Tape<'_>, typilus_nn::Var) -> typilus_nn::Var,
+    init: Tensor,
+) -> Result<(), TestCaseError> {
+    let mut params = ParamSet::new();
+    let id = params.add("w", init);
+    let analytic = {
+        let mut tape = Tape::new(&params);
+        let w = tape.param(id);
+        let loss = build(&mut tape, w);
+        tape.backward(loss).get(id).cloned()
+    };
+    let Some(analytic) = analytic else {
+        return Ok(()); // parameter unused; nothing to check
+    };
+    let eps = 1e-2;
+    let (rows, cols) = params.get(id).shape();
+    for r in 0..rows {
+        for c in 0..cols {
+            let orig = params.get(id).get(r, c);
+            let eval = |params: &ParamSet| -> f32 {
+                let mut tape = Tape::new(params);
+                let w = tape.param(id);
+                let loss = build(&mut tape, w);
+                tape.value(loss).item()
+            };
+            params.get_mut(id).set(r, c, orig + eps);
+            let plus = eval(&params);
+            params.get_mut(id).set(r, c, orig - eps);
+            let minus = eval(&params);
+            params.get_mut(id).set(r, c, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let got = analytic.get(r, c);
+            prop_assert!(
+                (numeric - got).abs() < 0.05 + 0.05 * numeric.abs().max(got.abs()),
+                "grad mismatch at ({r},{c}): numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tanh_matmul_chain_gradients(w in arb_tensor(3, 2), x in arb_tensor(2, 3)) {
+        gradient_matches(
+            move |tape, wv| {
+                let xin = tape.input(x.clone());
+                let y = tape.matmul(xin, wv);
+                let y = tape.tanh(y);
+                tape.mean_all(y)
+            },
+            w,
+        )?;
+    }
+
+    #[test]
+    fn sigmoid_mul_gradients(w in arb_tensor(2, 4)) {
+        gradient_matches(
+            |tape, wv| {
+                let s = tape.sigmoid(wv);
+                let m = tape.mul(s, wv);
+                tape.sum_all(m)
+            },
+            w,
+        )?;
+    }
+
+    #[test]
+    fn softmax_nll_gradients(w in arb_tensor(3, 4)) {
+        gradient_matches(
+            |tape, wv| {
+                let lp = tape.log_softmax(wv);
+                tape.nll_loss(lp, &[0, 2, 3])
+            },
+            w,
+        )?;
+    }
+
+    #[test]
+    fn segment_ops_conserve_mass(x in arb_tensor(6, 3), segs in prop::collection::vec(0usize..4, 6)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x.clone());
+        let summed = tape.segment_sum(xin, &segs, 4);
+        let total_in: f32 = x.sum();
+        let total_out: f32 = tape.value(summed).sum();
+        prop_assert!((total_in - total_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn segment_max_dominates_mean(x in arb_tensor(5, 2), segs in prop::collection::vec(0usize..3, 5)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x);
+        let maxed = tape.segment_max(xin, &segs, 3);
+        let meaned = tape.segment_mean(xin, &segs, 3);
+        for s in 0..3 {
+            if !segs.contains(&s) {
+                continue;
+            }
+            for c in 0..2 {
+                prop_assert!(
+                    tape.value(maxed).get(s, c) >= tape.value(meaned).get(s, c) - 1e-6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_l1_is_symmetric_metric(x in arb_tensor(4, 3)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x);
+        let d = tape.pairwise_l1(xin);
+        let dv = tape.value(d);
+        for i in 0..4 {
+            prop_assert_eq!(dv.get(i, i), 0.0);
+            for j in 0..4 {
+                prop_assert_eq!(dv.get(i, j), dv.get(j, i));
+                // Triangle inequality.
+                for k in 0..4 {
+                    prop_assert!(dv.get(i, j) <= dv.get(i, k) + dv.get(k, j) + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_match_source(x in arb_tensor(5, 2), idx in prop::collection::vec(0usize..5, 1..8)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x.clone());
+        let g = tape.gather(xin, &idx);
+        for (i, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(tape.value(g).row(i), x.row(src));
+        }
+    }
+
+    #[test]
+    fn concat_preserves_content(a in arb_tensor(2, 3), b in arb_tensor(4, 3)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let av = tape.input(a.clone());
+        let bv = tape.input(b.clone());
+        let c = tape.concat_rows(&[av, bv]);
+        prop_assert_eq!(tape.value(c).shape(), (6, 3));
+        prop_assert_eq!(tape.value(c).row(0), a.row(0));
+        prop_assert_eq!(tape.value(c).row(2), b.row(0));
+    }
+
+    #[test]
+    fn log_softmax_rows_are_distributions(x in arb_tensor(3, 5)) {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x);
+        let lp = tape.log_softmax(xin);
+        for r in 0..3 {
+            let total: f32 = tape.value(lp).row(r).iter().map(|&v| v.exp()).sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+}

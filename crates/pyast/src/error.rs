@@ -1,0 +1,93 @@
+//! Parse errors.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Categories of lexing/parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParseErrorKind {
+    /// A character outside the supported Python subset.
+    UnexpectedChar(char),
+    /// A string literal without a closing quote.
+    UnterminatedString,
+    /// A dedent to an indentation level that was never opened.
+    InconsistentIndentation,
+    /// The parser found a token it cannot use here.
+    UnexpectedToken {
+        /// What the parser found (display form of the token).
+        found: String,
+        /// What the parser was trying to parse.
+        expected: String,
+    },
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A construct that is valid Python but outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::InconsistentIndentation => write!(f, "inconsistent indentation"),
+            ParseErrorKind::UnexpectedToken { found, expected } => {
+                write!(f, "unexpected token {found} while parsing {expected}")
+            }
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+/// An error produced while lexing or parsing, with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at a location.
+    pub fn new(kind: ParseErrorKind, span: Span) -> Self {
+        ParseError { kind, span }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+
+    /// Where it went wrong.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span.start)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new(ParseErrorKind::UnexpectedEof, Span::point(Pos::new(5, 2, 1)));
+        assert_eq!(e.to_string(), "unexpected end of input at 2:2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,642 @@
+//! A hand-written lexer for the Python subset.
+//!
+//! The lexer performs Python's layout analysis: it tracks indentation and
+//! emits synthetic [`TokenKind::Indent`] / [`TokenKind::Dedent`] /
+//! [`TokenKind::Newline`] tokens, suppressing them inside bracketed
+//! expressions, exactly as CPython's tokenizer does. Comments and blank
+//! lines are skipped.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::span::{Pos, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source` into a vector of tokens ending with
+/// [`TokenKind::EndOfFile`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input: inconsistent dedents,
+/// unterminated strings, or characters outside the supported subset.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    indents: Vec<u32>,
+    paren_depth: u32,
+    tokens: Vec<Token>,
+    at_line_start: bool,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 0,
+            indents: vec![0],
+            paren_depth: 0,
+            tokens: Vec::new(),
+            at_line_start: true,
+        }
+    }
+
+    fn here(&self) -> Pos {
+        Pos::new(self.pos, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, Span::point(self.here()))
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Pos) {
+        let span = Span::new(start, self.here());
+        let lexeme = if kind.is_layout() { String::new() } else { span.text(self.src).to_string() };
+        self.tokens.push(Token::new(kind, lexeme, span));
+    }
+
+    fn push_empty(&mut self, kind: TokenKind) {
+        let p = self.here();
+        self.tokens.push(Token::new(kind, "", Span::point(p)));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while self.pos < self.bytes.len() {
+            if self.at_line_start && self.paren_depth == 0 {
+                self.handle_indentation()?;
+                if self.pos >= self.bytes.len() {
+                    break;
+                }
+            }
+            let b = match self.peek() {
+                Some(b) => b,
+                None => break,
+            };
+            match b {
+                b'\n' => {
+                    self.bump();
+                    if self.paren_depth == 0 {
+                        // Collapse runs of newlines into one logical newline,
+                        // and emit none at the very start of a suite.
+                        if matches!(
+                            self.tokens.last().map(|t| t.kind),
+                            Some(k) if !k.is_layout()
+                        ) {
+                            self.push_empty(TokenKind::Newline);
+                        }
+                        self.at_line_start = true;
+                    }
+                }
+                b'\r' => {
+                    self.bump();
+                }
+                b' ' | b'\t' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'\\' if self.peek2() == Some(b'\n') => {
+                    // Explicit line continuation.
+                    self.bump();
+                    self.bump();
+                }
+                b'"' | b'\'' => self.string(None)?,
+                b'0'..=b'9' => self.number()?,
+                b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.name_or_prefixed_string()?,
+                _ => self.operator()?,
+            }
+        }
+        // Close the file: final newline and any open indents.
+        if matches!(self.tokens.last().map(|t| t.kind), Some(k) if !k.is_layout()) {
+            self.push_empty(TokenKind::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push_empty(TokenKind::Dedent);
+        }
+        self.push_empty(TokenKind::EndOfFile);
+        Ok(self.tokens)
+    }
+
+    /// Measures leading whitespace on a fresh line and emits indent/dedent
+    /// tokens. Blank lines and comment-only lines produce no layout tokens.
+    fn handle_indentation(&mut self) -> Result<(), ParseError> {
+        loop {
+            let line_start = self.pos;
+            let mut width: u32 = 0;
+            while let Some(c) = self.peek() {
+                match c {
+                    b' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    b'\t' => {
+                        width += 8 - width % 8;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Some(b'\n') => {
+                    self.bump();
+                    continue; // blank line
+                }
+                Some(b'\r') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                None => {
+                    let _ = line_start;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            let current = *self.indents.last().expect("indent stack never empty");
+            if width > current {
+                self.indents.push(width);
+                self.push_empty(TokenKind::Indent);
+            } else {
+                while width < *self.indents.last().expect("indent stack never empty") {
+                    self.indents.pop();
+                    self.push_empty(TokenKind::Dedent);
+                }
+                if width != *self.indents.last().expect("indent stack never empty") {
+                    return Err(self.error(ParseErrorKind::InconsistentIndentation));
+                }
+            }
+            self.at_line_start = false;
+            return Ok(());
+        }
+    }
+
+    fn name_or_prefixed_string(&mut self) -> Result<(), ParseError> {
+        let start = self.here();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start.offset..self.pos];
+        // String prefixes: r, b, f, u and two-letter combinations.
+        if text.len() <= 2
+            && text.bytes().all(|c| matches!(c.to_ascii_lowercase(), b'r' | b'b' | b'f' | b'u'))
+            && matches!(self.peek(), Some(b'"') | Some(b'\''))
+        {
+            return self.string(Some(start));
+        }
+        let kind = TokenKind::keyword(text).unwrap_or(TokenKind::Name);
+        self.push(kind, start);
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), ParseError> {
+        let start = self.here();
+        // Hex / octal / binary literals.
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek2().map(|c| c.to_ascii_lowercase()),
+                Some(b'x') | Some(b'o') | Some(b'b')
+            )
+        {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Number, start);
+            return Ok(());
+        }
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' if !seen_dot && !seen_exp => {
+                    // Don't swallow `1..2` or attribute access on an int.
+                    if self.peek2() == Some(b'.') {
+                        break;
+                    }
+                    seen_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !seen_exp => {
+                    let next = self.peek2();
+                    if matches!(next, Some(b'0'..=b'9') | Some(b'+') | Some(b'-')) {
+                        seen_exp = true;
+                        self.bump();
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                b'j' | b'J' => {
+                    self.bump();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.push(TokenKind::Number, start);
+        Ok(())
+    }
+
+    fn string(&mut self, prefix_start: Option<Pos>) -> Result<(), ParseError> {
+        let start = prefix_start.unwrap_or_else(|| self.here());
+        let quote = self.bump().expect("string called at a quote");
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+            loop {
+                match self.peek() {
+                    None => return Err(self.error(ParseErrorKind::UnterminatedString)),
+                    Some(c) if c == quote
+                        && self.peek2() == Some(quote)
+                        && self.peek3() == Some(quote) =>
+                    {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    Some(b'\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        } else {
+            loop {
+                match self.peek() {
+                    None | Some(b'\n') => {
+                        return Err(self.error(ParseErrorKind::UnterminatedString))
+                    }
+                    Some(c) if c == quote => {
+                        self.bump();
+                        break;
+                    }
+                    Some(b'\\') => {
+                        self.bump();
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.push(TokenKind::Str, start);
+        Ok(())
+    }
+
+    fn operator(&mut self) -> Result<(), ParseError> {
+        use TokenKind::*;
+        let start = self.here();
+        let b = self.bump().expect("operator called with input remaining");
+        let two = self.peek();
+        let kind = match (b, two) {
+            (b'(', _) => {
+                self.paren_depth += 1;
+                LParen
+            }
+            (b')', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                RParen
+            }
+            (b'[', _) => {
+                self.paren_depth += 1;
+                LBracket
+            }
+            (b']', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                RBracket
+            }
+            (b'{', _) => {
+                self.paren_depth += 1;
+                LBrace
+            }
+            (b'}', _) => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                RBrace
+            }
+            (b',', _) => Comma,
+            (b';', _) => Semicolon,
+            (b'~', _) => Tilde,
+            (b'@', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'@', _) => At,
+            (b'.', Some(b'.')) if self.peek2() == Some(b'.') => {
+                self.bump();
+                self.bump();
+                Ellipsis
+            }
+            (b'.', _) => Dot,
+            (b':', Some(b'=')) => {
+                self.bump();
+                Walrus
+            }
+            (b':', _) => Colon,
+            (b'-', Some(b'>')) => {
+                self.bump();
+                Arrow
+            }
+            (b'=', Some(b'=')) => {
+                self.bump();
+                EqEq
+            }
+            (b'=', _) => Assign,
+            (b'!', Some(b'=')) => {
+                self.bump();
+                NotEq
+            }
+            (b'<', Some(b'=')) => {
+                self.bump();
+                Le
+            }
+            (b'<', Some(b'<')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    AugAssign
+                } else {
+                    LShift
+                }
+            }
+            (b'<', _) => Lt,
+            (b'>', Some(b'=')) => {
+                self.bump();
+                Ge
+            }
+            (b'>', Some(b'>')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    AugAssign
+                } else {
+                    RShift
+                }
+            }
+            (b'>', _) => Gt,
+            (b'+', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'+', _) => Plus,
+            (b'-', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'-', _) => Minus,
+            (b'*', Some(b'*')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    AugAssign
+                } else {
+                    DoubleStar
+                }
+            }
+            (b'*', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'*', _) => Star,
+            (b'/', Some(b'/')) => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    AugAssign
+                } else {
+                    DoubleSlash
+                }
+            }
+            (b'/', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'/', _) => Slash,
+            (b'%', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'%', _) => Percent,
+            (b'|', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'|', _) => Pipe,
+            (b'&', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'&', _) => Amp,
+            (b'^', Some(b'=')) => {
+                self.bump();
+                AugAssign
+            }
+            (b'^', _) => Caret,
+            _ => return Err(self.error(ParseErrorKind::UnexpectedChar(b as char))),
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 1\n"),
+            vec![Name, Assign, Number, Newline, EndOfFile]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        use TokenKind::*;
+        let src = "def f():\n    return 1\n";
+        assert_eq!(
+            kinds(src),
+            vec![
+                KwDef, Name, LParen, RParen, Colon, Newline, Indent, KwReturn, Number, Newline,
+                Dedent, EndOfFile
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_dedents_at_eof() {
+        let src = "if a:\n    if b:\n        pass";
+        let k = kinds(src);
+        let dedents = k.iter().filter(|&&t| t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn newlines_suppressed_in_brackets() {
+        let src = "x = (1 +\n     2)\n";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|&&t| t == TokenKind::Newline).count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "# header\n\nx = 1  # trailing\n\n# done\n";
+        use TokenKind::*;
+        assert_eq!(kinds(src), vec![Name, Assign, Number, Newline, EndOfFile]);
+    }
+
+    #[test]
+    fn string_variants() {
+        for s in ["'a'", "\"a\"", "'''multi\nline'''", "f'x{y}'", "rb'raw'", "'esc\\''"] {
+            let toks = tokenize(s).unwrap();
+            assert_eq!(toks[0].kind, TokenKind::Str, "input: {s}");
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("x = 'oops\n").is_err());
+        assert!(tokenize("x = '''oops").is_err());
+    }
+
+    #[test]
+    fn number_variants() {
+        for s in ["0", "42", "3.14", "1e10", "1E-3", "0x1f", "0b101", "1_000", "2.5j", ".5"] {
+            let toks = tokenize(s).unwrap();
+            assert_eq!(toks[0].kind, TokenKind::Number, "input: {s}");
+            assert_eq!(toks[0].lexeme, s, "input: {s}");
+        }
+    }
+
+    #[test]
+    fn method_call_on_number_not_swallowed() {
+        use TokenKind::*;
+        // `1 .bit_length()` style: ensure `1..2` doesn't lex the dots into the number.
+        assert_eq!(kinds("x[1:2]\n")[..6], [Name, LBracket, Number, Colon, Number, RBracket]);
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a += b ** c // d != e\n"),
+            vec![Name, AugAssign, Name, DoubleStar, Name, DoubleSlash, Name, NotEq, Name, Newline, EndOfFile]
+        );
+    }
+
+    #[test]
+    fn walrus_and_arrow() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("def f() -> int:\n    pass\n")[4],
+            Arrow.to_owned()
+        );
+        assert!(kinds("if (n := 10) > 5:\n    pass\n").contains(&Walrus));
+    }
+
+    #[test]
+    fn line_continuation() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 1 + \\\n    2\n"),
+            vec![Name, Assign, Number, Plus, Number, Newline, EndOfFile]
+        );
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        let src = "if a:\n        pass\n    pass\n";
+        assert!(tokenize(src).is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = tokenize("a = 1\nb = 2\n").unwrap();
+        let b = toks.iter().find(|t| t.lexeme == "b").unwrap();
+        assert_eq!(b.span.start.line, 2);
+        assert_eq!(b.span.start.col, 0);
+    }
+
+    #[test]
+    fn decorator_at() {
+        use TokenKind::*;
+        assert_eq!(kinds("@dec\ndef f():\n    pass\n")[0], At);
+    }
+
+    #[test]
+    fn ellipsis_literal() {
+        assert!(kinds("x = ...\n").contains(&TokenKind::Ellipsis));
+    }
+}

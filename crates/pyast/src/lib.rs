@@ -1,0 +1,45 @@
+//! # typilus-pyast
+//!
+//! A lexer, parser, AST and symbol table for a substantial subset of
+//! Python 3, built for the Rust reproduction of *Typilus: Neural Type
+//! Hints* (Allamanis et al., PLDI 2020). It plays the role of CPython's
+//! `typed_ast` and `symtable` modules in the original system: everything
+//! the program-graph builder, the corpus tooling and the optional type
+//! checker need to see about a source file.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use typilus_pyast::{parse, SymbolTable};
+//!
+//! # fn main() -> Result<(), typilus_pyast::ParseError> {
+//! let parsed = parse("def add(a: int, b: int) -> int:\n    return a + b\n")?;
+//! let table = SymbolTable::build(&parsed.module);
+//! let annotated: Vec<_> = table
+//!     .annotatable_symbols()
+//!     .filter(|s| s.annotation.is_some())
+//!     .map(|s| (s.name.as_str(), s.annotation.as_deref().unwrap()))
+//!     .collect();
+//! assert!(annotated.contains(&("a", "int")));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod symtable;
+pub mod token;
+pub mod visit;
+
+pub use ast::{Expr, ExprKind, Module, NodeId, NodeMeta, Param, Stmt, StmtKind};
+pub use error::{ParseError, ParseErrorKind};
+pub use lexer::tokenize;
+pub use parser::{parse, Parsed};
+pub use span::{Pos, Span};
+pub use symtable::{Scope, ScopeId, ScopeKind, Symbol, SymbolId, SymbolKind, SymbolTable};
+pub use token::{Token, TokenKind};

@@ -1,0 +1,132 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that downstream consumers
+//! (the graph builder, the type checker, error reports) can point back into
+//! the original source text.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in a source file, expressed both as a byte offset and as a
+/// 1-based line / 0-based column pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pos {
+    /// Byte offset from the start of the file.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 0-based column (in bytes) within the line.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The position of the first byte of a file.
+    pub const START: Pos = Pos { offset: 0, line: 1, col: 0 };
+
+    /// Creates a position from its raw parts.
+    pub fn new(offset: usize, line: u32, col: u32) -> Self {
+        Pos { offset, line, col }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::START
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col + 1)
+    }
+}
+
+/// A half-open byte range `[start, end)` in a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Start position (inclusive).
+    pub start: Pos,
+    /// End position (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span from two positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `end` precedes `start`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        debug_assert!(start.offset <= end.offset, "span end precedes start");
+        Span { start, end }
+    }
+
+    /// A zero-width span at the given position.
+    pub fn point(pos: Pos) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start.offset <= other.start.offset { self.start } else { other.start },
+            end: if self.end.offset >= other.end.offset { self.end } else { other.end },
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.offset - self.start.offset
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the spanned text from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start.offset..self.end.offset]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(Pos::new(0, 1, 0), Pos::new(4, 1, 4));
+        let b = Span::new(Pos::new(2, 1, 2), Pos::new(9, 1, 9));
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).len(), 9);
+    }
+
+    #[test]
+    fn text_extraction() {
+        let src = "hello world";
+        let s = Span::new(Pos::new(6, 1, 6), Pos::new(11, 1, 11));
+        assert_eq!(s.text(src), "world");
+    }
+
+    #[test]
+    fn display_positions() {
+        let p = Pos::new(10, 3, 4);
+        assert_eq!(p.to_string(), "3:5");
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        assert!(Span::point(Pos::START).is_empty());
+    }
+}

@@ -1,0 +1,937 @@
+//! Symbol table construction for parsed modules.
+//!
+//! The symbol table mirrors what CPython's `symtable` module provides and
+//! what Typilus' graph construction needs: a unique *symbol* per binding
+//! (variable, parameter, function return, function, class, import, class
+//! member), the scope it lives in, its type annotation if one was written,
+//! and the source-ordered list of *occurrences* — the name tokens bound to
+//! it. Function returns get a dedicated symbol, as in the paper.
+
+use crate::ast::*;
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a scope within one [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScopeId(pub u32);
+
+/// Identifier of a symbol within one [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+/// What kind of program entity a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A local or module-level variable.
+    Variable,
+    /// A function parameter.
+    Parameter,
+    /// The return "slot" of a function; one per function definition.
+    Return,
+    /// A function or method name.
+    Function,
+    /// A class name.
+    Class,
+    /// A name introduced by an import.
+    Import,
+    /// An attribute of `self`, i.e. an instance member.
+    ClassMember,
+    /// A free name never bound in the file (builtin or external).
+    Unresolved,
+}
+
+impl SymbolKind {
+    /// Whether Typilus predicts a type for symbols of this kind
+    /// (the paper predicts variables, parameters and function returns).
+    pub fn is_annotatable(self) -> bool {
+        matches!(
+            self,
+            SymbolKind::Variable
+                | SymbolKind::Parameter
+                | SymbolKind::Return
+                | SymbolKind::ClassMember
+        )
+    }
+}
+
+/// The kind of a lexical scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScopeKind {
+    /// The file/module scope.
+    Module,
+    /// A function or method body (also lambdas).
+    Function,
+    /// A class body.
+    Class,
+}
+
+/// One lexical scope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scope {
+    /// This scope's id.
+    pub id: ScopeId,
+    /// Enclosing scope, `None` for the module scope.
+    pub parent: Option<ScopeId>,
+    /// Function/class/module kind.
+    pub kind: ScopeKind,
+    /// Name of the defining construct (function or class name; `<module>`).
+    pub name: String,
+}
+
+/// A unique program symbol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Symbol {
+    /// This symbol's id.
+    pub id: SymbolId,
+    /// Surface name (`x`, `self.weight`, function name for returns).
+    pub name: String,
+    /// Entity kind.
+    pub kind: SymbolKind,
+    /// Scope the symbol is defined in.
+    pub scope: ScopeId,
+    /// Annotation text (`List[int]`) if the source annotates this symbol.
+    pub annotation: Option<String>,
+    /// Span of the annotation expression, if any.
+    pub annotation_span: Option<Span>,
+    /// Span of the defining occurrence (first binding).
+    pub def_span: Span,
+    /// All name-token spans bound to this symbol, in source order.
+    pub occurrences: Vec<Span>,
+}
+
+impl Symbol {
+    /// Whether this symbol is a prediction target for Typilus.
+    ///
+    /// `self`/`cls` receivers are excluded, as is CPython convention
+    /// (they are never annotated).
+    pub fn is_annotatable(&self) -> bool {
+        self.kind.is_annotatable() && self.name != "self" && self.name != "cls"
+    }
+}
+
+/// The symbol table of one module.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    scopes: Vec<Scope>,
+    symbols: Vec<Symbol>,
+    /// Occurrence start offset -> symbol. Spans of name tokens are unique
+    /// by their start offset within one file.
+    occurrence_index: HashMap<usize, SymbolId>,
+    /// Function-def node id -> return symbol.
+    return_symbols: HashMap<NodeId, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Builds the symbol table for a parsed module.
+    pub fn build(module: &Module) -> SymbolTable {
+        let mut builder = Builder::new();
+        builder.run(module);
+        builder.table
+    }
+
+    /// All scopes, module scope first.
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// All symbols in creation order.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Looks up a symbol by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// Resolves the symbol bound at a name-token span, if any.
+    pub fn symbol_at(&self, span: Span) -> Option<&Symbol> {
+        self.occurrence_index.get(&span.start.offset).map(|&id| self.symbol(id))
+    }
+
+    /// The return symbol of a function definition statement.
+    pub fn return_symbol(&self, func_node: NodeId) -> Option<&Symbol> {
+        self.return_symbols.get(&func_node).map(|&id| self.symbol(id))
+    }
+
+    /// Iterates over the symbols Typilus may predict types for.
+    pub fn annotatable_symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| s.is_annotatable())
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the table contains no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+struct Builder {
+    table: SymbolTable,
+    /// Per-scope name -> symbol map.
+    bindings: Vec<HashMap<String, SymbolId>>,
+    /// Names declared `global` in each scope.
+    globals: Vec<Vec<String>>,
+    /// Class scope owning `self` members, per active method chain.
+    current_class: Vec<ScopeId>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            table: SymbolTable::default(),
+            bindings: Vec::new(),
+            globals: Vec::new(),
+            current_class: Vec::new(),
+        }
+    }
+
+    fn push_scope(&mut self, parent: Option<ScopeId>, kind: ScopeKind, name: &str) -> ScopeId {
+        let id = ScopeId(self.table.scopes.len() as u32);
+        self.table.scopes.push(Scope { id, parent, kind, name: name.to_string() });
+        self.bindings.push(HashMap::new());
+        self.globals.push(Vec::new());
+        id
+    }
+
+    fn new_symbol(
+        &mut self,
+        name: &str,
+        kind: SymbolKind,
+        scope: ScopeId,
+        def_span: Span,
+    ) -> SymbolId {
+        let id = SymbolId(self.table.symbols.len() as u32);
+        self.table.symbols.push(Symbol {
+            id,
+            name: name.to_string(),
+            kind,
+            scope,
+            annotation: None,
+            annotation_span: None,
+            def_span,
+            occurrences: Vec::new(),
+        });
+        id
+    }
+
+    fn bind(&mut self, scope: ScopeId, name: &str, kind: SymbolKind, span: Span) -> SymbolId {
+        if let Some(&existing) = self.bindings[scope.0 as usize].get(name) {
+            return existing;
+        }
+        let id = self.new_symbol(name, kind, scope, span);
+        self.bindings[scope.0 as usize].insert(name.to_string(), id);
+        id
+    }
+
+    fn record_occurrence(&mut self, id: SymbolId, span: Span) {
+        let sym = &mut self.table.symbols[id.0 as usize];
+        // Occurrences arrive roughly in source order; keep the list sorted.
+        match sym.occurrences.binary_search_by_key(&span.start.offset, |s| s.start.offset) {
+            Ok(_) => {} // same token seen twice: ignore
+            Err(pos) => sym.occurrences.insert(pos, span),
+        }
+        self.table.occurrence_index.insert(span.start.offset, id);
+    }
+
+    fn resolve(&self, scope: ScopeId, name: &str) -> Option<SymbolId> {
+        let mut cur = Some(scope);
+        let mut first = true;
+        while let Some(sid) = cur {
+            let s = &self.table.scopes[sid.0 as usize];
+            // Python name resolution skips class scopes for nested
+            // functions; only the scope itself sees class-level names.
+            let visible = first || s.kind != ScopeKind::Class;
+            if visible {
+                if let Some(&sym) = self.bindings[sid.0 as usize].get(name) {
+                    return Some(sym);
+                }
+            }
+            cur = s.parent;
+            first = false;
+        }
+        None
+    }
+
+    fn run(&mut self, module: &Module) {
+        let scope = self.push_scope(None, ScopeKind::Module, "<module>");
+        self.collect_bindings(scope, &module.body);
+        for stmt in &module.body {
+            self.visit_stmt(scope, stmt);
+        }
+    }
+
+    /// Pass 1 for one scope: create symbols for every name the scope binds.
+    fn collect_bindings(&mut self, scope: ScopeId, body: &[Stmt]) {
+        for stmt in body {
+            self.collect_stmt(scope, stmt);
+        }
+    }
+
+    fn collect_stmt(&mut self, scope: ScopeId, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::FunctionDef(f) => {
+                self.bind(scope, &f.name, SymbolKind::Function, f.name_span);
+            }
+            StmtKind::ClassDef(c) => {
+                self.bind(scope, &c.name, SymbolKind::Class, c.name_span);
+            }
+            StmtKind::Assign { targets, .. } => {
+                for t in targets {
+                    self.collect_target(scope, t);
+                }
+            }
+            StmtKind::AugAssign { target, .. } => self.collect_target(scope, target),
+            StmtKind::AnnAssign { target, annotation, .. } => {
+                if let Some(name) = target.as_name() {
+                    let id = self.bind(scope, name, SymbolKind::Variable, target.meta.span);
+                    let sym = &mut self.table.symbols[id.0 as usize];
+                    if sym.annotation.is_none() {
+                        sym.annotation = annotation.annotation_text();
+                        sym.annotation_span = Some(annotation.meta.span);
+                    }
+                } else {
+                    self.collect_target(scope, target);
+                }
+            }
+            StmtKind::For { target, body, orelse, .. } => {
+                self.collect_target(scope, target);
+                self.collect_bindings(scope, body);
+                self.collect_bindings(scope, orelse);
+            }
+            StmtKind::While { body, orelse, .. } | StmtKind::If { body, orelse, .. } => {
+                self.collect_bindings(scope, body);
+                self.collect_bindings(scope, orelse);
+            }
+            StmtKind::With { items, body } => {
+                for item in items {
+                    if let Some(t) = &item.target {
+                        self.collect_target(scope, t);
+                    }
+                }
+                self.collect_bindings(scope, body);
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                self.collect_bindings(scope, body);
+                for h in handlers {
+                    if let (Some(name), Some(span)) = (&h.name, h.name_span) {
+                        self.bind(scope, name, SymbolKind::Variable, span);
+                    }
+                    self.collect_bindings(scope, &h.body);
+                }
+                self.collect_bindings(scope, orelse);
+                self.collect_bindings(scope, finalbody);
+            }
+            StmtKind::Import(aliases) | StmtKind::ImportFrom { names: aliases, .. } => {
+                for a in aliases {
+                    if a.name == "*" {
+                        continue;
+                    }
+                    let bound = a
+                        .asname
+                        .clone()
+                        .unwrap_or_else(|| {
+                            a.name.split('.').next().unwrap_or(&a.name).to_string()
+                        });
+                    self.bind(scope, &bound, SymbolKind::Import, a.bind_span);
+                }
+            }
+            StmtKind::Global(names) => {
+                // Bind eagerly so later assignments in pass 1 reuse the
+                // module-level symbol instead of creating a shadow local.
+                for n in names {
+                    self.globals[scope.0 as usize].push(n.clone());
+                    let module_scope = ScopeId(0);
+                    let id = self.bind(module_scope, n, SymbolKind::Variable, stmt.meta.span);
+                    self.bindings[scope.0 as usize].insert(n.clone(), id);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_target(&mut self, scope: ScopeId, target: &Expr) {
+        match &target.kind {
+            ExprKind::Name(n) => {
+                self.bind(scope, n, SymbolKind::Variable, target.meta.span);
+            }
+            ExprKind::Tuple(items) | ExprKind::List(items) => {
+                for e in items {
+                    self.collect_target(scope, e);
+                }
+            }
+            ExprKind::Starred(inner) => self.collect_target(scope, inner),
+            ExprKind::Attribute { value, attr, attr_span }
+                // `self.x = ...` binds a class member.
+                if value.as_name() == Some("self") => {
+                    if let Some(class_scope) = self.current_class.last().copied() {
+                        self.bind(
+                            class_scope,
+                            &format!("self.{attr}"),
+                            SymbolKind::ClassMember,
+                            *attr_span,
+                        );
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    /// Pass 2: resolve uses, attach occurrences, recurse into nested scopes.
+    fn visit_stmt(&mut self, scope: ScopeId, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::FunctionDef(f) => {
+                // The function name occurrence in the enclosing scope.
+                if let Some(id) = self.resolve(scope, &f.name) {
+                    self.record_occurrence(id, f.name_span);
+                }
+                for d in &f.decorators {
+                    self.visit_expr(scope, d);
+                }
+                // Annotations and defaults evaluate in the enclosing scope.
+                for p in &f.params {
+                    if let Some(a) = &p.annotation {
+                        self.visit_expr(scope, a);
+                    }
+                    if let Some(d) = &p.default {
+                        self.visit_expr(scope, d);
+                    }
+                }
+                if let Some(r) = &f.returns {
+                    self.visit_expr(scope, r);
+                }
+                // New function scope.
+                let fscope = self.push_scope(Some(scope), ScopeKind::Function, &f.name);
+                for p in &f.params {
+                    let id = self.bind(fscope, &p.name, SymbolKind::Parameter, p.name_span);
+                    self.record_occurrence(id, p.name_span);
+                    let sym = &mut self.table.symbols[id.0 as usize];
+                    if sym.annotation.is_none() {
+                        sym.annotation = p.annotation.as_ref().and_then(|a| a.annotation_text());
+                        sym.annotation_span = p.annotation.as_ref().map(|a| a.meta.span);
+                    }
+                }
+                // Dedicated return symbol, anchored at the function name.
+                let ret = self.new_symbol(&f.name, SymbolKind::Return, fscope, f.name_span);
+                self.table.symbols[ret.0 as usize].annotation =
+                    f.returns.as_ref().and_then(|r| r.annotation_text());
+                self.table.symbols[ret.0 as usize].annotation_span =
+                    f.returns.as_ref().map(|r| r.meta.span);
+                self.table.return_symbols.insert(stmt.meta.id, ret);
+                self.collect_bindings(fscope, &f.body);
+                for s in &f.body {
+                    self.visit_stmt(fscope, s);
+                }
+            }
+            StmtKind::ClassDef(c) => {
+                if let Some(id) = self.resolve(scope, &c.name) {
+                    self.record_occurrence(id, c.name_span);
+                }
+                for d in &c.decorators {
+                    self.visit_expr(scope, d);
+                }
+                for b in &c.bases {
+                    self.visit_expr(scope, b);
+                }
+                for k in &c.keywords {
+                    self.visit_expr(scope, &k.value);
+                }
+                let cscope = self.push_scope(Some(scope), ScopeKind::Class, &c.name);
+                self.current_class.push(cscope);
+                // Pre-collect `self.x` member bindings from all methods so
+                // member reads in any method resolve.
+                self.collect_members(cscope, &c.body);
+                self.collect_bindings(cscope, &c.body);
+                for s in &c.body {
+                    self.visit_stmt(cscope, s);
+                }
+                self.current_class.pop();
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    self.visit_expr(scope, e);
+                }
+            }
+            StmtKind::Assign { targets, value } => {
+                self.visit_expr(scope, value);
+                for t in targets {
+                    self.visit_expr(scope, t);
+                }
+            }
+            StmtKind::AugAssign { target, value, .. } => {
+                self.visit_expr(scope, value);
+                self.visit_expr(scope, target);
+            }
+            StmtKind::AnnAssign { target, annotation, value } => {
+                if let Some(e) = value {
+                    self.visit_expr(scope, e);
+                }
+                self.visit_expr(scope, annotation);
+                self.visit_expr(scope, target);
+                // Annotate `self.x: T` members.
+                if let ExprKind::Attribute { value: recv, attr, .. } = &target.kind {
+                    if recv.as_name() == Some("self") {
+                        if let Some(class_scope) = self.current_class.last().copied() {
+                            if let Some(id) = self.resolve(class_scope, &format!("self.{attr}")) {
+                                let sym = &mut self.table.symbols[id.0 as usize];
+                                if sym.annotation.is_none() {
+                                    sym.annotation = annotation.annotation_text();
+                                    sym.annotation_span = Some(annotation.meta.span);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            StmtKind::For { target, iter, body, orelse, .. } => {
+                self.visit_expr(scope, iter);
+                self.visit_expr(scope, target);
+                for s in body.iter().chain(orelse) {
+                    self.visit_stmt(scope, s);
+                }
+            }
+            StmtKind::While { test, body, orelse } | StmtKind::If { test, body, orelse } => {
+                self.visit_expr(scope, test);
+                for s in body.iter().chain(orelse) {
+                    self.visit_stmt(scope, s);
+                }
+            }
+            StmtKind::With { items, body } => {
+                for item in items {
+                    self.visit_expr(scope, &item.context);
+                    if let Some(t) = &item.target {
+                        self.visit_expr(scope, t);
+                    }
+                }
+                for s in body {
+                    self.visit_stmt(scope, s);
+                }
+            }
+            StmtKind::Raise { exc, cause } => {
+                for e in [exc, cause].into_iter().flatten() {
+                    self.visit_expr(scope, e);
+                }
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                for s in body {
+                    self.visit_stmt(scope, s);
+                }
+                for h in handlers {
+                    if let Some(e) = &h.exc_type {
+                        self.visit_expr(scope, e);
+                    }
+                    if let (Some(name), Some(span)) = (&h.name, h.name_span) {
+                        if let Some(id) = self.resolve(scope, name) {
+                            self.record_occurrence(id, span);
+                        }
+                    }
+                    for s in &h.body {
+                        self.visit_stmt(scope, s);
+                    }
+                }
+                for s in orelse.iter().chain(finalbody) {
+                    self.visit_stmt(scope, s);
+                }
+            }
+            StmtKind::Assert { test, msg } => {
+                self.visit_expr(scope, test);
+                if let Some(m) = msg {
+                    self.visit_expr(scope, m);
+                }
+            }
+            StmtKind::Import(aliases) | StmtKind::ImportFrom { names: aliases, .. } => {
+                for a in aliases {
+                    if a.name == "*" {
+                        continue;
+                    }
+                    let bound = a
+                        .asname
+                        .clone()
+                        .unwrap_or_else(|| a.name.split('.').next().unwrap_or(&a.name).to_string());
+                    if let Some(id) = self.resolve(scope, &bound) {
+                        self.record_occurrence(id, a.bind_span);
+                    }
+                }
+            }
+            StmtKind::Expr(e) => self.visit_expr(scope, e),
+            StmtKind::Delete(targets) => {
+                for t in targets {
+                    self.visit_expr(scope, t);
+                }
+            }
+            StmtKind::Global(names) => {
+                // Rebind the listed names to module-scope symbols.
+                for n in names {
+                    let module_scope = ScopeId(0);
+                    let id = self.bind(module_scope, n, SymbolKind::Variable, stmt.meta.span);
+                    self.bindings[scope.0 as usize].insert(n.clone(), id);
+                }
+            }
+            StmtKind::Nonlocal(names) => {
+                for n in names {
+                    if let Some(parent) = self.table.scopes[scope.0 as usize].parent {
+                        if let Some(id) = self.resolve(parent, n) {
+                            self.bindings[scope.0 as usize].insert(n.clone(), id);
+                        }
+                    }
+                }
+            }
+            StmtKind::Pass | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+
+    /// Scans method bodies of a class for `self.x` bindings (pass 1b).
+    fn collect_members(&mut self, class_scope: ScopeId, body: &[Stmt]) {
+        struct MemberScan<'b> {
+            builder: &'b mut Builder,
+            class_scope: ScopeId,
+        }
+        impl crate::visit::Visitor for MemberScan<'_> {
+            fn visit_stmt(&mut self, stmt: &Stmt) {
+                let targets: Vec<&Expr> = match &stmt.kind {
+                    StmtKind::Assign { targets, .. } => targets.iter().collect(),
+                    StmtKind::AnnAssign { target, .. } | StmtKind::AugAssign { target, .. } => {
+                        vec![target]
+                    }
+                    _ => return,
+                };
+                for t in targets {
+                    if let ExprKind::Attribute { value, attr, attr_span } = &t.kind {
+                        if value.as_name() == Some("self") {
+                            self.builder.bind(
+                                self.class_scope,
+                                &format!("self.{attr}"),
+                                SymbolKind::ClassMember,
+                                *attr_span,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let mut scan = MemberScan { builder: self, class_scope };
+        for s in body {
+            crate::visit::walk_stmt(&mut scan, s);
+        }
+    }
+
+    fn visit_expr(&mut self, scope: ScopeId, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::Name(n) => {
+                let id = match self.resolve(scope, n) {
+                    Some(id) => id,
+                    None => {
+                        // Free name: builtin or external. One symbol per
+                        // name at module scope so repeated uses connect.
+                        let module_scope = ScopeId(0);
+                        let id = self.bind(module_scope, n, SymbolKind::Unresolved, expr.meta.span);
+                        self.bindings[scope.0 as usize].insert(n.clone(), id);
+                        id
+                    }
+                };
+                self.record_occurrence(id, expr.meta.span);
+            }
+            ExprKind::Attribute { value, attr, attr_span } => {
+                self.visit_expr(scope, value);
+                if value.as_name() == Some("self") {
+                    if let Some(class_scope) = self.current_class.last().copied() {
+                        if let Some(id) = self.resolve(class_scope, &format!("self.{attr}")) {
+                            self.record_occurrence(id, *attr_span);
+                        }
+                    }
+                }
+            }
+            ExprKind::Lambda { params, body } => {
+                for p in params {
+                    if let Some(d) = &p.default {
+                        self.visit_expr(scope, d);
+                    }
+                }
+                let lscope = self.push_scope(Some(scope), ScopeKind::Function, "<lambda>");
+                for p in params {
+                    let id = self.bind(lscope, &p.name, SymbolKind::Parameter, p.name_span);
+                    self.record_occurrence(id, p.name_span);
+                }
+                self.visit_expr(lscope, body);
+            }
+            ExprKind::Comprehension { element, value, clauses, .. } => {
+                // Comprehension targets bind in the current scope
+                // (a simplification of Python's comprehension scopes that
+                // matches how the graph uses them).
+                for c in clauses {
+                    self.visit_expr(scope, &c.iter);
+                    self.collect_target(scope, &c.target);
+                    self.visit_expr(scope, &c.target);
+                    for i in &c.ifs {
+                        self.visit_expr(scope, i);
+                    }
+                }
+                self.visit_expr(scope, element);
+                if let Some(v) = value {
+                    self.visit_expr(scope, v);
+                }
+            }
+            ExprKind::Walrus { target, value } => {
+                self.visit_expr(scope, value);
+                self.collect_target(scope, target);
+                self.visit_expr(scope, target);
+            }
+            // Everything else: plain recursion.
+            ExprKind::Tuple(items) | ExprKind::List(items) | ExprKind::Set(items) => {
+                for e in items {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::Dict { keys, values } => {
+                for k in keys.iter().flatten() {
+                    self.visit_expr(scope, k);
+                }
+                for e in values {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::BinOp { left, right, .. } => {
+                self.visit_expr(scope, left);
+                self.visit_expr(scope, right);
+            }
+            ExprKind::UnaryOp { operand, .. } => self.visit_expr(scope, operand),
+            ExprKind::BoolOp { values, .. } => {
+                for e in values {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::Compare { left, comparators, .. } => {
+                self.visit_expr(scope, left);
+                for e in comparators {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::Call { func, args, keywords } => {
+                self.visit_expr(scope, func);
+                for e in args {
+                    self.visit_expr(scope, e);
+                }
+                for k in keywords {
+                    self.visit_expr(scope, &k.value);
+                }
+            }
+            ExprKind::Subscript { value, index } => {
+                self.visit_expr(scope, value);
+                self.visit_expr(scope, index);
+            }
+            ExprKind::Slice { lower, upper, step } => {
+                for e in [lower, upper, step].into_iter().flatten() {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::IfExp { test, body, orelse } => {
+                self.visit_expr(scope, test);
+                self.visit_expr(scope, body);
+                self.visit_expr(scope, orelse);
+            }
+            ExprKind::Starred(inner) => self.visit_expr(scope, inner),
+            ExprKind::Yield(v) => {
+                if let Some(e) = v {
+                    self.visit_expr(scope, e);
+                }
+            }
+            ExprKind::YieldFrom(e) | ExprKind::Await(e) => self.visit_expr(scope, e),
+            ExprKind::Num(_)
+            | ExprKind::Str(_)
+            | ExprKind::FString(_)
+            | ExprKind::Bool(_)
+            | ExprKind::NoneLit
+            | ExprKind::EllipsisLit => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table(src: &str) -> SymbolTable {
+        SymbolTable::build(&parse(src).unwrap().module)
+    }
+
+    fn find<'t>(t: &'t SymbolTable, name: &str, kind: SymbolKind) -> &'t Symbol {
+        t.symbols()
+            .iter()
+            .find(|s| s.name == name && s.kind == kind)
+            .unwrap_or_else(|| panic!("symbol {name} ({kind:?}) not found"))
+    }
+
+    #[test]
+    fn parameters_and_locals() {
+        let t = table("def f(a: int, b):\n    c = a + b\n    return c\n");
+        let a = find(&t, "a", SymbolKind::Parameter);
+        assert_eq!(a.annotation.as_deref(), Some("int"));
+        assert_eq!(a.occurrences.len(), 2); // declaration + use
+        let c = find(&t, "c", SymbolKind::Variable);
+        assert_eq!(c.occurrences.len(), 2); // assignment + return
+    }
+
+    #[test]
+    fn return_symbol_created() {
+        let src = "def f() -> str:\n    return 'x'\n";
+        let parsed = parse(src).unwrap();
+        let t = SymbolTable::build(&parsed.module);
+        let func_node = parsed.module.body[0].meta.id;
+        let ret = t.return_symbol(func_node).expect("return symbol");
+        assert_eq!(ret.kind, SymbolKind::Return);
+        assert_eq!(ret.annotation.as_deref(), Some("str"));
+    }
+
+    #[test]
+    fn self_members_bind_in_class_scope() {
+        let src = "\
+class A:
+    def __init__(self):
+        self.count = 0
+    def inc(self):
+        self.count += 1
+";
+        let t = table(src);
+        let m = find(&t, "self.count", SymbolKind::ClassMember);
+        assert_eq!(m.occurrences.len(), 2, "member used in both methods");
+    }
+
+    #[test]
+    fn annotated_member() {
+        let src = "\
+class A:
+    def __init__(self):
+        self.items: List[int] = []
+";
+        let t = table(src);
+        let m = find(&t, "self.items", SymbolKind::ClassMember);
+        assert_eq!(m.annotation.as_deref(), Some("List[int]"));
+    }
+
+    #[test]
+    fn module_and_function_scopes_are_distinct() {
+        let t = table("x = 1\ndef f():\n    x = 2\n    return x\n");
+        let xs: Vec<&Symbol> =
+            t.symbols().iter().filter(|s| s.name == "x" && s.kind == SymbolKind::Variable).collect();
+        assert_eq!(xs.len(), 2, "two distinct x symbols");
+        assert_ne!(xs[0].scope, xs[1].scope);
+    }
+
+    #[test]
+    fn global_links_to_module_symbol() {
+        let t = table("count = 0\ndef bump():\n    global count\n    count = count + 1\n");
+        let counts: Vec<&Symbol> =
+            t.symbols().iter().filter(|s| s.name == "count" && s.kind == SymbolKind::Variable).collect();
+        assert_eq!(counts.len(), 1, "global shares the module symbol");
+        assert_eq!(counts[0].occurrences.len(), 3);
+    }
+
+    #[test]
+    fn closure_reads_enclosing() {
+        let t = table("def outer():\n    n = 1\n    def inner():\n        return n\n    return inner\n");
+        let n = find(&t, "n", SymbolKind::Variable);
+        assert_eq!(n.occurrences.len(), 2, "definition + closure read");
+    }
+
+    #[test]
+    fn unresolved_names_are_shared() {
+        let t = table("a = range(3)\nb = range(5)\n");
+        let r = find(&t, "range", SymbolKind::Unresolved);
+        assert_eq!(r.occurrences.len(), 2);
+    }
+
+    #[test]
+    fn imports_bind() {
+        let t = table("import os.path as osp\nfrom typing import List\np = osp.join('a')\nxs: List = []\n");
+        assert_eq!(find(&t, "osp", SymbolKind::Import).occurrences.len(), 2);
+        assert_eq!(find(&t, "List", SymbolKind::Import).occurrences.len(), 2);
+    }
+
+    #[test]
+    fn for_and_with_targets() {
+        let t = table("for i in range(3):\n    print(i)\nwith open('f') as fh:\n    fh.read()\n");
+        assert_eq!(find(&t, "i", SymbolKind::Variable).occurrences.len(), 2);
+        assert_eq!(find(&t, "fh", SymbolKind::Variable).occurrences.len(), 2);
+    }
+
+    #[test]
+    fn tuple_unpacking_targets() {
+        let t = table("a, (b, c) = 1, (2, 3)\n");
+        for name in ["a", "b", "c"] {
+            find(&t, name, SymbolKind::Variable);
+        }
+    }
+
+    #[test]
+    fn annotatable_excludes_self_and_functions() {
+        let src = "\
+class A:
+    def m(self, x: int) -> int:
+        return x
+";
+        let t = table(src);
+        let names: Vec<&str> =
+            t.annotatable_symbols().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"x"));
+        assert!(!names.contains(&"self"));
+        // `m` appears only as the return symbol, not the function symbol.
+        let m_syms: Vec<SymbolKind> = t
+            .annotatable_symbols()
+            .filter(|s| s.name == "m")
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(m_syms, vec![SymbolKind::Return]);
+    }
+
+    #[test]
+    fn occurrence_lookup_by_span() {
+        let src = "value = 1\nresult = value + 2\n";
+        let parsed = parse(src).unwrap();
+        let t = SymbolTable::build(&parsed.module);
+        // Find the second `value` token.
+        let tok = parsed
+            .tokens
+            .iter()
+            .filter(|tk| tk.lexeme == "value")
+            .nth(1)
+            .unwrap();
+        let sym = t.symbol_at(tok.span).expect("resolved");
+        assert_eq!(sym.name, "value");
+        assert_eq!(sym.kind, SymbolKind::Variable);
+    }
+
+    #[test]
+    fn walrus_binds() {
+        let t = table("if (n := compute()) > 0:\n    print(n)\n");
+        assert_eq!(find(&t, "n", SymbolKind::Variable).occurrences.len(), 2);
+    }
+
+    #[test]
+    fn comprehension_targets_bind() {
+        let t = table("ys = [x * x for x in range(5)]\n");
+        let x = find(&t, "x", SymbolKind::Variable);
+        assert_eq!(x.occurrences.len(), 3); // two in element, one as target
+    }
+
+    #[test]
+    fn except_as_binds() {
+        let t = table("try:\n    pass\nexcept ValueError as err:\n    print(err)\n");
+        assert_eq!(find(&t, "err", SymbolKind::Variable).occurrences.len(), 2);
+    }
+
+    #[test]
+    fn lambda_params_bind() {
+        let t = table("f = lambda u, v: u + v\n");
+        assert_eq!(find(&t, "u", SymbolKind::Parameter).occurrences.len(), 2);
+    }
+}

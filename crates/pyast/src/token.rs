@@ -1,0 +1,262 @@
+//! Lexical tokens for the Python subset.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword variants (`Kw*`) and operator variants carry no payload; their
+/// names mirror the Python surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// Identifier or keyword-like name (keywords get their own kinds below).
+    Name,
+    /// Integer or floating point literal.
+    Number,
+    /// String literal (any quoting style, including f-strings).
+    Str,
+    /// Logical newline terminating a statement.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of file.
+    EndOfFile,
+
+    // Keywords.
+    KwDef,
+    KwClass,
+    KwReturn,
+    KwYield,
+    KwIf,
+    KwElif,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwIn,
+    KwNotIn,
+    KwIs,
+    KwIsNot,
+    KwNot,
+    KwAnd,
+    KwOr,
+    KwPass,
+    KwBreak,
+    KwContinue,
+    KwImport,
+    KwFrom,
+    KwAs,
+    KwTry,
+    KwExcept,
+    KwFinally,
+    KwRaise,
+    KwWith,
+    KwAssert,
+    KwLambda,
+    KwGlobal,
+    KwNonlocal,
+    KwDel,
+    KwTrue,
+    KwFalse,
+    KwNone,
+    KwAwait,
+    KwAsync,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    Arrow,
+    At,
+    Assign,
+    /// Augmented assignment such as `+=`; the exact operator is in the lexeme.
+    AugAssign,
+    /// The walrus operator `:=`.
+    Walrus,
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Pipe,
+    Amp,
+    Caret,
+    Tilde,
+    LShift,
+    RShift,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    Ellipsis,
+}
+
+impl TokenKind {
+    /// Whether this token kind is a keyword.
+    pub fn is_keyword(self) -> bool {
+        matches!(
+            self,
+            TokenKind::KwDef
+                | TokenKind::KwClass
+                | TokenKind::KwReturn
+                | TokenKind::KwYield
+                | TokenKind::KwIf
+                | TokenKind::KwElif
+                | TokenKind::KwElse
+                | TokenKind::KwWhile
+                | TokenKind::KwFor
+                | TokenKind::KwIn
+                | TokenKind::KwIs
+                | TokenKind::KwNot
+                | TokenKind::KwAnd
+                | TokenKind::KwOr
+                | TokenKind::KwPass
+                | TokenKind::KwBreak
+                | TokenKind::KwContinue
+                | TokenKind::KwImport
+                | TokenKind::KwFrom
+                | TokenKind::KwAs
+                | TokenKind::KwTry
+                | TokenKind::KwExcept
+                | TokenKind::KwFinally
+                | TokenKind::KwRaise
+                | TokenKind::KwWith
+                | TokenKind::KwAssert
+                | TokenKind::KwLambda
+                | TokenKind::KwGlobal
+                | TokenKind::KwNonlocal
+                | TokenKind::KwDel
+                | TokenKind::KwTrue
+                | TokenKind::KwFalse
+                | TokenKind::KwNone
+                | TokenKind::KwAwait
+                | TokenKind::KwAsync
+        )
+    }
+
+    /// Whether the token is purely structural (no lexeme of interest).
+    pub fn is_layout(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Newline | TokenKind::Indent | TokenKind::Dedent | TokenKind::EndOfFile
+        )
+    }
+
+    /// Looks up the keyword kind for an identifier, if it is a keyword.
+    pub fn keyword(name: &str) -> Option<TokenKind> {
+        Some(match name {
+            "def" => TokenKind::KwDef,
+            "class" => TokenKind::KwClass,
+            "return" => TokenKind::KwReturn,
+            "yield" => TokenKind::KwYield,
+            "if" => TokenKind::KwIf,
+            "elif" => TokenKind::KwElif,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "in" => TokenKind::KwIn,
+            "is" => TokenKind::KwIs,
+            "not" => TokenKind::KwNot,
+            "and" => TokenKind::KwAnd,
+            "or" => TokenKind::KwOr,
+            "pass" => TokenKind::KwPass,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "import" => TokenKind::KwImport,
+            "from" => TokenKind::KwFrom,
+            "as" => TokenKind::KwAs,
+            "try" => TokenKind::KwTry,
+            "except" => TokenKind::KwExcept,
+            "finally" => TokenKind::KwFinally,
+            "raise" => TokenKind::KwRaise,
+            "with" => TokenKind::KwWith,
+            "assert" => TokenKind::KwAssert,
+            "lambda" => TokenKind::KwLambda,
+            "global" => TokenKind::KwGlobal,
+            "nonlocal" => TokenKind::KwNonlocal,
+            "del" => TokenKind::KwDel,
+            "True" => TokenKind::KwTrue,
+            "False" => TokenKind::KwFalse,
+            "None" => TokenKind::KwNone,
+            "await" => TokenKind::KwAwait,
+            "async" => TokenKind::KwAsync,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A lexical token: a kind, its source text and its span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// What sort of token this is.
+    pub kind: TokenKind,
+    /// The raw source text of the token (empty for layout tokens).
+    pub lexeme: String,
+    /// Where the token occurs in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, lexeme: impl Into<String>, span: Span) -> Self {
+        Token { kind, lexeme: lexeme.into(), span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lexeme.is_empty() {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "{}({})", self.kind, self.lexeme)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("def"), Some(TokenKind::KwDef));
+        assert_eq!(TokenKind::keyword("definitely"), None);
+        assert_eq!(TokenKind::keyword("None"), Some(TokenKind::KwNone));
+    }
+
+    #[test]
+    fn keyword_predicate_matches_lookup() {
+        for kw in ["def", "class", "lambda", "True", "await"] {
+            assert!(TokenKind::keyword(kw).unwrap().is_keyword(), "{kw}");
+        }
+        assert!(!TokenKind::Name.is_keyword());
+        assert!(!TokenKind::Plus.is_keyword());
+    }
+
+    #[test]
+    fn layout_tokens() {
+        assert!(TokenKind::Indent.is_layout());
+        assert!(TokenKind::EndOfFile.is_layout());
+        assert!(!TokenKind::Name.is_layout());
+    }
+}

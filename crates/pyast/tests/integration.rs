@@ -1,0 +1,170 @@
+//! Cross-module integration tests: realistic files through the full
+//! lexer → parser → symbol-table pipeline.
+
+use typilus_pyast::{parse, ScopeKind, SymbolKind, SymbolTable};
+
+#[test]
+fn async_constructs() {
+    let src = "\
+async def fetch(url: str) -> bytes:
+    async with session.get(url) as resp:
+        data = await resp.read()
+    async for chunk in stream:
+        print(chunk)
+    return data
+";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    assert!(table.symbols().iter().any(|s| s.name == "data"));
+    assert!(table.symbols().iter().any(|s| s.name == "chunk"));
+}
+
+#[test]
+fn deeply_nested_functions_resolve_outward() {
+    let src = "\
+def outer():
+    base = 10
+    def middle():
+        def inner():
+            return base
+        return inner
+    return middle
+";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    let base = table
+        .symbols()
+        .iter()
+        .find(|s| s.name == "base" && s.kind == SymbolKind::Variable)
+        .unwrap();
+    assert_eq!(base.occurrences.len(), 2, "definition + closure read two scopes down");
+}
+
+#[test]
+fn class_in_function_in_class() {
+    let src = "\
+class Outer:
+    def factory(self):
+        class Inner:
+            def get(self) -> int:
+                return 1
+        return Inner
+";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    let class_scopes =
+        table.scopes().iter().filter(|s| s.kind == ScopeKind::Class).count();
+    assert_eq!(class_scopes, 2);
+}
+
+#[test]
+fn dict_splats_and_starred_calls() {
+    let src = "\
+defaults = {'a': 1}
+options = {**defaults, 'b': 2}
+args = [1, 2]
+f(*args, **options)
+";
+    parse(src).unwrap();
+}
+
+#[test]
+fn slices_with_steps_and_chains() {
+    let src = "\
+m = grid[1:10:2]
+v = grid[::2]
+w = matrix[0][1:]
+x = tensor[1:, :2]
+";
+    parse(src).unwrap();
+}
+
+#[test]
+fn conditional_definitions() {
+    let src = "\
+if PY3:
+    def encode(s: str) -> bytes:
+        return s.encode()
+else:
+    def encode(s):
+        return s
+";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    // Both defs bind the same module-level function symbol.
+    let encodes: Vec<_> = table
+        .symbols()
+        .iter()
+        .filter(|s| s.name == "encode" && s.kind == SymbolKind::Function)
+        .collect();
+    assert_eq!(encodes.len(), 1);
+    assert_eq!(encodes[0].occurrences.len(), 2);
+}
+
+#[test]
+fn multiline_argument_lists() {
+    let src = "\
+result = compute(
+    first_value,
+    second_value,
+    key=lambda item: item.weight,
+)
+";
+    parse(src).unwrap();
+}
+
+#[test]
+fn annotations_with_nested_generics_survive_round_trip() {
+    let src = "def f(m: Dict[str, List[Tuple[int, Optional[str]]]]) -> Callable[[int], str]:\n    pass\n";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    let m = table.symbols().iter().find(|s| s.name == "m").unwrap();
+    assert_eq!(
+        m.annotation.as_deref(),
+        Some("Dict[str, List[Tuple[int, Optional[str]]]]")
+    );
+    let ret = table.symbols().iter().find(|s| s.kind == SymbolKind::Return).unwrap();
+    assert_eq!(ret.annotation.as_deref(), Some("Callable[[int], str]"));
+}
+
+#[test]
+fn del_and_assert_and_raise_from() {
+    let src = "\
+def f(cache, key, cond):
+    assert cond, 'must hold'
+    try:
+        del cache[key]
+    except KeyError as e:
+        raise RuntimeError('gone') from e
+";
+    parse(src).unwrap();
+}
+
+#[test]
+fn string_prefix_zoo() {
+    let src = "a = r'raw'\nb = b'bytes'\nc = rb'both'\nd = f'fmt {x}'\ne = u'uni'\n";
+    parse(src).unwrap();
+}
+
+#[test]
+fn empty_class_and_ellipsis_bodies() {
+    let src = "\
+class Marker:
+    ...
+
+def stub() -> int:
+    ...
+";
+    let parsed = parse(src).unwrap();
+    assert_eq!(parsed.module.body.len(), 2);
+}
+
+#[test]
+fn keyword_only_and_positional_only_parameters() {
+    let src = "def f(a, /, b, *, c: int = 1):\n    return a\n";
+    let parsed = parse(src).unwrap();
+    let table = SymbolTable::build(&parsed.module);
+    let c = table.symbols().iter().find(|s| s.name == "c").unwrap();
+    assert_eq!(c.kind, SymbolKind::Parameter);
+    assert_eq!(c.annotation.as_deref(), Some("int"));
+}

@@ -1,0 +1,53 @@
+//! Errors of the binary format.
+
+use std::fmt;
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A length prefix or enum tag exceeded sane bounds.
+    InvalidLength(u64),
+    /// A boolean byte was neither 0 nor 1; an option tag likewise.
+    InvalidTag(u8),
+    /// Bytes are not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+    /// The format is not self-describing; `deserialize_any` and
+    /// `deserialize_ignored_any` are unsupported.
+    NotSelfDescribing,
+    /// Message from serde (custom error paths).
+    Message(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of input"),
+            Error::InvalidLength(n) => write!(f, "invalid length prefix {n}"),
+            Error::InvalidTag(b) => write!(f, "invalid tag byte {b}"),
+            Error::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            Error::NotSelfDescribing => {
+                write!(f, "format is not self-describing; deserialize_any unsupported")
+            }
+            Error::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

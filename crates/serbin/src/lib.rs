@@ -1,0 +1,153 @@
+//! # typilus-serbin
+//!
+//! A minimal, dependency-free binary serde format used to persist
+//! trained Typilus artefacts (model weights, type maps, corpora). The
+//! offline environment provides `serde` but no format crate, so this
+//! crate supplies a compact, schema-driven little-endian encoding —
+//! fixed-width numbers, length-prefixed strings/sequences/maps,
+//! `u32` enum tags — with full `Serializer`/`Deserializer`
+//! implementations.
+//!
+//! The format is *not* self-describing: values must be decoded with the
+//! same type they were encoded with.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Model { name: String, weights: Vec<f32> }
+//!
+//! # fn main() -> Result<(), typilus_serbin::Error> {
+//! let model = Model { name: "typilus".into(), weights: vec![0.25, -1.0] };
+//! let bytes = typilus_serbin::to_bytes(&model)?;
+//! let back: Model = typilus_serbin::from_bytes(&bytes)?;
+//! assert_eq!(back, model);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod de;
+mod error;
+mod ser;
+
+pub use de::from_bytes;
+pub use error::{Error, Result};
+pub use ser::to_bytes;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::HashMap;
+
+    fn round_trip<T: Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+        value: T,
+    ) {
+        let bytes = to_bytes(&value).expect("serializes");
+        let back: T = from_bytes(&bytes).expect("deserializes");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives() {
+        round_trip(0u8);
+        round_trip(-42i64);
+        round_trip(3.5f32);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip('λ');
+        round_trip("hello".to_string());
+        round_trip(Vec::<u8>::new());
+    }
+
+    #[test]
+    fn options_and_results() {
+        round_trip(Option::<u32>::None);
+        round_trip(Some("x".to_string()));
+        round_trip(std::result::Result::<u8, String>::Ok(3));
+        round_trip(std::result::Result::<u8, String>::Err("bad".into()));
+    }
+
+    #[test]
+    fn collections() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(vec![vec![1.0f32], vec![], vec![2.0, 3.0]]);
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        round_trip(m);
+        round_trip((1u8, "two".to_string(), 3.0f64));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, u8),
+        Struct { a: String, b: Option<f32> },
+    }
+
+    #[test]
+    fn enums() {
+        round_trip(Shape::Unit);
+        round_trip(Shape::Newtype(7));
+        round_trip(Shape::Tuple(1, 2));
+        round_trip(Shape::Struct { a: "x".into(), b: Some(0.5) });
+        round_trip(vec![Shape::Unit, Shape::Newtype(1)]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        tags: Vec<String>,
+        children: Vec<Nested>,
+    }
+
+    #[test]
+    fn recursive_structs() {
+        round_trip(Nested {
+            id: 1,
+            tags: vec!["root".into()],
+            children: vec![
+                Nested { id: 2, tags: vec![], children: vec![] },
+                Nested { id: 3, tags: vec!["leaf".into()], children: vec![] },
+            ],
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let r: Result<u64> = from_bytes(&bytes[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u8).unwrap();
+        bytes.push(0);
+        let r: Result<u8> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_bool_tag() {
+        let r: Result<bool> = from_bytes(&[7]);
+        assert_eq!(r, Err(Error::InvalidTag(7)));
+    }
+
+    #[test]
+    fn project_types_round_trip() {
+        // The artefacts this crate exists to persist.
+        use typilus_types::PyType;
+        let ty: PyType = "Dict[str, List[Optional[int]]]".parse().unwrap();
+        round_trip(ty);
+
+        let t = typilus_nn::Tensor::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.0, 9.0, -0.25]);
+        let bytes = to_bytes(&t).unwrap();
+        let back: typilus_nn::Tensor = from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based round-trip tests of the binary format.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use typilus_serbin::{from_bytes, to_bytes};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Leaf {
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Flag(bool),
+    Nothing,
+}
+
+fn arb_leaf() -> impl Strategy<Value = Leaf> {
+    prop_oneof![
+        any::<i64>().prop_map(Leaf::Int),
+        (-1e9f64..1e9).prop_map(Leaf::Float),
+        ".{0,24}".prop_map(Leaf::Text),
+        any::<bool>().prop_map(Leaf::Flag),
+        Just(Leaf::Nothing),
+    ]
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Doc {
+    id: u64,
+    leaves: Vec<Leaf>,
+    index: BTreeMap<String, u32>,
+    blob: Vec<u8>,
+    maybe: Option<Box<Doc>>,
+}
+
+fn arb_base_doc() -> impl Strategy<Value = Doc> {
+    (
+        any::<u64>(),
+        prop::collection::vec(arb_leaf(), 0..6),
+        prop::collection::btree_map("[a-z]{1,6}", any::<u32>(), 0..5),
+        prop::collection::vec(any::<u8>(), 0..32),
+    )
+        .prop_map(|(id, leaves, index, blob)| Doc { id, leaves, index, blob, maybe: None })
+}
+
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    arb_base_doc().prop_recursive(2, 8, 2, |inner| {
+        (arb_base_doc(), prop::option::of(inner)).prop_map(|(mut d, m)| {
+            d.maybe = m.map(Box::new);
+            d
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn round_trip_arbitrary_documents(doc in arb_doc()) {
+        let bytes = to_bytes(&doc).expect("serializes");
+        let back: Doc = from_bytes(&bytes).expect("deserializes");
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn round_trip_primitives(
+        a in any::<i32>(),
+        b in any::<u64>(),
+        c in any::<f32>(),
+        s in ".{0,64}",
+    ) {
+        let value = (a, b, c, s);
+        let bytes = to_bytes(&value).expect("serializes");
+        let back: (i32, u64, f32, String) = from_bytes(&bytes).expect("deserializes");
+        prop_assert_eq!(back.0, value.0);
+        prop_assert_eq!(back.1, value.1);
+        // NaN-safe float comparison.
+        prop_assert_eq!(back.2.to_bits(), value.2.to_bits());
+        prop_assert_eq!(back.3, value.3);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding garbage may fail but must not panic.
+        let _: Result<Doc, _> = from_bytes(&bytes);
+        let _: Result<Vec<String>, _> = from_bytes(&bytes);
+        let _: Result<(u64, bool), _> = from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,326 @@
+//! Nearest-neighbour indexes over the TypeSpace (L1 metric).
+//!
+//! The paper uses Annoy for sub-linear kNN queries. [`RpForest`] is an
+//! Annoy-style forest of random-projection trees with priority search;
+//! [`ExactIndex`] is the brute-force reference used in tests and for
+//! small type maps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// L1 (Manhattan) distance — the metric of the paper's type space.
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// A `(point index, distance)` search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Index of the point in the indexed collection.
+    pub index: usize,
+    /// L1 distance to the query.
+    pub distance: f32,
+}
+
+/// Brute-force exact kNN.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactIndex {
+    points: Vec<Vec<f32>>,
+}
+
+impl ExactIndex {
+    /// Creates an index over `points`.
+    pub fn new(points: Vec<Vec<f32>>) -> ExactIndex {
+        ExactIndex { points }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest points to `query` in ascending distance.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Construction options for [`RpForest`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RpForestConfig {
+    /// Number of trees; more trees, better recall.
+    pub trees: usize,
+    /// Maximum points per leaf.
+    pub leaf_size: usize,
+    /// Number of candidate points examined per query (`search_k`); more
+    /// candidates, better recall.
+    pub search_k: usize,
+}
+
+impl Default for RpForestConfig {
+    fn default() -> Self {
+        RpForestConfig { trees: 12, leaf_size: 16, search_k: 384 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TreeNode {
+    Leaf {
+        points: Vec<usize>,
+    },
+    Split {
+        /// Random projection direction.
+        direction: Vec<f32>,
+        /// Split threshold on the projection.
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An Annoy-style forest of random-projection trees under L1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RpForest {
+    points: Vec<Vec<f32>>,
+    nodes: Vec<TreeNode>,
+    roots: Vec<usize>,
+    config: RpForestConfig,
+}
+
+impl RpForest {
+    /// Builds the forest over `points`.
+    pub fn build(points: Vec<Vec<f32>>, config: RpForestConfig, seed: u64) -> RpForest {
+        let mut forest =
+            RpForest { points, nodes: Vec::new(), roots: Vec::new(), config };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<usize> = (0..forest.points.len()).collect();
+        for _ in 0..config.trees {
+            let root = forest.build_node(&all, &mut rng, 0);
+            forest.roots.push(root);
+        }
+        forest
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.first().map(|p| p.len()).unwrap_or(0)
+    }
+
+    fn build_node(&mut self, points: &[usize], rng: &mut StdRng, depth: usize) -> usize {
+        if points.len() <= self.config.leaf_size || depth > 24 {
+            self.nodes.push(TreeNode::Leaf { points: points.to_vec() });
+            return self.nodes.len() - 1;
+        }
+        // Annoy-style split: the hyperplane between two random points of
+        // the subset, which adapts to the data's local geometry. Falls
+        // back to a random ±1 direction when the two points coincide.
+        let dim = self.dim();
+        let a = points[rng.gen_range(0..points.len())];
+        let b = points[rng.gen_range(0..points.len())];
+        let mut direction: Vec<f32> = self.points[a]
+            .iter()
+            .zip(&self.points[b])
+            .map(|(x, y)| x - y)
+            .collect();
+        if direction.iter().all(|&d| d == 0.0) {
+            direction = (0..dim).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        }
+        let mut projections: Vec<f32> = points
+            .iter()
+            .map(|&i| dot(&self.points[i], &direction))
+            .collect();
+        let mut sorted = projections.clone();
+        sorted.sort_by(f32::total_cmp);
+        let threshold = sorted[sorted.len() / 2];
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (&idx, &proj) in points.iter().zip(&projections) {
+            if proj < threshold {
+                left.push(idx);
+            } else {
+                right.push(idx);
+            }
+        }
+        // Degenerate split (all projections equal): make a leaf.
+        if left.is_empty() || right.is_empty() {
+            self.nodes.push(TreeNode::Leaf { points: points.to_vec() });
+            return self.nodes.len() - 1;
+        }
+        projections.clear();
+        let l = self.build_node(&left, rng, depth + 1);
+        let r = self.build_node(&right, rng, depth + 1);
+        self.nodes.push(TreeNode::Split { direction, threshold, left: l, right: r });
+        self.nodes.len() - 1
+    }
+
+    /// The approximate `k` nearest points in ascending distance.
+    ///
+    /// Performs a priority search across all trees, examining at least
+    /// `search_k` candidate points, then ranks candidates by true L1.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap on -margin so the closest frontier expands first.
+        #[derive(PartialEq)]
+        struct Frontier(f32, usize);
+        impl Eq for Frontier {}
+        impl PartialOrd for Frontier {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Frontier {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.0.total_cmp(&self.0) // min-heap on margin
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        for &root in &self.roots {
+            heap.push(Frontier(0.0, root));
+        }
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut seen = vec![false; self.points.len()];
+        while let Some(Frontier(_, node)) = heap.pop() {
+            match &self.nodes[node] {
+                TreeNode::Leaf { points } => {
+                    for &p in points {
+                        if !seen[p] {
+                            seen[p] = true;
+                            candidates.push(p);
+                        }
+                    }
+                    if candidates.len() >= self.config.search_k {
+                        break;
+                    }
+                }
+                TreeNode::Split { direction, threshold, left, right } => {
+                    let margin = dot(query, direction) - threshold;
+                    let (near, far) =
+                        if margin < 0.0 { (*left, *right) } else { (*right, *left) };
+                    heap.push(Frontier(0.0, near));
+                    heap.push(Frontier(margin.abs(), far));
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = candidates
+            .into_iter()
+            .map(|i| Hit { index: i, distance: l1(query, &self.points[i]) })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn exact_index_orders_by_distance() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.1, 0.0]];
+        let idx = ExactIndex::new(points);
+        let hits = idx.query(&[0.0, 0.0], 2);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 2);
+        assert!((hits[1].distance - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forest_exact_recall_on_small_data() {
+        // With search_k >= n the forest must return exact results.
+        let points = random_points(200, 8, 1);
+        let exact = ExactIndex::new(points.clone());
+        let forest = RpForest::build(
+            points,
+            RpForestConfig { trees: 8, leaf_size: 8, search_k: 200 },
+            7,
+        );
+        let query = vec![0.05; 8];
+        let e: Vec<usize> = exact.query(&query, 10).iter().map(|h| h.index).collect();
+        let f: Vec<usize> = forest.query(&query, 10).iter().map(|h| h.index).collect();
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn forest_high_recall_with_partial_search() {
+        let points = random_points(2000, 16, 2);
+        let exact = ExactIndex::new(points.clone());
+        let forest = RpForest::build(points, RpForestConfig::default(), 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut recall_hits = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let e: std::collections::HashSet<usize> =
+                exact.query(&q, 10).iter().map(|h| h.index).collect();
+            let f = forest.query(&q, 10);
+            recall_hits += f.iter().filter(|h| e.contains(&h.index)).count();
+            total += 10;
+        }
+        let recall = recall_hits as f32 / total as f32;
+        assert!(recall >= 0.8, "recall too low: {recall}");
+    }
+
+    #[test]
+    fn empty_forest_returns_nothing() {
+        let forest = RpForest::build(Vec::new(), RpForestConfig::default(), 0);
+        assert!(forest.query(&[0.0], 5).is_empty());
+        assert!(forest.is_empty());
+    }
+
+    #[test]
+    fn identical_points_degenerate_split() {
+        let points = vec![vec![1.0, 2.0]; 100];
+        let forest = RpForest::build(
+            points,
+            RpForestConfig { trees: 4, leaf_size: 4, search_k: 10 },
+            5,
+        );
+        let hits = forest.query(&[1.0, 2.0], 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn l1_metric() {
+        assert_eq!(l1(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # typilus-space
+//!
+//! The TypeSpace machinery of the Typilus reproduction: the adaptive
+//! type map `τmap` (embedding → type markers), kNN type prediction with
+//! the distance-weighted vote of paper Eq. 5, and an Annoy-style
+//! random-projection forest for sub-linear queries under L1 (the paper
+//! uses Annoy with the same metric).
+//!
+//! ```
+//! use typilus_space::{KnnConfig, TypeMap};
+//!
+//! # fn main() -> Result<(), typilus_types::ParseTypeError> {
+//! let mut map = TypeMap::new(2);
+//! map.add(vec![0.0, 0.0], "int".parse()?);
+//! map.add(vec![1.0, 1.0], "str".parse()?);
+//! let top = map.predict_top(&[0.1, 0.0], KnnConfig::default()).unwrap();
+//! assert_eq!(top.ty.to_string(), "int");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod typemap;
+
+pub use index::{l1, ExactIndex, Hit, RpForest, RpForestConfig};
+pub use typemap::{KnnConfig, TypeMap, TypePrediction};

@@ -1,0 +1,271 @@
+//! The adaptive type map `τmap` and kNN type prediction (paper Sec. 4.2).
+//!
+//! A [`TypeMap`] stores `(type embedding → type)` markers. Prediction for
+//! a query embedding finds the `k` nearest markers under L1 and scores
+//! candidate types by Eq. 5:
+//!
+//! `P(s : τ') = 1/Z · Σᵢ I(τᵢ = τ') · dᵢ^{-p}`
+//!
+//! The map is *adaptive*: binding a marker for a previously unseen type
+//! makes it predictable immediately, with no retraining — the paper's
+//! one-shot open-vocabulary mechanism.
+
+use crate::index::{ExactIndex, Hit, RpForest, RpForestConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use typilus_types::PyType;
+
+/// A scored candidate type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypePrediction {
+    /// The candidate type.
+    pub ty: PyType,
+    /// Normalised probability from Eq. 5.
+    pub probability: f32,
+}
+
+/// kNN hyperparameters of Eq. 5 (swept in paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours `k`.
+    pub k: usize,
+    /// Distance exponent `p` (`p→0`: uniform vote; `p→∞`: 1-NN).
+    pub p: f32,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        // The sweet spot of the paper's Fig. 6: large k, moderately
+        // large p.
+        KnnConfig { k: 10, p: 2.0 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Index {
+    /// Brute force (always exact, default until `build_index`).
+    Exact,
+    /// Annoy-style approximate forest.
+    Forest(Box<RpForest>),
+}
+
+/// The type map: embeddings of symbols with known types, queryable by
+/// nearest neighbour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeMap {
+    dim: usize,
+    embeddings: Vec<Vec<f32>>,
+    types: Vec<PyType>,
+    index: Index,
+}
+
+impl TypeMap {
+    /// Creates an empty map for `dim`-dimensional embeddings.
+    pub fn new(dim: usize) -> TypeMap {
+        TypeMap { dim, embeddings: Vec::new(), types: Vec::new(), index: Index::Exact }
+    }
+
+    /// Adds a marker binding `embedding ↦ ty`.
+    ///
+    /// Invalidates any approximate index built earlier (queries fall back
+    /// to exact search until [`TypeMap::build_index`] is called again) —
+    /// this is what makes the map adaptive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedding width differs from the map's dimension.
+    pub fn add(&mut self, embedding: Vec<f32>, ty: PyType) {
+        assert_eq!(embedding.len(), self.dim, "embedding width mismatch");
+        self.embeddings.push(embedding);
+        self.types.push(ty);
+        self.index = Index::Exact;
+    }
+
+    /// Number of markers.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the map has no markers.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over `(embedding, type)` markers.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], &PyType)> {
+        self.embeddings.iter().map(Vec::as_slice).zip(self.types.iter())
+    }
+
+    /// Distinct types currently in the map.
+    pub fn distinct_types(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.types {
+            seen.insert(t.to_string());
+        }
+        seen.len()
+    }
+
+    /// Builds the approximate spatial index (Annoy-like RP forest).
+    pub fn build_index(&mut self, config: RpForestConfig, seed: u64) {
+        self.index =
+            Index::Forest(Box::new(RpForest::build(self.embeddings.clone(), config, seed)));
+    }
+
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        match &self.index {
+            Index::Exact => ExactIndex::new(self.embeddings.clone()).query(query, k),
+            Index::Forest(f) => f.query(query, k),
+        }
+    }
+
+    /// Predicts a distribution over candidate types for `query` (Eq. 5),
+    /// sorted by descending probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width differs from the map's dimension.
+    pub fn predict(&self, query: &[f32], config: KnnConfig) -> Vec<TypePrediction> {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let hits = self.nearest(query, config.k);
+        let mut scores: HashMap<String, (PyType, f64)> = HashMap::new();
+        let mut z = 0.0f64;
+        for h in hits {
+            // d^{-p} with a floor so exact matches dominate but stay finite.
+            let d = f64::from(h.distance).max(1e-6);
+            let w = d.powf(f64::from(-config.p));
+            z += w;
+            let ty = &self.types[h.index];
+            let e = scores.entry(ty.to_string()).or_insert((ty.clone(), 0.0));
+            e.1 += w;
+        }
+        let mut out: Vec<TypePrediction> = scores
+            .into_values()
+            .map(|(ty, s)| TypePrediction { ty, probability: (s / z) as f32 })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then_with(|| a.ty.to_string().cmp(&b.ty.to_string()))
+        });
+        out
+    }
+
+    /// The single best prediction, if any.
+    pub fn predict_top(&self, query: &[f32], config: KnnConfig) -> Option<TypePrediction> {
+        self.predict(query, config).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> PyType {
+        s.parse().unwrap()
+    }
+
+    fn small_map() -> TypeMap {
+        let mut m = TypeMap::new(2);
+        m.add(vec![0.0, 0.0], t("int"));
+        m.add(vec![0.1, 0.1], t("int"));
+        m.add(vec![1.0, 1.0], t("str"));
+        m.add(vec![1.1, 0.9], t("str"));
+        m
+    }
+
+    #[test]
+    fn nearest_type_wins() {
+        let m = small_map();
+        let cfg = KnnConfig { k: 4, p: 2.0 };
+        let top = m.predict_top(&[0.05, 0.0], cfg).unwrap();
+        assert_eq!(top.ty, t("int"));
+        let top = m.predict_top(&[1.0, 0.95], cfg).unwrap();
+        assert_eq!(top.ty, t("str"));
+    }
+
+    #[test]
+    fn probabilities_normalise() {
+        let m = small_map();
+        let preds = m.predict(&[0.5, 0.5], KnnConfig { k: 4, p: 1.0 });
+        let total: f32 = preds.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn high_p_approaches_one_nearest_neighbour() {
+        let mut m = TypeMap::new(1);
+        m.add(vec![0.0], t("int"));
+        m.add(vec![0.2], t("str"));
+        m.add(vec![0.25], t("str"));
+        // Query nearest to int but str has more (slightly farther) votes.
+        let uniform = m.predict_top(&[0.1], KnnConfig { k: 3, p: 0.01 }).unwrap();
+        assert_eq!(uniform.ty, t("str"), "p→0 is a majority vote");
+        let sharp = m.predict_top(&[0.09], KnnConfig { k: 3, p: 20.0 }).unwrap();
+        assert_eq!(sharp.ty, t("int"), "p→∞ is 1-NN");
+    }
+
+    #[test]
+    fn one_shot_open_vocabulary_adaptation() {
+        let mut m = small_map();
+        let cfg = KnnConfig::default();
+        let novel = t("bungee.Cord");
+        // Before binding, the novel type cannot be predicted.
+        assert!(m.predict(&[5.0, 5.0], cfg).iter().all(|p| p.ty != novel));
+        // One marker suffices: no retraining.
+        m.add(vec![5.0, 5.0], novel.clone());
+        let top = m.predict_top(&[5.1, 4.9], cfg).unwrap();
+        assert_eq!(top.ty, novel);
+    }
+
+    #[test]
+    fn approximate_index_agrees_with_exact() {
+        let mut m = TypeMap::new(4);
+        let mut rng_state = 12345u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for i in 0..300 {
+            let ty = if i % 3 == 0 { t("int") } else if i % 3 == 1 { t("str") } else { t("List[int]") };
+            m.add(vec![next(), next(), next(), next()], ty);
+        }
+        let query = vec![0.1, -0.2, 0.3, 0.0];
+        let exact_top = m.predict_top(&query, KnnConfig::default()).unwrap();
+        m.build_index(RpForestConfig { trees: 10, leaf_size: 8, search_k: 300 }, 1);
+        let approx_top = m.predict_top(&query, KnnConfig::default()).unwrap();
+        assert_eq!(exact_top.ty, approx_top.ty);
+    }
+
+    #[test]
+    fn adding_marker_invalidates_index() {
+        let mut m = small_map();
+        m.build_index(RpForestConfig::default(), 0);
+        m.add(vec![9.0, 9.0], t("bytes"));
+        // The new marker must be findable immediately.
+        let top = m.predict_top(&[9.0, 9.0], KnnConfig { k: 1, p: 1.0 }).unwrap();
+        assert_eq!(top.ty, t("bytes"));
+    }
+
+    #[test]
+    fn zero_distance_dominates() {
+        let m = small_map();
+        let top = m.predict_top(&[1.0, 1.0], KnnConfig { k: 4, p: 2.0 }).unwrap();
+        assert_eq!(top.ty, t("str"));
+        assert!(top.probability > 0.9);
+    }
+
+    #[test]
+    fn empty_map_predicts_nothing() {
+        let m = TypeMap::new(3);
+        assert!(m.predict(&[0.0, 0.0, 0.0], KnnConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn distinct_type_count() {
+        assert_eq!(small_map().distinct_types(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based invariants of the kNN indexes and the type map.
+
+use proptest::prelude::*;
+use typilus_space::{ExactIndex, KnnConfig, RpForest, RpForestConfig, TypeMap};
+use typilus_types::PyType;
+
+fn arb_points(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_query_is_sorted_and_within_bounds(
+        points in arb_points(1..40, 4),
+        query in prop::collection::vec(-1.0f32..1.0, 4),
+        k in 1usize..10,
+    ) {
+        let idx = ExactIndex::new(points.clone());
+        let hits = idx.query(&query, k);
+        prop_assert!(hits.len() <= k.min(points.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        for h in &hits {
+            prop_assert!(h.index < points.len());
+        }
+    }
+
+    #[test]
+    fn forest_with_full_search_matches_exact(
+        points in arb_points(2..60, 3),
+        query in prop::collection::vec(-1.0f32..1.0, 3),
+        seed in 0u64..100,
+    ) {
+        let n = points.len();
+        let exact = ExactIndex::new(points.clone());
+        let forest = RpForest::build(
+            points,
+            RpForestConfig { trees: 6, leaf_size: 4, search_k: n },
+            seed,
+        );
+        let e: Vec<usize> = exact.query(&query, 5).iter().map(|h| h.index).collect();
+        let f: Vec<usize> = forest.query(&query, 5).iter().map(|h| h.index).collect();
+        prop_assert_eq!(e, f);
+    }
+
+    #[test]
+    fn typemap_probabilities_form_distribution(
+        points in arb_points(1..30, 3),
+        query in prop::collection::vec(-1.0f32..1.0, 3),
+        k in 1usize..8,
+        p in 0.01f32..5.0,
+    ) {
+        let mut map = TypeMap::new(3);
+        let tys = ["int", "str", "bool"];
+        for (i, pt) in points.iter().enumerate() {
+            map.add(pt.clone(), tys[i % 3].parse::<PyType>().expect("valid"));
+        }
+        let preds = map.predict(&query, KnnConfig { k, p });
+        prop_assert!(!preds.is_empty());
+        let total: f32 = preds.iter().map(|x| x.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-3, "total probability {total}");
+        for w in preds.windows(2) {
+            prop_assert!(w[0].probability >= w[1].probability);
+        }
+    }
+
+    #[test]
+    fn nearest_marker_type_wins_with_high_p(
+        mut points in arb_points(2..20, 2),
+        seed_point in prop::collection::vec(-1.0f32..1.0, 2),
+    ) {
+        // Plant a marker exactly at the query: with p -> infinity it must
+        // dominate regardless of the rest of the map.
+        let mut map = TypeMap::new(2);
+        for pt in points.drain(..) {
+            map.add(pt, "str".parse::<PyType>().expect("valid"));
+        }
+        map.add(seed_point.clone(), "int".parse::<PyType>().expect("valid"));
+        let top = map
+            .predict_top(&seed_point, KnnConfig { k: 5, p: 30.0 })
+            .expect("nonempty map");
+        prop_assert_eq!(top.ty.to_string(), "int");
+    }
+}

@@ -1,0 +1,360 @@
+//! The type hierarchy and the neutrality relation.
+//!
+//! Following the paper (Sec. 6.1), all types seen in a corpus are
+//! preprocessed (components nested deeper than level 2 become `Any`) and
+//! organised into a lattice ordered by subtyping, **assuming universal
+//! covariance**. A prediction `τp` is *type neutral* with ground truth
+//! `τg` iff `τg :< τp` and `τp ≠ ⊤`. The same subtype relation backs the
+//! optional type checker in `typilus-check`.
+
+use crate::ty::PyType;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Maximum parametric nesting the lattice distinguishes; deeper structure
+/// is rewritten to `Any`, as in the paper.
+pub const LATTICE_MAX_DEPTH: usize = 2;
+
+/// A registry of nominal types and their base classes.
+///
+/// Builtins and the common `typing` protocols are pre-registered;
+/// user-defined classes are added with [`TypeHierarchy::register_class`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeHierarchy {
+    /// name -> direct bases.
+    bases: HashMap<String, Vec<String>>,
+}
+
+impl Default for TypeHierarchy {
+    fn default() -> Self {
+        TypeHierarchy::new()
+    }
+}
+
+impl TypeHierarchy {
+    /// Creates a hierarchy pre-populated with Python builtins, the numeric
+    /// tower, common containers and their `typing` protocols, and the
+    /// standard exception classes.
+    pub fn new() -> Self {
+        let mut h = TypeHierarchy { bases: HashMap::new() };
+        let edges: &[(&str, &[&str])] = &[
+            ("object", &[]),
+            // Numeric tower: Python's optional type checkers accept an int
+            // where a float is expected (PEP 484).
+            ("complex", &["object"]),
+            ("float", &["complex"]),
+            ("int", &["float"]),
+            ("bool", &["int"]),
+            // Text and binary.
+            ("str", &["Sequence"]),
+            ("bytes", &["Sequence"]),
+            ("bytearray", &["Sequence"]),
+            // Protocol chain.
+            ("Iterable", &["object"]),
+            ("Iterator", &["Iterable"]),
+            ("Generator", &["Iterator"]),
+            ("Collection", &["Iterable"]),
+            ("Container", &["object"]),
+            ("Sequence", &["Collection"]),
+            ("MutableSequence", &["Sequence"]),
+            ("Mapping", &["Collection"]),
+            ("MutableMapping", &["Mapping"]),
+            ("AbstractSet", &["Collection"]),
+            ("MutableSet", &["AbstractSet"]),
+            // Concrete containers.
+            ("List", &["MutableSequence"]),
+            ("Tuple", &["Sequence"]),
+            ("Dict", &["MutableMapping"]),
+            ("Set", &["MutableSet"]),
+            ("FrozenSet", &["AbstractSet"]),
+            ("range", &["Sequence"]),
+            // Callables and misc.
+            ("Callable", &["object"]),
+            ("Type", &["object"]),
+            ("slice", &["object"]),
+            ("Awaitable", &["object"]),
+            ("Coroutine", &["Awaitable"]),
+            // Exceptions.
+            ("BaseException", &["object"]),
+            ("Exception", &["BaseException"]),
+            ("ValueError", &["Exception"]),
+            ("TypeError", &["Exception"]),
+            ("KeyError", &["Exception"]),
+            ("IndexError", &["Exception"]),
+            ("AttributeError", &["Exception"]),
+            ("RuntimeError", &["Exception"]),
+            ("NotImplementedError", &["RuntimeError"]),
+            ("StopIteration", &["Exception"]),
+            ("OSError", &["Exception"]),
+            ("IOError", &["OSError"]),
+            ("FileNotFoundError", &["OSError"]),
+            ("ArithmeticError", &["Exception"]),
+            ("ZeroDivisionError", &["ArithmeticError"]),
+            ("OverflowError", &["ArithmeticError"]),
+        ];
+        for (name, bases) in edges {
+            h.bases.insert(name.to_string(), bases.iter().map(|s| s.to_string()).collect());
+        }
+        h
+    }
+
+    /// Registers a user-defined class with its direct base classes.
+    /// Unregistered bases are implicitly rooted at `object`.
+    pub fn register_class(&mut self, name: &str, bases: &[&str]) {
+        let bases: Vec<String> = if bases.is_empty() {
+            vec!["object".to_string()]
+        } else {
+            bases.iter().map(|s| s.to_string()).collect()
+        };
+        self.bases.entry(name.to_string()).or_insert(bases);
+    }
+
+    /// Whether a nominal name is known to the hierarchy.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bases.contains_key(name)
+    }
+
+    /// All ancestors of a nominal name, including itself; unknown names
+    /// have ancestors `{name, object}`.
+    pub fn ancestors(&self, name: &str) -> HashSet<String> {
+        let mut out = HashSet::new();
+        let mut stack = vec![name.to_string()];
+        while let Some(n) = stack.pop() {
+            if !out.insert(n.clone()) {
+                continue;
+            }
+            match self.bases.get(&n) {
+                Some(bs) => stack.extend(bs.iter().cloned()),
+                None => {
+                    if n != "object" {
+                        out.insert("object".to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Nominal subtyping on base names: `sub :< sup`.
+    pub fn is_nominal_subtype(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup || sup == "object" {
+            return true;
+        }
+        self.ancestors(sub).contains(sup)
+    }
+
+    /// Structural subtyping with universal covariance: `sub :< sup`.
+    ///
+    /// `Any` is compatible in both directions (gradual typing); `None`
+    /// is a subtype of `None` and of any union containing it; unions are
+    /// subtypes member-wise; generics are covariant in all arguments and
+    /// a bare generic (`List`) behaves as `List[Any]`.
+    pub fn is_subtype(&self, sub: &PyType, sup: &PyType) -> bool {
+        match (sub, sup) {
+            (PyType::Any, _) | (_, PyType::Any) => true,
+            (PyType::None, PyType::None) => true,
+            (PyType::None, PyType::Union(members)) => {
+                members.iter().any(|m| self.is_subtype(&PyType::None, m))
+            }
+            (PyType::None, PyType::Named { name, .. }) => name == "object",
+            (PyType::Union(subs), sup) => subs.iter().all(|m| self.is_subtype(m, sup)),
+            (sub, PyType::Union(sups)) => sups.iter().any(|s| self.is_subtype(sub, s)),
+            (PyType::Callable { .. }, PyType::Named { name, args }) => {
+                args.is_empty() && self.is_nominal_subtype("Callable", name)
+            }
+            (PyType::Named { name, args }, PyType::Callable { .. }) => {
+                name == "Callable" && args.is_empty()
+            }
+            (
+                PyType::Callable { params: p1, ret: r1 },
+                PyType::Callable { params: p2, ret: r2 },
+            ) => {
+                let params_ok = match (p1, p2) {
+                    (_, None) | (None, _) => true,
+                    (Some(a), Some(b)) => {
+                        a.len() == b.len()
+                            // Universal covariance, per the paper's
+                            // simplification (sound variance would be
+                            // contravariant here).
+                            && a.iter().zip(b).all(|(x, y)| self.is_subtype(x, y))
+                    }
+                };
+                params_ok && self.is_subtype(r1, r2)
+            }
+            (PyType::Named { name: n1, args: a1 }, PyType::Named { name: n2, args: a2 }) => {
+                if !self.is_nominal_subtype(n1, n2) {
+                    return false;
+                }
+                if a1.is_empty() || a2.is_empty() {
+                    // Bare generic = generic over Any.
+                    return true;
+                }
+                if n1 == n2 && a1.len() != a2.len() {
+                    return false;
+                }
+                // Covariant in all arguments; if arities differ across
+                // different bases (List[int] :< Iterable[int]) compare the
+                // common prefix.
+                a1.iter().zip(a2.iter()).all(|(x, y)| self.is_subtype(x, y))
+            }
+            (PyType::Named { .. }, PyType::None)
+            | (PyType::Callable { .. }, PyType::None)
+            | (PyType::None, PyType::Callable { .. }) => false,
+        }
+    }
+
+    /// The paper's *type neutrality*: `τg :< τp ∧ τp ≠ ⊤` on the
+    /// depth-truncated lattice.
+    pub fn is_neutral(&self, prediction: &PyType, ground_truth: &PyType) -> bool {
+        if prediction.is_top() {
+            return false;
+        }
+        let p = prediction.truncated(LATTICE_MAX_DEPTH);
+        let g = ground_truth.truncated(LATTICE_MAX_DEPTH);
+        self.is_subtype(&g, &p)
+    }
+
+    /// The join (least common supertype name) of two nominal names —
+    /// used by the checker to type conditional expressions. Falls back to
+    /// `object`.
+    pub fn join_names(&self, a: &str, b: &str) -> String {
+        if a == b {
+            return a.to_string();
+        }
+        let anc_a = self.ancestors(a);
+        if anc_a.contains(b) {
+            return b.to_string();
+        }
+        let anc_b = self.ancestors(b);
+        if anc_b.contains(a) {
+            return a.to_string();
+        }
+        // Walk a's ancestor chain in BFS order for the first shared one.
+        let mut queue = std::collections::VecDeque::from([a.to_string()]);
+        let mut seen = HashSet::new();
+        while let Some(n) = queue.pop_front() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if anc_b.contains(&n) {
+                return n;
+            }
+            if let Some(bs) = self.bases.get(&n) {
+                queue.extend(bs.iter().cloned());
+            }
+        }
+        "object".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> PyType {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn numeric_tower() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("bool"), &t("int")));
+        assert!(h.is_subtype(&t("int"), &t("float")));
+        assert!(h.is_subtype(&t("bool"), &t("complex")));
+        assert!(!h.is_subtype(&t("float"), &t("int")));
+    }
+
+    #[test]
+    fn container_protocols() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("List[int]"), &t("Sequence[int]")));
+        assert!(h.is_subtype(&t("List[int]"), &t("Iterable[int]")));
+        assert!(h.is_subtype(&t("Dict[str, int]"), &t("Mapping[str, int]")));
+        assert!(!h.is_subtype(&t("Set[int]"), &t("Sequence[int]")));
+    }
+
+    #[test]
+    fn universal_covariance() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("List[bool]"), &t("List[int]")));
+        assert!(h.is_subtype(&t("Dict[str, bool]"), &t("Dict[str, float]")));
+        assert!(!h.is_subtype(&t("List[str]"), &t("List[int]")));
+    }
+
+    #[test]
+    fn bare_generics_behave_as_any() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("List"), &t("List[int]")));
+        assert!(h.is_subtype(&t("List[int]"), &t("List")));
+    }
+
+    #[test]
+    fn optional_and_union() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("int"), &t("Optional[int]")));
+        assert!(h.is_subtype(&t("None"), &t("Optional[int]")));
+        assert!(!h.is_subtype(&t("Optional[int]"), &t("int")));
+        assert!(h.is_subtype(&t("Union[int, str]"), &t("Union[int, str, bytes]")));
+        assert!(h.is_subtype(&t("Union[bool, int]"), &t("float")));
+    }
+
+    #[test]
+    fn user_classes() {
+        let mut h = TypeHierarchy::new();
+        h.register_class("Animal", &[]);
+        h.register_class("Dog", &["Animal"]);
+        h.register_class("Puppy", &["Dog"]);
+        assert!(h.is_subtype(&t("Puppy"), &t("Animal")));
+        assert!(h.is_subtype(&t("List[Puppy]"), &t("Iterable[Animal]")));
+        assert!(!h.is_subtype(&t("Animal"), &t("Dog")));
+    }
+
+    #[test]
+    fn unknown_classes_are_object_rooted() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("mx.nd.NDArray"), &t("object")));
+        assert!(!h.is_subtype(&t("mx.nd.NDArray"), &t("torch.Tensor")));
+    }
+
+    #[test]
+    fn neutrality_matches_paper_definition() {
+        let h = TypeHierarchy::new();
+        // τg :< τp: supertype predictions are neutral...
+        assert!(h.is_neutral(&t("Sequence[int]"), &t("List[int]")));
+        assert!(h.is_neutral(&t("float"), &t("int")));
+        // ...but ⊤ predictions are not.
+        assert!(!h.is_neutral(&t("Any"), &t("int")));
+        assert!(!h.is_neutral(&t("object"), &t("int")));
+        // Subtype predictions are not neutral.
+        assert!(!h.is_neutral(&t("int"), &t("float")));
+        // Exact types are neutral.
+        assert!(h.is_neutral(&t("List[int]"), &t("List[int]")));
+    }
+
+    #[test]
+    fn neutrality_truncates_depth() {
+        let h = TypeHierarchy::new();
+        // After truncation both sides become List[List[Any]].
+        assert!(h.is_neutral(&t("List[List[List[str]]]"), &t("List[List[List[int]]]")));
+    }
+
+    #[test]
+    fn joins() {
+        let mut h = TypeHierarchy::new();
+        h.register_class("Dog", &["Animal"]);
+        h.register_class("Cat", &["Animal"]);
+        h.register_class("Animal", &[]);
+        assert_eq!(h.join_names("Dog", "Cat"), "Animal");
+        assert_eq!(h.join_names("bool", "int"), "int");
+        assert_eq!(h.join_names("int", "str"), "object");
+        assert_eq!(h.join_names("List", "Tuple"), "Sequence");
+    }
+
+    #[test]
+    fn callable_subtyping() {
+        let h = TypeHierarchy::new();
+        assert!(h.is_subtype(&t("Callable[[int], bool]"), &t("Callable[..., int]")));
+        assert!(h.is_subtype(&t("Callable[[int], str]"), &t("Callable")));
+        assert!(!h.is_subtype(&t("Callable[[int], str]"), &t("Callable[[int], int]")));
+    }
+}

@@ -1,0 +1,28 @@
+//! # typilus-types
+//!
+//! Python type-annotation representation for the Typilus reproduction:
+//! parsing PEP 484 annotation text into structured [`PyType`] values, the
+//! paper's type-parameter erasure `Er(·)` and depth truncation, and the
+//! subtyping lattice (universal covariance) behind the *type neutrality*
+//! evaluation criterion.
+//!
+//! ```
+//! use typilus_types::{PyType, TypeHierarchy};
+//!
+//! # fn main() -> Result<(), typilus_types::ParseTypeError> {
+//! let pred: PyType = "Sequence[int]".parse()?;
+//! let truth: PyType = "List[int]".parse()?;
+//! let lattice = TypeHierarchy::new();
+//! assert!(lattice.is_neutral(&pred, &truth));
+//! assert!(pred.matches_up_to_parametric(&"Sequence[str]".parse()?));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod ty;
+
+pub use hierarchy::{TypeHierarchy, LATTICE_MAX_DEPTH};
+pub use ty::{canonical_name, ParseTypeError, PyType};

@@ -1,0 +1,109 @@
+//! Property-based tests of the type representation and the subtyping
+//! lattice.
+
+use proptest::prelude::*;
+use typilus_types::{PyType, TypeHierarchy};
+
+/// A strategy generating structurally diverse Python types.
+fn arb_type() -> impl Strategy<Value = PyType> {
+    let leaf = prop_oneof![
+        Just(PyType::Any),
+        Just(PyType::None),
+        prop_oneof![
+            Just("int"),
+            Just("str"),
+            Just("bool"),
+            Just("float"),
+            Just("bytes"),
+            Just("UserThing"),
+            Just("pkg.Other")
+        ]
+        .prop_map(PyType::named),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("List"), Just("Set"), Just("Iterable")], inner.clone())
+                .prop_map(|(n, a)| PyType::generic(n, vec![a])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(k, v)| PyType::generic("Dict", vec![k, v])),
+            prop::collection::vec(inner.clone(), 1..3)
+                .prop_map(|args| PyType::generic("Tuple", args)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(PyType::union),
+            inner.prop_map(PyType::optional),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(ty in arb_type()) {
+        let text = ty.to_string();
+        let parsed: PyType = text.parse().expect("display output must parse");
+        prop_assert_eq!(parsed, ty);
+    }
+
+    #[test]
+    fn erasure_is_idempotent(ty in arb_type()) {
+        prop_assert_eq!(ty.erased().erased(), ty.erased());
+        prop_assert!(!ty.erased().is_parametric());
+    }
+
+    #[test]
+    fn truncation_bounds_depth(ty in arb_type(), depth in 0usize..4) {
+        let truncated = ty.truncated(depth);
+        prop_assert!(truncated.depth() <= depth,
+            "depth {} after truncating to {}", truncated.depth(), depth);
+        // Idempotent at the same bound.
+        prop_assert_eq!(truncated.truncated(depth), ty.truncated(depth));
+    }
+
+    #[test]
+    fn subtyping_is_reflexive(ty in arb_type()) {
+        let h = TypeHierarchy::new();
+        prop_assert!(h.is_subtype(&ty, &ty));
+    }
+
+    #[test]
+    fn everything_below_object_and_any(ty in arb_type()) {
+        let h = TypeHierarchy::new();
+        prop_assert!(h.is_subtype(&ty, &PyType::named("object")));
+        prop_assert!(h.is_subtype(&ty, &PyType::Any));
+    }
+
+    #[test]
+    fn union_membership_subtyping(ty in arb_type(), other in arb_type()) {
+        let h = TypeHierarchy::new();
+        let u = PyType::union(vec![ty.clone(), other]);
+        prop_assert!(h.is_subtype(&ty, &u), "{} :< {}", ty, u);
+    }
+
+    #[test]
+    fn neutrality_never_accepts_top(truth in arb_type()) {
+        let h = TypeHierarchy::new();
+        prop_assert!(!h.is_neutral(&PyType::Any, &truth));
+        prop_assert!(!h.is_neutral(&PyType::named("object"), &truth));
+    }
+
+    #[test]
+    fn exact_match_implies_parametric_match(a in arb_type(), b in arb_type()) {
+        if a.matches_exactly(&b) {
+            prop_assert!(a.matches_up_to_parametric(&b));
+        }
+    }
+
+    #[test]
+    fn exact_match_implies_neutral(ty in arb_type()) {
+        let h = TypeHierarchy::new();
+        if !ty.is_top() {
+            prop_assert!(h.is_neutral(&ty, &ty), "{} should be neutral with itself", ty);
+        }
+    }
+
+    #[test]
+    fn union_construction_is_order_insensitive(mut members in prop::collection::vec(arb_type(), 1..4)) {
+        let a = PyType::union(members.clone());
+        members.reverse();
+        let b = PyType::union(members);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! A batch "editor assistant": ranked, checker-verified type suggestions
+//! for the unannotated symbols of a project — the workflow the paper
+//! motivates (helping developers move toward fully annotated code one
+//! accepted suggestion at a time), built on [`typilus::SuggestOptions`].
+//!
+//! ```sh
+//! cargo run --release --example suggest
+//! ```
+
+use typilus::{train, PreparedCorpus, SuggestOptions, TypilusConfig};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn main() {
+    let corpus = generate(&CorpusConfig { files: 60, seed: 3, ..CorpusConfig::default() });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 3);
+    println!("training on {} files...", data.split.train.len());
+    let system = train(&data, &TypilusConfig { epochs: 10, ..TypilusConfig::default() });
+
+    // The paper's Fig. 1 (right): TypeSpace prediction + type-checker
+    // filtering, via the library's suggestion API. When the top candidate
+    // fails the checker, lower-ranked candidates get their chance —
+    // `rejected_above` reports how many were filtered first.
+    let options = SuggestOptions { min_confidence: 0.5, ..SuggestOptions::default() };
+    let mut all = Vec::new();
+    for &idx in &data.split.test {
+        let file_name = data.files[idx].name.clone();
+        for s in system.suggest_file(&data, idx, &options) {
+            all.push((file_name.clone(), s));
+        }
+    }
+    all.sort_by(|a, b| b.1.confidence.total_cmp(&a.1.confidence));
+
+    let filtered: usize = all.iter().map(|(_, s)| s.rejected_above).sum();
+    println!(
+        "\n{} verified suggestions ({} higher-ranked candidates rejected by the checker):",
+        all.len(),
+        filtered
+    );
+    println!("{:<28} {:<18} {:<11} {:<22} conf  note", "file", "symbol", "kind", "suggested type");
+    for (file, s) in all.iter().take(25) {
+        let note = if s.rejected_above > 0 {
+            format!("(checker rejected {} above)", s.rejected_above)
+        } else {
+            String::new()
+        };
+        println!(
+            "{file:<28} {:<18} {:<11} {:<22} {:.2}  {note}",
+            s.name,
+            format!("{:?}", s.kind),
+            s.ty.to_string(),
+            s.confidence
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The Sec. 6.3 experiment end to end: substituting predictions one at a
+//! time and judging them with the optional type checker.
+
+use typilus::{
+    check_pr_curve, check_predictions, train, Category, CheckerProfile, EncoderKind, LossKind,
+    ModelConfig, PreparedCorpus, TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn system_and_data() -> (typilus::TrainedSystem, PreparedCorpus) {
+    let corpus = generate(&CorpusConfig { files: 36, seed: 13, ..CorpusConfig::default() });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 13);
+    let config = TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss: LossKind::Typilus,
+            dim: 16,
+            gnn_steps: 3,
+            min_subtoken_count: 1,
+            ..ModelConfig::default()
+        },
+        epochs: 6,
+        batch_size: 8,
+        lr: 0.02,
+        common_threshold: 8,
+        ..TypilusConfig::default()
+    };
+    (train(&data, &config), data)
+}
+
+#[test]
+fn same_annotation_substitutions_always_pass() {
+    let (system, data) = system_and_data();
+    for profile in [CheckerProfile::Mypy, CheckerProfile::Pytype] {
+        let (_, table) = check_predictions(&system, &data, &data.split.test, profile, 0.0);
+        // The τ→τ sanity row of Table 5: re-inserting the existing
+        // annotation into a clean program cannot fail.
+        assert!(
+            (table.same.accuracy() - 100.0).abs() < 1e-9,
+            "τ→τ must be 100% under {profile:?}: {:?}",
+            table.same
+        );
+    }
+}
+
+#[test]
+fn most_predictions_type_check() {
+    let (system, data) = system_and_data();
+    let (outcomes, table) =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    assert!(table.assessed_files > 0, "some test files must be clean");
+    let overall = table.overall();
+    assert!(overall.total > 20, "too few substitutions assessed: {overall:?}");
+    // Paper: 89% (mypy) / 83% (pytype) of predictions cause no error.
+    // We require a clear majority at laptop scale.
+    assert!(
+        overall.accuracy() > 60.0,
+        "accuracy too low: {:.1}% of {}",
+        overall.accuracy(),
+        overall.total
+    );
+    assert!(!outcomes.is_empty());
+}
+
+#[test]
+fn fresh_annotations_dominate() {
+    // Paper Table 5: ~95% of assessed predictions are ϵ→τ (most symbols
+    // are unannotated). Our corpus is more annotated, so we only require
+    // that the fresh category is non-trivial.
+    let (system, data) = system_and_data();
+    let (_, table) =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    assert!(table.fresh.total > 0, "expected ϵ→τ substitutions");
+    let fresh_prop = table.proportion(Category::FreshAnnotation);
+    assert!(fresh_prop > 10.0, "fresh proportion too small: {fresh_prop:.1}%");
+}
+
+#[test]
+fn pytype_profile_flags_at_least_as_much_as_mypy() {
+    let (system, data) = system_and_data();
+    let (_, mypy) =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    let (_, pytype) =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Pytype, 0.0);
+    // pytype's extra inference catches more errors, so its accuracy is
+    // at most mypy's (83% vs 89% in the paper). Tolerance for noise.
+    assert!(
+        pytype.overall().accuracy() <= mypy.overall().accuracy() + 5.0,
+        "pytype {:.1}% should not exceed mypy {:.1}% by much",
+        pytype.overall().accuracy(),
+        mypy.overall().accuracy()
+    );
+}
+
+#[test]
+fn confidence_threshold_trades_recall_for_precision() {
+    let (system, data) = system_and_data();
+    let (outcomes, _) =
+        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    let curve = check_pr_curve(&outcomes, &[0.0, 0.5, 0.9]);
+    assert!(curve[0].recall >= curve[1].recall);
+    assert!(curve[1].recall >= curve[2].recall);
+    // Precision at high confidence is at least precision at zero
+    // threshold (within noise).
+    assert!(curve[2].precision + 0.10 >= curve[0].precision);
+}

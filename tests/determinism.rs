@@ -1,0 +1,57 @@
+//! Reproducibility: identical seeds produce identical corpora, graphs,
+//! training trajectories and predictions.
+
+use typilus::{train, EncoderKind, LossKind, ModelConfig, PreparedCorpus, TypilusConfig};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn run(seed: u64) -> (Vec<f32>, Vec<String>) {
+    let corpus = generate(&CorpusConfig { files: 16, seed, ..CorpusConfig::default() });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
+    let config = TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss: LossKind::Typilus,
+            dim: 12,
+            gnn_steps: 2,
+            min_subtoken_count: 1,
+            seed,
+            ..ModelConfig::default()
+        },
+        epochs: 3,
+        batch_size: 8,
+        lr: 0.02,
+        seed,
+        ..TypilusConfig::default()
+    };
+    let system = train(&data, &config);
+    let losses: Vec<f32> = system.epochs.iter().map(|e| e.mean_loss).collect();
+    let preds: Vec<String> = data
+        .split
+        .test
+        .iter()
+        .flat_map(|&i| system.predict_file(&data, i))
+        .map(|p| {
+            format!(
+                "{}:{}",
+                p.name,
+                p.top().map(|t| t.ty.to_string()).unwrap_or_default()
+            )
+        })
+        .collect();
+    (losses, preds)
+}
+
+#[test]
+fn identical_seeds_reproduce_everything() {
+    let (l1, p1) = run(42);
+    let (l2, p2) = run(42);
+    assert_eq!(l1, l2, "training losses must be bit-identical");
+    assert_eq!(p1, p2, "predictions must be identical");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (l1, _) = run(42);
+    let (l2, _) = run(43);
+    assert_ne!(l1, l2, "different seeds should produce different runs");
+}

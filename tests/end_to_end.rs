@@ -1,0 +1,110 @@
+//! End-to-end pipeline test: corpus → graphs → training → TypeSpace →
+//! predictions → metrics. Uses a small configuration so it runs quickly
+//! in debug builds; the bench harness exercises paper-scale settings.
+
+use typilus::{
+    evaluate_files, table2_row, train, EncoderKind, LossKind, ModelConfig, PreparedCorpus,
+    TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn small_data(files: usize, seed: u64) -> PreparedCorpus {
+    let corpus = generate(&CorpusConfig { files, seed, ..CorpusConfig::default() });
+    PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed)
+}
+
+fn small_config(encoder: EncoderKind, loss: LossKind) -> TypilusConfig {
+    TypilusConfig {
+        model: ModelConfig {
+            encoder,
+            loss,
+            dim: 16,
+            gnn_steps: 3,
+            min_subtoken_count: 1,
+            ..ModelConfig::default()
+        },
+        epochs: 6,
+        batch_size: 8,
+        lr: 0.02,
+        common_threshold: 8,
+        ..TypilusConfig::default()
+    }
+}
+
+#[test]
+fn typilus_learns_to_predict_common_types() {
+    let data = small_data(40, 7);
+    let config = small_config(EncoderKind::Graph, LossKind::Typilus);
+    let system = train(&data, &config);
+
+    // Training made progress.
+    let first = system.epochs.first().unwrap().mean_loss;
+    let last = system.epochs.last().unwrap().mean_loss;
+    assert!(last < first, "loss should decrease: {first} -> {last}");
+
+    // The type map holds the training+validation annotations.
+    assert!(system.type_map.len() > 100, "type map too small: {}", system.type_map.len());
+    assert!(system.type_map.distinct_types() > 10);
+
+    // Test-split evaluation: well above chance on common types.
+    let examples = evaluate_files(&system, &data, &data.split.test);
+    assert!(examples.len() > 30, "too few eval examples: {}", examples.len());
+    let row = table2_row(&examples, &system.hierarchy, config.common_threshold);
+    assert!(
+        row.exact_common > 30.0,
+        "common-type exact match too low: {row:?}"
+    );
+    assert!(row.neutral >= row.exact_all - 1e-9, "neutrality dominates exact match");
+    assert!(
+        row.para_all >= row.exact_all - 1e-9,
+        "up-to-parametric dominates exact: {row:?}"
+    );
+}
+
+#[test]
+fn predictions_are_ranked_with_probabilities() {
+    let data = small_data(30, 3);
+    let system = train(&data, &small_config(EncoderKind::Graph, LossKind::Typilus));
+    let preds = system.predict_file(&data, data.split.test[0]);
+    assert!(!preds.is_empty());
+    for p in &preds {
+        let mut last = f32::INFINITY;
+        let mut total = 0.0;
+        for c in &p.candidates {
+            assert!(c.probability <= last + 1e-6, "candidates must be sorted");
+            last = c.probability;
+            total += c.probability;
+        }
+        if !p.candidates.is_empty() {
+            assert!((total - 1.0).abs() < 1e-3, "probabilities sum to 1, got {total}");
+        }
+    }
+}
+
+#[test]
+fn predict_source_works_on_fresh_code() {
+    let data = small_data(30, 5);
+    let system = train(&data, &small_config(EncoderKind::Graph, LossKind::Typilus));
+    let preds = system
+        .predict_source("def scale(count, factor):\n    total = count * 2\n    return total\n")
+        .expect("valid source");
+    let names: Vec<&str> = preds.iter().map(|p| p.name.as_str()).collect();
+    assert!(names.contains(&"count"));
+    assert!(names.contains(&"total"));
+    // At least some predictions come back with candidates.
+    assert!(preds.iter().any(|p| !p.candidates.is_empty()));
+}
+
+#[test]
+fn classification_model_also_trains() {
+    let data = small_data(30, 9);
+    let system = train(&data, &small_config(EncoderKind::Graph, LossKind::Class));
+    let examples = evaluate_files(&system, &data, &data.split.test);
+    assert!(!examples.is_empty());
+    // Classification models emit exactly one candidate per symbol.
+    for e in &examples {
+        assert!(e.prediction.candidates.len() <= 1);
+    }
+    let row = table2_row(&examples, &system.hierarchy, 8);
+    assert!(row.exact_common > 20.0, "classifier should learn common types: {row:?}");
+}
