@@ -1,0 +1,86 @@
+//! Data-parallel engine benchmarks: one training epoch at 1 vs N worker
+//! threads (bit-identical results, wall-clock scaling with cores), and
+//! the old full-scan/full-sort L1 top-k vs the contiguous pruned kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use typilus::GraphConfig;
+use typilus_bench::{prepare, Scale};
+use typilus_models::{PreparedFile, TypeModel};
+use typilus_nn::resolve_threads;
+use typilus_space::{l1, ExactIndex, Hit};
+
+fn bench_epoch_by_threads(c: &mut Criterion) {
+    let scale = Scale { files: 24, epochs: 1, dim: 16, gnn_steps: 3, seed: 0, common_threshold: 8 };
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = typilus_bench::config_for(
+        &scale,
+        typilus::EncoderKind::Graph,
+        typilus::LossKind::Typilus,
+        graph,
+    );
+    let train_graphs = data.graphs_of(&data.split.train);
+    let model = TypeModel::new(config.model, &train_graphs);
+    let prepared: Vec<PreparedFile> =
+        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let batch: Vec<&PreparedFile> = prepared.iter().collect();
+
+    let auto = resolve_threads(None);
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let mut counts = vec![1usize];
+    if auto > 1 {
+        counts.push(auto);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    criterion::black_box(model.train_step_parallel(&batch, threads))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// The pre-optimisation kernel: full scan, full sort, truncate.
+fn naive_query(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+        .collect();
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+    hits.truncate(k);
+    hits
+}
+
+fn bench_l1_kernel(c: &mut Criterion) {
+    let dim = 32;
+    let mut group = c.benchmark_group("l1_top10");
+    for &n in &[1_000usize, 20_000] {
+        let points = random_points(n, dim, 1);
+        let query: Vec<f32> = random_points(1, dim, 2).pop().expect("one point");
+        let index = ExactIndex::new(points.clone());
+        group.bench_with_input(BenchmarkId::new("naive_sort", n), &n, |b, _| {
+            b.iter(|| criterion::black_box(naive_query(&points, &query, 10)));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned_heap", n), &n, |b, _| {
+            b.iter(|| criterion::black_box(index.query(&query, 10)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_by_threads, bench_l1_kernel);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Measures the data-parallel engine and the pruned L1 kernel, and
+//! writes the numbers to `BENCH_parallel.json` (override the path with
+//! `TYPILUS_BENCH_OUT`).
+//!
+//! Two comparisons:
+//!   * one training epoch (`train_step_parallel` over every batch) at
+//!     1 worker thread vs the auto-detected count;
+//!   * the old L1 top-k kernel (full scan + full sort) vs the new
+//!     contiguous pruned-heap `ExactIndex::query`.
+//!
+//! On a single-core host the thread speedup will hover around 1.0x;
+//! the numbers are recorded either way.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use typilus::{EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, Scale};
+use typilus_models::{PreparedFile, TypeModel};
+use typilus_nn::resolve_threads;
+use typilus_space::{l1, ExactIndex, Hit};
+
+/// Runs `f` `reps` times and returns the median wall-clock seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn epoch_secs(model: &TypeModel, batches: &[Vec<&PreparedFile>], threads: usize) -> f64 {
+    median_secs(3, || {
+        for batch in batches {
+            std::hint::black_box(model.train_step_parallel(batch, threads));
+        }
+    })
+}
+
+fn naive_query(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+        .collect();
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+    hits.truncate(k);
+    hits
+}
+
+fn main() {
+    let scale =
+        Scale { files: 24, epochs: 1, dim: 16, gnn_steps: 3, seed: 0, common_threshold: 8 };
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let train_graphs = data.graphs_of(&data.split.train);
+    let model = TypeModel::new(config.model, &train_graphs);
+    let prepared: Vec<PreparedFile> =
+        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let batches: Vec<Vec<&PreparedFile>> = data
+        .split
+        .train
+        .chunks(config.batch_size)
+        .map(|chunk| chunk.iter().map(|&i| &prepared[i]).collect())
+        .collect();
+
+    let auto = resolve_threads(None);
+    eprintln!("timing one epoch ({} batches) at 1 and {auto} threads...", batches.len());
+    let epoch_1 = epoch_secs(&model, &batches, 1);
+    let epoch_n = epoch_secs(&model, &batches, auto);
+
+    let n = 20_000;
+    let dim = 32;
+    let k = 10;
+    let mut rng = StdRng::seed_from_u64(1);
+    let points: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let index = ExactIndex::new(points.clone());
+    assert_eq!(naive_query(&points, &query, k), index.query(&query, k));
+    eprintln!("timing L1 top-{k} over {n} x {dim} points...");
+    let naive_secs = median_secs(9, || {
+        std::hint::black_box(naive_query(&points, &query, k));
+    });
+    let pruned_secs = median_secs(9, || {
+        std::hint::black_box(index.query(&query, k));
+    });
+
+    let json = format!(
+        "{{\n  \"threads_auto\": {auto},\n  \"epoch_secs_1_thread\": {epoch_1:.6},\n  \
+         \"epoch_secs_auto_threads\": {epoch_n:.6},\n  \"epoch_speedup\": {:.3},\n  \
+         \"l1_points\": {n},\n  \"l1_dim\": {dim},\n  \"l1_k\": {k},\n  \
+         \"l1_naive_secs\": {naive_secs:.9},\n  \"l1_pruned_secs\": {pruned_secs:.9},\n  \
+         \"l1_speedup\": {:.3}\n}}\n",
+        epoch_1 / epoch_n.max(1e-12),
+        naive_secs / pruned_secs.max(1e-12),
+    );
+    let out = std::env::var("TYPILUS_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    std::fs::write(&out, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

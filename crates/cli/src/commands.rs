@@ -5,7 +5,8 @@ use std::error::Error;
 use std::path::Path;
 use typilus::{
     evaluate_files, table2_row, train, Aggregation, CheckerProfile, EncoderKind, GraphConfig,
-    KnnConfig, LossKind, ModelConfig, NodeInit, PreparedCorpus, TrainedSystem, TypilusConfig,
+    KnnConfig, LossKind, ModelConfig, NodeInit, Parallelism, PreparedCorpus, TrainedSystem,
+    TypilusConfig,
 };
 use typilus_check::TypeChecker;
 use typilus_corpus::{generate, CorpusConfig};
@@ -22,13 +23,18 @@ USAGE:
   typilus gen-corpus --out DIR [--files N] [--seed S] [--error-rate F]
   typilus train      --corpus DIR --model OUT [--encoder graph|seq|path|transformer]
                      [--loss class|space|typilus] [--epochs N] [--dim D]
-                     [--gnn-steps T] [--lr F] [--seed S]
+                     [--gnn-steps T] [--lr F] [--seed S] [--threads N]
   typilus predict    --model FILE [--top K] [--min-confidence F] [--check] PY_FILE...
-  typilus eval       --model FILE --corpus DIR [--common N]
+  typilus eval       --model FILE --corpus DIR [--common N] [--threads N]
   typilus audit      --model FILE --corpus DIR [--min-confidence F]
 
 Corpora are directories of .py files. Models are .typilus artefacts
-written by `train` (see typilus::TrainedSystem::save)."
+written by `train` (see typilus::TrainedSystem::save).
+
+Training, corpus preparation and evaluation fan per-file work across
+worker threads; results are bit-identical for every thread count.
+--threads 0 (the default) auto-detects: the TYPILUS_THREADS environment
+variable if set, otherwise the number of available CPU cores."
     );
 }
 
@@ -139,6 +145,7 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         knn: KnnConfig::default(),
         common_threshold: args.get_parsed("common", 15usize)?,
         seed,
+        parallelism: Parallelism::fixed(args.get_parsed("threads", 0usize)?),
         ..TypilusConfig::default()
     };
     let system = train(&data, &config);
@@ -203,7 +210,11 @@ pub fn eval_cmd(args: &Args) -> CmdResult {
     let model_path = args.require("model")?;
     let corpus_dir = args.require("corpus")?;
     let common = args.get_parsed("common", 15usize)?;
-    let system = TrainedSystem::load(model_path)?;
+    let mut system = TrainedSystem::load(model_path)?;
+    if args.get("threads").is_some() {
+        system.config.parallelism =
+            Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+    }
     let data = load_prepared(corpus_dir, &system.config.graph, system.config.seed)?;
     let examples = evaluate_files(&system, &data, &data.split.test);
     let row = table2_row(&examples, &system.hierarchy, common);

@@ -51,7 +51,9 @@ pub use metrics::{
     Criterion, EvalExample, KindBreakdown, MatchRates, PrPoint, Table2Row,
 };
 pub use persist::PersistError;
-pub use pipeline::{train, EpochStats, SymbolPrediction, TrainedSystem, TypilusConfig};
+pub use pipeline::{
+    train, EpochStats, Parallelism, SymbolPrediction, TrainedSystem, TypilusConfig,
+};
 pub use suggest::{SuggestOptions, Suggestion};
 pub use typecheck_eval::{
     check_pr_curve, check_predictions, Category, CategoryStats, CheckPrPoint,

@@ -33,15 +33,17 @@ impl EvalExample {
 }
 
 /// Collects evaluation examples over a set of file indices (typically the
-/// test split): every annotated symbol becomes one example.
+/// test split): every annotated symbol becomes one example. Per-file
+/// prediction fans across the system's configured worker threads;
+/// examples keep file order.
 pub fn evaluate_files(
     system: &TrainedSystem,
     data: &PreparedCorpus,
     indices: &[usize],
 ) -> Vec<EvalExample> {
     let mut out = Vec::new();
-    for &idx in indices {
-        for prediction in system.predict_file(data, idx) {
+    for predictions in system.predict_files(data, indices) {
+        for prediction in predictions {
             let Some(truth) = prediction.ground_truth.clone() else { continue };
             let truth_train_count = system.train_count(&truth);
             out.push(EvalExample { prediction, truth, truth_train_count });

@@ -12,7 +12,9 @@ use std::path::Path;
 /// Magic bytes at the start of every artefact file.
 const MAGIC: &[u8; 8] = b"TYPILUS\0";
 /// Bump when the on-disk layout of [`TrainedSystem`] changes.
-const VERSION: u32 = 1;
+/// v2: `TypilusConfig` gained `parallelism`; the type map stores
+/// embeddings contiguously.
+const VERSION: u32 = 2;
 
 /// Errors of artefact persistence.
 #[derive(Debug)]

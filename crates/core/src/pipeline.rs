@@ -8,13 +8,39 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use typilus_graph::GraphConfig;
 use typilus_models::{LossKind, ModelConfig, PreparedFile, TypeModel};
-use typilus_nn::Adam;
+use typilus_nn::{par_map_ordered, resolve_threads, Adam};
 use typilus_pyast::symtable::{SymbolId, SymbolKind};
 use typilus_space::{KnnConfig, RpForestConfig, TypeMap, TypePrediction};
 use typilus_types::{PyType, TypeHierarchy};
+
+/// Thread-count policy for the data-parallel pipeline stages (minibatch
+/// training, corpus preparation, τmap construction, batch prediction).
+///
+/// Results are bit-identical for every thread count: parallel stages
+/// only fan out independent per-file work, and every reduction over
+/// their results happens in fixed file-index order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker threads; `0` means auto-detect (the `TYPILUS_THREADS`
+    /// environment variable if set, otherwise
+    /// [`std::thread::available_parallelism`]).
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// A fixed thread count (`0` keeps auto-detection).
+    pub fn fixed(threads: usize) -> Parallelism {
+        Parallelism { threads }
+    }
+
+    /// The concrete worker count to use.
+    pub fn resolve(self) -> usize {
+        resolve_threads(if self.threads == 0 { None } else { Some(self.threads) })
+    }
+}
 
 /// Pipeline hyperparameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -39,6 +65,8 @@ pub struct TypilusConfig {
     pub common_threshold: usize,
     /// Pipeline RNG seed (batch shuffling).
     pub seed: u64,
+    /// Worker-thread policy for the data-parallel stages.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TypilusConfig {
@@ -53,6 +81,7 @@ impl Default for TypilusConfig {
             approximate_index: false,
             common_threshold: 20,
             seed: 0,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -117,12 +146,13 @@ pub struct TrainedSystem {
 
 /// Trains a system on the prepared corpus' training split.
 pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
+    let threads = config.parallelism.resolve();
     let train_graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config.model, &train_graphs);
 
-    // Prepare every file once.
+    // Prepare every file once, fanning the per-file work across threads.
     let prepared: Vec<PreparedFile> =
-        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+        par_map_ordered(&data.files, threads, |_, f| model.prepare(&f.graph));
 
     let mut optimizer = Adam::new(config.lr);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -135,7 +165,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         let mut losses = Vec::new();
         for chunk in order.chunks(config.batch_size.max(1)) {
             let batch: Vec<&PreparedFile> = chunk.iter().map(|&i| &prepared[i]).collect();
-            if let Some((loss, grads)) = model.train_step(&batch) {
+            if let Some((loss, grads)) = model.train_step_parallel(&batch, threads) {
                 if loss.is_finite() {
                     losses.push(loss);
                     optimizer.step(&mut model.params, grads);
@@ -159,16 +189,25 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     // training and the validation sets").
     let mut type_map = TypeMap::new(config.model.dim);
     let mut train_type_counts: HashMap<String, usize> = HashMap::new();
-    for &idx in data.split.train.iter().chain(&data.split.valid) {
-        let file = &prepared[idx];
-        if file.targets.is_empty() {
-            continue;
-        }
-        let Some(embeddings) = model.embed_inference(file) else { continue };
-        for (t, target) in file.targets.iter().enumerate() {
+    let tau_files: Vec<&PreparedFile> = data
+        .split
+        .train
+        .iter()
+        .chain(&data.split.valid)
+        .map(|&idx| &prepared[idx])
+        .collect();
+    let tau_indices: Vec<usize> =
+        data.split.train.iter().chain(&data.split.valid).copied().collect();
+    // Embed every train/valid file in parallel; markers are inserted
+    // sequentially in file order below, so the map is deterministic.
+    let embedded = model.embed_inference_batch(&tau_files, threads);
+    let train_set: HashSet<usize> = data.split.train.iter().copied().collect();
+    for (&idx, embeddings) in tau_indices.iter().zip(&embedded) {
+        let Some(embeddings) = embeddings else { continue };
+        for (t, target) in prepared[idx].targets.iter().enumerate() {
             let Some(ty) = &target.ty else { continue };
             type_map.add(embeddings.row(t).to_vec(), ty.clone());
-            if data.split.train.contains(&idx) {
+            if train_set.contains(&idx) {
                 *train_type_counts.entry(ty.to_string()).or_insert(0) += 1;
             }
         }
@@ -196,6 +235,19 @@ impl TrainedSystem {
         let file = &data.files[file_idx];
         let prepared = self.model.prepare(&file.graph);
         self.predict_prepared(&prepared, file_idx)
+    }
+
+    /// Predicts over many corpus files at once, fanning the per-file
+    /// work across the configured worker threads. Results keep the
+    /// order of `indices` and match per-file [`TrainedSystem::predict_file`]
+    /// calls exactly.
+    pub fn predict_files(
+        &self,
+        data: &PreparedCorpus,
+        indices: &[usize],
+    ) -> Vec<Vec<SymbolPrediction>> {
+        let threads = self.config.parallelism.resolve();
+        par_map_ordered(indices, threads, |_, &idx| self.predict_file(data, idx))
     }
 
     /// Predicts types for an out-of-corpus source string.

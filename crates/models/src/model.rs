@@ -314,12 +314,108 @@ impl TypeModel {
         Some((value, grads))
     }
 
+    /// Data-parallel [`TypeModel::train_step`]: per-file forward and
+    /// backward passes fan across `threads` scoped threads while the
+    /// batch-level loss (whose pairwise term couples files) stays on one
+    /// sequential tape.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Forward (parallel)** — each file is encoded on its own tape,
+    ///    keeping only annotated targets.
+    /// 2. **Loss (sequential)** — the per-file embedding values enter a
+    ///    fresh tape as inputs, are concatenated, and the batch loss is
+    ///    computed exactly as in `train_step`;
+    ///    [`Tape::backward_with_inputs`] yields the loss-head gradients
+    ///    plus d loss / d embedding per file.
+    /// 3. **Backward (parallel)** — each file's forward tape is re-walked
+    ///    from its embedding via [`Tape::backward_from`].
+    ///
+    /// Per-file gradients merge in file-index order, so the result is
+    /// bit-identical for every `threads` value (the loss *value* equals
+    /// `train_step`'s; gradients may differ from `train_step` only in
+    /// float-accumulation order).
+    pub fn train_step_parallel(
+        &self,
+        batch: &[&PreparedFile],
+        threads: usize,
+    ) -> Option<(f32, Gradients)> {
+        struct FileForward<'p> {
+            tape: Tape<'p>,
+            selected: Var,
+            value: Tensor,
+            types: Vec<PyType>,
+        }
+
+        // Phase 1: independent per-file forward passes.
+        let forwards: Vec<Option<FileForward<'_>>> =
+            typilus_nn::par_map_ordered(batch, threads, |_, file| {
+                let mut tape = Tape::new(&self.params);
+                let emb = self.embed(&mut tape, file)?;
+                let mut keep = Vec::new();
+                let mut types = Vec::new();
+                for (i, t) in file.targets.iter().enumerate() {
+                    if let Some(ty) = &t.ty {
+                        keep.push(i);
+                        types.push(ty.clone());
+                    }
+                }
+                if keep.is_empty() {
+                    return None;
+                }
+                let selected = tape.gather(emb, &keep);
+                let value = tape.value(selected).clone();
+                Some(FileForward { tape, selected, value, types })
+            });
+        let forwards: Vec<FileForward<'_>> = forwards.into_iter().flatten().collect();
+        if forwards.is_empty() {
+            return None;
+        }
+
+        // Phase 2: one sequential tape for the batch-coupled loss.
+        let mut loss_tape = Tape::new(&self.params);
+        let mut parts = Vec::with_capacity(forwards.len());
+        let mut types = Vec::new();
+        for fw in &forwards {
+            parts.push(loss_tape.input(fw.value.clone()));
+            types.extend(fw.types.iter().cloned());
+        }
+        let embeddings = loss_tape.concat_rows(&parts);
+        let loss = self.loss(&mut loss_tape, embeddings, &types);
+        let value = loss_tape.value(loss).item();
+        let (mut grads, seeds) = loss_tape.backward_with_inputs(loss, &parts);
+
+        // Phase 3: per-file backward passes, seeded with d loss / d emb.
+        let jobs: Vec<(&FileForward<'_>, Tensor)> =
+            forwards.iter().zip(seeds).collect();
+        let per_file: Vec<Gradients> =
+            typilus_nn::par_map_ordered(&jobs, threads, |_, (fw, seed)| {
+                fw.tape.backward_from(fw.selected, seed.clone())
+            });
+        // Fixed (file-index) merge order keeps float accumulation
+        // deterministic across thread counts.
+        for g in per_file {
+            grads.merge(g);
+        }
+        Some((value, grads))
+    }
+
     /// Inference: embeds every target of a file (annotated or not) and
     /// returns the raw embedding matrix, or `None` without targets.
     pub fn embed_inference(&self, file: &PreparedFile) -> Option<Tensor> {
         let mut tape = Tape::new(&self.params);
         let emb = self.embed(&mut tape, file)?;
         Some(tape.value(emb).clone())
+    }
+
+    /// [`TypeModel::embed_inference`] over many files, fanned across
+    /// `threads` scoped threads; results keep input order.
+    pub fn embed_inference_batch(
+        &self,
+        files: &[&PreparedFile],
+        threads: usize,
+    ) -> Vec<Option<Tensor>> {
+        typilus_nn::par_map_ordered(files, threads, |_, file| self.embed_inference(file))
     }
 
     /// Classification-head prediction for a file: per target, the best
@@ -435,6 +531,78 @@ mod tests {
                     .expect("batch has annotated targets");
                 assert!(loss_val.is_finite(), "{encoder:?}/{loss:?} loss = {loss_val}");
                 assert!(grads.global_norm().is_finite());
+            }
+        }
+    }
+
+    /// The parallel step must return the exact `train_step` loss value,
+    /// and bit-identical gradients for every thread count.
+    #[test]
+    fn parallel_step_is_thread_count_invariant() {
+        let gs = graphs(TRAIN);
+        for loss in [LossKind::Class, LossKind::Space, LossKind::Typilus] {
+            let model = TypeModel::new(small_config(EncoderKind::Graph, loss), &gs);
+            let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
+            let batch: Vec<&PreparedFile> = prepared.iter().collect();
+            let (seq_loss, _) = model.train_step(&batch).unwrap();
+            let (one_loss, one_grads) = model.train_step_parallel(&batch, 1).unwrap();
+            assert_eq!(
+                seq_loss.to_bits(),
+                one_loss.to_bits(),
+                "{loss:?}: parallel loss must equal the sequential loss"
+            );
+            for threads in [2, 3, 8] {
+                let (n_loss, n_grads) =
+                    model.train_step_parallel(&batch, threads).unwrap();
+                assert_eq!(one_loss.to_bits(), n_loss.to_bits());
+                let pairs: Vec<_> = one_grads.iter().zip(n_grads.iter()).collect();
+                assert!(!pairs.is_empty());
+                for ((id_a, ga), (id_b, gb)) in pairs {
+                    assert_eq!(id_a, id_b);
+                    assert_eq!(ga.shape(), gb.shape());
+                    for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{loss:?}: gradient differs between 1 and {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step_trains_as_well_as_sequential() {
+        let gs = graphs(TRAIN);
+        let mut model =
+            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
+        let batch: Vec<&PreparedFile> = prepared.iter().collect();
+        let mut adam = Adam::new(0.01);
+        let (first, _) = model.train_step_parallel(&batch, 2).unwrap();
+        for _ in 0..15 {
+            let (_, grads) = model.train_step_parallel(&batch, 2).unwrap();
+            adam.step(&mut model.params, grads);
+        }
+        let (last, _) = model.train_step_parallel(&batch, 2).unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn batched_inference_matches_one_by_one() {
+        let gs = graphs(TRAIN);
+        let model =
+            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
+        let refs: Vec<&PreparedFile> = prepared.iter().collect();
+        let batched = model.embed_inference_batch(&refs, 3);
+        for (file, b) in prepared.iter().zip(batched) {
+            let single = model.embed_inference(file).unwrap();
+            let b = b.unwrap();
+            assert_eq!(single.shape(), b.shape());
+            for (x, y) in single.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }

@@ -24,12 +24,14 @@
 
 pub mod layers;
 pub mod optim;
+pub mod par;
 pub mod params;
 pub mod tape;
 pub mod tensor;
 
 pub use layers::{Embedding, GruCell, Linear};
 pub use optim::{Adam, Sgd};
+pub use par::{par_map_ordered, resolve_threads};
 pub use params::{Gradients, ParamId, ParamSet};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

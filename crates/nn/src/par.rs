@@ -1,0 +1,117 @@
+//! Deterministic data-parallel execution helpers.
+//!
+//! Work is fanned across crossbeam scoped threads, but results are
+//! always returned in input order and every reduction over them happens
+//! sequentially in that order — so any float accumulation downstream is
+//! bit-identical for every thread count, including 1.
+
+/// Resolves the worker-thread count for data-parallel stages.
+///
+/// Priority: an explicit non-zero `requested` value, then the
+/// `TYPILUS_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`], defaulting to 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("TYPILUS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning across at most `threads` scoped
+/// threads, and returns the results in input order.
+///
+/// Items are assigned to workers by striding (worker `t` takes items
+/// `t, t + threads, …`); each result lands in its item's slot, so the
+/// output order — and therefore any ordered reduction over it — does
+/// not depend on the thread count or on scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < items.len() {
+                        out.push((i, f(i, &items[i])));
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    })
+    .expect("thread scope failed");
+    slots.into_iter().map(|r| r.expect("every slot is filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_in_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map_ordered(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map_ordered(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn float_reduction_is_thread_count_invariant() {
+        let items: Vec<f32> = (0..100).map(|i| (i as f32).sin() * 1e-3).collect();
+        let reduce = |threads: usize| -> f32 {
+            par_map_ordered(&items, threads, |_, &x| x * x + 0.1).iter().sum()
+        };
+        let one = reduce(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(one.to_bits(), reduce(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+}

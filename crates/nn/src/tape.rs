@@ -486,9 +486,56 @@ impl<'p> Tape<'p> {
     /// Panics if `loss` is not `1×1`.
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        self.backward_impl(loss, Tensor::scalar(1.0), &[]).0
+    }
+
+    /// Like [`Tape::backward`], but also returns the gradient of the loss
+    /// with respect to each listed [`Tape::input`] variable, in the order
+    /// given. Inputs the loss does not depend on get a zero gradient.
+    ///
+    /// This is the seam for data-parallel training: a batch-level loss
+    /// tape takes per-file embeddings as inputs, and the returned input
+    /// gradients seed each file's own forward tape via
+    /// [`Tape::backward_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward_with_inputs(
+        &self,
+        loss: Var,
+        inputs: &[Var],
+    ) -> (Gradients, Vec<Tensor>) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        self.backward_impl(loss, Tensor::scalar(1.0), inputs)
+    }
+
+    /// Backpropagates from an arbitrary (possibly non-scalar) variable,
+    /// seeding it with `seed` — the gradient of some downstream scalar
+    /// loss with respect to `root`, computed on another tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` does not have `root`'s shape.
+    pub fn backward_from(&self, root: Var, seed: Tensor) -> Gradients {
+        assert_eq!(
+            self.value(root).shape(),
+            seed.shape(),
+            "seed must match the root's shape"
+        );
+        self.backward_impl(root, seed, &[]).0
+    }
+
+    fn backward_impl(
+        &self,
+        root: Var,
+        seed: Tensor,
+        inputs: &[Var],
+    ) -> (Gradients, Vec<Tensor>) {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::scalar(1.0));
+        grads[root.0] = Some(seed);
         let mut out = Gradients::new();
+        let mut input_grads: Vec<Option<Tensor>> = vec![None; inputs.len()];
 
         for i in (0..self.nodes.len()).rev() {
             let g = match grads[i].take() {
@@ -497,7 +544,11 @@ impl<'p> Tape<'p> {
             };
             let node = &self.nodes[i];
             match &node.op {
-                Op::Input => {}
+                Op::Input => {
+                    if let Some(slot) = inputs.iter().position(|v| v.0 == i) {
+                        input_grads[slot] = Some(g);
+                    }
+                }
                 Op::Param(id) => out.accumulate(*id, g),
                 Op::Matmul(a, b) => {
                     let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
@@ -744,7 +795,17 @@ impl<'p> Tape<'p> {
                 }
             }
         }
-        out
+        let input_grads = inputs
+            .iter()
+            .zip(input_grads)
+            .map(|(v, g)| {
+                g.unwrap_or_else(|| {
+                    let t = self.value(*v);
+                    Tensor::zeros(t.rows(), t.cols())
+                })
+            })
+            .collect();
+        (out, input_grads)
     }
 }
 
@@ -1028,5 +1089,67 @@ mod tests {
         let loss = tape.sum_all(s);
         let grads = tape.backward(loss);
         assert_eq!(grads.get(id).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn backward_with_inputs_returns_input_gradients() {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::from_vec(1, 2, vec![2.0, -1.0]));
+        let unused = tape.input(Tensor::from_vec(1, 3, vec![0.0, 0.0, 0.0]));
+        let sq = tape.mul(x, x); // d(sum x^2)/dx = 2x
+        let loss = tape.sum_all(sq);
+        let (_, input_grads) = tape.backward_with_inputs(loss, &[x, unused]);
+        assert_eq!(input_grads[0].as_slice(), &[4.0, -2.0]);
+        // Inputs the loss ignores get a zero gradient of matching shape.
+        assert_eq!(input_grads[1].shape(), (1, 3));
+        assert!(input_grads[1].as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    /// Splitting a computation over two tapes — a forward tape producing
+    /// an intermediate, and a loss tape consuming it as an input — must
+    /// yield the same parameter gradients as the single-tape run:
+    /// `backward_with_inputs` extracts d loss / d intermediate, and
+    /// `backward_from` pushes it through the forward tape.
+    #[test]
+    fn two_tape_split_matches_single_tape() {
+        let mut params = ParamSet::new();
+        let id = params.add("w", Tensor::from_vec(1, 2, vec![0.7, -0.4]));
+
+        // Single tape: loss = sum(tanh(w) * tanh(w)).
+        let mut whole = Tape::new(&params);
+        let w = whole.param(id);
+        let t = whole.tanh(w);
+        let sq = whole.mul(t, t);
+        let loss = whole.sum_all(sq);
+        let reference = whole.backward(loss);
+
+        // Split: forward tape computes tanh(w); loss tape squares it.
+        let mut forward = Tape::new(&params);
+        let w = forward.param(id);
+        let mid = forward.tanh(w);
+        let mid_value = forward.value(mid).clone();
+
+        let mut loss_tape = Tape::new(&params);
+        let x = loss_tape.input(mid_value);
+        let sq = loss_tape.mul(x, x);
+        let loss = loss_tape.sum_all(sq);
+        let (mut grads, input_grads) = loss_tape.backward_with_inputs(loss, &[x]);
+        grads.merge(forward.backward_from(mid, input_grads.into_iter().next().unwrap()));
+
+        let (r, s) = (reference.get(id).unwrap(), grads.get(id).unwrap());
+        assert_eq!(r.shape(), s.shape());
+        for (a, b) in r.as_slice().iter().zip(s.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "split-tape gradient mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must match")]
+    fn backward_from_rejects_mismatched_seed() {
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let x = tape.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        tape.backward_from(x, Tensor::scalar(1.0));
     }
 }

@@ -4,6 +4,14 @@
 //! Annoy-style forest of random-projection trees with priority search;
 //! [`ExactIndex`] is the brute-force reference used in tests and for
 //! small type maps.
+//!
+//! Points live in a [`PointStore`]: one contiguous row-major `Vec<f32>`
+//! rather than a `Vec<Vec<f32>>`, so the distance kernel streams
+//! cache-friendly memory instead of chasing a pointer per point. Top-k
+//! selection keeps a bounded max-heap of the current best `k` hits
+//! (`O(n log k)` instead of a full `O(n log n)` sort), and the L1 kernel
+//! early-exits as soon as a partial sum proves a point cannot beat the
+//! current k-th best distance.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -11,10 +19,113 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Contiguous row-major point storage.
+///
+/// All coordinates live in a single allocation; row `i` occupies
+/// `[i * dim, (i + 1) * dim)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointStore {
+    data: Vec<f32>,
+    dim: usize,
+    len: usize,
+}
+
+impl PointStore {
+    /// Creates an empty store for `dim`-wide points.
+    pub fn new(dim: usize) -> PointStore {
+        PointStore { data: Vec::new(), dim, len: 0 }
+    }
+
+    /// Packs nested rows into contiguous storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing widths.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> PointStore {
+        let dim = rows.first().map(Vec::len).unwrap_or(0);
+        let mut store =
+            PointStore { data: Vec::with_capacity(rows.len() * dim), dim, len: 0 };
+        for row in &rows {
+            store.push(row);
+        }
+        store
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`'s width differs from the store's dimension.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "point width mismatch");
+        self.data.extend_from_slice(row);
+        self.len += 1;
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One point as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over the points in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        (0..self.len).map(|i| self.row(i))
+    }
+}
+
 /// L1 (Manhattan) distance — the metric of the paper's type space.
 pub fn l1(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Coordinates summed between bound checks of [`l1_pruned`].
+const PRUNE_CHUNK: usize = 8;
+
+/// L1 distance with early exit: accumulates `|a - b|` in the same
+/// left-to-right order as [`l1`], and after every [`PRUNE_CHUNK`]-wide
+/// chunk stops as soon as the partial sum strictly exceeds `bound`.
+///
+/// When the result is `<= bound` it is bit-identical to `l1(a, b)`;
+/// otherwise it is some partial sum `> bound`, which suffices to reject
+/// the point in a top-k scan. The exit test is strict so that distances
+/// exactly equal to the bound are still computed exactly (ties are
+/// broken by index downstream).
+pub fn l1_pruned(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f32;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let end = (i + PRUNE_CHUNK).min(n);
+        while i < end {
+            sum += (a[i] - b[i]).abs();
+            i += 1;
+        }
+        if sum > bound {
+            return sum;
+        }
+    }
+    sum
 }
 
 /// A `(point index, distance)` search hit.
@@ -26,15 +137,74 @@ pub struct Hit {
     pub distance: f32,
 }
 
+/// Heap entry ordered worst-first: greater distance, then greater index,
+/// so the max-heap's top is the hit that drops out next and ties keep
+/// the lowest index (matching a `(distance, index)` sort).
+#[derive(PartialEq)]
+struct Worst(f32, usize);
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// The `k` candidates nearest to `query`, in ascending `(distance,
+/// index)` order. A bounded max-heap carries the best `k` seen so far;
+/// its worst distance prunes every later [`l1_pruned`] scan.
+pub(crate) fn top_k(
+    store: &PointStore,
+    candidates: impl Iterator<Item = usize>,
+    query: &[f32],
+    k: usize,
+) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for i in candidates {
+        let bound = if heap.len() == k {
+            heap.peek().expect("heap is full").0
+        } else {
+            f32::INFINITY
+        };
+        let d = l1_pruned(query, store.row(i), bound);
+        let cand = Worst(d, i);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("heap is full") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|Worst(distance, index)| Hit { index, distance })
+        .collect()
+}
+
 /// Brute-force exact kNN.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExactIndex {
-    points: Vec<Vec<f32>>,
+    points: PointStore,
 }
 
 impl ExactIndex {
     /// Creates an index over `points`.
     pub fn new(points: Vec<Vec<f32>>) -> ExactIndex {
+        ExactIndex { points: PointStore::from_rows(points) }
+    }
+
+    /// Creates an index over already-contiguous points.
+    pub fn from_store(points: PointStore) -> ExactIndex {
         ExactIndex { points }
     }
 
@@ -50,15 +220,7 @@ impl ExactIndex {
 
     /// The `k` nearest points to `query` in ascending distance.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        let mut hits: Vec<Hit> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
-            .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
-        hits.truncate(k);
-        hits
+        top_k(&self.points, 0..self.points.len(), query, k)
     }
 }
 
@@ -98,7 +260,7 @@ enum TreeNode {
 /// An Annoy-style forest of random-projection trees under L1.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RpForest {
-    points: Vec<Vec<f32>>,
+    points: PointStore,
     nodes: Vec<TreeNode>,
     roots: Vec<usize>,
     config: RpForestConfig,
@@ -107,6 +269,11 @@ pub struct RpForest {
 impl RpForest {
     /// Builds the forest over `points`.
     pub fn build(points: Vec<Vec<f32>>, config: RpForestConfig, seed: u64) -> RpForest {
+        RpForest::from_store(PointStore::from_rows(points), config, seed)
+    }
+
+    /// Builds the forest over already-contiguous points.
+    pub fn from_store(points: PointStore, config: RpForestConfig, seed: u64) -> RpForest {
         let mut forest =
             RpForest { points, nodes: Vec::new(), roots: Vec::new(), config };
         let mut rng = StdRng::seed_from_u64(seed);
@@ -128,10 +295,6 @@ impl RpForest {
         self.points.is_empty()
     }
 
-    fn dim(&self) -> usize {
-        self.points.first().map(|p| p.len()).unwrap_or(0)
-    }
-
     fn build_node(&mut self, points: &[usize], rng: &mut StdRng, depth: usize) -> usize {
         if points.len() <= self.config.leaf_size || depth > 24 {
             self.nodes.push(TreeNode::Leaf { points: points.to_vec() });
@@ -140,12 +303,14 @@ impl RpForest {
         // Annoy-style split: the hyperplane between two random points of
         // the subset, which adapts to the data's local geometry. Falls
         // back to a random ±1 direction when the two points coincide.
-        let dim = self.dim();
+        let dim = self.points.dim();
         let a = points[rng.gen_range(0..points.len())];
         let b = points[rng.gen_range(0..points.len())];
-        let mut direction: Vec<f32> = self.points[a]
+        let mut direction: Vec<f32> = self
+            .points
+            .row(a)
             .iter()
-            .zip(&self.points[b])
+            .zip(self.points.row(b))
             .map(|(x, y)| x - y)
             .collect();
         if direction.iter().all(|&d| d == 0.0) {
@@ -153,7 +318,7 @@ impl RpForest {
         }
         let mut projections: Vec<f32> = points
             .iter()
-            .map(|&i| dot(&self.points[i], &direction))
+            .map(|&i| dot(self.points.row(i), &direction))
             .collect();
         let mut sorted = projections.clone();
         sorted.sort_by(f32::total_cmp);
@@ -230,13 +395,7 @@ impl RpForest {
                 }
             }
         }
-        let mut hits: Vec<Hit> = candidates
-            .into_iter()
-            .map(|i| Hit { index: i, distance: l1(query, &self.points[i]) })
-            .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
-        hits.truncate(k);
-        hits
+        top_k(&self.points, candidates.into_iter(), query, k)
     }
 }
 
@@ -253,6 +412,19 @@ mod tests {
         (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
     }
 
+    /// The old full-sort selection, kept as the reference the pruned
+    /// heap-based kernel must reproduce exactly.
+    fn naive_query(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits.truncate(k);
+        hits
+    }
+
     #[test]
     fn exact_index_orders_by_distance() {
         let points = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.1, 0.0]];
@@ -261,6 +433,60 @@ mod tests {
         assert_eq!(hits[0].index, 0);
         assert_eq!(hits[1].index, 2);
         assert!((hits[1].distance - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruned_query_matches_naive_reference() {
+        let points = random_points(400, 19, 11);
+        let idx = ExactIndex::new(points.clone());
+        let mut rng = StdRng::seed_from_u64(13);
+        for k in [1, 3, 10, 400, 500] {
+            for _ in 0..10 {
+                let q: Vec<f32> = (0..19).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                assert_eq!(idx.query(&q, k), naive_query(&points, &q, k));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_query_breaks_ties_by_index() {
+        // Duplicate points at several distances force ties everywhere.
+        let mut points = Vec::new();
+        for _ in 0..4 {
+            points.push(vec![1.0, 0.0]);
+            points.push(vec![0.0, 0.0]);
+            points.push(vec![2.0, 2.0]);
+        }
+        let idx = ExactIndex::new(points.clone());
+        for k in 1..=points.len() {
+            assert_eq!(idx.query(&[0.0, 0.0], k), naive_query(&points, &[0.0, 0.0], k));
+        }
+    }
+
+    #[test]
+    fn l1_pruned_is_exact_within_bound() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.17 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.71).cos()).collect();
+        let exact = l1(&a, &b);
+        assert_eq!(l1_pruned(&a, &b, f32::INFINITY).to_bits(), exact.to_bits());
+        assert_eq!(l1_pruned(&a, &b, exact).to_bits(), exact.to_bits());
+        // Below the true distance the partial sum must still exceed the bound.
+        assert!(l1_pruned(&a, &b, exact * 0.5) > exact * 0.5);
+    }
+
+    #[test]
+    fn point_store_round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let store = PointStore::from_rows(rows.clone());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dim(), 2);
+        assert_eq!(store.row(1), &[3.0, 4.0]);
+        let back: Vec<Vec<f32>> = store.rows().map(<[f32]>::to_vec).collect();
+        assert_eq!(back, rows);
+        let mut grown = PointStore::new(2);
+        grown.push(&[7.0, 8.0]);
+        assert_eq!(grown.len(), 1);
+        assert_eq!(grown.row(0), &[7.0, 8.0]);
     }
 
     #[test]

@@ -24,5 +24,5 @@
 pub mod index;
 pub mod typemap;
 
-pub use index::{l1, ExactIndex, Hit, RpForest, RpForestConfig};
+pub use index::{l1, l1_pruned, ExactIndex, Hit, PointStore, RpForest, RpForestConfig};
 pub use typemap::{KnnConfig, TypeMap, TypePrediction};

@@ -10,7 +10,7 @@
 //! makes it predictable immediately, with no retraining — the paper's
 //! one-shot open-vocabulary mechanism.
 
-use crate::index::{ExactIndex, Hit, RpForest, RpForestConfig};
+use crate::index::{self, Hit, PointStore, RpForest, RpForestConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use typilus_types::PyType;
@@ -54,7 +54,7 @@ enum Index {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TypeMap {
     dim: usize,
-    embeddings: Vec<Vec<f32>>,
+    embeddings: PointStore,
     types: Vec<PyType>,
     index: Index,
 }
@@ -62,7 +62,12 @@ pub struct TypeMap {
 impl TypeMap {
     /// Creates an empty map for `dim`-dimensional embeddings.
     pub fn new(dim: usize) -> TypeMap {
-        TypeMap { dim, embeddings: Vec::new(), types: Vec::new(), index: Index::Exact }
+        TypeMap {
+            dim,
+            embeddings: PointStore::new(dim),
+            types: Vec::new(),
+            index: Index::Exact,
+        }
     }
 
     /// Adds a marker binding `embedding ↦ ty`.
@@ -76,7 +81,7 @@ impl TypeMap {
     /// Panics if the embedding width differs from the map's dimension.
     pub fn add(&mut self, embedding: Vec<f32>, ty: PyType) {
         assert_eq!(embedding.len(), self.dim, "embedding width mismatch");
-        self.embeddings.push(embedding);
+        self.embeddings.push(&embedding);
         self.types.push(ty);
         self.index = Index::Exact;
     }
@@ -93,7 +98,7 @@ impl TypeMap {
 
     /// Iterates over `(embedding, type)` markers.
     pub fn iter(&self) -> impl Iterator<Item = (&[f32], &PyType)> {
-        self.embeddings.iter().map(Vec::as_slice).zip(self.types.iter())
+        self.embeddings.rows().zip(self.types.iter())
     }
 
     /// Distinct types currently in the map.
@@ -107,13 +112,18 @@ impl TypeMap {
 
     /// Builds the approximate spatial index (Annoy-like RP forest).
     pub fn build_index(&mut self, config: RpForestConfig, seed: u64) {
-        self.index =
-            Index::Forest(Box::new(RpForest::build(self.embeddings.clone(), config, seed)));
+        self.index = Index::Forest(Box::new(RpForest::from_store(
+            self.embeddings.clone(),
+            config,
+            seed,
+        )));
     }
 
     fn nearest(&self, query: &[f32], k: usize) -> Vec<Hit> {
         match &self.index {
-            Index::Exact => ExactIndex::new(self.embeddings.clone()).query(query, k),
+            // Brute force straight over the marker store — no per-query
+            // copy of the embeddings.
+            Index::Exact => index::top_k(&self.embeddings, 0..self.embeddings.len(), query, k),
             Index::Forest(f) => f.query(query, k),
         }
     }

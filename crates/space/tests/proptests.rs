@@ -1,7 +1,7 @@
 //! Property-based invariants of the kNN indexes and the type map.
 
 use proptest::prelude::*;
-use typilus_space::{ExactIndex, KnnConfig, RpForest, RpForestConfig, TypeMap};
+use typilus_space::{l1, l1_pruned, ExactIndex, Hit, KnnConfig, RpForest, RpForestConfig, TypeMap};
 use typilus_types::PyType;
 
 fn arb_points(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
@@ -25,6 +25,52 @@ proptest! {
         }
         for h in &hits {
             prop_assert!(h.index < points.len());
+        }
+    }
+
+    /// The chunked early-exit L1 kernel with bounded-heap top-k must
+    /// reproduce the naive full-sort selection exactly — distances
+    /// bit-for-bit, ties broken by index. Coordinates are drawn from a
+    /// tiny discrete grid so equal distances actually occur.
+    #[test]
+    fn pruned_top_k_equals_naive_reference_including_ties(
+        grid in prop::collection::vec(prop::collection::vec(0i8..4, 3), 1..50),
+        query_grid in prop::collection::vec(0i8..4, 3),
+        k in 1usize..12,
+    ) {
+        let points: Vec<Vec<f32>> =
+            grid.iter().map(|p| p.iter().map(|&v| f32::from(v) * 0.5).collect()).collect();
+        let query: Vec<f32> = query_grid.iter().map(|&v| f32::from(v) * 0.5).collect();
+        let mut naive: Vec<Hit> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Hit { index: i, distance: l1(&query, p) })
+            .collect();
+        naive.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        naive.truncate(k);
+        let pruned = ExactIndex::new(points).query(&query, k);
+        prop_assert_eq!(pruned.len(), naive.len());
+        for (p, n) in pruned.iter().zip(&naive) {
+            prop_assert_eq!(p.index, n.index);
+            prop_assert_eq!(p.distance.to_bits(), n.distance.to_bits());
+        }
+    }
+
+    /// Within the bound, the pruned kernel is bit-identical to plain L1;
+    /// past the bound it must still report a value above the bound.
+    #[test]
+    fn pruned_l1_is_exact_or_provably_rejected(
+        a in prop::collection::vec(-1.0f32..1.0, 1..40),
+        b_seed in prop::collection::vec(-1.0f32..1.0, 40),
+        bound in 0.0f32..30.0,
+    ) {
+        let b = &b_seed[..a.len()];
+        let exact = l1(&a, b);
+        let pruned = l1_pruned(&a, b, bound);
+        if exact <= bound {
+            prop_assert_eq!(pruned.to_bits(), exact.to_bits());
+        } else {
+            prop_assert!(pruned > bound, "pruned {pruned} must exceed bound {bound}");
         }
     }
 

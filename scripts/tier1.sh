@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy with warnings
+# denied. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "tier1: OK"

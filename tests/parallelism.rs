@@ -1,0 +1,111 @@
+//! The data-parallel engine must be invisible in the results: training
+//! with 1 worker thread and with many must produce bit-identical
+//! per-epoch losses, identical τmap contents and identical predictions
+//! for the same seed.
+
+use typilus::{
+    train, EncoderKind, LossKind, ModelConfig, Parallelism, PreparedCorpus, TrainedSystem,
+    TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn run(seed: u64, threads: usize, loss: LossKind) -> (TrainedSystem, PreparedCorpus) {
+    let corpus = generate(&CorpusConfig { files: 16, seed, ..CorpusConfig::default() });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
+    let config = TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss,
+            dim: 12,
+            gnn_steps: 2,
+            min_subtoken_count: 1,
+            seed,
+            ..ModelConfig::default()
+        },
+        epochs: 3,
+        batch_size: 8,
+        lr: 0.02,
+        seed,
+        parallelism: Parallelism::fixed(threads),
+        ..TypilusConfig::default()
+    };
+    let system = train(&data, &config);
+    (system, data)
+}
+
+fn top1_predictions(system: &TrainedSystem, data: &PreparedCorpus) -> Vec<String> {
+    system
+        .predict_files(data, &data.split.test)
+        .into_iter()
+        .flatten()
+        .map(|p| {
+            format!("{}:{}", p.name, p.top().map(|t| t.ty.to_string()).unwrap_or_default())
+        })
+        .collect()
+}
+
+fn tau_map_markers(system: &TrainedSystem) -> Vec<(Vec<u32>, String)> {
+    system
+        .type_map
+        .iter()
+        .map(|(emb, ty)| (emb.iter().map(|x| x.to_bits()).collect(), ty.to_string()))
+        .collect()
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    for loss in [LossKind::Typilus, LossKind::Class] {
+        let (base, base_data) = run(42, 1, loss);
+        let base_losses: Vec<u32> =
+            base.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+        assert!(!base_losses.is_empty());
+        for threads in [2, 4] {
+            let (system, data) = run(42, threads, loss);
+            let losses: Vec<u32> =
+                system.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+            assert_eq!(
+                base_losses, losses,
+                "{loss:?}: per-epoch losses must be bit-identical at {threads} threads"
+            );
+            assert_eq!(
+                tau_map_markers(&base),
+                tau_map_markers(&system),
+                "{loss:?}: type-map markers must be identical at {threads} threads"
+            );
+            assert_eq!(
+                top1_predictions(&base, &base_data),
+                top1_predictions(&system, &data),
+                "{loss:?}: top-1 predictions must be identical at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_prediction_matches_per_file() {
+    let (system, data) = run(7, 3, LossKind::Typilus);
+    let batched = system.predict_files(&data, &data.split.test);
+    for (&idx, batch) in data.split.test.iter().zip(&batched) {
+        let single = system.predict_file(&data, idx);
+        assert_eq!(single.len(), batch.len());
+        for (a, b) in single.iter().zip(batch) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.top().map(|t| t.ty.to_string()),
+                b.top().map(|t| t.ty.to_string())
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_detected_parallelism_matches_fixed() {
+    // threads = 0 resolves via env/auto-detection; whatever it picks,
+    // the results must equal the single-threaded run.
+    let (auto, auto_data) = run(9, 0, LossKind::Typilus);
+    let (one, one_data) = run(9, 1, LossKind::Typilus);
+    let a: Vec<u32> = auto.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+    let b: Vec<u32> = one.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+    assert_eq!(a, b);
+    assert_eq!(top1_predictions(&auto, &auto_data), top1_predictions(&one, &one_data));
+}

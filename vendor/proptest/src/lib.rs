@@ -1,0 +1,752 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators, `proptest!` / `prop_assert!` macros
+//! and prelude that this workspace's property tests use. Sampling is
+//! driven by a fixed-seed deterministic RNG; failing cases are reported
+//! with their case number but are **not shrunk**. The API surface mirrors
+//! real proptest signatures closely enough that the tests compile
+//! unchanged.
+
+pub mod test_runner {
+    //! Test configuration, errors and the deterministic RNG.
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A default config with the given number of cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case asked to be discarded.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "{reason}"),
+                TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The RNG driving strategy sampling.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A fresh deterministic RNG (fixed seed, so test runs repeat).
+    #[must_use]
+    pub fn new_rng() -> TestRng {
+        use rand::SeedableRng;
+        TestRng::seed_from_u64(0x7e57_ca5e_5eed_0001)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        }
+
+        /// Builds a recursive strategy: `recurse` wraps the current
+        /// strategy up to `depth` times, mixed with the base at each
+        /// level so sizes stay bounded. `desired_size` and
+        /// `expected_branch_size` are accepted for signature parity.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let mut strat = self.boxed();
+            let base = strat.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![base.clone(), deeper]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given (non-empty) options.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let choice = rng.gen_range(0..self.options.len());
+            self.options[choice].sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    // ---- mini-regex string strategies -------------------------------
+
+    /// One regex atom plus its repetition bounds.
+    struct RegexAtom {
+        /// Candidate characters; empty means "any printable".
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the tiny regex subset the workspace tests use: literal
+    /// characters, `.`, `[a-z_]`-style classes, and `{n}` / `{a,b}`
+    /// quantifiers. Anything else panics loudly.
+    fn parse_mini_regex(pattern: &str) -> Vec<RegexAtom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Vec::new()
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed class in regex {pattern:?}"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            assert!(lo <= hi, "bad range in regex {pattern:?}");
+                            set.extend((lo..=hi).filter(char::is_ascii));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in regex {pattern:?}");
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("unsupported regex construct {:?} in {pattern:?}", chars[i])
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier lower bound"),
+                        hi.trim().parse().expect("bad quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(RegexAtom { choices, min, max });
+        }
+        atoms
+    }
+
+    /// Printable pool for `.`: ASCII plus a couple of multibyte chars so
+    /// UTF-8 handling gets exercised.
+    const ANY_CHAR_POOL: &[char] = &[
+        ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0',
+        '1', '2', '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A',
+        'B', 'C', 'K', 'M', 'Q', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'k', 'm',
+        'q', 'z', '{', '|', '}', '~', 'é', 'λ', '中', '🦀',
+    ];
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_mini_regex(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..count {
+                    let c = if atom.choices.is_empty() {
+                        ANY_CHAR_POOL[rng.gen_range(0..ANY_CHAR_POOL.len())]
+                    } else {
+                        atom.choices[rng.gen_range(0..atom.choices.len())]
+                    };
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    // Floats stay finite (no NaN/inf) so equality-based properties hold.
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.gen_range(-1.0e6f32..1.0e6f32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen_range(-1.0e9f64..1.0e9f64)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII, with occasional multibyte chars.
+            const POOL: &[char] =
+                &['a', 'b', 'z', 'A', 'Z', '0', '9', '_', ' ', '\n', 'é', 'λ', '中', '🦀'];
+            POOL[rng.gen_range(0..POOL.len())]
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A map whose target size is drawn from `size`; key collisions may
+    /// make the result smaller, as in real proptest's minimum-size retry
+    /// loop (we bound retries instead of looping forever).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 8 {
+                map.insert(self.key.sample(rng), self.value.sample(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option<T>`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` with inner strategy `S`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` with probability 0.75, `None` otherwise (matching real
+    /// proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Runs each `fn` body against many sampled inputs.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any
+/// number of `fn name(pat in strategy, ...) { body }` items. Bodies run
+/// inside a closure returning `Result<(), TestCaseError>` so
+/// `prop_assert!` can early-return, and may use `?` on helper functions
+/// returning that type.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unused_mut, unused_variables)]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::new_rng();
+            for __case in 0..__config.cases {
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $p =
+                                $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                        )+
+                        $body
+                        Ok(())
+                    })();
+                match __result {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(__message)) => {
+                        panic!("proptest case {} failed: {}", __case, __message);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition, early-returning `TestCaseError::Fail` instead of
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality, early-returning `TestCaseError::Fail` instead of
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __left, __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __left, __right, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespaced access mirroring real proptest's `prop::` re-export.
+    pub mod prop {
+        pub use crate::{collection, option, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u8) -> Result<(), TestCaseError> {
+        prop_assert!(x as u16 + 1 > 0, "overflowed {}", x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_and_maps(x in 0usize..10, y in (1i32..5).prop_map(|v| v * 2)) {
+            prop_assert!(x < 10);
+            prop_assert!((2..=8).contains(&y));
+        }
+
+        #[test]
+        fn regexes_vecs_oneof(
+            name in "[a-z]{1,6}",
+            items in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..4),
+            maybe in prop::option::of(any::<u8>()),
+        ) {
+            prop_assert!((1..=6).contains(&name.len()));
+            prop_assert!(items.iter().all(|&i| i == 1 || i == 2));
+            helper(maybe.unwrap_or(0))?;
+            prop_assert_eq!(name.len(), name.chars().count());
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).boxed().prop_recursive(3, 8, 2, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node).boxed()
+        });
+        let mut rng = crate::test_runner::new_rng();
+        for _ in 0..50 {
+            let _tree = Strategy::sample(&strat, &mut rng);
+        }
+    }
+}

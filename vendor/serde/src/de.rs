@@ -1,0 +1,1032 @@
+//! Deserialization half of the data model.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::{self, Display};
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures and type mismatches.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful variant of [`Deserialize`], used by access traits.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+
+    /// Deserializes the value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A serde data format source.
+#[allow(missing_docs)]
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is textual (`true`) or binary (`false`).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visitor_default {
+    ($method:ident, $ty:ty, $what:expr) => {
+        /// Visits one input value; the default rejects it.
+        ///
+        /// # Errors
+        ///
+        /// The default returns a type-mismatch error.
+        fn $method<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom(format_args!("unexpected {}", $what)))
+        }
+    };
+}
+
+macro_rules! visitor_widen {
+    ($method:ident, $ty:ty, $target:ident, $via:ty) => {
+        /// Visits one input value; the default widens and re-dispatches.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the widened visit.
+        fn $method<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+            self.$target(v as $via)
+        }
+    };
+}
+
+/// Drives construction of a value from data-model primitives.
+pub trait Visitor<'de>: Sized {
+    /// The constructed value.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    visitor_default!(visit_bool, bool, "bool");
+    visitor_widen!(visit_i8, i8, visit_i64, i64);
+    visitor_widen!(visit_i16, i16, visit_i64, i64);
+    visitor_widen!(visit_i32, i32, visit_i64, i64);
+    visitor_default!(visit_i64, i64, "i64");
+    visitor_widen!(visit_u8, u8, visit_u64, u64);
+    visitor_widen!(visit_u16, u16, visit_u64, u64);
+    visitor_widen!(visit_u32, u32, visit_u64, u64);
+    visitor_default!(visit_u64, u64, "u64");
+    visitor_widen!(visit_f32, f32, visit_f64, f64);
+    visitor_default!(visit_f64, f64, "f64");
+    visitor_default!(visit_char, char, "char");
+
+    /// Visits a string slice; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(format_args!("unexpected string")))
+    }
+
+    /// Visits a string borrowed from the input; defaults to [`Self::visit_str`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::visit_str`].
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string; defaults to [`Self::visit_str`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a byte slice; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom(format_args!("unexpected bytes")))
+    }
+
+    /// Visits bytes borrowed from the input; defaults to [`Self::visit_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::visit_bytes`].
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer; defaults to [`Self::visit_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::visit_bytes`].
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits an absent optional; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected none")))
+    }
+
+    /// Visits a present optional; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom(format_args!("unexpected some")))
+    }
+
+    /// Visits a unit value; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unit")))
+    }
+
+    /// Visits a newtype struct; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom(format_args!("unexpected newtype struct")))
+    }
+
+    /// Visits a sequence; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::custom(format_args!("unexpected sequence")))
+    }
+
+    /// Visits a map; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::custom(format_args!("unexpected map")))
+    }
+
+    /// Visits an enum; the default rejects it.
+    ///
+    /// # Errors
+    ///
+    /// The default returns a type-mismatch error.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(A::Error::custom(format_args!("unexpected enum")))
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Format error type.
+    type Error: Error;
+
+    /// Deserializes the next element through a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Format error type.
+    type Error: Error;
+
+    /// Deserializes the next key through a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value through a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Format error type.
+    type Error: Error;
+    /// Accessor for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant tag through a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Format error type.
+    type Error: Error;
+
+    /// Consumes a unit variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant payload through a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failures.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of plain values into deserializers, used for enum tags.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+
+    /// Performs the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+pub mod value {
+    //! Deserializers over plain Rust values.
+
+    use super::{Deserializer, Error, IntoDeserializer, Visitor};
+    use std::marker::PhantomData;
+
+    /// Deserializer yielding a single `u32` (enum variant indices).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+        type Deserializer = U32Deserializer<E>;
+
+        fn into_deserializer(self) -> U32Deserializer<E> {
+            U32Deserializer { value: self, marker: PhantomData }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($method:ident),* $(,)?) => {$(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u32(self.value)
+            }
+        )*};
+    }
+
+    #[allow(missing_docs)]
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32!(
+            deserialize_any,
+            deserialize_ignored_any,
+            deserialize_bool,
+            deserialize_i8,
+            deserialize_i16,
+            deserialize_i32,
+            deserialize_i64,
+            deserialize_u8,
+            deserialize_u16,
+            deserialize_u32,
+            deserialize_u64,
+            deserialize_f32,
+            deserialize_f64,
+            deserialize_char,
+            deserialize_str,
+            deserialize_string,
+            deserialize_bytes,
+            deserialize_byte_buf,
+            deserialize_option,
+            deserialize_unit,
+            deserialize_seq,
+            deserialize_map,
+            deserialize_identifier,
+        );
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! primitive_visitor {
+    ($vis:ident, $ty:ty, $visit:ident, $deserialize:ident) => {
+        struct $vis;
+
+        impl<'de> Visitor<'de> for $vis {
+            type Value = $ty;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str(stringify!($ty))
+            }
+
+            fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                Ok(v)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<$ty, D::Error> {
+                deserializer.$deserialize($vis)
+            }
+        }
+    };
+}
+
+primitive_visitor!(BoolVisitor, bool, visit_bool, deserialize_bool);
+primitive_visitor!(I64Visitor, i64, visit_i64, deserialize_i64);
+primitive_visitor!(U64Visitor, u64, visit_u64, deserialize_u64);
+primitive_visitor!(F64Visitor, f64, visit_f64, deserialize_f64);
+primitive_visitor!(CharVisitor, char, visit_char, deserialize_char);
+
+macro_rules! narrow_int {
+    ($vis:ident, $ty:ty, $visit:ident, $wide:ty, $visit_wide:ident, $deserialize:ident) => {
+        struct $vis;
+
+        impl<'de> Visitor<'de> for $vis {
+            type Value = $ty;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                formatter.write_str(stringify!($ty))
+            }
+
+            fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                Ok(v)
+            }
+
+            fn $visit_wide<E: Error>(self, v: $wide) -> Result<$ty, E> {
+                <$ty>::try_from(v)
+                    .map_err(|_| E::custom(format_args!("value {v} out of range")))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<$ty, D::Error> {
+                deserializer.$deserialize($vis)
+            }
+        }
+    };
+}
+
+narrow_int!(I8Visitor, i8, visit_i8, i64, visit_i64, deserialize_i8);
+narrow_int!(I16Visitor, i16, visit_i16, i64, visit_i64, deserialize_i16);
+narrow_int!(I32Visitor, i32, visit_i32, i64, visit_i64, deserialize_i32);
+narrow_int!(U8Visitor, u8, visit_u8, u64, visit_u64, deserialize_u8);
+narrow_int!(U16Visitor, u16, visit_u16, u64, visit_u64, deserialize_u16);
+narrow_int!(U32Visitor, u32, visit_u32, u64, visit_u64, deserialize_u32);
+
+struct UsizeVisitor;
+
+impl<'de> Visitor<'de> for UsizeVisitor {
+    type Value = usize;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("usize")
+    }
+
+    fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+        usize::try_from(v).map_err(|_| E::custom(format_args!("value {v} out of range")))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<usize, D::Error> {
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+struct IsizeVisitor;
+
+impl<'de> Visitor<'de> for IsizeVisitor {
+    type Value = isize;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("isize")
+    }
+
+    fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+        isize::try_from(v).map_err(|_| E::custom(format_args!("value {v} out of range")))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<isize, D::Error> {
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+struct F32Visitor;
+
+impl<'de> Visitor<'de> for F32Visitor {
+    type Value = f32;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("f32")
+    }
+
+    fn visit_f32<E: Error>(self, v: f32) -> Result<f32, E> {
+        Ok(v)
+    }
+
+    fn visit_f64<E: Error>(self, v: f64) -> Result<f32, E> {
+        Ok(v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<f32, D::Error> {
+        deserializer.deserialize_f32(F32Visitor)
+    }
+}
+
+struct StringVisitor;
+
+impl<'de> Visitor<'de> for StringVisitor {
+    type Value = String;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a string")
+    }
+
+    fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+        Ok(v.to_owned())
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+struct UnitVisitor;
+
+impl<'de> Visitor<'de> for UnitVisitor {
+    type Value = ();
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("unit")
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<(), E> {
+        Ok(())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<(), D::Error> {
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+struct OptionVisitor<T>(PhantomData<T>);
+
+impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+    type Value = Option<T>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("an option")
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+        Ok(None)
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+        Ok(None)
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Option<T>, D::Error> {
+        T::deserialize(deserializer).map(Some)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Option<T>, D::Error> {
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Box<T>, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+fn bounded_capacity(hint: Option<usize>) -> usize {
+    hint.unwrap_or(0).min(4096)
+}
+
+struct VecVisitor<T>(PhantomData<T>);
+
+impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+    type Value = Vec<T>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a sequence")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+        let mut values = Vec::with_capacity(bounded_capacity(seq.size_hint()));
+        while let Some(value) = seq.next_element_seed(PhantomData)? {
+            values.push(value);
+        }
+        Ok(values)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Vec<T>, D::Error> {
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+struct SetVisitor<T, C>(PhantomData<(T, C)>);
+
+impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T, BTreeSet<T>> {
+    type Value = BTreeSet<T>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a set")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<BTreeSet<T>, A::Error> {
+        let mut values = BTreeSet::new();
+        while let Some(value) = seq.next_element_seed(PhantomData)? {
+            values.insert(value);
+        }
+        Ok(values)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BTreeSet<T>, D::Error> {
+        deserializer.deserialize_seq(SetVisitor::<T, BTreeSet<T>>(PhantomData))
+    }
+}
+
+impl<'de, T, S> Visitor<'de> for SetVisitor<T, HashSet<T, S>>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    type Value = HashSet<T, S>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a set")
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<HashSet<T, S>, A::Error> {
+        let mut values = HashSet::with_capacity_and_hasher(
+            bounded_capacity(seq.size_hint()),
+            S::default(),
+        );
+        while let Some(value) = seq.next_element_seed(PhantomData)? {
+            values.insert(value);
+        }
+        Ok(values)
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<HashSet<T, S>, D::Error> {
+        deserializer.deserialize_seq(SetVisitor::<T, HashSet<T, S>>(PhantomData))
+    }
+}
+
+struct MapVisitor<M>(PhantomData<M>);
+
+impl<'de, K, V, S> Visitor<'de> for MapVisitor<HashMap<K, V, S>>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: BuildHasher + Default,
+{
+    type Value = HashMap<K, V, S>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a map")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<HashMap<K, V, S>, A::Error> {
+        let mut values = HashMap::with_capacity_and_hasher(
+            bounded_capacity(map.size_hint()),
+            S::default(),
+        );
+        while let Some(key) = map.next_key_seed(PhantomData)? {
+            let value = map.next_value_seed(PhantomData)?;
+            values.insert(key, value);
+        }
+        Ok(values)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<HashMap<K, V, S>, D::Error> {
+        deserializer.deserialize_map(MapVisitor::<HashMap<K, V, S>>(PhantomData))
+    }
+}
+
+impl<'de, K, V> Visitor<'de> for MapVisitor<BTreeMap<K, V>>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    type Value = BTreeMap<K, V>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a map")
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<BTreeMap<K, V>, A::Error> {
+        let mut values = BTreeMap::new();
+        while let Some(key) = map.next_key_seed(PhantomData)? {
+            let value = map.next_value_seed(PhantomData)?;
+            values.insert(key, value);
+        }
+        Ok(values)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error> {
+        deserializer.deserialize_map(MapVisitor::<BTreeMap<K, V>>(PhantomData))
+    }
+}
+
+macro_rules! deserialize_tuple_impl {
+    ($len:expr => $(($idx:tt $name:ident $var:ident))+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(
+                deserializer: __D,
+            ) -> Result<($($name,)+), __D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+
+                    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+                        formatter.write_str("a tuple")
+                    }
+
+                    fn visit_seq<__A: SeqAccess<'de>>(
+                        self,
+                        mut seq: __A,
+                    ) -> Result<Self::Value, __A::Error> {
+                        $(
+                            let $var = match seq.next_element_seed(PhantomData)? {
+                                Some(value) => value,
+                                None => {
+                                    return Err(__A::Error::custom(format_args!(
+                                        "tuple of length {} too short",
+                                        $len
+                                    )))
+                                }
+                            };
+                        )+
+                        Ok(($($var,)+))
+                    }
+                }
+
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+deserialize_tuple_impl!(1 => (0 A a));
+deserialize_tuple_impl!(2 => (0 A a) (1 B b));
+deserialize_tuple_impl!(3 => (0 A a) (1 B b) (2 C c));
+deserialize_tuple_impl!(4 => (0 A a) (1 B b) (2 C c) (3 D d));
+deserialize_tuple_impl!(5 => (0 A a) (1 B b) (2 C c) (3 D d) (4 E e));
+deserialize_tuple_impl!(6 => (0 A a) (1 B b) (2 C c) (3 D d) (4 E e) (5 F f));
+deserialize_tuple_impl!(7 => (0 A a) (1 B b) (2 C c) (3 D d) (4 E e) (5 F f) (6 G g));
+deserialize_tuple_impl!(8 => (0 A a) (1 B b) (2 C c) (3 D d) (4 E e) (5 F f) (6 G g) (7 H h));
+
+struct ResultVisitor<T, E>(PhantomData<(T, E)>);
+
+impl<'de, T: Deserialize<'de>, U: Deserialize<'de>> Visitor<'de>
+    for ResultVisitor<T, U>
+{
+    type Value = std::result::Result<T, U>;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a Result")
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let (index, variant): (u32, _) = data.variant()?;
+        match index {
+            0 => variant.newtype_variant().map(Ok),
+            1 => variant.newtype_variant().map(Err),
+            other => Err(A::Error::custom(format_args!(
+                "invalid Result variant index {other}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, U: Deserialize<'de>> Deserialize<'de>
+    for std::result::Result<T, U>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_enum(
+            "Result",
+            &["Ok", "Err"],
+            ResultVisitor(PhantomData),
+        )
+    }
+}

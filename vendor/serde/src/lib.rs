@@ -1,0 +1,18 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Re-implements the serde data-model traits (`Serialize`, `Serializer`,
+//! `Deserialize`, `Deserializer`, visitors and access traits) and the
+//! std-type impls that this workspace's `typilus-serbin` backend and the
+//! derive macros require. The trait surface intentionally mirrors real
+//! serde signatures so downstream code compiles unchanged; exotic
+//! features (128-bit ints, borrowed identifiers, self-describing
+//! formats, `#[serde(...)]` attributes) are out of scope.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

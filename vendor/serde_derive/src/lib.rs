@@ -1,0 +1,501 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit)
+//! and enums (unit / newtype / tuple / struct variants) — by walking the
+//! raw token stream and emitting string-built impls. `syn`/`quote` are
+//! deliberately not used so the crate builds with no dependencies.
+//! `#[serde(...)]` attributes and generic items are unsupported and panic
+//! with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one parsed item.
+enum Item {
+    /// `struct Name { field, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);` with the arity.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Parenthesised payload with the given arity (1 = newtype).
+    Tuple(usize),
+    /// Braced payload with named fields.
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i, "item keyword");
+    let name = expect_ident(&tokens, &mut i, "item name");
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic items are not supported (item `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Item::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive stub: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Item::Enum { name, variants }
+            }
+            other => panic!("serde_derive stub: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        // `#![...]` inner attributes don't occur on items, so the next
+        // token is always the bracketed attribute body.
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected {what}, found {other:?}"),
+    }
+}
+
+/// Splits a token stream at top-level commas. Angle brackets are tracked
+/// as depth (groups are already atomic `TokenTree`s); empty trailing
+/// chunks from a trailing comma are dropped.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from the body of a braced struct / struct variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            let name = expect_ident(&chunk, &mut i, "field name");
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => name,
+                other => panic!("serde_derive stub: expected `:` after field `{name}`: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            let name = expect_ident(&chunk, &mut i, "variant name");
+            let kind = match chunk.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                // Explicit discriminant (`Name = expr`): the payload shape
+                // is still unit.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                other => panic!(
+                    "serde_derive stub: unexpected token in variant `{name}`: {other:?}"
+                ),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n\
+     #[allow(non_snake_case, unused_mut, unused_variables, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {len}usize)?;\n",
+                len = fields.len()
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {arity}usize)?;\n"
+            );
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(\
+                     &mut __state, &self.{idx})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+            (name, body)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                         ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({binders}) => {{\n\
+                             let mut __state = \
+                             ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {arity}usize)?;\n",
+                            binders = binders.join(", ")
+                        ));
+                        for binder in &binders {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __state, {binder})?;\n"
+                            ));
+                        }
+                        body.push_str(
+                            "::serde::ser::SerializeTupleVariant::end(__state)\n}\n",
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n\
+                             let mut __state = \
+                             ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {len}usize)?;\n",
+                            pat = fields.join(", "),
+                            len = fields.len()
+                        ));
+                        for field in fields {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, \"{field}\", {field})?;\n"
+                            ));
+                        }
+                        body.push_str(
+                            "::serde::ser::SerializeStructVariant::end(__state)\n}\n",
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+            (name, body)
+        }
+    };
+
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(\
+         &self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------
+
+/// Emits a `visit_seq` body that reads `n` elements named by `binders`
+/// and finishes with `constructor` (a expression using those binders).
+fn gen_visit_seq(binders: &[String], constructor: &str) -> String {
+    let mut body = String::new();
+    for binder in binders {
+        body.push_str(&format!(
+            "let {binder} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             Some(__value) => __value,\n\
+             None => return Err(<__A::Error as ::serde::de::Error>::custom(\
+             \"missing element `{binder}`\")),\n\
+             }};\n"
+        ));
+    }
+    body.push_str(&format!("Ok({constructor})\n"));
+    body
+}
+
+/// Emits a full visitor struct + impl with the given `visit_seq` body.
+fn gen_seq_visitor(visitor: &str, value_ty: &str, expecting: &str, visit_seq: &str) -> String {
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __formatter: &mut ::core::fmt::Formatter) \
+         -> ::core::fmt::Result {{\n\
+         __formatter.write_str(\"{expecting}\")\n}}\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+         self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+         {visit_seq}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let visit_seq = gen_visit_seq(
+                fields,
+                &format!("{name} {{ {} }}", fields.join(", ")),
+            );
+            let visitor = gen_seq_visitor("__Visitor", name, &format!("struct {name}"), &visit_seq);
+            let field_names: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            let body = format!(
+                "{visitor}\
+                 ::serde::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{fields}], __Visitor)\n",
+                fields = field_names.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::core::fmt::Formatter) \
+                 -> ::core::fmt::Result {{\n\
+                 __formatter.write_str(\"newtype struct {name}\")\n}}\n\
+                 fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(\
+                 self, __inner: __D) -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 Ok({name}(::serde::Deserialize::deserialize(__inner)?))\n}}\n}}\n\
+                 ::serde::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", __Visitor)\n"
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+            let visit_seq =
+                gen_visit_seq(&binders, &format!("{name}({})", binders.join(", ")));
+            let visitor =
+                gen_seq_visitor("__Visitor", name, &format!("tuple struct {name}"), &visit_seq);
+            let body = format!(
+                "{visitor}\
+                 ::serde::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {arity}usize, __Visitor)\n"
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::core::fmt::Formatter) \
+                 -> ::core::fmt::Result {{\n\
+                 __formatter.write_str(\"unit struct {name}\")\n}}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) \
+                 -> ::core::result::Result<Self::Value, __E> {{\n\
+                 Ok({name})\n}}\n}}\n\
+                 ::serde::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", __Visitor)\n"
+            );
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         Ok({name}::{vname})\n}}\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let visit_seq = gen_visit_seq(
+                            &binders,
+                            &format!("{name}::{vname}({})", binders.join(", ")),
+                        );
+                        let inner = gen_seq_visitor(
+                            &format!("__Variant{idx}"),
+                            name,
+                            &format!("tuple variant {name}::{vname}"),
+                            &visit_seq,
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{inner}\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {arity}usize, __Variant{idx})\n}}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let visit_seq = gen_visit_seq(
+                            fields,
+                            &format!("{name}::{vname} {{ {} }}", fields.join(", ")),
+                        );
+                        let inner = gen_seq_visitor(
+                            &format!("__Variant{idx}"),
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            &visit_seq,
+                        );
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{inner}\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{fields}], __Variant{idx})\n}}\n",
+                            fields = field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let body = format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::core::fmt::Formatter) \
+                 -> ::core::fmt::Result {{\n\
+                 __formatter.write_str(\"enum {name}\")\n}}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(\
+                 self, __access: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__index, __variant): (u32, _) = \
+                 ::serde::de::EnumAccess::variant(__access)?;\n\
+                 match __index {{\n\
+                 {arms}\
+                 _ => Err(<__A::Error as ::serde::de::Error>::custom(\
+                 \"invalid variant index for enum {name}\")),\n\
+                 }}\n}}\n}}\n\
+                 ::serde::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", &[{variant_names}], __Visitor)\n",
+                variant_names = variant_names.join(", ")
+            );
+            (name, body)
+        }
+    };
+
+    format!(
+        "{IMPL_ATTRS}impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(\
+         __deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}}}\n}}\n"
+    )
+}
