@@ -23,7 +23,7 @@ USAGE:
   typilus gen-corpus --out DIR [--files N] [--seed S] [--error-rate F]
   typilus train      --corpus DIR --model OUT [--encoder graph|seq|path|transformer]
                      [--loss class|space|typilus] [--epochs N] [--dim D]
-                     [--gnn-steps T] [--lr F] [--seed S] [--threads N]
+                     [--gnn-steps T] [--lr F] [--seed S] [--threads N] [--profile]
   typilus predict    --model FILE [--top K] [--min-confidence F] [--check] PY_FILE...
   typilus eval       --model FILE --corpus DIR [--common N] [--threads N]
   typilus audit      --model FILE --corpus DIR [--min-confidence F]
@@ -34,7 +34,11 @@ written by `train` (see typilus::TrainedSystem::save).
 Training, corpus preparation and evaluation fan per-file work across
 worker threads; results are bit-identical for every thread count.
 --threads 0 (the default) auto-detects: the TYPILUS_THREADS environment
-variable if set, otherwise the number of available CPU cores."
+variable if set, otherwise the number of available CPU cores.
+
+`train --profile` prints arena allocation counters after training; when
+the binary is built with `--features nn-profile` it also prints a per-op
+kernel time/volume table."
     );
 }
 
@@ -148,9 +152,30 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         parallelism: Parallelism::fixed(args.get_parsed("threads", 0usize)?),
         ..TypilusConfig::default()
     };
+    let profile = args.has_flag("profile");
+    if profile {
+        typilus_nn::reset_profile();
+        typilus_nn::reset_arena_stats();
+    }
     let system = train(&data, &config);
     for e in &system.epochs {
         eprintln!("epoch {:>3}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
+    }
+    if profile {
+        let stats = typilus_nn::arena_stats();
+        eprintln!(
+            "arena: {} fresh allocations, {} reused buffers, {} recycled ({:.1}% reuse)",
+            stats.fresh,
+            stats.reused,
+            stats.recycled,
+            100.0 * stats.reused as f64 / (stats.fresh + stats.reused).max(1) as f64
+        );
+        match typilus_nn::profile_report() {
+            Some(table) => eprintln!("{table}"),
+            None => eprintln!(
+                "per-op profile unavailable: rebuild with `--features nn-profile`"
+            ),
+        }
     }
     system.save(&model_path)?;
     println!(

@@ -1,0 +1,243 @@
+//! A thread-local buffer arena for tape tensors.
+//!
+//! Every tensor a [`crate::Tape`](crate::tape::Tape) materialises — op
+//! outputs, parameter snapshots, gradient temporaries — is backed by a
+//! `Vec<f32>` drawn from a per-thread pool of retired buffers. When a
+//! tape is dropped or [`reset`](crate::tape::Tape::reset), its buffers
+//! return to the pool, so a steady-state training loop (same model, same
+//! batch shapes) stops allocating after the first step.
+//!
+//! Recycling is invisible to the numerics: a pooled buffer is always
+//! fully reinitialised (zero-filled or overwritten) before use, so
+//! results are bit-identical to fresh allocation. Pools are
+//! thread-local, which keeps the data-parallel engine free of cross-
+//! thread coordination; buffers recycled on a worker thread simply join
+//! that worker's pool.
+//!
+//! In [`KernelMode::Naive`](crate::mode::KernelMode) the pool is
+//! bypassed entirely (every request is a fresh allocation and recycling
+//! drops the buffer) so benchmarks can measure the pre-arena behaviour.
+//!
+//! Global counters track pool hits and misses; they are cheap relaxed
+//! atomics and always on, which is what lets `bench_nn` report the
+//! allocations-per-step reduction without a special build.
+
+use crate::mode::{kernel_mode, KernelMode};
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Buffers are binned by floor(log2(capacity)); 32 classes cover every
+/// realistic tensor (class 31 ≈ 2 G elements).
+const NUM_CLASSES: usize = 32;
+/// At most this many retired buffers are kept per size class; extras
+/// are released to the system allocator. A tape holds every op output
+/// alive until backward, so the cap must cover the peak live set of one
+/// training step (thousands of small tensors for a GNN batch) — in
+/// steady state the pool holds roughly one step's working set and no
+/// more, since buffers only enter it on recycle.
+const PER_CLASS_CAP: usize = 4096;
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+static REUSED: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+struct Pool {
+    classes: Vec<Vec<Vec<f32>>>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        Pool { classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect() }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::new());
+}
+
+/// Size class holding buffers with `capacity >= 2^c` (floor log2).
+#[inline]
+fn class_of_capacity(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.max(1).leading_zeros()) as usize
+}
+
+/// Smallest class whose buffers are guaranteed to hold `len` elements.
+#[inline]
+fn class_for_request(len: usize) -> usize {
+    let c = class_of_capacity(len.max(1));
+    if len.max(1).is_power_of_two() {
+        c
+    } else {
+        c + 1
+    }
+}
+
+/// An empty `Vec<f32>` with capacity for at least `len` elements,
+/// recycled from the pool when possible.
+pub(crate) fn take(len: usize) -> Vec<f32> {
+    if kernel_mode() == KernelMode::Naive {
+        FRESH.fetch_add(1, Relaxed);
+        return Vec::with_capacity(len);
+    }
+    let reused = POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let first = class_for_request(len).min(NUM_CLASSES - 1);
+        // Look in the exact class and the next one up; anything larger
+        // would waste big buffers on small tensors.
+        for class in first..(first + 2).min(NUM_CLASSES) {
+            if let Some(mut buf) = pool.classes[class].pop() {
+                buf.clear();
+                return Some(buf);
+            }
+        }
+        None
+    });
+    match reused {
+        Some(buf) => {
+            REUSED.fetch_add(1, Relaxed);
+            buf
+        }
+        None => {
+            FRESH.fetch_add(1, Relaxed);
+            // Round fresh capacity up to a power of two so the buffer's
+            // recycle class equals its request class: a buffer with the
+            // exact capacity 777_777 would land in floor-class 19 on
+            // recycle but be searched for in ceil-class 20.
+            Vec::with_capacity(len.max(1).next_power_of_two())
+        }
+    }
+}
+
+/// A zero-filled `rows × cols` tensor backed by a pooled buffer.
+pub(crate) fn zeros(rows: usize, cols: usize) -> Tensor {
+    full(rows, cols, 0.0)
+}
+
+/// A constant-filled `rows × cols` tensor backed by a pooled buffer.
+pub(crate) fn full(rows: usize, cols: usize, value: f32) -> Tensor {
+    let len = rows * cols;
+    let mut buf = take(len);
+    buf.resize(len, value);
+    Tensor::from_vec(rows, cols, buf)
+}
+
+/// A pooled copy of `t`.
+pub(crate) fn copy_of(t: &Tensor) -> Tensor {
+    copy_slice(t.rows(), t.cols(), t.as_slice())
+}
+
+/// A pooled `rows × cols` tensor initialised from a row-major slice.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub(crate) fn copy_slice(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+    assert_eq!(data.len(), rows * cols, "arena copy length mismatch");
+    let mut buf = take(data.len());
+    buf.extend_from_slice(data);
+    Tensor::from_vec(rows, cols, buf)
+}
+
+/// Returns a tensor's buffer to the current thread's pool.
+pub(crate) fn recycle(t: Tensor) {
+    recycle_vec(t.into_data());
+}
+
+/// Returns a raw buffer to the current thread's pool.
+pub(crate) fn recycle_vec(buf: Vec<f32>) {
+    if buf.capacity() == 0 || kernel_mode() == KernelMode::Naive {
+        return;
+    }
+    let class = class_of_capacity(buf.capacity()).min(NUM_CLASSES - 1);
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let bin = &mut pool.classes[class];
+        if bin.len() < PER_CLASS_CAP {
+            RECYCLED.fetch_add(1, Relaxed);
+            bin.push(buf);
+        }
+        // Over the cap: drop, releasing the memory.
+    });
+}
+
+/// Snapshot of the arena's global allocation counters (all threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffer requests the pool could not serve (heap allocations).
+    pub fresh: u64,
+    /// Buffer requests served from the pool (no allocation).
+    pub reused: u64,
+    /// Buffers returned to the pool.
+    pub recycled: u64,
+}
+
+impl ArenaStats {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &ArenaStats) -> ArenaStats {
+        ArenaStats {
+            fresh: self.fresh - earlier.fresh,
+            reused: self.reused - earlier.reused,
+            recycled: self.recycled - earlier.recycled,
+        }
+    }
+}
+
+/// Reads the arena counters.
+pub fn arena_stats() -> ArenaStats {
+    ArenaStats {
+        fresh: FRESH.load(Relaxed),
+        reused: REUSED.load(Relaxed),
+        recycled: RECYCLED.load(Relaxed),
+    }
+}
+
+/// Zeroes the arena counters (pool contents are untouched).
+pub fn reset_arena_stats() {
+    FRESH.store(0, Relaxed);
+    REUSED.store(0, Relaxed);
+    RECYCLED.store(0, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_trip() {
+        assert_eq!(class_of_capacity(1), 0);
+        assert_eq!(class_of_capacity(2), 1);
+        assert_eq!(class_of_capacity(3), 1);
+        assert_eq!(class_of_capacity(1024), 10);
+        // A request of n must map to a class whose buffers hold n.
+        for len in [1usize, 2, 3, 7, 8, 9, 100, 1 << 20] {
+            let class = class_for_request(len);
+            assert!((1usize << class) >= len, "class {class} too small for {len}");
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        crate::mode::set_kernel_mode(crate::mode::KernelMode::Fast);
+        // Use an odd, large size so no other test's buffers match the class.
+        let t = zeros(1, 777_777);
+        let before = arena_stats();
+        recycle(t);
+        let t2 = take(777_777);
+        let after = arena_stats();
+        assert!(t2.capacity() >= 777_777);
+        assert_eq!(after.reused - before.reused, 1, "second request must hit the pool");
+    }
+
+    #[test]
+    fn pooled_tensors_are_fully_initialised() {
+        crate::mode::set_kernel_mode(crate::mode::KernelMode::Fast);
+        let mut t = full(2, 3, 7.5);
+        t.as_mut_slice().iter_mut().for_each(|x| *x = 99.0);
+        recycle(t);
+        let z = zeros(2, 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0), "stale data leaked from pool");
+        let c = copy_slice(1, 6, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(c.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+    }
+}

@@ -49,13 +49,12 @@ impl Linear {
     /// Applies the layer to a `[n, in_dim]` batch.
     pub fn apply(&self, tape: &mut Tape<'_>, x: Var) -> Var {
         let w = tape.param(self.w);
-        let y = tape.matmul(x, w);
         match self.b {
             Some(b) => {
                 let b = tape.param(b);
-                tape.add_row(y, b)
+                tape.matmul_bias(x, w, b)
             }
-            None => y,
+            None => tape.matmul(x, w),
         }
     }
 }
@@ -106,24 +105,26 @@ impl GruCell {
     }
 
     /// One step: inputs `x` `[n, in_dim]`, state `h` `[n, hidden_dim]`.
+    ///
+    /// Each gate is one fused tape node (`σ(x·W + h·U + b)` via
+    /// [`Tape::add2_row_sigmoid`], the candidate via
+    /// [`Tape::add2_row_tanh`]) and the state blend is a single
+    /// [`Tape::gru_combine`], so a step records 12 nodes instead of 21
+    /// and skips nine intermediate tensors.
     pub fn step(&self, tape: &mut Tape<'_>, x: Var, h: Var) -> Var {
         let wz = tape.param(self.wz);
         let uz = tape.param(self.uz);
         let bz = tape.param(self.bz);
         let xz = tape.matmul(x, wz);
         let hz = tape.matmul(h, uz);
-        let z = tape.add(xz, hz);
-        let z = tape.add_row(z, bz);
-        let z = tape.sigmoid(z);
+        let z = tape.add2_row_sigmoid(xz, hz, bz);
 
         let wr = tape.param(self.wr);
         let ur = tape.param(self.ur);
         let br = tape.param(self.br);
         let xr = tape.matmul(x, wr);
         let hr = tape.matmul(h, ur);
-        let r = tape.add(xr, hr);
-        let r = tape.add_row(r, br);
-        let r = tape.sigmoid(r);
+        let r = tape.add2_row_sigmoid(xr, hr, br);
 
         let wh = tape.param(self.wh);
         let uh = tape.param(self.uh);
@@ -131,15 +132,10 @@ impl GruCell {
         let xh = tape.matmul(x, wh);
         let rh = tape.mul(r, h);
         let rhu = tape.matmul(rh, uh);
-        let cand = tape.add(xh, rhu);
-        let cand = tape.add_row(cand, bh);
-        let cand = tape.tanh(cand);
+        let cand = tape.add2_row_tanh(xh, rhu, bh);
 
         // h' = (1 - z) ⊙ h + z ⊙ cand  =  h - z⊙h + z⊙cand
-        let zh = tape.mul(z, h);
-        let zc = tape.mul(z, cand);
-        let keep = tape.sub(h, zh);
-        tape.add(keep, zc)
+        tape.gru_combine(z, h, cand)
     }
 }
 

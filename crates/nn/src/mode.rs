@@ -1,0 +1,71 @@
+//! Runtime kernel-mode switch.
+//!
+//! The compute core ships two implementations of every hot kernel: the
+//! optimised path (cache-blocked matmuls, fused elementwise ops, the
+//! arena allocator) and the pre-optimisation naive path, kept alive so
+//! that benchmarks and equivalence tests can compare both inside one
+//! process. Both paths are bit-identical on finite inputs (see
+//! `DESIGN.md` §9); the switch exists for measurement, not correctness.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementations the tape and tensor ops use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Blocked kernels, fused ops and the recycling arena (default).
+    Fast,
+    /// The pre-optimisation reference path: naive triple-loop matmuls,
+    /// unfused op compositions and a fresh allocation per tensor.
+    Naive,
+}
+
+// 0 = unresolved, 1 = fast, 2 = naive.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The active kernel mode.
+///
+/// Resolved once from the `TYPILUS_NN_NAIVE` environment variable (any
+/// non-empty value other than `0` selects [`KernelMode::Naive`]) unless
+/// [`set_kernel_mode`] was called first.
+#[inline]
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Fast,
+        2 => KernelMode::Naive,
+        _ => resolve_from_env(),
+    }
+}
+
+#[cold]
+fn resolve_from_env() -> KernelMode {
+    let naive = std::env::var("TYPILUS_NN_NAIVE")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
+    let mode = if naive { KernelMode::Naive } else { KernelMode::Fast };
+    set_kernel_mode(mode);
+    mode
+}
+
+/// Overrides the kernel mode process-wide (used by benchmarks and the
+/// equivalence tests; regular training never calls this).
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Fast => 1,
+        KernelMode::Naive => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_fast_and_override_sticks() {
+        // The suite never sets TYPILUS_NN_NAIVE, so resolution lands on
+        // Fast; an explicit override must win afterwards.
+        assert_eq!(kernel_mode(), KernelMode::Fast);
+        set_kernel_mode(KernelMode::Fast);
+        assert_eq!(kernel_mode(), KernelMode::Fast);
+    }
+}

@@ -67,6 +67,9 @@ impl Adam {
                 p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
+        // The gradients are spent; return their buffers to the arena so
+        // the next step's backward pass reuses them.
+        grads.recycle();
     }
 
     /// Number of steps taken so far.

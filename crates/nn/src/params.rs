@@ -108,10 +108,22 @@ impl Gradients {
     /// Panics if an existing gradient for `id` has a different shape.
     pub fn accumulate(&mut self, id: ParamId, grad: Tensor) {
         match self.by_param.get_mut(&id) {
-            Some(existing) => existing.add_assign(&grad),
+            Some(existing) => {
+                existing.add_assign(&grad);
+                crate::arena::recycle(grad);
+            }
             None => {
                 self.by_param.insert(id, grad);
             }
+        }
+    }
+
+    /// Returns every gradient buffer to the thread-local arena. Call
+    /// this after the optimizer has consumed the gradients so the next
+    /// step's backward pass reuses their storage.
+    pub fn recycle(self) {
+        for (_, g) in self.by_param {
+            crate::arena::recycle(g);
         }
     }
 

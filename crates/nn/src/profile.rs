@@ -1,0 +1,202 @@
+//! A lightweight per-op profiler (`nn-profile` feature).
+//!
+//! When the crate is built with `--features nn-profile`, every hot tape
+//! operation records its op kind, wall-clock nanoseconds and output
+//! bytes into a global table of relaxed atomics; [`report`] renders the
+//! table sorted by time. Without the feature every hook compiles to
+//! nothing and [`report`] returns `None`, so call sites need no `cfg`.
+//!
+//! The arena's allocation counters (always on) complement this table;
+//! `typilus train --profile` prints both.
+
+/// Coarse operation categories tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OpKind {
+    /// `a · b` (blocked or naive).
+    Matmul,
+    /// `a · bᵀ`.
+    MatmulT,
+    /// Fused `x·W + b`.
+    MatmulBias,
+    /// Blocked transpose.
+    Transpose,
+    /// Unfused elementwise ops (add, mul, sigmoid, …).
+    Elementwise,
+    /// Fused gate / GRU-combine ops.
+    Fused,
+    /// Row gather.
+    Gather,
+    /// Segment sum / mean / max.
+    Segment,
+    /// Row / column concatenation.
+    Concat,
+    /// Log-softmax, row-norm, losses.
+    Reduce,
+    /// One whole reverse pass.
+    Backward,
+}
+
+/// Number of [`OpKind`] categories.
+pub const NUM_OP_KINDS: usize = 11;
+
+impl OpKind {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Matmul => "matmul",
+            OpKind::MatmulT => "matmul_t",
+            OpKind::MatmulBias => "matmul_bias",
+            OpKind::Transpose => "transpose",
+            OpKind::Elementwise => "elementwise",
+            OpKind::Fused => "fused",
+            OpKind::Gather => "gather",
+            OpKind::Segment => "segment",
+            OpKind::Concat => "concat",
+            OpKind::Reduce => "reduce",
+            OpKind::Backward => "backward",
+        }
+    }
+
+    fn all() -> [OpKind; NUM_OP_KINDS] {
+        [
+            OpKind::Matmul,
+            OpKind::MatmulT,
+            OpKind::MatmulBias,
+            OpKind::Transpose,
+            OpKind::Elementwise,
+            OpKind::Fused,
+            OpKind::Gather,
+            OpKind::Segment,
+            OpKind::Concat,
+            OpKind::Reduce,
+            OpKind::Backward,
+        ]
+    }
+}
+
+#[cfg(feature = "nn-profile")]
+mod imp {
+    use super::{OpKind, NUM_OP_KINDS};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    pub(super) static COUNTS: [AtomicU64; NUM_OP_KINDS] = [ZERO; NUM_OP_KINDS];
+    pub(super) static NANOS: [AtomicU64; NUM_OP_KINDS] = [ZERO; NUM_OP_KINDS];
+    pub(super) static BYTES: [AtomicU64; NUM_OP_KINDS] = [ZERO; NUM_OP_KINDS];
+
+    /// Records one completed operation.
+    #[inline]
+    pub fn record(kind: OpKind, nanos: u64, bytes: u64) {
+        let i = kind as usize;
+        COUNTS[i].fetch_add(1, Relaxed);
+        NANOS[i].fetch_add(nanos, Relaxed);
+        BYTES[i].fetch_add(bytes, Relaxed);
+    }
+}
+
+#[cfg(feature = "nn-profile")]
+pub use imp::record;
+
+/// Whether per-op profiling is compiled in.
+pub fn profiling_enabled() -> bool {
+    cfg!(feature = "nn-profile")
+}
+
+/// Zeroes every profiler counter (no-op without the feature).
+pub fn reset_profile() {
+    #[cfg(feature = "nn-profile")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        for i in 0..NUM_OP_KINDS {
+            imp::COUNTS[i].store(0, Relaxed);
+            imp::NANOS[i].store(0, Relaxed);
+            imp::BYTES[i].store(0, Relaxed);
+        }
+    }
+}
+
+/// One row of the profile table.
+#[derive(Debug, Clone, Copy)]
+pub struct OpProfile {
+    /// Operation category.
+    pub kind: OpKind,
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds.
+    pub nanos: u64,
+    /// Total output bytes produced.
+    pub bytes: u64,
+}
+
+/// Per-op counters sorted by total time, or `None` without the feature.
+pub fn profile_rows() -> Option<Vec<OpProfile>> {
+    #[cfg(feature = "nn-profile")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut rows: Vec<OpProfile> = OpKind::all()
+            .into_iter()
+            .map(|kind| OpProfile {
+                kind,
+                calls: imp::COUNTS[kind as usize].load(Relaxed),
+                nanos: imp::NANOS[kind as usize].load(Relaxed),
+                bytes: imp::BYTES[kind as usize].load(Relaxed),
+            })
+            .filter(|r| r.calls > 0)
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.nanos));
+        Some(rows)
+    }
+    #[cfg(not(feature = "nn-profile"))]
+    {
+        let _ = OpKind::all();
+        None
+    }
+}
+
+/// Renders the per-op table, or `None` without the feature.
+pub fn report() -> Option<String> {
+    let rows = profile_rows()?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}\n",
+        "op", "calls", "total ms", "MB out", "ns/call"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12.3} {:>12.2} {:>10}\n",
+            r.kind.name(),
+            r.calls,
+            r.nanos as f64 / 1e6,
+            r.bytes as f64 / (1024.0 * 1024.0),
+            r.nanos / r.calls.max(1),
+        ));
+    }
+    Some(out)
+}
+
+/// Times `$body` and attributes it to `$kind` when profiling is
+/// compiled in; otherwise expands to `$body` alone. `$bytes` should be
+/// the output size in bytes.
+macro_rules! prof {
+    ($kind:expr, $bytes:expr, $body:expr) => {{
+        #[cfg(feature = "nn-profile")]
+        {
+            let __start = std::time::Instant::now();
+            let __result = $body;
+            $crate::profile::record(
+                $kind,
+                __start.elapsed().as_nanos() as u64,
+                $bytes as u64,
+            );
+            __result
+        }
+        #[cfg(not(feature = "nn-profile"))]
+        {
+            $body
+        }
+    }};
+}
+
+pub(crate) use prof;

@@ -5,8 +5,26 @@
 //! returns gradients for every parameter that participated. Tapes are
 //! cheap and rebuilt per training step, which is what lets the GNN unroll
 //! a different message-passing structure for every input graph.
+//!
+//! Every tensor the tape materialises — op outputs, parameter
+//! snapshots, gradient temporaries — is drawn from the thread-local
+//! [`crate::arena`], and [`Tape::reset`] (or dropping the tape) returns
+//! the storage for the next step, so a steady-state training loop stops
+//! allocating after the first iteration. The fused ops
+//! ([`Tape::matmul_bias`], [`Tape::add2_row_sigmoid`],
+//! [`Tape::add2_row_tanh`], [`Tape::gru_combine`]) record one node where
+//! the naive composition records three to four, skipping the
+//! intermediate tensors entirely; their forward values and backward
+//! accumulation order replicate the unfused composition exactly, so
+//! results stay bit-identical (`DESIGN.md` §9). In
+//! [`KernelMode::Naive`](crate::mode::KernelMode) the fused entry points
+//! record the unfused composition instead, which is what `bench_nn`
+//! compares against.
 
+use crate::arena;
+use crate::mode::{kernel_mode, KernelMode};
 use crate::params::{Gradients, ParamId, ParamSet};
+use crate::profile::{prof, OpKind};
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`].
@@ -23,6 +41,8 @@ enum Op {
     Matmul(Var, Var),
     /// `a · bᵀ`
     MatmulT(Var, Var),
+    /// Fused `x·W + b` (one node instead of matmul + add_row).
+    MatmulBias(Var, Var, Var),
     Transpose(Var),
     Add(Var, Var),
     /// `[n,m] + [1,m]` broadcast over rows.
@@ -35,6 +55,12 @@ enum Op {
     Exp(Var),
     Tanh(Var),
     Relu(Var),
+    /// Fused `σ(a + b + row)` — a GRU gate in one node.
+    AddRowSigmoid(Var, Var, Var),
+    /// Fused `tanh(a + b + row)` — the GRU candidate in one node.
+    AddRowTanh(Var, Var, Var),
+    /// Fused GRU state blend `h - z⊙h + z⊙cand`.
+    GruCombine(Var, Var, Var),
     /// Row gather: `out[i] = a[indices[i]]`.
     Gather(Var, Vec<usize>),
     /// Segment sum: `out[s] = Σ_{i: seg[i]=s} a[i]`.
@@ -64,6 +90,39 @@ enum Op {
 struct Node {
     value: Tensor,
     op: Op,
+}
+
+/// Runs one forward-op body, recording it in the profiler when the
+/// `nn-profile` feature is enabled.
+#[inline]
+fn run_op(kind: OpKind, f: impl FnOnce() -> Tensor) -> Tensor {
+    #[cfg(feature = "nn-profile")]
+    {
+        let start = std::time::Instant::now();
+        let out = f();
+        crate::profile::record(kind, start.elapsed().as_nanos() as u64, (out.len() * 4) as u64);
+        out
+    }
+    #[cfg(not(feature = "nn-profile"))]
+    {
+        let _ = kind;
+        f()
+    }
+}
+
+/// Elementwise map into an arena-backed tensor.
+fn pooled_map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = arena::take(t.len());
+    buf.extend(t.as_slice().iter().map(|&x| f(x)));
+    Tensor::from_vec(t.rows(), t.cols(), buf)
+}
+
+/// Elementwise zip of two same-shaped tensors into an arena-backed one.
+fn pooled_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!(a.shape(), b.shape());
+    let mut buf = arena::take(a.len());
+    buf.extend(a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)));
+    Tensor::from_vec(a.rows(), a.cols(), buf)
 }
 
 /// A gradient tape over a [`ParamSet`].
@@ -98,6 +157,20 @@ impl<'p> Tape<'p> {
         self.nodes.is_empty()
     }
 
+    /// Clears the tape and returns every node's storage to the arena,
+    /// so the next step's ops reuse it instead of allocating. All
+    /// outstanding [`Var`]s are invalidated. Dropping the tape does the
+    /// same; `reset` just makes the reuse explicit inside a loop.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            let Node { value, op } = node;
+            if let Op::MulConst(_, mask) = op {
+                arena::recycle(mask);
+            }
+            arena::recycle(value);
+        }
+    }
+
     // ---- sources ---------------------------------------------------------
 
     /// Records a constant input (no gradient flows into it).
@@ -111,7 +184,7 @@ impl<'p> Tape<'p> {
     ///
     /// Panics if `id` is not in the tape's parameter set.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.params.get(id).clone();
+        let value = arena::copy_of(self.params.get(id));
         self.push(value, Op::Param(id))
     }
 
@@ -119,19 +192,50 @@ impl<'p> Tape<'p> {
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let (va, vb) = (self.value(a), self.value(b));
+        let v = run_op(OpKind::Matmul, || va.matmul(vb));
         self.push(v, Op::Matmul(a, b))
     }
 
     /// `a · bᵀ`.
     pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul_t(self.value(b));
+        let (va, vb) = (self.value(a), self.value(b));
+        let v = run_op(OpKind::MatmulT, || va.matmul_t(vb));
         self.push(v, Op::MatmulT(a, b))
+    }
+
+    /// Fused `x·W + b` — one node for a whole [`crate::Linear`] apply;
+    /// the matmul output is biased in place, skipping the intermediate.
+    /// In naive kernel mode this records the unfused composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if `b` is not `1×m`.
+    pub fn matmul_bias(&mut self, x: Var, w: Var, b: Var) -> Var {
+        if kernel_mode() == KernelMode::Naive {
+            let y = self.matmul(x, w);
+            return self.add_row(y, b);
+        }
+        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(b));
+        assert_eq!(vb.rows(), 1, "matmul_bias needs a 1×m bias row");
+        assert_eq!(vw.cols(), vb.cols(), "matmul_bias width mismatch");
+        let v = run_op(OpKind::MatmulBias, || {
+            let mut out = vx.matmul(vw);
+            let brow = vb.as_slice();
+            for r in 0..out.rows() {
+                for (o, &bv) in out.row_mut(r).iter_mut().zip(brow) {
+                    *o += bv;
+                }
+            }
+            out
+        });
+        self.push(v, Op::MatmulBias(x, w, b))
     }
 
     /// `aᵀ`.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transposed();
+        let va = self.value(a);
+        let v = run_op(OpKind::Transpose, || va.transposed());
         self.push(v, Op::Transpose(a))
     }
 
@@ -143,9 +247,8 @@ impl<'p> Tape<'p> {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
-        let mut out = va.clone();
-        out.add_assign(vb);
-        self.push(out, Op::Add(a, b))
+        let v = run_op(OpKind::Elementwise, || pooled_zip(va, vb, |x, y| x + y));
+        self.push(v, Op::Add(a, b))
     }
 
     /// `a + row` where `row` is `1×m`, broadcast over the rows of `a`.
@@ -157,14 +260,15 @@ impl<'p> Tape<'p> {
         let (va, vr) = (self.value(a), self.value(row));
         assert_eq!(vr.rows(), 1, "add_row needs a 1×m row");
         assert_eq!(va.cols(), vr.cols(), "add_row width mismatch");
-        let mut out = va.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) + vr.get(0, c);
-                out.set(r, c, v);
+        let v = run_op(OpKind::Elementwise, || {
+            let mut buf = arena::take(va.len());
+            let rrow = vr.as_slice();
+            for r in 0..va.rows() {
+                buf.extend(va.row(r).iter().zip(rrow).map(|(&x, &y)| x + y));
             }
-        }
-        self.push(out, Op::AddRow(a, row))
+            Tensor::from_vec(va.rows(), va.cols(), buf)
+        });
+        self.push(v, Op::AddRow(a, row))
     }
 
     /// Elementwise `a - b`.
@@ -175,11 +279,8 @@ impl<'p> Tape<'p> {
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
-        let mut out = va.clone();
-        for (x, &y) in out.as_mut_slice().iter_mut().zip(vb.as_slice()) {
-            *x -= y;
-        }
-        self.push(out, Op::Sub(a, b))
+        let v = run_op(OpKind::Elementwise, || pooled_zip(va, vb, |x, y| x - y));
+        self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise `a * b`.
@@ -190,49 +291,140 @@ impl<'p> Tape<'p> {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
-        let mut out = va.clone();
-        for (x, &y) in out.as_mut_slice().iter_mut().zip(vb.as_slice()) {
-            *x *= y;
-        }
-        self.push(out, Op::Mul(a, b))
+        let v = run_op(OpKind::Elementwise, || pooled_zip(va, vb, |x, y| x * y));
+        self.push(v, Op::Mul(a, b))
     }
 
     /// `a * c` for a scalar constant `c`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let out = self.value(a).map(|x| x * c);
-        self.push(out, Op::Scale(a, c))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, |x| x * c));
+        self.push(v, Op::Scale(a, c))
     }
 
     /// `a + c` elementwise for a scalar constant `c`.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let out = self.value(a).map(|x| x + c);
-        self.push(out, Op::AddScalar(a, c))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, |x| x + c));
+        self.push(v, Op::AddScalar(a, c))
     }
 
     // ---- nonlinearities ----------------------------------------------------
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(out, Op::Sigmoid(a))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, |x| 1.0 / (1.0 + (-x).exp())));
+        self.push(v, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f32::tanh);
-        self.push(out, Op::Tanh(a))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, f32::tanh));
+        self.push(v, Op::Tanh(a))
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(f32::exp);
-        self.push(out, Op::Exp(a))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, f32::exp));
+        self.push(v, Op::Exp(a))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out = self.value(a).map(|x| x.max(0.0));
-        self.push(out, Op::Relu(a))
+        let va = self.value(a);
+        let v = run_op(OpKind::Elementwise, || pooled_map(va, |x| x.max(0.0)));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Fused `σ(a + b + row)` — one node for a whole GRU gate
+    /// (`tape.sigmoid(tape.add_row(tape.add(a, b), row))`), skipping
+    /// both intermediates. In naive kernel mode this records the
+    /// unfused composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if `row` is not `1×m`.
+    pub fn add2_row_sigmoid(&mut self, a: Var, b: Var, row: Var) -> Var {
+        if kernel_mode() == KernelMode::Naive {
+            let s = self.add(a, b);
+            let s = self.add_row(s, row);
+            return self.sigmoid(s);
+        }
+        let v = self.fused_gate(a, b, row, |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::AddRowSigmoid(a, b, row))
+    }
+
+    /// Fused `tanh(a + b + row)` — the GRU candidate state in one node.
+    /// In naive kernel mode this records the unfused composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if `row` is not `1×m`.
+    pub fn add2_row_tanh(&mut self, a: Var, b: Var, row: Var) -> Var {
+        if kernel_mode() == KernelMode::Naive {
+            let s = self.add(a, b);
+            let s = self.add_row(s, row);
+            return self.tanh(s);
+        }
+        let v = self.fused_gate(a, b, row, f32::tanh);
+        self.push(v, Op::AddRowTanh(a, b, row))
+    }
+
+    /// Shared forward for the fused gates: `f((a + b) + row)`, with the
+    /// additions associated exactly as in the unfused composition.
+    fn fused_gate(&self, a: Var, b: Var, row: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let (va, vb, vr) = (self.value(a), self.value(b), self.value(row));
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        assert_eq!(vr.rows(), 1, "add_row needs a 1×m row");
+        assert_eq!(va.cols(), vr.cols(), "add_row width mismatch");
+        run_op(OpKind::Fused, || {
+            let mut buf = arena::take(va.len());
+            let rrow = vr.as_slice();
+            for r in 0..va.rows() {
+                buf.extend(
+                    va.row(r)
+                        .iter()
+                        .zip(vb.row(r))
+                        .zip(rrow)
+                        .map(|((&x, &y), &z)| f((x + y) + z)),
+                );
+            }
+            Tensor::from_vec(va.rows(), va.cols(), buf)
+        })
+    }
+
+    /// Fused GRU state blend `h' = h - z⊙h + z⊙cand` — one node for the
+    /// four-op tail of a GRU step, skipping three intermediates. In
+    /// naive kernel mode this records the unfused composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn gru_combine(&mut self, z: Var, h: Var, cand: Var) -> Var {
+        if kernel_mode() == KernelMode::Naive {
+            let zh = self.mul(z, h);
+            let zc = self.mul(z, cand);
+            let keep = self.sub(h, zh);
+            return self.add(keep, zc);
+        }
+        let (vz, vh, vc) = (self.value(z), self.value(h), self.value(cand));
+        assert_eq!(vz.shape(), vh.shape(), "mul shape mismatch");
+        assert_eq!(vz.shape(), vc.shape(), "mul shape mismatch");
+        let v = run_op(OpKind::Fused, || {
+            let mut buf = arena::take(vz.len());
+            buf.extend(
+                vz.as_slice()
+                    .iter()
+                    .zip(vh.as_slice())
+                    .zip(vc.as_slice())
+                    .map(|((&zv, &hv), &cv)| (hv - zv * hv) + zv * cv),
+            );
+            Tensor::from_vec(vz.rows(), vz.cols(), buf)
+        });
+        self.push(v, Op::GruCombine(z, h, cand))
     }
 
     // ---- structure ops -----------------------------------------------------
@@ -244,12 +436,15 @@ impl<'p> Tape<'p> {
     /// Panics if any index is out of bounds.
     pub fn gather(&mut self, a: Var, indices: &[usize]) -> Var {
         let va = self.value(a);
-        let mut out = Tensor::zeros(indices.len(), va.cols());
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < va.rows(), "gather index {idx} out of bounds");
-            out.row_mut(i).copy_from_slice(va.row(idx));
-        }
-        self.push(out, Op::Gather(a, indices.to_vec()))
+        let v = run_op(OpKind::Gather, || {
+            let mut buf = arena::take(indices.len() * va.cols());
+            for &idx in indices {
+                assert!(idx < va.rows(), "gather index {idx} out of bounds");
+                buf.extend_from_slice(va.row(idx));
+            }
+            Tensor::from_vec(indices.len(), va.cols(), buf)
+        });
+        self.push(v, Op::Gather(a, indices.to_vec()))
     }
 
     /// Segment sum: rows of `a` grouped by `segments`, summed per segment.
@@ -260,15 +455,17 @@ impl<'p> Tape<'p> {
     pub fn segment_sum(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
-        let mut out = Tensor::zeros(num_segments, va.cols());
-        for (i, &s) in segments.iter().enumerate() {
-            assert!(s < num_segments, "segment id {s} out of range");
-            for c in 0..va.cols() {
-                let v = out.get(s, c) + va.get(i, c);
-                out.set(s, c, v);
+        let v = run_op(OpKind::Segment, || {
+            let mut out = arena::zeros(num_segments, va.cols());
+            for (i, &s) in segments.iter().enumerate() {
+                assert!(s < num_segments, "segment id {s} out of range");
+                for (o, &x) in out.row_mut(s).iter_mut().zip(va.row(i)) {
+                    *o += x;
+                }
             }
-        }
-        self.push(out, Op::SegmentSum(a, segments.to_vec(), num_segments))
+            out
+        });
+        self.push(v, Op::SegmentSum(a, segments.to_vec(), num_segments))
     }
 
     /// Segment mean; empty segments produce zero rows.
@@ -279,30 +476,35 @@ impl<'p> Tape<'p> {
     pub fn segment_mean(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
-        let mut out = Tensor::zeros(num_segments, va.cols());
-        let mut counts = vec![0usize; num_segments];
-        for (i, &s) in segments.iter().enumerate() {
-            assert!(s < num_segments, "segment id {s} out of range");
-            counts[s] += 1;
-            for c in 0..va.cols() {
-                let v = out.get(s, c) + va.get(i, c);
-                out.set(s, c, v);
-            }
-        }
-        for (s, &n) in counts.iter().enumerate() {
-            if n > 1 {
-                let inv = 1.0 / n as f32;
-                for c in 0..out.cols() {
-                    let v = out.get(s, c) * inv;
-                    out.set(s, c, v);
+        let v = run_op(OpKind::Segment, || {
+            let mut out = arena::zeros(num_segments, va.cols());
+            let mut counts = vec![0usize; num_segments];
+            for (i, &s) in segments.iter().enumerate() {
+                assert!(s < num_segments, "segment id {s} out of range");
+                counts[s] += 1;
+                for (o, &x) in out.row_mut(s).iter_mut().zip(va.row(i)) {
+                    *o += x;
                 }
             }
-        }
-        self.push(out, Op::SegmentMean(a, segments.to_vec(), num_segments))
+            for (s, &n) in counts.iter().enumerate() {
+                if n > 1 {
+                    let inv = 1.0 / n as f32;
+                    for o in out.row_mut(s) {
+                        *o *= inv;
+                    }
+                }
+            }
+            out
+        });
+        self.push(v, Op::SegmentMean(a, segments.to_vec(), num_segments))
     }
 
     /// Segment elementwise max; empty segments produce zero rows. This is
     /// the max-pooling aggregation the paper uses in its GGNN.
+    ///
+    /// Ties keep the earliest row (strict `>` comparison); NaN inputs
+    /// never win a comparison, so a segment whose every entry is NaN in
+    /// a column behaves like an empty segment for that column.
     ///
     /// # Panics
     ///
@@ -311,56 +513,65 @@ impl<'p> Tape<'p> {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
         let cols = va.cols();
-        let mut out = Tensor::full(num_segments, cols, f32::NEG_INFINITY);
         let mut argmax = vec![usize::MAX; num_segments * cols];
-        for (i, &s) in segments.iter().enumerate() {
-            assert!(s < num_segments, "segment id {s} out of range");
-            for c in 0..cols {
-                if va.get(i, c) > out.get(s, c) {
-                    out.set(s, c, va.get(i, c));
-                    argmax[s * cols + c] = i;
+        let v = run_op(OpKind::Segment, || {
+            let mut out = arena::full(num_segments, cols, f32::NEG_INFINITY);
+            for (i, &s) in segments.iter().enumerate() {
+                assert!(s < num_segments, "segment id {s} out of range");
+                for c in 0..cols {
+                    if va.get(i, c) > out.get(s, c) {
+                        out.set(s, c, va.get(i, c));
+                        argmax[s * cols + c] = i;
+                    }
                 }
             }
-        }
-        // Empty segments: zero, no gradient.
-        for s in 0..num_segments {
-            for c in 0..cols {
-                if argmax[s * cols + c] == usize::MAX {
-                    out.set(s, c, 0.0);
+            // Empty segments: zero, no gradient.
+            for s in 0..num_segments {
+                for c in 0..cols {
+                    if argmax[s * cols + c] == usize::MAX {
+                        out.set(s, c, 0.0);
+                    }
                 }
             }
-        }
-        self.push(out, Op::SegmentMax(a, segments.to_vec(), num_segments, argmax))
+            out
+        });
+        self.push(v, Op::SegmentMax(a, segments.to_vec(), num_segments, argmax))
     }
 
     /// Pairwise L1 distance matrix between the rows of `a`.
     pub fn pairwise_l1(&mut self, a: Var) -> Var {
         let va = self.value(a);
         let n = va.rows();
-        let mut out = Tensor::zeros(n, n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = Tensor::l1_row_distance(va.row(i), va.row(j));
-                out.set(i, j, d);
-                out.set(j, i, d);
+        let v = run_op(OpKind::Reduce, || {
+            let mut out = arena::zeros(n, n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = Tensor::l1_row_distance(va.row(i), va.row(j));
+                    out.set(i, j, d);
+                    out.set(j, i, d);
+                }
             }
-        }
-        self.push(out, Op::PairwiseL1(a))
+            out
+        });
+        self.push(v, Op::PairwiseL1(a))
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, a: Var) -> Var {
         let va = self.value(a);
-        let mut out = va.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            for x in row.iter_mut() {
-                *x -= logsum;
+        let v = run_op(OpKind::Reduce, || {
+            let mut out = arena::copy_of(va);
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+                for x in row.iter_mut() {
+                    *x -= logsum;
+                }
             }
-        }
-        self.push(out, Op::LogSoftmax(a))
+            out
+        });
+        self.push(v, Op::LogSoftmax(a))
     }
 
     /// Row-wise standardisation: each row is shifted to zero mean and
@@ -368,18 +579,21 @@ impl<'p> Tape<'p> {
     /// without learned affine parameters.
     pub fn row_norm(&mut self, a: Var) -> Var {
         let va = self.value(a);
-        let mut out = va.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
-            let inv = 1.0 / (var + 1e-5).sqrt();
-            for x in row.iter_mut() {
-                *x = (*x - mean) * inv;
+        let v = run_op(OpKind::Reduce, || {
+            let mut out = arena::copy_of(va);
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                let n = row.len() as f32;
+                let mean = row.iter().sum::<f32>() / n;
+                let var = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+                let inv = 1.0 / (var + 1e-5).sqrt();
+                for x in row.iter_mut() {
+                    *x = (*x - mean) * inv;
+                }
             }
-        }
-        self.push(out, Op::RowNorm(a))
+            out
+        });
+        self.push(v, Op::RowNorm(a))
     }
 
     /// Mean negative log-likelihood of `labels` under row-wise
@@ -396,7 +610,7 @@ impl<'p> Tape<'p> {
             assert!(l < v.cols(), "label {l} out of range");
             total -= v.get(r, l);
         }
-        let out = Tensor::scalar(total / labels.len().max(1) as f32);
+        let out = arena::full(1, 1, total / labels.len().max(1) as f32);
         self.push(out, Op::NllLoss(logp, labels.to_vec()))
     }
 
@@ -409,16 +623,13 @@ impl<'p> Tape<'p> {
     pub fn mul_const(&mut self, a: Var, mask: &Tensor) -> Var {
         let va = self.value(a);
         assert_eq!(va.shape(), mask.shape(), "mask shape mismatch");
-        let mut out = va.clone();
-        for (x, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
-            *x *= m;
-        }
-        self.push(out, Op::MulConst(a, mask.clone()))
+        let v = run_op(OpKind::Elementwise, || pooled_zip(va, mask, |x, m| x * m));
+        self.push(v, Op::MulConst(a, arena::copy_of(mask)))
     }
 
     /// Sum of all elements, as a `1×1` scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let out = Tensor::scalar(self.value(a).sum());
+        let out = arena::full(1, 1, self.value(a).sum());
         self.push(out, Op::SumAll(a))
     }
 
@@ -438,17 +649,16 @@ impl<'p> Tape<'p> {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = self.value(parts[0]).cols();
         let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
-        let mut out = Tensor::zeros(total, cols);
-        let mut r = 0;
-        for &p in parts {
-            let vp = self.value(p);
-            assert_eq!(vp.cols(), cols, "concat_rows width mismatch");
-            for i in 0..vp.rows() {
-                out.row_mut(r).copy_from_slice(vp.row(i));
-                r += 1;
+        let v = run_op(OpKind::Concat, || {
+            let mut buf = arena::take(total * cols);
+            for &p in parts {
+                let vp = self.value(p);
+                assert_eq!(vp.cols(), cols, "concat_rows width mismatch");
+                buf.extend_from_slice(vp.as_slice());
             }
-        }
-        self.push(out, Op::ConcatRows(parts.to_vec()))
+            Tensor::from_vec(total, cols, buf)
+        });
+        self.push(v, Op::ConcatRows(parts.to_vec()))
     }
 
     /// Horizontally concatenates columns of several variables (same
@@ -461,19 +671,18 @@ impl<'p> Tape<'p> {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let rows = self.value(parts[0]).rows();
         let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
-        let mut out = Tensor::zeros(rows, total);
-        let mut base = 0;
-        for &p in parts {
-            let vp = self.value(p);
-            assert_eq!(vp.rows(), rows, "concat_cols row mismatch");
+        let v = run_op(OpKind::Concat, || {
+            let mut buf = arena::take(rows * total);
             for r in 0..rows {
-                for c in 0..vp.cols() {
-                    out.set(r, base + c, vp.get(r, c));
+                for &p in parts {
+                    let vp = self.value(p);
+                    assert_eq!(vp.rows(), rows, "concat_cols row mismatch");
+                    buf.extend_from_slice(vp.row(r));
                 }
             }
-            base += vp.cols();
-        }
-        self.push(out, Op::ConcatCols(parts.to_vec()))
+            Tensor::from_vec(rows, total, buf)
+        });
+        self.push(v, Op::ConcatCols(parts.to_vec()))
     }
 
     // ---- backward ----------------------------------------------------------
@@ -486,7 +695,7 @@ impl<'p> Tape<'p> {
     /// Panics if `loss` is not `1×1`.
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
-        self.backward_impl(loss, Tensor::scalar(1.0), &[]).0
+        self.backward_impl(loss, arena::full(1, 1, 1.0), &[]).0
     }
 
     /// Like [`Tape::backward`], but also returns the gradient of the loss
@@ -507,7 +716,7 @@ impl<'p> Tape<'p> {
         inputs: &[Var],
     ) -> (Gradients, Vec<Tensor>) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
-        self.backward_impl(loss, Tensor::scalar(1.0), inputs)
+        self.backward_impl(loss, arena::full(1, 1, 1.0), inputs)
     }
 
     /// Backpropagates from an arbitrary (possibly non-scalar) variable,
@@ -532,286 +741,397 @@ impl<'p> Tape<'p> {
         seed: Tensor,
         inputs: &[Var],
     ) -> (Gradients, Vec<Tensor>) {
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[root.0] = Some(seed);
-        let mut out = Gradients::new();
-        let mut input_grads: Vec<Option<Tensor>> = vec![None; inputs.len()];
+        prof!(OpKind::Backward, 0u64, {
+            let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+            grads[root.0] = Some(seed);
+            let mut out = Gradients::new();
+            let mut input_grads: Vec<Option<Tensor>> = vec![None; inputs.len()];
 
-        for i in (0..self.nodes.len()).rev() {
-            let g = match grads[i].take() {
-                Some(g) => g,
-                None => continue,
-            };
-            let node = &self.nodes[i];
-            match &node.op {
-                Op::Input => {
-                    if let Some(slot) = inputs.iter().position(|v| v.0 == i) {
-                        input_grads[slot] = Some(g);
-                    }
-                }
-                Op::Param(id) => out.accumulate(*id, g),
-                Op::Matmul(a, b) => {
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    accumulate(&mut grads, *a, g.matmul_t(vb));
-                    accumulate(&mut grads, *b, va.transposed().matmul(&g));
-                }
-                Op::MatmulT(a, b) => {
-                    // out = a · bᵀ : da = g · b ; db = gᵀ · a
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    accumulate(&mut grads, *a, g.matmul(vb));
-                    accumulate(&mut grads, *b, g.transposed().matmul(va));
-                }
-                Op::Transpose(a) => accumulate(&mut grads, *a, g.transposed()),
-                Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
-                }
-                Op::AddRow(a, row) => {
-                    let mut row_grad = Tensor::zeros(1, g.cols());
-                    for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            let v = row_grad.get(0, c) + g.get(r, c);
-                            row_grad.set(0, c, v);
+            for i in (0..self.nodes.len()).rev() {
+                let g = match grads[i].take() {
+                    Some(g) => g,
+                    None => continue,
+                };
+                let node = &self.nodes[i];
+                match &node.op {
+                    Op::Input => {
+                        if let Some(slot) = inputs.iter().position(|v| v.0 == i) {
+                            input_grads[slot] = Some(g);
+                        } else {
+                            arena::recycle(g);
                         }
                     }
-                    accumulate(&mut grads, *a, g);
-                    accumulate(&mut grads, *row, row_grad);
-                }
-                Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.map(|x| -x));
-                }
-                Op::Mul(a, b) => {
-                    let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-                    let mut ga = g.clone();
-                    for (x, &y) in ga.as_mut_slice().iter_mut().zip(vb.as_slice()) {
-                        *x *= y;
+                    Op::Param(id) => out.accumulate(*id, g),
+                    Op::Matmul(a, b) => {
+                        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                        let ga = g.matmul_t(vb);
+                        let vat = va.transposed();
+                        let gb = vat.matmul(&g);
+                        arena::recycle(vat);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
                     }
-                    let mut gb = g;
-                    for (x, &y) in gb.as_mut_slice().iter_mut().zip(va.as_slice()) {
-                        *x *= y;
+                    Op::MatmulT(a, b) => {
+                        // out = a · bᵀ : da = g · b ; db = gᵀ · a
+                        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                        let ga = g.matmul(vb);
+                        let gt = g.transposed();
+                        let gb = gt.matmul(va);
+                        arena::recycle(gt);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
                     }
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
-                }
-                Op::Scale(a, c) => accumulate(&mut grads, *a, g.map(|x| x * c)),
-                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
-                Op::Sigmoid(a) => {
-                    let y = &node.value;
-                    let mut ga = g;
-                    for (x, &s) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        *x *= s * (1.0 - s);
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::Exp(a) => {
-                    let y = &node.value;
-                    let mut ga = g;
-                    for (x, &e) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        *x *= e;
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::Tanh(a) => {
-                    let y = &node.value;
-                    let mut ga = g;
-                    for (x, &t) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        *x *= 1.0 - t * t;
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::Relu(a) => {
-                    let y = &node.value;
-                    let mut ga = g;
-                    for (x, &v) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                        if v <= 0.0 {
-                            *x = 0.0;
-                        }
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::Gather(a, indices) => {
-                    let va = &self.nodes[a.0].value;
-                    let mut ga = Tensor::zeros(va.rows(), va.cols());
-                    for (i, &idx) in indices.iter().enumerate() {
-                        for c in 0..g.cols() {
-                            let v = ga.get(idx, c) + g.get(i, c);
-                            ga.set(idx, c, v);
-                        }
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::SegmentSum(a, segments, _) => {
-                    let va = &self.nodes[a.0].value;
-                    let mut ga = Tensor::zeros(va.rows(), va.cols());
-                    for (i, &s) in segments.iter().enumerate() {
-                        ga.row_mut(i).copy_from_slice(g.row(s));
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::SegmentMean(a, segments, num) => {
-                    let va = &self.nodes[a.0].value;
-                    let mut counts = vec![0usize; *num];
-                    for &s in segments {
-                        counts[s] += 1;
-                    }
-                    let mut ga = Tensor::zeros(va.rows(), va.cols());
-                    for (i, &s) in segments.iter().enumerate() {
-                        let inv = 1.0 / counts[s].max(1) as f32;
-                        for c in 0..g.cols() {
-                            ga.set(i, c, g.get(s, c) * inv);
-                        }
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::SegmentMax(a, _, _, argmax) => {
-                    let va = &self.nodes[a.0].value;
-                    let cols = va.cols();
-                    let mut ga = Tensor::zeros(va.rows(), va.cols());
-                    for s in 0..g.rows() {
-                        for c in 0..cols {
-                            let winner = argmax[s * cols + c];
-                            if winner != usize::MAX {
-                                let v = ga.get(winner, c) + g.get(s, c);
-                                ga.set(winner, c, v);
+                    Op::MatmulBias(x, w, b) => {
+                        // Replicates the add_row ∘ matmul reverse walk:
+                        // bias row grad first, then dx, then dW.
+                        let (vx, vw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
+                        let mut row_grad = arena::zeros(1, g.cols());
+                        for r in 0..g.rows() {
+                            for c in 0..g.cols() {
+                                let v = row_grad.get(0, c) + g.get(r, c);
+                                row_grad.set(0, c, v);
                             }
                         }
+                        let gx = g.matmul_t(vw);
+                        let vxt = vx.transposed();
+                        let gw = vxt.matmul(&g);
+                        arena::recycle(vxt);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *b, row_grad);
+                        accumulate(&mut grads, *x, gx);
+                        accumulate(&mut grads, *w, gw);
                     }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::PairwiseL1(a) => {
-                    let va = &self.nodes[a.0].value;
-                    let n = va.rows();
-                    let mut ga = Tensor::zeros(n, va.cols());
-                    for i in 0..n {
-                        for j in 0..n {
-                            if i == j {
-                                continue;
+                    Op::Transpose(a) => {
+                        let gt = g.transposed();
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, gt);
+                    }
+                    Op::Add(a, b) => {
+                        accumulate(&mut grads, *a, arena::copy_of(&g));
+                        accumulate(&mut grads, *b, g);
+                    }
+                    Op::AddRow(a, row) => {
+                        let mut row_grad = arena::zeros(1, g.cols());
+                        for r in 0..g.rows() {
+                            for c in 0..g.cols() {
+                                let v = row_grad.get(0, c) + g.get(r, c);
+                                row_grad.set(0, c, v);
                             }
-                            let w = g.get(i, j);
-                            if w == 0.0 {
-                                continue;
+                        }
+                        accumulate(&mut grads, *a, g);
+                        accumulate(&mut grads, *row, row_grad);
+                    }
+                    Op::Sub(a, b) => {
+                        let ga = arena::copy_of(&g);
+                        let gb = pooled_map(&g, |x| -x);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
+                    }
+                    Op::Mul(a, b) => {
+                        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                        let ga = pooled_zip(&g, vb, |x, y| x * y);
+                        let mut gb = g;
+                        for (x, &y) in gb.as_mut_slice().iter_mut().zip(va.as_slice()) {
+                            *x *= y;
+                        }
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gb);
+                    }
+                    Op::Scale(a, c) => {
+                        let ga = pooled_map(&g, |x| x * c);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                    Op::Sigmoid(a) => {
+                        let y = &node.value;
+                        let mut ga = g;
+                        for (x, &s) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                            *x *= s * (1.0 - s);
+                        }
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::Exp(a) => {
+                        let y = &node.value;
+                        let mut ga = g;
+                        for (x, &e) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                            *x *= e;
+                        }
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::Tanh(a) => {
+                        let y = &node.value;
+                        let mut ga = g;
+                        for (x, &t) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                            *x *= 1.0 - t * t;
+                        }
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::Relu(a) => {
+                        let y = &node.value;
+                        let mut ga = g;
+                        for (x, &v) in ga.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                            if v <= 0.0 {
+                                *x = 0.0;
                             }
-                            for c in 0..va.cols() {
-                                let s = (va.get(i, c) - va.get(j, c)).signum();
-                                let vi = ga.get(i, c) + w * s;
-                                ga.set(i, c, vi);
-                                let vj = ga.get(j, c) - w * s;
-                                ga.set(j, c, vj);
+                        }
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::AddRowSigmoid(a, b, row) | Op::AddRowTanh(a, b, row) => {
+                        // Replicates sigmoid/tanh ∘ add_row ∘ add:
+                        // gs = g ⊙ f'(y), then row grad, then a, then b.
+                        let y = &node.value;
+                        let sig = matches!(node.op, Op::AddRowSigmoid(..));
+                        let mut gs = g;
+                        for (x, &v) in gs.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                            *x *= if sig { v * (1.0 - v) } else { 1.0 - v * v };
+                        }
+                        let mut row_grad = arena::zeros(1, gs.cols());
+                        for r in 0..gs.rows() {
+                            for c in 0..gs.cols() {
+                                let v = row_grad.get(0, c) + gs.get(r, c);
+                                row_grad.set(0, c, v);
                             }
                         }
+                        let ga = arena::copy_of(&gs);
+                        accumulate(&mut grads, *row, row_grad);
+                        accumulate(&mut grads, *a, ga);
+                        accumulate(&mut grads, *b, gs);
                     }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::LogSoftmax(a) => {
-                    // dx = g - softmax(x) * rowsum(g)
-                    let y = &node.value; // log-probabilities
-                    let mut ga = g.clone();
-                    for r in 0..y.rows() {
-                        let rowsum: f32 = g.row(r).iter().sum();
-                        for c in 0..y.cols() {
-                            let p = y.get(r, c).exp();
-                            let v = g.get(r, c) - p * rowsum;
-                            ga.set(r, c, v);
+                    Op::GruCombine(z, h, cand) => {
+                        // Replicates add(sub(h, mul(z,h)), mul(z,cand))'s
+                        // reverse walk, in its exact accumulation order:
+                        // h += g; z += g⊙cand; cand += g⊙z;
+                        // z += (-g)⊙h; h += (-g)⊙z.
+                        let (vz, vh, vc) = (
+                            &self.nodes[z.0].value,
+                            &self.nodes[h.0].value,
+                            &self.nodes[cand.0].value,
+                        );
+                        let gh1 = arena::copy_of(&g);
+                        let gz1 = pooled_zip(&g, vc, |x, y| x * y);
+                        let gc = pooled_zip(&g, vz, |x, y| x * y);
+                        let ng = pooled_map(&g, |x| -x);
+                        arena::recycle(g);
+                        let gz2 = pooled_zip(&ng, vh, |x, y| x * y);
+                        let mut gh2 = ng;
+                        for (x, &y) in gh2.as_mut_slice().iter_mut().zip(vz.as_slice()) {
+                            *x *= y;
                         }
+                        accumulate(&mut grads, *h, gh1);
+                        accumulate(&mut grads, *z, gz1);
+                        accumulate(&mut grads, *cand, gc);
+                        accumulate(&mut grads, *z, gz2);
+                        accumulate(&mut grads, *h, gh2);
                     }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::RowNorm(a) => {
-                    // y = (x - mu) / sigma;
-                    // dx = (g - mean(g) - y * mean(g*y)) / sigma
-                    let x = &self.nodes[a.0].value;
-                    let y = &node.value;
-                    let mut ga = g.clone();
-                    for r in 0..y.rows() {
-                        let n = y.cols() as f32;
-                        let mean_x = x.row(r).iter().sum::<f32>() / n;
-                        let var =
-                            x.row(r).iter().map(|v| (v - mean_x).powi(2)).sum::<f32>() / n;
-                        let inv = 1.0 / (var + 1e-5).sqrt();
-                        let mean_g = g.row(r).iter().sum::<f32>() / n;
-                        let mean_gy = g
-                            .row(r)
-                            .iter()
-                            .zip(y.row(r))
-                            .map(|(gv, yv)| gv * yv)
-                            .sum::<f32>()
-                            / n;
-                        for c in 0..y.cols() {
-                            let v = (g.get(r, c) - mean_g - y.get(r, c) * mean_gy) * inv;
-                            ga.set(r, c, v);
+                    Op::Gather(a, indices) => {
+                        let va = &self.nodes[a.0].value;
+                        let mut ga = arena::zeros(va.rows(), va.cols());
+                        for (i, &idx) in indices.iter().enumerate() {
+                            for c in 0..g.cols() {
+                                let v = ga.get(idx, c) + g.get(i, c);
+                                ga.set(idx, c, v);
+                            }
                         }
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
                     }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::NllLoss(logp, labels) => {
-                    let v = &self.nodes[logp.0].value;
-                    let scale = g.item() / labels.len().max(1) as f32;
-                    let mut ga = Tensor::zeros(v.rows(), v.cols());
-                    for (r, &l) in labels.iter().enumerate() {
-                        ga.set(r, l, -scale);
-                    }
-                    accumulate(&mut grads, *logp, ga);
-                }
-                Op::MulConst(a, mask) => {
-                    let mut ga = g;
-                    for (x, &m) in ga.as_mut_slice().iter_mut().zip(mask.as_slice()) {
-                        *x *= m;
-                    }
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::SumAll(a) => {
-                    let va = &self.nodes[a.0].value;
-                    let ga = Tensor::full(va.rows(), va.cols(), g.item());
-                    accumulate(&mut grads, *a, ga);
-                }
-                Op::ConcatRows(parts) => {
-                    let mut r = 0;
-                    for &p in parts {
-                        let rows = self.nodes[p.0].value.rows();
-                        let cols = self.nodes[p.0].value.cols();
-                        let mut gp = Tensor::zeros(rows, cols);
-                        for i in 0..rows {
-                            gp.row_mut(i).copy_from_slice(g.row(r + i));
+                    Op::SegmentSum(a, segments, _) => {
+                        let va = &self.nodes[a.0].value;
+                        let mut buf = arena::take(va.len());
+                        for &s in segments {
+                            buf.extend_from_slice(g.row(s));
                         }
-                        r += rows;
-                        accumulate(&mut grads, p, gp);
+                        let ga = Tensor::from_vec(va.rows(), va.cols(), buf);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
                     }
-                }
-                Op::ConcatCols(parts) => {
-                    let mut base = 0;
-                    for &p in parts {
-                        let rows = self.nodes[p.0].value.rows();
-                        let cols = self.nodes[p.0].value.cols();
-                        let mut gp = Tensor::zeros(rows, cols);
-                        for r in 0..rows {
+                    Op::SegmentMean(a, segments, num) => {
+                        let va = &self.nodes[a.0].value;
+                        let mut counts = vec![0usize; *num];
+                        for &s in segments {
+                            counts[s] += 1;
+                        }
+                        let mut buf = arena::take(va.len());
+                        for &s in segments {
+                            let inv = 1.0 / counts[s].max(1) as f32;
+                            buf.extend(g.row(s).iter().map(|&x| x * inv));
+                        }
+                        let ga = Tensor::from_vec(va.rows(), va.cols(), buf);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::SegmentMax(a, _, _, argmax) => {
+                        let va = &self.nodes[a.0].value;
+                        let cols = va.cols();
+                        let mut ga = arena::zeros(va.rows(), va.cols());
+                        for s in 0..g.rows() {
                             for c in 0..cols {
-                                gp.set(r, c, g.get(r, base + c));
+                                let winner = argmax[s * cols + c];
+                                if winner != usize::MAX {
+                                    let v = ga.get(winner, c) + g.get(s, c);
+                                    ga.set(winner, c, v);
+                                }
                             }
                         }
-                        base += cols;
-                        accumulate(&mut grads, p, gp);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::PairwiseL1(a) => {
+                        let va = &self.nodes[a.0].value;
+                        let n = va.rows();
+                        let mut ga = arena::zeros(n, va.cols());
+                        for i in 0..n {
+                            for j in 0..n {
+                                if i == j {
+                                    continue;
+                                }
+                                let w = g.get(i, j);
+                                if w == 0.0 {
+                                    continue;
+                                }
+                                for c in 0..va.cols() {
+                                    let s = (va.get(i, c) - va.get(j, c)).signum();
+                                    let vi = ga.get(i, c) + w * s;
+                                    ga.set(i, c, vi);
+                                    let vj = ga.get(j, c) - w * s;
+                                    ga.set(j, c, vj);
+                                }
+                            }
+                        }
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::LogSoftmax(a) => {
+                        // dx = g - softmax(x) * rowsum(g)
+                        let y = &node.value; // log-probabilities
+                        let mut buf = arena::take(y.len());
+                        for r in 0..y.rows() {
+                            let rowsum: f32 = g.row(r).iter().sum();
+                            for c in 0..y.cols() {
+                                let p = y.get(r, c).exp();
+                                buf.push(g.get(r, c) - p * rowsum);
+                            }
+                        }
+                        let ga = Tensor::from_vec(y.rows(), y.cols(), buf);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::RowNorm(a) => {
+                        // y = (x - mu) / sigma;
+                        // dx = (g - mean(g) - y * mean(g*y)) / sigma
+                        let x = &self.nodes[a.0].value;
+                        let y = &node.value;
+                        let mut buf = arena::take(y.len());
+                        for r in 0..y.rows() {
+                            let n = y.cols() as f32;
+                            let mean_x = x.row(r).iter().sum::<f32>() / n;
+                            let var =
+                                x.row(r).iter().map(|v| (v - mean_x).powi(2)).sum::<f32>() / n;
+                            let inv = 1.0 / (var + 1e-5).sqrt();
+                            let mean_g = g.row(r).iter().sum::<f32>() / n;
+                            let mean_gy = g
+                                .row(r)
+                                .iter()
+                                .zip(y.row(r))
+                                .map(|(gv, yv)| gv * yv)
+                                .sum::<f32>()
+                                / n;
+                            for c in 0..y.cols() {
+                                buf.push((g.get(r, c) - mean_g - y.get(r, c) * mean_gy) * inv);
+                            }
+                        }
+                        let ga = Tensor::from_vec(y.rows(), y.cols(), buf);
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::NllLoss(logp, labels) => {
+                        let v = &self.nodes[logp.0].value;
+                        let scale = g.item() / labels.len().max(1) as f32;
+                        let mut ga = arena::zeros(v.rows(), v.cols());
+                        for (r, &l) in labels.iter().enumerate() {
+                            ga.set(r, l, -scale);
+                        }
+                        arena::recycle(g);
+                        accumulate(&mut grads, *logp, ga);
+                    }
+                    Op::MulConst(a, mask) => {
+                        let mut ga = g;
+                        for (x, &m) in ga.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                            *x *= m;
+                        }
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::SumAll(a) => {
+                        let va = &self.nodes[a.0].value;
+                        let ga = arena::full(va.rows(), va.cols(), g.item());
+                        arena::recycle(g);
+                        accumulate(&mut grads, *a, ga);
+                    }
+                    Op::ConcatRows(parts) => {
+                        let mut r = 0;
+                        for &p in parts {
+                            let rows = self.nodes[p.0].value.rows();
+                            let cols = self.nodes[p.0].value.cols();
+                            let mut buf = arena::take(rows * cols);
+                            for i in 0..rows {
+                                buf.extend_from_slice(g.row(r + i));
+                            }
+                            let gp = Tensor::from_vec(rows, cols, buf);
+                            r += rows;
+                            accumulate(&mut grads, p, gp);
+                        }
+                        arena::recycle(g);
+                    }
+                    Op::ConcatCols(parts) => {
+                        let mut base = 0;
+                        for &p in parts {
+                            let rows = self.nodes[p.0].value.rows();
+                            let cols = self.nodes[p.0].value.cols();
+                            let mut buf = arena::take(rows * cols);
+                            for r in 0..rows {
+                                for c in 0..cols {
+                                    buf.push(g.get(r, base + c));
+                                }
+                            }
+                            let gp = Tensor::from_vec(rows, cols, buf);
+                            base += cols;
+                            accumulate(&mut grads, p, gp);
+                        }
+                        arena::recycle(g);
                     }
                 }
             }
-        }
-        let input_grads = inputs
-            .iter()
-            .zip(input_grads)
-            .map(|(v, g)| {
-                g.unwrap_or_else(|| {
-                    let t = self.value(*v);
-                    Tensor::zeros(t.rows(), t.cols())
+            let input_grads = inputs
+                .iter()
+                .zip(input_grads)
+                .map(|(v, g)| {
+                    g.unwrap_or_else(|| {
+                        let t = self.value(*v);
+                        arena::zeros(t.rows(), t.cols())
+                    })
                 })
-            })
-            .collect();
-        (out, input_grads)
+                .collect();
+            (out, input_grads)
+        })
+    }
+}
+
+impl Drop for Tape<'_> {
+    fn drop(&mut self) {
+        self.reset();
     }
 }
 
 fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
     match &mut grads[v.0] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            arena::recycle(g);
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -1015,6 +1335,118 @@ mod tests {
             Tensor::from_vec(2, 4, vec![0.3, -0.6, 0.2, 0.8, 1.2, -0.1, 0.4, -0.9]),
             2e-2,
         );
+    }
+
+    #[test]
+    fn grad_matmul_bias() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let x = Tensor::glorot(3, 4, &mut rng);
+        let b = Tensor::glorot(1, 2, &mut rng);
+        check_gradient(
+            move |tape, w| {
+                let xin = tape.input(x.clone());
+                let bin = tape.input(b.clone());
+                let y = tape.matmul_bias(xin, w, bin);
+                let y = tape.tanh(y);
+                tape.mean_all(y)
+            },
+            Tensor::glorot(4, 2, &mut StdRng::seed_from_u64(42)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_fused_gates_and_combine() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let b = Tensor::glorot(2, 3, &mut rng);
+        let row = Tensor::glorot(1, 3, &mut rng);
+        check_gradient(
+            move |tape, w| {
+                let bin = tape.input(b.clone());
+                let rin = tape.input(row.clone());
+                let z = tape.add2_row_sigmoid(w, bin, rin);
+                let cand = tape.add2_row_tanh(w, bin, rin);
+                let h = tape.gru_combine(z, w, cand);
+                tape.mean_all(h)
+            },
+            Tensor::glorot(2, 3, &mut StdRng::seed_from_u64(52)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn fused_ops_match_unfused_composition_bitwise() {
+        // The same computation through the fused nodes and through the
+        // naive composition must agree bit-for-bit — forward value AND
+        // every parameter gradient.
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut params = ParamSet::new();
+        let a_id = params.add("a", Tensor::glorot(4, 5, &mut rng));
+        let b_id = params.add("b", Tensor::glorot(4, 5, &mut rng));
+        let r_id = params.add("r", Tensor::glorot(1, 5, &mut rng));
+        let run = |fused: bool| {
+            let mut tape = Tape::new(&params);
+            let a = tape.param(a_id);
+            let b = tape.param(b_id);
+            let r = tape.param(r_id);
+            let (z, cand, h) = if fused {
+                let z = tape.add2_row_sigmoid(a, b, r);
+                let cand = tape.add2_row_tanh(a, b, r);
+                let h = tape.gru_combine(z, b, cand);
+                (z, cand, h)
+            } else {
+                let s = tape.add(a, b);
+                let s = tape.add_row(s, r);
+                let z = tape.sigmoid(s);
+                let t = tape.add(a, b);
+                let t = tape.add_row(t, r);
+                let cand = tape.tanh(t);
+                let zh = tape.mul(z, b);
+                let zc = tape.mul(z, cand);
+                let keep = tape.sub(b, zh);
+                let h = tape.add(keep, zc);
+                (z, cand, h)
+            };
+            let _ = (z, cand);
+            let loss = tape.mean_all(h);
+            let value = tape.value(h).clone();
+            let grads = tape.backward(loss);
+            let gs: Vec<Vec<f32>> = [a_id, b_id, r_id]
+                .iter()
+                .map(|&id| grads.get(id).unwrap().as_slice().to_vec())
+                .collect();
+            (value, gs)
+        };
+        let (vf, gf) = run(true);
+        let (vu, gu) = run(false);
+        assert_eq!(vf.as_slice(), vu.as_slice(), "fused forward differs");
+        assert_eq!(gf, gu, "fused gradients differ");
+    }
+
+    #[test]
+    fn reset_recycles_and_preserves_results() {
+        // Running the same computation twice through one reset tape must
+        // give identical results, and the second run must reuse buffers.
+        let mut params = ParamSet::new();
+        let id = params.add("w", Tensor::from_vec(2, 2, vec![0.3, -0.2, 0.8, 0.1]));
+        let mut tape = Tape::new(&params);
+        let run = |tape: &mut Tape<'_>| {
+            let w = tape.param(id);
+            let s = tape.sigmoid(w);
+            let loss = tape.mean_all(s);
+            let grads = tape.backward(loss);
+            (tape.value(loss).item(), grads.get(id).unwrap().as_slice().to_vec())
+        };
+        let first = run(&mut tape);
+        tape.reset();
+        assert!(tape.is_empty());
+        let before = crate::arena::arena_stats();
+        let second = run(&mut tape);
+        let after = crate::arena::arena_stats();
+        assert_eq!(first, second, "reset changed results");
+        if kernel_mode() == KernelMode::Fast {
+            assert!(after.reused > before.reused, "reset tape did not reuse buffers");
+        }
     }
 
     #[test]

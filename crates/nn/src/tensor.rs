@@ -3,10 +3,32 @@
 //! Everything in the reproduction's neural stack is a matrix: batches are
 //! rows, features are columns, scalars are `1×1`. The type deliberately
 //! supports only what the models need; it is not a general ndarray.
+//!
+//! The matrix kernels ([`Tensor::matmul`], [`Tensor::matmul_t`],
+//! [`Tensor::transposed`]) dispatch on [`crate::mode::kernel_mode`]:
+//! the default fast path is cache-blocked and register-tiled with
+//! arena-backed outputs, while [`reference`] keeps the pre-optimisation
+//! naive kernels alive for benchmarks and bit-equivalence tests. Both
+//! paths produce bit-identical results on finite inputs: the blocked
+//! kernel accumulates every output element over `k` in ascending order,
+//! exactly like the naive triple loop (see `DESIGN.md` §9).
 
+use crate::arena;
+use crate::mode::{kernel_mode, KernelMode};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Rows of `out` computed together in the matmul micro-kernel (register
+/// tile height).
+const MR: usize = 4;
+/// Columns of `out` computed together in the matmul micro-kernel: the
+/// `MR×NR` accumulator block (32 floats) fits the SSE register file, so
+/// each output element is read and written exactly once however large
+/// `k` is.
+const NR: usize = 8;
+/// Square tile edge for the blocked transpose.
+const TB: usize = 32;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -112,6 +134,11 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its backing buffer (for the arena).
+    pub(crate) fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// One row as a slice.
     ///
     /// # Panics
@@ -152,21 +179,21 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
+        match kernel_mode() {
+            KernelMode::Naive => reference::matmul(self, other),
+            KernelMode::Fast => {
+                let mut out = arena::zeros(self.rows, other.cols);
+                matmul_accumulate(
+                    &self.data,
+                    &other.data,
+                    &mut out.data,
+                    self.rows,
+                    self.cols,
+                    other.cols,
+                );
+                out
             }
         }
-        out
     }
 
     /// Matrix product `self · otherᵀ`.
@@ -181,30 +208,36 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
+        match kernel_mode() {
+            KernelMode::Naive => reference::matmul_t(self, other),
+            KernelMode::Fast => {
+                // Pack Bᵀ once (blocked transpose into an arena buffer),
+                // then run the same blocked kernel; the packed panel
+                // returns to the pool immediately. Per output element
+                // this accumulates over k in ascending order — the same
+                // order as the naive row·row dot product.
+                let packed = transpose_blocked(other);
+                let mut out = arena::zeros(self.rows, other.rows);
+                matmul_accumulate(
+                    &self.data,
+                    &packed.data,
+                    &mut out.data,
+                    self.rows,
+                    self.cols,
+                    other.rows,
+                );
+                arena::recycle(packed);
+                out
             }
         }
-        out
     }
 
     /// Transpose.
     pub fn transposed(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
+        match kernel_mode() {
+            KernelMode::Naive => reference::transposed(self),
+            KernelMode::Fast => transpose_blocked(self),
         }
-        out
     }
 
     /// Elementwise in-place addition.
@@ -253,6 +286,208 @@ impl Tensor {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// `out[m×n] += a[m×k] · b[k×n]`, cache-blocked and register-tiled.
+///
+/// Bit-compatibility contract: each output element accumulates its `k`
+/// products in ascending-`k` order, starting from `+0.0` — the exact
+/// float-addition sequence of the naive triple loop in
+/// [`reference::matmul`] (whose `a == 0.0` skip is bitwise-invisible on
+/// finite data, since `x + 0.0·b ≡ x` for every finite `x` and the
+/// accumulator can never be `-0.0`). Tiling only reorders *which*
+/// elements are worked on, never the order *within* one element: every
+/// accumulator chain — register block, column remainder and row
+/// remainder alike — walks `k = 0, 1, …, k-1` ascending.
+///
+/// The micro-kernel holds an `MR×NR` accumulator block in registers for
+/// the whole `k` loop and stores it once, so `out` traffic is `m·n`
+/// floats total instead of `m·n·k/NR` read-modify-writes, and the 32
+/// independent accumulator chains give the CPU instruction-level
+/// parallelism the naive single-row axpy lacks.
+fn matmul_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let n_main = n - n % NR;
+    let mut i0 = 0;
+    while i0 + MR <= m {
+        let a_rows = [
+            &a[i0 * k..(i0 + 1) * k],
+            &a[(i0 + 1) * k..(i0 + 2) * k],
+            &a[(i0 + 2) * k..(i0 + 3) * k],
+            &a[(i0 + 3) * k..(i0 + 4) * k],
+        ];
+        let mut j0 = 0;
+        while j0 < n_main {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                row.copy_from_slice(&out[(i0 + r) * n + j0..][..NR]);
+            }
+            for kk in 0..k {
+                let bs: &[f32; NR] = (&b[kk * n + j0..][..NR]).try_into().unwrap();
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let av = a_rows[r][kk];
+                    for (x, &bv) in row.iter_mut().zip(bs) {
+                        *x += av * bv;
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate() {
+                out[(i0 + r) * n + j0..][..NR].copy_from_slice(row);
+            }
+            j0 += NR;
+        }
+        // Column remainder: MR scalar accumulator chains per column.
+        for j in n_main..n {
+            let mut s = [
+                out[i0 * n + j],
+                out[(i0 + 1) * n + j],
+                out[(i0 + 2) * n + j],
+                out[(i0 + 3) * n + j],
+            ];
+            for kk in 0..k {
+                let bv = b[kk * n + j];
+                for (x, row) in s.iter_mut().zip(&a_rows) {
+                    *x += row[kk] * bv;
+                }
+            }
+            for (r, &x) in s.iter().enumerate() {
+                out[(i0 + r) * n + j] = x;
+            }
+        }
+        i0 += MR;
+    }
+    // Row remainder, one row at a time with the same NR-wide strips.
+    for i in i0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j0 = 0;
+        while j0 < n_main {
+            let mut acc = [0.0f32; NR];
+            acc.copy_from_slice(&out[i * n + j0..][..NR]);
+            for kk in 0..k {
+                let av = arow[kk];
+                let bs: &[f32; NR] = (&b[kk * n + j0..][..NR]).try_into().unwrap();
+                for (x, &bv) in acc.iter_mut().zip(bs) {
+                    *x += av * bv;
+                }
+            }
+            out[i * n + j0..][..NR].copy_from_slice(&acc);
+            j0 += NR;
+        }
+        for j in n_main..n {
+            let mut s = out[i * n + j];
+            for kk in 0..k {
+                s += arow[kk] * b[kk * n + j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+/// Blocked transpose into an arena-backed tensor: `TB×TB` tiles keep
+/// both the read and write streams within a few cache lines, instead of
+/// striding the whole destination once per source row.
+fn transpose_blocked(t: &Tensor) -> Tensor {
+    let (rows, cols) = t.shape();
+    let len = rows * cols;
+    let mut buf = arena::take(len);
+    buf.resize(len, 0.0);
+    let src = &t.data;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + TB).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    buf[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+    Tensor::from_vec(cols, rows, buf)
+}
+
+/// The pre-optimisation kernels, kept callable so benchmarks and
+/// property tests can verify the blocked kernels are bit-identical
+/// in-process ([`KernelMode::Naive`](crate::mode::KernelMode) routes
+/// here).
+pub mod reference {
+    use super::Tensor;
+
+    /// Naive triple-loop `a · b` (row-major axpy with a zero skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(a: &Tensor, other: &Tensor) -> Tensor {
+        assert_eq!(
+            a.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            a.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(a.rows, other.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let av = a.get(i, k);
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive row·row dot-product `a · bᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn matmul_t(a: &Tensor, other: &Tensor) -> Tensor {
+        assert_eq!(
+            a.cols, other.cols,
+            "matmul_t shape mismatch: {:?} x {:?}ᵀ",
+            a.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(a.rows, other.rows);
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Element-at-a-time transpose.
+    pub fn transposed(t: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(t.cols, t.rows);
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                out.set(c, r, t.get(r, c));
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,195 @@
+//! Property tests pinning the blocked/register-tiled kernels to the
+//! naive reference kernels **bitwise**, not approximately: the blocked
+//! matmul, matmul_t and transpose must produce the exact same bits as
+//! the pre-optimisation triple loops for every shape (including ragged
+//! remainders around the MR×NR register tile) and for signed zeros.
+//! Also pins `segment_max`'s documented NaN and tie semantics against a
+//! straightforward oracle.
+//!
+//! Every test in this binary runs in [`KernelMode::Fast`]; the naive
+//! side of each comparison calls the reference kernels directly, so no
+//! test ever flips the process-global mode to Naive (which would race
+//! with concurrently running tests).
+
+use proptest::prelude::*;
+use typilus_nn::tensor::reference;
+use typilus_nn::{set_kernel_mode, KernelMode, ParamSet, Tape, Tensor};
+
+/// Elements that exercise rounding, cancellation and signed zero.
+fn arb_elem() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1e3f32..1e3,
+        -1e3f32..1e3,
+        -1e-3f32..1e-3,
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+/// Shape pairs covering tile interiors and every remainder case around
+/// the MR=4 / NR=8 register tile.
+fn arb_mkn() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..20, 1usize..20, 1usize..20)
+}
+
+/// `(a[m×k], b[k×n])` with ragged shapes and signed-zero elements.
+fn arb_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (
+        arb_mkn(),
+        prop::collection::vec(arb_elem(), 20 * 20),
+        prop::collection::vec(arb_elem(), 20 * 20),
+    )
+        .prop_map(|((m, k, n), da, db)| {
+            (
+                Tensor::from_vec(m, k, da[..m * k].to_vec()),
+                Tensor::from_vec(k, n, db[..k * n].to_vec()),
+            )
+        })
+}
+
+/// `(a[m×k], b[n×k])` for `a · bᵀ`.
+fn arb_matmul_t_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (
+        arb_mkn(),
+        prop::collection::vec(arb_elem(), 20 * 20),
+        prop::collection::vec(arb_elem(), 20 * 20),
+    )
+        .prop_map(|((m, k, n), da, db)| {
+            (
+                Tensor::from_vec(m, k, da[..m * k].to_vec()),
+                Tensor::from_vec(n, k, db[..n * k].to_vec()),
+            )
+        })
+}
+
+fn assert_bits_equal(fast: &Tensor, naive: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.shape(), naive.shape());
+    for (i, (f, n)) in fast.as_slice().iter().zip(naive.as_slice()).enumerate() {
+        prop_assert_eq!(
+            f.to_bits(),
+            n.to_bits(),
+            "element {} differs: fast {} vs naive {}",
+            i,
+            f,
+            n
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matmul_is_bitwise_naive((a, b) in arb_matmul_pair()) {
+        set_kernel_mode(KernelMode::Fast);
+        assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_matmul_t_is_bitwise_naive((a, b) in arb_matmul_t_pair()) {
+        set_kernel_mode(KernelMode::Fast);
+        assert_bits_equal(&a.matmul_t(&b), &reference::matmul_t(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_transpose_is_bitwise_naive(
+        (rows, cols) in (1usize..70, 1usize..70),
+        seed_row in prop::collection::vec(arb_elem(), 70 * 70),
+    ) {
+        set_kernel_mode(KernelMode::Fast);
+        let a = Tensor::from_vec(rows, cols, seed_row[..rows * cols].to_vec());
+        assert_bits_equal(&a.transposed(), &reference::transposed(&a))?;
+    }
+
+    #[test]
+    fn matmul_handles_signed_zero_rows((m, k, n) in arb_mkn()) {
+        // All-zero inputs with mixed signs: the naive kernel's
+        // `a == 0.0` skip must be invisible.
+        set_kernel_mode(KernelMode::Fast);
+        let a = Tensor::from_vec(
+            m,
+            k,
+            (0..m * k).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }).collect(),
+        );
+        let b = Tensor::from_vec(
+            k,
+            n,
+            (0..k * n).map(|i| if i % 3 == 0 { -0.0 } else { 1.5 }).collect(),
+        );
+        assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn segment_max_matches_oracle(
+        data in prop::collection::vec(
+            prop_oneof![
+                -100f32..100.0,
+                -100f32..100.0,
+                -100f32..100.0,
+                Just(f32::NAN)
+            ],
+            18,
+        ),
+        segs in prop::collection::vec(0usize..4, 6),
+    ) {
+        set_kernel_mode(KernelMode::Fast);
+        let x = Tensor::from_vec(6, 3, data.clone());
+        let params = ParamSet::new();
+        let mut tape = Tape::new(&params);
+        let xin = tape.input(x);
+        let m = tape.segment_max(xin, &segs, 4);
+        let got = tape.value(m);
+        // Oracle: strict `>` from -inf in row order; NaN never wins;
+        // segments with no winner produce 0.0.
+        for s in 0..4 {
+            for c in 0..3 {
+                let mut best = f32::NEG_INFINITY;
+                let mut found = false;
+                for (i, &si) in segs.iter().enumerate() {
+                    if si == s && data[i * 3 + c] > best {
+                        best = data[i * 3 + c];
+                        found = true;
+                    }
+                }
+                let expect = if found { best } else { 0.0 };
+                prop_assert_eq!(
+                    got.get(s, c).to_bits(),
+                    expect.to_bits(),
+                    "segment {} col {}",
+                    s,
+                    c
+                );
+            }
+        }
+    }
+}
+
+/// A tie must route the whole gradient to the earliest winning row.
+#[test]
+fn segment_max_tie_gradient_goes_to_earliest_row() {
+    set_kernel_mode(KernelMode::Fast);
+    let mut params = ParamSet::new();
+    let id = params.add("x", Tensor::from_vec(3, 1, vec![7.0, 7.0, 3.0]));
+    let mut tape = Tape::new(&params);
+    let x = tape.param(id);
+    let m = tape.segment_max(x, &[0, 0, 0], 1);
+    let loss = tape.sum_all(m);
+    let grads = tape.backward(loss);
+    assert_eq!(grads.get(id).unwrap().as_slice(), &[1.0, 0.0, 0.0]);
+}
+
+/// An all-NaN column behaves like an empty segment: value 0, no grad.
+#[test]
+fn segment_max_all_nan_column_is_zero_with_no_gradient() {
+    set_kernel_mode(KernelMode::Fast);
+    let mut params = ParamSet::new();
+    let id = params.add("x", Tensor::from_vec(2, 2, vec![f32::NAN, 1.0, f32::NAN, -2.0]));
+    let mut tape = Tape::new(&params);
+    let x = tape.param(id);
+    let m = tape.segment_max(x, &[0, 0], 1);
+    let loss = tape.sum_all(m);
+    assert_eq!(tape.value(m).as_slice(), &[0.0, 1.0]);
+    let grads = tape.backward(loss);
+    assert_eq!(grads.get(id).unwrap().as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+}

@@ -61,7 +61,7 @@ fn main() {
     println!("\naudit findings (confident, type-checkable disagreements):");
     println!("{:<28} {:<16} {:<18} {:<18} conf", "file", "symbol", "annotated", "predicted");
     for (file, symbol, original, predicted, conf) in reports.iter().take(20) {
-        println!("{file:<28} {symbol:<16} {original:<18} {} {conf:.2}", format!("{predicted:<18}"));
+        println!("{file:<28} {symbol:<16} {original:<18} {predicted:<18} {conf:.2}");
     }
 
     // How many of the planted errors did the audit surface?

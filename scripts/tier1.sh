@@ -8,6 +8,6 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

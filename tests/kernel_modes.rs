@@ -1,0 +1,72 @@
+//! The blocked/fused/arena-backed Fast kernels and the pre-optimisation
+//! Naive reference kernels must be interchangeable end to end: a full
+//! train + predict pipeline run under each mode produces bit-identical
+//! per-epoch losses, identical τ-map markers and identical predictions.
+//!
+//! Kernel mode is process-global, so this lives in its own test binary
+//! with a single `#[test]`: nothing else in the process observes the
+//! temporary switch to Naive.
+
+use typilus::{
+    train, EncoderKind, LossKind, ModelConfig, Parallelism, PreparedCorpus, TrainedSystem,
+    TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+use typilus_nn::{set_kernel_mode, KernelMode};
+
+fn run(seed: u64) -> (TrainedSystem, PreparedCorpus) {
+    let corpus = generate(&CorpusConfig { files: 12, seed, ..CorpusConfig::default() });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
+    let config = TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss: LossKind::Typilus,
+            dim: 12,
+            gnn_steps: 2,
+            min_subtoken_count: 1,
+            seed,
+            ..ModelConfig::default()
+        },
+        epochs: 2,
+        batch_size: 8,
+        lr: 0.02,
+        seed,
+        parallelism: Parallelism::fixed(2),
+        ..TypilusConfig::default()
+    };
+    let system = train(&data, &config);
+    (system, data)
+}
+
+fn fingerprint(system: &TrainedSystem, data: &PreparedCorpus) -> (Vec<u32>, Vec<Vec<u32>>, Vec<String>) {
+    let losses = system.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+    let markers = system
+        .type_map
+        .iter()
+        .map(|(emb, _)| emb.iter().map(|x| x.to_bits()).collect())
+        .collect();
+    let predictions = system
+        .predict_files(data, &data.split.test)
+        .into_iter()
+        .flatten()
+        .map(|p| format!("{}:{}", p.name, p.top().map(|t| t.ty.to_string()).unwrap_or_default()))
+        .collect();
+    (losses, markers, predictions)
+}
+
+#[test]
+fn fast_and_naive_kernels_are_bitwise_interchangeable() {
+    set_kernel_mode(KernelMode::Fast);
+    let (fast_system, fast_data) = run(23);
+    let fast = fingerprint(&fast_system, &fast_data);
+
+    set_kernel_mode(KernelMode::Naive);
+    let (naive_system, naive_data) = run(23);
+    let naive = fingerprint(&naive_system, &naive_data);
+    set_kernel_mode(KernelMode::Fast);
+
+    assert_eq!(fast.0, naive.0, "per-epoch losses diverge between kernel modes");
+    assert_eq!(fast.1, naive.1, "τ-map markers diverge between kernel modes");
+    assert_eq!(fast.2, naive.2, "predictions diverge between kernel modes");
+    assert!(!fast.0.is_empty() && !fast.2.is_empty());
+}

@@ -82,6 +82,25 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn arena_tape_preserves_parallel_bit_identity() {
+    // The arena-backed tape recycles buffers across training steps; that
+    // must stay invisible to the determinism guarantee. Guard against a
+    // silently disabled pool by requiring actual reuse during training.
+    typilus_nn::set_kernel_mode(typilus_nn::KernelMode::Fast);
+    let before = typilus_nn::arena_stats();
+    let (base, base_data) = run(11, 1, LossKind::Typilus);
+    let (multi, multi_data) = run(11, 4, LossKind::Typilus);
+    let stats = typilus_nn::arena_stats().since(&before);
+    assert!(stats.reused > 0, "arena pool saw no reuse during training");
+    assert!(stats.recycled > 0, "no buffers were returned to the arena");
+    let base_losses: Vec<u32> = base.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+    let multi_losses: Vec<u32> = multi.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+    assert_eq!(base_losses, multi_losses, "losses must be bit-identical at 1 vs 4 threads");
+    assert_eq!(tau_map_markers(&base), tau_map_markers(&multi));
+    assert_eq!(top1_predictions(&base, &base_data), top1_predictions(&multi, &multi_data));
+}
+
+#[test]
 fn batched_prediction_matches_per_file() {
     let (system, data) = run(7, 3, LossKind::Typilus);
     let batched = system.predict_files(&data, &data.split.test);
