@@ -8,7 +8,11 @@ use typilus_graph::{build_graph, GraphConfig};
 use typilus_pyast::{parse, tokenize, SymbolTable};
 
 fn bench_frontend(c: &mut Criterion) {
-    let corpus = generate(&CorpusConfig { files: 30, seed: 11, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 30,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
     let sources: Vec<String> = corpus.files.iter().map(|f| f.source.clone()).collect();
     let total_bytes: u64 = sources.iter().map(|s| s.len() as u64).sum();
 

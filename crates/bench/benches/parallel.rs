@@ -12,7 +12,14 @@ use typilus_nn::resolve_threads;
 use typilus_space::{l1, ExactIndex, Hit};
 
 fn bench_epoch_by_threads(c: &mut Criterion) {
-    let scale = Scale { files: 24, epochs: 1, dim: 16, gnn_steps: 3, seed: 0, common_threshold: 8 };
+    let scale = Scale {
+        files: 24,
+        epochs: 1,
+        dim: 16,
+        gnn_steps: 3,
+        seed: 0,
+        common_threshold: 8,
+    };
     let graph = GraphConfig::default();
     let (_, data) = prepare(&scale, &graph);
     let config = typilus_bench::config_for(
@@ -23,8 +30,7 @@ fn bench_epoch_by_threads(c: &mut Criterion) {
     );
     let train_graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config.model, &train_graphs);
-    let prepared: Vec<PreparedFile> =
-        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let prepared: Vec<PreparedFile> = data.files.iter().map(|f| model.prepare(&f.graph)).collect();
     let batch: Vec<&PreparedFile> = prepared.iter().collect();
 
     let auto = resolve_threads(None);
@@ -35,22 +41,19 @@ fn bench_epoch_by_threads(c: &mut Criterion) {
         counts.push(auto);
     }
     for threads in counts {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    criterion::black_box(model.train_step_parallel(&batch, threads))
-                });
-            },
-        );
+        let pool = typilus_nn::WorkerPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| criterion::black_box(model.train_step_parallel(&batch, &pool)));
+        });
     }
     group.finish();
 }
 
 fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
 }
 
 /// The pre-optimisation kernel: full scan, full sort, truncate.
@@ -58,9 +61,16 @@ fn naive_query(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
     let mut hits: Vec<Hit> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+        .map(|(i, p)| Hit {
+            index: i,
+            distance: l1(query, p),
+        })
         .collect();
-    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
     hits.truncate(k);
     hits
 }

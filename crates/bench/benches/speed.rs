@@ -15,9 +15,12 @@ struct Fixture {
 }
 
 fn fixture(encoder: EncoderKind) -> Fixture {
-    let corpus = generate(&CorpusConfig { files: 12, seed: 5, ..CorpusConfig::default() });
-    let data =
-        typilus::PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 5);
+    let corpus = generate(&CorpusConfig {
+        files: 12,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    let data = typilus::PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 5);
     let config = ModelConfig {
         encoder,
         loss: LossKind::Typilus,
@@ -28,8 +31,7 @@ fn fixture(encoder: EncoderKind) -> Fixture {
     };
     let graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config, &graphs);
-    let prepared: Vec<PreparedFile> =
-        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let prepared: Vec<PreparedFile> = data.files.iter().map(|f| model.prepare(&f.graph)).collect();
     Fixture { model, prepared }
 }
 

@@ -36,7 +36,9 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// One training step: forward + backward over `batch`, then Adam.
 fn step(model: &mut TypeModel, adam: &mut Adam, batch: &[&PreparedFile]) -> f32 {
-    let (loss, grads) = model.train_step(batch).expect("batch has annotated targets");
+    let (loss, grads) = model
+        .train_step(batch)
+        .expect("batch has annotated targets");
     adam.step(&mut model.params, grads);
     loss
 }
@@ -51,16 +53,27 @@ struct DimReport {
 }
 
 fn bench_dim(dim: usize) -> DimReport {
-    let scale = Scale { files: 16, epochs: 1, dim, gnn_steps: 3, seed: 0, common_threshold: 8 };
+    let scale = Scale {
+        files: 16,
+        epochs: 1,
+        dim,
+        gnn_steps: 3,
+        seed: 0,
+        common_threshold: 8,
+    };
     let graph = GraphConfig::default();
     let (_, data) = prepare(&scale, &graph);
     let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
     let train_graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config.model, &train_graphs);
-    let prepared: Vec<PreparedFile> =
-        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
-    let batch: Vec<&PreparedFile> =
-        data.split.train.iter().take(config.batch_size).map(|&i| &prepared[i]).collect();
+    let prepared: Vec<PreparedFile> = data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let batch: Vec<&PreparedFile> = data
+        .split
+        .train
+        .iter()
+        .take(config.batch_size)
+        .map(|&i| &prepared[i])
+        .collect();
 
     // Determinism gate: the blocked/fused/arena path must produce the
     // same loss, to the bit, as the reference kernels.
@@ -144,7 +157,11 @@ fn bench_kernels(n: usize) -> KernelReport {
     let fast = a.matmul(&b);
     set_kernel_mode(KernelMode::Naive);
     let naive = a.matmul(&b);
-    assert_eq!(fast.as_slice(), naive.as_slice(), "blocked matmul differs from reference");
+    assert_eq!(
+        fast.as_slice(),
+        naive.as_slice(),
+        "blocked matmul differs from reference"
+    );
 
     let time = |mode: KernelMode, f: &dyn Fn() -> Tensor| {
         set_kernel_mode(mode);
@@ -171,8 +188,7 @@ fn main() {
         eprintln!("timing one training step at dim {dim} (fast vs naive kernels)...");
         let r = bench_dim(dim);
         let speedup = r.step_secs_naive / r.step_secs_fast.max(1e-12);
-        let alloc_reduction =
-            r.fresh_per_step_naive as f64 / (r.fresh_per_step_fast.max(1)) as f64;
+        let alloc_reduction = r.fresh_per_step_naive as f64 / (r.fresh_per_step_fast.max(1)) as f64;
         eprintln!(
             "  dim {dim}: {:.4}s -> {:.4}s ({speedup:.2}x), allocs/step {} -> {} ({alloc_reduction:.0}x)",
             r.step_secs_naive, r.step_secs_fast, r.fresh_per_step_naive, r.fresh_per_step_fast
@@ -220,8 +236,7 @@ fn main() {
         k.transpose_naive,
         k.transpose_naive / k.transpose_fast.max(1e-12),
     );
-    let out =
-        std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_nn.json".to_string());
+    let out = std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_nn.json".to_string());
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

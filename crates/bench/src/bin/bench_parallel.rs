@@ -34,9 +34,10 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn epoch_secs(model: &TypeModel, batches: &[Vec<&PreparedFile>], threads: usize) -> f64 {
+    let pool = typilus_nn::WorkerPool::new(threads);
     median_secs(3, || {
         for batch in batches {
-            std::hint::black_box(model.train_step_parallel(batch, threads));
+            std::hint::black_box(model.train_step_parallel(batch, &pool));
         }
     })
 }
@@ -45,23 +46,35 @@ fn naive_query(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
     let mut hits: Vec<Hit> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+        .map(|(i, p)| Hit {
+            index: i,
+            distance: l1(query, p),
+        })
         .collect();
-    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
     hits.truncate(k);
     hits
 }
 
 fn main() {
-    let scale =
-        Scale { files: 24, epochs: 1, dim: 16, gnn_steps: 3, seed: 0, common_threshold: 8 };
+    let scale = Scale {
+        files: 24,
+        epochs: 1,
+        dim: 16,
+        gnn_steps: 3,
+        seed: 0,
+        common_threshold: 8,
+    };
     let graph = GraphConfig::default();
     let (_, data) = prepare(&scale, &graph);
     let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
     let train_graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config.model, &train_graphs);
-    let prepared: Vec<PreparedFile> =
-        data.files.iter().map(|f| model.prepare(&f.graph)).collect();
+    let prepared: Vec<PreparedFile> = data.files.iter().map(|f| model.prepare(&f.graph)).collect();
     let batches: Vec<Vec<&PreparedFile>> = data
         .split
         .train
@@ -70,7 +83,10 @@ fn main() {
         .collect();
 
     let auto = resolve_threads(None);
-    eprintln!("timing one epoch ({} batches) at 1 and {auto} threads...", batches.len());
+    eprintln!(
+        "timing one epoch ({} batches) at 1 and {auto} threads...",
+        batches.len()
+    );
     let epoch_1 = epoch_secs(&model, &batches, 1);
     let epoch_n = epoch_secs(&model, &batches, auto);
 
@@ -78,8 +94,9 @@ fn main() {
     let dim = 32;
     let k = 10;
     let mut rng = StdRng::seed_from_u64(1);
-    let points: Vec<Vec<f32>> =
-        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let points: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
     let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let index = ExactIndex::new(points.clone());
     assert_eq!(naive_query(&points, &query, k), index.query(&query, k));
@@ -100,8 +117,8 @@ fn main() {
         epoch_1 / epoch_n.max(1e-12),
         naive_secs / pruned_secs.max(1e-12),
     );
-    let out = std::env::var("TYPILUS_BENCH_OUT")
-        .unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    let out =
+        std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

@@ -1,0 +1,98 @@
+//! Measures the persistent worker pool against the spawn-per-call
+//! engine it replaced, and writes the numbers to `BENCH_pool.json`
+//! (override the path with `TYPILUS_BENCH_OUT`).
+//!
+//! Two quantities, both in steady state (after warm-up):
+//!   * median seconds per training step at `threads` workers (default
+//!     4, override with `TYPILUS_BENCH_THREADS`) for `train_step_spawning`
+//!     (OS threads spawned per call) vs `train_step_parallel` through
+//!     one long-lived [`WorkerPool`];
+//!   * fresh arena allocations per step for each engine. The pooled
+//!     engine keeps its workers' thread-local arenas warm, so its
+//!     steady-state count must be zero; the spawning engine discards
+//!     every worker arena when the call's threads exit.
+
+use std::time::Instant;
+use typilus::{EncoderKind, GraphConfig, LossKind};
+use typilus_bench::{config_for, prepare, Scale};
+use typilus_models::{PreparedFile, TypeModel};
+use typilus_nn::WorkerPool;
+
+/// Runs `f` `reps` times and returns the median wall-clock seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Steady-state (median step seconds, fresh allocations per step) of a
+/// step function, after `warmup` unmeasured steps.
+fn steady_state(warmup: usize, reps: usize, mut step: impl FnMut()) -> (f64, f64) {
+    for _ in 0..warmup {
+        step();
+    }
+    let before = typilus_nn::arena_stats();
+    let secs = median_secs(reps, &mut step);
+    let fresh = typilus_nn::arena_stats().since(&before).fresh;
+    (secs, fresh as f64 / reps as f64)
+}
+
+fn main() {
+    typilus_nn::set_kernel_mode(typilus_nn::KernelMode::Fast);
+    let threads: usize = std::env::var("TYPILUS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let scale = Scale {
+        files: 24,
+        epochs: 1,
+        dim: 16,
+        gnn_steps: 3,
+        seed: 0,
+        common_threshold: 8,
+    };
+    let graph = GraphConfig::default();
+    let (_, data) = prepare(&scale, &graph);
+    let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
+    let train_graphs = data.graphs_of(&data.split.train);
+    let model = TypeModel::new(config.model, &train_graphs);
+    let pool = WorkerPool::new(threads);
+    let graphs: Vec<_> = data.files.iter().map(|f| f.graph.clone()).collect();
+    let prepared = model.prepare_batch(&graphs, &pool);
+    let batch: Vec<&PreparedFile> = data.split.train.iter().map(|&i| &prepared[i]).collect();
+
+    let reps = 31;
+    eprintln!("timing one training step at {threads} threads, {reps} reps...");
+    // Gradients are recycled after each step, as the training loop does
+    // through the optimizer — dropping them would leak their buffers
+    // out of the arena economy.
+    let (spawn_secs, spawn_fresh) = steady_state(5, reps, || {
+        if let Some((_, grads)) = std::hint::black_box(model.train_step_spawning(&batch, threads)) {
+            grads.recycle();
+        }
+    });
+    let (pool_secs, pool_fresh) = steady_state(5, reps, || {
+        if let Some((_, grads)) = std::hint::black_box(model.train_step_parallel(&batch, &pool)) {
+            grads.recycle();
+        }
+    });
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"batch_files\": {},\n  \
+         \"spawn_step_secs\": {spawn_secs:.6},\n  \"pool_step_secs\": {pool_secs:.6},\n  \
+         \"pool_speedup\": {:.3},\n  \"spawn_fresh_allocs_per_step\": {spawn_fresh:.1},\n  \
+         \"pool_fresh_allocs_per_step\": {pool_fresh:.1}\n}}\n",
+        batch.len(),
+        spawn_secs / pool_secs.max(1e-12),
+    );
+    let out = std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pool.json".to_string());
+    std::fs::write(&out, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

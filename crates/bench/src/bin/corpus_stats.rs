@@ -27,13 +27,19 @@ fn main() {
     println!("  annotatable symbols:       {}", stats.symbols);
     println!("  usable annotations:        {}", stats.annotated);
     println!("  distinct annotated types:  {}", stats.distinct_types);
-    println!("  top-10 type mass:          {:.1}%", 100.0 * stats.top10_mass);
+    println!(
+        "  top-10 type mass:          {:.1}%",
+        100.0 * stats.top10_mass
+    );
     println!(
         "  rare annotations (<{}):     {:.1}%",
         stats.rare_threshold,
         100.0 * stats.rare_fraction
     );
-    println!("  parametric annotations:    {:.1}%", 100.0 * stats.parametric_fraction);
+    println!(
+        "  parametric annotations:    {:.1}%",
+        100.0 * stats.parametric_fraction
+    );
     println!("\n  most frequent types:");
     for (ty, count) in stats.type_counts.iter().take(12) {
         println!("    {count:>6}  {ty}");

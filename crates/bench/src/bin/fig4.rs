@@ -28,9 +28,18 @@ fn main() {
             "threshold", "recall", "exact", "param", "neutral"
         );
         let exact = pr_curve(&examples, &system.hierarchy, Criterion::Exact, &thresholds);
-        let param =
-            pr_curve(&examples, &system.hierarchy, Criterion::UpToParametric, &thresholds);
-        let neutral = pr_curve(&examples, &system.hierarchy, Criterion::Neutral, &thresholds);
+        let param = pr_curve(
+            &examples,
+            &system.hierarchy,
+            Criterion::UpToParametric,
+            &thresholds,
+        );
+        let neutral = pr_curve(
+            &examples,
+            &system.hierarchy,
+            Criterion::Neutral,
+            &thresholds,
+        );
         let mut csv_rows = Vec::new();
         for ((e, p), n) in exact.iter().zip(&param).zip(&neutral) {
             println!(

@@ -6,9 +6,7 @@
 //! cargo run --release -p typilus-bench --bin fig6
 //! ```
 
-use typilus::{
-    evaluate_files, EncoderKind, GraphConfig, KnnConfig, LossKind, MatchRates,
-};
+use typilus::{evaluate_files, EncoderKind, GraphConfig, KnnConfig, LossKind, MatchRates};
 use typilus_bench::{config_for, maybe_write_csv, prepare, train_logged, Scale};
 
 fn main() {

@@ -28,8 +28,13 @@ fn main() {
     );
     let (mypy_outcomes, _) =
         check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
-    let (pytype_outcomes, _) =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Pytype, 0.0);
+    let (pytype_outcomes, _) = check_predictions(
+        &system,
+        &data,
+        &data.split.test,
+        CheckerProfile::Pytype,
+        0.0,
+    );
     let m = check_pr_curve(&mypy_outcomes, &thresholds);
     let p = check_pr_curve(&pytype_outcomes, &thresholds);
     for (mp, pp) in m.iter().zip(&p) {

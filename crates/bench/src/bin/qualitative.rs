@@ -17,17 +17,18 @@ use typilus_bench::{config_for, prepare, train_logged, Scale};
 fn confusion_family(predicted: &PyType, truth: &PyType) -> &'static str {
     let p = predicted.base_name();
     let t = truth.base_name();
-    let optionalish = |a: &PyType, b: &PyType| {
-        matches!(a, PyType::Union(m) if m.iter().any(|x| x == b))
-    };
+    let optionalish =
+        |a: &PyType, b: &PyType| matches!(a, PyType::Union(m) if m.iter().any(|x| x == b));
     if optionalish(predicted, truth) || optionalish(truth, predicted) {
         return "T vs Optional[T]/Union";
     }
     if (p == "str" && t == "bytes") || (p == "bytes" && t == "str") {
         return "str vs bytes";
     }
-    if matches!((p, t), ("int", "float") | ("float", "int") | ("int", "bool") | ("bool", "int"))
-    {
+    if matches!(
+        (p, t),
+        ("int", "float") | ("float", "int") | ("int", "bool") | ("bool", "int")
+    ) {
         return "numeric tower";
     }
     let container = |n: &str| matches!(n, "List" | "Set" | "Dict" | "Tuple" | "Iterable");
@@ -38,7 +39,10 @@ fn confusion_family(predicted: &PyType, truth: &PyType) -> &'static str {
         return "container vs container";
     }
     let builtin = |n: &str| {
-        matches!(n, "int" | "str" | "bool" | "float" | "bytes" | "complex" | "range")
+        matches!(
+            n,
+            "int" | "str" | "bool" | "float" | "bytes" | "complex" | "range"
+        )
     };
     if !builtin(p) && !builtin(t) {
         return "user type vs user type";
@@ -67,13 +71,18 @@ fn main() {
     let mut depths: Vec<_> = depth_counts.into_iter().collect();
     depths.sort();
     for (d, c) in depths {
-        println!("  depth {d}: {c} ({:.0}%)", 100.0 * c as f64 / parametric.max(1) as f64);
+        println!(
+            "  depth {d}: {c} ({:.0}%)",
+            100.0 * c as f64 / parametric.max(1) as f64
+        );
     }
 
     // Most confident wrong (non-neutral) predictions, by family.
     let mut wrong: Vec<(&'static str, f32, String, String, String)> = Vec::new();
     for e in &examples {
-        let Some(top) = e.prediction.top() else { continue };
+        let Some(top) = e.prediction.top() else {
+            continue;
+        };
         if system.hierarchy.is_neutral(&top.ty, &e.truth) {
             continue;
         }
@@ -91,7 +100,10 @@ fn main() {
     for (family, ..) in &wrong {
         *by_family.entry(family).or_insert(0) += 1;
     }
-    println!("\nconfident-error families ({} non-neutral predictions):", wrong.len());
+    println!(
+        "\nconfident-error families ({} non-neutral predictions):",
+        wrong.len()
+    );
     let mut families: Vec<_> = by_family.into_iter().collect();
     families.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for (family, count) in families {
@@ -99,7 +111,10 @@ fn main() {
     }
 
     println!("\nmost confident errors (cf. the paper's mx.nd.NDArray vs torch.Tensor):");
-    println!("{:<26} {:<22} {:<22} {:<22} conf", "family", "symbol", "predicted", "truth");
+    println!(
+        "{:<26} {:<22} {:<22} {:<22} conf",
+        "family", "symbol", "predicted", "truth"
+    );
     for (family, conf, name, pred, truth) in wrong.iter().take(15) {
         println!("{family:<26} {name:<22} {pred:<22} {truth:<22} {conf:.2}");
     }

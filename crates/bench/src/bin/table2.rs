@@ -28,7 +28,10 @@ fn main() {
         data.split.test.len()
     );
 
-    println!("Table 2: quantitative evaluation (common = type seen >= {} times in training)", scale.common_threshold);
+    println!(
+        "Table 2: quantitative evaluation (common = type seen >= {} times in training)",
+        scale.common_threshold
+    );
     println!(
         "{:<14} {:>9} {:>9} {:>9}  {:>9} {:>9} {:>9}  {:>8}",
         "Model", "Ex.All", "Ex.Comm", "Ex.Rare", "Par.All", "Par.Comm", "Par.Rare", "Neutral"

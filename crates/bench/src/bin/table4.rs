@@ -80,9 +80,15 @@ fn main() {
     ];
 
     println!("Table 4: ablations of Typilus (graph encoder, Eq. 4 loss)");
-    println!("{:<30} {:>12} {:>13}", "Ablation", "Exact Match", "Type Neutral");
+    println!(
+        "{:<30} {:>12} {:>13}",
+        "Ablation", "Exact Match", "Type Neutral"
+    );
     for ab in ablations {
-        let graph = GraphConfig { edges: ab.edges, ..GraphConfig::default() };
+        let graph = GraphConfig {
+            edges: ab.edges,
+            ..GraphConfig::default()
+        };
         // Each ablation re-extracts graphs and retrains from scratch,
         // exactly as the paper does.
         let (_, data) = prepare(&scale, &graph);
@@ -92,7 +98,10 @@ fn main() {
         let system = train_logged(ab.name, &data, &config);
         let examples = evaluate_files(&system, &data, &data.split.test);
         let rates = MatchRates::compute(&examples, &system.hierarchy, |_| true);
-        println!("{:<30} {:>11.1}% {:>12.1}%", ab.name, rates.exact, rates.neutral);
+        println!(
+            "{:<30} {:>11.1}% {:>12.1}%",
+            ab.name, rates.exact, rates.neutral
+        );
     }
     println!("\nExpected shape (paper): only-names drops hard but stays well above");
     println!("zero; removing CHILD hurts more than removing NEXT_TOKEN; removing");

@@ -16,10 +16,15 @@ fn main() {
     let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
     let system = train_logged("Typilus", &data, &config);
 
-    let mypy =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0).1;
-    let pytype =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Pytype, 0.0).1;
+    let mypy = check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0).1;
+    let pytype = check_predictions(
+        &system,
+        &data,
+        &data.split.test,
+        CheckerProfile::Pytype,
+        0.0,
+    )
+    .1;
 
     println!("Table 5: type checking accuracy modulo checker");
     println!(
@@ -58,7 +63,11 @@ fn main() {
         "\nassessed files: mypy {} (discarded {}), pytype {} (discarded {})",
         mypy.assessed_files, mypy.discarded_files, pytype.assessed_files, pytype.discarded_files
     );
-    println!("assessed predictions: mypy {}, pytype {}", mypy.overall().total, pytype.overall().total);
+    println!(
+        "assessed predictions: mypy {}, pytype {}",
+        mypy.overall().total,
+        pytype.overall().total
+    );
     println!("\nExpected shape (paper): high overall accuracy, tau->tau at 100%;");
     println!("pytype (extra inference) accepts fewer predictions than mypy.");
 }

@@ -46,7 +46,10 @@ pub struct Scale {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Scale {
@@ -64,7 +67,14 @@ impl Scale {
 
     /// A small scale for smoke tests.
     pub fn small() -> Scale {
-        Scale { files: 30, epochs: 5, dim: 16, gnn_steps: 3, seed: 0, common_threshold: 8 }
+        Scale {
+            files: 30,
+            epochs: 5,
+            dim: 16,
+            gnn_steps: 3,
+            seed: 0,
+            common_threshold: 8,
+        }
     }
 }
 
@@ -107,11 +117,7 @@ pub fn config_for(
 }
 
 /// Trains one system, logging per-epoch progress to stderr.
-pub fn train_logged(
-    label: &str,
-    data: &PreparedCorpus,
-    config: &TypilusConfig,
-) -> TrainedSystem {
+pub fn train_logged(label: &str, data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     eprintln!("[{label}] training ({} epochs)...", config.epochs);
     let system = train(data, config);
     if let (Some(first), Some(last)) = (system.epochs.first(), system.epochs.last()) {
@@ -174,8 +180,14 @@ mod tests {
 
     #[test]
     fn smoke_prepare_and_train() {
-        let scale =
-            Scale { files: 10, epochs: 1, dim: 8, gnn_steps: 2, seed: 0, common_threshold: 5 };
+        let scale = Scale {
+            files: 10,
+            epochs: 1,
+            dim: 8,
+            gnn_steps: 2,
+            seed: 0,
+            common_threshold: 5,
+        };
         let graph = GraphConfig::default();
         let (_, data) = prepare(&scale, &graph);
         let config = config_for(&scale, EncoderKind::Graph, LossKind::Typilus, graph);
@@ -189,7 +201,9 @@ mod tests {
 /// the figure binaries so plots can be regenerated from machine-readable
 /// output.
 pub fn maybe_write_csv(name: &str, header: &str, rows: &[String]) {
-    let Ok(dir) = std::env::var("TYPILUS_CSV_DIR") else { return };
+    let Ok(dir) = std::env::var("TYPILUS_CSV_DIR") else {
+        return;
+    };
     let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
     let mut content = String::with_capacity(rows.len() * 32 + header.len() + 1);
     content.push_str(header);

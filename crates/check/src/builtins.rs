@@ -59,8 +59,8 @@ pub fn method_on(receiver: &PyType, method: &str) -> MethodLookup {
                 vec![named("str"), named("str"), named("str")],
             )),
             "startswith" | "endswith" | "isdigit" | "isalpha" | "isalnum" | "islower"
-            | "isupper" | "isspace" | "istitle" | "isidentifier" | "isnumeric"
-            | "isdecimal" | "isprintable" | "isascii" => Returns(named("bool")),
+            | "isupper" | "isspace" | "istitle" | "isidentifier" | "isnumeric" | "isdecimal"
+            | "isprintable" | "isascii" => Returns(named("bool")),
             "find" | "rfind" | "index" | "rindex" | "count" => Returns(named("int")),
             "encode" => Returns(named("bytes")),
             _ => UnknownAttribute,
@@ -204,9 +204,7 @@ pub fn element_of(ty: &PyType) -> Option<PyType> {
         | "MutableSequence" | "Collection" | "AbstractSet" | "MutableSet" => Some(arg0(ty)),
         "Dict" | "Mapping" | "MutableMapping" => Some(arg0(ty)),
         "Tuple" => match ty {
-            PyType::Named { args, .. } if !args.is_empty() => {
-                Some(PyType::union(args.clone()))
-            }
+            PyType::Named { args, .. } if !args.is_empty() => Some(PyType::union(args.clone())),
             _ => Some(PyType::Any),
         },
         "str" => Some(PyType::named("str")),
@@ -233,30 +231,51 @@ mod tests {
 
     #[test]
     fn str_methods() {
-        assert_eq!(method_on(&t("str"), "upper"), MethodLookup::Returns(t("str")));
-        assert_eq!(method_on(&t("str"), "split"), MethodLookup::Returns(t("List[str]")));
-        assert_eq!(method_on(&t("str"), "append"), MethodLookup::UnknownAttribute);
+        assert_eq!(
+            method_on(&t("str"), "upper"),
+            MethodLookup::Returns(t("str"))
+        );
+        assert_eq!(
+            method_on(&t("str"), "split"),
+            MethodLookup::Returns(t("List[str]"))
+        );
+        assert_eq!(
+            method_on(&t("str"), "append"),
+            MethodLookup::UnknownAttribute
+        );
     }
 
     #[test]
     fn container_methods_track_elements() {
-        assert_eq!(method_on(&t("List[int]"), "pop"), MethodLookup::Returns(t("int")));
+        assert_eq!(
+            method_on(&t("List[int]"), "pop"),
+            MethodLookup::Returns(t("int"))
+        );
         assert_eq!(
             method_on(&t("Dict[str, int]"), "get"),
             MethodLookup::Returns(t("Optional[int]"))
         );
-        assert_eq!(method_on(&t("Set[bytes]"), "pop"), MethodLookup::Returns(t("bytes")));
+        assert_eq!(
+            method_on(&t("Set[bytes]"), "pop"),
+            MethodLookup::Returns(t("bytes"))
+        );
     }
 
     #[test]
     fn untracked_receivers_are_not_flagged() {
-        assert_eq!(method_on(&t("torch.Tensor"), "backward"), MethodLookup::NotTracked);
+        assert_eq!(
+            method_on(&t("torch.Tensor"), "backward"),
+            MethodLookup::NotTracked
+        );
     }
 
     #[test]
     fn builtin_calls() {
         assert_eq!(builtin_call("len", &[Some(t("List[int]"))]), Some(t("int")));
-        assert_eq!(builtin_call("sorted", &[Some(t("Set[str]"))]), Some(t("List[str]")));
+        assert_eq!(
+            builtin_call("sorted", &[Some(t("Set[str]"))]),
+            Some(t("List[str]"))
+        );
         assert_eq!(builtin_call("range", &[Some(t("int"))]), Some(t("range")));
         assert_eq!(builtin_call("unknown_fn", &[]), None);
     }
@@ -267,7 +286,10 @@ mod tests {
         assert_eq!(element_of(&t("Dict[str, int]")), Some(t("str")));
         assert_eq!(element_of(&t("str")), Some(t("str")));
         assert_eq!(element_of(&t("range")), Some(t("int")));
-        assert_eq!(element_of(&t("Tuple[int, str]")), Some(t("Union[int, str]")));
+        assert_eq!(
+            element_of(&t("Tuple[int, str]")),
+            Some(t("Union[int, str]"))
+        );
         assert_eq!(element_of(&t("CustomThing")), None);
     }
 

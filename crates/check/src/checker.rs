@@ -131,7 +131,11 @@ struct Walker<'a> {
 
 impl Walker<'_> {
     fn report(&mut self, span: Span, code: IssueCode, message: impl Into<String>) {
-        self.issues.push(TypeIssue { span, code, message: message.into() });
+        self.issues.push(TypeIssue {
+            span,
+            code,
+            message: message.into(),
+        });
     }
 
     fn assignable(&self, value: &PyType, declared: &PyType) -> bool {
@@ -191,7 +195,11 @@ impl Walker<'_> {
                     self.check_assignment(target, value);
                 }
             }
-            StmtKind::AnnAssign { target, value: Some(v), .. } => {
+            StmtKind::AnnAssign {
+                target,
+                value: Some(v),
+                ..
+            } => {
                 self.check_expr(v);
                 self.check_assignment(target, v);
             }
@@ -211,7 +219,13 @@ impl Walker<'_> {
                     }
                 }
             }
-            StmtKind::For { target, iter, body, orelse, .. } => {
+            StmtKind::For {
+                target,
+                iter,
+                body,
+                orelse,
+                ..
+            } => {
                 self.check_expr(iter);
                 if let Some(it) = self.inf.infer(iter) {
                     if known_not_iterable(&it) {
@@ -220,12 +234,14 @@ impl Walker<'_> {
                             IssueCode::NotIterable,
                             format!("{it} is not iterable"),
                         );
-                    } else if let (Some(elem), Some(name)) =
-                        (element_of(&it), target.as_name())
-                    {
+                    } else if let (Some(elem), Some(name)) = (element_of(&it), target.as_name()) {
                         // Loop variable with an explicit annotation.
                         if let Some(declared) = self.inf.symbol_type(target.meta.span) {
-                            if self.table.symbol_at(target.meta.span).and_then(|s| s.annotation.as_ref()).is_some()
+                            if self
+                                .table
+                                .symbol_at(target.meta.span)
+                                .and_then(|s| s.annotation.as_ref())
+                                .is_some()
                                 && !self.assignable(&elem, &declared)
                             {
                                 self.report(
@@ -286,7 +302,12 @@ impl Walker<'_> {
                     self.check_expr(e);
                 }
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 self.check_block(body);
                 for h in handlers {
                     self.check_block(&h.body);
@@ -319,10 +340,13 @@ impl Walker<'_> {
     ) -> Option<(SymbolId, Option<PyType>, Option<PyType>)> {
         use typilus_pyast::ast::CmpOp;
         let (name_expr, op) = match &test.kind {
-            ExprKind::Compare { left, ops, comparators }
-                if ops.len() == 1
-                    && matches!(ops[0], CmpOp::Is | CmpOp::IsNot)
-                    && matches!(comparators[0].kind, ExprKind::NoneLit) =>
+            ExprKind::Compare {
+                left,
+                ops,
+                comparators,
+            } if ops.len() == 1
+                && matches!(ops[0], CmpOp::Is | CmpOp::IsNot)
+                && matches!(comparators[0].kind, ExprKind::NoneLit) =>
             {
                 (left.as_ref(), Some(ops[0]))
             }
@@ -331,12 +355,18 @@ impl Walker<'_> {
         };
         let sym = self.table.symbol_at(name_expr.meta.span)?;
         let current = self.inf.symbol_type(name_expr.meta.span)?;
-        let PyType::Union(members) = &current else { return None };
+        let PyType::Union(members) = &current else {
+            return None;
+        };
         if !members.contains(&PyType::None) {
             return None;
         }
         let stripped = PyType::union(
-            members.iter().filter(|m| **m != PyType::None).cloned().collect(),
+            members
+                .iter()
+                .filter(|m| **m != PyType::None)
+                .cloned()
+                .collect(),
         );
         Some(match op {
             Some(CmpOp::Is) => (sym.id, Some(PyType::None), Some(stripped)),
@@ -359,9 +389,15 @@ impl Walker<'_> {
     fn check_assignment(&mut self, target: &Expr, value: &Expr) {
         match &target.kind {
             ExprKind::Name(name) => {
-                let Some(sym) = self.table.symbol_at(target.meta.span) else { return };
-                let Some(declared) = self.env.type_of(sym.id) else { return };
-                let Some(vt) = self.inf.infer(value) else { return };
+                let Some(sym) = self.table.symbol_at(target.meta.span) else {
+                    return;
+                };
+                let Some(declared) = self.env.type_of(sym.id) else {
+                    return;
+                };
+                let Some(vt) = self.inf.infer(value) else {
+                    return;
+                };
                 if !self.assignable(&vt, declared) {
                     self.report(
                         target.meta.span,
@@ -370,13 +406,23 @@ impl Walker<'_> {
                     );
                 }
             }
-            ExprKind::Attribute { value: recv, attr, attr_span } => {
+            ExprKind::Attribute {
+                value: recv,
+                attr,
+                attr_span,
+            } => {
                 if recv.as_name() != Some("self") {
                     return;
                 }
-                let Some(sym) = self.table.symbol_at(*attr_span) else { return };
-                let Some(declared) = self.env.type_of(sym.id) else { return };
-                let Some(vt) = self.inf.infer(value) else { return };
+                let Some(sym) = self.table.symbol_at(*attr_span) else {
+                    return;
+                };
+                let Some(declared) = self.env.type_of(sym.id) else {
+                    return;
+                };
+                let Some(vt) = self.inf.infer(value) else {
+                    return;
+                };
                 if !self.assignable(&vt, declared) {
                     self.report(
                         *attr_span,
@@ -400,9 +446,15 @@ impl Walker<'_> {
     }
 
     fn check_return(&mut self, stmt: &Stmt, value: Option<&Expr>) {
-        let Some(&func) = self.func_stack.last() else { return };
-        let Some(&ret_sym) = self.env.return_symbols.get(&func) else { return };
-        let Some(declared) = self.env.type_of(ret_sym) else { return };
+        let Some(&func) = self.func_stack.last() else {
+            return;
+        };
+        let Some(&ret_sym) = self.env.return_symbols.get(&func) else {
+            return;
+        };
+        let Some(declared) = self.env.type_of(ret_sym) else {
+            return;
+        };
         if *declared == PyType::Any {
             return;
         }
@@ -423,8 +475,12 @@ impl Walker<'_> {
     }
 
     fn check_missing_return(&mut self, stmt: &Stmt, f: &typilus_pyast::ast::FunctionDef) {
-        let Some(&ret_sym) = self.env.return_symbols.get(&stmt.meta.id) else { return };
-        let Some(declared) = self.env.type_of(ret_sym) else { return };
+        let Some(&ret_sym) = self.env.return_symbols.get(&stmt.meta.id) else {
+            return;
+        };
+        let Some(declared) = self.env.type_of(ret_sym) else {
+            return;
+        };
         if *declared == PyType::None
             || *declared == PyType::Any
             || matches!(declared, PyType::Union(members) if members.contains(&PyType::None))
@@ -457,12 +513,19 @@ impl Walker<'_> {
                         self.report(
                             expr.meta.span,
                             IssueCode::InvalidOperand,
-                            format!("unsupported operand types for {}: {lt} and {rt}", op.symbol()),
+                            format!(
+                                "unsupported operand types for {}: {lt} and {rt}",
+                                op.symbol()
+                            ),
                         );
                     }
                 }
             }
-            ExprKind::Call { func, args, keywords } => {
+            ExprKind::Call {
+                func,
+                args,
+                keywords,
+            } => {
                 self.check_expr(func);
                 for a in args {
                     self.check_expr(a);
@@ -472,7 +535,11 @@ impl Walker<'_> {
                 }
                 self.check_call(expr, func, args, keywords);
             }
-            ExprKind::Attribute { value, attr, attr_span } => {
+            ExprKind::Attribute {
+                value,
+                attr,
+                attr_span,
+            } => {
                 self.check_expr(value);
                 // A member access `self.x` resolves via the symbol table.
                 if self.table.symbol_at(*attr_span).is_some() {
@@ -521,7 +588,9 @@ impl Walker<'_> {
                     self.check_expr(v);
                 }
             }
-            ExprKind::Compare { left, comparators, .. } => {
+            ExprKind::Compare {
+                left, comparators, ..
+            } => {
                 self.check_expr(left);
                 for c in comparators {
                     self.check_expr(c);
@@ -539,7 +608,12 @@ impl Walker<'_> {
                 self.check_expr(orelse);
             }
             ExprKind::Starred(inner) => self.check_expr(inner),
-            ExprKind::Comprehension { element, value, clauses, .. } => {
+            ExprKind::Comprehension {
+                element,
+                value,
+                clauses,
+                ..
+            } => {
                 for c in clauses {
                     self.check_expr(&c.iter);
                     for i in &c.ifs {
@@ -568,7 +642,9 @@ impl Walker<'_> {
         // Resolve the callee's signature.
         let (sig_sym, skip_receiver) = match &func.kind {
             ExprKind::Name(_) => {
-                let Some(sym) = self.table.symbol_at(func.meta.span) else { return };
+                let Some(sym) = self.table.symbol_at(func.meta.span) else {
+                    return;
+                };
                 match sym.kind {
                     SymbolKind::Function => (sym.id, false),
                     SymbolKind::Class => {
@@ -582,8 +658,12 @@ impl Walker<'_> {
                 }
             }
             ExprKind::Attribute { value, attr, .. } => {
-                let Some(recv) = self.inf.infer(value) else { return };
-                let PyType::Named { name, .. } = &recv else { return };
+                let Some(recv) = self.inf.infer(value) else {
+                    return;
+                };
+                let PyType::Named { name, .. } = &recv else {
+                    return;
+                };
                 match self.env.methods.get(&(name.clone(), attr.clone())) {
                     Some(&m) => (m, true),
                     None => return,
@@ -591,7 +671,9 @@ impl Walker<'_> {
             }
             _ => return,
         };
-        let Some(sig) = self.env.functions.get(&sig_sym) else { return };
+        let Some(sig) = self.env.functions.get(&sig_sym) else {
+            return;
+        };
         let params: Vec<_> = if skip_receiver && sig.is_method {
             sig.params.iter().skip(1).collect()
         } else {
@@ -601,7 +683,10 @@ impl Walker<'_> {
             || keywords.iter().any(|k| k.arg.is_none());
         // Arity.
         if !sig.variadic && !has_splat {
-            let required = params.iter().filter(|(_, _, has_default)| !has_default).count();
+            let required = params
+                .iter()
+                .filter(|(_, _, has_default)| !has_default)
+                .count();
             let supplied = args.len() + keywords.len();
             if args.len() > params.len() || supplied < required {
                 self.report(
@@ -636,8 +721,12 @@ impl Walker<'_> {
             if matches!(arg.kind, ExprKind::Starred(_)) {
                 break;
             }
-            let Some(declared) = psym.and_then(|s| self.env.type_of(s)) else { continue };
-            let Some(at) = self.inf.infer(arg) else { continue };
+            let Some(declared) = psym.and_then(|s| self.env.type_of(s)) else {
+                continue;
+            };
+            let Some(at) = self.inf.infer(arg) else {
+                continue;
+            };
             if at != PyType::None && !self.assignable(&at, declared) {
                 self.report(
                     arg.meta.span,
@@ -652,8 +741,12 @@ impl Walker<'_> {
             let Some((pname, psym, _)) = params.iter().find(|(p, _, _)| p == name) else {
                 continue;
             };
-            let Some(declared) = psym.and_then(|s| self.env.type_of(s)) else { continue };
-            let Some(at) = self.inf.infer(&k.value) else { continue };
+            let Some(declared) = psym.and_then(|s| self.env.type_of(s)) else {
+                continue;
+            };
+            let Some(at) = self.inf.infer(&k.value) else {
+                continue;
+            };
             if at != PyType::None && !self.assignable(&at, declared) {
                 self.report(
                     k.value.meta.span,
@@ -694,7 +787,12 @@ fn body_returns_value(stmts: &[Stmt]) -> bool {
             body_returns_value(body) || body_returns_value(orelse)
         }
         StmtKind::With { body, .. } => body_returns_value(body),
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             body_returns_value(body)
                 || handlers.iter().any(|h| body_returns_value(&h.body))
                 || body_returns_value(orelse)
@@ -716,7 +814,12 @@ fn body_yields(stmts: &[Stmt]) -> bool {
         | StmtKind::While { body, orelse, .. }
         | StmtKind::For { body, orelse, .. } => body_yields(body) || body_yields(orelse),
         StmtKind::With { body, .. } => body_yields(body),
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             body_yields(body)
                 || handlers.iter().any(|h| body_yields(&h.body))
                 || body_yields(orelse)

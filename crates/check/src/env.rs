@@ -82,12 +82,7 @@ impl TypeEnv {
     }
 }
 
-fn collect(
-    body: &[Stmt],
-    table: &SymbolTable,
-    hierarchy: &mut TypeHierarchy,
-    env: &mut TypeEnv,
-) {
+fn collect(body: &[Stmt], table: &SymbolTable, hierarchy: &mut TypeHierarchy, env: &mut TypeEnv) {
     for stmt in body {
         match &stmt.kind {
             StmtKind::FunctionDef(f) => {
@@ -103,8 +98,7 @@ fn collect(
                 collect(&f.body, table, hierarchy, env);
             }
             StmtKind::ClassDef(c) => {
-                let bases: Vec<String> =
-                    c.bases.iter().filter_map(Expr::annotation_text).collect();
+                let bases: Vec<String> = c.bases.iter().filter_map(Expr::annotation_text).collect();
                 let base_refs: Vec<&str> = bases.iter().map(String::as_str).collect();
                 hierarchy.register_class(&c.name, &base_refs);
                 env.classes.push(c.name.clone());
@@ -124,7 +118,12 @@ fn collect(
                 collect(orelse, table, hierarchy, env);
             }
             StmtKind::With { body, .. } => collect(body, table, hierarchy, env),
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 collect(body, table, hierarchy, env);
                 for h in handlers {
                     collect(&h.body, table, hierarchy, env);
@@ -155,8 +154,11 @@ fn signature_of(
         let sym = table.symbol_at(p.name_span).map(|s| s.id);
         sig.params.push((p.name.clone(), sym, p.default.is_some()));
     }
-    sig.is_method =
-        f.params.first().map(|p| p.name == "self" || p.name == "cls").unwrap_or(false);
+    sig.is_method = f
+        .params
+        .first()
+        .map(|p| p.name == "self" || p.name == "cls")
+        .unwrap_or(false);
     sig.ret = table.return_symbol(stmt.meta.id).map(|s| s.id);
     sig
 }
@@ -177,8 +179,11 @@ mod tests {
     #[test]
     fn annotations_collected() {
         let (env, _, table) = env_of("def f(a: int, b: str) -> bool:\n    return a > 0\n");
-        let func_sym =
-            table.symbols().iter().find(|s| s.kind == SymbolKind::Function).unwrap();
+        let func_sym = table
+            .symbols()
+            .iter()
+            .find(|s| s.kind == SymbolKind::Function)
+            .unwrap();
         let sig = &env.functions[&func_sym.id];
         assert_eq!(sig.params.len(), 2);
         let a_ty = env.type_of(sig.params[0].1.unwrap()).unwrap();
@@ -190,7 +195,11 @@ mod tests {
     #[test]
     fn none_return_annotation_is_recorded() {
         let (env, _, table) = env_of("def f() -> None:\n    pass\n");
-        let ret = table.symbols().iter().find(|s| s.kind == SymbolKind::Return).unwrap();
+        let ret = table
+            .symbols()
+            .iter()
+            .find(|s| s.kind == SymbolKind::Return)
+            .unwrap();
         assert_eq!(env.type_of(ret.id), Some(&PyType::None));
     }
 
@@ -205,8 +214,11 @@ mod tests {
         let (mut env, _, table) = env_of("def f(a: int) -> int:\n    return a\n");
         let a = table.symbols().iter().find(|s| s.name == "a").unwrap();
         env.override_symbol(a.id, "str".parse().unwrap());
-        let func_sym =
-            table.symbols().iter().find(|s| s.kind == SymbolKind::Function).unwrap();
+        let func_sym = table
+            .symbols()
+            .iter()
+            .find(|s| s.kind == SymbolKind::Function)
+            .unwrap();
         let sig = &env.functions[&func_sym.id];
         let a_ty = env.type_of(sig.params[0].1.unwrap()).unwrap();
         assert_eq!(a_ty.to_string(), "str");

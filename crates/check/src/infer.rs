@@ -32,7 +32,13 @@ pub struct Inferencer<'a> {
 impl<'a> Inferencer<'a> {
     /// Creates an inferencer without local inference (mypy-like).
     pub fn new(env: &'a TypeEnv, table: &'a SymbolTable, hierarchy: &'a TypeHierarchy) -> Self {
-        Inferencer { env, table, hierarchy, local_inferred: HashMap::new(), narrowed: HashMap::new() }
+        Inferencer {
+            env,
+            table,
+            hierarchy,
+            local_inferred: HashMap::new(),
+            narrowed: HashMap::new(),
+        }
     }
 
     /// Runs the flow-insensitive assignment inference pre-pass over the
@@ -44,10 +50,7 @@ impl<'a> Inferencer<'a> {
             let mut updates: Vec<(SymbolId, PyType)> = Vec::new();
             self.collect_assignments(body, &mut updates);
             for (sym, ty) in updates {
-                let entry = self
-                    .local_inferred
-                    .entry(sym)
-                    .or_insert_with(|| ty.clone());
+                let entry = self.local_inferred.entry(sym).or_insert_with(|| ty.clone());
                 if *entry != ty {
                     *entry = PyType::union(vec![entry.clone(), ty]);
                 }
@@ -66,7 +69,13 @@ impl<'a> Inferencer<'a> {
                         }
                     }
                 }
-                StmtKind::For { target, iter, body, orelse, .. } => {
+                StmtKind::For {
+                    target,
+                    iter,
+                    body,
+                    orelse,
+                    ..
+                } => {
                     if let Some(it) = self.infer(iter) {
                         if let Some(elem) = element_of(&it) {
                             self.bind_target(target, &elem, out);
@@ -82,7 +91,12 @@ impl<'a> Inferencer<'a> {
                     self.collect_assignments(orelse, out);
                 }
                 StmtKind::With { body, .. } => self.collect_assignments(body, out),
-                StmtKind::Try { body, handlers, orelse, finalbody } => {
+                StmtKind::Try {
+                    body,
+                    handlers,
+                    orelse,
+                    finalbody,
+                } => {
                     self.collect_assignments(body, out);
                     for h in handlers {
                         self.collect_assignments(&h.body, out);
@@ -199,7 +213,11 @@ impl<'a> Inferencer<'a> {
                     .bytes()
                     .take_while(|b| !matches!(b, b'"' | b'\''))
                     .any(|b| b.eq_ignore_ascii_case(&b'b'));
-                Some(if is_bytes { PyType::named("bytes") } else { PyType::named("str") })
+                Some(if is_bytes {
+                    PyType::named("bytes")
+                } else {
+                    PyType::named("str")
+                })
             }
             ExprKind::FString(_) => Some(PyType::named("str")),
             ExprKind::Bool(_) => Some(PyType::named("bool")),
@@ -224,16 +242,10 @@ impl<'a> Inferencer<'a> {
                     .collect();
                 Some(PyType::generic("Tuple", args))
             }
-            ExprKind::List(items) => Some(PyType::generic(
-                "List",
-                vec![self.join_elements(items)],
-            )),
-            ExprKind::Set(items) => {
-                Some(PyType::generic("Set", vec![self.join_elements(items)]))
-            }
+            ExprKind::List(items) => Some(PyType::generic("List", vec![self.join_elements(items)])),
+            ExprKind::Set(items) => Some(PyType::generic("Set", vec![self.join_elements(items)])),
             ExprKind::Dict { keys, values } => {
-                let key_items: Vec<Expr> =
-                    keys.iter().flatten().cloned().collect();
+                let key_items: Vec<Expr> = keys.iter().flatten().cloned().collect();
                 let k = self.join_elements(&key_items);
                 let v = self.join_elements(values);
                 Some(PyType::generic("Dict", vec![k, v]))
@@ -249,13 +261,16 @@ impl<'a> Inferencer<'a> {
                 UnaryOp::Invert => Some(PyType::named("int")),
             },
             ExprKind::BoolOp { values, .. } => {
-                let parts: Option<Vec<PyType>> =
-                    values.iter().map(|v| self.infer(v)).collect();
+                let parts: Option<Vec<PyType>> = values.iter().map(|v| self.infer(v)).collect();
                 parts.map(PyType::union)
             }
             ExprKind::Compare { .. } => Some(PyType::named("bool")),
             ExprKind::Call { func, args, .. } => self.infer_call(func, args),
-            ExprKind::Attribute { value, attr, attr_span } => {
+            ExprKind::Attribute {
+                value,
+                attr,
+                attr_span,
+            } => {
                 // Class members (`self.x`).
                 if let Some(ty) = self.symbol_type(*attr_span) {
                     return Some(ty);
@@ -266,7 +281,10 @@ impl<'a> Inferencer<'a> {
                         // Attribute access to a method yields a callable;
                         // the call case extracts the return type. Here we
                         // conservatively produce a Callable.
-                        Some(PyType::Callable { params: None, ret: Box::new(ty) })
+                        Some(PyType::Callable {
+                            params: None,
+                            ret: Box::new(ty),
+                        })
                     }
                     _ => None,
                 }
@@ -276,16 +294,22 @@ impl<'a> Inferencer<'a> {
                 self.subscript_result(&recv, index)
             }
             ExprKind::Slice { .. } => None,
-            ExprKind::Lambda { .. } => {
-                Some(PyType::Callable { params: None, ret: Box::new(PyType::Any) })
-            }
+            ExprKind::Lambda { .. } => Some(PyType::Callable {
+                params: None,
+                ret: Box::new(PyType::Any),
+            }),
             ExprKind::IfExp { body, orelse, .. } => {
                 let a = self.infer(body)?;
                 let b = self.infer(orelse)?;
                 Some(PyType::union(vec![a, b]))
             }
             ExprKind::Starred(inner) => self.infer(inner),
-            ExprKind::Comprehension { kind, element, value, .. } => {
+            ExprKind::Comprehension {
+                kind,
+                element,
+                value,
+                ..
+            } => {
                 use typilus_pyast::ast::CompKind;
                 let elem = self.infer(element).unwrap_or(PyType::Any);
                 Some(match kind {
@@ -336,16 +360,14 @@ impl<'a> Inferencer<'a> {
                         _ => {}
                     }
                 }
-                let arg_types: Vec<Option<PyType>> =
-                    args.iter().map(|a| self.infer(a)).collect();
+                let arg_types: Vec<Option<PyType>> = args.iter().map(|a| self.infer(a)).collect();
                 builtin_call(name, &arg_types)
             }
             ExprKind::Attribute { value, attr, .. } => {
                 // User-class method call: obj.m() where obj: C.
                 if let Some(recv) = self.infer(value) {
                     if let PyType::Named { name, .. } = &recv {
-                        if let Some(&func_sym) =
-                            self.env.methods.get(&(name.clone(), attr.clone()))
+                        if let Some(&func_sym) = self.env.methods.get(&(name.clone(), attr.clone()))
                         {
                             let sig = self.env.functions.get(&func_sym)?;
                             let ret = sig.ret?;
@@ -379,11 +401,7 @@ impl<'a> Inferencer<'a> {
                 _ => Some(PyType::Any),
             },
             "Tuple" => {
-                if let (
-                    PyType::Named { args, .. },
-                    ExprKind::Num(n),
-                ) = (recv, &index.kind)
-                {
+                if let (PyType::Named { args, .. }, ExprKind::Num(n)) = (recv, &index.kind) {
                     if let Ok(i) = n.parse::<usize>() {
                         if i < args.len() {
                             return Some(args[i].clone());
@@ -461,9 +479,11 @@ pub fn binop_result(op: BinOp, left: &PyType, right: &PyType) -> Option<PyType> 
             }
             match (l, r) {
                 ("str", "int") | ("int", "str") => Some(PyType::named("str")),
-                ("List", "int") | ("int", "List") => {
-                    Some(if l == "List" { left.clone() } else { right.clone() })
-                }
+                ("List", "int") | ("int", "List") => Some(if l == "List" {
+                    left.clone()
+                } else {
+                    right.clone()
+                }),
                 _ => None,
             }
         }
@@ -519,8 +539,17 @@ pub fn binop_valid(op: BinOp, left: &PyType, right: &PyType) -> bool {
     let tracked = |t: &PyType| {
         matches!(
             t.base_name(),
-            "int" | "float" | "bool" | "complex" | "str" | "bytes" | "List" | "Tuple"
-                | "Set" | "Dict" | "FrozenSet"
+            "int"
+                | "float"
+                | "bool"
+                | "complex"
+                | "str"
+                | "bytes"
+                | "List"
+                | "Tuple"
+                | "Set"
+                | "Dict"
+                | "FrozenSet"
         ) || *t == PyType::None
     };
     if !tracked(left) || !tracked(right) {
@@ -554,11 +583,16 @@ mod tests {
     /// Infers the type of the value of the last assignment statement.
     fn last_value_type(src: &str, infer_locals: bool) -> Option<String> {
         with_inferencer(src, infer_locals, |inf, parsed| {
-            let value = parsed.module.body.iter().rev().find_map(|s| match &s.kind {
-                StmtKind::Assign { value, .. } => Some(value),
-                StmtKind::Expr(e) => Some(e),
-                _ => None,
-            })?;
+            let value = parsed
+                .module
+                .body
+                .iter()
+                .rev()
+                .find_map(|s| match &s.kind {
+                    StmtKind::Assign { value, .. } => Some(value),
+                    StmtKind::Expr(e) => Some(e),
+                    _ => None,
+                })?;
             inf.infer(value).map(|t| t.to_string())
         })
     }
@@ -582,7 +616,10 @@ mod tests {
             last_value_type("x = {'a': 1}\n", false).unwrap(),
             "Dict[str, int]"
         );
-        assert_eq!(last_value_type("x = (1, 'a')\n", false).unwrap(), "Tuple[int, str]");
+        assert_eq!(
+            last_value_type("x = (1, 'a')\n", false).unwrap(),
+            "Tuple[int, str]"
+        );
         assert_eq!(last_value_type("x = {1, 2}\n", false).unwrap(), "Set[int]");
         assert_eq!(
             last_value_type("x = [1, 'a']\n", false).unwrap(),
@@ -656,7 +693,11 @@ q = Point()
     #[test]
     fn local_inference_only_in_pytype_profile() {
         let src = "count = 1\ntotal = count + 1\nx = total\n";
-        assert_eq!(last_value_type(src, false), None, "mypy profile knows nothing");
+        assert_eq!(
+            last_value_type(src, false),
+            None,
+            "mypy profile knows nothing"
+        );
         assert_eq!(last_value_type(src, true).unwrap(), "int");
     }
 
@@ -685,7 +726,10 @@ x = v
         assert!(!binop_valid(BinOp::Add, &t("str"), &t("int")));
         assert!(!binop_valid(BinOp::Sub, &t("str"), &t("str")));
         assert!(binop_valid(BinOp::Add, &t("int"), &t("float")));
-        assert!(binop_valid(BinOp::Add, &t("torch.Tensor"), &t("int")), "untracked is permissive");
+        assert!(
+            binop_valid(BinOp::Add, &t("torch.Tensor"), &t("int")),
+            "untracked is permissive"
+        );
         assert!(binop_valid(BinOp::Add, &PyType::Any, &t("int")));
     }
 

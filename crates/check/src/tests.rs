@@ -38,7 +38,10 @@ result: int = add(1, 2)
 #[test]
 fn incompatible_assignment_detected() {
     let src = "x: int = 'hello'\n";
-    assert_eq!(codes(&check_mypy(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert_eq!(
+        codes(&check_mypy(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
 }
 
 #[test]
@@ -110,7 +113,11 @@ def f(a: int) -> int:
 f(1, bogus=2)
 ";
     let issues = check_mypy(src);
-    assert!(codes(&issues).contains(&IssueCode::WrongArity) || codes(&issues).contains(&IssueCode::UnknownKeyword), "{issues:?}");
+    assert!(
+        codes(&issues).contains(&IssueCode::WrongArity)
+            || codes(&issues).contains(&IssueCode::UnknownKeyword),
+        "{issues:?}"
+    );
 }
 
 #[test]
@@ -217,7 +224,10 @@ count = 1
 count2: str = count
 ";
     assert!(check_mypy(src).is_empty());
-    assert_eq!(codes(&check_pytype(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert_eq!(
+        codes(&check_pytype(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
 }
 
 #[test]
@@ -268,12 +278,8 @@ def build(layers: int) -> int:
     );
     assert!(!float_issues.is_empty());
     // int prediction: clean.
-    let int_issues = checker.check_with_override(
-        &parsed,
-        &table,
-        layers.id,
-        "int".parse::<PyType>().unwrap(),
-    );
+    let int_issues =
+        checker.check_with_override(&parsed, &table, layers.id, "int".parse::<PyType>().unwrap());
     assert!(int_issues.is_empty(), "{int_issues:?}");
 }
 
@@ -299,7 +305,10 @@ def total(items: List[int]) -> int:
 #[test]
 fn default_value_mismatch() {
     let src = "def f(n: int = 'zero'):\n    pass\n";
-    assert_eq!(codes(&check_mypy(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert_eq!(
+        codes(&check_mypy(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
     // Optional-by-convention None default is allowed.
     assert!(check_mypy("def g(n: int = None):\n    pass\n").is_empty());
 }
@@ -313,7 +322,10 @@ class C:
     def reset(self):
         self.count = 'zero'
 ";
-    assert_eq!(codes(&check_mypy(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert_eq!(
+        codes(&check_mypy(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
 }
 
 #[test]
@@ -343,7 +355,10 @@ def f(items: List[int]):
 ";
     assert_eq!(codes(&check_mypy(src)), vec![]);
     // pytype infers s: int and flags the annotated assignment.
-    assert_eq!(codes(&check_pytype(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert_eq!(
+        codes(&check_pytype(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
 }
 
 #[test]
@@ -358,7 +373,10 @@ def f(maybe: Optional[int]) -> int:
     assert!(check_mypy(src).is_empty(), "{:?}", check_mypy(src));
     // Without the guard, returning the Optional is an error.
     let unguarded = "def g(maybe: Optional[int]) -> int:\n    return maybe\n";
-    assert_eq!(codes(&check_mypy(unguarded)), vec![IssueCode::IncompatibleReturn]);
+    assert_eq!(
+        codes(&check_mypy(unguarded)),
+        vec![IssueCode::IncompatibleReturn]
+    );
 }
 
 #[test]
@@ -449,8 +467,14 @@ fn list_comprehension_typed_assignment() {
 def f(xs: List[int]):
     ys: List[str] = [x * 2 for x in xs]
 ";
-    assert!(check_mypy(src).is_empty(), "mypy profile knows nothing about ys");
-    assert_eq!(codes(&check_pytype(src)), vec![IssueCode::IncompatibleAssignment]);
+    assert!(
+        check_mypy(src).is_empty(),
+        "mypy profile knows nothing about ys"
+    );
+    assert_eq!(
+        codes(&check_pytype(src)),
+        vec![IssueCode::IncompatibleAssignment]
+    );
 }
 
 #[test]

@@ -68,16 +68,12 @@ impl Args {
     /// # Errors
     ///
     /// Fails when the value does not parse.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
         }
     }
 
@@ -87,7 +83,8 @@ impl Args {
     ///
     /// Fails when the option is missing.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError(format!("--{name} is required")))
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("--{name} is required")))
     }
 
     /// Whether a boolean flag was given.
@@ -107,7 +104,9 @@ mod tests {
     #[test]
     fn mixed_arguments() {
         let a = parse(
-            &["predict", "--model", "m.bin", "--top", "3", "--check", "file.py"],
+            &[
+                "predict", "--model", "m.bin", "--top", "3", "--check", "file.py",
+            ],
             &["check"],
         );
         assert_eq!(a.positionals(), &["predict", "file.py"]);

@@ -23,7 +23,8 @@ USAGE:
   typilus gen-corpus --out DIR [--files N] [--seed S] [--error-rate F]
   typilus train      --corpus DIR --model OUT [--encoder graph|seq|path|transformer]
                      [--loss class|space|typilus] [--epochs N] [--dim D]
-                     [--gnn-steps T] [--lr F] [--seed S] [--threads N] [--profile]
+                     [--gnn-steps T] [--lr F] [--seed S] [--threads N]
+                     [--knn-k K] [--knn-p P] [--profile]
   typilus predict    --model FILE [--top K] [--min-confidence F] [--check] PY_FILE...
   typilus eval       --model FILE --corpus DIR [--common N] [--threads N]
   typilus audit      --model FILE --corpus DIR [--min-confidence F]
@@ -31,10 +32,16 @@ USAGE:
 Corpora are directories of .py files. Models are .typilus artefacts
 written by `train` (see typilus::TrainedSystem::save).
 
-Training, corpus preparation and evaluation fan per-file work across
-worker threads; results are bit-identical for every thread count.
---threads 0 (the default) auto-detects: the TYPILUS_THREADS environment
-variable if set, otherwise the number of available CPU cores.
+Training, corpus preparation and evaluation fan per-file work across a
+persistent worker pool; results are bit-identical for every thread
+count. --threads 0 (the default) auto-detects: the TYPILUS_THREADS
+environment variable if set, otherwise the number of available CPU
+cores. A malformed TYPILUS_THREADS (anything but a positive integer) is
+a configuration error.
+
+--knn-k / --knn-p set the kNN prediction parameters of Eq. 5 (k
+nearest markers, distance exponent p); k must be positive and p
+non-negative.
 
 `train --profile` prints arena allocation counters after training; when
 the binary is built with `--features nn-profile` it also prints a per-op
@@ -66,10 +73,16 @@ fn read_corpus_dir(dir: &str) -> Result<Vec<(String, String)>, Box<dyn Error>> {
     Ok(out)
 }
 
-fn load_prepared(dir: &str, graph: &GraphConfig, seed: u64) -> Result<PreparedCorpus, Box<dyn Error>> {
+fn load_prepared(
+    dir: &str,
+    graph: &GraphConfig,
+    seed: u64,
+) -> Result<PreparedCorpus, Box<dyn Error>> {
     let files = read_corpus_dir(dir)?;
-    let named: Vec<(&str, &str)> =
-        files.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let named: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
     let data = PreparedCorpus::from_sources(&named, graph, seed);
     eprintln!(
         "loaded {} files from {dir} ({} train / {} valid / {} test)",
@@ -87,8 +100,12 @@ pub fn gen_corpus(args: &Args) -> CmdResult {
     let files = args.get_parsed("files", 120usize)?;
     let seed = args.get_parsed("seed", 0u64)?;
     let error_rate = args.get_parsed("error-rate", 0.0f64)?;
-    let corpus =
-        generate(&CorpusConfig { files, seed, error_rate, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files,
+        seed,
+        error_rate,
+        ..CorpusConfig::default()
+    });
     for f in &corpus.files {
         let path = Path::new(out_dir).join(&f.name);
         if let Some(parent) = path.parent() {
@@ -129,6 +146,15 @@ pub fn train_cmd(args: &Args) -> CmdResult {
     let corpus_dir = args.require("corpus")?;
     let model_path = args.require("model")?.to_string();
     let seed = args.get_parsed("seed", 0u64)?;
+    let parallelism = Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+    // Surface a malformed TYPILUS_THREADS as a config error up front,
+    // before any corpus loading or training happens.
+    parallelism.try_resolve()?;
+    let knn = KnnConfig {
+        k: args.get_parsed("knn-k", KnnConfig::default().k)?,
+        p: args.get_parsed("knn-p", KnnConfig::default().p)?,
+    };
+    knn.validate()?;
     let graph = GraphConfig::default();
     let data = load_prepared(corpus_dir, &graph, seed)?;
     let config = TypilusConfig {
@@ -146,10 +172,10 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         epochs: args.get_parsed("epochs", 15usize)?,
         batch_size: args.get_parsed("batch-size", 8usize)?,
         lr: args.get_parsed("lr", 0.015f32)?,
-        knn: KnnConfig::default(),
+        knn,
         common_threshold: args.get_parsed("common", 15usize)?,
         seed,
-        parallelism: Parallelism::fixed(args.get_parsed("threads", 0usize)?),
+        parallelism,
         ..TypilusConfig::default()
     };
     let profile = args.has_flag("profile");
@@ -159,7 +185,10 @@ pub fn train_cmd(args: &Args) -> CmdResult {
     }
     let system = train(&data, &config);
     for e in &system.epochs {
-        eprintln!("epoch {:>3}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
+        eprintln!(
+            "epoch {:>3}: loss {:.4} ({:.1}s)",
+            e.epoch, e.mean_loss, e.seconds
+        );
     }
     if profile {
         let stats = typilus_nn::arena_stats();
@@ -172,9 +201,7 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         );
         match typilus_nn::profile_report() {
             Some(table) => eprintln!("{table}"),
-            None => eprintln!(
-                "per-op profile unavailable: rebuild with `--features nn-profile`"
-            ),
+            None => eprintln!("per-op profile unavailable: rebuild with `--features nn-profile`"),
         }
     }
     system.save(&model_path)?;
@@ -215,7 +242,11 @@ pub fn predict_cmd(args: &Args) -> CmdResult {
                 let verdict = if run_checker && !c.ty.is_top() {
                     let issues =
                         checker.check_with_override(&parsed, &table, p.symbol, c.ty.clone());
-                    if issues.is_empty() { " [ok]" } else { " [type error]" }
+                    if issues.is_empty() {
+                        " [ok]"
+                    } else {
+                        " [type error]"
+                    }
                 } else {
                     ""
                 };
@@ -224,7 +255,12 @@ pub fn predict_cmd(args: &Args) -> CmdResult {
             if shown.is_empty() {
                 continue;
             }
-            println!("  {:<20} {:<10} {}", p.name, format!("{:?}", p.kind), shown.join(", "));
+            println!(
+                "  {:<20} {:<10} {}",
+                p.name,
+                format!("{:?}", p.kind),
+                shown.join(", ")
+            );
         }
     }
     Ok(())
@@ -237,15 +273,27 @@ pub fn eval_cmd(args: &Args) -> CmdResult {
     let common = args.get_parsed("common", 15usize)?;
     let mut system = TrainedSystem::load(model_path)?;
     if args.get("threads").is_some() {
-        system.config.parallelism =
-            Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+        system.config.parallelism = Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+        // The loaded system lazily builds its worker pool from this
+        // config; reject a malformed TYPILUS_THREADS here rather than
+        // mid-evaluation.
+        system.config.parallelism.try_resolve()?;
     }
     let data = load_prepared(corpus_dir, &system.config.graph, system.config.seed)?;
     let examples = evaluate_files(&system, &data, &data.split.test);
     let row = table2_row(&examples, &system.hierarchy, common);
-    println!("evaluated {} annotated symbols from the test split", row.counts.0);
-    println!("  exact match:            {:>5.1}% (common {:.1}%, rare {:.1}%)", row.exact_all, row.exact_common, row.exact_rare);
-    println!("  match up to parametric: {:>5.1}% (common {:.1}%, rare {:.1}%)", row.para_all, row.para_common, row.para_rare);
+    println!(
+        "evaluated {} annotated symbols from the test split",
+        row.counts.0
+    );
+    println!(
+        "  exact match:            {:>5.1}% (common {:.1}%, rare {:.1}%)",
+        row.exact_all, row.exact_common, row.exact_rare
+    );
+    println!(
+        "  match up to parametric: {:>5.1}% (common {:.1}%, rare {:.1}%)",
+        row.para_all, row.para_common, row.para_rare
+    );
     println!("  type neutral:           {:>5.1}%", row.neutral);
     Ok(())
 }
@@ -265,7 +313,9 @@ pub fn audit_cmd(args: &Args) -> CmdResult {
     );
     for (idx, file) in data.files.iter().enumerate() {
         for p in system.predict_file(&data, idx) {
-            let (Some(original), Some(top)) = (&p.ground_truth, p.top()) else { continue };
+            let (Some(original), Some(top)) = (&p.ground_truth, p.top()) else {
+                continue;
+            };
             if top.ty == *original || top.probability < min_confidence {
                 continue;
             }

@@ -22,10 +22,22 @@ fn full_cli_pipeline() {
 
     // gen-corpus
     let out = bin()
-        .args(["gen-corpus", "--out", corpus.to_str().unwrap(), "--files", "15", "--seed", "3"])
+        .args([
+            "gen-corpus",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--files",
+            "15",
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("gen-corpus runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // train (tiny settings for test speed)
     let out = bin()
@@ -44,13 +56,20 @@ fn full_cli_pipeline() {
         ])
         .output()
         .expect("train runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists(), "model artefact written");
 
     // predict on a fresh file, with the checker filter
     let sample = dir.join("sample.py");
-    std::fs::write(&sample, "def f(count):\n    total = count + 1\n    return total\n")
-        .expect("write sample");
+    std::fs::write(
+        &sample,
+        "def f(count):\n    total = count + 1\n    return total\n",
+    )
+    .expect("write sample");
     let out = bin()
         .args([
             "predict",
@@ -63,25 +82,52 @@ fn full_cli_pipeline() {
         ])
         .output()
         .expect("predict runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("count"), "predictions mention the parameter: {stdout}");
+    assert!(
+        stdout.contains("count"),
+        "predictions mention the parameter: {stdout}"
+    );
 
     // eval
     let out = bin()
-        .args(["eval", "--model", model.to_str().unwrap(), "--corpus", corpus.to_str().unwrap()])
+        .args([
+            "eval",
+            "--model",
+            model.to_str().unwrap(),
+            "--corpus",
+            corpus.to_str().unwrap(),
+        ])
         .output()
         .expect("eval runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("exact match"), "{stdout}");
 
     // audit
     let out = bin()
-        .args(["audit", "--model", model.to_str().unwrap(), "--corpus", corpus.to_str().unwrap()])
+        .args([
+            "audit",
+            "--model",
+            model.to_str().unwrap(),
+            "--corpus",
+            corpus.to_str().unwrap(),
+        ])
         .output()
         .expect("audit runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -96,7 +142,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_required_option_fails() {
-    let out = bin().args(["train", "--corpus", "/nonexistent"]).output().expect("runs");
+    let out = bin()
+        .args(["train", "--corpus", "/nonexistent"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--model"), "{stderr}");

@@ -53,7 +53,9 @@ impl PreparedCorpus {
     ) -> PreparedCorpus {
         let sources: Vec<&str> = named_sources.iter().map(|(_, s)| *s).collect();
         let kept = deduplicate(&sources, DEFAULT_THRESHOLD);
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let chunk_size = kept.len().div_ceil(threads).max(1);
         let mut per_chunk: Vec<Vec<SourceFile>> = Vec::new();
         crossbeam::scope(|scope| {
@@ -92,7 +94,10 @@ impl PreparedCorpus {
 
     /// Graphs of the given file indices.
     pub fn graphs_of(&self, indices: &[usize]) -> Vec<ProgramGraph> {
-        indices.iter().map(|&i| self.files[i].graph.clone()).collect()
+        indices
+            .iter()
+            .map(|&i| self.files[i].graph.clone())
+            .collect()
     }
 
     /// Registers every class defined anywhere in the corpus into a type
@@ -129,7 +134,11 @@ mod tests {
 
     #[test]
     fn prepares_and_splits() {
-        let corpus = generate(&CorpusConfig { files: 12, seed: 1, ..CorpusConfig::default() });
+        let corpus = generate(&CorpusConfig {
+            files: 12,
+            seed: 1,
+            ..CorpusConfig::default()
+        });
         let prepared = PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 0);
         // Duplicates removed; everything else parses.
         assert!(prepared.files.len() >= 10);
@@ -146,7 +155,11 @@ mod tests {
 
     #[test]
     fn classes_registered() {
-        let corpus = generate(&CorpusConfig { files: 12, seed: 1, ..CorpusConfig::default() });
+        let corpus = generate(&CorpusConfig {
+            files: 12,
+            seed: 1,
+            ..CorpusConfig::default()
+        });
         let prepared = PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 0);
         let mut h = TypeHierarchy::new();
         prepared.register_classes(&mut h);

@@ -56,8 +56,8 @@ pub use pipeline::{
 };
 pub use suggest::{SuggestOptions, Suggestion};
 pub use typecheck_eval::{
-    check_pr_curve, check_predictions, Category, CategoryStats, CheckPrPoint,
-    CheckedPrediction, Table5,
+    check_pr_curve, check_predictions, Category, CategoryStats, CheckPrPoint, CheckedPrediction,
+    Table5,
 };
 
 // Re-export the substrate types users need at the API boundary.

@@ -44,9 +44,15 @@ pub fn evaluate_files(
     let mut out = Vec::new();
     for predictions in system.predict_files(data, indices) {
         for prediction in predictions {
-            let Some(truth) = prediction.ground_truth.clone() else { continue };
+            let Some(truth) = prediction.ground_truth.clone() else {
+                continue;
+            };
             let truth_train_count = system.train_count(&truth);
-            out.push(EvalExample { prediction, truth, truth_train_count });
+            out.push(EvalExample {
+                prediction,
+                truth,
+                truth_train_count,
+            });
         }
     }
     out
@@ -249,7 +255,11 @@ pub fn pr_curve(
             let correct_count = predicted.iter().filter(|e| correct(e)).count();
             PrPoint {
                 threshold: th,
-                recall: if total == 0 { 0.0 } else { predicted.len() as f64 / total as f64 },
+                recall: if total == 0 {
+                    0.0
+                } else {
+                    predicted.len() as f64 / total as f64
+                },
                 precision: if predicted.is_empty() {
                     1.0
                 } else {
@@ -282,7 +292,10 @@ mod tests {
                 ground_truth: Some(truth.parse().unwrap()),
                 candidates: predicted
                     .map(|(ty, p)| {
-                        vec![TypePrediction { ty: ty.parse().unwrap(), probability: p }]
+                        vec![TypePrediction {
+                            ty: ty.parse().unwrap(),
+                            probability: p,
+                        }]
                     })
                     .unwrap_or_default(),
             },
@@ -295,17 +308,20 @@ mod tests {
     fn match_rates_cover_criteria() {
         let h = TypeHierarchy::new();
         let examples = vec![
-            example("int", Some(("int", 0.9)), 100),          // exact
+            example("int", Some(("int", 0.9)), 100),           // exact
             example("List[int]", Some(("List[str]", 0.8)), 5), // para only
             example("List[int]", Some(("Sequence[int]", 0.7)), 5), // neutral only
-            example("str", Some(("bytes", 0.6)), 100),        // none
-            example("str", None, 100),                        // no prediction
+            example("str", Some(("bytes", 0.6)), 100),         // none
+            example("str", None, 100),                         // no prediction
         ];
         let r = MatchRates::compute(&examples, &h, |_| true);
         assert_eq!(r.count, 5);
         assert!((r.exact - 20.0).abs() < 1e-9);
         assert!((r.up_to_parametric - 40.0).abs() < 1e-9);
-        assert!((r.neutral - 40.0).abs() < 1e-9, "exact + supertype are neutral: {r:?}");
+        assert!(
+            (r.neutral - 40.0).abs() < 1e-9,
+            "exact + supertype are neutral: {r:?}"
+        );
     }
 
     #[test]

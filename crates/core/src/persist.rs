@@ -89,7 +89,10 @@ impl TrainedSystem {
         ver.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
         let found = u32::from_le_bytes(ver);
         if found != VERSION {
-            return Err(PersistError::VersionMismatch { found, expected: VERSION });
+            return Err(PersistError::VersionMismatch {
+                found,
+                expected: VERSION,
+            });
         }
         Ok(typilus_serbin::from_bytes(&bytes[MAGIC.len() + 4..])?)
     }
@@ -124,9 +127,12 @@ mod tests {
     use typilus_models::ModelConfig;
 
     fn tiny_system() -> (TrainedSystem, PreparedCorpus) {
-        let corpus = generate(&CorpusConfig { files: 8, seed: 2, ..CorpusConfig::default() });
-        let data =
-            PreparedCorpus::from_corpus(&corpus, &typilus_graph::GraphConfig::default(), 2);
+        let corpus = generate(&CorpusConfig {
+            files: 8,
+            seed: 2,
+            ..CorpusConfig::default()
+        });
+        let data = PreparedCorpus::from_corpus(&corpus, &typilus_graph::GraphConfig::default(), 2);
         let config = TypilusConfig {
             model: ModelConfig {
                 dim: 8,
@@ -185,7 +191,10 @@ mod tests {
         let mut bytes = system.to_bytes().unwrap();
         bytes[8] = 99; // corrupt the version field
         let err = TrainedSystem::from_bytes(&bytes).unwrap_err();
-        assert!(matches!(err, PersistError::VersionMismatch { found: 99, .. }));
+        assert!(matches!(
+            err,
+            PersistError::VersionMismatch { found: 99, .. }
+        ));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use typilus_graph::GraphConfig;
 use typilus_models::{LossKind, ModelConfig, PreparedFile, TypeModel};
-use typilus_nn::{par_map_ordered, resolve_threads, Adam};
+use typilus_nn::{
+    resolve_threads, try_resolve_threads, Adam, PoolCell, ThreadConfigError, WorkerPool,
+};
 use typilus_pyast::symtable::{SymbolId, SymbolKind};
 use typilus_space::{KnnConfig, RpForestConfig, TypeMap, TypePrediction};
 use typilus_types::{PyType, TypeHierarchy};
@@ -36,9 +38,30 @@ impl Parallelism {
         Parallelism { threads }
     }
 
-    /// The concrete worker count to use.
+    /// The concrete worker count to use. A malformed `TYPILUS_THREADS`
+    /// warns once and clamps to 1; use [`Parallelism::try_resolve`] to
+    /// surface the error instead.
     pub fn resolve(self) -> usize {
-        resolve_threads(if self.threads == 0 { None } else { Some(self.threads) })
+        resolve_threads(if self.threads == 0 {
+            None
+        } else {
+            Some(self.threads)
+        })
+    }
+
+    /// Like [`Parallelism::resolve`], but a malformed `TYPILUS_THREADS`
+    /// is a configuration error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadConfigError`] when auto-detection is in effect
+    /// and `TYPILUS_THREADS` is set to anything but a positive integer.
+    pub fn try_resolve(self) -> Result<usize, ThreadConfigError> {
+        try_resolve_threads(if self.threads == 0 {
+            None
+        } else {
+            Some(self.threads)
+        })
     }
 }
 
@@ -142,17 +165,24 @@ pub struct TrainedSystem {
     pub config: TypilusConfig,
     /// Per-epoch statistics of the training run.
     pub epochs: Vec<EpochStats>,
+    /// The system's worker pool: created once (training hands over the
+    /// pool it trained with), reused by every batch-prediction call so
+    /// worker arenas stay warm. Never persisted — a loaded system
+    /// re-creates it lazily from `config.parallelism`.
+    pub pool: PoolCell,
 }
 
 /// Trains a system on the prepared corpus' training split.
 pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
-    let threads = config.parallelism.resolve();
+    // One pool for the whole run: its workers — and their thread-local
+    // buffer arenas — survive across batches and epochs, and are handed
+    // to the returned system for batch prediction.
+    let pool = WorkerPool::new(config.parallelism.resolve());
     let train_graphs = data.graphs_of(&data.split.train);
     let model = TypeModel::new(config.model, &train_graphs);
 
-    // Prepare every file once, fanning the per-file work across threads.
-    let prepared: Vec<PreparedFile> =
-        par_map_ordered(&data.files, threads, |_, f| model.prepare(&f.graph));
+    // Prepare every file once, fanning the per-file work across the pool.
+    let prepared: Vec<PreparedFile> = pool.map_ordered(&data.files, |_, f| model.prepare(&f.graph));
 
     let mut optimizer = Adam::new(config.lr);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -165,7 +195,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         let mut losses = Vec::new();
         for chunk in order.chunks(config.batch_size.max(1)) {
             let batch: Vec<&PreparedFile> = chunk.iter().map(|&i| &prepared[i]).collect();
-            if let Some((loss, grads)) = model.train_step_parallel(&batch, threads) {
+            if let Some((loss, grads)) = model.train_step_parallel(&batch, &pool) {
                 if loss.is_finite() {
                     losses.push(loss);
                     optimizer.step(&mut model.params, grads);
@@ -196,14 +226,21 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         .chain(&data.split.valid)
         .map(|&idx| &prepared[idx])
         .collect();
-    let tau_indices: Vec<usize> =
-        data.split.train.iter().chain(&data.split.valid).copied().collect();
+    let tau_indices: Vec<usize> = data
+        .split
+        .train
+        .iter()
+        .chain(&data.split.valid)
+        .copied()
+        .collect();
     // Embed every train/valid file in parallel; markers are inserted
     // sequentially in file order below, so the map is deterministic.
-    let embedded = model.embed_inference_batch(&tau_files, threads);
+    let embedded = model.embed_inference_batch(&tau_files, &pool);
     let train_set: HashSet<usize> = data.split.train.iter().copied().collect();
     for (&idx, embeddings) in tau_indices.iter().zip(&embedded) {
-        let Some(embeddings) = embeddings else { continue };
+        let Some(embeddings) = embeddings else {
+            continue;
+        };
         for (t, target) in prepared[idx].targets.iter().enumerate() {
             let Some(ty) = &target.ty else { continue };
             type_map.add(embeddings.row(t).to_vec(), ty.clone());
@@ -226,6 +263,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         train_type_counts,
         config: *config,
         epochs: epoch_stats,
+        pool: PoolCell::with(pool),
     }
 }
 
@@ -237,8 +275,16 @@ impl TrainedSystem {
         self.predict_prepared(&prepared, file_idx)
     }
 
+    /// The system's worker pool, created from `config.parallelism` on
+    /// first use (training pre-populates it with the pool it trained
+    /// with).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_create(|| self.config.parallelism.resolve())
+    }
+
     /// Predicts over many corpus files at once, fanning the per-file
-    /// work across the configured worker threads. Results keep the
+    /// work across the system's worker pool. Results keep the
     /// order of `indices` and match per-file [`TrainedSystem::predict_file`]
     /// calls exactly.
     pub fn predict_files(
@@ -246,8 +292,8 @@ impl TrainedSystem {
         data: &PreparedCorpus,
         indices: &[usize],
     ) -> Vec<Vec<SymbolPrediction>> {
-        let threads = self.config.parallelism.resolve();
-        par_map_ordered(indices, threads, |_, &idx| self.predict_file(data, idx))
+        self.worker_pool()
+            .map_ordered(indices, |_, &idx| self.predict_file(data, idx))
     }
 
     /// Predicts types for an out-of-corpus source string.
@@ -261,8 +307,7 @@ impl TrainedSystem {
     ) -> Result<Vec<SymbolPrediction>, typilus_pyast::ParseError> {
         let parsed = typilus_pyast::parse(source)?;
         let table = typilus_pyast::SymbolTable::build(&parsed.module);
-        let graph =
-            typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<input>");
+        let graph = typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<input>");
         let prepared = self.model.prepare(&graph);
         Ok(self.predict_prepared(&prepared, usize::MAX))
     }
@@ -287,7 +332,10 @@ impl TrainedSystem {
             let candidates = match (&class_predictions, &embeddings) {
                 (Some(preds), _) => {
                     let (ty, p) = &preds[t];
-                    vec![TypePrediction { ty: ty.clone(), probability: *p }]
+                    vec![TypePrediction {
+                        ty: ty.clone(),
+                        probability: *p,
+                    }]
                 }
                 (None, Some(emb)) => self.type_map.predict(emb.row(t), self.config.knn),
                 (None, None) => Vec::new(),
@@ -310,22 +358,28 @@ impl TrainedSystem {
     ///
     /// Returns `false` when the symbol is not found in the snippet.
     pub fn bind_type_example(&mut self, source: &str, symbol_name: &str, ty: PyType) -> bool {
-        let Ok(parsed) = typilus_pyast::parse(source) else { return false };
+        let Ok(parsed) = typilus_pyast::parse(source) else {
+            return false;
+        };
         let table = typilus_pyast::SymbolTable::build(&parsed.module);
-        let graph =
-            typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<binding>");
+        let graph = typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<binding>");
         let prepared = self.model.prepare(&graph);
         let Some(idx) = prepared.targets.iter().position(|t| t.name == symbol_name) else {
             return false;
         };
-        let Some(embeddings) = self.model.embed_inference(&prepared) else { return false };
+        let Some(embeddings) = self.model.embed_inference(&prepared) else {
+            return false;
+        };
         self.type_map.add(embeddings.row(idx).to_vec(), ty);
         true
     }
 
     /// Number of training annotations of a type (0 if unseen).
     pub fn train_count(&self, ty: &PyType) -> usize {
-        self.train_type_counts.get(&ty.to_string()).copied().unwrap_or(0)
+        self.train_type_counts
+            .get(&ty.to_string())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Whether a type counts as *common* under the configured threshold.

@@ -141,9 +141,12 @@ mod tests {
     use typilus_models::ModelConfig;
 
     fn tiny_system() -> (TrainedSystem, PreparedCorpus) {
-        let corpus = generate(&CorpusConfig { files: 25, seed: 6, ..CorpusConfig::default() });
-        let data =
-            PreparedCorpus::from_corpus(&corpus, &typilus_graph::GraphConfig::default(), 6);
+        let corpus = generate(&CorpusConfig {
+            files: 25,
+            seed: 6,
+            ..CorpusConfig::default()
+        });
+        let data = PreparedCorpus::from_corpus(&corpus, &typilus_graph::GraphConfig::default(), 6);
         let config = TypilusConfig {
             model: ModelConfig {
                 dim: 16,
@@ -172,18 +175,20 @@ mod tests {
                 any = true;
                 assert!(s.confidence <= last + 1e-6, "sorted by confidence");
                 last = s.confidence;
-                assert!(s.existing.is_none(), "default options skip annotated symbols");
-                // Re-verify: the suggestion must type check.
-                let issues = checker.check_with_override(
-                    &file.parsed,
-                    &file.table,
-                    s.symbol,
-                    s.ty.clone(),
+                assert!(
+                    s.existing.is_none(),
+                    "default options skip annotated symbols"
                 );
+                // Re-verify: the suggestion must type check.
+                let issues =
+                    checker.check_with_override(&file.parsed, &file.table, s.symbol, s.ty.clone());
                 assert!(issues.is_empty(), "suggestion {s:?} fails its own check");
             }
         }
-        assert!(any, "expected at least one suggestion across the test split");
+        assert!(
+            any,
+            "expected at least one suggestion across the test split"
+        );
     }
 
     #[test]
@@ -202,7 +207,10 @@ mod tests {
                 }
             }
         }
-        assert!(annotated_seen, "annotated symbols should appear when requested");
+        assert!(
+            annotated_seen,
+            "annotated symbols should appear when requested"
+        );
     }
 
     #[test]
@@ -211,7 +219,10 @@ mod tests {
         let suggestions = system
             .suggest_source(
                 "def scale(count):\n    total = count * 2\n    return total\n",
-                &SuggestOptions { min_confidence: 0.0, ..SuggestOptions::default() },
+                &SuggestOptions {
+                    min_confidence: 0.0,
+                    ..SuggestOptions::default()
+                },
             )
             .expect("parses");
         assert!(!suggestions.is_empty());

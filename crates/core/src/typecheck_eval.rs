@@ -120,7 +120,9 @@ pub fn check_predictions(
         }
         table.assessed_files += 1;
         for prediction in system.predict_file(data, idx) {
-            let Some(top) = prediction.top() else { continue };
+            let Some(top) = prediction.top() else {
+                continue;
+            };
             // The paper skips Any predictions.
             if top.ty.is_top() {
                 continue;
@@ -186,7 +188,11 @@ pub fn check_pr_curve(outcomes: &[CheckedPrediction], thresholds: &[f32]) -> Vec
             let passing = kept.iter().filter(|o| o.passes).count();
             CheckPrPoint {
                 threshold: th,
-                recall: if total == 0 { 0.0 } else { kept.len() as f64 / total as f64 },
+                recall: if total == 0 {
+                    0.0
+                } else {
+                    kept.len() as f64 / total as f64
+                },
                 precision: if kept.is_empty() {
                     1.0
                 } else {

@@ -80,7 +80,8 @@ mod tests {
     const A: &str = "def add(count: int) -> int:\n    total = count + 1\n    return total\n";
     // Same identifiers, one rename: high similarity.
     const A2: &str = "def add(count: int) -> int:\n    total = count + 2\n    return total\n";
-    const B: &str = "def greet(name: str) -> str:\n    message = name.upper()\n    return message\n";
+    const B: &str =
+        "def greet(name: str) -> str:\n    message = name.upper()\n    return message\n";
 
     #[test]
     fn exact_duplicates_removed() {

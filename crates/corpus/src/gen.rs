@@ -104,7 +104,12 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
             .filter(|(c, _)| c % config.files.max(1) == i)
             .map(|(_, &n)| n)
             .collect();
-        let mut synth = Synth { universe: &universe, rng: &mut rng, config, fns: Vec::new() };
+        let mut synth = Synth {
+            universe: &universe,
+            rng: &mut rng,
+            config,
+            fns: Vec::new(),
+        };
         let file = synth.file(i, &owned);
         files.push(file);
     }
@@ -127,7 +132,9 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
 /// Renames a couple of identifiers and literals — enough to defeat exact
 /// hashing, not enough to defeat near-duplicate detection.
 fn mutate_duplicate(source: &str, rng: &mut StdRng) -> String {
-    let mut out = source.replace("result", "outcome").replace("helper", "util");
+    let mut out = source
+        .replace("result", "outcome")
+        .replace("helper", "util");
     if rng.gen_bool(0.5) {
         out = out.replace(" 2", " 3");
     }
@@ -160,7 +167,11 @@ impl Env {
     }
 
     fn of_type<'e>(&'e self, ty: &PyType) -> Vec<&'e str> {
-        self.vars.iter().filter(|(_, t)| t == ty).map(|(n, _)| n.as_str()).collect()
+        self.vars
+            .iter()
+            .filter(|(_, t)| t == ty)
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     fn of_base<'e>(&'e self, base: &str) -> Vec<(&'e str, &'e PyType)> {
@@ -234,8 +245,11 @@ impl Synth<'_, '_> {
                 self.pick(&options).clone()
             }
             "float" => {
-                let mut options: Vec<String> =
-                    vec![format!("{}.{}", self.rng.gen_range(0..9), self.rng.gen_range(1..9))];
+                let mut options: Vec<String> = vec![format!(
+                    "{}.{}",
+                    self.rng.gen_range(0..9),
+                    self.rng.gen_range(1..9)
+                )];
                 for (n, _) in env.of_base("float") {
                     options.push(format!("{n} * 0.5"));
                 }
@@ -259,8 +273,7 @@ impl Synth<'_, '_> {
             }
             "str" => {
                 let words = ["alpha", "beta", "delta", "gamma", "omega", "sigma"];
-                let mut options: Vec<String> =
-                    vec![format!("'{}'", self.pick(&words))];
+                let mut options: Vec<String> = vec![format!("'{}'", self.pick(&words))];
                 for (n, _) in env.of_base("str") {
                     options.push(format!("{n}.upper()"));
                     options.push(format!("{n}.strip()"));
@@ -330,9 +343,9 @@ impl Synth<'_, '_> {
                 self.list_expr(&PyType::generic("List", vec![inner]), env, depth)
             }
             "Callable" => match ty {
-                PyType::Callable { params: Some(ps), .. } if ps.len() == 1 => {
-                    "lambda v: v + 1".to_string()
-                }
+                PyType::Callable {
+                    params: Some(ps), ..
+                } if ps.len() == 1 => "lambda v: v + 1".to_string(),
                 _ => "lambda v: v".to_string(),
             },
             name if self.is_user_class(name) => format!("{name}()"),
@@ -437,9 +450,7 @@ impl Synth<'_, '_> {
                 let optionals: Vec<String> = env
                     .vars
                     .iter()
-                    .filter(|(_, t)| {
-                        matches!(t, PyType::Union(m) if m.contains(&PyType::None))
-                    })
+                    .filter(|(_, t)| matches!(t, PyType::Union(m) if m.contains(&PyType::None)))
                     .map(|(n, _)| n.clone())
                     .collect();
                 if let Some(opt) = optionals.first() {
@@ -507,8 +518,10 @@ impl Synth<'_, '_> {
                     let f = &self.fns[f_idx];
                     (f.name.clone(), f.params.clone(), f.ret.clone())
                 };
-                let args: Vec<String> =
-                    params.iter().map(|(_, t)| self.expr_of(t, env, 1)).collect();
+                let args: Vec<String> = params
+                    .iter()
+                    .map(|(_, t)| self.expr_of(t, env, 1))
+                    .collect();
                 let ret_profile = self
                     .universe
                     .profiles()
@@ -583,7 +596,9 @@ impl Synth<'_, '_> {
         // Return type.
         let ret_idx = self.universe.sample(self.rng);
         let ret = self.universe.profile(ret_idx).ty.clone();
-        let verbs = ["build", "load", "compute", "update", "merge", "select", "format", "resolve"];
+        let verbs = [
+            "build", "load", "compute", "update", "merge", "select", "format", "resolve",
+        ];
         let verb = self.pick(&verbs);
         let noun = params
             .first()
@@ -595,7 +610,11 @@ impl Synth<'_, '_> {
         } else {
             String::new()
         };
-        out.push_str(&format!("def {fname}({}){}:\n", param_texts.join(", "), ret_annotation));
+        out.push_str(&format!(
+            "def {fname}({}){}:\n",
+            param_texts.join(", "),
+            ret_annotation
+        ));
         // Body.
         let n_stmts = self.rng.gen_range(2..=4);
         for _ in 0..n_stmts {
@@ -603,7 +622,11 @@ impl Synth<'_, '_> {
         }
         let ret_expr = self.expr_of(&ret, &env, 0);
         out.push_str(&format!("    return {ret_expr}\n\n\n"));
-        self.fns.push(FnSig { name: fname, params, ret });
+        self.fns.push(FnSig {
+            name: fname,
+            params,
+            ret,
+        });
         errors
     }
 
@@ -633,7 +656,9 @@ impl Synth<'_, '_> {
     fn file(&mut self, index: usize, owned_classes: &[&str]) -> GeneratedFile {
         let name = format!("repo_{:02}/module_{index:03}.py", index % 20);
         let mut source = String::new();
-        source.push_str("from typing import Dict, List, Optional, Set, Tuple, Iterable, Callable\n\n\n");
+        source.push_str(
+            "from typing import Dict, List, Optional, Set, Tuple, Iterable, Callable\n\n\n",
+        );
         let mut errors = Vec::new();
         for class_name in owned_classes {
             self.class(class_name, &mut source);
@@ -643,7 +668,12 @@ impl Synth<'_, '_> {
         for f in 0..n_fns {
             errors.extend(self.function(&name, f, &mut source));
         }
-        GeneratedFile { name, source, injected_errors: errors, is_duplicate: false }
+        GeneratedFile {
+            name,
+            source,
+            injected_errors: errors,
+            is_duplicate: false,
+        }
     }
 }
 
@@ -680,7 +710,11 @@ mod tests {
     use typilus_pyast::parse;
 
     fn small_config() -> CorpusConfig {
-        CorpusConfig { files: 20, seed: 3, ..CorpusConfig::default() }
+        CorpusConfig {
+            files: 20,
+            seed: 3,
+            ..CorpusConfig::default()
+        }
     }
 
     #[test]
@@ -689,7 +723,10 @@ mod tests {
         assert_eq!(corpus.files.len(), 22); // 20 + 10% duplicates
         for f in &corpus.files {
             parse(&f.source).unwrap_or_else(|e| {
-                panic!("generated file {} fails to parse: {e}\n{}", f.name, f.source)
+                panic!(
+                    "generated file {} fails to parse: {e}\n{}",
+                    f.name, f.source
+                )
             });
         }
     }
@@ -706,7 +743,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&small_config());
-        let b = generate(&CorpusConfig { seed: 99, ..small_config() });
+        let b = generate(&CorpusConfig {
+            seed: 99,
+            ..small_config()
+        });
         assert_ne!(a.files[0].source, b.files[0].source);
     }
 
@@ -726,14 +766,16 @@ mod tests {
             }
         }
         assert!(total > 200, "too few symbols: {total}");
-        assert!(annotated * 10 >= total * 2, "too few annotations: {annotated}/{total}");
+        assert!(
+            annotated * 10 >= total * 2,
+            "too few annotations: {annotated}/{total}"
+        );
     }
 
     #[test]
     fn user_classes_are_defined_somewhere() {
         let corpus = generate(&small_config());
-        let all_source: String =
-            corpus.files.iter().map(|f| f.source.as_str()).collect();
+        let all_source: String = corpus.files.iter().map(|f| f.source.as_str()).collect();
         let classes = corpus.universe.user_classes();
         let defined = classes
             .iter()
@@ -744,10 +786,18 @@ mod tests {
 
     #[test]
     fn error_injection_records_ground_truth() {
-        let config = CorpusConfig { error_rate: 0.3, files: 10, seed: 5, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            error_rate: 0.3,
+            files: 10,
+            seed: 5,
+            ..CorpusConfig::default()
+        };
         let corpus = generate(&config);
-        let errors: Vec<&InjectedError> =
-            corpus.files.iter().flat_map(|f| f.injected_errors.iter()).collect();
+        let errors: Vec<&InjectedError> = corpus
+            .files
+            .iter()
+            .flat_map(|f| f.injected_errors.iter())
+            .collect();
         assert!(!errors.is_empty());
         for e in errors {
             assert_ne!(e.true_type, e.wrong_type);
@@ -775,7 +825,11 @@ mod tests {
     fn rare_types_form_a_substantial_minority() {
         // Mirror of the paper's data section: ~32% of annotations are
         // rare. With a laptop-scale corpus we accept 15–60%.
-        let config = CorpusConfig { files: 60, seed: 11, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            files: 60,
+            seed: 11,
+            ..CorpusConfig::default()
+        };
         let corpus = generate(&config);
         let mut counts: std::collections::HashMap<String, usize> = Default::default();
         for f in &corpus.files {
@@ -789,8 +843,7 @@ mod tests {
         }
         let total: usize = counts.values().sum();
         let threshold = 20usize; // scaled-down "common" cut
-        let rare: usize =
-            counts.values().filter(|&&c| c < threshold).copied().sum();
+        let rare: usize = counts.values().filter(|&&c| c < threshold).copied().sum();
         let frac = rare as f64 / total as f64;
         assert!(
             (0.10..=0.70).contains(&frac),

@@ -53,8 +53,13 @@ mod tests {
         assert_eq!(s.train.len(), 70);
         assert_eq!(s.valid.len(), 10);
         assert_eq!(s.test.len(), 20);
-        let all: HashSet<usize> =
-            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
         assert_eq!(all.len(), 100);
     }
 

@@ -41,12 +41,16 @@ pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
     let mut files = 0usize;
     for f in corpus.files.iter().filter(|f| !f.is_duplicate) {
         files += 1;
-        let Ok(parsed) = parse(&f.source) else { continue };
+        let Ok(parsed) = parse(&f.source) else {
+            continue;
+        };
         let table = SymbolTable::build(&parsed.module);
         for s in table.annotatable_symbols() {
             symbols += 1;
             let Some(text) = &s.annotation else { continue };
-            let Ok(ty) = text.parse::<typilus_types::PyType>() else { continue };
+            let Ok(ty) = text.parse::<typilus_types::PyType>() else {
+                continue;
+            };
             if ty.is_top() || ty == typilus_types::PyType::None {
                 continue;
             }
@@ -61,8 +65,11 @@ pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
     type_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let total: usize = type_counts.iter().map(|(_, c)| c).sum();
     let top10: usize = type_counts.iter().take(10).map(|(_, c)| c).sum();
-    let rare: usize =
-        type_counts.iter().filter(|(_, c)| *c < rare_threshold).map(|(_, c)| c).sum();
+    let rare: usize = type_counts
+        .iter()
+        .filter(|(_, c)| *c < rare_threshold)
+        .map(|(_, c)| c)
+        .sum();
     CorpusStats {
         files,
         symbols,
@@ -91,11 +98,19 @@ mod tests {
 
     #[test]
     fn stats_reflect_paper_shape() {
-        let corpus = generate(&CorpusConfig { files: 60, seed: 4, ..CorpusConfig::default() });
+        let corpus = generate(&CorpusConfig {
+            files: 60,
+            seed: 4,
+            ..CorpusConfig::default()
+        });
         let stats = corpus_stats(&corpus, 20);
         assert!(stats.symbols > stats.annotated);
         assert!(stats.annotated > 300, "annotated = {}", stats.annotated);
-        assert!(stats.distinct_types > 30, "distinct = {}", stats.distinct_types);
+        assert!(
+            stats.distinct_types > 30,
+            "distinct = {}",
+            stats.distinct_types
+        );
         // Head dominance and a fat tail, as in the paper's data section.
         assert!(stats.top10_mass > 0.35, "top10 = {}", stats.top10_mass);
         assert!(stats.rare_fraction > 0.1, "rare = {}", stats.rare_fraction);

@@ -45,21 +45,23 @@ pub struct UniverseConfig {
 
 impl Default for UniverseConfig {
     fn default() -> Self {
-        UniverseConfig { user_types: 110, zipf_exponent: 1.05 }
+        UniverseConfig {
+            user_types: 110,
+            zipf_exponent: 1.05,
+        }
     }
 }
 
 const ADJECTIVES: &[&str] = &[
-    "Token", "Data", "Request", "Response", "Config", "Session", "Batch", "Cache", "Event",
-    "File", "Graph", "Index", "Job", "Key", "Log", "Message", "Node", "Packet", "Query",
-    "Record", "Schema", "Stream", "Task", "User", "Vector", "Worker", "Audio", "Image",
-    "Model", "Metric",
+    "Token", "Data", "Request", "Response", "Config", "Session", "Batch", "Cache", "Event", "File",
+    "Graph", "Index", "Job", "Key", "Log", "Message", "Node", "Packet", "Query", "Record",
+    "Schema", "Stream", "Task", "User", "Vector", "Worker", "Audio", "Image", "Model", "Metric",
 ];
 
 const NOUNS: &[&str] = &[
-    "Buffer", "Loader", "Handler", "Manager", "Builder", "Parser", "Writer", "Reader",
-    "Store", "Pool", "Queue", "Registry", "Tracker", "Router", "Encoder", "Decoder",
-    "Filter", "Mapper", "Runner", "Monitor",
+    "Buffer", "Loader", "Handler", "Manager", "Builder", "Parser", "Writer", "Reader", "Store",
+    "Pool", "Queue", "Registry", "Tracker", "Router", "Encoder", "Decoder", "Filter", "Mapper",
+    "Runner", "Monitor",
 ];
 
 fn snake_case(pascal: &str) -> String {
@@ -85,31 +87,147 @@ fn profile(ty: &str, names: &[&str]) -> TypeProfile {
 /// generics with their characteristic names, ordered by intended rank.
 fn builtin_profiles() -> Vec<TypeProfile> {
     vec![
-        profile("str", &["name", "text", "label", "title", "path", "message", "key", "prefix", "suffix", "line"]),
-        profile("int", &["count", "num_items", "size", "index", "total", "offset", "limit", "step", "depth", "width"]),
-        profile("bool", &["is_valid", "has_data", "flag", "enabled", "done", "is_empty", "verbose", "found", "strict", "active"]),
-        profile("float", &["ratio", "score", "weight", "rate", "threshold", "value", "scale", "alpha", "temperature", "factor"]),
-        profile("List[str]", &["names", "lines", "tokens", "labels", "paths", "words", "keys", "parts"]),
-        profile("List[int]", &["counts", "sizes", "indices", "ids", "offsets", "lengths", "values", "dims"]),
-        profile("Optional[str]", &["maybe_name", "default_label", "override_text", "alias", "nickname"]),
-        profile("Dict[str, str]", &["mapping", "aliases", "headers", "env", "labels_by_key"]),
-        profile("Dict[str, int]", &["counts_by_name", "index_of", "frequencies", "id_map", "histogram"]),
-        profile("Optional[int]", &["maybe_count", "default_size", "limit_or_none", "cap", "max_items"]),
+        profile(
+            "str",
+            &[
+                "name", "text", "label", "title", "path", "message", "key", "prefix", "suffix",
+                "line",
+            ],
+        ),
+        profile(
+            "int",
+            &[
+                "count",
+                "num_items",
+                "size",
+                "index",
+                "total",
+                "offset",
+                "limit",
+                "step",
+                "depth",
+                "width",
+            ],
+        ),
+        profile(
+            "bool",
+            &[
+                "is_valid", "has_data", "flag", "enabled", "done", "is_empty", "verbose", "found",
+                "strict", "active",
+            ],
+        ),
+        profile(
+            "float",
+            &[
+                "ratio",
+                "score",
+                "weight",
+                "rate",
+                "threshold",
+                "value",
+                "scale",
+                "alpha",
+                "temperature",
+                "factor",
+            ],
+        ),
+        profile(
+            "List[str]",
+            &[
+                "names", "lines", "tokens", "labels", "paths", "words", "keys", "parts",
+            ],
+        ),
+        profile(
+            "List[int]",
+            &[
+                "counts", "sizes", "indices", "ids", "offsets", "lengths", "values", "dims",
+            ],
+        ),
+        profile(
+            "Optional[str]",
+            &[
+                "maybe_name",
+                "default_label",
+                "override_text",
+                "alias",
+                "nickname",
+            ],
+        ),
+        profile(
+            "Dict[str, str]",
+            &["mapping", "aliases", "headers", "env", "labels_by_key"],
+        ),
+        profile(
+            "Dict[str, int]",
+            &[
+                "counts_by_name",
+                "index_of",
+                "frequencies",
+                "id_map",
+                "histogram",
+            ],
+        ),
+        profile(
+            "Optional[int]",
+            &[
+                "maybe_count",
+                "default_size",
+                "limit_or_none",
+                "cap",
+                "max_items",
+            ],
+        ),
         profile("bytes", &["payload", "raw", "data_bytes", "blob", "chunk"]),
-        profile("Tuple[int, int]", &["pair", "shape", "span", "bounds", "coords"]),
-        profile("List[float]", &["scores", "weights", "ratios", "samples", "losses"]),
-        profile("Set[str]", &["seen", "visited", "unique_names", "stopwords", "allowed"]),
-        profile("Dict[str, List[int]]", &["groups", "buckets", "ids_by_key", "postings"]),
-        profile("Optional[float]", &["maybe_score", "default_rate", "cutoff", "best_so_far"]),
-        profile("List[List[int]]", &["matrix", "grid", "rows", "batches_ids"]),
-        profile("Tuple[str, int]", &["entry", "name_count", "token_id", "labeled_index"]),
+        profile(
+            "Tuple[int, int]",
+            &["pair", "shape", "span", "bounds", "coords"],
+        ),
+        profile(
+            "List[float]",
+            &["scores", "weights", "ratios", "samples", "losses"],
+        ),
+        profile(
+            "Set[str]",
+            &["seen", "visited", "unique_names", "stopwords", "allowed"],
+        ),
+        profile(
+            "Dict[str, List[int]]",
+            &["groups", "buckets", "ids_by_key", "postings"],
+        ),
+        profile(
+            "Optional[float]",
+            &["maybe_score", "default_rate", "cutoff", "best_so_far"],
+        ),
+        profile(
+            "List[List[int]]",
+            &["matrix", "grid", "rows", "batches_ids"],
+        ),
+        profile(
+            "Tuple[str, int]",
+            &["entry", "name_count", "token_id", "labeled_index"],
+        ),
         profile("Set[int]", &["id_set", "chosen", "marked", "excluded"]),
-        profile("Iterable[str]", &["name_iter", "sources", "stream_lines", "inputs"]),
+        profile(
+            "Iterable[str]",
+            &["name_iter", "sources", "stream_lines", "inputs"],
+        ),
         profile("complex", &["phase", "signal_value", "impedance"]),
-        profile("Optional[List[str]]", &["maybe_names", "extra_lines", "fallback_tokens"]),
-        profile("Callable[[int], int]", &["transform", "step_fn", "scorer", "update_fn"]),
-        profile("Dict[int, str]", &["name_by_id", "labels_by_index", "reverse_map"]),
-        profile("Tuple[float, float]", &["point", "interval", "range_bounds", "mean_std"]),
+        profile(
+            "Optional[List[str]]",
+            &["maybe_names", "extra_lines", "fallback_tokens"],
+        ),
+        profile(
+            "Callable[[int], int]",
+            &["transform", "step_fn", "scorer", "update_fn"],
+        ),
+        profile(
+            "Dict[int, str]",
+            &["name_by_id", "labels_by_index", "reverse_map"],
+        ),
+        profile(
+            "Tuple[float, float]",
+            &["point", "interval", "range_bounds", "mean_std"],
+        ),
     ]
 }
 
@@ -131,7 +249,12 @@ impl Universe {
             let noun_stem = snake_case(noun);
             profiles.push(TypeProfile {
                 ty: PyType::named(&class_name),
-                names: vec![stem.clone(), noun_stem, format!("new_{stem}"), format!("{stem}_obj")],
+                names: vec![
+                    stem.clone(),
+                    noun_stem,
+                    format!("new_{stem}"),
+                    format!("{stem}_obj"),
+                ],
                 user_defined: true,
             });
         }
@@ -147,7 +270,11 @@ impl Universe {
             let stem = snake_case(name);
             profiles.push(TypeProfile {
                 ty: PyType::generic("List", vec![PyType::named(name)]),
-                names: vec![format!("{stem}s"), format!("{stem}_list"), format!("all_{stem}s")],
+                names: vec![
+                    format!("{stem}s"),
+                    format!("{stem}_list"),
+                    format!("all_{stem}s"),
+                ],
                 user_defined: true,
             });
         }
@@ -166,7 +293,10 @@ impl Universe {
             acc += 1.0 / ((rank + 1) as f64).powf(config.zipf_exponent);
             cumulative.push(acc);
         }
-        Universe { profiles, cumulative }
+        Universe {
+            profiles,
+            cumulative,
+        }
     }
 
     /// All profiles, most frequent first.
@@ -178,7 +308,9 @@ impl Universe {
     pub fn user_classes(&self) -> Vec<&str> {
         self.profiles
             .iter()
-            .filter(|p| p.user_defined && matches!(&p.ty, PyType::Named { args, .. } if args.is_empty()))
+            .filter(|p| {
+                p.user_defined && matches!(&p.ty, PyType::Named { args, .. } if args.is_empty())
+            })
             .map(|p| p.ty.base_name())
             .collect()
     }
@@ -187,7 +319,9 @@ impl Universe {
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("universe is nonempty");
         let x = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < x).min(self.profiles.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.profiles.len() - 1)
     }
 
     /// The profile at an index.
@@ -256,7 +390,9 @@ mod tests {
         let user = u.profiles().iter().find(|p| p.user_defined).unwrap();
         let base = user.ty.base_name().to_lowercase().replace('_', "");
         assert!(
-            user.names[0].replace('_', "").starts_with(&base[..3.min(base.len())]),
+            user.names[0]
+                .replace('_', "")
+                .starts_with(&base[..3.min(base.len())]),
             "{:?} vs {base}",
             user.names
         );

@@ -96,7 +96,10 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        GraphConfig { erase_annotations: true, edges: EdgeSet::all() }
+        GraphConfig {
+            erase_annotations: true,
+            edges: EdgeSet::all(),
+        }
     }
 }
 
@@ -156,7 +159,10 @@ impl<'a> Builder<'a> {
 
     fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> u32 {
         let idx = self.graph.nodes.len() as u32;
-        self.graph.nodes.push(GraphNode { kind, label: label.into() });
+        self.graph.nodes.push(GraphNode {
+            kind,
+            label: label.into(),
+        });
         idx
     }
 
@@ -220,7 +226,12 @@ impl<'a> Builder<'a> {
                         visit(orelse, spans, ids);
                     }
                     StmtKind::With { body, .. } => visit(body, spans, ids),
-                    StmtKind::Try { body, handlers, orelse, finalbody } => {
+                    StmtKind::Try {
+                        body,
+                        handlers,
+                        orelse,
+                        finalbody,
+                    } => {
                         visit(body, spans, ids);
                         for h in handlers {
                             visit(&h.body, spans, ids);
@@ -314,12 +325,17 @@ impl<'a> Builder<'a> {
     /// CHILD edges from a syntax node to the tokens in its span that are
     /// not covered by any of its children.
     fn attach_tokens(&mut self, node: u32, span: Span, children: &[ChildRef<'_>]) {
-        let lo = self.token_offsets.partition_point(|&o| o < span.start.offset);
+        let lo = self
+            .token_offsets
+            .partition_point(|&o| o < span.start.offset);
         let hi = self.token_offsets.partition_point(|&o| o < span.end.offset);
         let child_spans: Vec<Span> = children.iter().map(|c| c.span()).collect();
         for i in lo..hi {
             let off = self.token_offsets[i];
-            if child_spans.iter().any(|s| off >= s.start.offset && off < s.end.offset) {
+            if child_spans
+                .iter()
+                .any(|s| off >= s.start.offset && off < s.end.offset)
+            {
                 continue;
             }
             let tok_idx = self.included_tokens[i];
@@ -385,9 +401,10 @@ impl<'a> Builder<'a> {
         if self.config.edges.contains(EdgeLabel::NextMayUse) {
             let parsed = self.parsed;
             for (from, to) in may_use_edges(&parsed.module.body, self.table) {
-                if let (Some(&a), Some(&b)) =
-                    (self.token_by_offset.get(&from), self.token_by_offset.get(&to))
-                {
+                if let (Some(&a), Some(&b)) = (
+                    self.token_by_offset.get(&from),
+                    self.token_by_offset.get(&to),
+                ) {
                     self.add_edge(a, b, EdgeLabel::NextMayUse);
                 }
             }
@@ -397,11 +414,7 @@ impl<'a> Builder<'a> {
     fn build_returns_to(&mut self) {
         // Walk function bodies; connect return/yield statements to the
         // function definition node.
-        fn walk(
-            builder: &mut Builder<'_>,
-            stmts: &[Stmt],
-            current_func: Option<NodeId>,
-        ) {
+        fn walk(builder: &mut Builder<'_>, stmts: &[Stmt], current_func: Option<NodeId>) {
             for stmt in stmts {
                 match &stmt.kind {
                     StmtKind::FunctionDef(f) => {
@@ -419,10 +432,7 @@ impl<'a> Builder<'a> {
                         }
                     }
                     StmtKind::Expr(e)
-                        if matches!(
-                            e.kind,
-                            ExprKind::Yield(_) | ExprKind::YieldFrom(_)
-                        ) =>
+                        if matches!(e.kind, ExprKind::Yield(_) | ExprKind::YieldFrom(_)) =>
                     {
                         if let Some(func) = current_func {
                             if let (Some(&y), Some(&f)) = (
@@ -440,7 +450,12 @@ impl<'a> Builder<'a> {
                         walk(builder, orelse, current_func);
                     }
                     StmtKind::With { body, .. } => walk(builder, body, current_func),
-                    StmtKind::Try { body, handlers, orelse, finalbody } => {
+                    StmtKind::Try {
+                        body,
+                        handlers,
+                        orelse,
+                        finalbody,
+                    } => {
                         walk(builder, body, current_func);
                         for h in handlers {
                             walk(builder, &h.body, current_func);
@@ -464,7 +479,11 @@ impl<'a> Builder<'a> {
                         self.assigned_from(value, t);
                     }
                 }
-                StmtKind::AnnAssign { target, value: Some(v), .. } => {
+                StmtKind::AnnAssign {
+                    target,
+                    value: Some(v),
+                    ..
+                } => {
                     self.assigned_from(v, target);
                 }
                 StmtKind::AugAssign { target, value, .. } => {
@@ -496,9 +515,10 @@ impl<'a> Builder<'a> {
     }
 
     fn assigned_from(&mut self, value: &Expr, target: &Expr) {
-        if let (Some(&v), Some(&t)) =
-            (self.ast_nodes.get(&value.meta.id), self.ast_nodes.get(&target.meta.id))
-        {
+        if let (Some(&v), Some(&t)) = (
+            self.ast_nodes.get(&value.meta.id),
+            self.ast_nodes.get(&target.meta.id),
+        ) {
             self.add_edge(v, t, EdgeLabel::AssignedFrom);
         }
     }
@@ -539,7 +559,12 @@ fn collect_function_defs(stmts: &[Stmt]) -> Vec<NodeId> {
                     walk(orelse, out);
                 }
                 StmtKind::With { body, .. } => walk(body, out),
-                StmtKind::Try { body, handlers, orelse, finalbody } => {
+                StmtKind::Try {
+                    body,
+                    handlers,
+                    orelse,
+                    finalbody,
+                } => {
                     walk(body, out);
                     for h in handlers {
                         walk(&h.body, out);

@@ -37,7 +37,10 @@ pub fn may_use_edges(body: &[Stmt], table: &SymbolTable) -> Vec<MayUseEdge> {
     }
     occs.sort_unstable_by_key(|&(off, _)| off);
 
-    let mut analysis = Analysis { occs, edges: Vec::new() };
+    let mut analysis = Analysis {
+        occs,
+        edges: Vec::new(),
+    };
     analysis.block(body, State::new(), true);
     analysis.edges.sort_unstable();
     analysis.edges.dedup();
@@ -62,12 +65,16 @@ struct Analysis {
 impl Analysis {
     /// Occurrences inside `span` excluding the given child spans.
     fn occurrences_in(&self, span: Span, exclude: &[Span]) -> Vec<(usize, SymbolId)> {
-        let lo = self.occs.partition_point(|&(off, _)| off < span.start.offset);
+        let lo = self
+            .occs
+            .partition_point(|&(off, _)| off < span.start.offset);
         let hi = self.occs.partition_point(|&(off, _)| off < span.end.offset);
         self.occs[lo..hi]
             .iter()
             .filter(|&&(off, _)| {
-                !exclude.iter().any(|e| off >= e.start.offset && off < e.end.offset)
+                !exclude
+                    .iter()
+                    .any(|e| off >= e.start.offset && off < e.end.offset)
             })
             .copied()
             .collect()
@@ -135,7 +142,12 @@ impl Analysis {
                 let merged = union(union(body_entry, &orelse_entry), &after);
                 self.linear(&header, merged, emit)
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 let final_entry = if finalbody.is_empty() {
                     after.clone()
                 } else {
@@ -227,8 +239,7 @@ else:
 ";
         let edges = edges_named(src);
         // The definition of x may be followed by either branch's use.
-        let from_def: Vec<_> =
-            edges.iter().filter(|e| e.0 == "x" && e.1 == 0).collect();
+        let from_def: Vec<_> = edges.iter().filter(|e| e.0 == "x" && e.1 == 0).collect();
         assert_eq!(from_def.len(), 2, "{edges:?}");
     }
 
@@ -271,7 +282,10 @@ z = x
     fn only_variables_participate() {
         let src = "def f():\n    pass\nf()\nf()\n";
         let edges = edges_named(src);
-        assert!(edges.is_empty(), "function names have no may-use edges: {edges:?}");
+        assert!(
+            edges.is_empty(),
+            "function names have no may-use edges: {edges:?}"
+        );
     }
 }
 

@@ -119,12 +119,16 @@ impl EdgeSet {
 
     /// Paper Table 4 ablation: no syntactic edges (NEXT_TOKEN and CHILD).
     pub fn without_syntactic() -> EdgeSet {
-        EdgeSet::all().without(EdgeLabel::NextToken).without(EdgeLabel::Child)
+        EdgeSet::all()
+            .without(EdgeLabel::NextToken)
+            .without(EdgeLabel::Child)
     }
 
     /// Paper Table 4 ablation: no NEXT_LEXICAL_USE / NEXT_MAY_USE edges.
     pub fn without_use_edges() -> EdgeSet {
-        EdgeSet::all().without(EdgeLabel::NextLexicalUse).without(EdgeLabel::NextMayUse)
+        EdgeSet::all()
+            .without(EdgeLabel::NextLexicalUse)
+            .without(EdgeLabel::NextMayUse)
     }
 
     /// The "only names" configuration: symbol and subtoken structure only

@@ -201,7 +201,11 @@ pub fn stmt_children(stmt: &Stmt, skip_annotations: bool) -> Vec<ChildRef<'_>> {
             out.push(ChildRef::Expr(target));
             out.push(ChildRef::Expr(value));
         }
-        StmtKind::AnnAssign { target, annotation, value } => {
+        StmtKind::AnnAssign {
+            target,
+            annotation,
+            value,
+        } => {
             out.push(ChildRef::Expr(target));
             if !skip_annotations {
                 out.push(ChildRef::Expr(annotation));
@@ -210,7 +214,13 @@ pub fn stmt_children(stmt: &Stmt, skip_annotations: bool) -> Vec<ChildRef<'_>> {
                 out.push(ChildRef::Expr(v));
             }
         }
-        StmtKind::For { target, iter, body, orelse, .. } => {
+        StmtKind::For {
+            target,
+            iter,
+            body,
+            orelse,
+            ..
+        } => {
             out.push(ChildRef::Expr(target));
             out.push(ChildRef::Expr(iter));
             out.extend(body.iter().map(ChildRef::Stmt));
@@ -235,7 +245,12 @@ pub fn stmt_children(stmt: &Stmt, skip_annotations: bool) -> Vec<ChildRef<'_>> {
                 out.push(ChildRef::Expr(e));
             }
         }
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             out.extend(body.iter().map(ChildRef::Stmt));
             for h in handlers {
                 if let Some(e) = &h.exc_type {
@@ -294,11 +309,17 @@ pub fn expr_children(expr: &Expr) -> Vec<ChildRef<'_>> {
         }
         ExprKind::UnaryOp { operand, .. } => out.push(ChildRef::Expr(operand)),
         ExprKind::BoolOp { values, .. } => out.extend(values.iter().map(ChildRef::Expr)),
-        ExprKind::Compare { left, comparators, .. } => {
+        ExprKind::Compare {
+            left, comparators, ..
+        } => {
             out.push(ChildRef::Expr(left));
             out.extend(comparators.iter().map(ChildRef::Expr));
         }
-        ExprKind::Call { func, args, keywords } => {
+        ExprKind::Call {
+            func,
+            args,
+            keywords,
+        } => {
             out.push(ChildRef::Expr(func));
             out.extend(args.iter().map(ChildRef::Expr));
             out.extend(keywords.iter().map(|k| ChildRef::Expr(&k.value)));
@@ -327,7 +348,12 @@ pub fn expr_children(expr: &Expr) -> Vec<ChildRef<'_>> {
             out.push(ChildRef::Expr(orelse));
         }
         ExprKind::Starred(inner) => out.push(ChildRef::Expr(inner)),
-        ExprKind::Comprehension { element, value, clauses, .. } => {
+        ExprKind::Comprehension {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
             out.push(ChildRef::Expr(element));
             if let Some(v) = value {
                 out.push(ChildRef::Expr(v));

@@ -15,7 +15,11 @@ fn graph_with(src: &str, config: &GraphConfig) -> ProgramGraph {
 }
 
 fn labels_of(g: &ProgramGraph, kind: NodeKind) -> Vec<&str> {
-    g.nodes.iter().filter(|n| n.kind == kind).map(|n| n.label.as_str()).collect()
+    g.nodes
+        .iter()
+        .filter(|n| n.kind == kind)
+        .map(|n| n.label.as_str())
+        .collect()
 }
 
 #[test]
@@ -23,7 +27,10 @@ fn fig3_example_structure() {
     // The paper's running example: foo = get_foo(i, i + 1)
     let g = graph("foo = get_foo(i, i + 1)\n");
     let tokens = labels_of(&g, NodeKind::Token);
-    assert_eq!(tokens, vec!["foo", "=", "get_foo", "(", "i", ",", "i", "+", "1", ")"]);
+    assert_eq!(
+        tokens,
+        vec!["foo", "=", "get_foo", "(", "i", ",", "i", "+", "1", ")"]
+    );
     // Vocabulary nodes: foo, get, i, 1? (numbers are not identifiers).
     let vocab = labels_of(&g, NodeKind::Vocabulary);
     assert!(vocab.contains(&"foo"));
@@ -53,7 +60,10 @@ fn fig3_example_structure() {
 fn annotations_are_erased_by_default() {
     let g = graph("def f(x: int) -> str:\n    y: List[int] = []\n    return 'a'\n");
     let tokens = labels_of(&g, NodeKind::Token);
-    assert!(!tokens.contains(&"int"), "annotation tokens must be erased: {tokens:?}");
+    assert!(
+        !tokens.contains(&"int"),
+        "annotation tokens must be erased: {tokens:?}"
+    );
     assert!(!tokens.contains(&"str"));
     assert!(!tokens.contains(&"List"));
     assert!(!tokens.contains(&"->"));
@@ -66,7 +76,10 @@ fn annotations_are_erased_by_default() {
 
 #[test]
 fn annotations_kept_when_configured() {
-    let config = GraphConfig { erase_annotations: false, ..GraphConfig::default() };
+    let config = GraphConfig {
+        erase_annotations: false,
+        ..GraphConfig::default()
+    };
     let g = graph_with("def f(x: int) -> str:\n    return 'a'\n", &config);
     let tokens = labels_of(&g, NodeKind::Token);
     assert!(tokens.contains(&"int"));
@@ -106,7 +119,10 @@ fn return_symbol_is_target_with_occurrence() {
 fn edge_filter_removes_labels() {
     let src = "a = 1\nb = a + 1\n";
     let full = graph(src);
-    let config = GraphConfig { edges: EdgeSet::without_syntactic(), ..GraphConfig::default() };
+    let config = GraphConfig {
+        edges: EdgeSet::without_syntactic(),
+        ..GraphConfig::default()
+    };
     let filtered = graph_with(src, &config);
     assert!(full.edges_with(EdgeLabel::NextToken).count() > 0);
     assert_eq!(filtered.edges_with(EdgeLabel::NextToken).count(), 0);
@@ -116,7 +132,10 @@ fn edge_filter_removes_labels() {
 
 #[test]
 fn only_names_keeps_symbol_structure() {
-    let config = GraphConfig { edges: EdgeSet::only_names(), ..GraphConfig::default() };
+    let config = GraphConfig {
+        edges: EdgeSet::only_names(),
+        ..GraphConfig::default()
+    };
     let g = graph_with("value_count = other_count + 1\n", &config);
     assert!(g.edges_with(EdgeLabel::SubtokenOf).count() >= 3);
     assert!(g.edges_with(EdgeLabel::OccurrenceOf).count() >= 2);
@@ -156,7 +175,10 @@ class C:
         .iter()
         .position(|n| n.kind == NodeKind::Symbol && n.label == "self.weight")
         .expect("member symbol") as u32;
-    let occ = g.edges_with(EdgeLabel::OccurrenceOf).filter(|e| e.dst == member).count();
+    let occ = g
+        .edges_with(EdgeLabel::OccurrenceOf)
+        .filter(|e| e.dst == member)
+        .count();
     assert_eq!(occ, 2);
 }
 

@@ -84,7 +84,8 @@ impl GnnEncoder {
                         groups.push(n);
                     }
                 }
-                self.subtoken_embedding.lookup_mean(tape, &ids, &groups, file.num_nodes)
+                self.subtoken_embedding
+                    .lookup_mean(tape, &ids, &groups, file.num_nodes)
             }
             NodeInit::Token => self.token_embedding.lookup(tape, &file.node_token_id),
             NodeInit::Char => {
@@ -96,7 +97,8 @@ impl GnnEncoder {
                         groups.push(n);
                     }
                 }
-                self.char_embedding.lookup_mean(tape, &ids, &groups, file.num_nodes)
+                self.char_embedding
+                    .lookup_mean(tape, &ids, &groups, file.num_nodes)
             }
         }
     }
@@ -150,7 +152,10 @@ impl GnnEncoder {
     ///
     /// Panics if the file has no targets (check before calling).
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
-        assert!(!file.targets.is_empty(), "encode requires at least one target");
+        assert!(
+            !file.targets.is_empty(),
+            "encode requires at least one target"
+        );
         let h = self.node_states(tape, file);
         let idx: Vec<usize> = file.targets.iter().map(|t| t.node as usize).collect();
         tape.gather(h, &idx)
@@ -180,7 +185,16 @@ mod tests {
 
     fn encoder(sv: &Vocab, tv: &Vocab, params: &mut ParamSet, init: NodeInit) -> GnnEncoder {
         let mut rng = StdRng::seed_from_u64(42);
-        GnnEncoder::new(params, sv.len(), tv.len(), 16, 4, init, Aggregation::Max, &mut rng)
+        GnnEncoder::new(
+            params,
+            sv.len(),
+            tv.len(),
+            16,
+            4,
+            init,
+            Aggregation::Max,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -215,7 +229,10 @@ mod tests {
         let t = tape.tanh(emb);
         let loss = tape.mean_all(t);
         let grads = tape.backward(loss);
-        let touched = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = params
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         // Subtoken table + at least several message matrices + GRU weights.
         assert!(touched > 8, "only {touched} params received gradients");
     }

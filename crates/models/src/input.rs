@@ -100,7 +100,11 @@ pub struct PrepareConfig {
 
 impl Default for PrepareConfig {
     fn default() -> Self {
-        PrepareConfig { max_seq_len: 400, max_paths_per_target: 8, max_path_len: 9 }
+        PrepareConfig {
+            max_seq_len: 400,
+            max_paths_per_target: 8,
+            max_path_len: 9,
+        }
     }
 }
 
@@ -121,9 +125,7 @@ pub const CHAR_VOCAB: usize = 39;
 
 /// Counts subtoken and whole-label frequencies over graphs, for building
 /// the vocabularies.
-pub fn count_labels(
-    graphs: &[ProgramGraph],
-) -> (HashMap<String, usize>, HashMap<String, usize>) {
+pub fn count_labels(graphs: &[ProgramGraph]) -> (HashMap<String, usize>, HashMap<String, usize>) {
     let mut sub = HashMap::new();
     let mut tok = HashMap::new();
     for g in graphs {
@@ -161,9 +163,15 @@ pub fn prepare(
     let mut node_token_id = Vec::with_capacity(num_nodes);
     let mut node_chars = Vec::with_capacity(num_nodes);
     for n in &graph.nodes {
-        let subs: Vec<usize> =
-            subtokens(&n.label).iter().map(|s| subtoken_vocab.id(s)).collect();
-        node_subtokens.push(if subs.is_empty() { vec![crate::vocab::UNK_ID] } else { subs });
+        let subs: Vec<usize> = subtokens(&n.label)
+            .iter()
+            .map(|s| subtoken_vocab.id(s))
+            .collect();
+        node_subtokens.push(if subs.is_empty() {
+            vec![crate::vocab::UNK_ID]
+        } else {
+            subs
+        });
         node_token_id.push(token_vocab.id(&n.label));
         let chars: Vec<usize> = n.label.chars().take(24).map(char_id).collect();
         node_chars.push(if chars.is_empty() { vec![0] } else { chars });
@@ -254,7 +262,10 @@ pub fn prepare(
     let target_positions: Vec<Vec<usize>> = targets
         .iter()
         .map(|t| {
-            let direct = positions_by_symbol.get(&t.node).cloned().unwrap_or_default();
+            let direct = positions_by_symbol
+                .get(&t.node)
+                .cloned()
+                .unwrap_or_default();
             if !direct.is_empty() {
                 return direct;
             }
@@ -278,7 +289,10 @@ pub fn prepare(
         .copied()
         .filter(|&n| {
             let label = &graph.nodes[n as usize].label;
-            label.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            label
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
         })
         .collect();
     let target_paths: Vec<Vec<LeafPath>> = targets
@@ -288,7 +302,10 @@ pub fn prepare(
                 .get(&t.node)
                 .map(|ps| ps.iter().map(|&p| token_seq[p]).collect())
                 .unwrap_or_else(|| {
-                    nonterm_occurrence.get(&t.node).map(|&n| vec![n]).unwrap_or_default()
+                    nonterm_occurrence
+                        .get(&t.node)
+                        .map(|&n| vec![n])
+                        .unwrap_or_default()
                 });
             sample_paths(
                 graph,
@@ -423,7 +440,11 @@ mod tests {
         assert!(b.ty.is_none(), "Any is excluded");
         let c = p.targets.iter().find(|t| t.name == "c").unwrap();
         assert!(c.ty.is_none(), "unannotated");
-        let ret = p.targets.iter().find(|t| t.kind == SymbolKind::Return).unwrap();
+        let ret = p
+            .targets
+            .iter()
+            .find(|t| t.kind == SymbolKind::Return)
+            .unwrap();
         assert!(ret.ty.is_none(), "bare None return is excluded");
     }
 
@@ -444,8 +465,7 @@ mod tests {
             .iter()
             .find(|t| t.name == "total")
             .map(|t| {
-                p.target_positions[p.targets.iter().position(|x| x.name == t.name).unwrap()]
-                    .clone()
+                p.target_positions[p.targets.iter().position(|x| x.name == t.name).unwrap()].clone()
             })
             .unwrap();
         assert_eq!(total_positions.len(), 3);

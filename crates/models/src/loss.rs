@@ -136,11 +136,7 @@ mod tests {
     fn classification_loss_decreases_under_training() {
         let mut params = ParamSet::new();
         let w = params.add("w", Tensor::zeros(4, 3));
-        let x = Tensor::from_vec(
-            2,
-            4,
-            vec![1.0, 0.0, 0.5, -0.5, -1.0, 0.3, 0.0, 0.8],
-        );
+        let x = Tensor::from_vec(2, 4, vec![1.0, 0.0, 0.5, -0.5, -1.0, 0.3, 0.0, 0.8]);
         let labels = [0usize, 2];
         let mut adam = Adam::new(0.05);
         let mut losses = Vec::new();
@@ -227,11 +223,7 @@ mod tests {
         // loss 0.
         let params = ParamSet::new();
         let mut tape = Tape::new(&params);
-        let e = tape.input(Tensor::from_vec(
-            4,
-            1,
-            vec![0.0, 0.01, 100.0, 100.01],
-        ));
+        let e = tape.input(Tensor::from_vec(4, 1, vec![0.0, 0.01, 100.0, 100.01]));
         let loss = space_loss(&mut tape, e, &[0, 0, 1, 1], 0.5);
         assert_eq!(tape.value(loss).item(), 0.0);
     }

@@ -3,9 +3,7 @@
 //! grid of paper Table 2.
 
 use crate::gnn::{Aggregation, GnnEncoder};
-use crate::input::{
-    count_labels, prepare, NodeInit, PrepareConfig, PreparedFile,
-};
+use crate::input::{count_labels, prepare, NodeInit, PrepareConfig, PreparedFile};
 use crate::loss::{classification_loss, space_loss, typilus_loss};
 use crate::path::PathEncoder;
 use crate::seq::SeqEncoder;
@@ -16,7 +14,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use typilus_graph::ProgramGraph;
-use typilus_nn::{Gradients, Linear, ParamSet, Tape, Tensor, Var};
+use typilus_nn::{Gradients, Linear, ParamSet, Tape, Tensor, Var, WorkerPool};
 use typilus_types::PyType;
 
 /// Which encoder family to use (paper Table 2 row groups).
@@ -103,6 +101,16 @@ enum EncoderImpl {
     Transformer(Box<TransformerEncoder>),
 }
 
+/// Per-file state carried from the parallel forward phase of a training
+/// step to its parallel backward phase (which consumes it on the worker
+/// that built it).
+struct FileForward<'p> {
+    tape: Tape<'p>,
+    selected: Var,
+    value: Tensor,
+    types: Vec<PyType>,
+}
+
 /// A trainable type-prediction model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TypeModel {
@@ -127,8 +135,7 @@ impl TypeModel {
     /// Builds a model, deriving vocabularies from the training graphs.
     pub fn new(config: ModelConfig, training_graphs: &[ProgramGraph]) -> TypeModel {
         let (sub_counts, tok_counts) = count_labels(training_graphs);
-        let subtoken_vocab =
-            Vocab::build(&sub_counts, config.min_subtoken_count, config.max_vocab);
+        let subtoken_vocab = Vocab::build(&sub_counts, config.min_subtoken_count, config.max_vocab);
         let token_vocab = Vocab::build(&tok_counts, config.min_subtoken_count, config.max_vocab);
 
         let annotations: Vec<PyType> = training_graphs
@@ -165,14 +172,16 @@ impl TypeModel {
                 config.dim,
                 &mut rng,
             ))),
-            EncoderKind::Transformer => EncoderImpl::Transformer(Box::new(TransformerEncoder::new(
-                &mut params,
-                subtoken_vocab.len(),
-                config.dim,
-                2,
-                config.prepare.max_seq_len,
-                &mut rng,
-            ))),
+            EncoderKind::Transformer => {
+                EncoderImpl::Transformer(Box::new(TransformerEncoder::new(
+                    &mut params,
+                    subtoken_vocab.len(),
+                    config.dim,
+                    2,
+                    config.prepare.max_seq_len,
+                    &mut rng,
+                )))
+            }
         };
         let class_head = match config.loss {
             LossKind::Class => Some(Linear::new(
@@ -186,7 +195,8 @@ impl TypeModel {
         };
         let typilus_head = match config.loss {
             LossKind::Typilus => {
-                let proj = Linear::new_no_bias(&mut params, "head.proj", config.dim, config.dim, &mut rng);
+                let proj =
+                    Linear::new_no_bias(&mut params, "head.proj", config.dim, config.dim, &mut rng);
                 let protos = Linear::new(
                     &mut params,
                     "head.erased",
@@ -213,7 +223,18 @@ impl TypeModel {
 
     /// Prepares a graph with this model's vocabularies.
     pub fn prepare(&self, graph: &ProgramGraph) -> PreparedFile {
-        prepare(graph, &self.subtoken_vocab, &self.token_vocab, &self.config.prepare)
+        prepare(
+            graph,
+            &self.subtoken_vocab,
+            &self.token_vocab,
+            &self.config.prepare,
+        )
+    }
+
+    /// [`TypeModel::prepare`] over many graphs on the worker pool;
+    /// results keep input order.
+    pub fn prepare_batch(&self, graphs: &[ProgramGraph], pool: &WorkerPool) -> Vec<PreparedFile> {
+        pool.map_ordered(graphs, |_, g| self.prepare(g))
     }
 
     /// Encodes one prepared file to target embeddings `[targets, D]`.
@@ -248,7 +269,11 @@ impl TypeModel {
     ///
     /// Panics if `types.len()` differs from the embedding rows.
     pub fn loss(&self, tape: &mut Tape<'_>, embeddings: Var, types: &[PyType]) -> Var {
-        assert_eq!(tape.value(embeddings).rows(), types.len(), "one type per row");
+        assert_eq!(
+            tape.value(embeddings).rows(),
+            types.len(),
+            "one type per row"
+        );
         match self.config.loss {
             LossKind::Class => {
                 let labels: Vec<usize> = types.iter().map(|t| self.type_vocab.id(t)).collect();
@@ -262,8 +287,10 @@ impl TypeModel {
             }
             LossKind::Typilus => {
                 let ids = type_identity_ids(types);
-                let labels: Vec<usize> =
-                    types.iter().map(|t| self.erased_vocab.id(&t.erased())).collect();
+                let labels: Vec<usize> = types
+                    .iter()
+                    .map(|t| self.erased_vocab.id(&t.erased()))
+                    .collect();
                 let (proj, protos) = self.typilus_head.as_ref().expect("typilus head exists");
                 let projected = proj.apply(tape, embeddings);
                 let logits = protos.apply(tape, projected);
@@ -289,7 +316,9 @@ impl TypeModel {
         let mut parts: Vec<Var> = Vec::new();
         let mut types: Vec<PyType> = Vec::new();
         for file in batch {
-            let Some(emb) = self.embed(&mut tape, file) else { continue };
+            let Some(emb) = self.embed(&mut tape, file) else {
+                continue;
+            };
             // Select only annotated targets.
             let mut keep = Vec::new();
             for (i, t) in file.targets.iter().enumerate() {
@@ -315,9 +344,9 @@ impl TypeModel {
     }
 
     /// Data-parallel [`TypeModel::train_step`]: per-file forward and
-    /// backward passes fan across `threads` scoped threads while the
-    /// batch-level loss (whose pairwise term couples files) stays on one
-    /// sequential tape.
+    /// backward passes fan across the worker pool while the batch-level
+    /// loss (whose pairwise term couples files) stays on one sequential
+    /// tape.
     ///
     /// Three phases:
     ///
@@ -329,44 +358,92 @@ impl TypeModel {
     ///    [`Tape::backward_with_inputs`] yields the loss-head gradients
     ///    plus d loss / d embedding per file.
     /// 3. **Backward (parallel)** — each file's forward tape is re-walked
-    ///    from its embedding via [`Tape::backward_from`].
+    ///    from its embedding via [`Tape::backward_from`]. The job list is
+    ///    index-aligned with the batch, so the pool's striding sends each
+    ///    file back to the worker that ran its forward pass, and the tape
+    ///    is consumed there — its buffers retire into the arena of the
+    ///    thread that allocated them, keeping worker arenas warm across
+    ///    steps.
     ///
     /// Per-file gradients merge in file-index order, so the result is
-    /// bit-identical for every `threads` value (the loss *value* equals
+    /// bit-identical for every pool size (the loss *value* equals
     /// `train_step`'s; gradients may differ from `train_step` only in
     /// float-accumulation order).
     pub fn train_step_parallel(
         &self,
         batch: &[&PreparedFile],
-        threads: usize,
+        pool: &WorkerPool,
     ) -> Option<(f32, Gradients)> {
-        struct FileForward<'p> {
-            tape: Tape<'p>,
-            selected: Var,
-            value: Tensor,
-            types: Vec<PyType>,
+        // Phase 1: independent per-file forward passes. The result stays
+        // index-aligned with `batch` (files without annotated targets
+        // keep a `None` slot) so phase 3 hits the same worker stripes.
+        let forwards: Vec<Option<FileForward<'_>>> =
+            pool.map_ordered(batch, |_, file| self.file_forward(file));
+        if forwards.iter().all(Option::is_none) {
+            return None;
         }
 
+        // Phase 2: one sequential tape for the batch-coupled loss.
+        let mut loss_tape = Tape::new(&self.params);
+        let mut parts = Vec::new();
+        let mut types = Vec::new();
+        for fw in forwards.iter().flatten() {
+            parts.push(loss_tape.input(fw.value.clone()));
+            types.extend(fw.types.iter().cloned());
+        }
+        let embeddings = loss_tape.concat_rows(&parts);
+        let loss = self.loss(&mut loss_tape, embeddings, &types);
+        let value = loss_tape.value(loss).item();
+        let (mut grads, seeds) = loss_tape.backward_with_inputs(loss, &parts);
+
+        // Phase 3: per-file backward passes, seeded with d loss / d emb.
+        // Jobs own their forward state; the closure consumes it, so each
+        // tape (and seed) is dropped on the worker whose arena backs it.
+        let mut seeds = seeds.into_iter();
+        let mut jobs: Vec<Option<(FileForward<'_>, Tensor)>> = forwards
+            .into_iter()
+            .map(|fw| fw.map(|fw| (fw, seeds.next().expect("one seed per forward"))))
+            .collect();
+        let per_file: Vec<Option<Gradients>> = pool.map_ordered_mut(&mut jobs, |_, job| {
+            job.take().map(|(fw, seed)| {
+                let FileForward {
+                    tape,
+                    selected,
+                    value,
+                    types: _,
+                } = fw;
+                let grads = tape.backward_from(selected, seed);
+                // The value snapshot's buffer balances the seed that
+                // just migrated here from the caller: retire it through
+                // the shared pool so the caller's next-step loss-tape
+                // seeds can find a same-sized buffer (keeping worker
+                // and caller arenas flat instead of a one-way drift).
+                typilus_nn::recycle_shared(value);
+                grads
+            })
+        });
+        // Fixed (file-index) merge order keeps float accumulation
+        // deterministic across thread counts.
+        for g in per_file.into_iter().flatten() {
+            grads.merge(g);
+        }
+        Some((value, grads))
+    }
+
+    /// The spawn-per-call predecessor of [`TypeModel::train_step_parallel`]:
+    /// the same three phases fanned over fresh scoped threads via
+    /// [`typilus_nn::par_map_ordered`]. Retained as the reference
+    /// implementation the pooled path is benchmarked (`bench_pool`) and
+    /// regression-tested against; results are bit-identical to the
+    /// pooled path at every thread count.
+    pub fn train_step_spawning(
+        &self,
+        batch: &[&PreparedFile],
+        threads: usize,
+    ) -> Option<(f32, Gradients)> {
         // Phase 1: independent per-file forward passes.
         let forwards: Vec<Option<FileForward<'_>>> =
-            typilus_nn::par_map_ordered(batch, threads, |_, file| {
-                let mut tape = Tape::new(&self.params);
-                let emb = self.embed(&mut tape, file)?;
-                let mut keep = Vec::new();
-                let mut types = Vec::new();
-                for (i, t) in file.targets.iter().enumerate() {
-                    if let Some(ty) = &t.ty {
-                        keep.push(i);
-                        types.push(ty.clone());
-                    }
-                }
-                if keep.is_empty() {
-                    return None;
-                }
-                let selected = tape.gather(emb, &keep);
-                let value = tape.value(selected).clone();
-                Some(FileForward { tape, selected, value, types })
-            });
+            typilus_nn::par_map_ordered(batch, threads, |_, file| self.file_forward(file));
         let forwards: Vec<FileForward<'_>> = forwards.into_iter().flatten().collect();
         if forwards.is_empty() {
             return None;
@@ -386,8 +463,7 @@ impl TypeModel {
         let (mut grads, seeds) = loss_tape.backward_with_inputs(loss, &parts);
 
         // Phase 3: per-file backward passes, seeded with d loss / d emb.
-        let jobs: Vec<(&FileForward<'_>, Tensor)> =
-            forwards.iter().zip(seeds).collect();
+        let jobs: Vec<(&FileForward<'_>, Tensor)> = forwards.iter().zip(seeds).collect();
         let per_file: Vec<Gradients> =
             typilus_nn::par_map_ordered(&jobs, threads, |_, (fw, seed)| {
                 fw.tape.backward_from(fw.selected, seed.clone())
@@ -400,6 +476,32 @@ impl TypeModel {
         Some((value, grads))
     }
 
+    /// Phase-1 forward pass for one file: encode, keep annotated
+    /// targets, snapshot the selected-embedding value for the loss tape.
+    fn file_forward(&self, file: &PreparedFile) -> Option<FileForward<'_>> {
+        let mut tape = Tape::new(&self.params);
+        let emb = self.embed(&mut tape, file)?;
+        let mut keep = Vec::new();
+        let mut types = Vec::new();
+        for (i, t) in file.targets.iter().enumerate() {
+            if let Some(ty) = &t.ty {
+                keep.push(i);
+                types.push(ty.clone());
+            }
+        }
+        if keep.is_empty() {
+            return None;
+        }
+        let selected = tape.gather(emb, &keep);
+        let value = tape.value(selected).clone();
+        Some(FileForward {
+            tape,
+            selected,
+            value,
+            types,
+        })
+    }
+
     /// Inference: embeds every target of a file (annotated or not) and
     /// returns the raw embedding matrix, or `None` without targets.
     pub fn embed_inference(&self, file: &PreparedFile) -> Option<Tensor> {
@@ -408,14 +510,14 @@ impl TypeModel {
         Some(tape.value(emb).clone())
     }
 
-    /// [`TypeModel::embed_inference`] over many files, fanned across
-    /// `threads` scoped threads; results keep input order.
+    /// [`TypeModel::embed_inference`] over many files on the worker
+    /// pool; results keep input order.
     pub fn embed_inference_batch(
         &self,
         files: &[&PreparedFile],
-        threads: usize,
+        pool: &WorkerPool,
     ) -> Vec<Option<Tensor>> {
-        typilus_nn::par_map_ordered(files, threads, |_, file| self.embed_inference(file))
+        pool.map_ordered(files, |_, file| self.embed_inference(file))
     }
 
     /// Classification-head prediction for a file: per target, the best
@@ -426,7 +528,10 @@ impl TypeModel {
     ///
     /// Panics if the model has no classification head.
     pub fn predict_class(&self, file: &PreparedFile) -> Option<Vec<(PyType, f32)>> {
-        let head = self.class_head.as_ref().expect("predict_class needs a Class model");
+        let head = self
+            .class_head
+            .as_ref()
+            .expect("predict_class needs a Class model");
         let mut tape = Tape::new(&self.params);
         let emb = self.embed(&mut tape, file)?;
         let logits = head.apply(&mut tape, emb);
@@ -495,7 +600,12 @@ mod tests {
             .map(|(i, src)| {
                 let parsed = parse(src).unwrap();
                 let table = SymbolTable::build(&parsed.module);
-                build_graph(&parsed, &table, &GraphConfig::default(), &format!("f{i}.py"))
+                build_graph(
+                    &parsed,
+                    &table,
+                    &GraphConfig::default(),
+                    &format!("f{i}.py"),
+                )
             })
             .collect()
     }
@@ -529,14 +639,19 @@ mod tests {
                 let (loss_val, grads) = model
                     .train_step(&batch)
                     .expect("batch has annotated targets");
-                assert!(loss_val.is_finite(), "{encoder:?}/{loss:?} loss = {loss_val}");
+                assert!(
+                    loss_val.is_finite(),
+                    "{encoder:?}/{loss:?} loss = {loss_val}"
+                );
                 assert!(grads.global_norm().is_finite());
             }
         }
     }
 
-    /// The parallel step must return the exact `train_step` loss value,
-    /// and bit-identical gradients for every thread count.
+    /// The pooled parallel step must return the exact `train_step` loss
+    /// value, and bit-identical gradients for every pool size — and
+    /// agree bit-for-bit with the spawn-per-call predecessor it
+    /// replaced.
     #[test]
     fn parallel_step_is_thread_count_invariant() {
         let gs = graphs(TRAIN);
@@ -545,16 +660,16 @@ mod tests {
             let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
             let batch: Vec<&PreparedFile> = prepared.iter().collect();
             let (seq_loss, _) = model.train_step(&batch).unwrap();
-            let (one_loss, one_grads) = model.train_step_parallel(&batch, 1).unwrap();
+            let (one_loss, one_grads) = model
+                .train_step_parallel(&batch, &WorkerPool::new(1))
+                .unwrap();
             assert_eq!(
                 seq_loss.to_bits(),
                 one_loss.to_bits(),
                 "{loss:?}: parallel loss must equal the sequential loss"
             );
-            for threads in [2, 3, 8] {
-                let (n_loss, n_grads) =
-                    model.train_step_parallel(&batch, threads).unwrap();
-                assert_eq!(one_loss.to_bits(), n_loss.to_bits());
+            let check = |n_loss: f32, n_grads: &Gradients, what: &str| {
+                assert_eq!(one_loss.to_bits(), n_loss.to_bits(), "{loss:?}: {what}");
                 let pairs: Vec<_> = one_grads.iter().zip(n_grads.iter()).collect();
                 assert!(!pairs.is_empty());
                 for ((id_a, ga), (id_b, gb)) in pairs {
@@ -564,10 +679,17 @@ mod tests {
                         assert_eq!(
                             a.to_bits(),
                             b.to_bits(),
-                            "{loss:?}: gradient differs between 1 and {threads} threads"
+                            "{loss:?}: gradient differs: {what}"
                         );
                     }
                 }
+            };
+            for threads in [2, 3, 8] {
+                let pool = WorkerPool::new(threads);
+                let (n_loss, n_grads) = model.train_step_parallel(&batch, &pool).unwrap();
+                check(n_loss, &n_grads, &format!("pool of {threads}"));
+                let (s_loss, s_grads) = model.train_step_spawning(&batch, threads).unwrap();
+                check(s_loss, &s_grads, &format!("spawning {threads} threads"));
             }
         }
     }
@@ -575,28 +697,27 @@ mod tests {
     #[test]
     fn parallel_step_trains_as_well_as_sequential() {
         let gs = graphs(TRAIN);
-        let mut model =
-            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let mut model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
         let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
         let batch: Vec<&PreparedFile> = prepared.iter().collect();
+        let pool = WorkerPool::new(2);
         let mut adam = Adam::new(0.01);
-        let (first, _) = model.train_step_parallel(&batch, 2).unwrap();
+        let (first, _) = model.train_step_parallel(&batch, &pool).unwrap();
         for _ in 0..15 {
-            let (_, grads) = model.train_step_parallel(&batch, 2).unwrap();
+            let (_, grads) = model.train_step_parallel(&batch, &pool).unwrap();
             adam.step(&mut model.params, grads);
         }
-        let (last, _) = model.train_step_parallel(&batch, 2).unwrap();
+        let (last, _) = model.train_step_parallel(&batch, &pool).unwrap();
         assert!(last < first, "loss should drop: {first} -> {last}");
     }
 
     #[test]
     fn batched_inference_matches_one_by_one() {
         let gs = graphs(TRAIN);
-        let model =
-            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
         let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
         let refs: Vec<&PreparedFile> = prepared.iter().collect();
-        let batched = model.embed_inference_batch(&refs, 3);
+        let batched = model.embed_inference_batch(&refs, &WorkerPool::new(3));
         for (file, b) in prepared.iter().zip(batched) {
             let single = model.embed_inference(file).unwrap();
             let b = b.unwrap();
@@ -608,12 +729,22 @@ mod tests {
     }
 
     #[test]
+    fn prepare_batch_matches_per_graph() {
+        let gs = graphs(TRAIN);
+        let model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let pooled = model.prepare_batch(&gs, &WorkerPool::new(3));
+        assert_eq!(pooled.len(), gs.len());
+        for (g, p) in gs.iter().zip(&pooled) {
+            let single = model.prepare(g);
+            assert_eq!(single.targets.len(), p.targets.len());
+            assert_eq!(single.token_seq, p.token_seq);
+        }
+    }
+
+    #[test]
     fn training_reduces_loss() {
         let gs = graphs(TRAIN);
-        let mut model = TypeModel::new(
-            small_config(EncoderKind::Graph, LossKind::Typilus),
-            &gs,
-        );
+        let mut model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
         let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
         let batch: Vec<&PreparedFile> = prepared.iter().collect();
         let mut adam = Adam::new(0.01);
@@ -629,8 +760,7 @@ mod tests {
     #[test]
     fn class_model_predicts_known_types() {
         let gs = graphs(TRAIN);
-        let mut model =
-            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Class), &gs);
+        let mut model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Class), &gs);
         let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
         let batch: Vec<&PreparedFile> = prepared.iter().collect();
         let mut adam = Adam::new(0.02);
@@ -639,15 +769,18 @@ mod tests {
             adam.step(&mut model.params, grads);
         }
         let preds = model.predict_class(&prepared[0]).unwrap();
-        let count_idx = prepared[0].targets.iter().position(|t| t.name == "count").unwrap();
+        let count_idx = prepared[0]
+            .targets
+            .iter()
+            .position(|t| t.name == "count")
+            .unwrap();
         assert_eq!(preds[count_idx].0.to_string(), "int");
     }
 
     #[test]
     fn embeddings_cluster_by_type_after_training() {
         let gs = graphs(TRAIN);
-        let mut model =
-            TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
+        let mut model = TypeModel::new(small_config(EncoderKind::Graph, LossKind::Typilus), &gs);
         let prepared: Vec<_> = gs.iter().map(|g| model.prepare(g)).collect();
         let batch: Vec<&PreparedFile> = prepared.iter().collect();
         let mut adam = Adam::new(0.02);
@@ -661,7 +794,10 @@ mod tests {
             let emb = model.embed_inference(file).unwrap();
             for (i, t) in file.targets.iter().enumerate() {
                 if let Some(ty) = &t.ty {
-                    by_type.entry(ty.to_string()).or_default().push(emb.row(i).to_vec());
+                    by_type
+                        .entry(ty.to_string())
+                        .or_default()
+                        .push(emb.row(i).to_vec());
                 }
             }
         }
@@ -739,7 +875,12 @@ pub(crate) mod tests_support {
         .map(|(i, src)| {
             let parsed = parse(src).unwrap();
             let table = SymbolTable::build(&parsed.module);
-            build_graph(&parsed, &table, &GraphConfig::default(), &format!("f{i}.py"))
+            build_graph(
+                &parsed,
+                &table,
+                &GraphConfig::default(),
+                &format!("f{i}.py"),
+            )
         })
         .collect()
     }

@@ -35,13 +35,20 @@ impl PathEncoder {
         let element_embedding = Embedding::new(params, "path.elem", combined_vocab, dim, rng);
         let path_proj = Linear::new(params, "path.proj", dim, dim, rng);
         let attention = params.add("path.attn", Tensor::glorot(dim, 1, rng));
-        PathEncoder { element_embedding, path_proj, attention, dim }
+        PathEncoder {
+            element_embedding,
+            path_proj,
+            attention,
+            dim,
+        }
     }
 
     /// Encodes one path into a `[1, D]` vector.
     fn encode_path(&self, tape: &mut Tape<'_>, path: &LeafPath) -> Var {
         let groups = vec![0usize; path.element_ids.len()];
-        let mean = self.element_embedding.lookup_mean(tape, &path.element_ids, &groups, 1);
+        let mean = self
+            .element_embedding
+            .lookup_mean(tape, &path.element_ids, &groups, 1);
         let proj = self.path_proj.apply(tape, mean);
         tape.tanh(proj)
     }
@@ -53,7 +60,7 @@ impl PathEncoder {
         }
         let vecs: Vec<Var> = paths.iter().map(|p| self.encode_path(tape, p)).collect();
         let stacked = tape.concat_rows(&vecs); // [P, D]
-        // Self-weighted average: α = softmax(stacked · w).
+                                               // Self-weighted average: α = softmax(stacked · w).
         let w = tape.param(self.attention);
         let scores = tape.matmul(stacked, w); // [P, 1]
         let scores_row = tape.transpose(scores); // [1, P]
@@ -68,7 +75,10 @@ impl PathEncoder {
     ///
     /// Panics if the file has no targets.
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
-        assert!(!file.targets.is_empty(), "encode requires at least one target");
+        assert!(
+            !file.targets.is_empty(),
+            "encode requires at least one target"
+        );
         let rows: Vec<Var> = file
             .target_paths
             .iter()
@@ -96,7 +106,10 @@ mod tests {
         let sv = Vocab::build(&sub, 1, 1000);
         let tv = Vocab::build(&tok, 1, 1000);
         let combined = sv.len() + tv.len();
-        (prepare(&graph, &sv, &tv, &PrepareConfig::default()), combined)
+        (
+            prepare(&graph, &sv, &tv, &PrepareConfig::default()),
+            combined,
+        )
     }
 
     #[test]
@@ -122,7 +135,11 @@ mod tests {
         // vectors, so its max-abs is bounded by 1 (tanh outputs).
         let mut tape = Tape::new(&params);
         let emb = enc.encode(&mut tape, &file);
-        assert!(tape.value(emb).as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        assert!(tape
+            .value(emb)
+            .as_slice()
+            .iter()
+            .all(|v| v.abs() <= 1.0 + 1e-5));
     }
 
     #[test]
@@ -136,8 +153,14 @@ mod tests {
         let sq = tape.mul(emb, emb);
         let loss = tape.mean_all(sq);
         let grads = tape.backward(loss);
-        let touched = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
-        assert!(touched >= 3, "embedding, projection and attention should train");
+        let touched = params
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
+        assert!(
+            touched >= 3,
+            "embedding, projection and attention should train"
+        );
     }
 
     #[test]

@@ -44,7 +44,15 @@ impl SeqEncoder {
         let fwd2 = GruCell::new(params, "seq.fwd2", dim, h, rng);
         let bwd2 = GruCell::new(params, "seq.bwd2", dim, h, rng);
         let out_proj = Linear::new(params, "seq.out", dim, dim, rng);
-        SeqEncoder { embedding, fwd1, bwd1, fwd2, bwd2, out_proj, dim }
+        SeqEncoder {
+            embedding,
+            fwd1,
+            bwd1,
+            fwd2,
+            bwd2,
+            out_proj,
+            dim,
+        }
     }
 
     /// One directional GRU pass over `[L, in]`, returning `[L, h]` in
@@ -114,7 +122,10 @@ impl SeqEncoder {
     ///
     /// Panics if the file has no targets or no tokens.
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
-        assert!(!file.targets.is_empty(), "encode requires at least one target");
+        assert!(
+            !file.targets.is_empty(),
+            "encode requires at least one target"
+        );
         assert!(!file.token_seq.is_empty(), "sequence model requires tokens");
         let states = self.token_states(tape, file);
         // Average the positions bound to each target (one segment per
@@ -182,7 +193,10 @@ mod tests {
             .position(|t| t.kind == typilus_pyast::SymbolKind::Return)
             .unwrap();
         let row = tape.value(emb).row(ret_idx);
-        assert!(row.iter().any(|&v| v != 0.0), "return embedding should be nonzero");
+        assert!(
+            row.iter().any(|&v| v != 0.0),
+            "return embedding should be nonzero"
+        );
     }
 
     #[test]
@@ -195,7 +209,10 @@ mod tests {
         let emb = enc.encode(&mut tape, &file);
         let loss = tape.mean_all(emb);
         let grads = tape.backward(loss);
-        let touched = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = params
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         // Embedding + 4 GRUs (9 params each) + projection (2).
         assert!(touched >= 30, "only {touched} params received gradients");
     }

@@ -88,7 +88,14 @@ impl TransformerEncoder {
             .map(|i| Block::new(params, &format!("xf.block{i}"), dim, rng))
             .collect();
         let out_proj = Linear::new(params, "xf.out", dim, dim, rng);
-        TransformerEncoder { embedding, positions, blocks, out_proj, dim, max_len }
+        TransformerEncoder {
+            embedding,
+            positions,
+            blocks,
+            out_proj,
+            dim,
+            max_len,
+        }
     }
 
     /// Per-token representations `[L, D]`.
@@ -120,7 +127,10 @@ impl TransformerEncoder {
     ///
     /// Panics if the file has no targets or no tokens.
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
-        assert!(!file.targets.is_empty(), "encode requires at least one target");
+        assert!(
+            !file.targets.is_empty(),
+            "encode requires at least one target"
+        );
         assert!(!file.token_seq.is_empty(), "transformer requires tokens");
         let states = self.token_states(tape, file);
         let mut ids = Vec::new();
@@ -196,7 +206,10 @@ mod tests {
         let t = tape.tanh(emb);
         let loss = tape.mean_all(t);
         let grads = tape.backward(loss);
-        let touched = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let touched = params
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         // 2 embeddings + 2 blocks x 8 params + out proj x 2.
         assert!(touched >= 14, "only {touched} params received gradients");
     }

@@ -28,7 +28,10 @@ impl Vocab {
             counts.iter().filter(|(_, &c)| c >= min_count).collect();
         entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
         entries.truncate(max_size.saturating_sub(1));
-        let mut v = Vocab { by_name: HashMap::new(), names: vec!["<unk>".to_string()] };
+        let mut v = Vocab {
+            by_name: HashMap::new(),
+            names: vec!["<unk>".to_string()],
+        };
         for (name, _) in entries {
             v.by_name.insert(name.clone(), v.names.len());
             v.names.push(name.clone());
@@ -76,10 +79,7 @@ pub struct TypeVocab {
 impl TypeVocab {
     /// Builds a type vocabulary from training annotations, keeping types
     /// seen at least `min_count` times. Index 0 is the UNK type (`Any`).
-    pub fn build<'a>(
-        annotations: impl Iterator<Item = &'a PyType>,
-        min_count: usize,
-    ) -> TypeVocab {
+    pub fn build<'a>(annotations: impl Iterator<Item = &'a PyType>, min_count: usize) -> TypeVocab {
         let mut counts: HashMap<String, (usize, PyType)> = HashMap::new();
         for ty in annotations {
             let e = counts.entry(ty.to_string()).or_insert((0, ty.clone()));
@@ -91,7 +91,10 @@ impl TypeVocab {
             .map(|(k, (c, t))| (k, c, t))
             .collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let mut v = TypeVocab { by_type: HashMap::new(), types: vec![PyType::Any] };
+        let mut v = TypeVocab {
+            by_type: HashMap::new(),
+            types: vec![PyType::Any],
+        };
         for (key, _, ty) in entries {
             v.by_type.insert(key, v.types.len());
             v.types.push(ty);
@@ -161,8 +164,10 @@ mod tests {
 
     #[test]
     fn type_vocab_round_trip() {
-        let types: Vec<PyType> =
-            ["int", "str", "int", "List[int]"].iter().map(|s| s.parse().unwrap()).collect();
+        let types: Vec<PyType> = ["int", "str", "int", "List[int]"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         let v = TypeVocab::build(types.iter(), 1);
         assert_eq!(v.len(), 4); // Any + int + str + List[int]
         let int: PyType = "int".parse().unwrap();
@@ -173,8 +178,10 @@ mod tests {
 
     #[test]
     fn type_vocab_min_count_drops_rare() {
-        let types: Vec<PyType> =
-            ["int", "int", "Foo"].iter().map(|s| s.parse().unwrap()).collect();
+        let types: Vec<PyType> = ["int", "int", "Foo"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         let v = TypeVocab::build(types.iter(), 2);
         assert!(v.contains(&"int".parse().unwrap()));
         assert!(!v.contains(&"Foo".parse().unwrap()));

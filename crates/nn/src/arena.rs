@@ -10,9 +10,18 @@
 //! Recycling is invisible to the numerics: a pooled buffer is always
 //! fully reinitialised (zero-filled or overwritten) before use, so
 //! results are bit-identical to fresh allocation. Pools are
-//! thread-local, which keeps the data-parallel engine free of cross-
-//! thread coordination; buffers recycled on a worker thread simply join
-//! that worker's pool.
+//! thread-local, which keeps the hot allocate/recycle path of the
+//! data-parallel engine free of cross-thread coordination; buffers
+//! recycled on a worker thread simply join that worker's pool.
+//!
+//! A few buffers migrate between threads under the persistent
+//! [`crate::pool::WorkerPool`]: a gradient computed on a worker is
+//! merged — and its buffer retired — on the caller. Recycling those on
+//! the caller would starve the workers' local pools, so the known
+//! hand-off points return buffers through [`recycle_shared`] into a
+//! process-wide backstop pool that every thread's [`take`] falls back
+//! to after a local miss (local → shared → fresh). Only the migration
+//! points pay the shared lock; within-thread recycling stays lock-free.
 //!
 //! In [`KernelMode::Naive`](crate::mode::KernelMode) the pool is
 //! bypassed entirely (every request is a fresh allocation and recycling
@@ -26,6 +35,7 @@ use crate::mode::{kernel_mode, KernelMode};
 use crate::tensor::Tensor;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
 
 /// Buffers are binned by floor(log2(capacity)); 32 classes cover every
 /// realistic tensor (class 31 ≈ 2 G elements).
@@ -48,12 +58,81 @@ struct Pool {
 
 impl Pool {
     fn new() -> Pool {
-        Pool { classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect() }
+        Pool {
+            classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+        }
     }
 }
 
 thread_local! {
     static POOL: RefCell<Pool> = RefCell::new(Pool::new());
+}
+
+/// Process-wide backstop pool for buffers that migrate between threads
+/// (see the module docs). Touched only on a local-pool miss and at the
+/// explicit [`recycle_shared`] hand-off points, so the mutex is cold.
+fn shared_pool() -> &'static Mutex<Pool> {
+    static SHARED: OnceLock<Mutex<Pool>> = OnceLock::new();
+    SHARED.get_or_init(|| Mutex::new(Pool::new()))
+}
+
+impl Pool {
+    /// Pops the smallest stored buffer able to hold `len` elements.
+    ///
+    /// Buffers allocated by [`take`] have power-of-two capacities, but
+    /// buffers born outside it — e.g. `Tensor::clone` copies that later
+    /// enter a tape — carry exact capacities and land in the *floor*
+    /// class of their capacity, one below the class a request for that
+    /// length searches. So the search runs best-fit, smallest class
+    /// first: the floor class (which can hold fitting buffers only for
+    /// non-power-of-two requests), then the exact class. Larger classes
+    /// are deliberately left alone: serving a request from the class
+    /// above wastes a 2× buffer on it — and under the worker pool that
+    /// buffer may then migrate to another thread (e.g. as a backward
+    /// seed), slowly draining the big classes of the thread that owns
+    /// them and forcing it to re-allocate every step. A fresh exact-size
+    /// allocation converges instead: each (thread, class) population is
+    /// self-contained, so steady-state training stops allocating. Each
+    /// bin is sorted by descending capacity, so within a bin the best
+    /// fit is the deepest fitting entry — `pop` for the (common)
+    /// homogeneous bins.
+    fn pop_for_request(&mut self, len: usize) -> Option<Vec<f32>> {
+        let exact = class_for_request(len).min(NUM_CLASSES - 1);
+        let floor = if exact > 0 && !len.max(1).is_power_of_two() {
+            exact - 1
+        } else {
+            exact
+        };
+        for class in floor..=exact {
+            let bin = &mut self.classes[class];
+            // Descending order: entries with capacity >= len form a
+            // prefix; its last element is the smallest fitting buffer.
+            let fit = bin.partition_point(|b| b.capacity() >= len);
+            if fit > 0 {
+                let mut buf = bin.remove(fit - 1);
+                buf.clear();
+                return Some(buf);
+            }
+        }
+        None
+    }
+
+    /// Stores a buffer in the size class of its capacity, keeping the
+    /// bin sorted by descending capacity (a push for the common case of
+    /// a bin full of identical power-of-two buffers), and dropping the
+    /// buffer when the class is at [`PER_CLASS_CAP`]. Returns whether
+    /// the buffer was kept.
+    fn store(&mut self, buf: Vec<f32>) -> bool {
+        let class = class_of_capacity(buf.capacity()).min(NUM_CLASSES - 1);
+        let bin = &mut self.classes[class];
+        if bin.len() < PER_CLASS_CAP {
+            let pos = bin.partition_point(|b| b.capacity() >= buf.capacity());
+            bin.insert(pos, buf);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Size class holding buffers with `capacity >= 2^c` (floor log2).
@@ -80,19 +159,16 @@ pub(crate) fn take(len: usize) -> Vec<f32> {
         FRESH.fetch_add(1, Relaxed);
         return Vec::with_capacity(len);
     }
-    let reused = POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        let first = class_for_request(len).min(NUM_CLASSES - 1);
-        // Look in the exact class and the next one up; anything larger
-        // would waste big buffers on small tensors.
-        for class in first..(first + 2).min(NUM_CLASSES) {
-            if let Some(mut buf) = pool.classes[class].pop() {
-                buf.clear();
-                return Some(buf);
-            }
-        }
-        None
-    });
+    let reused = POOL
+        .with(|pool| pool.borrow_mut().pop_for_request(len))
+        .or_else(|| {
+            // Local miss: check the shared backstop before allocating,
+            // picking up buffers that were retired on another thread.
+            shared_pool()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_for_request(len)
+        });
     match reused {
         Some(buf) => {
             REUSED.fetch_add(1, Relaxed);
@@ -100,6 +176,17 @@ pub(crate) fn take(len: usize) -> Vec<f32> {
         }
         None => {
             FRESH.fetch_add(1, Relaxed);
+            if std::env::var_os("TYPILUS_ARENA_TRACE").is_some() {
+                eprintln!(
+                    "arena: FRESH len={} class={} on {:?}",
+                    len,
+                    class_for_request(len),
+                    std::thread::current().name().unwrap_or("?")
+                );
+                if std::env::var_os("TYPILUS_ARENA_TRACE_BT").is_some() {
+                    eprintln!("{}", std::backtrace::Backtrace::force_capture());
+                }
+            }
             // Round fresh capacity up to a power of two so the buffer's
             // recycle class equals its request class: a buffer with the
             // exact capacity 777_777 would land in floor-class 19 on
@@ -149,16 +236,35 @@ pub(crate) fn recycle_vec(buf: Vec<f32>) {
     if buf.capacity() == 0 || kernel_mode() == KernelMode::Naive {
         return;
     }
-    let class = class_of_capacity(buf.capacity()).min(NUM_CLASSES - 1);
     POOL.with(|pool| {
-        let mut pool = pool.borrow_mut();
-        let bin = &mut pool.classes[class];
-        if bin.len() < PER_CLASS_CAP {
+        if pool.borrow_mut().store(buf) {
             RECYCLED.fetch_add(1, Relaxed);
-            bin.push(buf);
         }
         // Over the cap: drop, releasing the memory.
     });
+}
+
+/// Returns a tensor's buffer to the process-wide shared pool. Use at
+/// the points where a buffer allocated on one thread is retired on
+/// another (gradient merge on the caller, optimizer teardown, per-file
+/// value snapshots dropped on workers), so it can flow back to
+/// whichever thread next misses its local pool.
+pub fn recycle_shared(t: Tensor) {
+    recycle_vec_shared(t.into_data());
+}
+
+/// Returns a raw buffer to the process-wide shared pool.
+pub(crate) fn recycle_vec_shared(buf: Vec<f32>) {
+    if buf.capacity() == 0 || kernel_mode() == KernelMode::Naive {
+        return;
+    }
+    let kept = shared_pool()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .store(buf);
+    if kept {
+        RECYCLED.fetch_add(1, Relaxed);
+    }
 }
 
 /// Snapshot of the arena's global allocation counters (all threads).
@@ -212,7 +318,10 @@ mod tests {
         // A request of n must map to a class whose buffers hold n.
         for len in [1usize, 2, 3, 7, 8, 9, 100, 1 << 20] {
             let class = class_for_request(len);
-            assert!((1usize << class) >= len, "class {class} too small for {len}");
+            assert!(
+                (1usize << class) >= len,
+                "class {class} too small for {len}"
+            );
         }
     }
 
@@ -226,7 +335,28 @@ mod tests {
         let t2 = take(777_777);
         let after = arena_stats();
         assert!(t2.capacity() >= 777_777);
-        assert_eq!(after.reused - before.reused, 1, "second request must hit the pool");
+        assert_eq!(
+            after.reused - before.reused,
+            1,
+            "second request must hit the pool"
+        );
+    }
+
+    #[test]
+    fn shared_backstop_serves_cross_thread_misses() {
+        crate::mode::set_kernel_mode(crate::mode::KernelMode::Fast);
+        // Odd, large size so no other test's buffers land in the class.
+        let t = zeros(1, 555_555);
+        recycle_shared(t);
+        // A fresh thread has an empty local pool, so it can only be
+        // served by the shared backstop.
+        let capacity = std::thread::spawn(|| take(555_555).capacity())
+            .join()
+            .expect("helper thread");
+        assert!(
+            capacity >= 555_555,
+            "shared buffer not found from another thread"
+        );
     }
 
     #[test]
@@ -236,7 +366,10 @@ mod tests {
         t.as_mut_slice().iter_mut().for_each(|x| *x = 99.0);
         recycle(t);
         let z = zeros(2, 3);
-        assert!(z.as_slice().iter().all(|&x| x == 0.0), "stale data leaked from pool");
+        assert!(
+            z.as_slice().iter().all(|&x| x == 0.0),
+            "stale data leaked from pool"
+        );
         let c = copy_slice(1, 6, &[1., 2., 3., 4., 5., 6.]);
         assert_eq!(c.as_slice(), &[1., 2., 3., 4., 5., 6.]);
     }

@@ -31,7 +31,12 @@ impl Linear {
     ) -> Linear {
         let w = params.add(format!("{name}.w"), Tensor::glorot(in_dim, out_dim, rng));
         let b = params.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b: Some(b), in_dim, out_dim }
+        Linear {
+            w,
+            b: Some(b),
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Creates a linear layer without bias (e.g. GGNN message functions).
@@ -43,7 +48,12 @@ impl Linear {
         rng: &mut R,
     ) -> Linear {
         let w = params.add(format!("{name}.w"), Tensor::glorot(in_dim, out_dim, rng));
-        Linear { w, b: None, in_dim, out_dim }
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a `[n, in_dim]` batch.
@@ -101,7 +111,19 @@ impl GruCell {
         let bz = params.add(format!("{name}.bz"), Tensor::zeros(1, hidden_dim));
         let br = params.add(format!("{name}.br"), Tensor::zeros(1, hidden_dim));
         let bh = params.add(format!("{name}.bh"), Tensor::zeros(1, hidden_dim));
-        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden_dim }
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden_dim,
+        }
     }
 
     /// One step: inputs `x` `[n, in_dim]`, state `h` `[n, hidden_dim]`.
@@ -159,7 +181,10 @@ impl Embedding {
         dim: usize,
         rng: &mut R,
     ) -> Embedding {
-        let table = params.add(format!("{name}.table"), Tensor::uniform(vocab, dim, 0.1, rng));
+        let table = params.add(
+            format!("{name}.table"),
+            Tensor::uniform(vocab, dim, 0.1, rng),
+        );
         Embedding { table, vocab, dim }
     }
 
@@ -222,7 +247,10 @@ mod tests {
         let loss = tape.mean_all(h2);
         let grads = tape.backward(loss);
         // All nine GRU parameters receive gradients.
-        let with_grads = params.iter().filter(|(id, _, _)| grads.get(*id).is_some()).count();
+        let with_grads = params
+            .iter()
+            .filter(|(id, _, _)| grads.get(*id).is_some())
+            .count();
         assert_eq!(with_grads, 9);
     }
 
@@ -237,7 +265,11 @@ mod tests {
         for _ in 0..50 {
             h = gru.step(&mut tape, x, h);
         }
-        assert!(tape.value(h).as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        assert!(tape
+            .value(h)
+            .as_slice()
+            .iter()
+            .all(|v| v.abs() <= 1.0 + 1e-5));
     }
 
     #[test]

@@ -28,16 +28,22 @@ pub mod mode;
 pub mod optim;
 pub mod par;
 pub mod params;
+pub mod pool;
 pub mod profile;
 pub mod tape;
 pub mod tensor;
 
-pub use arena::{arena_stats, reset_arena_stats, ArenaStats};
+pub use arena::{arena_stats, recycle_shared, reset_arena_stats, ArenaStats};
 pub use layers::{Embedding, GruCell, Linear};
 pub use mode::{kernel_mode, set_kernel_mode, KernelMode};
 pub use optim::{Adam, Sgd};
-pub use par::{par_map_ordered, resolve_threads};
+pub use par::{
+    par_map_ordered, parse_thread_spec, resolve_threads, try_resolve_threads, ThreadConfigError,
+};
 pub use params::{Gradients, ParamId, ParamSet};
-pub use profile::{profile_rows, profiling_enabled, report as profile_report, reset_profile, OpProfile};
+pub use pool::{PoolCell, WorkerPool};
+pub use profile::{
+    profile_rows, profiling_enabled, report as profile_report, reset_profile, OpProfile,
+};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -41,7 +41,11 @@ fn resolve_from_env() -> KernelMode {
     let naive = std::env::var("TYPILUS_NN_NAIVE")
         .map(|v| !v.trim().is_empty() && v.trim() != "0")
         .unwrap_or(false);
-    let mode = if naive { KernelMode::Naive } else { KernelMode::Fast };
+    let mode = if naive {
+        KernelMode::Naive
+    } else {
+        KernelMode::Fast
+    };
     set_kernel_mode(mode);
     mode
 }

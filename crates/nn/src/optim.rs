@@ -52,8 +52,14 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (id, g) in grads.iter() {
             let shape = g.shape();
-            let m = self.m.entry(id).or_insert_with(|| Tensor::zeros(shape.0, shape.1));
-            let v = self.v.entry(id).or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let m = self
+                .m
+                .entry(id)
+                .or_insert_with(|| Tensor::zeros(shape.0, shape.1));
+            let v = self
+                .v
+                .entry(id)
+                .or_insert_with(|| Tensor::zeros(shape.0, shape.1));
             let p = params.get_mut(id);
             debug_assert_eq!(p.shape(), shape, "gradient shape mismatch for {id:?}");
             for i in 0..g.len() {

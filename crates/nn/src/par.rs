@@ -1,29 +1,93 @@
 //! Deterministic data-parallel execution helpers.
 //!
-//! Work is fanned across crossbeam scoped threads, but results are
-//! always returned in input order and every reduction over them happens
-//! sequentially in that order — so any float accumulation downstream is
-//! bit-identical for every thread count, including 1.
+//! [`par_map_ordered`] fans work across crossbeam scoped threads
+//! spawned per call; the persistent engine that supersedes it for
+//! steady-state training lives in [`crate::pool`]. Both share the same
+//! contract: results are always returned in input order and every
+//! reduction over them happens sequentially in that order — so any
+//! float accumulation downstream is bit-identical for every thread
+//! count, including 1.
 
-/// Resolves the worker-thread count for data-parallel stages.
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Mutex, OnceLock};
+
+/// An invalid thread-count specification (from `TYPILUS_THREADS`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadConfigError {
+    /// The rejected value, as written.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid TYPILUS_THREADS value {:?}: expected a positive integer",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Parses a thread-count specification: a positive integer, with
+/// surrounding whitespace allowed. `"0"`, `"-2"`, `"abc"` and `"4x"`
+/// are all errors — a typo must not silently oversubscribe the box.
+pub fn parse_thread_spec(spec: &str) -> Result<usize, ThreadConfigError> {
+    match spec.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ThreadConfigError {
+            value: spec.trim().to_string(),
+        }),
+    }
+}
+
+/// `TYPILUS_THREADS`, read and parsed once per process. `Ok(None)`
+/// means the variable is unset.
+fn env_threads() -> &'static Result<Option<usize>, ThreadConfigError> {
+    static CACHE: OnceLock<Result<Option<usize>, ThreadConfigError>> = OnceLock::new();
+    CACHE.get_or_init(|| match std::env::var("TYPILUS_THREADS") {
+        Ok(v) => parse_thread_spec(&v).map(Some),
+        Err(_) => Ok(None),
+    })
+}
+
+/// Resolves the worker-thread count for data-parallel stages, rejecting
+/// a malformed `TYPILUS_THREADS`.
 ///
 /// Priority: an explicit non-zero `requested` value, then the
-/// `TYPILUS_THREADS` environment variable, then
+/// `TYPILUS_THREADS` environment variable (read once per process), then
 /// [`std::thread::available_parallelism`], defaulting to 1.
-pub fn resolve_threads(requested: Option<usize>) -> usize {
+pub fn try_resolve_threads(requested: Option<usize>) -> Result<usize, ThreadConfigError> {
     if let Some(n) = requested {
         if n > 0 {
-            return n;
+            return Ok(n);
         }
     }
-    if let Ok(v) = std::env::var("TYPILUS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+    match env_threads() {
+        Ok(Some(n)) => Ok(*n),
+        Ok(None) => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+        Err(e) => Err(e.clone()),
+    }
+}
+
+/// Infallible [`try_resolve_threads`]: a malformed `TYPILUS_THREADS`
+/// logs one loud warning and clamps to 1 thread (never to all cores —
+/// a typo must fail toward less parallelism, not more).
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match try_resolve_threads(requested) {
+        Ok(n) => n,
+        Err(e) => {
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, SeqCst) {
+                eprintln!("typilus: warning: {e}; running with 1 thread");
             }
+            1
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Applies `f` to every item, fanning across at most `threads` scoped
@@ -36,7 +100,11 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f`.
+/// If `f` panics on any worker, the first panic payload is captured,
+/// outstanding work is cancelled (remaining workers stop before their
+/// next item), and the payload is re-raised on the caller via
+/// [`std::panic::resume_unwind`] — the original assertion message
+/// survives.
 pub fn par_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -49,6 +117,8 @@ where
     }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
+    let cancel = &AtomicBool::new(false);
+    let first_panic: &Mutex<Option<Box<dyn std::any::Any + Send>>> = &Mutex::new(None);
     crossbeam::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = (0..threads)
@@ -57,7 +127,22 @@ where
                     let mut out = Vec::new();
                     let mut i = t;
                     while i < items.len() {
-                        out.push((i, f(i, &items[i])));
+                        if cancel.load(SeqCst) {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                cancel.store(true, SeqCst);
+                                let mut slot = first_panic
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
                         i += threads;
                     }
                     out
@@ -65,13 +150,23 @@ where
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("worker thread panicked") {
+            for (i, r) in h.join().expect("worker panics are captured in-thread") {
                 slots[i] = Some(r);
             }
         }
     })
     .expect("thread scope failed");
-    slots.into_iter().map(|r| r.expect("every slot is filled")).collect()
+    if let Some(payload) = first_panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot is filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,7 +195,9 @@ mod tests {
     fn float_reduction_is_thread_count_invariant() {
         let items: Vec<f32> = (0..100).map(|i| (i as f32).sin() * 1e-3).collect();
         let reduce = |threads: usize| -> f32 {
-            par_map_ordered(&items, threads, |_, &x| x * x + 0.1).iter().sum()
+            par_map_ordered(&items, threads, |_, &x| x * x + 0.1)
+                .iter()
+                .sum()
         };
         let one = reduce(1);
         for threads in [2, 4, 7] {
@@ -113,5 +210,35 @@ mod tests {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
         assert!(resolve_threads(Some(0)) >= 1);
+        assert_eq!(try_resolve_threads(Some(5)), Ok(5));
+    }
+
+    #[test]
+    fn thread_spec_parsing() {
+        assert_eq!(parse_thread_spec("4"), Ok(4));
+        assert_eq!(parse_thread_spec(" 16 "), Ok(16));
+        for bad in ["abc", "0", "-2", "4x", "", "1.5"] {
+            let err = parse_thread_spec(bad).expect_err(bad);
+            assert_eq!(err.value, bad.trim());
+            assert!(err.to_string().contains("TYPILUS_THREADS"));
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_survives() {
+        let items: Vec<usize> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_ordered(&items, 4, |i, _| {
+                assert!(i != 23, "item 23 exploded");
+                i
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("item 23 exploded"), "payload lost: {msg:?}");
     }
 }

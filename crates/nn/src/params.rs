@@ -118,12 +118,15 @@ impl Gradients {
         }
     }
 
-    /// Returns every gradient buffer to the thread-local arena. Call
+    /// Returns every gradient buffer to the shared arena pool. Call
     /// this after the optimizer has consumed the gradients so the next
-    /// step's backward pass reuses their storage.
+    /// step's backward pass reuses their storage. The buffers go to the
+    /// shared pool rather than the calling thread's because under the
+    /// persistent worker pool they were allocated on worker threads —
+    /// recycling them locally would starve the workers' arenas.
     pub fn recycle(self) {
         for (_, g) in self.by_param {
-            crate::arena::recycle(g);
+            crate::arena::recycle_shared(g);
         }
     }
 
@@ -137,10 +140,22 @@ impl Gradients {
         self.by_param.iter().map(|(&k, v)| (k, v))
     }
 
-    /// Merges another gradient map into this one.
+    /// Merges another gradient map into this one. Addends consumed by
+    /// the merge are recycled into the shared arena pool: merging
+    /// happens on the caller, but under the persistent worker pool the
+    /// addends were allocated on worker threads, and the shared pool is
+    /// how their buffers flow back to them.
     pub fn merge(&mut self, other: Gradients) {
         for (id, g) in other.by_param {
-            self.accumulate(id, g);
+            match self.by_param.get_mut(&id) {
+                Some(existing) => {
+                    existing.add_assign(&g);
+                    crate::arena::recycle_shared(g);
+                }
+                None => {
+                    self.by_param.insert(id, g);
+                }
+            }
         }
     }
 

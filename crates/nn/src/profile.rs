@@ -185,11 +185,7 @@ macro_rules! prof {
         {
             let __start = std::time::Instant::now();
             let __result = $body;
-            $crate::profile::record(
-                $kind,
-                __start.elapsed().as_nanos() as u64,
-                $bytes as u64,
-            );
+            $crate::profile::record($kind, __start.elapsed().as_nanos() as u64, $bytes as u64);
             __result
         }
         #[cfg(not(feature = "nn-profile"))]

@@ -100,7 +100,11 @@ fn run_op(kind: OpKind, f: impl FnOnce() -> Tensor) -> Tensor {
     {
         let start = std::time::Instant::now();
         let out = f();
-        crate::profile::record(kind, start.elapsed().as_nanos() as u64, (out.len() * 4) as u64);
+        crate::profile::record(
+            kind,
+            start.elapsed().as_nanos() as u64,
+            (out.len() * 4) as u64,
+        );
         out
     }
     #[cfg(not(feature = "nn-profile"))]
@@ -121,7 +125,12 @@ fn pooled_map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
 fn pooled_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     debug_assert_eq!(a.shape(), b.shape());
     let mut buf = arena::take(a.len());
-    buf.extend(a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)));
+    buf.extend(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y)),
+    );
     Tensor::from_vec(a.rows(), a.cols(), buf)
 }
 
@@ -134,7 +143,10 @@ pub struct Tape<'p> {
 impl<'p> Tape<'p> {
     /// Creates a fresh tape reading parameters from `params`.
     pub fn new(params: &'p ParamSet) -> Tape<'p> {
-        Tape { params, nodes: Vec::new() }
+        Tape {
+            params,
+            nodes: Vec::new(),
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -314,7 +326,9 @@ impl<'p> Tape<'p> {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let va = self.value(a);
-        let v = run_op(OpKind::Elementwise, || pooled_map(va, |x| 1.0 / (1.0 + (-x).exp())));
+        let v = run_op(OpKind::Elementwise, || {
+            pooled_map(va, |x| 1.0 / (1.0 + (-x).exp()))
+        });
         self.push(v, Op::Sigmoid(a))
     }
 
@@ -535,7 +549,10 @@ impl<'p> Tape<'p> {
             }
             out
         });
-        self.push(v, Op::SegmentMax(a, segments.to_vec(), num_segments, argmax))
+        self.push(
+            v,
+            Op::SegmentMax(a, segments.to_vec(), num_segments, argmax),
+        )
     }
 
     /// Pairwise L1 distance matrix between the rows of `a`.
@@ -710,11 +727,7 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if `loss` is not `1×1`.
-    pub fn backward_with_inputs(
-        &self,
-        loss: Var,
-        inputs: &[Var],
-    ) -> (Gradients, Vec<Tensor>) {
+    pub fn backward_with_inputs(&self, loss: Var, inputs: &[Var]) -> (Gradients, Vec<Tensor>) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         self.backward_impl(loss, arena::full(1, 1, 1.0), inputs)
     }
@@ -735,12 +748,7 @@ impl<'p> Tape<'p> {
         self.backward_impl(root, seed, &[]).0
     }
 
-    fn backward_impl(
-        &self,
-        root: Var,
-        seed: Tensor,
-        inputs: &[Var],
-    ) -> (Gradients, Vec<Tensor>) {
+    fn backward_impl(&self, root: Var, seed: Tensor, inputs: &[Var]) -> (Gradients, Vec<Tensor>) {
         prof!(OpKind::Backward, 0u64, {
             let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
             grads[root.0] = Some(seed);
@@ -1144,11 +1152,7 @@ mod tests {
     use rand::SeedableRng;
 
     /// Numerically checks d loss / d param against finite differences.
-    fn check_gradient(
-        build: impl Fn(&mut Tape<'_>, Var) -> Var,
-        init: Tensor,
-        tol: f32,
-    ) {
+    fn check_gradient(build: impl Fn(&mut Tape<'_>, Var) -> Var, init: Tensor, tol: f32) {
         let mut params = ParamSet::new();
         let id = params.add("w", init);
         // Analytic gradient.
@@ -1435,7 +1439,10 @@ mod tests {
             let s = tape.sigmoid(w);
             let loss = tape.mean_all(s);
             let grads = tape.backward(loss);
-            (tape.value(loss).item(), grads.get(id).unwrap().as_slice().to_vec())
+            (
+                tape.value(loss).item(),
+                grads.get(id).unwrap().as_slice().to_vec(),
+            )
         };
         let first = run(&mut tape);
         tape.reset();
@@ -1445,7 +1452,10 @@ mod tests {
         let after = crate::arena::arena_stats();
         assert_eq!(first, second, "reset changed results");
         if kernel_mode() == KernelMode::Fast {
-            assert!(after.reused > before.reused, "reset tape did not reuse buffers");
+            assert!(
+                after.reused > before.reused,
+                "reset tape did not reuse buffers"
+            );
         }
     }
 
@@ -1572,7 +1582,10 @@ mod tests {
         let (r, s) = (reference.get(id).unwrap(), grads.get(id).unwrap());
         assert_eq!(r.shape(), s.shape());
         for (a, b) in r.as_slice().iter().zip(s.as_slice()) {
-            assert!((a - b).abs() < 1e-6, "split-tape gradient mismatch: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "split-tape gradient mismatch: {a} vs {b}"
+            );
         }
     }
 

@@ -41,17 +41,29 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
-        Tensor { data: vec![0.0; rows * cols], rows, cols }
+        Tensor {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Tensor {
-        Tensor { data: vec![value; rows * cols], rows, cols }
+        Tensor {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Creates a `1×1` scalar tensor.
     pub fn scalar(value: f32) -> Tensor {
-        Tensor { data: vec![value], rows: 1, cols: 1 }
+        Tensor {
+            data: vec![value],
+            rows: 1,
+            cols: 1,
+        }
     }
 
     /// Creates a tensor from a flat row-major vector.
@@ -67,13 +79,17 @@ impl Tensor {
     /// Glorot/Xavier-uniform initialisation.
     pub fn glorot<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
         let limit = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Tensor { data, rows, cols }
     }
 
     /// Uniform initialisation in `[-limit, limit]`.
     pub fn uniform<R: Rng>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> Tensor {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Tensor { data, rows, cols }
     }
 
@@ -174,7 +190,8 @@ impl Tensor {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -203,7 +220,8 @@ impl Tensor {
     /// Panics if column counts differ.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_t shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -430,7 +448,8 @@ pub mod reference {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(a: &Tensor, other: &Tensor) -> Tensor {
         assert_eq!(
-            a.cols, other.rows,
+            a.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             a.shape(),
             other.shape()
@@ -459,7 +478,8 @@ pub mod reference {
     /// Panics if column counts differ.
     pub fn matmul_t(a: &Tensor, other: &Tensor) -> Tensor {
         assert_eq!(
-            a.cols, other.cols,
+            a.cols,
+            other.cols,
             "matmul_t shape mismatch: {:?} x {:?}ᵀ",
             a.shape(),
             other.shape()

@@ -184,7 +184,10 @@ fn segment_max_tie_gradient_goes_to_earliest_row() {
 fn segment_max_all_nan_column_is_zero_with_no_gradient() {
     set_kernel_mode(KernelMode::Fast);
     let mut params = ParamSet::new();
-    let id = params.add("x", Tensor::from_vec(2, 2, vec![f32::NAN, 1.0, f32::NAN, -2.0]));
+    let id = params.add(
+        "x",
+        Tensor::from_vec(2, 2, vec![f32::NAN, 1.0, f32::NAN, -2.0]),
+    );
     let mut tape = Tape::new(&params);
     let x = tape.param(id);
     let m = tape.segment_max(x, &[0, 0], 1);

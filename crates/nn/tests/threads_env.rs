@@ -1,0 +1,28 @@
+//! `TYPILUS_THREADS` invalid-value behavior.
+//!
+//! The variable is read and parsed once per process, so this file holds
+//! a single test and sets the variable before the first resolution;
+//! valid-value behavior lives in its own binary (`threads_env_valid`).
+
+#[test]
+fn invalid_env_value_errors_and_clamps_to_one() {
+    std::env::set_var("TYPILUS_THREADS", "4x");
+
+    // The checked API surfaces a config error naming the bad value.
+    let err = typilus_nn::try_resolve_threads(None).expect_err("malformed spec must error");
+    assert_eq!(err.value, "4x");
+    assert!(err.to_string().contains("TYPILUS_THREADS"));
+
+    // The infallible API clamps to 1 thread — never to all cores.
+    assert_eq!(typilus_nn::resolve_threads(None), 1);
+
+    // An explicit request bypasses the environment entirely.
+    assert_eq!(typilus_nn::resolve_threads(Some(3)), 3);
+    assert_eq!(typilus_nn::try_resolve_threads(Some(3)), Ok(3));
+
+    // The variable is resolved once per process: fixing it afterwards
+    // does not change the cached decision.
+    std::env::set_var("TYPILUS_THREADS", "8");
+    assert!(typilus_nn::try_resolve_threads(None).is_err());
+    assert_eq!(typilus_nn::resolve_threads(None), 1);
+}

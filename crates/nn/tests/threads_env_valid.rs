@@ -1,0 +1,18 @@
+//! `TYPILUS_THREADS` valid-value behavior (one test per binary because
+//! the variable is resolved once per process; the invalid-value case is
+//! in `threads_env`).
+
+#[test]
+fn valid_env_value_is_used_and_resolved_once() {
+    std::env::set_var("TYPILUS_THREADS", " 6 ");
+    assert_eq!(
+        typilus_nn::resolve_threads(None),
+        6,
+        "whitespace-trimmed value applies"
+    );
+    assert_eq!(typilus_nn::try_resolve_threads(None), Ok(6));
+
+    // Resolved once per process: later changes are ignored.
+    std::env::set_var("TYPILUS_THREADS", "2");
+    assert_eq!(typilus_nn::resolve_threads(None), 6);
+}

@@ -614,9 +614,17 @@ impl Expr {
                     items.iter().map(|e| e.annotation_text()).collect();
                 Some(format!("[{}]", parts?.join(", ")))
             }
-            ExprKind::BinOp { left, op: BinOp::BitOr, right } => {
+            ExprKind::BinOp {
+                left,
+                op: BinOp::BitOr,
+                right,
+            } => {
                 // PEP 604 unions: `int | None`.
-                Some(format!("{} | {}", left.annotation_text()?, right.annotation_text()?))
+                Some(format!(
+                    "{} | {}",
+                    left.annotation_text()?,
+                    right.annotation_text()?
+                ))
             }
             _ => None,
         }
@@ -638,14 +646,22 @@ mod tests {
 
     fn expr(kind: ExprKind) -> Expr {
         Expr {
-            meta: NodeMeta { id: NodeId(0), span: Span::point(Pos::START) },
+            meta: NodeMeta {
+                id: NodeId(0),
+                span: Span::point(Pos::START),
+            },
             kind,
         }
     }
 
     #[test]
     fn annotation_text_simple() {
-        assert_eq!(expr(ExprKind::Name("int".into())).annotation_text().unwrap(), "int");
+        assert_eq!(
+            expr(ExprKind::Name("int".into()))
+                .annotation_text()
+                .unwrap(),
+            "int"
+        );
         assert_eq!(expr(ExprKind::NoneLit).annotation_text().unwrap(), "None");
     }
 
@@ -674,7 +690,12 @@ mod tests {
 
     #[test]
     fn annotation_text_forward_reference() {
-        assert_eq!(expr(ExprKind::Str("'Foo'".into())).annotation_text().unwrap(), "Foo");
+        assert_eq!(
+            expr(ExprKind::Str("'Foo'".into()))
+                .annotation_text()
+                .unwrap(),
+            "Foo"
+        );
     }
 
     #[test]

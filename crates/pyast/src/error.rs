@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_includes_location() {
-        let e = ParseError::new(ParseErrorKind::UnexpectedEof, Span::point(Pos::new(5, 2, 1)));
+        let e = ParseError::new(
+            ParseErrorKind::UnexpectedEof,
+            Span::point(Pos::new(5, 2, 1)),
+        );
         assert_eq!(e.to_string(), "unexpected end of input at 2:2");
     }
 

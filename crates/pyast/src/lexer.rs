@@ -82,7 +82,11 @@ impl<'s> Lexer<'s> {
 
     fn push(&mut self, kind: TokenKind, start: Pos) {
         let span = Span::new(start, self.here());
-        let lexeme = if kind.is_layout() { String::new() } else { span.text(self.src).to_string() };
+        let lexeme = if kind.is_layout() {
+            String::new()
+        } else {
+            span.text(self.src).to_string()
+        };
         self.tokens.push(Token::new(kind, lexeme, span));
     }
 
@@ -229,7 +233,9 @@ impl<'s> Lexer<'s> {
         let text = &self.src[start.offset..self.pos];
         // String prefixes: r, b, f, u and two-letter combinations.
         if text.len() <= 2
-            && text.bytes().all(|c| matches!(c.to_ascii_lowercase(), b'r' | b'b' | b'f' | b'u'))
+            && text
+                .bytes()
+                .all(|c| matches!(c.to_ascii_lowercase(), b'r' | b'b' | b'f' | b'u'))
             && matches!(self.peek(), Some(b'"') | Some(b'\''))
         {
             return self.string(Some(start));
@@ -308,9 +314,10 @@ impl<'s> Lexer<'s> {
             loop {
                 match self.peek() {
                     None => return Err(self.error(ParseErrorKind::UnterminatedString)),
-                    Some(c) if c == quote
-                        && self.peek2() == Some(quote)
-                        && self.peek3() == Some(quote) =>
+                    Some(c)
+                        if c == quote
+                            && self.peek2() == Some(quote)
+                            && self.peek3() == Some(quote) =>
                     {
                         self.bump();
                         self.bump();
@@ -559,7 +566,14 @@ mod tests {
 
     #[test]
     fn string_variants() {
-        for s in ["'a'", "\"a\"", "'''multi\nline'''", "f'x{y}'", "rb'raw'", "'esc\\''"] {
+        for s in [
+            "'a'",
+            "\"a\"",
+            "'''multi\nline'''",
+            "f'x{y}'",
+            "rb'raw'",
+            "'esc\\''",
+        ] {
             let toks = tokenize(s).unwrap();
             assert_eq!(toks[0].kind, TokenKind::Str, "input: {s}");
         }
@@ -573,7 +587,9 @@ mod tests {
 
     #[test]
     fn number_variants() {
-        for s in ["0", "42", "3.14", "1e10", "1E-3", "0x1f", "0b101", "1_000", "2.5j", ".5"] {
+        for s in [
+            "0", "42", "3.14", "1e10", "1E-3", "0x1f", "0b101", "1_000", "2.5j", ".5",
+        ] {
             let toks = tokenize(s).unwrap();
             assert_eq!(toks[0].kind, TokenKind::Number, "input: {s}");
             assert_eq!(toks[0].lexeme, s, "input: {s}");
@@ -584,7 +600,10 @@ mod tests {
     fn method_call_on_number_not_swallowed() {
         use TokenKind::*;
         // `1 .bit_length()` style: ensure `1..2` doesn't lex the dots into the number.
-        assert_eq!(kinds("x[1:2]\n")[..6], [Name, LBracket, Number, Colon, Number, RBracket]);
+        assert_eq!(
+            kinds("x[1:2]\n")[..6],
+            [Name, LBracket, Number, Colon, Number, RBracket]
+        );
     }
 
     #[test]
@@ -592,17 +611,26 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("a += b ** c // d != e\n"),
-            vec![Name, AugAssign, Name, DoubleStar, Name, DoubleSlash, Name, NotEq, Name, Newline, EndOfFile]
+            vec![
+                Name,
+                AugAssign,
+                Name,
+                DoubleStar,
+                Name,
+                DoubleSlash,
+                Name,
+                NotEq,
+                Name,
+                Newline,
+                EndOfFile
+            ]
         );
     }
 
     #[test]
     fn walrus_and_arrow() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("def f() -> int:\n    pass\n")[4],
-            Arrow.to_owned()
-        );
+        assert_eq!(kinds("def f() -> int:\n    pass\n")[4], Arrow.to_owned());
         assert!(kinds("if (n := 10) > 5:\n    pass\n").contains(&Walrus));
     }
 

@@ -43,7 +43,11 @@ struct Parser<'t> {
 
 impl<'t> Parser<'t> {
     fn new(tokens: &'t [Token]) -> Self {
-        Parser { tokens, pos: 0, next_id: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            next_id: 0,
+        }
     }
 
     fn fresh(&mut self, span: Span) -> NodeMeta {
@@ -98,7 +102,10 @@ impl<'t> Parser<'t> {
         let kind = if tok.kind == TokenKind::EndOfFile {
             ParseErrorKind::UnexpectedEof
         } else {
-            ParseErrorKind::UnexpectedToken { found: tok.to_string(), expected: context.to_string() }
+            ParseErrorKind::UnexpectedToken {
+                found: tok.to_string(),
+                expected: context.to_string(),
+            }
         };
         ParseError::new(kind, tok.span)
     }
@@ -121,8 +128,15 @@ impl<'t> Parser<'t> {
             body.push(self.statement()?);
         }
         let end = self.span_here();
-        let meta = NodeMeta { id: meta_placeholder.id, span: start.merge(end) };
-        Ok(Module { body, meta, node_count: self.next_id })
+        let meta = NodeMeta {
+            id: meta_placeholder.id,
+            span: start.merge(end),
+        };
+        Ok(Module {
+            body,
+            meta,
+            node_count: self.next_id,
+        })
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
@@ -182,11 +196,18 @@ impl<'t> Parser<'t> {
         self.expect(TokenKind::LParen, "`(` after function name")?;
         let params = self.param_list()?;
         self.expect(TokenKind::RParen, "`)` after parameters")?;
-        let returns = if self.eat(TokenKind::Arrow) { Some(self.expression()?) } else { None };
+        let returns = if self.eat(TokenKind::Arrow) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
         self.expect(TokenKind::Colon, "`:` before function body")?;
         let body = self.block()?;
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
         Ok(Stmt {
             meta,
             kind: StmtKind::FunctionDef(FunctionDef {
@@ -217,7 +238,11 @@ impl<'t> Parser<'t> {
             } else if self.eat(TokenKind::Slash) {
                 // Positional-only marker: accepted and ignored.
             } else {
-                let kind = if kw_only { ParamKind::KwOnly } else { ParamKind::Plain };
+                let kind = if kw_only {
+                    ParamKind::KwOnly
+                } else {
+                    ParamKind::Plain
+                };
                 params.push(self.param(kind)?);
             }
             if !self.eat(TokenKind::Comma) {
@@ -231,10 +256,23 @@ impl<'t> Parser<'t> {
         let name_tok = self.expect(TokenKind::Name, "parameter name")?;
         let name = name_tok.lexeme.clone();
         let name_span = name_tok.span;
-        let annotation =
-            if self.eat(TokenKind::Colon) { Some(self.expression()?) } else { None };
-        let default = if self.eat(TokenKind::Assign) { Some(self.expression()?) } else { None };
-        Ok(Param { name, name_span, annotation, default, kind })
+        let annotation = if self.eat(TokenKind::Colon) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        let default = if self.eat(TokenKind::Assign) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(Param {
+            name,
+            name_span,
+            annotation,
+            default,
+            kind,
+        })
     }
 
     fn class_def(&mut self, decorators: Vec<Expr>) -> Result<Stmt, ParseError> {
@@ -252,7 +290,10 @@ impl<'t> Parser<'t> {
                     let kw_name = self.bump().lexeme.clone();
                     self.bump(); // `=`
                     let value = self.expression()?;
-                    keywords.push(Keyword { arg: Some(kw_name), value });
+                    keywords.push(Keyword {
+                        arg: Some(kw_name),
+                        value,
+                    });
                 } else {
                     bases.push(self.expression()?);
                 }
@@ -265,10 +306,20 @@ impl<'t> Parser<'t> {
         self.expect(TokenKind::Colon, "`:` before class body")?;
         let body = self.block()?;
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
         Ok(Stmt {
             meta,
-            kind: StmtKind::ClassDef(ClassDef { name, name_span, bases, keywords, body, decorators }),
+            kind: StmtKind::ClassDef(ClassDef {
+                name,
+                name_span,
+                bases,
+                keywords,
+                body,
+                decorators,
+            }),
         })
     }
 
@@ -310,8 +361,14 @@ impl<'t> Parser<'t> {
             .map(|s| s.meta.span)
             .or_else(|| body.last().map(|s| s.meta.span))
             .unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Stmt { meta, kind: StmtKind::If { test, body, orelse } })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::If { test, body, orelse },
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -328,8 +385,14 @@ impl<'t> Parser<'t> {
             Vec::new()
         };
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Stmt { meta, kind: StmtKind::While { test, body, orelse } })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::While { test, body, orelse },
+        })
     }
 
     fn for_stmt(&mut self, is_async: bool) -> Result<Stmt, ParseError> {
@@ -348,8 +411,20 @@ impl<'t> Parser<'t> {
             Vec::new()
         };
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Stmt { meta, kind: StmtKind::For { target, iter, body, orelse, is_async } })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::For {
+                target,
+                iter,
+                body,
+                orelse,
+                is_async,
+            },
+        })
     }
 
     fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -374,7 +449,12 @@ impl<'t> Parser<'t> {
             }
             self.expect(TokenKind::Colon, "`:` after except clause")?;
             let hbody = self.block()?;
-            handlers.push(ExceptHandler { exc_type, name, name_span, body: hbody });
+            handlers.push(ExceptHandler {
+                exc_type,
+                name,
+                name_span,
+                body: hbody,
+            });
         }
         let orelse = if self.eat(TokenKind::KwElse) {
             self.expect(TokenKind::Colon, "`:` after else")?;
@@ -389,8 +469,19 @@ impl<'t> Parser<'t> {
             Vec::new()
         };
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Stmt { meta, kind: StmtKind::Try { body, handlers, orelse, finalbody } })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            },
+        })
     }
 
     fn with_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -400,7 +491,11 @@ impl<'t> Parser<'t> {
         let mut items = Vec::new();
         loop {
             let context = self.expression()?;
-            let target = if self.eat(TokenKind::KwAs) { Some(self.primary_target()?) } else { None };
+            let target = if self.eat(TokenKind::KwAs) {
+                Some(self.primary_target()?)
+            } else {
+                None
+            };
             items.push(WithItem { context, target });
             if !self.eat(TokenKind::Comma) {
                 break;
@@ -409,8 +504,14 @@ impl<'t> Parser<'t> {
         self.expect(TokenKind::Colon, "`:` after with items")?;
         let body = self.block()?;
         let end = body.last().map(|s| s.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Stmt { meta, kind: StmtKind::With { items, body } })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::With { items, body },
+        })
     }
 
     fn simple_stmt_line(&mut self) -> Result<Stmt, ParseError> {
@@ -444,23 +545,38 @@ impl<'t> Parser<'t> {
                 } else {
                     Some(self.expression_list()?)
                 };
-                let span = value.as_ref().map(|v| start.merge(v.meta.span)).unwrap_or(start);
-                Ok(Stmt { meta: NodeMeta { id: meta.id, span }, kind: StmtKind::Return(value) })
+                let span = value
+                    .as_ref()
+                    .map(|v| start.merge(v.meta.span))
+                    .unwrap_or(start);
+                Ok(Stmt {
+                    meta: NodeMeta { id: meta.id, span },
+                    kind: StmtKind::Return(value),
+                })
             }
             TokenKind::KwPass => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Stmt { meta, kind: StmtKind::Pass })
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Pass,
+                })
             }
             TokenKind::KwBreak => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Stmt { meta, kind: StmtKind::Break })
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Break,
+                })
             }
             TokenKind::KwContinue => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Stmt { meta, kind: StmtKind::Continue })
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Continue,
+                })
             }
             TokenKind::KwImport => self.import_stmt(),
             TokenKind::KwFrom => self.import_from_stmt(),
@@ -475,8 +591,11 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                let kind =
-                    if is_global { StmtKind::Global(names) } else { StmtKind::Nonlocal(names) };
+                let kind = if is_global {
+                    StmtKind::Global(names)
+                } else {
+                    StmtKind::Nonlocal(names)
+                };
                 Ok(Stmt { meta, kind })
             }
             TokenKind::KwDel => {
@@ -489,7 +608,10 @@ impl<'t> Parser<'t> {
                         break;
                     }
                 }
-                Ok(Stmt { meta, kind: StmtKind::Delete(targets) })
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Delete(targets),
+                })
             }
             TokenKind::KwRaise => {
                 let meta = self.fresh(start);
@@ -503,14 +625,24 @@ impl<'t> Parser<'t> {
                         cause = Some(self.expression()?);
                     }
                 }
-                Ok(Stmt { meta, kind: StmtKind::Raise { exc, cause } })
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Raise { exc, cause },
+                })
             }
             TokenKind::KwAssert => {
                 let meta = self.fresh(start);
                 self.bump();
                 let test = self.expression()?;
-                let msg = if self.eat(TokenKind::Comma) { Some(self.expression()?) } else { None };
-                Ok(Stmt { meta, kind: StmtKind::Assert { test, msg } })
+                let msg = if self.eat(TokenKind::Comma) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Assert { test, msg },
+                })
             }
             _ => self.expr_stmt(),
         }
@@ -527,7 +659,10 @@ impl<'t> Parser<'t> {
                 break;
             }
         }
-        Ok(Stmt { meta, kind: StmtKind::Import(names) })
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::Import(names),
+        })
     }
 
     fn import_alias(&mut self) -> Result<Alias, ParseError> {
@@ -541,9 +676,17 @@ impl<'t> Parser<'t> {
         }
         if self.eat(TokenKind::KwAs) {
             let t = self.expect(TokenKind::Name, "alias name")?;
-            Ok(Alias { name, asname: Some(t.lexeme.clone()), bind_span: t.span })
+            Ok(Alias {
+                name,
+                asname: Some(t.lexeme.clone()),
+                bind_span: t.span,
+            })
         } else {
-            Ok(Alias { name, asname: None, bind_span: first_span })
+            Ok(Alias {
+                name,
+                asname: None,
+                bind_span: first_span,
+            })
         }
     }
 
@@ -569,7 +712,11 @@ impl<'t> Parser<'t> {
         let mut names = Vec::new();
         if self.at(TokenKind::Star) {
             let t = self.bump();
-            names.push(Alias { name: "*".into(), asname: None, bind_span: t.span });
+            names.push(Alias {
+                name: "*".into(),
+                asname: None,
+                bind_span: t.span,
+            });
         } else {
             let parenthesised = self.eat(TokenKind::LParen);
             loop {
@@ -591,7 +738,14 @@ impl<'t> Parser<'t> {
                 self.expect(TokenKind::RParen, "`)` closing import list")?;
             }
         }
-        Ok(Stmt { meta, kind: StmtKind::ImportFrom { module, names, level } })
+        Ok(Stmt {
+            meta,
+            kind: StmtKind::ImportFrom {
+                module,
+                names,
+                level,
+            },
+        })
     }
 
     fn expr_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -602,13 +756,27 @@ impl<'t> Parser<'t> {
             TokenKind::Colon => {
                 self.bump();
                 let annotation = self.expression()?;
-                let value = if self.eat(TokenKind::Assign) { Some(self.expression_list()?) } else { None };
+                let value = if self.eat(TokenKind::Assign) {
+                    Some(self.expression_list()?)
+                } else {
+                    None
+                };
                 let end = value
                     .as_ref()
                     .map(|v| v.meta.span)
                     .unwrap_or(annotation.meta.span);
-                let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-                Ok(Stmt { meta, kind: StmtKind::AnnAssign { target: first, annotation, value } })
+                let meta = NodeMeta {
+                    id: meta.id,
+                    span: start.merge(end),
+                };
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::AnnAssign {
+                        target: first,
+                        annotation,
+                        value,
+                    },
+                })
             }
             TokenKind::Assign => {
                 let mut targets = vec![first];
@@ -623,8 +791,14 @@ impl<'t> Parser<'t> {
                 }
                 let value = value.ok_or_else(|| self.unexpected("assignment value"))?;
                 let end = value.meta.span;
-                let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-                Ok(Stmt { meta, kind: StmtKind::Assign { targets, value } })
+                let meta = NodeMeta {
+                    id: meta.id,
+                    span: start.merge(end),
+                };
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Assign { targets, value },
+                })
             }
             TokenKind::AugAssign => {
                 let op_tok = self.bump();
@@ -632,12 +806,28 @@ impl<'t> Parser<'t> {
                 op.pop(); // strip the trailing `=`
                 let value = self.expression_list()?;
                 let end = value.meta.span;
-                let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-                Ok(Stmt { meta, kind: StmtKind::AugAssign { target: first, op, value } })
+                let meta = NodeMeta {
+                    id: meta.id,
+                    span: start.merge(end),
+                };
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::AugAssign {
+                        target: first,
+                        op,
+                        value,
+                    },
+                })
             }
             _ => {
-                let meta = NodeMeta { id: meta.id, span: first.meta.span };
-                Ok(Stmt { meta, kind: StmtKind::Expr(first) })
+                let meta = NodeMeta {
+                    id: meta.id,
+                    span: first.meta.span,
+                };
+                Ok(Stmt {
+                    meta,
+                    kind: StmtKind::Expr(first),
+                })
             }
         }
     }
@@ -662,8 +852,14 @@ impl<'t> Parser<'t> {
             }
         }
         let end = items.last().map(|e| e.meta.span).unwrap_or(start);
-        let meta = NodeMeta { id: meta.id, span: start.merge(end) };
-        Ok(Expr { meta, kind: ExprKind::Tuple(items) })
+        let meta = NodeMeta {
+            id: meta.id,
+            span: start.merge(end),
+        };
+        Ok(Expr {
+            meta,
+            kind: ExprKind::Tuple(items),
+        })
     }
 
     fn target_list(&mut self) -> Result<Expr, ParseError> {
@@ -682,9 +878,24 @@ impl<'t> Parser<'t> {
         use TokenKind::*;
         matches!(
             self.peek_kind(),
-            Name | Number | Str | KwTrue | KwFalse | KwNone | KwNot | KwLambda | KwAwait
-                | KwYield | LParen | LBracket | LBrace | Plus | Minus | Tilde | Star
-                | DoubleStar | Ellipsis
+            Name | Number
+                | Str
+                | KwTrue
+                | KwFalse
+                | KwNone
+                | KwNot
+                | KwLambda
+                | KwAwait
+                | KwYield
+                | LParen
+                | LBracket
+                | LBrace
+                | Plus
+                | Minus
+                | Tilde
+                | Star
+                | DoubleStar
+                | Ellipsis
         )
     }
 
@@ -719,7 +930,10 @@ impl<'t> Parser<'t> {
                     let span = start.merge(value.meta.span);
                     Ok(Expr {
                         meta: NodeMeta { id: meta.id, span },
-                        kind: ExprKind::Walrus { target: Box::new(body), value: Box::new(value) },
+                        kind: ExprKind::Walrus {
+                            target: Box::new(body),
+                            value: Box::new(value),
+                        },
                     })
                 } else {
                     Ok(body)
@@ -753,7 +967,10 @@ impl<'t> Parser<'t> {
         let span = start.merge(body.meta.span);
         Ok(Expr {
             meta: NodeMeta { id: meta.id, span },
-            kind: ExprKind::Lambda { params, body: Box::new(body) },
+            kind: ExprKind::Lambda {
+                params,
+                body: Box::new(body),
+            },
         })
     }
 
@@ -761,8 +978,18 @@ impl<'t> Parser<'t> {
         let t = self.expect(TokenKind::Name, "lambda parameter")?;
         let name = t.lexeme.clone();
         let name_span = t.span;
-        let default = if self.eat(TokenKind::Assign) { Some(self.expression()?) } else { None };
-        Ok(Param { name, name_span, annotation: None, default, kind })
+        let default = if self.eat(TokenKind::Assign) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        Ok(Param {
+            name,
+            name_span,
+            annotation: None,
+            default,
+            kind,
+        })
     }
 
     fn yield_expr(&mut self) -> Result<Expr, ParseError> {
@@ -773,7 +1000,10 @@ impl<'t> Parser<'t> {
             self.bump();
             let value = self.expression()?;
             let span = start.merge(value.meta.span);
-            Ok(Expr { meta: NodeMeta { id: meta.id, span }, kind: ExprKind::YieldFrom(Box::new(value)) })
+            Ok(Expr {
+                meta: NodeMeta { id: meta.id, span },
+                kind: ExprKind::YieldFrom(Box::new(value)),
+            })
         } else if self.starts_expression() {
             let value = self.expression_list()?;
             let span = start.merge(value.meta.span);
@@ -782,7 +1012,10 @@ impl<'t> Parser<'t> {
                 kind: ExprKind::Yield(Some(Box::new(value))),
             })
         } else {
-            Ok(Expr { meta, kind: ExprKind::Yield(None) })
+            Ok(Expr {
+                meta,
+                kind: ExprKind::Yield(None),
+            })
         }
     }
 
@@ -798,7 +1031,13 @@ impl<'t> Parser<'t> {
             values.push(self.and_expr()?);
         }
         let span = start.merge(values.last().expect("nonempty").meta.span);
-        Ok(Expr { meta: NodeMeta { id: meta.id, span }, kind: ExprKind::BoolOp { op: BoolOp::Or, values } })
+        Ok(Expr {
+            meta: NodeMeta { id: meta.id, span },
+            kind: ExprKind::BoolOp {
+                op: BoolOp::Or,
+                values,
+            },
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
@@ -815,7 +1054,10 @@ impl<'t> Parser<'t> {
         let span = start.merge(values.last().expect("nonempty").meta.span);
         Ok(Expr {
             meta: NodeMeta { id: meta.id, span },
-            kind: ExprKind::BoolOp { op: BoolOp::And, values },
+            kind: ExprKind::BoolOp {
+                op: BoolOp::And,
+                values,
+            },
         })
     }
 
@@ -828,7 +1070,10 @@ impl<'t> Parser<'t> {
             let span = start.merge(operand.meta.span);
             Ok(Expr {
                 meta: NodeMeta { id: meta.id, span },
-                kind: ExprKind::UnaryOp { op: UnaryOp::Not, operand: Box::new(operand) },
+                kind: ExprKind::UnaryOp {
+                    op: UnaryOp::Not,
+                    operand: Box::new(operand),
+                },
             })
         } else {
             self.comparison()
@@ -879,15 +1124,15 @@ impl<'t> Parser<'t> {
         let span = start.merge(comparators.last().expect("nonempty").meta.span);
         Ok(Expr {
             meta: NodeMeta { id: meta.id, span },
-            kind: ExprKind::Compare { left: Box::new(left), ops, comparators },
+            kind: ExprKind::Compare {
+                left: Box::new(left),
+                ops,
+                comparators,
+            },
         })
     }
 
-    fn binary_level<F>(
-        &mut self,
-        next: F,
-        table: &[(TokenKind, BinOp)],
-    ) -> Result<Expr, ParseError>
+    fn binary_level<F>(&mut self, next: F, table: &[(TokenKind, BinOp)]) -> Result<Expr, ParseError>
     where
         F: Fn(&mut Self) -> Result<Expr, ParseError>,
     {
@@ -931,14 +1176,20 @@ impl<'t> Parser<'t> {
     fn shift_expr(&mut self) -> Result<Expr, ParseError> {
         self.binary_level(
             Self::arith_expr,
-            &[(TokenKind::LShift, BinOp::LShift), (TokenKind::RShift, BinOp::RShift)],
+            &[
+                (TokenKind::LShift, BinOp::LShift),
+                (TokenKind::RShift, BinOp::RShift),
+            ],
         )
     }
 
     fn arith_expr(&mut self) -> Result<Expr, ParseError> {
         self.binary_level(
             Self::term_expr,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -970,7 +1221,10 @@ impl<'t> Parser<'t> {
             let span = start.merge(operand.meta.span);
             Ok(Expr {
                 meta: NodeMeta { id: meta.id, span },
-                kind: ExprKind::UnaryOp { op, operand: Box::new(operand) },
+                kind: ExprKind::UnaryOp {
+                    op,
+                    operand: Box::new(operand),
+                },
             })
         } else {
             self.power_expr()
@@ -987,7 +1241,11 @@ impl<'t> Parser<'t> {
             let span = start.merge(exp.meta.span);
             Ok(Expr {
                 meta: NodeMeta { id: meta.id, span },
-                kind: ExprKind::BinOp { left: Box::new(base), op: BinOp::Pow, right: Box::new(exp) },
+                kind: ExprKind::BinOp {
+                    left: Box::new(base),
+                    op: BinOp::Pow,
+                    right: Box::new(exp),
+                },
             })
         } else {
             Ok(base)
@@ -1019,7 +1277,11 @@ impl<'t> Parser<'t> {
                     let span = start.merge(attr_span);
                     expr = Expr {
                         meta: NodeMeta { id: meta.id, span },
-                        kind: ExprKind::Attribute { value: Box::new(expr), attr, attr_span },
+                        kind: ExprKind::Attribute {
+                            value: Box::new(expr),
+                            attr,
+                            attr_span,
+                        },
                     };
                 }
                 TokenKind::LParen => {
@@ -1030,18 +1292,27 @@ impl<'t> Parser<'t> {
                     let span = start.merge(close);
                     expr = Expr {
                         meta: NodeMeta { id: meta.id, span },
-                        kind: ExprKind::Call { func: Box::new(expr), args, keywords },
+                        kind: ExprKind::Call {
+                            func: Box::new(expr),
+                            args,
+                            keywords,
+                        },
                     };
                 }
                 TokenKind::LBracket => {
                     let meta = self.fresh(start);
                     self.bump();
                     let index = self.subscript_index()?;
-                    let close = self.expect(TokenKind::RBracket, "`]` closing subscript")?.span;
+                    let close = self
+                        .expect(TokenKind::RBracket, "`]` closing subscript")?
+                        .span;
                     let span = start.merge(close);
                     expr = Expr {
                         meta: NodeMeta { id: meta.id, span },
-                        kind: ExprKind::Subscript { value: Box::new(expr), index: Box::new(index) },
+                        kind: ExprKind::Subscript {
+                            value: Box::new(expr),
+                            index: Box::new(index),
+                        },
                     };
                 }
                 _ => break,
@@ -1072,7 +1343,10 @@ impl<'t> Parser<'t> {
                 let name = self.bump().lexeme.clone();
                 self.bump(); // `=`
                 let value = self.expression()?;
-                keywords.push(Keyword { arg: Some(name), value });
+                keywords.push(Keyword {
+                    arg: Some(name),
+                    value,
+                });
             } else {
                 let e = self.expression()?;
                 // Generator argument: f(x for x in xs).
@@ -1105,12 +1379,19 @@ impl<'t> Parser<'t> {
             items.push(self.slice_item()?);
         }
         let span = start.merge(items.last().expect("nonempty").meta.span);
-        Ok(Expr { meta: NodeMeta { id: meta.id, span }, kind: ExprKind::Tuple(items) })
+        Ok(Expr {
+            meta: NodeMeta { id: meta.id, span },
+            kind: ExprKind::Tuple(items),
+        })
     }
 
     fn slice_item(&mut self) -> Result<Expr, ParseError> {
         let start = self.span_here();
-        let lower = if self.at(TokenKind::Colon) { None } else { Some(Box::new(self.expression()?)) };
+        let lower = if self.at(TokenKind::Colon) {
+            None
+        } else {
+            Some(Box::new(self.expression()?))
+        };
         if !self.at(TokenKind::Colon) {
             return Ok(*lower.expect("either lower bound or colon"));
         }
@@ -1135,7 +1416,10 @@ impl<'t> Parser<'t> {
         };
         let end = self.span_here();
         Ok(Expr {
-            meta: NodeMeta { id: meta.id, span: start.merge(end) },
+            meta: NodeMeta {
+                id: meta.id,
+                span: start.merge(end),
+            },
             kind: ExprKind::Slice { lower, upper, step },
         })
     }
@@ -1146,12 +1430,18 @@ impl<'t> Parser<'t> {
             TokenKind::Name => {
                 let meta = self.fresh(start);
                 let name = self.bump().lexeme.clone();
-                Ok(Expr { meta, kind: ExprKind::Name(name) })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::Name(name),
+                })
             }
             TokenKind::Number => {
                 let meta = self.fresh(start);
                 let n = self.bump().lexeme.clone();
-                Ok(Expr { meta, kind: ExprKind::Num(n) })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::Num(n),
+                })
             }
             TokenKind::Str => {
                 let meta = self.fresh(start);
@@ -1167,32 +1457,53 @@ impl<'t> Parser<'t> {
                     end = t.span;
                     s.push_str(&t.lexeme);
                 }
-                let meta = NodeMeta { id: meta.id, span: start.merge(end) };
+                let meta = NodeMeta {
+                    id: meta.id,
+                    span: start.merge(end),
+                };
                 if is_fstring {
-                    Ok(Expr { meta, kind: ExprKind::FString(s) })
+                    Ok(Expr {
+                        meta,
+                        kind: ExprKind::FString(s),
+                    })
                 } else {
-                    Ok(Expr { meta, kind: ExprKind::Str(s) })
+                    Ok(Expr {
+                        meta,
+                        kind: ExprKind::Str(s),
+                    })
                 }
             }
             TokenKind::KwTrue => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Expr { meta, kind: ExprKind::Bool(true) })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::Bool(true),
+                })
             }
             TokenKind::KwFalse => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Expr { meta, kind: ExprKind::Bool(false) })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::Bool(false),
+                })
             }
             TokenKind::KwNone => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Expr { meta, kind: ExprKind::NoneLit })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::NoneLit,
+                })
             }
             TokenKind::Ellipsis => {
                 let meta = self.fresh(start);
                 self.bump();
-                Ok(Expr { meta, kind: ExprKind::EllipsisLit })
+                Ok(Expr {
+                    meta,
+                    kind: ExprKind::EllipsisLit,
+                })
             }
             TokenKind::LParen => self.paren_atom(),
             TokenKind::LBracket => self.list_atom(),
@@ -1219,7 +1530,10 @@ impl<'t> Parser<'t> {
             let meta = self.fresh(start);
             let close = self.bump().span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
                 kind: ExprKind::Tuple(Vec::new()),
             });
         }
@@ -1240,7 +1554,10 @@ impl<'t> Parser<'t> {
             }
             let close = self.expect(TokenKind::RParen, "`)` closing tuple")?.span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
                 kind: ExprKind::Tuple(items),
             });
         }
@@ -1255,14 +1572,19 @@ impl<'t> Parser<'t> {
         if self.at(TokenKind::RBracket) {
             let close = self.bump().span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
                 kind: ExprKind::List(Vec::new()),
             });
         }
         let first = self.expression()?;
         if self.at(TokenKind::KwFor) {
             let mut comp = self.comprehension_tail(CompKind::List, first, None)?;
-            let close = self.expect(TokenKind::RBracket, "`]` closing list comprehension")?.span;
+            let close = self
+                .expect(TokenKind::RBracket, "`]` closing list comprehension")?
+                .span;
             comp.meta.span = start.merge(close);
             return Ok(comp);
         }
@@ -1275,7 +1597,10 @@ impl<'t> Parser<'t> {
         }
         let close = self.expect(TokenKind::RBracket, "`]` closing list")?.span;
         Ok(Expr {
-            meta: NodeMeta { id: meta.id, span: start.merge(close) },
+            meta: NodeMeta {
+                id: meta.id,
+                span: start.merge(close),
+            },
             kind: ExprKind::List(items),
         })
     }
@@ -1287,8 +1612,14 @@ impl<'t> Parser<'t> {
         if self.at(TokenKind::RBrace) {
             let close = self.bump().span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
-                kind: ExprKind::Dict { keys: Vec::new(), values: Vec::new() },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
+                kind: ExprKind::Dict {
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
             });
         }
         // `**splat` opens a dict.
@@ -1313,7 +1644,10 @@ impl<'t> Parser<'t> {
             }
             let close = self.expect(TokenKind::RBrace, "`}` closing dict")?.span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
                 kind: ExprKind::Dict { keys, values },
             });
         }
@@ -1321,10 +1655,10 @@ impl<'t> Parser<'t> {
         if self.eat(TokenKind::Colon) {
             let first_value = self.expression()?;
             if self.at(TokenKind::KwFor) {
-                let mut comp =
-                    self.comprehension_tail(CompKind::Dict, first, Some(first_value))?;
-                let close =
-                    self.expect(TokenKind::RBrace, "`}` closing dict comprehension")?.span;
+                let mut comp = self.comprehension_tail(CompKind::Dict, first, Some(first_value))?;
+                let close = self
+                    .expect(TokenKind::RBrace, "`}` closing dict comprehension")?
+                    .span;
                 comp.meta.span = start.merge(close);
                 return Ok(comp);
             }
@@ -1346,13 +1680,18 @@ impl<'t> Parser<'t> {
             }
             let close = self.expect(TokenKind::RBrace, "`}` closing dict")?.span;
             return Ok(Expr {
-                meta: NodeMeta { id: meta.id, span: start.merge(close) },
+                meta: NodeMeta {
+                    id: meta.id,
+                    span: start.merge(close),
+                },
                 kind: ExprKind::Dict { keys, values },
             });
         }
         if self.at(TokenKind::KwFor) {
             let mut comp = self.comprehension_tail(CompKind::Set, first, None)?;
-            let close = self.expect(TokenKind::RBrace, "`}` closing set comprehension")?.span;
+            let close = self
+                .expect(TokenKind::RBrace, "`}` closing set comprehension")?
+                .span;
             comp.meta.span = start.merge(close);
             return Ok(comp);
         }
@@ -1365,7 +1704,10 @@ impl<'t> Parser<'t> {
         }
         let close = self.expect(TokenKind::RBrace, "`}` closing set")?.span;
         Ok(Expr {
-            meta: NodeMeta { id: meta.id, span: start.merge(close) },
+            meta: NodeMeta {
+                id: meta.id,
+                span: start.merge(close),
+            },
             kind: ExprKind::Set(items),
         })
     }
@@ -1394,12 +1736,12 @@ impl<'t> Parser<'t> {
             }
             clauses.push(CompClause { target, iter, ifs });
         }
-        let end = clauses
-            .last()
-            .map(|c| c.iter.meta.span)
-            .unwrap_or(start);
+        let end = clauses.last().map(|c| c.iter.meta.span).unwrap_or(start);
         Ok(Expr {
-            meta: NodeMeta { id: meta.id, span: start.merge(end) },
+            meta: NodeMeta {
+                id: meta.id,
+                span: start.merge(end),
+            },
             kind: ExprKind::Comprehension {
                 kind,
                 element: Box::new(element),
@@ -1424,7 +1766,10 @@ impl<'t> Parser<'t> {
             items.push(self.postfix_expr()?);
         }
         let span = start.merge(items.last().expect("nonempty").meta.span);
-        Ok(Expr { meta: NodeMeta { id: meta.id, span }, kind: ExprKind::Tuple(items) })
+        Ok(Expr {
+            meta: NodeMeta { id: meta.id, span },
+            kind: ExprKind::Tuple(items),
+        })
     }
 }
 
@@ -1433,11 +1778,17 @@ mod tests {
     use super::*;
 
     fn parse_ok(src: &str) -> Module {
-        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}")).module
+        parse(src)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+            .module
     }
 
     fn first_stmt(src: &str) -> Stmt {
-        parse_ok(src).body.into_iter().next().expect("at least one statement")
+        parse_ok(src)
+            .body
+            .into_iter()
+            .next()
+            .expect("at least one statement")
     }
 
     #[test]
@@ -1447,7 +1798,10 @@ mod tests {
             StmtKind::FunctionDef(f) => {
                 assert_eq!(f.name, "add");
                 assert_eq!(f.params.len(), 2);
-                assert_eq!(f.params[0].annotation.as_ref().unwrap().as_name(), Some("int"));
+                assert_eq!(
+                    f.params[0].annotation.as_ref().unwrap().as_name(),
+                    Some("int")
+                );
                 assert!(f.params[1].default.is_some());
                 assert_eq!(f.returns.unwrap().as_name(), Some("int"));
                 assert_eq!(f.body.len(), 1);
@@ -1473,7 +1827,11 @@ mod tests {
     #[test]
     fn parses_ann_assign() {
         match first_stmt("items: List[int] = []\n").kind {
-            StmtKind::AnnAssign { target, annotation, value } => {
+            StmtKind::AnnAssign {
+                target,
+                annotation,
+                value,
+            } => {
                 assert_eq!(target.as_name(), Some("items"));
                 assert_eq!(annotation.annotation_text().unwrap(), "List[int]");
                 assert!(value.is_some());
@@ -1539,7 +1897,12 @@ finally:
     cleanup()
 ";
         match first_stmt(src).kind {
-            StmtKind::Try { handlers, orelse, finalbody, .. } => {
+            StmtKind::Try {
+                handlers,
+                orelse,
+                finalbody,
+                ..
+            } => {
                 assert_eq!(handlers.len(), 2);
                 assert_eq!(handlers[0].name.as_deref(), Some("e"));
                 assert_eq!(orelse.len(), 1);
@@ -1566,7 +1929,11 @@ finally:
         let m = parse_ok("import os.path as osp, sys\nfrom typing import List, Dict as D\nfrom . import sibling\n");
         assert_eq!(m.body.len(), 3);
         match &m.body[1].kind {
-            StmtKind::ImportFrom { module, names, level } => {
+            StmtKind::ImportFrom {
+                module,
+                names,
+                level,
+            } => {
                 assert_eq!(module, "typing");
                 assert_eq!(names.len(), 2);
                 assert_eq!(names[1].asname.as_deref(), Some("D"));
@@ -1601,7 +1968,9 @@ finally:
     fn parses_chained_comparison() {
         match first_stmt("ok = 0 <= x < n\n").kind {
             StmtKind::Assign { value, .. } => match value.kind {
-                ExprKind::Compare { ops, comparators, .. } => {
+                ExprKind::Compare {
+                    ops, comparators, ..
+                } => {
                     assert_eq!(ops, vec![CmpOp::Le, CmpOp::Lt]);
                     assert_eq!(comparators.len(), 2);
                 }
@@ -1647,14 +2016,26 @@ finally:
                 other => panic!("expected assign, got {other:?}"),
             })
             .collect();
-        assert_eq!(kinds, vec![CompKind::List, CompKind::Dict, CompKind::Set, CompKind::Generator]);
+        assert_eq!(
+            kinds,
+            vec![
+                CompKind::List,
+                CompKind::Dict,
+                CompKind::Set,
+                CompKind::Generator
+            ]
+        );
     }
 
     #[test]
     fn dict_comprehension_kind_is_dict() {
         match first_stmt("b = {k: v for k, v in items}\n").kind {
             StmtKind::Assign { value, .. } => match value.kind {
-                ExprKind::Comprehension { kind, value: Some(_), .. } => {
+                ExprKind::Comprehension {
+                    kind,
+                    value: Some(_),
+                    ..
+                } => {
                     assert_eq!(kind, CompKind::Dict)
                 }
                 other => panic!("expected dict comprehension, got {other:?}"),
@@ -1717,7 +2098,12 @@ finally:
                 let kinds: Vec<ParamKind> = f.params.iter().map(|p| p.kind).collect();
                 assert_eq!(
                     kinds,
-                    vec![ParamKind::Plain, ParamKind::VarArgs, ParamKind::KwOnly, ParamKind::KwArgs]
+                    vec![
+                        ParamKind::Plain,
+                        ParamKind::VarArgs,
+                        ParamKind::KwOnly,
+                        ParamKind::KwArgs
+                    ]
                 );
             }
             other => panic!("expected function, got {other:?}"),

@@ -21,7 +21,11 @@ pub struct Pos {
 
 impl Pos {
     /// The position of the first byte of a file.
-    pub const START: Pos = Pos { offset: 0, line: 1, col: 0 };
+    pub const START: Pos = Pos {
+        offset: 0,
+        line: 1,
+        col: 0,
+    };
 
     /// Creates a position from its raw parts.
     pub fn new(offset: usize, line: u32, col: u32) -> Self {
@@ -63,14 +67,25 @@ impl Span {
 
     /// A zero-width span at the given position.
     pub fn point(pos: Pos) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
         Span {
-            start: if self.start.offset <= other.start.offset { self.start } else { other.start },
-            end: if self.end.offset >= other.end.offset { self.end } else { other.end },
+            start: if self.start.offset <= other.start.offset {
+                self.start
+            } else {
+                other.start
+            },
+            end: if self.end.offset >= other.end.offset {
+                self.end
+            } else {
+                other.end
+            },
         }
     }
 

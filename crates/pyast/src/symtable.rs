@@ -151,12 +151,16 @@ impl SymbolTable {
 
     /// Resolves the symbol bound at a name-token span, if any.
     pub fn symbol_at(&self, span: Span) -> Option<&Symbol> {
-        self.occurrence_index.get(&span.start.offset).map(|&id| self.symbol(id))
+        self.occurrence_index
+            .get(&span.start.offset)
+            .map(|&id| self.symbol(id))
     }
 
     /// The return symbol of a function definition statement.
     pub fn return_symbol(&self, func_node: NodeId) -> Option<&Symbol> {
-        self.return_symbols.get(&func_node).map(|&id| self.symbol(id))
+        self.return_symbols
+            .get(&func_node)
+            .map(|&id| self.symbol(id))
     }
 
     /// Iterates over the symbols Typilus may predict types for.
@@ -197,7 +201,12 @@ impl Builder {
 
     fn push_scope(&mut self, parent: Option<ScopeId>, kind: ScopeKind, name: &str) -> ScopeId {
         let id = ScopeId(self.table.scopes.len() as u32);
-        self.table.scopes.push(Scope { id, parent, kind, name: name.to_string() });
+        self.table.scopes.push(Scope {
+            id,
+            parent,
+            kind,
+            name: name.to_string(),
+        });
         self.bindings.push(HashMap::new());
         self.globals.push(Vec::new());
         id
@@ -236,7 +245,10 @@ impl Builder {
     fn record_occurrence(&mut self, id: SymbolId, span: Span) {
         let sym = &mut self.table.symbols[id.0 as usize];
         // Occurrences arrive roughly in source order; keep the list sorted.
-        match sym.occurrences.binary_search_by_key(&span.start.offset, |s| s.start.offset) {
+        match sym
+            .occurrences
+            .binary_search_by_key(&span.start.offset, |s| s.start.offset)
+        {
             Ok(_) => {} // same token seen twice: ignore
             Err(pos) => sym.occurrences.insert(pos, span),
         }
@@ -291,7 +303,9 @@ impl Builder {
                 }
             }
             StmtKind::AugAssign { target, .. } => self.collect_target(scope, target),
-            StmtKind::AnnAssign { target, annotation, .. } => {
+            StmtKind::AnnAssign {
+                target, annotation, ..
+            } => {
                 if let Some(name) = target.as_name() {
                     let id = self.bind(scope, name, SymbolKind::Variable, target.meta.span);
                     let sym = &mut self.table.symbols[id.0 as usize];
@@ -303,7 +317,12 @@ impl Builder {
                     self.collect_target(scope, target);
                 }
             }
-            StmtKind::For { target, body, orelse, .. } => {
+            StmtKind::For {
+                target,
+                body,
+                orelse,
+                ..
+            } => {
                 self.collect_target(scope, target);
                 self.collect_bindings(scope, body);
                 self.collect_bindings(scope, orelse);
@@ -320,7 +339,12 @@ impl Builder {
                 }
                 self.collect_bindings(scope, body);
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 self.collect_bindings(scope, body);
                 for h in handlers {
                     if let (Some(name), Some(span)) = (&h.name, h.name_span) {
@@ -339,9 +363,7 @@ impl Builder {
                     let bound = a
                         .asname
                         .clone()
-                        .unwrap_or_else(|| {
-                            a.name.split('.').next().unwrap_or(&a.name).to_string()
-                        });
+                        .unwrap_or_else(|| a.name.split('.').next().unwrap_or(&a.name).to_string());
                     self.bind(scope, &bound, SymbolKind::Import, a.bind_span);
                 }
             }
@@ -471,14 +493,21 @@ impl Builder {
                 self.visit_expr(scope, value);
                 self.visit_expr(scope, target);
             }
-            StmtKind::AnnAssign { target, annotation, value } => {
+            StmtKind::AnnAssign {
+                target,
+                annotation,
+                value,
+            } => {
                 if let Some(e) = value {
                     self.visit_expr(scope, e);
                 }
                 self.visit_expr(scope, annotation);
                 self.visit_expr(scope, target);
                 // Annotate `self.x: T` members.
-                if let ExprKind::Attribute { value: recv, attr, .. } = &target.kind {
+                if let ExprKind::Attribute {
+                    value: recv, attr, ..
+                } = &target.kind
+                {
                     if recv.as_name() == Some("self") {
                         if let Some(class_scope) = self.current_class.last().copied() {
                             if let Some(id) = self.resolve(class_scope, &format!("self.{attr}")) {
@@ -492,7 +521,13 @@ impl Builder {
                     }
                 }
             }
-            StmtKind::For { target, iter, body, orelse, .. } => {
+            StmtKind::For {
+                target,
+                iter,
+                body,
+                orelse,
+                ..
+            } => {
                 self.visit_expr(scope, iter);
                 self.visit_expr(scope, target);
                 for s in body.iter().chain(orelse) {
@@ -521,7 +556,12 @@ impl Builder {
                     self.visit_expr(scope, e);
                 }
             }
-            StmtKind::Try { body, handlers, orelse, finalbody } => {
+            StmtKind::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
                 for s in body {
                     self.visit_stmt(scope, s);
                 }
@@ -605,7 +645,12 @@ impl Builder {
                     _ => return,
                 };
                 for t in targets {
-                    if let ExprKind::Attribute { value, attr, attr_span } = &t.kind {
+                    if let ExprKind::Attribute {
+                        value,
+                        attr,
+                        attr_span,
+                    } = &t.kind
+                    {
                         if value.as_name() == Some("self") {
                             self.builder.bind(
                                 self.class_scope,
@@ -618,7 +663,10 @@ impl Builder {
                 }
             }
         }
-        let mut scan = MemberScan { builder: self, class_scope };
+        let mut scan = MemberScan {
+            builder: self,
+            class_scope,
+        };
         for s in body {
             crate::visit::walk_stmt(&mut scan, s);
         }
@@ -640,7 +688,11 @@ impl Builder {
                 };
                 self.record_occurrence(id, expr.meta.span);
             }
-            ExprKind::Attribute { value, attr, attr_span } => {
+            ExprKind::Attribute {
+                value,
+                attr,
+                attr_span,
+            } => {
                 self.visit_expr(scope, value);
                 if value.as_name() == Some("self") {
                     if let Some(class_scope) = self.current_class.last().copied() {
@@ -663,7 +715,12 @@ impl Builder {
                 }
                 self.visit_expr(lscope, body);
             }
-            ExprKind::Comprehension { element, value, clauses, .. } => {
+            ExprKind::Comprehension {
+                element,
+                value,
+                clauses,
+                ..
+            } => {
                 // Comprehension targets bind in the current scope
                 // (a simplification of Python's comprehension scopes that
                 // matches how the graph uses them).
@@ -709,13 +766,19 @@ impl Builder {
                     self.visit_expr(scope, e);
                 }
             }
-            ExprKind::Compare { left, comparators, .. } => {
+            ExprKind::Compare {
+                left, comparators, ..
+            } => {
                 self.visit_expr(scope, left);
                 for e in comparators {
                     self.visit_expr(scope, e);
                 }
             }
-            ExprKind::Call { func, args, keywords } => {
+            ExprKind::Call {
+                func,
+                args,
+                keywords,
+            } => {
                 self.visit_expr(scope, func);
                 for e in args {
                     self.visit_expr(scope, e);
@@ -821,8 +884,11 @@ class A:
     #[test]
     fn module_and_function_scopes_are_distinct() {
         let t = table("x = 1\ndef f():\n    x = 2\n    return x\n");
-        let xs: Vec<&Symbol> =
-            t.symbols().iter().filter(|s| s.name == "x" && s.kind == SymbolKind::Variable).collect();
+        let xs: Vec<&Symbol> = t
+            .symbols()
+            .iter()
+            .filter(|s| s.name == "x" && s.kind == SymbolKind::Variable)
+            .collect();
         assert_eq!(xs.len(), 2, "two distinct x symbols");
         assert_ne!(xs[0].scope, xs[1].scope);
     }
@@ -830,15 +896,20 @@ class A:
     #[test]
     fn global_links_to_module_symbol() {
         let t = table("count = 0\ndef bump():\n    global count\n    count = count + 1\n");
-        let counts: Vec<&Symbol> =
-            t.symbols().iter().filter(|s| s.name == "count" && s.kind == SymbolKind::Variable).collect();
+        let counts: Vec<&Symbol> = t
+            .symbols()
+            .iter()
+            .filter(|s| s.name == "count" && s.kind == SymbolKind::Variable)
+            .collect();
         assert_eq!(counts.len(), 1, "global shares the module symbol");
         assert_eq!(counts[0].occurrences.len(), 3);
     }
 
     #[test]
     fn closure_reads_enclosing() {
-        let t = table("def outer():\n    n = 1\n    def inner():\n        return n\n    return inner\n");
+        let t = table(
+            "def outer():\n    n = 1\n    def inner():\n        return n\n    return inner\n",
+        );
         let n = find(&t, "n", SymbolKind::Variable);
         assert_eq!(n.occurrences.len(), 2, "definition + closure read");
     }
@@ -852,7 +923,9 @@ class A:
 
     #[test]
     fn imports_bind() {
-        let t = table("import os.path as osp\nfrom typing import List\np = osp.join('a')\nxs: List = []\n");
+        let t = table(
+            "import os.path as osp\nfrom typing import List\np = osp.join('a')\nxs: List = []\n",
+        );
         assert_eq!(find(&t, "osp", SymbolKind::Import).occurrences.len(), 2);
         assert_eq!(find(&t, "List", SymbolKind::Import).occurrences.len(), 2);
     }
@@ -880,8 +953,7 @@ class A:
         return x
 ";
         let t = table(src);
-        let names: Vec<&str> =
-            t.annotatable_symbols().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = t.annotatable_symbols().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"x"));
         assert!(!names.contains(&"self"));
         // `m` appears only as the return symbol, not the function symbol.

@@ -219,7 +219,11 @@ pub struct Token {
 impl Token {
     /// Creates a token.
     pub fn new(kind: TokenKind, lexeme: impl Into<String>, span: Span) -> Self {
-        Token { kind, lexeme: lexeme.into(), span }
+        Token {
+            kind,
+            lexeme: lexeme.into(),
+            span,
+        }
     }
 }
 

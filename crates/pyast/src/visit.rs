@@ -86,14 +86,24 @@ pub fn walk_stmt<V: Visitor>(v: &mut V, stmt: &Stmt) {
             walk_expr(v, target);
             walk_expr(v, value);
         }
-        StmtKind::AnnAssign { target, annotation, value } => {
+        StmtKind::AnnAssign {
+            target,
+            annotation,
+            value,
+        } => {
             walk_expr(v, target);
             walk_expr(v, annotation);
             if let Some(e) = value {
                 walk_expr(v, e);
             }
         }
-        StmtKind::For { target, iter, body, orelse, .. } => {
+        StmtKind::For {
+            target,
+            iter,
+            body,
+            orelse,
+            ..
+        } => {
             walk_expr(v, target);
             walk_expr(v, iter);
             for s in body.iter().chain(orelse) {
@@ -131,7 +141,12 @@ pub fn walk_stmt<V: Visitor>(v: &mut V, stmt: &Stmt) {
                 walk_expr(v, e);
             }
         }
-        StmtKind::Try { body, handlers, orelse, finalbody } => {
+        StmtKind::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
             for s in body {
                 walk_stmt(v, s);
             }
@@ -203,13 +218,19 @@ pub fn walk_expr<V: Visitor>(v: &mut V, expr: &Expr) {
                 walk_expr(v, e);
             }
         }
-        ExprKind::Compare { left, comparators, .. } => {
+        ExprKind::Compare {
+            left, comparators, ..
+        } => {
             walk_expr(v, left);
             for e in comparators {
                 walk_expr(v, e);
             }
         }
-        ExprKind::Call { func, args, keywords } => {
+        ExprKind::Call {
+            func,
+            args,
+            keywords,
+        } => {
             walk_expr(v, func);
             for e in args {
                 walk_expr(v, e);
@@ -243,7 +264,12 @@ pub fn walk_expr<V: Visitor>(v: &mut V, expr: &Expr) {
             walk_expr(v, orelse);
         }
         ExprKind::Starred(inner) => walk_expr(v, inner),
-        ExprKind::Comprehension { element, value, clauses, .. } => {
+        ExprKind::Comprehension {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
             for c in clauses {
                 walk_expr(v, &c.target);
                 walk_expr(v, &c.iter);
@@ -295,7 +321,11 @@ mod tests {
     #[test]
     fn visits_all_names() {
         let parsed = parse("def f(a, b):\n    c = a + b\n    return c\n").unwrap();
-        let mut v = Counter { stmts: 0, exprs: 0, names: Vec::new() };
+        let mut v = Counter {
+            stmts: 0,
+            exprs: 0,
+            names: Vec::new(),
+        };
         walk_module(&mut v, &parsed.module);
         assert_eq!(v.stmts, 3); // def, assign, return
         assert_eq!(v.names, vec!["c", "a", "b", "c"]);
@@ -323,7 +353,11 @@ mod tests {
     #[test]
     fn visits_comprehension_parts() {
         let parsed = parse("r = [f(x) for x in xs if x]\n").unwrap();
-        let mut v = Counter { stmts: 0, exprs: 0, names: Vec::new() };
+        let mut v = Counter {
+            stmts: 0,
+            exprs: 0,
+            names: Vec::new(),
+        };
         walk_module(&mut v, &parsed.module);
         assert!(v.names.contains(&"xs".to_string()));
         assert!(v.names.contains(&"f".to_string()));

@@ -37,7 +37,11 @@ def outer():
         .iter()
         .find(|s| s.name == "base" && s.kind == SymbolKind::Variable)
         .unwrap();
-    assert_eq!(base.occurrences.len(), 2, "definition + closure read two scopes down");
+    assert_eq!(
+        base.occurrences.len(),
+        2,
+        "definition + closure read two scopes down"
+    );
 }
 
 #[test]
@@ -52,8 +56,11 @@ class Outer:
 ";
     let parsed = parse(src).unwrap();
     let table = SymbolTable::build(&parsed.module);
-    let class_scopes =
-        table.scopes().iter().filter(|s| s.kind == ScopeKind::Class).count();
+    let class_scopes = table
+        .scopes()
+        .iter()
+        .filter(|s| s.kind == ScopeKind::Class)
+        .count();
     assert_eq!(class_scopes, 2);
 }
 
@@ -115,7 +122,8 @@ result = compute(
 
 #[test]
 fn annotations_with_nested_generics_survive_round_trip() {
-    let src = "def f(m: Dict[str, List[Tuple[int, Optional[str]]]]) -> Callable[[int], str]:\n    pass\n";
+    let src =
+        "def f(m: Dict[str, List[Tuple[int, Optional[str]]]]) -> Callable[[int], str]:\n    pass\n";
     let parsed = parse(src).unwrap();
     let table = SymbolTable::build(&parsed.module);
     let m = table.symbols().iter().find(|s| s.name == "m").unwrap();
@@ -123,7 +131,11 @@ fn annotations_with_nested_generics_survive_round_trip() {
         m.annotation.as_deref(),
         Some("Dict[str, List[Tuple[int, Optional[str]]]]")
     );
-    let ret = table.symbols().iter().find(|s| s.kind == SymbolKind::Return).unwrap();
+    let ret = table
+        .symbols()
+        .iter()
+        .find(|s| s.kind == SymbolKind::Return)
+        .unwrap();
     assert_eq!(ret.annotation.as_deref(), Some("Callable[[int], str]"));
 }
 

@@ -43,7 +43,9 @@ impl<'de> BinDeserializer<'de> {
 
     fn get_u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn get_len(&mut self) -> Result<usize> {
@@ -153,11 +155,17 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.get_len()?;
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -171,7 +179,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.get_len()?;
-        visitor.visit_map(CountedAccess { de: self, remaining: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -228,10 +239,7 @@ impl<'de> de::SeqAccess<'de> for CountedAccess<'_, 'de> {
 impl<'de> de::MapAccess<'de> for CountedAccess<'_, 'de> {
     type Error = Error;
 
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>> {
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
         if self.remaining == 0 {
             return Ok(None);
         }

@@ -28,7 +28,10 @@ impl fmt::Display for Error {
             Error::InvalidTag(b) => write!(f, "invalid tag byte {b}"),
             Error::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
             Error::NotSelfDescribing => {
-                write!(f, "format is not self-describing; deserialize_any unsupported")
+                write!(
+                    f,
+                    "format is not self-describing; deserialize_any unsupported"
+                )
             }
             Error::Message(m) => f.write_str(m),
         }

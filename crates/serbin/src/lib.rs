@@ -94,7 +94,10 @@ mod tests {
         round_trip(Shape::Unit);
         round_trip(Shape::Newtype(7));
         round_trip(Shape::Tuple(1, 2));
-        round_trip(Shape::Struct { a: "x".into(), b: Some(0.5) });
+        round_trip(Shape::Struct {
+            a: "x".into(),
+            b: Some(0.5),
+        });
         round_trip(vec![Shape::Unit, Shape::Newtype(1)]);
     }
 
@@ -111,8 +114,16 @@ mod tests {
             id: 1,
             tags: vec!["root".into()],
             children: vec![
-                Nested { id: 2, tags: vec![], children: vec![] },
-                Nested { id: 3, tags: vec!["leaf".into()], children: vec![] },
+                Nested {
+                    id: 2,
+                    tags: vec![],
+                    children: vec![],
+                },
+                Nested {
+                    id: 3,
+                    tags: vec!["leaf".into()],
+                    children: vec![],
+                },
             ],
         });
     }

@@ -162,9 +162,8 @@ impl ser::Serializer for &mut BinSerializer {
     }
 
     fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
-        let len = len.ok_or_else(|| {
-            Error::Message("sequences must have a known length".to_string())
-        })?;
+        let len =
+            len.ok_or_else(|| Error::Message("sequences must have a known length".to_string()))?;
         self.put_len(len);
         Ok(self)
     }
@@ -193,17 +192,12 @@ impl ser::Serializer for &mut BinSerializer {
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
-        let len =
-            len.ok_or_else(|| Error::Message("maps must have a known length".to_string()))?;
+        let len = len.ok_or_else(|| Error::Message("maps must have a known length".to_string()))?;
         self.put_len(len);
         Ok(self)
     }
 
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Self::SerializeStruct> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
         Ok(self)
     }
 

@@ -40,7 +40,13 @@ fn arb_base_doc() -> impl Strategy<Value = Doc> {
         prop::collection::btree_map("[a-z]{1,6}", any::<u32>(), 0..5),
         prop::collection::vec(any::<u8>(), 0..32),
     )
-        .prop_map(|(id, leaves, index, blob)| Doc { id, leaves, index, blob, maybe: None })
+        .prop_map(|(id, leaves, index, blob)| Doc {
+            id,
+            leaves,
+            index,
+            blob,
+            maybe: None,
+        })
 }
 
 fn arb_doc() -> impl Strategy<Value = Doc> {

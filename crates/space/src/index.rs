@@ -33,7 +33,11 @@ pub struct PointStore {
 impl PointStore {
     /// Creates an empty store for `dim`-wide points.
     pub fn new(dim: usize) -> PointStore {
-        PointStore { data: Vec::new(), dim, len: 0 }
+        PointStore {
+            data: Vec::new(),
+            dim,
+            len: 0,
+        }
     }
 
     /// Packs nested rows into contiguous storage.
@@ -43,8 +47,11 @@ impl PointStore {
     /// Panics if the rows have differing widths.
     pub fn from_rows(rows: Vec<Vec<f32>>) -> PointStore {
         let dim = rows.first().map(Vec::len).unwrap_or(0);
-        let mut store =
-            PointStore { data: Vec::with_capacity(rows.len() * dim), dim, len: 0 };
+        let mut store = PointStore {
+            data: Vec::with_capacity(rows.len() * dim),
+            dim,
+            len: 0,
+        };
         for row in &rows {
             store.push(row);
         }
@@ -200,7 +207,9 @@ pub struct ExactIndex {
 impl ExactIndex {
     /// Creates an index over `points`.
     pub fn new(points: Vec<Vec<f32>>) -> ExactIndex {
-        ExactIndex { points: PointStore::from_rows(points) }
+        ExactIndex {
+            points: PointStore::from_rows(points),
+        }
     }
 
     /// Creates an index over already-contiguous points.
@@ -238,7 +247,11 @@ pub struct RpForestConfig {
 
 impl Default for RpForestConfig {
     fn default() -> Self {
-        RpForestConfig { trees: 12, leaf_size: 16, search_k: 384 }
+        RpForestConfig {
+            trees: 12,
+            leaf_size: 16,
+            search_k: 384,
+        }
     }
 }
 
@@ -274,8 +287,12 @@ impl RpForest {
 
     /// Builds the forest over already-contiguous points.
     pub fn from_store(points: PointStore, config: RpForestConfig, seed: u64) -> RpForest {
-        let mut forest =
-            RpForest { points, nodes: Vec::new(), roots: Vec::new(), config };
+        let mut forest = RpForest {
+            points,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            config,
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let all: Vec<usize> = (0..forest.points.len()).collect();
         for _ in 0..config.trees {
@@ -297,7 +314,9 @@ impl RpForest {
 
     fn build_node(&mut self, points: &[usize], rng: &mut StdRng, depth: usize) -> usize {
         if points.len() <= self.config.leaf_size || depth > 24 {
-            self.nodes.push(TreeNode::Leaf { points: points.to_vec() });
+            self.nodes.push(TreeNode::Leaf {
+                points: points.to_vec(),
+            });
             return self.nodes.len() - 1;
         }
         // Annoy-style split: the hyperplane between two random points of
@@ -314,7 +333,9 @@ impl RpForest {
             .map(|(x, y)| x - y)
             .collect();
         if direction.iter().all(|&d| d == 0.0) {
-            direction = (0..dim).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            direction = (0..dim)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
         }
         let mut projections: Vec<f32> = points
             .iter()
@@ -334,13 +355,20 @@ impl RpForest {
         }
         // Degenerate split (all projections equal): make a leaf.
         if left.is_empty() || right.is_empty() {
-            self.nodes.push(TreeNode::Leaf { points: points.to_vec() });
+            self.nodes.push(TreeNode::Leaf {
+                points: points.to_vec(),
+            });
             return self.nodes.len() - 1;
         }
         projections.clear();
         let l = self.build_node(&left, rng, depth + 1);
         let r = self.build_node(&right, rng, depth + 1);
-        self.nodes.push(TreeNode::Split { direction, threshold, left: l, right: r });
+        self.nodes.push(TreeNode::Split {
+            direction,
+            threshold,
+            left: l,
+            right: r,
+        });
         self.nodes.len() - 1
     }
 
@@ -386,10 +414,18 @@ impl RpForest {
                         break;
                     }
                 }
-                TreeNode::Split { direction, threshold, left, right } => {
+                TreeNode::Split {
+                    direction,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let margin = dot(query, direction) - threshold;
-                    let (near, far) =
-                        if margin < 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) = if margin < 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
                     heap.push(Frontier(0.0, near));
                     heap.push(Frontier(margin.abs(), far));
                 }
@@ -409,7 +445,9 @@ mod tests {
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
     }
 
     /// The old full-sort selection, kept as the reference the pruned
@@ -418,9 +456,16 @@ mod tests {
         let mut hits: Vec<Hit> = points
             .iter()
             .enumerate()
-            .map(|(i, p)| Hit { index: i, distance: l1(query, p) })
+            .map(|(i, p)| Hit {
+                index: i,
+                distance: l1(query, p),
+            })
             .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.index.cmp(&b.index))
+        });
         hits.truncate(k);
         hits
     }
@@ -459,7 +504,10 @@ mod tests {
         }
         let idx = ExactIndex::new(points.clone());
         for k in 1..=points.len() {
-            assert_eq!(idx.query(&[0.0, 0.0], k), naive_query(&points, &[0.0, 0.0], k));
+            assert_eq!(
+                idx.query(&[0.0, 0.0], k),
+                naive_query(&points, &[0.0, 0.0], k)
+            );
         }
     }
 
@@ -496,7 +544,11 @@ mod tests {
         let exact = ExactIndex::new(points.clone());
         let forest = RpForest::build(
             points,
-            RpForestConfig { trees: 8, leaf_size: 8, search_k: 200 },
+            RpForestConfig {
+                trees: 8,
+                leaf_size: 8,
+                search_k: 200,
+            },
             7,
         );
         let query = vec![0.05; 8];
@@ -537,7 +589,11 @@ mod tests {
         let points = vec![vec![1.0, 2.0]; 100];
         let forest = RpForest::build(
             points,
-            RpForestConfig { trees: 4, leaf_size: 4, search_k: 10 },
+            RpForestConfig {
+                trees: 4,
+                leaf_size: 4,
+                search_k: 10,
+            },
             5,
         );
         let hits = forest.query(&[1.0, 2.0], 3);

@@ -41,6 +41,45 @@ impl Default for KnnConfig {
     }
 }
 
+impl KnnConfig {
+    /// Checks the parameters: `k` must be positive (zero neighbours
+    /// would silently predict nothing) and `p` non-negative and finite
+    /// (a negative exponent makes Eq. 5 weights *grow* with distance,
+    /// inverting the vote).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("knn k must be at least 1 (k = 0 predicts nothing)".to_string());
+        }
+        if !self.p.is_finite() || self.p < 0.0 {
+            return Err(format!(
+                "knn exponent p must be finite and non-negative, got {} \
+                 (negative p weights far neighbours above near ones)",
+                self.p
+            ));
+        }
+        Ok(())
+    }
+
+    /// The parameters [`TypeMap::predict`] actually uses: `k` clamped up
+    /// to 1, `p` clamped into `[0, ∞)` — so a malformed config degrades
+    /// to 1-NN / a uniform vote instead of predicting nothing or
+    /// inverting the vote.
+    fn effective(self) -> KnnConfig {
+        KnnConfig {
+            k: self.k.max(1),
+            p: if self.p.is_finite() && self.p >= 0.0 {
+                self.p
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Index {
     /// Brute force (always exact, default until `build_index`).
@@ -139,6 +178,7 @@ impl TypeMap {
         if self.is_empty() {
             return Vec::new();
         }
+        let config = config.effective();
         let hits = self.nearest(query, config.k);
         let mut scores: HashMap<String, (PyType, f64)> = HashMap::new();
         let mut z = 0.0f64;
@@ -153,7 +193,10 @@ impl TypeMap {
         }
         let mut out: Vec<TypePrediction> = scores
             .into_values()
-            .map(|(ty, s)| TypePrediction { ty, probability: (s / z) as f32 })
+            .map(|(ty, s)| TypePrediction {
+                ty,
+                probability: (s / z) as f32,
+            })
             .collect();
         out.sort_by(|a, b| {
             b.probability
@@ -240,12 +283,25 @@ mod tests {
             ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         for i in 0..300 {
-            let ty = if i % 3 == 0 { t("int") } else if i % 3 == 1 { t("str") } else { t("List[int]") };
+            let ty = if i % 3 == 0 {
+                t("int")
+            } else if i % 3 == 1 {
+                t("str")
+            } else {
+                t("List[int]")
+            };
             m.add(vec![next(), next(), next(), next()], ty);
         }
         let query = vec![0.1, -0.2, 0.3, 0.0];
         let exact_top = m.predict_top(&query, KnnConfig::default()).unwrap();
-        m.build_index(RpForestConfig { trees: 10, leaf_size: 8, search_k: 300 }, 1);
+        m.build_index(
+            RpForestConfig {
+                trees: 10,
+                leaf_size: 8,
+                search_k: 300,
+            },
+            1,
+        );
         let approx_top = m.predict_top(&query, KnnConfig::default()).unwrap();
         assert_eq!(exact_top.ty, approx_top.ty);
     }
@@ -256,14 +312,18 @@ mod tests {
         m.build_index(RpForestConfig::default(), 0);
         m.add(vec![9.0, 9.0], t("bytes"));
         // The new marker must be findable immediately.
-        let top = m.predict_top(&[9.0, 9.0], KnnConfig { k: 1, p: 1.0 }).unwrap();
+        let top = m
+            .predict_top(&[9.0, 9.0], KnnConfig { k: 1, p: 1.0 })
+            .unwrap();
         assert_eq!(top.ty, t("bytes"));
     }
 
     #[test]
     fn zero_distance_dominates() {
         let m = small_map();
-        let top = m.predict_top(&[1.0, 1.0], KnnConfig { k: 4, p: 2.0 }).unwrap();
+        let top = m
+            .predict_top(&[1.0, 1.0], KnnConfig { k: 4, p: 2.0 })
+            .unwrap();
         assert_eq!(top.ty, t("str"));
         assert!(top.probability > 0.9);
     }
@@ -272,6 +332,42 @@ mod tests {
     fn empty_map_predicts_nothing() {
         let m = TypeMap::new(3);
         assert!(m.predict(&[0.0, 0.0, 0.0], KnnConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_k_is_rejected_and_clamped_to_one_neighbour() {
+        assert!(KnnConfig { k: 0, p: 2.0 }.validate().is_err());
+        // Prediction clamps k to 1 instead of silently returning nothing.
+        let m = small_map();
+        let preds = m.predict(&[0.05, 0.0], KnnConfig { k: 0, p: 2.0 });
+        assert!(
+            !preds.is_empty(),
+            "k = 0 must degrade to 1-NN, not predict nothing"
+        );
+        assert_eq!(preds[0].ty, t("int"));
+        let one_nn = m.predict(&[0.05, 0.0], KnnConfig { k: 1, p: 2.0 });
+        assert_eq!(preds, one_nn);
+    }
+
+    #[test]
+    fn negative_p_is_rejected_and_clamped_to_uniform_vote() {
+        assert!(KnnConfig { k: 4, p: -2.0 }.validate().is_err());
+        assert!(KnnConfig { k: 4, p: f32::NAN }.validate().is_err());
+        assert!(KnnConfig { k: 4, p: 2.0 }.validate().is_ok());
+        // A negative exponent would weight *far* neighbours above near
+        // ones; prediction clamps it to 0 (uniform vote) instead.
+        let mut m = TypeMap::new(1);
+        m.add(vec![0.0], t("int"));
+        m.add(vec![5.0], t("str"));
+        m.add(vec![6.0], t("str"));
+        let preds = m.predict(&[0.1], KnnConfig { k: 3, p: -8.0 });
+        let uniform = m.predict(&[0.1], KnnConfig { k: 3, p: 0.0 });
+        assert_eq!(preds, uniform, "negative p must clamp to a uniform vote");
+        // With the inverted weights the two far `str` markers would win
+        // overwhelmingly; under the clamp they win only 2-votes-to-1.
+        assert!(preds
+            .iter()
+            .any(|p| p.ty == t("int") && p.probability > 0.3));
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl TypeHierarchy {
     /// tower, common containers and their `typing` protocols, and the
     /// standard exception classes.
     pub fn new() -> Self {
-        let mut h = TypeHierarchy { bases: HashMap::new() };
+        let mut h = TypeHierarchy {
+            bases: HashMap::new(),
+        };
         let edges: &[(&str, &[&str])] = &[
             ("object", &[]),
             // Numeric tower: Python's optional type checkers accept an int
@@ -93,7 +95,10 @@ impl TypeHierarchy {
             ("OverflowError", &["ArithmeticError"]),
         ];
         for (name, bases) in edges {
-            h.bases.insert(name.to_string(), bases.iter().map(|s| s.to_string()).collect());
+            h.bases.insert(
+                name.to_string(),
+                bases.iter().map(|s| s.to_string()).collect(),
+            );
         }
         h
     }
@@ -166,8 +171,14 @@ impl TypeHierarchy {
                 name == "Callable" && args.is_empty()
             }
             (
-                PyType::Callable { params: p1, ret: r1 },
-                PyType::Callable { params: p2, ret: r2 },
+                PyType::Callable {
+                    params: p1,
+                    ret: r1,
+                },
+                PyType::Callable {
+                    params: p2,
+                    ret: r2,
+                },
             ) => {
                 let params_ok = match (p1, p2) {
                     (_, None) | (None, _) => true,

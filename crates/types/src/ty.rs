@@ -50,13 +50,20 @@ pub struct ParseTypeError {
 
 impl ParseTypeError {
     fn new(text: &str, reason: impl Into<String>) -> Self {
-        ParseTypeError { text: text.to_string(), reason: reason.into() }
+        ParseTypeError {
+            text: text.to_string(),
+            reason: reason.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseTypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid type annotation {:?}: {}", self.text, self.reason)
+        write!(
+            f,
+            "invalid type annotation {:?}: {}",
+            self.text, self.reason
+        )
     }
 }
 
@@ -65,12 +72,18 @@ impl std::error::Error for ParseTypeError {}
 impl PyType {
     /// Convenience constructor for a non-generic named type.
     pub fn named(name: impl Into<String>) -> PyType {
-        PyType::Named { name: canonical_name(&name.into()), args: Vec::new() }
+        PyType::Named {
+            name: canonical_name(&name.into()),
+            args: Vec::new(),
+        }
     }
 
     /// Convenience constructor for a generic named type.
     pub fn generic(name: impl Into<String>, args: Vec<PyType>) -> PyType {
-        PyType::Named { name: canonical_name(&name.into()), args }
+        PyType::Named {
+            name: canonical_name(&name.into()),
+            args,
+        }
     }
 
     /// `Optional[inner]`, normalised to a union with `None`.
@@ -107,11 +120,18 @@ impl PyType {
         match self {
             PyType::Any => PyType::Any,
             PyType::None => PyType::None,
-            PyType::Named { name, .. } => PyType::Named { name: name.clone(), args: Vec::new() },
-            PyType::Union(_) => PyType::Named { name: "Union".into(), args: Vec::new() },
-            PyType::Callable { .. } => {
-                PyType::Named { name: "Callable".into(), args: Vec::new() }
-            }
+            PyType::Named { name, .. } => PyType::Named {
+                name: name.clone(),
+                args: Vec::new(),
+            },
+            PyType::Union(_) => PyType::Named {
+                name: "Union".into(),
+                args: Vec::new(),
+            },
+            PyType::Callable { .. } => PyType::Named {
+                name: "Callable".into(),
+                args: Vec::new(),
+            },
         }
     }
 
@@ -140,12 +160,8 @@ impl PyType {
     pub fn depth(&self) -> usize {
         match self {
             PyType::Any | PyType::None => 0,
-            PyType::Named { args, .. } => {
-                args.iter().map(|a| a.depth() + 1).max().unwrap_or(0)
-            }
-            PyType::Union(members) => {
-                members.iter().map(|m| m.depth() + 1).max().unwrap_or(0)
-            }
+            PyType::Named { args, .. } => args.iter().map(|a| a.depth() + 1).max().unwrap_or(0),
+            PyType::Union(members) => members.iter().map(|m| m.depth() + 1).max().unwrap_or(0),
             PyType::Callable { params, ret } => {
                 let p = params
                     .as_ref()
@@ -313,11 +329,18 @@ impl FromStr for PyType {
     type Err = ParseTypeError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut p = TypeParser { text: s, bytes: s.as_bytes(), pos: 0 };
+        let mut p = TypeParser {
+            text: s,
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
         let ty = p.parse_union()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(ParseTypeError::new(s, format!("trailing input at byte {}", p.pos)));
+            return Err(ParseTypeError::new(
+                s,
+                format!("trailing input at byte {}", p.pos),
+            ));
         }
         Ok(ty)
     }
@@ -331,7 +354,11 @@ struct TypeParser<'s> {
 
 impl TypeParser<'_> {
     fn skip_ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -427,7 +454,10 @@ impl TypeParser<'_> {
             },
             "Union" => PyType::union(args),
             "Callable" => match args.len() {
-                0 => PyType::Callable { params: None, ret: Box::new(PyType::Any) },
+                0 => PyType::Callable {
+                    params: None,
+                    ret: Box::new(PyType::Any),
+                },
                 2 => {
                     let mut it = args.into_iter();
                     let params = it.next().expect("len checked");
@@ -438,13 +468,19 @@ impl TypeParser<'_> {
                         PyType::Any => None, // Callable[..., R]
                         single => Some(vec![single]),
                     };
-                    PyType::Callable { params, ret: Box::new(ret) }
+                    PyType::Callable {
+                        params,
+                        ret: Box::new(ret),
+                    }
                 }
                 _ => {
                     // Callable[A, B, R] (lenient): last is return type.
                     let mut args = args;
                     let ret = args.pop().unwrap_or(PyType::Any);
-                    PyType::Callable { params: Some(args), ret: Box::new(ret) }
+                    PyType::Callable {
+                        params: Some(args),
+                        ret: Box::new(ret),
+                    }
                 }
             },
             _ => PyType::Named { name, args },
@@ -467,7 +503,10 @@ impl TypeParser<'_> {
                     return Err(self.err("missing `]` closing parameter list"));
                 }
                 self.pos += 1;
-                args.push(PyType::Named { name: "__paramlist__".into(), args: inner });
+                args.push(PyType::Named {
+                    name: "__paramlist__".into(),
+                    args: inner,
+                });
             } else {
                 args.push(self.parse_union()?);
             }
@@ -504,7 +543,10 @@ mod tests {
             t("Dict[str, List[int]]"),
             PyType::generic(
                 "Dict",
-                vec![PyType::named("str"), PyType::generic("List", vec![PyType::named("int")])]
+                vec![
+                    PyType::named("str"),
+                    PyType::generic("List", vec![PyType::named("int")])
+                ]
             )
         );
     }
@@ -517,7 +559,10 @@ mod tests {
 
     #[test]
     fn optional_normalises_to_union() {
-        assert_eq!(t("Optional[int]"), PyType::union(vec![PyType::named("int"), PyType::None]));
+        assert_eq!(
+            t("Optional[int]"),
+            PyType::union(vec![PyType::named("int"), PyType::None])
+        );
         assert_eq!(t("Optional[int]"), t("Union[int, None]"));
         assert_eq!(t("Optional[int]"), t("int | None"));
     }
@@ -532,7 +577,10 @@ mod tests {
     #[test]
     fn parses_callable() {
         match t("Callable[[int, str], bool]") {
-            PyType::Callable { params: Some(ps), ret } => {
+            PyType::Callable {
+                params: Some(ps),
+                ret,
+            } => {
                 assert_eq!(ps.len(), 2);
                 assert_eq!(*ret, PyType::named("bool"));
             }
@@ -548,7 +596,10 @@ mod tests {
     fn parses_dotted_and_quoted() {
         assert_eq!(t("torch.Tensor"), PyType::named("torch.Tensor"));
         assert_eq!(t("'Foo'"), PyType::named("Foo"));
-        assert_eq!(t("List['Node']"), PyType::generic("List", vec![PyType::named("Node")]));
+        assert_eq!(
+            t("List['Node']"),
+            PyType::generic("List", vec![PyType::named("Node")])
+        );
     }
 
     #[test]
@@ -580,7 +631,10 @@ mod tests {
     fn erasure() {
         assert_eq!(t("List[int]").erased(), PyType::named("List"));
         assert_eq!(t("Optional[int]").erased(), PyType::named("Union"));
-        assert_eq!(t("Callable[[int], str]").erased(), PyType::named("Callable"));
+        assert_eq!(
+            t("Callable[[int], str]").erased(),
+            PyType::named("Callable")
+        );
         assert_eq!(t("int").erased(), PyType::named("int"));
     }
 
@@ -590,7 +644,10 @@ mod tests {
         assert_eq!(t("List[int]").depth(), 1);
         assert_eq!(t("List[List[List[int]]]").depth(), 3);
         // The paper's example: deep nesting truncates to Any at level 2.
-        assert_eq!(t("List[List[List[int]]]").truncated(2), t("List[List[Any]]"));
+        assert_eq!(
+            t("List[List[List[int]]]").truncated(2),
+            t("List[List[Any]]")
+        );
         assert_eq!(t("List[int]").truncated(2), t("List[int]"));
     }
 

@@ -22,10 +22,12 @@ fn arb_type() -> impl Strategy<Value = PyType> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (prop_oneof![Just("List"), Just("Set"), Just("Iterable")], inner.clone())
+            (
+                prop_oneof![Just("List"), Just("Set"), Just("Iterable")],
+                inner.clone()
+            )
                 .prop_map(|(n, a)| PyType::generic(n, vec![a])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(k, v)| PyType::generic("Dict", vec![k, v])),
+            (inner.clone(), inner.clone()).prop_map(|(k, v)| PyType::generic("Dict", vec![k, v])),
             prop::collection::vec(inner.clone(), 1..3)
                 .prop_map(|args| PyType::generic("Tuple", args)),
             prop::collection::vec(inner.clone(), 1..3).prop_map(PyType::union),

@@ -29,7 +29,13 @@ fn main() {
 
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 7);
     println!("training on {} files...", data.split.train.len());
-    let system = train(&data, &TypilusConfig { epochs: 10, ..TypilusConfig::default() });
+    let system = train(
+        &data,
+        &TypilusConfig {
+            epochs: 10,
+            ..TypilusConfig::default()
+        },
+    );
 
     // Audit every file: report symbols where the model confidently
     // disagrees with the existing annotation AND the model's type
@@ -39,7 +45,9 @@ fn main() {
     let mut reports = Vec::new();
     for (idx, file) in data.files.iter().enumerate() {
         for p in system.predict_file(&data, idx) {
-            let (Some(original), Some(top)) = (&p.ground_truth, p.top()) else { continue };
+            let (Some(original), Some(top)) = (&p.ground_truth, p.top()) else {
+                continue;
+            };
             if top.ty == *original || top.probability < confidence_floor {
                 continue;
             }
@@ -59,7 +67,10 @@ fn main() {
 
     reports.sort_by(|a, b| b.4.total_cmp(&a.4));
     println!("\naudit findings (confident, type-checkable disagreements):");
-    println!("{:<28} {:<16} {:<18} {:<18} conf", "file", "symbol", "annotated", "predicted");
+    println!(
+        "{:<28} {:<16} {:<18} {:<18} conf",
+        "file", "symbol", "annotated", "predicted"
+    );
     for (file, symbol, original, predicted, conf) in reports.iter().take(20) {
         println!("{file:<28} {symbol:<16} {original:<18} {predicted:<18} {conf:.2}");
     }
@@ -68,7 +79,10 @@ fn main() {
     let mut caught = 0usize;
     for gf in corpus.files.iter() {
         for err in &gf.injected_errors {
-            if reports.iter().any(|(f, s, _, _, _)| *f == err.file && *s == err.symbol_name) {
+            if reports
+                .iter()
+                .any(|(f, s, _, _, _)| *f == err.file && *s == err.symbol_name)
+            {
                 caught += 1;
             }
         }

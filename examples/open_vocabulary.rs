@@ -13,13 +13,26 @@ use typilus::{train, PreparedCorpus, PyType, TypilusConfig};
 use typilus_corpus::{generate, CorpusConfig};
 
 fn main() {
-    let corpus = generate(&CorpusConfig { files: 60, seed: 2, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 60,
+        seed: 2,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 2);
     println!("training base system...");
-    let mut system = train(&data, &TypilusConfig { epochs: 10, ..TypilusConfig::default() });
+    let mut system = train(
+        &data,
+        &TypilusConfig {
+            epochs: 10,
+            ..TypilusConfig::default()
+        },
+    );
 
     let novel: PyType = "warp.DriveCore".parse().expect("valid type");
-    println!("novel type: {novel} (training annotations: {})", system.train_count(&novel));
+    println!(
+        "novel type: {novel} (training annotations: {})",
+        system.train_count(&novel)
+    );
 
     let query = "\
 def ignite(drive_core):
@@ -28,7 +41,10 @@ def ignite(drive_core):
 ";
     let show = |label: &str, system: &typilus::TrainedSystem| {
         let preds = system.predict_source(query).expect("query parses");
-        let p = preds.iter().find(|p| p.name == "drive_core").expect("symbol exists");
+        let p = preds
+            .iter()
+            .find(|p| p.name == "drive_core")
+            .expect("symbol exists");
         println!("\n{label}: candidates for `drive_core`:");
         for c in p.candidates.iter().take(5) {
             println!("  {:<24} p={:.3}", c.ty.to_string(), c.probability);

@@ -12,18 +12,32 @@ fn main() {
     // 1. A corpus of annotated Python (stands in for the paper's 600
     //    GitHub repositories).
     println!("generating corpus...");
-    let corpus = generate(&CorpusConfig { files: 60, seed: 1, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 60,
+        seed: 1,
+        ..CorpusConfig::default()
+    });
 
     // 2. Parse, deduplicate, build program graphs, split 70-10-20.
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 1);
-    println!("prepared {} files ({} train)", data.files.len(), data.split.train.len());
+    println!(
+        "prepared {} files ({} train)",
+        data.files.len(),
+        data.split.train.len()
+    );
 
     // 3. Train the GNN with the Typilus loss and build the TypeSpace.
     println!("training...");
-    let config = TypilusConfig { epochs: 10, ..TypilusConfig::default() };
+    let config = TypilusConfig {
+        epochs: 10,
+        ..TypilusConfig::default()
+    };
     let system = train(&data, &config);
     for e in &system.epochs {
-        println!("  epoch {:2}: loss {:.4} ({:.1}s)", e.epoch, e.mean_loss, e.seconds);
+        println!(
+            "  epoch {:2}: loss {:.4} ({:.1}s)",
+            e.epoch, e.mean_loss, e.seconds
+        );
     }
     println!(
         "type map: {} markers, {} distinct types",

@@ -11,16 +11,29 @@ use typilus::{train, PreparedCorpus, SuggestOptions, TypilusConfig};
 use typilus_corpus::{generate, CorpusConfig};
 
 fn main() {
-    let corpus = generate(&CorpusConfig { files: 60, seed: 3, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 60,
+        seed: 3,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 3);
     println!("training on {} files...", data.split.train.len());
-    let system = train(&data, &TypilusConfig { epochs: 10, ..TypilusConfig::default() });
+    let system = train(
+        &data,
+        &TypilusConfig {
+            epochs: 10,
+            ..TypilusConfig::default()
+        },
+    );
 
     // The paper's Fig. 1 (right): TypeSpace prediction + type-checker
     // filtering, via the library's suggestion API. When the top candidate
     // fails the checker, lower-ranked candidates get their chance —
     // `rejected_above` reports how many were filtered first.
-    let options = SuggestOptions { min_confidence: 0.5, ..SuggestOptions::default() };
+    let options = SuggestOptions {
+        min_confidence: 0.5,
+        ..SuggestOptions::default()
+    };
     let mut all = Vec::new();
     for &idx in &data.split.test {
         let file_name = data.files[idx].name.clone();
@@ -36,7 +49,10 @@ fn main() {
         all.len(),
         filtered
     );
-    println!("{:<28} {:<18} {:<11} {:<22} conf  note", "file", "symbol", "kind", "suggested type");
+    println!(
+        "{:<28} {:<18} {:<11} {:<22} conf  note",
+        "file", "symbol", "kind", "suggested type"
+    );
     for (file, s) in all.iter().take(25) {
         let note = if s.rejected_above > 0 {
             format!("(checker rejected {} above)", s.rejected_above)

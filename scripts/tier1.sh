@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, clippy with warnings
-# denied. Run from anywhere; operates on the repo root.
+# Tier-1 gate: formatting, release build, full test suite (once
+# normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
+# env-driven thread resolution), clippy with warnings denied. Run from
+# anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+TYPILUS_THREADS=2 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

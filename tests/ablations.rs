@@ -9,8 +9,15 @@ use typilus_corpus::{generate, CorpusConfig};
 use typilus_space::RpForestConfig;
 
 fn run_with_edges(edges: EdgeSet, files: usize, epochs: usize) -> (f64, usize) {
-    let corpus = generate(&CorpusConfig { files, seed: 17, ..CorpusConfig::default() });
-    let graph = GraphConfig { edges, ..GraphConfig::default() };
+    let corpus = generate(&CorpusConfig {
+        files,
+        seed: 17,
+        ..CorpusConfig::default()
+    });
+    let graph = GraphConfig {
+        edges,
+        ..GraphConfig::default()
+    };
     let data = PreparedCorpus::from_corpus(&corpus, &graph, 17);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -51,7 +58,11 @@ fn edge_ablations_change_outcomes() {
 
 #[test]
 fn approximate_index_preserves_predictions() {
-    let corpus = generate(&CorpusConfig { files: 40, seed: 19, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 40,
+        seed: 19,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 19);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -72,7 +83,11 @@ fn approximate_index_preserves_predictions() {
     let exact_system = train(&data, &config);
     let mut approx_system = exact_system.clone();
     approx_system.type_map.build_index(
-        RpForestConfig { trees: 12, leaf_size: 16, search_k: 512 },
+        RpForestConfig {
+            trees: 12,
+            leaf_size: 16,
+            search_k: 512,
+        },
         7,
     );
     let mut total = 0usize;
@@ -81,7 +96,9 @@ fn approximate_index_preserves_predictions() {
         let a = exact_system.predict_file(&data, idx);
         let b = approx_system.predict_file(&data, idx);
         for (x, y) in a.iter().zip(&b) {
-            let (Some(tx), Some(ty)) = (x.top(), y.top()) else { continue };
+            let (Some(tx), Some(ty)) = (x.top(), y.top()) else {
+                continue;
+            };
             total += 1;
             if tx.ty == ty.ty {
                 agree += 1;

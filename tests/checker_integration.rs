@@ -8,7 +8,11 @@ use typilus::{
 use typilus_corpus::{generate, CorpusConfig};
 
 fn system_and_data() -> (typilus::TrainedSystem, PreparedCorpus) {
-    let corpus = generate(&CorpusConfig { files: 36, seed: 13, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 36,
+        seed: 13,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 13);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -50,7 +54,10 @@ fn most_predictions_type_check() {
         check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
     assert!(table.assessed_files > 0, "some test files must be clean");
     let overall = table.overall();
-    assert!(overall.total > 20, "too few substitutions assessed: {overall:?}");
+    assert!(
+        overall.total > 20,
+        "too few substitutions assessed: {overall:?}"
+    );
     // Paper: 89% (mypy) / 83% (pytype) of predictions cause no error.
     // We require a clear majority at laptop scale.
     assert!(
@@ -68,20 +75,26 @@ fn fresh_annotations_dominate() {
     // are unannotated). Our corpus is more annotated, so we only require
     // that the fresh category is non-trivial.
     let (system, data) = system_and_data();
-    let (_, table) =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    let (_, table) = check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
     assert!(table.fresh.total > 0, "expected ϵ→τ substitutions");
     let fresh_prop = table.proportion(Category::FreshAnnotation);
-    assert!(fresh_prop > 10.0, "fresh proportion too small: {fresh_prop:.1}%");
+    assert!(
+        fresh_prop > 10.0,
+        "fresh proportion too small: {fresh_prop:.1}%"
+    );
 }
 
 #[test]
 fn pytype_profile_flags_at_least_as_much_as_mypy() {
     let (system, data) = system_and_data();
-    let (_, mypy) =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
-    let (_, pytype) =
-        check_predictions(&system, &data, &data.split.test, CheckerProfile::Pytype, 0.0);
+    let (_, mypy) = check_predictions(&system, &data, &data.split.test, CheckerProfile::Mypy, 0.0);
+    let (_, pytype) = check_predictions(
+        &system,
+        &data,
+        &data.split.test,
+        CheckerProfile::Pytype,
+        0.0,
+    );
     // pytype's extra inference catches more errors, so its accuracy is
     // at most mypy's (83% vs 89% in the paper). Tolerance for noise.
     assert!(

@@ -5,7 +5,11 @@ use typilus::{train, EncoderKind, LossKind, ModelConfig, PreparedCorpus, Typilus
 use typilus_corpus::{generate, CorpusConfig};
 
 fn run(seed: u64) -> (Vec<f32>, Vec<String>) {
-    let corpus = generate(&CorpusConfig { files: 16, seed, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 16,
+        seed,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
     let config = TypilusConfig {
         model: ModelConfig {

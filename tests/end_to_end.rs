@@ -9,7 +9,11 @@ use typilus::{
 use typilus_corpus::{generate, CorpusConfig};
 
 fn small_data(files: usize, seed: u64) -> PreparedCorpus {
-    let corpus = generate(&CorpusConfig { files, seed, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files,
+        seed,
+        ..CorpusConfig::default()
+    });
     PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed)
 }
 
@@ -43,18 +47,29 @@ fn typilus_learns_to_predict_common_types() {
     assert!(last < first, "loss should decrease: {first} -> {last}");
 
     // The type map holds the training+validation annotations.
-    assert!(system.type_map.len() > 100, "type map too small: {}", system.type_map.len());
+    assert!(
+        system.type_map.len() > 100,
+        "type map too small: {}",
+        system.type_map.len()
+    );
     assert!(system.type_map.distinct_types() > 10);
 
     // Test-split evaluation: well above chance on common types.
     let examples = evaluate_files(&system, &data, &data.split.test);
-    assert!(examples.len() > 30, "too few eval examples: {}", examples.len());
+    assert!(
+        examples.len() > 30,
+        "too few eval examples: {}",
+        examples.len()
+    );
     let row = table2_row(&examples, &system.hierarchy, config.common_threshold);
     assert!(
         row.exact_common > 30.0,
         "common-type exact match too low: {row:?}"
     );
-    assert!(row.neutral >= row.exact_all - 1e-9, "neutrality dominates exact match");
+    assert!(
+        row.neutral >= row.exact_all - 1e-9,
+        "neutrality dominates exact match"
+    );
     assert!(
         row.para_all >= row.exact_all - 1e-9,
         "up-to-parametric dominates exact: {row:?}"
@@ -76,7 +91,10 @@ fn predictions_are_ranked_with_probabilities() {
             total += c.probability;
         }
         if !p.candidates.is_empty() {
-            assert!((total - 1.0).abs() < 1e-3, "probabilities sum to 1, got {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-3,
+                "probabilities sum to 1, got {total}"
+            );
         }
     }
 }
@@ -106,5 +124,8 @@ fn classification_model_also_trains() {
         assert!(e.prediction.candidates.len() <= 1);
     }
     let row = table2_row(&examples, &system.hierarchy, 8);
-    assert!(row.exact_common > 20.0, "classifier should learn common types: {row:?}");
+    assert!(
+        row.exact_common > 20.0,
+        "classifier should learn common types: {row:?}"
+    );
 }

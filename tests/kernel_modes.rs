@@ -14,8 +14,12 @@ use typilus::{
 use typilus_corpus::{generate, CorpusConfig};
 use typilus_nn::{set_kernel_mode, KernelMode};
 
-fn run(seed: u64) -> (TrainedSystem, PreparedCorpus) {
-    let corpus = generate(&CorpusConfig { files: 12, seed, ..CorpusConfig::default() });
+fn run(seed: u64, threads: usize) -> (TrainedSystem, PreparedCorpus) {
+    let corpus = generate(&CorpusConfig {
+        files: 12,
+        seed,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -31,15 +35,22 @@ fn run(seed: u64) -> (TrainedSystem, PreparedCorpus) {
         batch_size: 8,
         lr: 0.02,
         seed,
-        parallelism: Parallelism::fixed(2),
+        parallelism: Parallelism::fixed(threads),
         ..TypilusConfig::default()
     };
     let system = train(&data, &config);
     (system, data)
 }
 
-fn fingerprint(system: &TrainedSystem, data: &PreparedCorpus) -> (Vec<u32>, Vec<Vec<u32>>, Vec<String>) {
-    let losses = system.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+fn fingerprint(
+    system: &TrainedSystem,
+    data: &PreparedCorpus,
+) -> (Vec<u32>, Vec<Vec<u32>>, Vec<String>) {
+    let losses = system
+        .epochs
+        .iter()
+        .map(|e| e.mean_loss.to_bits())
+        .collect();
     let markers = system
         .type_map
         .iter()
@@ -49,7 +60,13 @@ fn fingerprint(system: &TrainedSystem, data: &PreparedCorpus) -> (Vec<u32>, Vec<
         .predict_files(data, &data.split.test)
         .into_iter()
         .flatten()
-        .map(|p| format!("{}:{}", p.name, p.top().map(|t| t.ty.to_string()).unwrap_or_default()))
+        .map(|p| {
+            format!(
+                "{}:{}",
+                p.name,
+                p.top().map(|t| t.ty.to_string()).unwrap_or_default()
+            )
+        })
         .collect();
     (losses, markers, predictions)
 }
@@ -57,16 +74,28 @@ fn fingerprint(system: &TrainedSystem, data: &PreparedCorpus) -> (Vec<u32>, Vec<
 #[test]
 fn fast_and_naive_kernels_are_bitwise_interchangeable() {
     set_kernel_mode(KernelMode::Fast);
-    let (fast_system, fast_data) = run(23);
+    let (fast_system, fast_data) = run(23, 2);
     let fast = fingerprint(&fast_system, &fast_data);
 
+    // Pool size must be invisible too: a wide pool under the fast
+    // (arena-recycling) kernels matches the 2-worker run exactly.
+    let (wide_system, wide_data) = run(23, 7);
+    let wide = fingerprint(&wide_system, &wide_data);
+    assert_eq!(fast, wide, "pool size changed fast-mode results");
+
     set_kernel_mode(KernelMode::Naive);
-    let (naive_system, naive_data) = run(23);
+    let (naive_system, naive_data) = run(23, 2);
     let naive = fingerprint(&naive_system, &naive_data);
     set_kernel_mode(KernelMode::Fast);
 
-    assert_eq!(fast.0, naive.0, "per-epoch losses diverge between kernel modes");
-    assert_eq!(fast.1, naive.1, "τ-map markers diverge between kernel modes");
+    assert_eq!(
+        fast.0, naive.0,
+        "per-epoch losses diverge between kernel modes"
+    );
+    assert_eq!(
+        fast.1, naive.1,
+        "τ-map markers diverge between kernel modes"
+    );
     assert_eq!(fast.2, naive.2, "predictions diverge between kernel modes");
     assert!(!fast.0.is_empty() && !fast.2.is_empty());
 }

@@ -5,13 +5,17 @@
 //! types.
 
 use typilus::{
-    evaluate_files, table2_row, train, EncoderKind, LossKind, ModelConfig, PreparedCorpus,
-    PyType, TypilusConfig,
+    evaluate_files, table2_row, train, EncoderKind, LossKind, ModelConfig, PreparedCorpus, PyType,
+    TypilusConfig,
 };
 use typilus_corpus::{generate, CorpusConfig};
 
 fn data_and_config() -> (PreparedCorpus, TypilusConfig) {
-    let corpus = generate(&CorpusConfig { files: 40, seed: 21, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 40,
+        seed: 21,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 21);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -40,7 +44,8 @@ fn one_shot_adaptation_to_unseen_type() {
     let novel: PyType = "quantum.FluxCapacitor".parse().unwrap();
     assert_eq!(system.train_count(&novel), 0, "type must be unseen");
 
-    let query_src = "def charge(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
+    let query_src =
+        "def charge(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
 
     // Before binding: the novel type is never predicted.
     let before = system.predict_source(query_src).unwrap();
@@ -48,7 +53,8 @@ fn one_shot_adaptation_to_unseen_type() {
     assert!(fc.candidates.iter().all(|c| c.ty != novel));
 
     // Bind ONE example (different code, same naming/usage pattern).
-    let binding_src = "def drain(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
+    let binding_src =
+        "def drain(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
     assert!(system.bind_type_example(binding_src, "flux_capacitor", novel.clone()));
 
     // After binding: the nearest-neighbour prediction includes it.
@@ -67,7 +73,10 @@ fn meta_learning_beats_classification_on_rare_types() {
 
     let typilus = train(&data, &config);
     let class_cfg = TypilusConfig {
-        model: ModelConfig { loss: LossKind::Class, ..config.model },
+        model: ModelConfig {
+            loss: LossKind::Class,
+            ..config.model
+        },
         ..config
     };
     let classifier = train(&data, &class_cfg);
@@ -95,6 +104,9 @@ fn unseen_types_have_zero_train_count_but_exist_in_test() {
     let examples = evaluate_files(&system, &data, &data.split.test);
     // The Zipf tail guarantees some test symbols carry types rarely or
     // never seen in training.
-    let rare = examples.iter().filter(|e| e.truth_train_count < config.common_threshold).count();
+    let rare = examples
+        .iter()
+        .filter(|e| e.truth_train_count < config.common_threshold)
+        .count();
     assert!(rare > 0, "expected rare-type examples in the test split");
 }

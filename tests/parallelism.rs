@@ -10,7 +10,11 @@ use typilus::{
 use typilus_corpus::{generate, CorpusConfig};
 
 fn run(seed: u64, threads: usize, loss: LossKind) -> (TrainedSystem, PreparedCorpus) {
-    let corpus = generate(&CorpusConfig { files: 16, seed, ..CorpusConfig::default() });
+    let corpus = generate(&CorpusConfig {
+        files: 16,
+        seed,
+        ..CorpusConfig::default()
+    });
     let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
     let config = TypilusConfig {
         model: ModelConfig {
@@ -39,7 +43,11 @@ fn top1_predictions(system: &TrainedSystem, data: &PreparedCorpus) -> Vec<String
         .into_iter()
         .flatten()
         .map(|p| {
-            format!("{}:{}", p.name, p.top().map(|t| t.ty.to_string()).unwrap_or_default())
+            format!(
+                "{}:{}",
+                p.name,
+                p.top().map(|t| t.ty.to_string()).unwrap_or_default()
+            )
         })
         .collect()
 }
@@ -56,13 +64,15 @@ fn tau_map_markers(system: &TrainedSystem) -> Vec<(Vec<u32>, String)> {
 fn thread_count_does_not_change_results() {
     for loss in [LossKind::Typilus, LossKind::Class] {
         let (base, base_data) = run(42, 1, loss);
-        let base_losses: Vec<u32> =
-            base.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+        let base_losses: Vec<u32> = base.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
         assert!(!base_losses.is_empty());
-        for threads in [2, 4] {
+        for threads in [2, 4, 7] {
             let (system, data) = run(42, threads, loss);
-            let losses: Vec<u32> =
-                system.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
+            let losses: Vec<u32> = system
+                .epochs
+                .iter()
+                .map(|e| e.mean_loss.to_bits())
+                .collect();
             assert_eq!(
                 base_losses, losses,
                 "{loss:?}: per-epoch losses must be bit-identical at {threads} threads"
@@ -95,9 +105,33 @@ fn arena_tape_preserves_parallel_bit_identity() {
     assert!(stats.recycled > 0, "no buffers were returned to the arena");
     let base_losses: Vec<u32> = base.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
     let multi_losses: Vec<u32> = multi.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
-    assert_eq!(base_losses, multi_losses, "losses must be bit-identical at 1 vs 4 threads");
+    assert_eq!(
+        base_losses, multi_losses,
+        "losses must be bit-identical at 1 vs 4 threads"
+    );
     assert_eq!(tau_map_markers(&base), tau_map_markers(&multi));
-    assert_eq!(top1_predictions(&base, &base_data), top1_predictions(&multi, &multi_data));
+    assert_eq!(
+        top1_predictions(&base, &base_data),
+        top1_predictions(&multi, &multi_data)
+    );
+}
+
+#[test]
+fn pooled_engine_matches_spawn_per_call_primitive() {
+    // The persistent pool replaced the spawn-per-call crossbeam engine;
+    // both primitives must still agree bit-for-bit on the same jobs, so
+    // the pipeline's guarantees carry over unchanged.
+    let items: Vec<f32> = (0..173).map(|i| (i as f32).sin() * 0.01).collect();
+    for threads in [2, 4, 7] {
+        let pool = typilus_nn::WorkerPool::new(threads);
+        let pooled: Vec<u32> = pool.map_ordered(&items, |i, &x| (x * x + i as f32).to_bits());
+        let spawned: Vec<u32> =
+            typilus_nn::par_map_ordered(&items, threads, |i, &x| (x * x + i as f32).to_bits());
+        assert_eq!(
+            pooled, spawned,
+            "pool and spawn-per-call disagree at {threads} threads"
+        );
+    }
 }
 
 #[test]
@@ -126,5 +160,8 @@ fn auto_detected_parallelism_matches_fixed() {
     let a: Vec<u32> = auto.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
     let b: Vec<u32> = one.epochs.iter().map(|e| e.mean_loss.to_bits()).collect();
     assert_eq!(a, b);
-    assert_eq!(top1_predictions(&auto, &auto_data), top1_predictions(&one, &one_data));
+    assert_eq!(
+        top1_predictions(&auto, &auto_data),
+        top1_predictions(&one, &one_data)
+    );
 }

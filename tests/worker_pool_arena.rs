@@ -1,0 +1,63 @@
+//! Steady-state training through one long-lived worker pool performs
+//! zero fresh arena allocations: worker arenas stay warm across
+//! batches, and buffers that migrate between threads (gradients, seeds,
+//! value snapshots) cycle back through the shared backstop pool.
+//!
+//! The arena counters are process-global, so this lives in its own test
+//! binary with a single `#[test]`: a concurrently running test would
+//! bleed its allocations into the measurement.
+
+use typilus::{EncoderKind, LossKind, ModelConfig, PreparedCorpus};
+use typilus_corpus::{generate, CorpusConfig};
+use typilus_models::{PreparedFile, TypeModel};
+use typilus_nn::{Adam, WorkerPool};
+
+#[test]
+fn pool_reuse_keeps_arena_counters_flat_across_batches() {
+    typilus_nn::set_kernel_mode(typilus_nn::KernelMode::Fast);
+    let seed = 5;
+    let corpus = generate(&CorpusConfig {
+        files: 16,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), seed);
+    let config = ModelConfig {
+        encoder: EncoderKind::Graph,
+        loss: LossKind::Typilus,
+        dim: 12,
+        gnn_steps: 2,
+        min_subtoken_count: 1,
+        seed,
+        ..ModelConfig::default()
+    };
+    let train_graphs = data.graphs_of(&data.split.train);
+    let mut model = TypeModel::new(config, &train_graphs);
+    let pool = WorkerPool::new(4);
+    let graphs: Vec<_> = data.files.iter().map(|f| f.graph.clone()).collect();
+    let prepared = model.prepare_batch(&graphs, &pool);
+    let batch: Vec<&PreparedFile> = prepared.iter().collect();
+    let mut adam = Adam::new(0.01);
+    // Warm-up: the first steps populate the thread-local worker arenas
+    // and the shared backstop, and let Adam build its moment buffers.
+    for _ in 0..3 {
+        let (_, grads) = model.train_step_parallel(&batch, &pool).unwrap();
+        adam.step(&mut model.params, grads);
+    }
+    let warm = typilus_nn::arena_stats();
+    for step in 0..3 {
+        let (_, grads) = model.train_step_parallel(&batch, &pool).unwrap();
+        adam.step(&mut model.params, grads);
+        let stats = typilus_nn::arena_stats().since(&warm);
+        assert_eq!(
+            stats.fresh, 0,
+            "warm step {step} allocated {} fresh buffers; worker arenas went cold",
+            stats.fresh
+        );
+    }
+    let stats = typilus_nn::arena_stats().since(&warm);
+    assert!(
+        stats.reused > 0,
+        "steady-state steps must be served from the arenas"
+    );
+}
