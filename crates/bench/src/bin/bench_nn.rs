@@ -236,7 +236,7 @@ fn main() {
         k.transpose_naive,
         k.transpose_naive / k.transpose_fast.max(1e-12),
     );
-    let out = std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_nn.json".to_string());
+    let out = typilus_bench::bench_out("BENCH_nn.json");
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

@@ -117,8 +117,7 @@ fn main() {
         epoch_1 / epoch_n.max(1e-12),
         naive_secs / pruned_secs.max(1e-12),
     );
-    let out =
-        std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    let out = typilus_bench::bench_out("BENCH_parallel.json");
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

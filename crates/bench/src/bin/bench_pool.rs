@@ -45,10 +45,7 @@ fn steady_state(warmup: usize, reps: usize, mut step: impl FnMut()) -> (f64, f64
 
 fn main() {
     typilus_nn::set_kernel_mode(typilus_nn::KernelMode::Fast);
-    let threads: usize = std::env::var("TYPILUS_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let threads: usize = typilus_bench::bench_threads(4);
     let scale = Scale {
         files: 24,
         epochs: 1,
@@ -91,7 +88,7 @@ fn main() {
         batch.len(),
         spawn_secs / pool_secs.max(1e-12),
     );
-    let out = std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pool.json".to_string());
+    let out = typilus_bench::bench_out("BENCH_pool.json");
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

@@ -9,7 +9,7 @@
 //! cargo run --release -p typilus-bench --bin qualitative
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use typilus::{evaluate_files, EncoderKind, GraphConfig, LossKind, PyType};
 use typilus_bench::{config_for, prepare, train_logged, Scale};
 
@@ -59,7 +59,7 @@ fn main() {
     let examples = evaluate_files(&system, &data, &data.split.test);
 
     // Depth distribution of parametric annotations (Sec. 7 preamble).
-    let mut depth_counts: HashMap<usize, usize> = HashMap::new();
+    let mut depth_counts: BTreeMap<usize, usize> = BTreeMap::new();
     let mut parametric = 0usize;
     for e in &examples {
         if e.truth.is_parametric() {
@@ -96,7 +96,7 @@ fn main() {
     }
     wrong.sort_by(|a, b| b.1.total_cmp(&a.1));
 
-    let mut by_family: HashMap<&'static str, usize> = HashMap::new();
+    let mut by_family: BTreeMap<&'static str, usize> = BTreeMap::new();
     for (family, ..) in &wrong {
         *by_family.entry(family).or_insert(0) += 1;
     }
@@ -105,7 +105,7 @@ fn main() {
         wrong.len()
     );
     let mut families: Vec<_> = by_family.into_iter().collect();
-    families.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    families.sort_by_key(|&(family, count)| (std::cmp::Reverse(count), family));
     for (family, count) in families {
         println!("  {count:>4}  {family}");
     }

@@ -52,6 +52,19 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Output path for a benchmark's JSON report: `TYPILUS_BENCH_OUT`, or
+/// `default` when unset. Bench binaries read the environment through
+/// here (a designated config module) per lint rule `D3`.
+pub fn bench_out(default: &str) -> String {
+    std::env::var("TYPILUS_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+}
+
+/// Thread count for pool benchmarks: `TYPILUS_BENCH_THREADS`, or
+/// `default` when unset or unparsable.
+pub fn bench_threads(default: usize) -> usize {
+    env_usize("TYPILUS_BENCH_THREADS", default)
+}
+
 impl Scale {
     /// Reads the scale from the environment (see crate docs).
     pub fn from_env() -> Scale {

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use typilus_graph::GraphConfig;
 use typilus_models::{LossKind, ModelConfig, PreparedFile, TypeModel};
 use typilus_nn::{
@@ -24,12 +24,25 @@ use typilus_types::{PyType, TypeHierarchy};
 /// Results are bit-identical for every thread count: parallel stages
 /// only fan out independent per-file work, and every reduction over
 /// their results happens in fixed file-index order.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Deserialize)]
 pub struct Parallelism {
     /// Worker threads; `0` means auto-detect (the `TYPILUS_THREADS`
     /// environment variable if set, otherwise
     /// [`std::thread::available_parallelism`]).
     pub threads: usize,
+}
+
+impl Serialize for Parallelism {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Parallelism", 1)?;
+        // The thread count is a machine-local execution policy, not a
+        // model property: a saved system always records auto-detect, so
+        // the artifact is byte-identical whatever `--threads` trained it
+        // and the loading machine picks its own worker count.
+        st.serialize_field("threads", &0usize)?;
+        st.end()
+    }
 }
 
 impl Parallelism {
@@ -110,14 +123,28 @@ impl Default for TypilusConfig {
 }
 
 /// Progress of one training epoch.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Deserialize)]
 pub struct EpochStats {
     /// Epoch number, from 0.
     pub epoch: usize,
     /// Mean training loss over the epoch's batches.
     pub mean_loss: f32,
-    /// Wall-clock seconds spent.
+    /// Wall-clock seconds spent. Display-only: serialization writes it
+    /// as `0.0` (see the manual [`Serialize`] impl below) so a saved
+    /// system is bit-identical across runs and thread counts.
     pub seconds: f64,
+}
+
+impl Serialize for EpochStats {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("EpochStats", 3)?;
+        st.serialize_field("epoch", &self.epoch)?;
+        st.serialize_field("mean_loss", &self.mean_loss)?;
+        // Timing is wall-clock noise; zero it in the artifact.
+        st.serialize_field("seconds", &0.0f64)?;
+        st.end()
+    }
 }
 
 /// A prediction for one symbol of a file.
@@ -159,8 +186,9 @@ pub struct TrainedSystem {
     /// Lattice with the corpus' user classes registered.
     pub hierarchy: TypeHierarchy,
     /// Count of each ground-truth type in the training annotations,
-    /// for common/rare breakdowns.
-    pub train_type_counts: HashMap<String, usize>,
+    /// for common/rare breakdowns. Ordered so a saved system is
+    /// byte-for-byte reproducible.
+    pub train_type_counts: BTreeMap<String, usize>,
     /// Configuration used.
     pub config: TypilusConfig,
     /// Per-epoch statistics of the training run.
@@ -189,6 +217,8 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     let mut model = model;
     let mut epoch_stats = Vec::with_capacity(config.epochs);
     for epoch in 0..config.epochs {
+        // lint: allow(D6) — per-epoch wall-clock is operator feedback
+        // only; EpochStats::serialize zeroes it out of the artifact
         let start = std::time::Instant::now();
         let mut order = data.split.train.clone();
         order.shuffle(&mut rng);
@@ -218,7 +248,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     // paper's qualitative setup: "we built the type map over the
     // training and the validation sets").
     let mut type_map = TypeMap::new(config.model.dim);
-    let mut train_type_counts: HashMap<String, usize> = HashMap::new();
+    let mut train_type_counts: BTreeMap<String, usize> = BTreeMap::new();
     let tau_files: Vec<&PreparedFile> = data
         .split
         .train

@@ -35,11 +35,14 @@ fn jaccard(a: &HashMap<String, usize>, b: &HashMap<String, usize>) -> f64 {
     }
     let mut intersection = 0usize;
     let mut union = 0usize;
+    // lint: allow(D1) — integer min/max sums are commutative-exact, so
+    // visit order cannot change the result
     for (k, &ca) in a {
         let cb = b.get(k).copied().unwrap_or(0);
         intersection += ca.min(cb);
         union += ca.max(cb);
     }
+    // lint: allow(D1) — integer sum over the complement; order-free
     for (k, &cb) in b {
         if !a.contains_key(k) {
             union += cb;

@@ -2,7 +2,7 @@
 
 use crate::gen::Corpus;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use typilus_pyast::{parse, SymbolTable};
 
 /// Summary statistics of a corpus.
@@ -34,7 +34,7 @@ pub struct CorpusStats {
 /// `rare_threshold` is the "seen fewer than N times" cut — the paper
 /// uses 100 at full scale; scaled corpora use a smaller cut.
 pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
-    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut symbols = 0usize;
     let mut annotated = 0usize;
     let mut parametric = 0usize;

@@ -1,0 +1,156 @@
+//! Diagnostics: rule identifiers, the `file:line: rule: message` record,
+//! and the `--json` rendering.
+
+/// The determinism/concurrency rules, plus the meta-rule for malformed
+/// suppression comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over `HashMap`/`HashSet` whose order can reach output,
+    /// serialization or an order-sensitive reduction.
+    D1,
+    /// Floating-point reduction over an unordered source.
+    D2,
+    /// `std::env::var` read outside the designated config modules.
+    D3,
+    /// `unwrap()`/`expect()` inside worker-pool or spawned-thread
+    /// closures (panics must ride the panic-payload path).
+    D4,
+    /// `unsafe` block without an adjacent `// SAFETY:` comment.
+    D5,
+    /// Wall-clock (`Instant::now`, `SystemTime`, `thread::sleep`) in a
+    /// deterministic result path.
+    D6,
+    /// Malformed `// lint: allow(...)` suppression (unknown rule name or
+    /// missing justification).
+    Allow,
+}
+
+impl Rule {
+    /// The rule's short name, as written in suppression comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::D6 => "D6",
+            Rule::Allow => "allow",
+        }
+    }
+
+    /// Parses a rule name from a suppression comment. The `allow`
+    /// meta-rule is not suppressible, so it does not parse.
+    pub fn parse(name: &str) -> Option<Rule> {
+        Some(match name {
+            "D1" => Rule::D1,
+            "D2" => Rule::D2,
+            "D3" => Rule::D3,
+            "D4" => Rule::D4,
+            "D5" => Rule::D5,
+            "D6" => Rule::D6,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, as passed to the engine.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array (the `--json` mode). No external
+/// JSON crate is available offline, so this writes the fixed schema by
+/// hand.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&d.file),
+            d.line,
+            d.rule,
+            escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::D1,
+            message: "iterates a HashMap".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: D1: iterates a HashMap"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: Rule::D5,
+            message: "x\ny".into(),
+        };
+        let json = to_json(&[d]);
+        assert!(json.contains("\"file\": \"a\\\"b.rs\""));
+        assert!(json.contains("\"message\": \"x\\ny\""));
+        assert_eq!(to_json(&[]), "[]\n");
+    }
+}

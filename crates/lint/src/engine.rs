@@ -1,0 +1,399 @@
+//! The lint engine: file classification, `#[cfg(test)]` region
+//! tracking, suppression parsing, workspace walking, and rule dispatch.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, LexError, TokKind};
+use crate::rules;
+use std::path::{Path, PathBuf};
+
+/// A code token projected out of the raw stream: kind, text slice and
+/// line. Comments are kept in a separate list (they drive suppressions
+/// and `SAFETY:` checks, not the rule patterns).
+#[derive(Debug, Clone, Copy)]
+pub struct Ct<'a> {
+    /// Token kind (never a comment kind in [`FileCx::code`]).
+    pub kind: TokKind,
+    /// The token's text.
+    pub text: &'a str,
+    /// 1-based start line.
+    pub line: u32,
+}
+
+/// A comment with its line extent.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Full comment text including the `//` or `/*` markers.
+    pub text: &'a str,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+/// Path-derived lint classification of one file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Test code: every rule is off (`tests/`, `benches/`, `src/tests.rs`).
+    pub test: bool,
+    /// Designated environment-config module: D3 is off.
+    pub env_module: bool,
+    /// Bench/profile code: D6 is off.
+    pub timing_exempt: bool,
+}
+
+/// Modules allowed to read process environment variables (rule D3).
+/// Everything else must go through the parse-once accessors these
+/// modules export.
+pub const ENV_MODULES: &[&str] = &[
+    "crates/nn/src/par.rs",    // TYPILUS_THREADS (parse-once)
+    "crates/nn/src/mode.rs",   // TYPILUS_NN_NAIVE (resolve-once)
+    "crates/nn/src/config.rs", // arena trace toggles (read-once)
+    "crates/bench/src/lib.rs", // bench scale/output knobs
+];
+
+impl FileClass {
+    /// Derives the class from a workspace-relative, `/`-separated path.
+    pub fn from_path(path: &str) -> FileClass {
+        let test = path.contains("/tests/")
+            || path.starts_with("tests/")
+            || path.ends_with("/tests.rs")
+            || path.contains("/benches/");
+        let env_module = ENV_MODULES.contains(&path);
+        let timing_exempt = path.starts_with("crates/bench/")
+            || path.ends_with("/profile.rs")
+            || path.contains("/benches/");
+        FileClass {
+            test,
+            env_module,
+            timing_exempt,
+        }
+    }
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileCx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Non-comment tokens in order.
+    pub code: Vec<Ct<'a>>,
+    /// Comment tokens in order.
+    pub comments: Vec<Comment<'a>>,
+    /// Path-derived classification.
+    pub class: FileClass,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCx<'a> {
+    /// Whether a line is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.class.test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Index of the token matching `open` (`(`, `[` or `{`) at `idx`.
+    /// Returns the last token index if unbalanced (never out of range).
+    pub fn matching_close(&self, idx: usize) -> usize {
+        let open = self.code[idx].text.as_bytes()[0];
+        let close = match open {
+            b'(' => ")",
+            b'[' => "]",
+            b'{' => "}",
+            _ => return idx,
+        };
+        let open = &self.code[idx].text;
+        let mut depth = 0usize;
+        for (j, t) in self.code.iter().enumerate().skip(idx) {
+            if t.kind == TokKind::Punct {
+                if t.text == *open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+            }
+        }
+        self.code.len() - 1
+    }
+
+    /// The first code line strictly after `line` (for suppression scope).
+    fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.code.iter().map(|t| t.line).filter(|&l| l > line).min()
+    }
+}
+
+/// A parsed `// lint: allow(...)` comment.
+struct Suppression {
+    rules: Vec<Rule>,
+    /// The suppression covers its own line and the next code line.
+    lines: (u32, Option<u32>),
+}
+
+/// The suppression marker. Written split here so the lint does not
+/// flag its own engine source as a (malformed) suppression comment.
+const MARKER: &str = concat!("lint:", " allow(");
+
+/// Parses suppressions out of the comments; malformed ones become
+/// `allow` diagnostics.
+fn parse_suppressions(cx: &FileCx, diags: &mut Vec<Diagnostic>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &cx.comments {
+        // Doc comments describe the syntax; only plain comments carry
+        // live suppressions.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &c.text[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            diags.push(Diagnostic {
+                file: cx.path.to_string(),
+                line: c.line,
+                rule: Rule::Allow,
+                message: "malformed suppression: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            match Rule::parse(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    bad = true;
+                    diags.push(Diagnostic {
+                        file: cx.path.to_string(),
+                        line: c.line,
+                        rule: Rule::Allow,
+                        message: format!("unknown rule {name:?} in suppression"),
+                    });
+                }
+            }
+        }
+        // Justification: whatever follows the closing paren, minus
+        // separator punctuation. It is mandatory.
+        let justification = rest[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || matches!(ch, '—' | '–' | '-' | ':' | '·')
+            })
+            .trim_end_matches("*/")
+            .trim();
+        if justification.is_empty() {
+            diags.push(Diagnostic {
+                file: cx.path.to_string(),
+                line: c.line,
+                rule: Rule::Allow,
+                message: "suppression lacks a justification (\"lint: allow(Dn) — why\")"
+                    .to_string(),
+            });
+            continue;
+        }
+        if !bad && !rules.is_empty() {
+            out.push(Suppression {
+                rules,
+                lines: (c.end_line, cx.next_code_line(c.end_line)),
+            });
+        }
+    }
+    out
+}
+
+/// Marks the line ranges of items behind `#[cfg(test)]` or `#[test]`.
+fn find_test_regions(code: &[Ct]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        if !(code[i].text == "#" && code[i + 1].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Attribute contents: up to the matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test_attr = false;
+        let mut saw_cfg = false;
+        let mut saw_not = false;
+        while j < code.len() {
+            match code[j].text {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => saw_cfg = true,
+                // `#[cfg(not(test))]` is the opposite of a test region.
+                "not" if saw_cfg => saw_not = true,
+                "test" if (saw_cfg && !saw_not) || j == i + 2 => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr || j >= code.len() {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes, then find the item's brace block.
+        let mut k = j + 1;
+        while k + 1 < code.len() && code[k].text == "#" && code[k + 1].text == "[" {
+            let mut d = 0usize;
+            while k < code.len() {
+                match code[k].text {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the opening `{` of the item (a `;` first means no body).
+        let mut open = None;
+        while k < code.len() {
+            match code[k].text {
+                "{" => {
+                    open = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(open_idx) = open {
+            let mut depth = 0usize;
+            let mut end = open_idx;
+            for (m, t) in code.iter().enumerate().skip(open_idx) {
+                match t.text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = m;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            out.push((code[i].line, code[end].line));
+            i = end + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    out
+}
+
+/// Lints one file's source text. `path` must be workspace-relative with
+/// forward slashes — it drives the per-path rule exemptions.
+///
+/// # Errors
+///
+/// Returns the lexer's error when the file is not valid-enough Rust.
+pub fn lint_source(path: &str, src: &str) -> Result<Vec<Diagnostic>, LexError> {
+    let toks = lex(src)?;
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    for t in &toks {
+        let text = &src[t.start..t.end];
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => comments.push(Comment {
+                text,
+                line: t.line,
+                end_line: t.line + text.matches('\n').count() as u32,
+            }),
+            _ => code.push(Ct {
+                kind: t.kind,
+                text,
+                line: t.line,
+            }),
+        }
+    }
+    let test_regions = find_test_regions(&code);
+    let cx = FileCx {
+        path,
+        code,
+        comments,
+        class: FileClass::from_path(path),
+        test_regions,
+    };
+    let mut diags = Vec::new();
+    let suppressions = parse_suppressions(&cx, &mut diags);
+    rules::run_all(&cx, &mut diags);
+    diags.retain(|d| {
+        d.rule == Rule::Allow
+            || !suppressions.iter().any(|s| {
+                s.rules.contains(&d.rule) && (s.lines.0 == d.line || s.lines.1 == Some(d.line))
+            })
+    });
+    diags.sort_by_key(|d| (d.line, d.rule));
+    Ok(diags)
+}
+
+/// Recursively collects the workspace's `.rs` files (skipping `target`,
+/// `vendor` and dot-directories), sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "vendor" || name.starts_with('.') {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every workspace `.rs` file under `root`.
+///
+/// # Errors
+///
+/// Returns an error string for I/O or lexing failures (those are gate
+/// failures of their own, not diagnostics).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let files = workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diags = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let file_diags =
+            lint_source(&rel, &src).map_err(|e| format!("lexing {}: {e}", file.display()))?;
+        diags.extend(file_diags);
+    }
+    Ok(diags)
+}

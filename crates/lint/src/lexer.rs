@@ -1,0 +1,338 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Produces a flat token stream with byte spans and 1-based line
+//! numbers — enough structure for the determinism rules in
+//! [`crate::rules`], which work on token patterns rather than a full
+//! syntax tree. The tricky token classes the rules depend on are
+//! handled exactly: raw strings (`r#"…"#` with any number of hashes,
+//! byte variants), nested block comments, and the lifetime/char-literal
+//! ambiguity (`'a` vs `'a'`).
+//!
+//! Comments are emitted as ordinary tokens (they carry the suppression
+//! syntax and `SAFETY:` annotations), so the stream covers every
+//! non-whitespace byte of the input — a property the lexer tests assert
+//! as a round-trip.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules do not distinguish them).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (including the quote).
+    Lifetime,
+    /// Numeric literal, integer or float, with any suffix.
+    Number,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` comment (text runs to end of line).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+    /// A single punctuation byte (`::` is two `Punct(':')` tokens).
+    Punct,
+}
+
+/// One token: kind, byte span into the source, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+/// A lexing failure (unterminated literal or comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the unterminated construct starts.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream covering every non-whitespace byte.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, char literals or block
+/// comments; everything else lexes (unknown bytes become [`TokKind::Punct`]).
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let start = c.pos;
+        let line = c.line;
+        let kind = match b {
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(n) = c.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                lex_block_comment(&mut c)?;
+                TokKind::BlockComment
+            }
+            b'r' | b'b' if starts_raw_or_byte(&c) => lex_prefixed_literal(&mut c)?,
+            b'"' => {
+                lex_quoted(&mut c, b'"', "string literal")?;
+                TokKind::Str
+            }
+            b'\'' => lex_quote(&mut c)?,
+            _ if is_ident_start(b) => {
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                TokKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                TokKind::Number
+            }
+            _ => {
+                c.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Tok {
+            kind,
+            start,
+            end: c.pos,
+            line,
+        });
+    }
+    Ok(out)
+}
+
+/// Whether the cursor sits on a prefixed literal: `r"`, `r#…#"`, `b"`,
+/// `b'`, `br"` or `br#…#"`. Raw *identifiers* (`r#fn`) and plain idents
+/// starting with `r`/`b` do not match.
+fn starts_raw_or_byte(c: &Cursor) -> bool {
+    let rest = &c.src[c.pos..];
+    let after_prefix = match rest {
+        [b'b', b'\'', ..] | [b'b', b'"', ..] => return true,
+        [b'b', b'r', tail @ ..] | [b'r', tail @ ..] => tail,
+        _ => return false,
+    };
+    let mut i = 0;
+    while after_prefix.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    // `r#ident` is a raw identifier, not a raw string: the hash run must
+    // end in a quote.
+    after_prefix.get(i) == Some(&b'"')
+}
+
+/// Lexes `r…`/`b…`/`br…` literals; the cursor sits on the prefix.
+fn lex_prefixed_literal(c: &mut Cursor) -> Result<TokKind, LexError> {
+    let byte_char = c.starts_with("b'");
+    let raw = c.starts_with("r") || c.starts_with("br");
+    c.bump(); // r or b
+    if raw && c.peek(0) == Some(b'r') {
+        c.bump(); // the r of br
+    }
+    if byte_char {
+        lex_quoted(c, b'\'', "byte literal")?;
+        return Ok(TokKind::Char);
+    }
+    if raw {
+        lex_raw_string(c)?;
+    } else {
+        lex_quoted(c, b'"', "byte string")?;
+    }
+    Ok(TokKind::Str)
+}
+
+/// Lexes the `#*"…"#*` tail of a raw string; the cursor sits on the
+/// first `#` or the opening quote.
+fn lex_raw_string(c: &mut Cursor) -> Result<(), LexError> {
+    let line = c.line;
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.bump() != Some(b'"') {
+        return Err(LexError {
+            line,
+            message: "malformed raw string opener".into(),
+        });
+    }
+    loop {
+        match c.bump() {
+            None => {
+                return Err(LexError {
+                    line,
+                    message: "unterminated raw string".into(),
+                })
+            }
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && c.peek(0) == Some(b'#') {
+                    seen += 1;
+                    c.bump();
+                }
+                if seen == hashes {
+                    return Ok(());
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Lexes a `quote`-delimited literal with `\` escapes; the cursor sits
+/// on the opening quote.
+fn lex_quoted(c: &mut Cursor, quote: u8, what: &str) -> Result<(), LexError> {
+    let line = c.line;
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None => {
+                return Err(LexError {
+                    line,
+                    message: format!("unterminated {what}"),
+                })
+            }
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(b) if b == quote => return Ok(()),
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'` into a lifetime or a char literal.
+///
+/// `'ident` not followed by a closing `'` is a lifetime (`'a`, `'static`,
+/// `'_`); everything else (`'x'`, `'\n'`, `'\u{1F600}'`) is a char.
+fn lex_quote(c: &mut Cursor) -> Result<TokKind, LexError> {
+    let next = c.peek(1);
+    if next.is_some_and(is_ident_start) && next != Some(b'\'') {
+        // Scan the identifier; if it is immediately closed by a quote
+        // this is a char literal like 'a', otherwise a lifetime.
+        let mut ahead = 2;
+        while c.peek(ahead).is_some_and(is_ident_continue) {
+            ahead += 1;
+        }
+        if c.peek(ahead) != Some(b'\'') {
+            c.bump(); // '
+            for _ in 1..ahead {
+                c.bump();
+            }
+            return Ok(TokKind::Lifetime);
+        }
+    }
+    lex_quoted(c, b'\'', "char literal")?;
+    Ok(TokKind::Char)
+}
+
+/// Lexes a numeric literal (ints, floats, exponents, suffixes, `_`).
+fn lex_number(c: &mut Cursor) {
+    // Leading digits / radix prefix / underscores / suffix letters all
+    // fall under ident-continue; floats need the `.`+digit and
+    // exponent-sign cases on top.
+    c.bump();
+    loop {
+        match c.peek(0) {
+            Some(b) if is_ident_continue(b) => {
+                let exponent = b == b'e' || b == b'E';
+                c.bump();
+                if exponent && matches!(c.peek(0), Some(b'+') | Some(b'-')) {
+                    c.bump();
+                }
+            }
+            // `1.5` continues the number; `1..5` and `1.method()` do not.
+            Some(b'.') if c.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                c.bump();
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Nested block comments; the cursor sits on the opening `/*`.
+fn lex_block_comment(c: &mut Cursor) -> Result<(), LexError> {
+    let line = c.line;
+    c.bump();
+    c.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if c.starts_with("/*") {
+            depth += 1;
+            c.bump();
+            c.bump();
+        } else if c.starts_with("*/") {
+            depth -= 1;
+            c.bump();
+            c.bump();
+        } else if c.bump().is_none() {
+            return Err(LexError {
+                line,
+                message: "unterminated block comment".into(),
+            });
+        }
+    }
+    Ok(())
+}

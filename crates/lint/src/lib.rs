@@ -1,0 +1,42 @@
+//! # typilus-lint
+//!
+//! A dependency-free static-analysis pass that machine-checks this
+//! workspace's *determinism contract*: training, inference and every
+//! serialized artifact must be bit-identical at any thread count and
+//! across runs. The contract grew hand-maintained across PRs 1–3
+//! (ordered reductions, fixed float-accumulation order, exact-class
+//! arena serving, panic-payload discipline); this crate turns it into
+//! six enforced rules:
+//!
+//! | Rule | What it catches |
+//! |------|-----------------|
+//! | `D1` | `HashMap`/`HashSet` iteration whose order can reach output, serialization or a reduction |
+//! | `D2` | Floating-point reductions over unordered sources |
+//! | `D3` | `std::env::var` reads outside the designated config modules |
+//! | `D4` | `unwrap()`/`expect()` inside worker-pool / spawned-thread closures |
+//! | `D5` | `unsafe` without an adjacent `// SAFETY:` comment |
+//! | `D6` | `Instant::now` / `SystemTime` / `thread::sleep` in deterministic result paths |
+//!
+//! A finding is either fixed or explicitly carried with an inline
+//! suppression whose justification is mandatory:
+//!
+//! ```text
+//! // lint: allow(D6) — epoch timing is display-only and never serialized
+//! ```
+//!
+//! The binary (`cargo run -p typilus-lint --release`) walks every
+//! workspace `.rs` file, prints `file:line: rule: message` diagnostics
+//! (or `--json`), and exits non-zero on any unsuppressed finding — it
+//! runs as a tier-1 gate next to `scripts/detcheck.sh`, the dynamic
+//! 1-vs-4-thread witness of the same contract.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{to_json, Diagnostic, Rule};
+pub use engine::{lint_source, lint_workspace, workspace_files, FileClass};
+pub use lexer::{lex, LexError, Tok, TokKind};

@@ -1,0 +1,76 @@
+//! `typilus-lint` — walk the workspace, print diagnostics, gate on them.
+//!
+//! ```sh
+//! typilus-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed diagnostics, `2` usage or
+//! I/O/lex errors.
+
+use std::path::PathBuf;
+use typilus_lint::{lint_workspace, to_json};
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: typilus-lint [--root DIR] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Default to the workspace root when invoked from a member crate
+    // (cargo sets the cwd to the invoking directory).
+    if !root.join("crates").is_dir() {
+        if let Some(up) = find_workspace_root(&root) {
+            root = up;
+        }
+    }
+    match lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                print!("{}", to_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if diags.is_empty() {
+                    eprintln!("typilus-lint: workspace clean");
+                } else {
+                    eprintln!("typilus-lint: {} diagnostic(s)", diags.len());
+                }
+            }
+            std::process::exit(if diags.is_empty() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("typilus-lint: error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Walks up from `start` to the first directory containing `crates/`.
+fn find_workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+}

@@ -1,0 +1,373 @@
+//! Fixture tests: every rule fires on a seeded violation and stays
+//! quiet on the compliant twin; suppressions silence findings only
+//! with a justification; the lexer survives the tricky corners of
+//! Rust's grammar it was built for.
+
+use typilus_lint::{lint_source, Rule};
+
+/// Lints a fixture under a synthetic non-test, non-exempt path.
+fn diags(src: &str) -> Vec<(Rule, u32)> {
+    lint_source("crates/fix/src/lib.rs", src)
+        .expect("fixture lexes")
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+fn rules(src: &str) -> Vec<Rule> {
+    diags(src).into_iter().map(|(r, _)| r).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_hashmap_for_loop() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: &HashMap<String, usize>) {
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D1, 4)]);
+}
+
+#[test]
+fn d1_fires_on_collect_into_vec() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: HashMap<String, usize>) -> Vec<String> {
+    m.into_iter().map(|(k, _)| k).collect()
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::D1]);
+}
+
+#[test]
+fn d1_quiet_on_btreemap() {
+    let src = r#"
+use std::collections::BTreeMap;
+fn ordered(m: &BTreeMap<String, usize>) {
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d1_quiet_on_order_insensitive_consumers() {
+    let src = r#"
+use std::collections::HashMap;
+fn fine(m: &HashMap<String, usize>) -> (usize, bool) {
+    (m.values().count(), m.values().any(|&v| v > 3))
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d1_quiet_on_integer_sum() {
+    // Integer addition is commutative-exact: order cannot matter.
+    let src = r#"
+use std::collections::HashMap;
+fn total(m: &HashMap<String, usize>) -> usize {
+    m.values().sum()
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d1_fires_on_serialized_hashmap_field() {
+    let src = r#"
+use std::collections::HashMap;
+#[derive(Serialize)]
+struct Artifact {
+    counts: HashMap<String, usize>,
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D1, 5)]);
+}
+
+#[test]
+fn d1_quiet_on_serialized_btreemap_field() {
+    let src = r#"
+use std::collections::BTreeMap;
+#[derive(Serialize)]
+struct Artifact {
+    counts: BTreeMap<String, usize>,
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_float_sum_over_hashmap() {
+    let src = r#"
+use std::collections::HashMap;
+fn mean(m: &HashMap<String, f32>) -> f32 {
+    m.values().sum::<f32>() / m.len() as f32
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::D2]);
+}
+
+#[test]
+fn d2_fires_on_fold_over_hashset() {
+    let src = r#"
+use std::collections::HashSet;
+fn acc(s: &HashSet<u32>) -> f64 {
+    s.iter().fold(0.0, |a, &x| a + f64::from(x))
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::D2]);
+}
+
+#[test]
+fn d2_quiet_on_float_sum_over_slice() {
+    let src = r#"
+fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_on_ad_hoc_env_read() {
+    let src = r#"
+fn threads() -> usize {
+    std::env::var("THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D3, 3)]);
+}
+
+#[test]
+fn d3_quiet_in_designated_module() {
+    let src = r#"
+fn threads() -> usize {
+    std::env::var("THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+"#;
+    let d = lint_source("crates/nn/src/config.rs", src).unwrap();
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_unwrap_in_spawned_closure() {
+    let src = r#"
+fn run(xs: Vec<String>) {
+    std::thread::spawn(move || {
+        let n: usize = xs[0].parse().unwrap();
+        println!("{n}");
+    });
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D4, 4)]);
+}
+
+#[test]
+fn d4_fires_on_expect_in_map_ordered() {
+    let src = r#"
+fn run(pool: &WorkerPool, xs: &[String]) -> Vec<usize> {
+    pool.map_ordered(xs, |_, x| x.parse().expect("numeric"))
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::D4]);
+}
+
+#[test]
+fn d4_quiet_outside_worker_closures() {
+    let src = r#"
+fn run(xs: &[String]) -> usize {
+    xs[0].parse().unwrap()
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_fires_on_undocumented_unsafe() {
+    let src = r#"
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D5, 3)]);
+}
+
+#[test]
+fn d5_quiet_with_adjacent_safety_comment() {
+    let src = r#"
+fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d5_safety_comment_reaches_through_a_run_of_lines() {
+    // "SAFETY:" on the first line of a multi-line explanation still
+    // covers the unsafe token under the run's last line.
+    let src = r#"
+fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads and the
+    // allocation lives for the duration of this call, per the
+    // contract documented on `read`.
+    unsafe { *p }
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d5_fires_on_undocumented_unsafe_impl() {
+    let src = r#"
+struct P(*mut u8);
+unsafe impl Send for P {}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D5, 3)]);
+}
+
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_fires_on_instant_now() {
+    let src = r#"
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D6, 3)]);
+}
+
+#[test]
+fn d6_fires_on_thread_sleep() {
+    let src = r#"
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::D6]);
+}
+
+#[test]
+fn d6_quiet_in_bench_paths() {
+    let src = r#"
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    let d = lint_source("crates/bench/src/lib.rs", src).unwrap();
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ------------------------------------------------------- suppressions
+
+#[test]
+fn suppression_with_justification_silences_finding() {
+    let src = r#"
+use std::collections::HashMap;
+fn jaccard(m: &HashMap<String, usize>) -> usize {
+    let mut total = 0;
+    // lint: allow(D1) — integer min-sum is commutative-exact
+    for (_, &v) in m {
+        total = total.max(v);
+    }
+    total
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn suppression_without_justification_is_itself_a_finding() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: &HashMap<String, usize>) {
+    // lint: allow(D1)
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    let found = rules(src);
+    assert!(found.contains(&Rule::Allow), "{found:?}");
+}
+
+#[test]
+fn suppression_for_unknown_rule_is_rejected() {
+    let src = r#"
+fn f() {
+    // lint: allow(D9) — no such rule
+    let x = 1;
+    let _ = x;
+}
+"#;
+    assert!(rules(src).contains(&Rule::Allow));
+}
+
+#[test]
+fn suppression_only_covers_the_next_code_line() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: &HashMap<String, usize>) {
+    // lint: allow(D1) — documented exception
+    let _pairs: Vec<(&String, &usize)> = m.iter().collect();
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D1, 6)]);
+}
+
+// -------------------------------------------------- test-code exemption
+
+#[test]
+fn test_paths_are_exempt() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: &HashMap<String, usize>) {
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    let d = lint_source("crates/fix/tests/it.rs", src).unwrap();
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let src = r#"
+use std::collections::HashMap;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn order_free() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            println!("{k}={v}");
+        }
+    }
+}
+"#;
+    assert!(diags(src).is_empty());
+}

@@ -1,0 +1,116 @@
+//! Lexer stress tests: the tricky corners of Rust's token grammar the
+//! rules depend on, plus a byte-coverage round-trip over every `.rs`
+//! file in the workspace.
+
+use typilus_lint::{lex, workspace_files, TokKind};
+
+/// Asserts the tokens tile `src` exactly: in order, non-overlapping,
+/// with only whitespace between them.
+fn assert_covers(src: &str) {
+    let toks = lex(src).expect("lexes");
+    let mut pos = 0;
+    for t in &toks {
+        assert!(t.start >= pos, "overlap at byte {}", t.start);
+        assert!(
+            src[pos..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} before byte {}",
+            &src[pos..t.start],
+            t.start
+        );
+        assert!(t.end > t.start, "empty token at byte {}", t.start);
+        pos = t.end;
+    }
+    assert!(
+        src[pos..].chars().all(char::is_whitespace),
+        "trailing non-whitespace {:?}",
+        &src[pos..]
+    );
+}
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).expect("lexes").iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    let src = r####"let s = r#"quote " inside"#; let t = r##"deeper "# inside"##;"####;
+    assert_covers(src);
+    let n = kinds(src).iter().filter(|k| **k == TokKind::Str).count();
+    assert_eq!(n, 2);
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    let src = "let r#fn = 1; let r#type = r#fn;";
+    assert_covers(src);
+    assert!(kinds(src).iter().all(|k| *k != TokKind::Str));
+}
+
+#[test]
+fn byte_and_byte_raw_strings() {
+    let src = r###"let a = b"bytes"; let b = br#"raw " bytes"#; let c = b'x';"###;
+    assert_covers(src);
+    let ks = kinds(src);
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Str).count(), 2);
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Char).count(), 1);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "a /* outer /* inner */ still comment */ b";
+    assert_covers(src);
+    let ks = kinds(src);
+    assert_eq!(
+        ks.iter().filter(|k| **k == TokKind::BlockComment).count(),
+        1
+    );
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Ident).count(), 2);
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+    assert_covers(src);
+    let ks = kinds(src);
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Char).count(), 1);
+}
+
+#[test]
+fn char_escapes_and_labels() {
+    let src = r"let q = '\''; let nl = '\n'; 'outer: loop { break 'outer; }";
+    assert_covers(src);
+    let ks = kinds(src);
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Char).count(), 2);
+    // `'outer` twice: the label definition and the break target.
+    assert_eq!(ks.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+}
+
+#[test]
+fn string_escapes_and_line_counting() {
+    let src = "let a = \"line\\\"one\\n\";\nlet b = 2; // after newline\n";
+    assert_covers(src);
+    let toks = lex(src).unwrap();
+    let b_tok = toks
+        .iter()
+        .find(|t| &src[t.start..t.end] == "b")
+        .expect("finds b");
+    assert_eq!(b_tok.line, 2);
+}
+
+#[test]
+fn every_workspace_file_lexes_and_round_trips() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = workspace_files(&root).expect("walk workspace");
+    assert!(files.len() > 20, "suspiciously few files: {}", files.len());
+    for f in files {
+        let src = std::fs::read_to_string(&f).expect("read");
+        // Panic message includes the file for quick triage.
+        let toks = lex(&src).unwrap_or_else(|e| panic!("{}: {e:?}", f.display()));
+        assert!(!toks.is_empty() || src.trim().is_empty(), "{}", f.display());
+        assert_covers(&src);
+    }
+}

@@ -1,0 +1,24 @@
+//! The workspace must lint clean: this is the same gate
+//! `cargo run -p typilus-lint` applies in tier-1, kept as a test so
+//! `cargo test` alone catches a regression.
+
+use typilus_lint::lint_workspace;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let diags = lint_workspace(&root).expect("lint runs");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

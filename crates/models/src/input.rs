@@ -8,7 +8,7 @@
 
 use crate::vocab::Vocab;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use typilus_graph::{subtokens, EdgeLabel, NodeKind, ProgramGraph};
 use typilus_pyast::SymbolKind;
 use typilus_types::PyType;
@@ -125,9 +125,9 @@ pub const CHAR_VOCAB: usize = 39;
 
 /// Counts subtoken and whole-label frequencies over graphs, for building
 /// the vocabularies.
-pub fn count_labels(graphs: &[ProgramGraph]) -> (HashMap<String, usize>, HashMap<String, usize>) {
-    let mut sub = HashMap::new();
-    let mut tok = HashMap::new();
+pub fn count_labels(graphs: &[ProgramGraph]) -> (BTreeMap<String, usize>, BTreeMap<String, usize>) {
+    let mut sub = BTreeMap::new();
+    let mut tok = BTreeMap::new();
     for g in graphs {
         for n in &g.nodes {
             *tok.entry(n.label.clone()).or_insert(0) += 1;
@@ -214,7 +214,9 @@ pub fn prepare(
     let mut symbol_group: HashMap<u32, usize> = HashMap::new();
     let mut token_group = vec![0usize; token_seq.len()];
     let mut next_group = 0usize;
-    let mut bound: HashMap<usize, u32> = HashMap::new(); // position -> symbol node
+    // position -> symbol node; ordered so every walk over it is
+    // position-ascending (determinism contract, lint rule D1).
+    let mut bound: BTreeMap<usize, u32> = BTreeMap::new();
     for e in graph.edges_with(EdgeLabel::OccurrenceOf) {
         if let Some(&pos) = pos_of_node.get(&e.src) {
             bound.insert(pos, e.dst);
@@ -237,7 +239,7 @@ pub fn prepare(
     }
 
     // Positions per target symbol.
-    let mut positions_by_symbol: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut positions_by_symbol: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (&pos, &sym) in &bound {
         positions_by_symbol.entry(sym).or_default().push(pos);
     }

@@ -6,7 +6,7 @@
 //! exactly why `*2Class` models hit a ceiling on rare types.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use typilus_types::PyType;
 
 /// Reserved id for out-of-vocabulary entries.
@@ -15,7 +15,8 @@ pub const UNK_ID: usize = 0;
 /// A string vocabulary with frequency-based construction and an UNK slot.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Vocab {
-    by_name: HashMap<String, usize>,
+    /// Ordered so a serialized vocabulary is bit-stable (lint rule D1).
+    by_name: BTreeMap<String, usize>,
     names: Vec<String>,
 }
 
@@ -23,13 +24,13 @@ impl Vocab {
     /// Builds a vocabulary from counted occurrences, keeping entries seen
     /// at least `min_count` times, up to `max_size` (most frequent first).
     /// Index 0 is always the UNK entry.
-    pub fn build(counts: &HashMap<String, usize>, min_count: usize, max_size: usize) -> Vocab {
+    pub fn build(counts: &BTreeMap<String, usize>, min_count: usize, max_size: usize) -> Vocab {
         let mut entries: Vec<(&String, &usize)> =
             counts.iter().filter(|(_, &c)| c >= min_count).collect();
         entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
         entries.truncate(max_size.saturating_sub(1));
         let mut v = Vocab {
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             names: vec!["<unk>".to_string()],
         };
         for (name, _) in entries {
@@ -72,7 +73,8 @@ impl Vocab {
 /// A closed type vocabulary for classification heads.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TypeVocab {
-    by_type: HashMap<String, usize>,
+    /// Ordered so a serialized vocabulary is bit-stable (lint rule D1).
+    by_type: BTreeMap<String, usize>,
     types: Vec<PyType>,
 }
 
@@ -80,7 +82,7 @@ impl TypeVocab {
     /// Builds a type vocabulary from training annotations, keeping types
     /// seen at least `min_count` times. Index 0 is the UNK type (`Any`).
     pub fn build<'a>(annotations: impl Iterator<Item = &'a PyType>, min_count: usize) -> TypeVocab {
-        let mut counts: HashMap<String, (usize, PyType)> = HashMap::new();
+        let mut counts: BTreeMap<String, (usize, PyType)> = BTreeMap::new();
         for ty in annotations {
             let e = counts.entry(ty.to_string()).or_insert((0, ty.clone()));
             e.0 += 1;
@@ -92,7 +94,7 @@ impl TypeVocab {
             .collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut v = TypeVocab {
-            by_type: HashMap::new(),
+            by_type: BTreeMap::new(),
             types: vec![PyType::Any],
         };
         for (key, _, ty) in entries {
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn vocab_build_order_and_unk() {
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         counts.insert("nodes".to_string(), 10);
         counts.insert("num".to_string(), 5);
         counts.insert("rare".to_string(), 1);
@@ -152,7 +154,7 @@ mod tests {
 
     #[test]
     fn vocab_max_size_truncates() {
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
             counts.insert(name.to_string(), 10 - i);
         }

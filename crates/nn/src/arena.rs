@@ -176,14 +176,14 @@ pub(crate) fn take(len: usize) -> Vec<f32> {
         }
         None => {
             FRESH.fetch_add(1, Relaxed);
-            if std::env::var_os("TYPILUS_ARENA_TRACE").is_some() {
+            if crate::config::arena_trace() {
                 eprintln!(
                     "arena: FRESH len={} class={} on {:?}",
                     len,
                     class_for_request(len),
                     std::thread::current().name().unwrap_or("?")
                 );
-                if std::env::var_os("TYPILUS_ARENA_TRACE_BT").is_some() {
+                if crate::config::arena_trace_backtrace() {
                     eprintln!("{}", std::backtrace::Backtrace::force_capture());
                 }
             }

@@ -1,0 +1,36 @@
+//! Parse-once environment configuration for the `nn` crate.
+//!
+//! Every environment input this crate honours is read here exactly
+//! once, on first use, and cached for the life of the process — the
+//! same discipline `par::configured_threads` (`TYPILUS_THREADS`) and
+//! `mode::kernel_mode` (`TYPILUS_NN_NAIVE`) already follow. Lint rule
+//! `D3` bans ad-hoc `std::env::var` reads everywhere else, so a flag's
+//! spelling, parsing and default live in exactly one place.
+
+use std::sync::OnceLock;
+
+/// Whether `TYPILUS_ARENA_TRACE` is set: log every arena allocation
+/// that misses both the thread-local pool and the shared backstop.
+pub fn arena_trace() -> bool {
+    static TRACE: OnceLock<bool> = OnceLock::new();
+    *TRACE.get_or_init(|| std::env::var_os("TYPILUS_ARENA_TRACE").is_some())
+}
+
+/// Whether `TYPILUS_ARENA_TRACE_BT` is set: include a backtrace with
+/// each [`arena_trace`] line to find the allocation site.
+pub fn arena_trace_backtrace() -> bool {
+    static TRACE_BT: OnceLock<bool> = OnceLock::new();
+    *TRACE_BT.get_or_init(|| std::env::var_os("TYPILUS_ARENA_TRACE_BT").is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_flags_are_stable_across_calls() {
+        // Cached after the first read: repeated calls agree.
+        assert_eq!(arena_trace(), arena_trace());
+        assert_eq!(arena_trace_backtrace(), arena_trace_backtrace());
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod config;
 pub mod layers;
 pub mod mode;
 pub mod optim;

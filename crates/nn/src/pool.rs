@@ -156,7 +156,11 @@ impl<P> Clone for SendPtr<P> {
         *self
     }
 }
+// SAFETY: the pointer targets a buffer owned by the dispatching call
+// frame, which outlives every stripe; stripes write disjoint indices.
 unsafe impl<P: Send> Send for SendPtr<P> {}
+// SAFETY: shared access is read-only (`get` copies the pointer); all
+// writes through it go to stripe-disjoint indices.
 unsafe impl<P: Send> Sync for SendPtr<P> {}
 
 impl<P> SendPtr<P> {
@@ -230,8 +234,9 @@ impl WorkerPool {
                     return;
                 }
                 let r = f(i, &items[i]);
-                // Disjoint by construction: index i is visited by
-                // exactly one stripe.
+                // SAFETY: index i is visited by exactly one stripe
+                // (i ≡ stripe mod w), so this write is disjoint from
+                // every other thread's; `slots` outlives `run`.
                 unsafe { *slot_ptr.get().add(i) = Some(r) };
                 i += w;
             }
@@ -274,8 +279,11 @@ impl WorkerPool {
                 if shared.cancel.load(SeqCst) {
                     return;
                 }
-                // Disjoint for the same reason as the result slots.
+                // SAFETY: stripe-disjoint for the same reason as the
+                // result slots — index i belongs to exactly one stripe,
+                // so no two threads alias this element.
                 let r = f(i, unsafe { &mut *item_ptr.get().add(i) });
+                // SAFETY: same disjointness; `slots` outlives `run`.
                 unsafe { *slot_ptr.get().add(i) = Some(r) };
                 i += w;
             }

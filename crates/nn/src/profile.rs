@@ -196,3 +196,30 @@ macro_rules! prof {
 }
 
 pub(crate) use prof;
+
+/// Runs one forward-op body, recording its wall-clock time and output
+/// size when the `nn-profile` feature is enabled; a plain call
+/// otherwise. Lives here (not in `tape`) so all wall-clock reads stay
+/// inside profiling code.
+#[inline]
+pub(crate) fn run_op(
+    kind: OpKind,
+    f: impl FnOnce() -> crate::tensor::Tensor,
+) -> crate::tensor::Tensor {
+    #[cfg(feature = "nn-profile")]
+    {
+        let start = std::time::Instant::now();
+        let out = f();
+        record(
+            kind,
+            start.elapsed().as_nanos() as u64,
+            (out.len() * 4) as u64,
+        );
+        out
+    }
+    #[cfg(not(feature = "nn-profile"))]
+    {
+        let _ = kind;
+        f()
+    }
+}

@@ -24,7 +24,7 @@
 use crate::arena;
 use crate::mode::{kernel_mode, KernelMode};
 use crate::params::{Gradients, ParamId, ParamSet};
-use crate::profile::{prof, OpKind};
+use crate::profile::{prof, run_op, OpKind};
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`].
@@ -90,28 +90,6 @@ enum Op {
 struct Node {
     value: Tensor,
     op: Op,
-}
-
-/// Runs one forward-op body, recording it in the profiler when the
-/// `nn-profile` feature is enabled.
-#[inline]
-fn run_op(kind: OpKind, f: impl FnOnce() -> Tensor) -> Tensor {
-    #[cfg(feature = "nn-profile")]
-    {
-        let start = std::time::Instant::now();
-        let out = f();
-        crate::profile::record(
-            kind,
-            start.elapsed().as_nanos() as u64,
-            (out.len() * 4) as u64,
-        );
-        out
-    }
-    #[cfg(not(feature = "nn-profile"))]
-    {
-        let _ = kind;
-        f()
-    }
 }
 
 /// Elementwise map into an arena-backed tensor.

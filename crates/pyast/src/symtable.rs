@@ -10,7 +10,7 @@
 use crate::ast::*;
 use crate::span::Span;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a scope within one [`SymbolTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -116,10 +116,12 @@ pub struct SymbolTable {
     scopes: Vec<Scope>,
     symbols: Vec<Symbol>,
     /// Occurrence start offset -> symbol. Spans of name tokens are unique
-    /// by their start offset within one file.
-    occurrence_index: HashMap<usize, SymbolId>,
-    /// Function-def node id -> return symbol.
-    return_symbols: HashMap<NodeId, SymbolId>,
+    /// by their start offset within one file. Ordered so a serialized
+    /// table is bit-stable.
+    occurrence_index: BTreeMap<usize, SymbolId>,
+    /// Function-def node id -> return symbol. Ordered for the same
+    /// reason.
+    return_symbols: BTreeMap<NodeId, SymbolId>,
 }
 
 impl SymbolTable {

@@ -12,7 +12,7 @@
 
 use crate::index::{self, Hit, PointStore, RpForest, RpForestConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use typilus_types::PyType;
 
 /// A scored candidate type.
@@ -180,7 +180,9 @@ impl TypeMap {
         }
         let config = config.effective();
         let hits = self.nearest(query, config.k);
-        let mut scores: HashMap<String, (PyType, f64)> = HashMap::new();
+        // Keyed in type-name order so accumulation and the collect
+        // below are deterministic (lint rule D1).
+        let mut scores: BTreeMap<String, (PyType, f64)> = BTreeMap::new();
         let mut z = 0.0f64;
         for h in hits {
             // d^{-p} with a floor so exact matches dominate but stay finite.

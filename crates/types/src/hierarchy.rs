@@ -9,7 +9,7 @@
 
 use crate::ty::PyType;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Maximum parametric nesting the lattice distinguishes; deeper structure
 /// is rewritten to `Any`, as in the paper.
@@ -21,8 +21,9 @@ pub const LATTICE_MAX_DEPTH: usize = 2;
 /// user-defined classes are added with [`TypeHierarchy::register_class`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TypeHierarchy {
-    /// name -> direct bases.
-    bases: HashMap<String, Vec<String>>,
+    /// name -> direct bases. Ordered so a serialized hierarchy is
+    /// bit-stable (the determinism contract's D1; see `typilus-lint`).
+    bases: BTreeMap<String, Vec<String>>,
 }
 
 impl Default for TypeHierarchy {
@@ -37,7 +38,7 @@ impl TypeHierarchy {
     /// standard exception classes.
     pub fn new() -> Self {
         let mut h = TypeHierarchy {
-            bases: HashMap::new(),
+            bases: BTreeMap::new(),
         };
         let edges: &[(&str, &[&str])] = &[
             ("object", &[]),

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Determinism check: the dynamic witness of the contract typilus-lint
+# enforces statically. Runs the example pipeline twice — once with 1
+# thread, once with 4 — and requires every produced artifact and every
+# prediction/evaluation output to be byte-identical. Run from anywhere;
+# operates on the repo root. Expects `cargo build --release` to have
+# run (tier1.sh orders it that way) but builds on demand otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+TYPILUS=target/release/typilus
+[ -x "$TYPILUS" ] || cargo build --release -p typilus-cli
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/typilus-detcheck.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Small but non-trivial scale: enough files/epochs that a stray
+# unordered reduction or map-order leak has room to show up.
+"$TYPILUS" gen-corpus --out "$WORK/corpus" --files 24 --seed 7
+
+run() { # run <threads> <outdir>
+    local threads=$1 out=$2
+    mkdir -p "$out"
+    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+        --model "$out/model.typilus" \
+        --epochs 2 --dim 16 --gnn-steps 2 --seed 7 >"$out/train.out"
+    find "$WORK/corpus" -name '*.py' | sort | head -8 |
+        TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
+            --model "$out/model.typilus" --top 3 >"$out/predict.out"
+    TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
+        --corpus "$WORK/corpus" >"$out/eval.out"
+}
+
+run 1 "$WORK/t1"
+run 4 "$WORK/t4"
+
+status=0
+for artifact in model.typilus predict.out eval.out; do
+    h1=$(sha256sum "$WORK/t1/$artifact" | cut -d' ' -f1)
+    h4=$(sha256sum "$WORK/t4/$artifact" | cut -d' ' -f1)
+    if [ "$h1" = "$h4" ]; then
+        echo "detcheck: $artifact OK ($h1)"
+    else
+        echo "detcheck: $artifact DIFFERS: 1-thread $h1 vs 4-thread $h4" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "detcheck: FAILED — results depend on thread count" >&2
+    exit "$status"
+fi
+echo "detcheck: OK"

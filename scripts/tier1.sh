@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, release build, full test suite (once
 # normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
-# env-driven thread resolution), clippy with warnings denied. Run from
-# anywhere; operates on the repo root.
+# env-driven thread resolution), the determinism lint, the dynamic
+# 1-vs-4-thread determinism check, clippy with warnings denied. Run
+# from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,8 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 TYPILUS_THREADS=2 cargo test -q
+cargo run -p typilus-lint --release
+scripts/detcheck.sh
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"
