@@ -237,6 +237,7 @@ fn main() {
         k.transpose_naive / k.transpose_fast.max(1e-12),
     );
     let out = typilus_bench::bench_out("BENCH_nn.json");
+    // lint: allow(D7) — advisory benchmark report, regenerated by rerunning; never read back by the pipeline
     std::fs::write(&out, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!("wrote {out}");

@@ -24,6 +24,10 @@ fn main() {
     println!("  files generated:           {}", corpus.files.len());
     println!("  near-duplicates detected:  {dups} (removed before training)");
     println!("  files after dedup:         {}", corpus.files.len() - dups);
+    println!("  unparseable files:         {}", stats.unparseable.len());
+    for (name, error) in &stats.unparseable {
+        println!("    skipped {name}: {error}");
+    }
     println!("  annotatable symbols:       {}", stats.symbols);
     println!("  usable annotations:        {}", stats.annotated);
     println!("  distinct annotated types:  {}", stats.distinct_types);

@@ -225,6 +225,7 @@ pub fn maybe_write_csv(name: &str, header: &str, rows: &[String]) {
         content.push_str(r);
         content.push('\n');
     }
+    // lint: allow(D7) — advisory CSV side output, regenerated by rerunning the bench; a torn file cannot corrupt any pipeline artifact
     if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, content)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {

@@ -4,9 +4,9 @@ use crate::args::{ArgError, Args};
 use std::error::Error;
 use std::path::Path;
 use typilus::{
-    evaluate_files, table2_row, train, Aggregation, CheckerProfile, EncoderKind, GraphConfig,
-    KnnConfig, LossKind, ModelConfig, NodeInit, Parallelism, PreparedCorpus, TrainedSystem,
-    TypilusConfig,
+    evaluate_files, table2_row, train_with_options, Aggregation, CheckerProfile, EncoderKind,
+    GraphConfig, KnnConfig, LossKind, ModelConfig, NodeInit, Parallelism, PreparedCorpus,
+    TrainError, TrainOptions, TrainedSystem, TypilusConfig,
 };
 use typilus_check::TypeChecker;
 use typilus_corpus::{generate, CorpusConfig};
@@ -25,7 +25,9 @@ USAGE:
                      [--loss class|space|typilus] [--epochs N] [--dim D]
                      [--gnn-steps T] [--lr F] [--seed S] [--threads N]
                      [--knn-k K] [--knn-p P] [--profile]
-  typilus predict    --model FILE [--top K] [--min-confidence F] [--check] PY_FILE...
+                     [--checkpoint-dir DIR] [--resume] [--kill-after-epoch N]
+  typilus predict    --model FILE [--top K] [--min-confidence F] [--check]
+                     [--out FILE] PY_FILE...
   typilus eval       --model FILE --corpus DIR [--common N] [--threads N]
   typilus audit      --model FILE --corpus DIR [--min-confidence F]
 
@@ -45,7 +47,17 @@ non-negative.
 
 `train --profile` prints arena allocation counters after training; when
 the binary is built with `--features nn-profile` it also prints a per-op
-kernel time/volume table."
+kernel time/volume table.
+
+Crash safety: with --checkpoint-dir, train writes an atomic,
+checksummed checkpoint after every epoch; --resume restarts from the
+newest valid checkpoint (corrupt ones are reported and skipped) and
+produces byte-identical artifacts to an uninterrupted run.
+--kill-after-epoch N aborts right after checkpointing epoch N (exit
+code 3) — the fault-injection hook used by scripts/detcheck.sh.
+
+Unparseable or empty .py files never abort a run: they are quarantined,
+counted and named on stderr, and the rest of the corpus proceeds."
     );
 }
 
@@ -91,6 +103,12 @@ fn load_prepared(
         data.split.valid.len(),
         data.split.test.len()
     );
+    if !data.quarantine.is_empty() {
+        eprintln!("warning: {}", data.quarantine.summary());
+        for (name, reason) in &data.quarantine.skipped {
+            eprintln!("  skipped {name}: {reason}");
+        }
+    }
     Ok(data)
 }
 
@@ -111,7 +129,7 @@ pub fn gen_corpus(args: &Args) -> CmdResult {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(&path, &f.source)?;
+        typilus::atomic_io::write_atomic(&path, f.source.as_bytes())?;
     }
     let planted: usize = corpus.files.iter().map(|f| f.injected_errors.len()).sum();
     println!(
@@ -183,7 +201,25 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         typilus_nn::reset_profile();
         typilus_nn::reset_arena_stats();
     }
-    let system = train(&data, &config);
+    let opts = TrainOptions {
+        checkpoint_dir: args.get("checkpoint-dir").map(Into::into),
+        resume: args.has_flag("resume"),
+        kill_after_epoch: match args.get("kill-after-epoch") {
+            Some(_) => Some(args.get_parsed("kill-after-epoch", 0usize)?),
+            None => None,
+        },
+    };
+    let system = match train_with_options(&data, &config, &opts) {
+        Ok(system) => system,
+        Err(TrainError::Killed { epoch }) => {
+            // The checkpoint for `epoch` is already on disk; a
+            // distinctive exit code lets harnesses assert the kill
+            // actually happened before they resume.
+            eprintln!("train: killed after epoch {epoch} (checkpoint written)");
+            std::process::exit(3);
+        }
+        Err(e) => return Err(e.into()),
+    };
     for e in &system.epochs {
         eprintln!(
             "epoch {:>3}: loss {:.4} ({:.1}s)",
@@ -216,19 +252,22 @@ pub fn train_cmd(args: &Args) -> CmdResult {
 
 /// `typilus predict`
 pub fn predict_cmd(args: &Args) -> CmdResult {
+    use std::fmt::Write as _;
     let model_path = args.require("model")?;
     let top = args.get_parsed("top", 3usize)?;
     let min_confidence = args.get_parsed("min-confidence", 0.0f32)?;
     let run_checker = args.has_flag("check");
+    let out_path = args.get("out");
     let files = &args.positionals()[1..];
     if files.is_empty() {
         return Err("predict needs at least one .py file".into());
     }
     let system = TrainedSystem::load(model_path)?;
     let checker = TypeChecker::new(CheckerProfile::Mypy);
+    let mut report = String::new();
     for file in files {
         let source = std::fs::read_to_string(file)?;
-        println!("== {file}");
+        writeln!(report, "== {file}")?;
         let predictions = system.predict_source(&source)?;
         // For the optional checker filter we need the parsed module.
         let parsed = typilus_pyast::parse(&source)?;
@@ -255,13 +294,20 @@ pub fn predict_cmd(args: &Args) -> CmdResult {
             if shown.is_empty() {
                 continue;
             }
-            println!(
+            writeln!(
+                report,
                 "  {:<20} {:<10} {}",
                 p.name,
                 format!("{:?}", p.kind),
                 shown.join(", ")
-            );
+            )?;
         }
+    }
+    match out_path {
+        // A prediction artifact on disk goes through the same
+        // atomic-write path as models: no torn half-report on crash.
+        Some(path) => typilus::atomic_io::write_atomic(Path::new(path), report.as_bytes())?,
+        None => print!("{report}"),
     }
     Ok(())
 }

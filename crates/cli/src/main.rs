@@ -15,7 +15,7 @@ use args::Args;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(raw, &["check", "help", "profile"]) {
+    let parsed = match Args::parse(raw, &["check", "help", "profile", "resume"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,218 @@
+//! Epoch-boundary training checkpoints.
+//!
+//! After each epoch, [`crate::pipeline::train_with_options`] can
+//! persist everything the loop needs to continue — model parameters,
+//! Adam moments, the epoch cursor and the per-epoch stats so far —
+//! through [`crate::atomic_io`], one file per epoch
+//! (`epoch-0003.ckpt`). Because batching and reduction order are
+//! deterministic at any thread count, a run killed after any epoch and
+//! resumed from its checkpoint produces byte-identical artifacts to an
+//! uninterrupted run.
+//!
+//! [`scan`] finds the newest checkpoint whose integrity footer,
+//! header and payload all verify; corrupt or partial files are
+//! reported and skipped, so resume falls back to the latest valid one.
+
+use crate::atomic_io;
+use crate::persist::PersistError;
+use crate::pipeline::{EpochStats, TypilusConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use typilus_models::TypeModel;
+use typilus_nn::Adam;
+
+/// Magic bytes at the start of every checkpoint payload.
+const MAGIC: &[u8; 8] = b"TYPCKPT\0";
+/// Bump when the checkpoint layout changes.
+const VERSION: u32 = 1;
+
+/// A training checkpoint: the full state of the epoch loop after
+/// `epochs_done` epochs.
+#[derive(Debug, Clone, Deserialize)]
+pub struct Checkpoint {
+    /// Number of completed epochs (the resume cursor).
+    pub epochs_done: usize,
+    /// The config of the run that wrote the checkpoint. Resume refuses
+    /// to continue under a different config.
+    pub config: TypilusConfig,
+    /// Model weights and vocabularies after `epochs_done` epochs.
+    pub model: TypeModel,
+    /// Optimizer state (Adam moments and step counter).
+    pub optimizer: Adam,
+    /// Stats of the completed epochs.
+    pub stats: Vec<EpochStats>,
+}
+
+/// Borrowed view with the same serbin layout as [`Checkpoint`], so the
+/// training loop can write a checkpoint without cloning the model.
+/// (Manual impl: the vendored serde_derive does not handle lifetimes.)
+struct CheckpointRef<'a> {
+    epochs_done: usize,
+    config: &'a TypilusConfig,
+    model: &'a TypeModel,
+    optimizer: &'a Adam,
+    stats: &'a [EpochStats],
+}
+
+impl Serialize for CheckpointRef<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        // Field order and count MUST match the derived Deserialize of
+        // [`Checkpoint`]: serbin structs are bare field concatenation.
+        let mut st = serializer.serialize_struct("Checkpoint", 5)?;
+        st.serialize_field("epochs_done", &self.epochs_done)?;
+        st.serialize_field("config", self.config)?;
+        st.serialize_field("model", self.model)?;
+        st.serialize_field("optimizer", self.optimizer)?;
+        st.serialize_field("stats", self.stats)?;
+        st.end()
+    }
+}
+
+/// File name of the checkpoint written after `epochs_done` epochs.
+pub fn file_name(epochs_done: usize) -> String {
+    format!("epoch-{epochs_done:04}.ckpt")
+}
+
+/// Parses `epochs_done` back out of a checkpoint file name.
+fn parse_file_name(name: &str) -> Option<usize> {
+    name.strip_prefix("epoch-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+/// Writes the checkpoint for `epochs_done` completed epochs into `dir`
+/// (created if missing), atomically and checksummed. Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Propagates filesystem and codec errors.
+pub fn write(
+    dir: &Path,
+    epochs_done: usize,
+    config: &TypilusConfig,
+    model: &TypeModel,
+    optimizer: &Adam,
+    stats: &[EpochStats],
+) -> Result<PathBuf, PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(MAGIC);
+    payload.extend_from_slice(&VERSION.to_le_bytes());
+    payload.extend_from_slice(&typilus_serbin::to_bytes(&CheckpointRef {
+        epochs_done,
+        config,
+        model,
+        optimizer,
+        stats,
+    })?);
+    let path = dir.join(file_name(epochs_done));
+    atomic_io::write_artifact(&path, &payload)?;
+    Ok(path)
+}
+
+/// Loads and fully validates one checkpoint file.
+///
+/// # Errors
+///
+/// Filesystem errors, the typed corruption errors of
+/// [`atomic_io::read_artifact`], wrong magic/version, and codec errors.
+pub fn load(path: &Path) -> Result<Checkpoint, PersistError> {
+    let payload = atomic_io::read_artifact(path)?;
+    if payload.len() < MAGIC.len() + 4 || &payload[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::NotATypilusArtefact);
+    }
+    let mut ver = [0u8; 4];
+    ver.copy_from_slice(&payload[MAGIC.len()..MAGIC.len() + 4]);
+    let found = u32::from_le_bytes(ver);
+    if found != VERSION {
+        return Err(PersistError::VersionMismatch {
+            found,
+            expected: VERSION,
+        });
+    }
+    Ok(typilus_serbin::from_bytes(&payload[MAGIC.len() + 4..])?)
+}
+
+/// Result of scanning a checkpoint directory.
+#[derive(Debug)]
+pub struct Scan {
+    /// The newest checkpoint that loaded and verified, if any.
+    pub latest: Option<(PathBuf, Checkpoint)>,
+    /// Checkpoint files that were rejected (corrupt, truncated, wrong
+    /// version), newest first — resume skipped past these.
+    pub skipped: Vec<(PathBuf, PersistError)>,
+}
+
+/// Finds the latest valid checkpoint in `dir`, skipping corrupt or
+/// partial ones. A missing directory scans as empty. Files that do not
+/// match the `epoch-NNNN.ckpt` naming (e.g. orphaned `.*.tmp` files
+/// from an interrupted atomic write) are ignored entirely.
+///
+/// # Errors
+///
+/// Only directory-listing failures; per-file problems land in
+/// [`Scan::skipped`].
+pub fn scan(dir: &Path) -> Result<Scan, PersistError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Scan {
+                latest: None,
+                skipped: Vec::new(),
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut candidates: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(epochs_done) = parse_file_name(&name.to_string_lossy()) {
+            candidates.push((epochs_done, entry.path()));
+        }
+    }
+    // Newest first; the name embeds the epoch cursor, so this is a
+    // deterministic order whatever read_dir returned.
+    candidates.sort_by(|a, b| b.cmp(a));
+    let mut skipped = Vec::new();
+    for (_, path) in candidates {
+        match load(&path) {
+            Ok(checkpoint) => {
+                return Ok(Scan {
+                    latest: Some((path, checkpoint)),
+                    skipped,
+                })
+            }
+            Err(e) => skipped.push((path, e)),
+        }
+    }
+    Ok(Scan {
+        latest: None,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_round_trip_and_sort() {
+        assert_eq!(file_name(3), "epoch-0003.ckpt");
+        assert_eq!(parse_file_name("epoch-0003.ckpt"), Some(3));
+        assert_eq!(parse_file_name("epoch-12345.ckpt"), Some(12345));
+        assert_eq!(parse_file_name(".epoch-0003.ckpt.tmp"), None);
+        assert_eq!(parse_file_name("model.typilus"), None);
+        assert!(file_name(2) < file_name(10));
+    }
+
+    #[test]
+    fn scan_of_missing_dir_is_empty() {
+        let scan = scan(Path::new("/nonexistent/typilus_ckpt_dir")).unwrap();
+        assert!(scan.latest.is_none());
+        assert!(scan.skipped.is_empty());
+    }
+}

@@ -1,5 +1,7 @@
 //! Corpus preparation: parse, deduplicate, build graphs, split.
 
+use std::collections::BTreeMap;
+use std::fmt;
 use typilus_corpus::{deduplicate, split_with, Corpus, Split, DEFAULT_THRESHOLD};
 use typilus_graph::{build_graph, GraphConfig, ProgramGraph};
 use typilus_pyast::{parse, Parsed, StmtKind, SymbolTable};
@@ -20,6 +22,74 @@ pub struct SourceFile {
     pub graph: ProgramGraph,
 }
 
+/// Why a source file was excluded from the prepared corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The file is not valid Python; carries the parse error text.
+    ParseError(String),
+    /// The file parsed but produced an empty program graph (nothing to
+    /// train or predict on).
+    EmptyGraph,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::ParseError(e) => write!(f, "parse error: {e}"),
+            SkipReason::EmptyGraph => write!(f, "empty program graph"),
+        }
+    }
+}
+
+/// Files excluded during corpus preparation, keyed by file name
+/// (`BTreeMap`, so every report over it is deterministic). The
+/// pipeline degrades gracefully — one unparseable file never aborts
+/// ingestion — but what was skipped is named, never hidden.
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    /// Skipped file name → why it was skipped.
+    pub skipped: BTreeMap<String, SkipReason>,
+}
+
+impl Quarantine {
+    /// Number of quarantined files.
+    pub fn len(&self) -> usize {
+        self.skipped.len()
+    }
+
+    /// Whether every file survived preparation.
+    pub fn is_empty(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// Number of files skipped for parse errors.
+    pub fn parse_errors(&self) -> usize {
+        self.skipped
+            .values()
+            .filter(|r| matches!(r, SkipReason::ParseError(_)))
+            .count()
+    }
+
+    /// Number of files skipped for empty graphs.
+    pub fn empty_graphs(&self) -> usize {
+        self.skipped
+            .values()
+            .filter(|r| matches!(r, SkipReason::EmptyGraph))
+            .count()
+    }
+
+    /// One-line summary, e.g. `"2 files quarantined (1 parse error, 1
+    /// empty graph)"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} files quarantined ({} parse errors, {} empty graphs)",
+            self.len(),
+            self.parse_errors(),
+            self.empty_graphs()
+        )
+    }
+}
+
 /// A corpus parsed, deduplicated and split, ready for training.
 #[derive(Debug, Clone)]
 pub struct PreparedCorpus {
@@ -27,6 +97,8 @@ pub struct PreparedCorpus {
     pub files: Vec<SourceFile>,
     /// Train/valid/test indices into `files`.
     pub split: Split,
+    /// Files dropped during preparation, with typed reasons.
+    pub quarantine: Quarantine,
 }
 
 impl PreparedCorpus {
@@ -57,7 +129,11 @@ impl PreparedCorpus {
             .map(|n| n.get())
             .unwrap_or(1);
         let chunk_size = kept.len().div_ceil(threads).max(1);
-        let mut per_chunk: Vec<Vec<SourceFile>> = Vec::new();
+        // Each extraction result is either a usable file or a typed
+        // skip reason: a broken file degrades to a quarantine entry
+        // instead of silently vanishing (or killing the worker).
+        type Extracted = Result<SourceFile, (String, SkipReason)>;
+        let mut per_chunk: Vec<Vec<Extracted>> = Vec::new();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = kept
                 .chunks(chunk_size)
@@ -65,12 +141,25 @@ impl PreparedCorpus {
                     scope.spawn(move |_| {
                         chunk
                             .iter()
-                            .filter_map(|&idx| {
+                            .map(|&idx| {
                                 let (name, source) = named_sources[idx];
-                                let parsed = parse(source).ok()?;
+                                let parsed = match parse(source) {
+                                    Ok(parsed) => parsed,
+                                    Err(e) => {
+                                        return Err((
+                                            name.to_string(),
+                                            SkipReason::ParseError(e.to_string()),
+                                        ))
+                                    }
+                                };
                                 let table = SymbolTable::build(&parsed.module);
                                 let graph = build_graph(&parsed, &table, graph_config, name);
-                                Some(SourceFile {
+                                // An empty or comment-only file builds just the
+                                // module-root node: nothing to train on.
+                                if graph.node_count() <= 1 {
+                                    return Err((name.to_string(), SkipReason::EmptyGraph));
+                                }
+                                Ok(SourceFile {
                                     name: name.to_string(),
                                     source: source.to_string(),
                                     parsed,
@@ -78,7 +167,7 @@ impl PreparedCorpus {
                                     graph,
                                 })
                             })
-                            .collect::<Vec<SourceFile>>()
+                            .collect::<Vec<Extracted>>()
                     })
                 })
                 .collect();
@@ -87,9 +176,22 @@ impl PreparedCorpus {
             }
         })
         .expect("extraction scope panicked");
-        let files: Vec<SourceFile> = per_chunk.into_iter().flatten().collect();
+        let mut files = Vec::new();
+        let mut quarantine = Quarantine::default();
+        for extracted in per_chunk.into_iter().flatten() {
+            match extracted {
+                Ok(file) => files.push(file),
+                Err((name, reason)) => {
+                    quarantine.skipped.insert(name, reason);
+                }
+            }
+        }
         let split = split_with(files.len(), seed, 0.7, 0.1);
-        PreparedCorpus { files, split }
+        PreparedCorpus {
+            files,
+            split,
+            quarantine,
+        }
     }
 
     /// Graphs of the given file indices.
@@ -151,6 +253,44 @@ mod tests {
         for f in &prepared.files {
             assert!(f.graph.node_count() > 0, "{} has an empty graph", f.name);
         }
+    }
+
+    #[test]
+    fn broken_files_are_quarantined_with_typed_reasons() {
+        let named = [
+            ("good.py", "def f(x: int) -> int:\n    return x\n"),
+            ("broken.py", "def f(:\n"),
+            ("empty.py", ""),
+        ];
+        let prepared = PreparedCorpus::from_sources(&named, &GraphConfig::default(), 0);
+        assert_eq!(prepared.files.len(), 1);
+        assert_eq!(prepared.files[0].name, "good.py");
+        assert_eq!(prepared.quarantine.len(), 2);
+        assert!(matches!(
+            prepared.quarantine.skipped.get("broken.py"),
+            Some(SkipReason::ParseError(_))
+        ));
+        assert_eq!(
+            prepared.quarantine.skipped.get("empty.py"),
+            Some(&SkipReason::EmptyGraph)
+        );
+        assert_eq!(prepared.quarantine.parse_errors(), 1);
+        assert_eq!(prepared.quarantine.empty_graphs(), 1);
+        assert_eq!(
+            prepared.quarantine.summary(),
+            "2 files quarantined (1 parse errors, 1 empty graphs)"
+        );
+    }
+
+    #[test]
+    fn clean_corpus_has_empty_quarantine() {
+        let corpus = generate(&CorpusConfig {
+            files: 8,
+            seed: 2,
+            ..CorpusConfig::default()
+        });
+        let prepared = PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 0);
+        assert!(prepared.quarantine.is_empty());
     }
 
     #[test]

@@ -38,21 +38,25 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic_io;
+pub mod checkpoint;
 pub mod data;
+pub mod faults;
 pub mod metrics;
 pub mod persist;
 pub mod pipeline;
 pub mod suggest;
 pub mod typecheck_eval;
 
-pub use data::{PreparedCorpus, SourceFile};
+pub use data::{PreparedCorpus, Quarantine, SkipReason, SourceFile};
 pub use metrics::{
     by_annotation_count, by_kind, default_thresholds, evaluate_files, pr_curve, table2_row,
     Criterion, EvalExample, KindBreakdown, MatchRates, PrPoint, Table2Row,
 };
 pub use persist::PersistError;
 pub use pipeline::{
-    train, EpochStats, Parallelism, SymbolPrediction, TrainedSystem, TypilusConfig,
+    train, train_with_options, EpochStats, Parallelism, SymbolPrediction, TrainError, TrainOptions,
+    TrainedSystem, TypilusConfig,
 };
 pub use suggest::{SuggestOptions, Suggestion};
 pub use typecheck_eval::{

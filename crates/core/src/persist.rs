@@ -32,6 +32,25 @@ pub enum PersistError {
     },
     /// Encoding/decoding failure.
     Codec(typilus_serbin::Error),
+    /// The file lacks the integrity footer every checksummed artifact
+    /// ends with — a torn write lost the tail, or the file predates
+    /// the footer.
+    MissingFooter,
+    /// The footer is intact but the payload is shorter or longer than
+    /// the length it records — the file was truncated or spliced.
+    Truncated {
+        /// Payload length recorded in the footer.
+        expected: u64,
+        /// Payload length actually present.
+        found: u64,
+    },
+    /// The payload fails its CRC-64 — bit rot or an in-place overwrite.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -43,6 +62,24 @@ impl fmt::Display for PersistError {
                 write!(f, "artefact version {found}, this build expects {expected}")
             }
             PersistError::Codec(e) => write!(f, "codec error: {e}"),
+            PersistError::MissingFooter => {
+                write!(
+                    f,
+                    "missing integrity footer (torn write or pre-checksum file)"
+                )
+            }
+            PersistError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated artefact: footer records {expected} payload bytes, found {found}"
+                )
+            }
+            PersistError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artefact checksum mismatch: footer records {expected:#018x}, computed {found:#018x}"
+                )
+            }
         }
     }
 }
@@ -97,23 +134,25 @@ impl TrainedSystem {
         Ok(typilus_serbin::from_bytes(&bytes[MAGIC.len() + 4..])?)
     }
 
-    /// Saves the system to a file.
+    /// Saves the system to a file atomically (write-temp → fsync →
+    /// rename) with an integrity footer; see [`crate::atomic_io`].
     ///
     /// # Errors
     ///
     /// Propagates filesystem and codec errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_bytes()?)?;
-        Ok(())
+        crate::atomic_io::write_artifact(path, &self.to_bytes()?)
     }
 
-    /// Loads a system from a file saved with [`TrainedSystem::save`].
+    /// Loads a system from a file saved with [`TrainedSystem::save`],
+    /// verifying its integrity footer first.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem, format and codec errors.
+    /// Propagates filesystem, corruption (truncation, checksum,
+    /// missing footer), format and codec errors.
     pub fn load(path: impl AsRef<Path>) -> Result<TrainedSystem, PersistError> {
-        let bytes = std::fs::read(path)?;
+        let bytes = crate::atomic_io::read_artifact(path)?;
         TrainedSystem::from_bytes(&bytes)
     }
 }

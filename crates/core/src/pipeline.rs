@@ -4,11 +4,13 @@
 //! checker.
 
 use crate::data::{PreparedCorpus, SourceFile};
+use crate::persist::PersistError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
+use std::path::PathBuf;
 use typilus_graph::GraphConfig;
 use typilus_models::{LossKind, ModelConfig, PreparedFile, TypeModel};
 use typilus_nn::{
@@ -200,23 +202,173 @@ pub struct TrainedSystem {
     pub pool: PoolCell,
 }
 
+/// Crash-safety options of a training run; see
+/// [`train_with_options`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Where to persist a checkpoint after every epoch (created if
+    /// missing). `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Restart from the latest valid checkpoint in `checkpoint_dir`
+    /// instead of from scratch. Corrupt or partial checkpoints are
+    /// skipped; if none is valid the run starts fresh with a warning.
+    pub resume: bool,
+    /// Fault injection: stop with [`TrainError::Killed`] right after
+    /// the checkpoint of this epoch (0-based) is written, simulating a
+    /// crash at an epoch boundary.
+    pub kill_after_epoch: Option<usize>,
+}
+
+/// Errors of a checkpointed training run.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(PersistError),
+    /// `resume` was requested without a `checkpoint_dir`.
+    ResumeWithoutDir,
+    /// The latest valid checkpoint was written under a different
+    /// config; resuming would silently train a different model.
+    ConfigMismatch {
+        /// The offending checkpoint.
+        path: PathBuf,
+    },
+    /// The injected kill fired after this epoch's checkpoint was
+    /// written (see [`TrainOptions::kill_after_epoch`]).
+    Killed {
+        /// The completed epoch the run was killed after.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::ResumeWithoutDir => {
+                write!(f, "--resume requires a checkpoint directory")
+            }
+            TrainError::ConfigMismatch { path } => write!(
+                f,
+                "checkpoint {} was written with a different training config",
+                path.display()
+            ),
+            TrainError::Killed { epoch } => {
+                write!(f, "training killed by injected fault after epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
 /// Trains a system on the prepared corpus' training split.
 pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
+    match train_with_options(data, config, &TrainOptions::default()) {
+        Ok(system) => system,
+        // Without checkpointing or fault injection no error path is
+        // reachable.
+        Err(e) => unreachable!("train without checkpointing cannot fail: {e}"),
+    }
+}
+
+/// Trains a system with crash-safety options: per-epoch checkpoints,
+/// resume from the latest valid checkpoint, and an injectable
+/// epoch-boundary kill.
+///
+/// A resumed run is **byte-identical** to an uninterrupted one:
+/// batching and reduction order are deterministic at any thread count,
+/// the RNG replays the shuffles of completed epochs, and optimizer
+/// state round-trips exactly (fixed-width little-endian float bits).
+///
+/// # Errors
+///
+/// Checkpoint I/O and validation errors, plus [`TrainError::Killed`]
+/// when the injected kill fires.
+pub fn train_with_options(
+    data: &PreparedCorpus,
+    config: &TypilusConfig,
+    opts: &TrainOptions,
+) -> Result<TrainedSystem, TrainError> {
+    // Resume: find the newest checkpoint that verifies, skipping (and
+    // reporting) corrupt or partial ones.
+    let mut resumed = None;
+    if opts.resume {
+        let dir = opts
+            .checkpoint_dir
+            .as_deref()
+            .ok_or(TrainError::ResumeWithoutDir)?;
+        let scan = crate::checkpoint::scan(dir)?;
+        for (path, err) in &scan.skipped {
+            eprintln!(
+                "warning: skipping invalid checkpoint {}: {err}",
+                path.display()
+            );
+        }
+        match scan.latest {
+            Some((path, checkpoint)) => {
+                // Machine-local execution policy (thread counts) is
+                // serialized as auto-detect, so this comparison only
+                // sees model-relevant config.
+                let ours = typilus_serbin::to_bytes(config).map_err(PersistError::from)?;
+                let theirs =
+                    typilus_serbin::to_bytes(&checkpoint.config).map_err(PersistError::from)?;
+                if ours != theirs {
+                    return Err(TrainError::ConfigMismatch { path });
+                }
+                eprintln!(
+                    "resuming from {} ({}/{} epochs done)",
+                    path.display(),
+                    checkpoint.epochs_done,
+                    config.epochs
+                );
+                resumed = Some(checkpoint);
+            }
+            None => eprintln!(
+                "warning: --resume found no valid checkpoint in {}; training from scratch",
+                dir.display()
+            ),
+        }
+    }
+
     // One pool for the whole run: its workers — and their thread-local
     // buffer arenas — survive across batches and epochs, and are handed
     // to the returned system for batch prediction.
     let pool = WorkerPool::new(config.parallelism.resolve());
-    let train_graphs = data.graphs_of(&data.split.train);
-    let model = TypeModel::new(config.model, &train_graphs);
+    let (mut model, mut optimizer, mut epoch_stats, start_epoch) = match resumed {
+        Some(checkpoint) => (
+            checkpoint.model,
+            checkpoint.optimizer,
+            checkpoint.stats,
+            checkpoint.epochs_done,
+        ),
+        None => {
+            let train_graphs = data.graphs_of(&data.split.train);
+            (
+                TypeModel::new(config.model, &train_graphs),
+                Adam::new(config.lr),
+                Vec::with_capacity(config.epochs),
+                0,
+            )
+        }
+    };
 
     // Prepare every file once, fanning the per-file work across the pool.
     let prepared: Vec<PreparedFile> = pool.map_ordered(&data.files, |_, f| model.prepare(&f.graph));
 
-    let mut optimizer = Adam::new(config.lr);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut model = model;
-    let mut epoch_stats = Vec::with_capacity(config.epochs);
-    for epoch in 0..config.epochs {
+    // Replay the shuffles of already-completed epochs so the resumed
+    // run sees exactly the batch order the uninterrupted run would.
+    for _ in 0..start_epoch {
+        let mut order = data.split.train.clone();
+        order.shuffle(&mut rng);
+    }
+    for epoch in start_epoch..config.epochs {
         // lint: allow(D6) — per-epoch wall-clock is operator feedback
         // only; EpochStats::serialize zeroes it out of the artifact
         let start = std::time::Instant::now();
@@ -224,6 +376,11 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         order.shuffle(&mut rng);
         let mut losses = Vec::new();
         for chunk in order.chunks(config.batch_size.max(1)) {
+            // Failpoint: a crash between epoch boundaries, for the
+            // fault-injection suite (no-op without `--features faults`).
+            if let Some(fault) = crate::faults::check("train.batch") {
+                fault.trigger_panic("train.batch");
+            }
             let batch: Vec<&PreparedFile> = chunk.iter().map(|&i| &prepared[i]).collect();
             if let Some((loss, grads)) = model.train_step_parallel(&batch, &pool) {
                 if loss.is_finite() {
@@ -242,6 +399,12 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
             mean_loss,
             seconds: start.elapsed().as_secs_f64(),
         });
+        if let Some(dir) = opts.checkpoint_dir.as_deref() {
+            crate::checkpoint::write(dir, epoch + 1, config, &model, &optimizer, &epoch_stats)?;
+        }
+        if opts.kill_after_epoch == Some(epoch) {
+            return Err(TrainError::Killed { epoch });
+        }
     }
 
     // Type map over the training + validation annotations (as in the
@@ -286,7 +449,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     let mut hierarchy = TypeHierarchy::new();
     data.register_classes(&mut hierarchy);
 
-    TrainedSystem {
+    Ok(TrainedSystem {
         model,
         type_map,
         hierarchy,
@@ -294,7 +457,7 @@ pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
         config: *config,
         epochs: epoch_stats,
         pool: PoolCell::with(pool),
-    }
+    })
 }
 
 impl TrainedSystem {

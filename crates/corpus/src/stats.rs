@@ -27,6 +27,11 @@ pub struct CorpusStats {
     pub parametric_fraction: f64,
     /// Annotation counts per type, most frequent first.
     pub type_counts: Vec<(String, usize)>,
+    /// Files that failed to parse, file name → parse error
+    /// (`BTreeMap`, so reports over it are deterministic). These files
+    /// contribute nothing to the counts above — but they are named,
+    /// not silently dropped.
+    pub unparseable: BTreeMap<String, String>,
 }
 
 /// Computes statistics over the (non-duplicate) files of a corpus.
@@ -39,10 +44,15 @@ pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
     let mut annotated = 0usize;
     let mut parametric = 0usize;
     let mut files = 0usize;
+    let mut unparseable: BTreeMap<String, String> = BTreeMap::new();
     for f in corpus.files.iter().filter(|f| !f.is_duplicate) {
         files += 1;
-        let Ok(parsed) = parse(&f.source) else {
-            continue;
+        let parsed = match parse(&f.source) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                unparseable.insert(f.name.clone(), e.to_string());
+                continue;
+            }
         };
         let table = SymbolTable::build(&parsed.module);
         for s in table.annotatable_symbols() {
@@ -80,6 +90,7 @@ pub fn corpus_stats(corpus: &Corpus, rare_threshold: usize) -> CorpusStats {
         rare_threshold,
         parametric_fraction: ratio(parametric, annotated),
         type_counts,
+        unparseable,
     }
 }
 
@@ -120,6 +131,24 @@ mod tests {
             "parametric = {}",
             stats.parametric_fraction
         );
+    }
+
+    #[test]
+    fn unparseable_files_are_counted_and_named() {
+        let mut corpus = generate(&CorpusConfig {
+            files: 6,
+            seed: 3,
+            ..CorpusConfig::default()
+        });
+        corpus.files[2].source = "def broken(:\n".to_string();
+        let stats = corpus_stats(&corpus, 5);
+        assert_eq!(stats.unparseable.len(), 1);
+        let (name, error) = stats.unparseable.iter().next().unwrap();
+        assert_eq!(name, &corpus.files[2].name);
+        assert!(!error.is_empty());
+        // The broken file still counts as a file, just contributes no
+        // symbols.
+        assert_eq!(stats.files, 6);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum Rule {
     /// Wall-clock (`Instant::now`, `SystemTime`, `thread::sleep`) in a
     /// deterministic result path.
     D6,
+    /// Direct artifact write (`std::fs::write`, `File::create`) outside
+    /// the designated atomic-I/O module: a crash mid-write leaves a
+    /// torn, checksum-less file.
+    D7,
     /// Malformed `// lint: allow(...)` suppression (unknown rule name or
     /// missing justification).
     Allow,
@@ -35,6 +39,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::Allow => "allow",
         }
     }
@@ -49,6 +54,7 @@ impl Rule {
             "D4" => Rule::D4,
             "D5" => Rule::D5,
             "D6" => Rule::D6,
+            "D7" => Rule::D7,
             _ => return None,
         })
     }

@@ -39,6 +39,8 @@ pub struct FileClass {
     pub env_module: bool,
     /// Bench/profile code: D6 is off.
     pub timing_exempt: bool,
+    /// Designated atomic artifact-I/O module: D7 is off.
+    pub artifact_io_module: bool,
 }
 
 /// Modules allowed to read process environment variables (rule D3).
@@ -49,6 +51,14 @@ pub const ENV_MODULES: &[&str] = &[
     "crates/nn/src/mode.rs",   // TYPILUS_NN_NAIVE (resolve-once)
     "crates/nn/src/config.rs", // arena trace toggles (read-once)
     "crates/bench/src/lib.rs", // bench scale/output knobs
+];
+
+/// Modules allowed to open files for writing directly (rule D7). All
+/// artifact writes elsewhere must go through the atomic, checksummed
+/// writer this module exports — a crash mid-`std::fs::write` leaves a
+/// torn file that nothing can detect.
+pub const ARTIFACT_IO_MODULES: &[&str] = &[
+    "crates/core/src/atomic_io.rs", // the atomic writer itself
 ];
 
 impl FileClass {
@@ -62,10 +72,12 @@ impl FileClass {
         let timing_exempt = path.starts_with("crates/bench/")
             || path.ends_with("/profile.rs")
             || path.contains("/benches/");
+        let artifact_io_module = ARTIFACT_IO_MODULES.contains(&path);
         FileClass {
             test,
             env_module,
             timing_exempt,
+            artifact_io_module,
         }
     }
 }

@@ -62,6 +62,7 @@ pub fn run_all(cx: &FileCx, diags: &mut Vec<Diagnostic>) {
     rule_d4_unwrap_in_workers(cx, diags);
     rule_d5_undocumented_unsafe(cx, diags);
     rule_d6_wall_clock(cx, diags);
+    rule_d7_artifact_writes(cx, diags);
 }
 
 fn push(cx: &FileCx, diags: &mut Vec<Diagnostic>, line: u32, rule: Rule, message: String) {
@@ -577,6 +578,54 @@ fn rule_d5_undocumented_unsafe(cx: &FileCx, diags: &mut Vec<Diagnostic>) {
                     .to_string(),
             );
         }
+    }
+}
+
+/// D7: direct file writes (`fs::write`, `File::create`) outside the
+/// designated atomic-I/O module (see
+/// [`crate::engine::ARTIFACT_IO_MODULES`]). A crash between `create`
+/// and the final byte leaves a torn, checksum-less artifact; writes
+/// must go through the write-temp → fsync → rename path.
+fn rule_d7_artifact_writes(cx: &FileCx, diags: &mut Vec<Diagnostic>) {
+    if cx.class.artifact_io_module {
+        return;
+    }
+    let code = &cx.code;
+    for i in 3..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `fs::write(...)` / `File::create(...)` — with or without a
+        // longer `std::fs::` path prefix (collect_hash_names-style
+        // prefixes all end in the same two tokens).
+        let (qualifier, is_write_site) = match t.text {
+            "write" => ("fs", true),
+            "create" | "create_new" => ("File", true),
+            _ => ("", false),
+        };
+        if !is_write_site
+            || code[i - 1].text != ":"
+            || code[i - 2].text != ":"
+            || !is_ident(&code[i - 3], qualifier)
+            || code.get(i + 1).map(|x| x.text) != Some("(")
+        {
+            continue;
+        }
+        push(
+            cx,
+            diags,
+            t.line,
+            Rule::D7,
+            format!(
+                "direct `{}::{}` artifact write: a crash mid-write leaves a torn, \
+                 checksum-less file — route it through the atomic writer ({}), or \
+                 allow with a why if the output is advisory",
+                qualifier,
+                t.text,
+                crate::engine::ARTIFACT_IO_MODULES.join(", ")
+            ),
+        );
     }
 }
 

@@ -276,6 +276,73 @@ fn stamp() -> std::time::Instant {
     assert!(d.is_empty(), "{d:?}");
 }
 
+// ---------------------------------------------------------------- D7
+
+#[test]
+fn d7_fires_on_direct_fs_write() {
+    let src = r#"
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D7, 3)]);
+}
+
+#[test]
+fn d7_fires_on_file_create() {
+    let src = r#"
+use std::fs::File;
+fn open(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+"#;
+    assert_eq!(diags(src), vec![(Rule::D7, 4)]);
+}
+
+#[test]
+fn d7_quiet_on_reads_and_dir_creation() {
+    let src = r#"
+fn load(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::create_dir_all(path.parent().unwrap())?;
+    std::fs::read(path)
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d7_quiet_on_writer_method_calls() {
+    let src = r#"
+use std::io::Write;
+fn emit(w: &mut impl Write, bytes: &[u8]) -> std::io::Result<()> {
+    w.write(bytes).map(|_| ())
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn d7_quiet_in_designated_atomic_io_module() {
+    let src = r#"
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+"#;
+    let d = lint_source("crates/core/src/atomic_io.rs", src).unwrap();
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn d7_suppressible_with_justification() {
+    let src = r#"
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    // lint: allow(D7) — advisory report, never read back
+    std::fs::write(path, bytes)
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
 // ------------------------------------------------------- suppressions
 
 #[test]

@@ -2,9 +2,14 @@
 # Determinism check: the dynamic witness of the contract typilus-lint
 # enforces statically. Runs the example pipeline twice — once with 1
 # thread, once with 4 — and requires every produced artifact and every
-# prediction/evaluation output to be byte-identical. Run from anywhere;
-# operates on the repo root. Expects `cargo build --release` to have
-# run (tier1.sh orders it that way) but builds on demand otherwise.
+# prediction/evaluation output to be byte-identical. A second leg
+# kills training at an epoch boundary (exit code 3), resumes from the
+# checkpoint, and requires the resumed artifacts to match the
+# uninterrupted ones byte-for-byte — including a run whose newest
+# checkpoint was corrupted (resume must fall back to the previous
+# one). Run from anywhere; operates on the repo root. Expects `cargo
+# build --release` to have run (tier1.sh orders it that way) but
+# builds on demand otherwise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,23 +37,77 @@ run() { # run <threads> <outdir>
         --corpus "$WORK/corpus" >"$out/eval.out"
 }
 
+# Kill-and-resume leg: train with checkpointing, die right after the
+# checkpoint of epoch $3 (the CLI exits 3 for the injected kill), then
+# resume — possibly at a different thread count — and produce the same
+# artifacts as an uninterrupted run. With corrupt=yes the newest
+# checkpoint is truncated before resuming, so resume must fall back to
+# the previous valid one.
+run_resumed() { # run_resumed <threads> <outdir> <kill_after_epoch> <corrupt>
+    local threads=$1 out=$2 kill_epoch=$3 corrupt=$4
+    mkdir -p "$out"
+    set +e
+    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+        --model "$out/model.typilus" --checkpoint-dir "$out/ckpt" \
+        --epochs 2 --dim 16 --gnn-steps 2 --seed 7 \
+        --kill-after-epoch "$kill_epoch" >"$out/train.out" 2>"$out/train.err"
+    local code=$?
+    set -e
+    if [ "$code" -ne 3 ]; then
+        echo "detcheck: injected kill expected exit 3, got $code" >&2
+        cat "$out/train.err" >&2
+        exit 1
+    fi
+    if [ -e "$out/model.typilus" ]; then
+        echo "detcheck: killed run must not write a model artifact" >&2
+        exit 1
+    fi
+    if [ "$corrupt" = yes ]; then
+        local newest
+        newest=$(ls "$out/ckpt"/epoch-*.ckpt | sort | tail -1)
+        local size
+        size=$(wc -c <"$newest")
+        head -c "$((size / 2))" "$newest" >"$newest.torn" && mv "$newest.torn" "$newest"
+    fi
+    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+        --model "$out/model.typilus" --checkpoint-dir "$out/ckpt" --resume \
+        --epochs 2 --dim 16 --gnn-steps 2 --seed 7 >"$out/train.out"
+    find "$WORK/corpus" -name '*.py' | sort | head -8 |
+        TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
+            --model "$out/model.typilus" --top 3 --out "$out/predict.out"
+    TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
+        --corpus "$WORK/corpus" >"$out/eval.out"
+}
+
 run 1 "$WORK/t1"
 run 4 "$WORK/t4"
+run_resumed 1 "$WORK/r1" 0 no
+run_resumed 4 "$WORK/r4" 0 no
+run_resumed 1 "$WORK/rc" 1 yes
 
 status=0
-for artifact in model.typilus predict.out eval.out; do
-    h1=$(sha256sum "$WORK/t1/$artifact" | cut -d' ' -f1)
-    h4=$(sha256sum "$WORK/t4/$artifact" | cut -d' ' -f1)
-    if [ "$h1" = "$h4" ]; then
-        echo "detcheck: $artifact OK ($h1)"
+check() { # check <artifact> <dir_a> <label_a> <dir_b> <label_b>
+    local artifact=$1 a=$2 la=$3 b=$4 lb=$5
+    local ha hb
+    ha=$(sha256sum "$a/$artifact" | cut -d' ' -f1)
+    hb=$(sha256sum "$b/$artifact" | cut -d' ' -f1)
+    if [ "$ha" = "$hb" ]; then
+        echo "detcheck: $artifact $la vs $lb OK ($ha)"
     else
-        echo "detcheck: $artifact DIFFERS: 1-thread $h1 vs 4-thread $h4" >&2
+        echo "detcheck: $artifact DIFFERS: $la $ha vs $lb $hb" >&2
         status=1
     fi
+}
+
+for artifact in model.typilus predict.out eval.out; do
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/t4" 4-thread
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/r1" resumed-1t
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/r4" resumed-4t
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/rc" resumed-corrupt
 done
 
 if [ "$status" -ne 0 ]; then
-    echo "detcheck: FAILED — results depend on thread count" >&2
+    echo "detcheck: FAILED — results depend on thread count or resume path" >&2
     exit "$status"
 fi
 echo "detcheck: OK"

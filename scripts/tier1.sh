@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, release build, full test suite (once
 # normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
-# env-driven thread resolution), the determinism lint, the dynamic
-# 1-vs-4-thread determinism check, clippy with warnings denied. Run
-# from anywhere; operates on the repo root.
+# env-driven thread resolution), the fault-injection suite, the
+# determinism lint, the dynamic 1-vs-4-thread determinism and
+# kill-and-resume check, clippy with warnings denied. Run from
+# anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,7 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 TYPILUS_THREADS=2 cargo test -q
+cargo test -q -p typilus --features faults --test fault_injection
 cargo run -p typilus-lint --release
 scripts/detcheck.sh
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,287 @@
+//! Crash-safe training: a run killed at any epoch boundary and resumed
+//! from its checkpoint must produce a **byte-identical** trained system,
+//! and resume must fall back past corrupt checkpoints.
+
+use std::path::PathBuf;
+use typilus::{
+    train_with_options, EncoderKind, LossKind, ModelConfig, Parallelism, PersistError,
+    PreparedCorpus, TrainError, TrainOptions, TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+fn prepared() -> PreparedCorpus {
+    let corpus = generate(&CorpusConfig {
+        files: 12,
+        seed: 7,
+        ..CorpusConfig::default()
+    });
+    PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 7)
+}
+
+fn config(threads: usize) -> TypilusConfig {
+    TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss: LossKind::Typilus,
+            dim: 8,
+            gnn_steps: 2,
+            min_subtoken_count: 1,
+            seed: 7,
+            ..ModelConfig::default()
+        },
+        epochs: 3,
+        batch_size: 4,
+        lr: 0.02,
+        seed: 7,
+        parallelism: Parallelism::fixed(threads),
+        ..TypilusConfig::default()
+    }
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("typilus_ckpt_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+/// The uninterrupted run's serialized system — the byte-identity
+/// reference for every resume scenario.
+fn reference_bytes(data: &PreparedCorpus, config: &TypilusConfig) -> Vec<u8> {
+    train_with_options(data, config, &TrainOptions::default())
+        .expect("uninterrupted run")
+        .to_bytes()
+        .expect("serialize reference system")
+}
+
+#[test]
+fn kill_after_every_epoch_then_resume_is_byte_identical() {
+    let data = prepared();
+    let config = config(1);
+    let reference = reference_bytes(&data, &config);
+    for kill_epoch in 0..config.epochs {
+        let dir = workdir(&format!("kill{kill_epoch}"));
+        let killed = train_with_options(
+            &data,
+            &config,
+            &TrainOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: false,
+                kill_after_epoch: Some(kill_epoch),
+            },
+        );
+        assert!(
+            matches!(killed, Err(TrainError::Killed { epoch }) if epoch == kill_epoch),
+            "kill at epoch {kill_epoch} fires"
+        );
+        let resumed = train_with_options(
+            &data,
+            &config,
+            &TrainOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                kill_after_epoch: None,
+            },
+        )
+        .expect("resumed run completes");
+        assert_eq!(
+            resumed.to_bytes().expect("serialize resumed system"),
+            reference,
+            "resume after epoch {kill_epoch} diverged from the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn resume_at_a_different_thread_count_is_byte_identical() {
+    let data = prepared();
+    let reference = reference_bytes(&data, &config(1));
+    let dir = workdir("threads");
+    let killed = train_with_options(
+        &data,
+        &config(1),
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: Some(0),
+        },
+    );
+    assert!(matches!(killed, Err(TrainError::Killed { epoch: 0 })));
+    // The checkpoint serializes parallelism as auto-detect, so a
+    // machine with a different core count (here: an explicit 4) can
+    // pick the run up and still reproduce it bit-for-bit.
+    let resumed = train_with_options(
+        &data,
+        &config(4),
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            kill_after_epoch: None,
+        },
+    )
+    .expect("resumed run completes");
+    assert_eq!(resumed.to_bytes().unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupt_newest_checkpoint() {
+    let data = prepared();
+    let config = config(1);
+    let reference = reference_bytes(&data, &config);
+    let dir = workdir("fallback");
+    let killed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: Some(1),
+        },
+    );
+    assert!(matches!(killed, Err(TrainError::Killed { epoch: 1 })));
+    // Corrupt the newest checkpoint (epoch 2 = two epochs done); the
+    // epoch-1 checkpoint stays valid underneath it.
+    let newest = dir.join(typilus::checkpoint::file_name(2));
+    let bytes = std::fs::read(&newest).expect("newest checkpoint exists");
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("truncate newest");
+    let resumed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            kill_after_epoch: None,
+        },
+    )
+    .expect("resume survives a corrupt newest checkpoint");
+    assert_eq!(
+        resumed.to_bytes().unwrap(),
+        reference,
+        "fallback resume diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_every_checkpoint_corrupt_trains_from_scratch() {
+    let data = prepared();
+    let config = config(1);
+    let reference = reference_bytes(&data, &config);
+    let dir = workdir("allcorrupt");
+    let killed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: Some(1),
+        },
+    );
+    assert!(matches!(killed, Err(TrainError::Killed { epoch: 1 })));
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::write(&path, b"garbage").unwrap();
+    }
+    let resumed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            kill_after_epoch: None,
+        },
+    )
+    .expect("resume degrades to a fresh start");
+    assert_eq!(resumed.to_bytes().unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_under_a_different_config_is_rejected() {
+    let data = prepared();
+    let dir = workdir("mismatch");
+    let killed = train_with_options(
+        &data,
+        &config(1),
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: Some(0),
+        },
+    );
+    assert!(matches!(killed, Err(TrainError::Killed { epoch: 0 })));
+    let mut other = config(1);
+    other.lr = 0.05;
+    let result = train_with_options(
+        &data,
+        &other,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            kill_after_epoch: None,
+        },
+    );
+    assert!(
+        matches!(result, Err(TrainError::ConfigMismatch { .. })),
+        "a checkpoint from a different config must not be resumed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_a_checkpoint_dir_is_an_error() {
+    let data = prepared();
+    let result = train_with_options(
+        &data,
+        &config(1),
+        &TrainOptions {
+            checkpoint_dir: None,
+            resume: true,
+            kill_after_epoch: None,
+        },
+    );
+    assert!(matches!(result, Err(TrainError::ResumeWithoutDir)));
+}
+
+#[test]
+fn checkpoints_reject_corruption_with_typed_errors() {
+    let data = prepared();
+    let config = config(1);
+    let dir = workdir("typed");
+    let killed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: Some(0),
+        },
+    );
+    assert!(matches!(killed, Err(TrainError::Killed { epoch: 0 })));
+    let path = dir.join(typilus::checkpoint::file_name(1));
+    let good = std::fs::read(&path).unwrap();
+
+    // Truncation that loses the footer.
+    std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+    assert!(matches!(
+        typilus::checkpoint::load(&path),
+        Err(PersistError::MissingFooter | PersistError::Truncated { .. })
+    ));
+
+    // A single flipped payload byte.
+    let mut flipped = good.clone();
+    flipped[good.len() / 3] ^= 0x10;
+    std::fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        typilus::checkpoint::load(&path),
+        Err(PersistError::ChecksumMismatch { .. })
+    ));
+
+    // Intact bytes still load.
+    std::fs::write(&path, &good).unwrap();
+    let checkpoint = typilus::checkpoint::load(&path).expect("intact checkpoint loads");
+    assert_eq!(checkpoint.epochs_done, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,194 @@
+//! Fault-injection suite (`--features faults`): injects I/O errors,
+//! torn writes and mid-epoch crashes through the failpoint registry and
+//! proves the crash-safety layer holds — destinations stay intact,
+//! corruption is detected at load, and a crashed-and-resumed training
+//! run is byte-identical to an uninterrupted one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use typilus::faults::{self, Fault};
+use typilus::{
+    atomic_io, train_with_options, EncoderKind, LossKind, ModelConfig, Parallelism, PersistError,
+    PreparedCorpus, TrainError, TrainOptions, TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+/// The failpoint registry is process-global: every test takes this
+/// lock, starts disarmed, and disarms again on drop (even when the
+/// test's body panics).
+fn faults_session() -> FaultSession {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::disarm_all();
+    FaultSession(guard)
+}
+
+struct FaultSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultSession {
+    fn drop(&mut self) {
+        faults::disarm_all();
+    }
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("typilus_faults_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+fn prepared() -> PreparedCorpus {
+    let corpus = generate(&CorpusConfig {
+        files: 10,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 5)
+}
+
+fn config() -> TypilusConfig {
+    TypilusConfig {
+        model: ModelConfig {
+            encoder: EncoderKind::Graph,
+            loss: LossKind::Typilus,
+            dim: 8,
+            gnn_steps: 2,
+            min_subtoken_count: 1,
+            seed: 5,
+            ..ModelConfig::default()
+        },
+        epochs: 3,
+        batch_size: 4,
+        lr: 0.02,
+        seed: 5,
+        parallelism: Parallelism::fixed(1),
+        ..TypilusConfig::default()
+    }
+}
+
+#[test]
+fn io_error_at_every_protocol_step_leaves_the_destination_intact() {
+    let _session = faults_session();
+    let dir = workdir("protocol");
+    let path = dir.join("artifact.bin");
+    atomic_io::write_artifact(&path, b"the good payload").unwrap();
+    for site in [
+        "atomic_io.create",
+        "atomic_io.write",
+        "atomic_io.sync",
+        "atomic_io.rename",
+    ] {
+        faults::arm(site, Fault::IoError);
+        let result = atomic_io::write_artifact(&path, b"the replacement");
+        assert!(result.is_err(), "injected {site} failure surfaces");
+        faults::disarm_all();
+        assert_eq!(
+            atomic_io::read_artifact(&path).unwrap(),
+            b"the good payload",
+            "{site} failure must not touch the destination"
+        );
+        assert!(
+            !dir.join(".artifact.bin.tmp").exists(),
+            "{site} failure must not leave a temp file"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_write_is_detected_at_load() {
+    let _session = faults_session();
+    let dir = workdir("torn");
+    let path = dir.join("artifact.bin");
+    // The filesystem reports success but only 7 bytes land — the torn
+    // write slips past the protocol and must be caught by the footer.
+    faults::arm("atomic_io.write", Fault::ShortWrite(7));
+    atomic_io::write_artifact(&path, b"a payload that deserved better").unwrap();
+    faults::disarm_all();
+    assert!(
+        matches!(
+            atomic_io::read_artifact(&path),
+            Err(PersistError::MissingFooter | PersistError::Truncated { .. })
+        ),
+        "torn artifact must fail the integrity check"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_epoch_crash_then_resume_is_byte_identical() {
+    let _session = faults_session();
+    let data = prepared();
+    let config = config();
+    let reference = train_with_options(&data, &config, &TrainOptions::default())
+        .expect("uninterrupted run")
+        .to_bytes()
+        .expect("serialize reference");
+
+    let dir = workdir("midepoch");
+    // The reference run above already bumped the `train.batch` hit
+    // counter; clear it so the skip count below is relative to the
+    // crashing run.
+    faults::disarm_all();
+    // Let every batch of epoch 0 pass, then crash in the middle of
+    // epoch 1 — after the epoch-0001 checkpoint, before epoch-0002.
+    let batches_per_epoch = data.split.train.len().div_ceil(config.batch_size);
+    faults::arm_at("train.batch", Fault::Panic, batches_per_epoch);
+    let opts = TrainOptions {
+        checkpoint_dir: Some(dir.clone()),
+        resume: false,
+        kill_after_epoch: None,
+    };
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        train_with_options(&data, &config, &opts).map(|_| ())
+    }));
+    faults::disarm_all();
+    assert!(crash.is_err(), "the injected mid-epoch panic fires");
+    assert!(
+        dir.join(typilus::checkpoint::file_name(1)).exists(),
+        "the epoch-0001 checkpoint survives the crash"
+    );
+
+    let resumed = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            kill_after_epoch: None,
+        },
+    )
+    .expect("resume after the crash");
+    assert_eq!(
+        resumed.to_bytes().unwrap(),
+        reference,
+        "crash-and-resume diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_write_failure_surfaces_as_a_typed_train_error() {
+    let _session = faults_session();
+    let data = prepared();
+    let config = config();
+    let dir = workdir("ckptfail");
+    faults::arm("atomic_io.rename", Fault::IoError);
+    let result = train_with_options(
+        &data,
+        &config,
+        &TrainOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            kill_after_epoch: None,
+        },
+    );
+    faults::disarm_all();
+    assert!(
+        matches!(result, Err(TrainError::Checkpoint(_))),
+        "a failing checkpoint write must abort the run with a typed error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,122 @@
+//! Property-based corruption detection: any byte flip or truncation of
+//! a saved `TrainedSystem` artifact must surface as a typed
+//! [`PersistError`] — never a panic, never a silently wrong model.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use typilus::{
+    train, EncoderKind, LossKind, ModelConfig, PersistError, PreparedCorpus, TrainedSystem,
+    TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+
+/// The on-disk bytes of one tiny trained system, produced once and
+/// shared by every proptest case.
+fn saved_artifact() -> &'static [u8] {
+    static SAVED: OnceLock<Vec<u8>> = OnceLock::new();
+    SAVED.get_or_init(|| {
+        let corpus = generate(&CorpusConfig {
+            files: 6,
+            seed: 11,
+            ..CorpusConfig::default()
+        });
+        let data = PreparedCorpus::from_corpus(&corpus, &typilus::GraphConfig::default(), 11);
+        let config = TypilusConfig {
+            model: ModelConfig {
+                encoder: EncoderKind::Graph,
+                loss: LossKind::Typilus,
+                dim: 6,
+                gnn_steps: 1,
+                min_subtoken_count: 1,
+                seed: 11,
+                ..ModelConfig::default()
+            },
+            epochs: 1,
+            batch_size: 4,
+            seed: 11,
+            ..TypilusConfig::default()
+        };
+        let system = train(&data, &config);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "typilus_corruption_ref_{}.typilus",
+            std::process::id()
+        ));
+        system.save(&path).expect("save reference artifact");
+        let bytes = std::fs::read(&path).expect("read reference artifact back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+/// Writes one corrupted variant to its own file and tries to load it.
+fn load_corrupted(bytes: &[u8]) -> Result<TrainedSystem, PersistError> {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "typilus_corruption_{}_{case}.typilus",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).expect("write corrupted variant");
+    let result = TrainedSystem::load(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+fn is_typed_corruption(e: &PersistError) -> bool {
+    matches!(
+        e,
+        PersistError::MissingFooter
+            | PersistError::Truncated { .. }
+            | PersistError::ChecksumMismatch { .. }
+    )
+}
+
+proptest! {
+    #[test]
+    fn any_byte_flip_is_rejected_with_a_typed_error(
+        pos in any::<usize>(),
+        mask in 1u8..=255u8,
+    ) {
+        let good = saved_artifact();
+        let mut corrupt = good.to_vec();
+        let at = pos % corrupt.len();
+        corrupt[at] ^= mask;
+        match load_corrupted(&corrupt) {
+            Ok(_) => prop_assert!(false, "flip at {at} loaded as a model"),
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "flip at {at} gave a non-corruption error: {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_rejected_with_a_typed_error(
+        keep in any::<usize>(),
+    ) {
+        let good = saved_artifact();
+        // Every proper prefix, including the empty file.
+        let keep = keep % good.len();
+        match load_corrupted(&good[..keep]) {
+            Ok(_) => prop_assert!(false, "prefix of {keep} bytes loaded as a model"),
+            Err(e) => prop_assert!(
+                is_typed_corruption(&e),
+                "prefix of {keep} bytes gave a non-corruption error: {e}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn the_intact_artifact_still_loads() {
+    let good = saved_artifact();
+    let system = load_corrupted(good).expect("intact bytes load");
+    assert_eq!(
+        system.to_bytes().expect("re-serialize"),
+        &good[..good.len() - typilus::atomic_io::FOOTER_LEN],
+        "the loaded system re-serializes to the original payload"
+    );
+}
