@@ -10,7 +10,11 @@
 //!     identical between the two modes before timing;
 //!   * steady-state arena allocations per training step (fresh heap
 //!     allocations after the pool is warm vs one allocation per tensor);
-//!   * raw matmul / matmul_t / transpose kernels on square matrices.
+//!   * raw matmul / matmul_t / fused aᵀ·b / transpose kernels on
+//!     square matrices.
+//!
+//! The JSON also records which SIMD tile width the dispatcher selected
+//! (`sse2` baseline or the widened `avx2` tile).
 //!
 //! Built with `--features nn-profile` it also prints the per-op time
 //! table for the Fast training steps to stderr.
@@ -146,6 +150,8 @@ struct KernelReport {
     matmul_naive: f64,
     matmul_t_fast: f64,
     matmul_t_naive: f64,
+    matmul_at_b_fast: f64,
+    matmul_at_b_naive: f64,
     transpose_fast: f64,
     transpose_naive: f64,
 }
@@ -155,12 +161,19 @@ fn bench_kernels(n: usize) -> KernelReport {
     let b = fixture(n, n, 2);
     set_kernel_mode(KernelMode::Fast);
     let fast = a.matmul(&b);
+    let fast_at_b = a.matmul_at_b(&b);
     set_kernel_mode(KernelMode::Naive);
     let naive = a.matmul(&b);
+    let naive_at_b = a.matmul_at_b(&b);
     assert_eq!(
         fast.as_slice(),
         naive.as_slice(),
         "blocked matmul differs from reference"
+    );
+    assert_eq!(
+        fast_at_b.as_slice(),
+        naive_at_b.as_slice(),
+        "fused a^T*b differs from reference"
     );
 
     let time = |mode: KernelMode, f: &dyn Fn() -> Tensor| {
@@ -175,6 +188,8 @@ fn bench_kernels(n: usize) -> KernelReport {
         matmul_naive: time(KernelMode::Naive, &|| a.matmul(&b)),
         matmul_t_fast: time(KernelMode::Fast, &|| a.matmul_t(&b)),
         matmul_t_naive: time(KernelMode::Naive, &|| a.matmul_t(&b)),
+        matmul_at_b_fast: time(KernelMode::Fast, &|| a.matmul_at_b(&b)),
+        matmul_at_b_naive: time(KernelMode::Naive, &|| a.matmul_at_b(&b)),
         transpose_fast: time(KernelMode::Fast, &|| a.transposed()),
         transpose_naive: time(KernelMode::Naive, &|| a.transposed()),
     };
@@ -218,12 +233,15 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"train_step\": [\n{}\n  ],\n  \"kernels\": {{\n    \"n\": {},\n    \
+        "{{\n  \"simd_width\": \"{}\",\n  \"train_step\": [\n{}\n  ],\n  \"kernels\": {{\n    \"n\": {},\n    \
          \"matmul_secs_fast\": {:.9},\n    \"matmul_secs_naive\": {:.9},\n    \
          \"matmul_speedup\": {:.3},\n    \"matmul_t_secs_fast\": {:.9},\n    \
          \"matmul_t_secs_naive\": {:.9},\n    \"matmul_t_speedup\": {:.3},\n    \
+         \"matmul_at_b_secs_fast\": {:.9},\n    \"matmul_at_b_secs_naive\": {:.9},\n    \
+         \"matmul_at_b_speedup\": {:.3},\n    \
          \"transpose_secs_fast\": {:.9},\n    \"transpose_secs_naive\": {:.9},\n    \
          \"transpose_speedup\": {:.3}\n  }}\n}}\n",
+        typilus_nn::simd_width().name(),
         dim_json.join(",\n"),
         k.n,
         k.matmul_fast,
@@ -232,6 +250,9 @@ fn main() {
         k.matmul_t_fast,
         k.matmul_t_naive,
         k.matmul_t_naive / k.matmul_t_fast.max(1e-12),
+        k.matmul_at_b_fast,
+        k.matmul_at_b_naive,
+        k.matmul_at_b_naive / k.matmul_at_b_fast.max(1e-12),
         k.transpose_fast,
         k.transpose_naive,
         k.transpose_naive / k.transpose_fast.max(1e-12),

@@ -385,7 +385,7 @@ pub fn train_with_options(
             if let Some((loss, grads)) = model.train_step_parallel(&batch, &pool) {
                 if loss.is_finite() {
                     losses.push(loss);
-                    optimizer.step(&mut model.params, grads);
+                    optimizer.step_pooled(&mut model.params, grads, &pool);
                 }
             }
         }

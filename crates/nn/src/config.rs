@@ -7,7 +7,28 @@
 //! `D3` bans ad-hoc `std::env::var` reads everywhere else, so a flag's
 //! spelling, parsing and default live in exactly one place.
 
+use crate::simd::SimdWidth;
 use std::sync::OnceLock;
+
+/// The `TYPILUS_SIMD` kernel-width override, parsed once: `sse2` forces
+/// the baseline tile, `avx2` requests the widened tile (clamped by
+/// [`crate::simd`] if the CPU lacks it), unset/empty/`auto` means CPU
+/// detection. Any other value warns once and falls back to detection.
+pub fn simd_override() -> Option<SimdWidth> {
+    static OVERRIDE: OnceLock<Option<SimdWidth>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        let raw = std::env::var("TYPILUS_SIMD").unwrap_or_default();
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => None,
+            "sse2" => Some(SimdWidth::Sse2),
+            "avx2" => Some(SimdWidth::Avx2),
+            other => {
+                eprintln!("typilus-nn: unknown TYPILUS_SIMD value {other:?} (expected sse2, avx2 or auto); using auto");
+                None
+            }
+        }
+    })
+}
 
 /// Whether `TYPILUS_ARENA_TRACE` is set: log every arena allocation
 /// that misses both the thread-local pool and the shared backstop.
@@ -32,5 +53,6 @@ mod tests {
         // Cached after the first read: repeated calls agree.
         assert_eq!(arena_trace(), arena_trace());
         assert_eq!(arena_trace_backtrace(), arena_trace_backtrace());
+        assert_eq!(simd_override(), simd_override());
     }
 }

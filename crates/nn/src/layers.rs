@@ -56,7 +56,9 @@ impl Linear {
         }
     }
 
-    /// Applies the layer to a `[n, in_dim]` batch.
+    /// Applies the layer to a `[n, in_dim]` batch. The recorded matmul
+    /// node backpropagates `dW = xᵀ·g` through the fused `aᵀ·b` kernel
+    /// (no transpose of the batch is ever materialised).
     pub fn apply(&self, tape: &mut Tape<'_>, x: Var) -> Var {
         let w = tape.param(self.w);
         match self.b {

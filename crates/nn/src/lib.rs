@@ -31,6 +31,8 @@ pub mod par;
 pub mod params;
 pub mod pool;
 pub mod profile;
+pub mod segment;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 
@@ -46,5 +48,7 @@ pub use pool::{PoolCell, WorkerPool};
 pub use profile::{
     profile_rows, profiling_enabled, report as profile_report, reset_profile, OpProfile,
 };
+pub use segment::SegmentPlan;
+pub use simd::{available_widths, set_simd_width, simd_width, SimdWidth};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -2,9 +2,21 @@
 //! plain SGD for tests and ablations.
 
 use crate::params::{Gradients, ParamId, ParamSet};
+use crate::pool::WorkerPool;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// One detached per-parameter Adam update: the parameter, its two
+/// moment tensors and its gradient, moved out of their owners so a
+/// worker thread can update them without touching shared state.
+struct AdamTask {
+    id: ParamId,
+    p: Tensor,
+    m: Tensor,
+    v: Tensor,
+    g: Tensor,
+}
 
 /// Adam optimizer (Kingma & Ba, 2015).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,7 +52,27 @@ impl Adam {
     }
 
     /// Applies one update step from `grads` onto `params`.
-    pub fn step(&mut self, params: &mut ParamSet, mut grads: Gradients) {
+    pub fn step(&mut self, params: &mut ParamSet, grads: Gradients) {
+        self.step_impl(params, grads, None);
+    }
+
+    /// Like [`Adam::step`], but spreads the per-parameter elementwise
+    /// updates across `pool`'s workers. Every scalar's update reads and
+    /// writes only its own parameter/moment/gradient slots, so splitting
+    /// the work by parameter reorders no floating-point operation: the
+    /// result is byte-identical to the sequential [`Adam::step`] at any
+    /// worker count. Gradient clipping — a global reduction whose
+    /// summation order matters — stays sequential.
+    pub fn step_pooled(&mut self, params: &mut ParamSet, grads: Gradients, pool: &WorkerPool) {
+        self.step_impl(params, grads, Some(pool));
+    }
+
+    fn step_impl(
+        &mut self,
+        params: &mut ParamSet,
+        mut grads: Gradients,
+        pool: Option<&WorkerPool>,
+    ) {
         if let Some(max_norm) = self.clip_norm {
             let norm = grads.global_norm();
             if norm > max_norm {
@@ -50,32 +82,59 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (id, g) in grads.iter() {
-            let shape = g.shape();
-            let m = self
-                .m
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(shape.0, shape.1));
-            let v = self
-                .v
-                .entry(id)
-                .or_insert_with(|| Tensor::zeros(shape.0, shape.1));
-            let p = params.get_mut(id);
-            debug_assert_eq!(p.shape(), shape, "gradient shape mismatch for {id:?}");
-            for i in 0..g.len() {
-                let gi = g.as_slice()[i];
-                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
+        // Detach one owned task per parameter, in ascending id order:
+        // moments and parameter tensors are moved out (the parameter
+        // slot is left holding an empty, allocation-free placeholder)
+        // and restored in the same order after the updates complete.
+        let mut tasks: Vec<AdamTask> = grads
+            .into_pairs()
+            .map(|(id, g)| {
+                let shape = g.shape();
+                let m = self
+                    .m
+                    .remove(&id)
+                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
+                let v = self
+                    .v
+                    .remove(&id)
+                    .unwrap_or_else(|| Tensor::zeros(shape.0, shape.1));
+                let p = std::mem::replace(params.get_mut(id), Tensor::zeros(0, 0));
+                debug_assert_eq!(p.shape(), shape, "gradient shape mismatch for {id:?}");
+                AdamTask { id, p, m, v, g }
+            })
+            .collect();
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let update = |t: &mut AdamTask| {
+            for i in 0..t.g.len() {
+                let gi = t.g.as_slice()[i];
+                let mi = beta1 * t.m.as_slice()[i] + (1.0 - beta1) * gi;
+                let vi = beta2 * t.v.as_slice()[i] + (1.0 - beta2) * gi * gi;
+                t.m.as_mut_slice()[i] = mi;
+                t.v.as_mut_slice()[i] = vi;
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                t.p.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        };
+        match pool {
+            Some(pool) if pool.threads() > 1 && tasks.len() > 1 => {
+                pool.map_ordered_mut(&mut tasks, |_, t| update(t));
+            }
+            _ => {
+                for t in &mut tasks {
+                    update(t);
+                }
             }
         }
-        // The gradients are spent; return their buffers to the arena so
-        // the next step's backward pass reuses them.
-        grads.recycle();
+        // Reattach in the same ascending id order, and return the spent
+        // gradient buffers to the shared arena pool (they were
+        // allocated on worker threads; see `Gradients::recycle`).
+        for t in tasks {
+            *params.get_mut(t.id) = t.p;
+            self.m.insert(t.id, t.m);
+            self.v.insert(t.id, t.v);
+            crate::arena::recycle_shared(t.g);
+        }
     }
 
     /// Number of steps taken so far.
@@ -144,6 +203,45 @@ mod tests {
         let sgd = Sgd::new(0.05);
         let w = quadratic_descent(|p, g| sgd.step(p, &g));
         assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn pooled_step_is_bitwise_identical_to_sequential() {
+        let mut seq_params = ParamSet::new();
+        let ids: Vec<ParamId> = (0..5)
+            .map(|k| seq_params.add(format!("w{k}"), Tensor::full(3, 2, 0.5 + k as f32)))
+            .collect();
+        let mut pooled_params = seq_params.clone();
+        let mut seq = Adam::new(0.01);
+        let mut pooled = seq.clone();
+        let pool = WorkerPool::new(3);
+        for step_no in 0..5 {
+            let mut gs = Gradients::new();
+            let mut gp = Gradients::new();
+            for (k, &id) in ids.iter().enumerate() {
+                let g = Tensor::full(3, 2, 0.25 * (k as f32 + 1.0) - step_no as f32 * 0.1);
+                gs.accumulate(id, g.clone());
+                gp.accumulate(id, g);
+            }
+            seq.step(&mut seq_params, gs);
+            pooled.step_pooled(&mut pooled_params, gp, &pool);
+        }
+        assert_eq!(seq.steps(), pooled.steps());
+        for &id in &ids {
+            let a: Vec<u32> = seq_params
+                .get(id)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let b: Vec<u32> = pooled_params
+                .get(id)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(a, b, "parameter {id:?} diverged");
+        }
     }
 
     #[test]

@@ -140,6 +140,13 @@ impl Gradients {
         self.by_param.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Consumes the map, yielding owned `(id, gradient)` pairs in
+    /// ascending [`ParamId`] order (the data-parallel optimizer detaches
+    /// per-parameter update tasks this way).
+    pub fn into_pairs(self) -> impl Iterator<Item = (ParamId, Tensor)> {
+        self.by_param.into_iter()
+    }
+
     /// Merges another gradient map into this one. Addends consumed by
     /// the merge are recycled into the shared arena pool: merging
     /// happens on the caller, but under the persistent worker pool the

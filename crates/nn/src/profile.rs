@@ -19,6 +19,9 @@ pub enum OpKind {
     MatmulT,
     /// Fused `x·W + b`.
     MatmulBias,
+    /// `aᵀ · b` without a materialised transpose (the backward pass's
+    /// `gw = xᵀ·g` products).
+    MatmulAtB,
     /// Blocked transpose.
     Transpose,
     /// Unfused elementwise ops (add, mul, sigmoid, …).
@@ -38,7 +41,7 @@ pub enum OpKind {
 }
 
 /// Number of [`OpKind`] categories.
-pub const NUM_OP_KINDS: usize = 11;
+pub const NUM_OP_KINDS: usize = 12;
 
 impl OpKind {
     /// Display label.
@@ -47,6 +50,7 @@ impl OpKind {
             OpKind::Matmul => "matmul",
             OpKind::MatmulT => "matmul_t",
             OpKind::MatmulBias => "matmul_bias",
+            OpKind::MatmulAtB => "matmul_at_b",
             OpKind::Transpose => "transpose",
             OpKind::Elementwise => "elementwise",
             OpKind::Fused => "fused",
@@ -63,6 +67,7 @@ impl OpKind {
             OpKind::Matmul,
             OpKind::MatmulT,
             OpKind::MatmulBias,
+            OpKind::MatmulAtB,
             OpKind::Transpose,
             OpKind::Elementwise,
             OpKind::Fused,

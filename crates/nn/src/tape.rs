@@ -25,6 +25,7 @@ use crate::arena;
 use crate::mode::{kernel_mode, KernelMode};
 use crate::params::{Gradients, ParamId, ParamSet};
 use crate::profile::{prof, run_op, OpKind};
+use crate::segment::{self, SegmentPlan};
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Tape`].
@@ -63,10 +64,12 @@ enum Op {
     GruCombine(Var, Var, Var),
     /// Row gather: `out[i] = a[indices[i]]`.
     Gather(Var, Vec<usize>),
-    /// Segment sum: `out[s] = Σ_{i: seg[i]=s} a[i]`.
-    SegmentSum(Var, Vec<usize>, usize),
-    /// Segment mean.
-    SegmentMean(Var, Vec<usize>, usize),
+    /// Segment sum: `out[s] = Σ_{i: seg[i]=s} a[i]`. Fast kernel mode
+    /// carries the forward pass's [`SegmentPlan`] so the backward
+    /// scatter streams contiguously too; `None` in naive mode.
+    SegmentSum(Var, Vec<usize>, usize, Option<SegmentPlan>),
+    /// Segment mean (plan as in [`Op::SegmentSum`]).
+    SegmentMean(Var, Vec<usize>, usize, Option<SegmentPlan>),
     /// Segment elementwise max; `argmax[s*cols+c]` = winning row or usize::MAX.
     SegmentMax(Var, Vec<usize>, usize, Vec<usize>),
     /// Pairwise L1 distances between rows: `out[i,j] = ||a[i]-a[j]||₁`.
@@ -447,17 +450,20 @@ impl<'p> Tape<'p> {
     pub fn segment_sum(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
-        let v = run_op(OpKind::Segment, || {
-            let mut out = arena::zeros(num_segments, va.cols());
-            for (i, &s) in segments.iter().enumerate() {
-                assert!(s < num_segments, "segment id {s} out of range");
-                for (o, &x) in out.row_mut(s).iter_mut().zip(va.row(i)) {
-                    *o += x;
-                }
+        let (v, plan) = match kernel_mode() {
+            KernelMode::Fast => {
+                let plan = SegmentPlan::build(segments, num_segments);
+                let v = run_op(OpKind::Segment, || segment::sum_blocked(va, &plan));
+                (v, Some(plan))
             }
-            out
-        });
-        self.push(v, Op::SegmentSum(a, segments.to_vec(), num_segments))
+            KernelMode::Naive => {
+                let v = run_op(OpKind::Segment, || {
+                    segment::reference::sum(va, segments, num_segments)
+                });
+                (v, None)
+            }
+        };
+        self.push(v, Op::SegmentSum(a, segments.to_vec(), num_segments, plan))
     }
 
     /// Segment mean; empty segments produce zero rows.
@@ -468,27 +474,20 @@ impl<'p> Tape<'p> {
     pub fn segment_mean(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
-        let v = run_op(OpKind::Segment, || {
-            let mut out = arena::zeros(num_segments, va.cols());
-            let mut counts = vec![0usize; num_segments];
-            for (i, &s) in segments.iter().enumerate() {
-                assert!(s < num_segments, "segment id {s} out of range");
-                counts[s] += 1;
-                for (o, &x) in out.row_mut(s).iter_mut().zip(va.row(i)) {
-                    *o += x;
-                }
+        let (v, plan) = match kernel_mode() {
+            KernelMode::Fast => {
+                let plan = SegmentPlan::build(segments, num_segments);
+                let v = run_op(OpKind::Segment, || segment::mean_blocked(va, &plan));
+                (v, Some(plan))
             }
-            for (s, &n) in counts.iter().enumerate() {
-                if n > 1 {
-                    let inv = 1.0 / n as f32;
-                    for o in out.row_mut(s) {
-                        *o *= inv;
-                    }
-                }
+            KernelMode::Naive => {
+                let v = run_op(OpKind::Segment, || {
+                    segment::reference::mean(va, segments, num_segments)
+                });
+                (v, None)
             }
-            out
-        });
-        self.push(v, Op::SegmentMean(a, segments.to_vec(), num_segments))
+        };
+        self.push(v, Op::SegmentMean(a, segments.to_vec(), num_segments, plan))
     }
 
     /// Segment elementwise max; empty segments produce zero rows. This is
@@ -504,29 +503,22 @@ impl<'p> Tape<'p> {
     pub fn segment_max(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
-        let cols = va.cols();
-        let mut argmax = vec![usize::MAX; num_segments * cols];
-        let v = run_op(OpKind::Segment, || {
-            let mut out = arena::full(num_segments, cols, f32::NEG_INFINITY);
-            for (i, &s) in segments.iter().enumerate() {
-                assert!(s < num_segments, "segment id {s} out of range");
-                for c in 0..cols {
-                    if va.get(i, c) > out.get(s, c) {
-                        out.set(s, c, va.get(i, c));
-                        argmax[s * cols + c] = i;
-                    }
-                }
+        let mut argmax = Vec::new();
+        let v = match kernel_mode() {
+            KernelMode::Fast => {
+                let plan = SegmentPlan::build(segments, num_segments);
+                run_op(OpKind::Segment, || {
+                    let (out, am) = segment::max_blocked(va, &plan);
+                    argmax = am;
+                    out
+                })
             }
-            // Empty segments: zero, no gradient.
-            for s in 0..num_segments {
-                for c in 0..cols {
-                    if argmax[s * cols + c] == usize::MAX {
-                        out.set(s, c, 0.0);
-                    }
-                }
-            }
-            out
-        });
+            KernelMode::Naive => run_op(OpKind::Segment, || {
+                let (out, am) = segment::reference::max(va, segments, num_segments);
+                argmax = am;
+                out
+            }),
+        };
         self.push(
             v,
             Op::SegmentMax(a, segments.to_vec(), num_segments, argmax),
@@ -749,22 +741,21 @@ impl<'p> Tape<'p> {
                     }
                     Op::Param(id) => out.accumulate(*id, g),
                     Op::Matmul(a, b) => {
+                        // out = a · b : da = g · bᵀ ; db = aᵀ · g — the
+                        // latter via the fused kernel, no materialised aᵀ.
                         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                         let ga = g.matmul_t(vb);
-                        let vat = va.transposed();
-                        let gb = vat.matmul(&g);
-                        arena::recycle(vat);
+                        let gb = run_op(OpKind::MatmulAtB, || va.matmul_at_b(&g));
                         arena::recycle(g);
                         accumulate(&mut grads, *a, ga);
                         accumulate(&mut grads, *b, gb);
                     }
                     Op::MatmulT(a, b) => {
-                        // out = a · bᵀ : da = g · b ; db = gᵀ · a
+                        // out = a · bᵀ : da = g · b ; db = gᵀ · a — the
+                        // latter via the fused kernel, no materialised gᵀ.
                         let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
                         let ga = g.matmul(vb);
-                        let gt = g.transposed();
-                        let gb = gt.matmul(va);
-                        arena::recycle(gt);
+                        let gb = run_op(OpKind::MatmulAtB, || g.matmul_at_b(va));
                         arena::recycle(g);
                         accumulate(&mut grads, *a, ga);
                         accumulate(&mut grads, *b, gb);
@@ -781,9 +772,7 @@ impl<'p> Tape<'p> {
                             }
                         }
                         let gx = g.matmul_t(vw);
-                        let vxt = vx.transposed();
-                        let gw = vxt.matmul(&g);
-                        arena::recycle(vxt);
+                        let gw = run_op(OpKind::MatmulAtB, || vx.matmul_at_b(&g));
                         arena::recycle(g);
                         accumulate(&mut grads, *b, row_grad);
                         accumulate(&mut grads, *x, gx);
@@ -925,28 +914,23 @@ impl<'p> Tape<'p> {
                         arena::recycle(g);
                         accumulate(&mut grads, *a, ga);
                     }
-                    Op::SegmentSum(a, segments, _) => {
+                    Op::SegmentSum(a, segments, _, plan) => {
                         let va = &self.nodes[a.0].value;
-                        let mut buf = arena::take(va.len());
-                        for &s in segments {
-                            buf.extend_from_slice(g.row(s));
-                        }
-                        let ga = Tensor::from_vec(va.rows(), va.cols(), buf);
+                        let ga = match plan {
+                            Some(plan) => segment::sum_backward_blocked(&g, plan, va.rows()),
+                            None => segment::reference::sum_backward(&g, segments, va.rows()),
+                        };
                         arena::recycle(g);
                         accumulate(&mut grads, *a, ga);
                     }
-                    Op::SegmentMean(a, segments, num) => {
+                    Op::SegmentMean(a, segments, num, plan) => {
                         let va = &self.nodes[a.0].value;
-                        let mut counts = vec![0usize; *num];
-                        for &s in segments {
-                            counts[s] += 1;
-                        }
-                        let mut buf = arena::take(va.len());
-                        for &s in segments {
-                            let inv = 1.0 / counts[s].max(1) as f32;
-                            buf.extend(g.row(s).iter().map(|&x| x * inv));
-                        }
-                        let ga = Tensor::from_vec(va.rows(), va.cols(), buf);
+                        let ga = match plan {
+                            Some(plan) => segment::mean_backward_blocked(&g, plan, va.rows()),
+                            None => {
+                                segment::reference::mean_backward(&g, segments, *num, va.rows())
+                            }
+                        };
                         arena::recycle(g);
                         accumulate(&mut grads, *a, ga);
                     }

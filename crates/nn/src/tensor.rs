@@ -15,18 +15,23 @@
 
 use crate::arena;
 use crate::mode::{kernel_mode, KernelMode};
+use crate::simd::{simd_width, SimdWidth};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Rows of `out` computed together in the matmul micro-kernel (register
-/// tile height).
+/// Rows of `out` computed together in the baseline matmul micro-kernel
+/// (register tile height).
 const MR: usize = 4;
-/// Columns of `out` computed together in the matmul micro-kernel: the
+/// Columns of `out` computed together in the baseline micro-kernel: the
 /// `MR×NR` accumulator block (32 floats) fits the SSE register file, so
 /// each output element is read and written exactly once however large
 /// `k` is.
 const NR: usize = 8;
+/// Accumulator columns of the widened AVX2 tile: two `ymm` registers
+/// per row, eight for the whole `4×16` block, leaving room for the
+/// `b` strip and the broadcast `a` value.
+const NR_AVX2: usize = 16;
 /// Square tile edge for the blocked transpose.
 const TB: usize = 32;
 
@@ -200,7 +205,42 @@ impl Tensor {
             KernelMode::Naive => reference::matmul(self, other),
             KernelMode::Fast => {
                 let mut out = arena::zeros(self.rows, other.cols);
-                matmul_accumulate(
+                matmul_into(
+                    &self.data,
+                    &other.data,
+                    &mut out.data,
+                    self.rows,
+                    self.cols,
+                    other.cols,
+                );
+                out
+            }
+        }
+    }
+
+    /// Matrix product `selfᵀ · other` without materialising the
+    /// transpose — the backward pass's `gw = xᵀ·g` shape. Each output
+    /// element accumulates over the shared row dimension in ascending
+    /// order, exactly like `self.transposed().matmul(other)`, so the
+    /// result is bit-identical to that composition in both kernel
+    /// modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_at_b shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        match kernel_mode() {
+            KernelMode::Naive => reference::matmul_at_b(self, other),
+            KernelMode::Fast => {
+                let mut out = arena::zeros(self.cols, other.cols);
+                matmul_at_b_into(
                     &self.data,
                     &other.data,
                     &mut out.data,
@@ -236,7 +276,7 @@ impl Tensor {
                 // order as the naive row·row dot product.
                 let packed = transpose_blocked(other);
                 let mut out = arena::zeros(self.rows, other.rows);
-                matmul_accumulate(
+                matmul_into(
                     &self.data,
                     &packed.data,
                     &mut out.data,
@@ -307,7 +347,8 @@ impl Tensor {
     }
 }
 
-/// `out[m×n] += a[m×k] · b[k×n]`, cache-blocked and register-tiled.
+/// `out[m×n] += a[m×k] · b[k×n]`, cache-blocked and register-tiled,
+/// generic over the `MRX×NRX` accumulator tile.
 ///
 /// Bit-compatibility contract: each output element accumulates its `k`
 /// products in ascending-`k` order, starting from `+0.0` — the exact
@@ -317,57 +358,67 @@ impl Tensor {
 /// accumulator can never be `-0.0`). Tiling only reorders *which*
 /// elements are worked on, never the order *within* one element: every
 /// accumulator chain — register block, column remainder and row
-/// remainder alike — walks `k = 0, 1, …, k-1` ascending.
+/// remainder alike — walks `k = 0, 1, …, k-1` ascending, at every tile
+/// shape. That is what makes the runtime width dispatch "all modes or
+/// none": any `(MRX, NRX)` instantiation is bit-identical to any other.
 ///
-/// The micro-kernel holds an `MR×NR` accumulator block in registers for
-/// the whole `k` loop and stores it once, so `out` traffic is `m·n`
-/// floats total instead of `m·n·k/NR` read-modify-writes, and the 32
+/// The micro-kernel holds an `MRX×NRX` accumulator block in registers
+/// for the whole `k` loop and stores it once, so `out` traffic is `m·n`
+/// floats total instead of `m·n·k/NRX` read-modify-writes, and the
 /// independent accumulator chains give the CPU instruction-level
 /// parallelism the naive single-row axpy lacks.
-fn matmul_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+///
+/// `#[inline(always)]` is load-bearing: the AVX2 entry point relies on
+/// this body inlining into its `#[target_feature]` scope so the
+/// compiler may use `ymm` registers for the wider tile.
+#[inline(always)]
+fn matmul_tile<const MRX: usize, const NRX: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    let n_main = n - n % NR;
+    let n_main = n - n % NRX;
     let mut i0 = 0;
-    while i0 + MR <= m {
-        let a_rows = [
-            &a[i0 * k..(i0 + 1) * k],
-            &a[(i0 + 1) * k..(i0 + 2) * k],
-            &a[(i0 + 2) * k..(i0 + 3) * k],
-            &a[(i0 + 3) * k..(i0 + 4) * k],
-        ];
+    while i0 + MRX <= m {
+        let mut a_rows: [&[f32]; MRX] = [&a[..0]; MRX];
+        for (r, row) in a_rows.iter_mut().enumerate() {
+            *row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        }
         let mut j0 = 0;
         while j0 < n_main {
-            let mut acc = [[0.0f32; NR]; MR];
+            let mut acc = [[0.0f32; NRX]; MRX];
             for (r, row) in acc.iter_mut().enumerate() {
-                row.copy_from_slice(&out[(i0 + r) * n + j0..][..NR]);
+                row.copy_from_slice(&out[(i0 + r) * n + j0..][..NRX]);
             }
             for kk in 0..k {
-                let bs: &[f32; NR] = (&b[kk * n + j0..][..NR]).try_into().unwrap();
-                for (r, row) in acc.iter_mut().enumerate() {
-                    let av = a_rows[r][kk];
+                let bs: &[f32; NRX] = (&b[kk * n + j0..][..NRX]).try_into().unwrap();
+                for (row, arow) in acc.iter_mut().zip(&a_rows) {
+                    let av = arow[kk];
                     for (x, &bv) in row.iter_mut().zip(bs) {
                         *x += av * bv;
                     }
                 }
             }
             for (r, row) in acc.iter().enumerate() {
-                out[(i0 + r) * n + j0..][..NR].copy_from_slice(row);
+                out[(i0 + r) * n + j0..][..NRX].copy_from_slice(row);
             }
-            j0 += NR;
+            j0 += NRX;
         }
-        // Column remainder: MR scalar accumulator chains per column.
+        // Column remainder: MRX scalar accumulator chains per column.
         for j in n_main..n {
-            let mut s = [
-                out[i0 * n + j],
-                out[(i0 + 1) * n + j],
-                out[(i0 + 2) * n + j],
-                out[(i0 + 3) * n + j],
-            ];
+            let mut s = [0.0f32; MRX];
+            for (r, x) in s.iter_mut().enumerate() {
+                *x = out[(i0 + r) * n + j];
+            }
             for kk in 0..k {
                 let bv = b[kk * n + j];
                 for (x, row) in s.iter_mut().zip(&a_rows) {
@@ -378,24 +429,24 @@ fn matmul_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
                 out[(i0 + r) * n + j] = x;
             }
         }
-        i0 += MR;
+        i0 += MRX;
     }
-    // Row remainder, one row at a time with the same NR-wide strips.
+    // Row remainder, one row at a time with the same NRX-wide strips.
     for i in i0..m {
         let arow = &a[i * k..(i + 1) * k];
         let mut j0 = 0;
         while j0 < n_main {
-            let mut acc = [0.0f32; NR];
-            acc.copy_from_slice(&out[i * n + j0..][..NR]);
+            let mut acc = [0.0f32; NRX];
+            acc.copy_from_slice(&out[i * n + j0..][..NRX]);
             for kk in 0..k {
                 let av = arow[kk];
-                let bs: &[f32; NR] = (&b[kk * n + j0..][..NR]).try_into().unwrap();
+                let bs: &[f32; NRX] = (&b[kk * n + j0..][..NRX]).try_into().unwrap();
                 for (x, &bv) in acc.iter_mut().zip(bs) {
                     *x += av * bv;
                 }
             }
-            out[i * n + j0..][..NR].copy_from_slice(&acc);
-            j0 += NR;
+            out[i * n + j0..][..NRX].copy_from_slice(&acc);
+            j0 += NRX;
         }
         for j in n_main..n {
             let mut s = out[i * n + j];
@@ -403,6 +454,165 @@ fn matmul_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
                 s += arow[kk] * b[kk * n + j];
             }
             out[i * n + j] = s;
+        }
+    }
+}
+
+/// `out[k×n] += aᵀ[k×m] · b[m×n]` computed directly from row-major
+/// `a[m×k]` — no transpose is materialised; both input streams are read
+/// contiguously (`a`'s row gives the tile's `MRX` lane values, `b`'s
+/// row its `NRX` strip).
+///
+/// Bit-compatibility: output element `(i, j)` accumulates
+/// `a[r][i]·b[r][j]` for `r = 0, 1, …, m-1` ascending from `+0.0` — the
+/// same per-element chain as `matmul(transposed(a), b)` in either the
+/// blocked or the naive kernels, at every tile shape.
+#[inline(always)]
+fn matmul_at_b_tile<const MRX: usize, const NRX: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let n_main = n - n % NRX;
+    let mut i0 = 0;
+    while i0 + MRX <= k {
+        let mut j0 = 0;
+        while j0 < n_main {
+            let mut acc = [[0.0f32; NRX]; MRX];
+            for (r, row) in acc.iter_mut().enumerate() {
+                row.copy_from_slice(&out[(i0 + r) * n + j0..][..NRX]);
+            }
+            for r in 0..m {
+                let avs: &[f32; MRX] = (&a[r * k + i0..][..MRX]).try_into().unwrap();
+                let bs: &[f32; NRX] = (&b[r * n + j0..][..NRX]).try_into().unwrap();
+                for (row, &av) in acc.iter_mut().zip(avs) {
+                    for (x, &bv) in row.iter_mut().zip(bs) {
+                        *x += av * bv;
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate() {
+                out[(i0 + r) * n + j0..][..NRX].copy_from_slice(row);
+            }
+            j0 += NRX;
+        }
+        // Column remainder: MRX scalar accumulator chains per column.
+        for j in n_main..n {
+            let mut s = [0.0f32; MRX];
+            for (r, x) in s.iter_mut().enumerate() {
+                *x = out[(i0 + r) * n + j];
+            }
+            for r in 0..m {
+                let bv = b[r * n + j];
+                let avs = &a[r * k + i0..][..MRX];
+                for (x, &av) in s.iter_mut().zip(avs) {
+                    *x += av * bv;
+                }
+            }
+            for (r, &x) in s.iter().enumerate() {
+                out[(i0 + r) * n + j] = x;
+            }
+        }
+        i0 += MRX;
+    }
+    // Row remainder: the trailing columns of `a`, NRX-wide strips.
+    for i in i0..k {
+        let mut j0 = 0;
+        while j0 < n_main {
+            let mut acc = [0.0f32; NRX];
+            acc.copy_from_slice(&out[i * n + j0..][..NRX]);
+            for r in 0..m {
+                let av = a[r * k + i];
+                let bs: &[f32; NRX] = (&b[r * n + j0..][..NRX]).try_into().unwrap();
+                for (x, &bv) in acc.iter_mut().zip(bs) {
+                    *x += av * bv;
+                }
+            }
+            out[i * n + j0..][..NRX].copy_from_slice(&acc);
+            j0 += NRX;
+        }
+        for j in n_main..n {
+            let mut s = out[i * n + j];
+            for r in 0..m {
+                s += a[r * k + i] * b[r * n + j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+/// AVX2 instantiation of [`matmul_tile`] with the widened `4×16` tile.
+/// `avx2` alone does not include the `fma` feature and rustc never
+/// enables floating-point contraction, so the generated `vmulps` +
+/// `vaddps` pairs round exactly like the scalar baseline — the widening
+/// stays inside the bit-exactness contract.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_tile_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_tile::<MR, NR_AVX2>(a, b, out, m, k, n);
+}
+
+/// AVX2 instantiation of [`matmul_at_b_tile`]; see
+/// [`matmul_tile_avx2`] for the no-FMA bit-exactness argument.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_at_b_tile_avx2(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_at_b_tile::<MR, NR_AVX2>(a, b, out, m, k, n);
+}
+
+/// Width-dispatched `out[m×n] += a[m×k] · b[k×n]`; see [`matmul_tile`].
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    match simd_width() {
+        SimdWidth::Sse2 => matmul_tile::<MR, NR>(a, b, out, m, k, n),
+        SimdWidth::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `SimdWidth::Avx2` is only selectable when the CPU
+            // reports AVX2 (`simd::set_simd_width` enforces it).
+            unsafe {
+                matmul_tile_avx2(a, b, out, m, k, n);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            matmul_tile::<MR, NR>(a, b, out, m, k, n);
+        }
+    }
+}
+
+/// Width-dispatched `out[k×n] += aᵀ · b`; see [`matmul_at_b_tile`].
+pub(crate) fn matmul_at_b_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match simd_width() {
+        SimdWidth::Sse2 => matmul_at_b_tile::<MR, NR>(a, b, out, m, k, n),
+        SimdWidth::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `SimdWidth::Avx2` is only selectable when the CPU
+            // reports AVX2 (`simd::set_simd_width` enforces it).
+            unsafe {
+                matmul_at_b_tile_avx2(a, b, out, m, k, n);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            matmul_at_b_tile::<MR, NR>(a, b, out, m, k, n);
         }
     }
 }
@@ -499,6 +709,25 @@ pub mod reference {
         out
     }
 
+    /// Reference `aᵀ · b`, spelled exactly as the pre-optimisation
+    /// backward pass computed it: materialise the transpose, then run
+    /// the naive matmul. The direct blocked kernel must match this
+    /// bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn matmul_at_b(a: &Tensor, other: &Tensor) -> Tensor {
+        assert_eq!(
+            a.rows,
+            other.rows,
+            "matmul_at_b shape mismatch: {:?}ᵀ x {:?}",
+            a.shape(),
+            other.shape()
+        );
+        matmul(&transposed(a), other)
+    }
+
     /// Element-at-a-time transpose.
     pub fn transposed(t: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(t.cols, t.rows);
@@ -547,6 +776,27 @@ mod tests {
         for (x, y) in direct.as_slice().iter().zip(via_transpose.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn matmul_at_b_matches_transpose_then_matmul() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::glorot(5, 3, &mut rng);
+        let b = Tensor::glorot(5, 4, &mut rng);
+        let direct = a.matmul_at_b(&b);
+        let via_transpose = a.transposed().matmul(&b);
+        assert_eq!(direct.shape(), (3, 4));
+        for (x, y) in direct.as_slice().iter().zip(via_transpose.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_at_b shape mismatch")]
+    fn matmul_at_b_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(3, 3);
+        let _ = a.matmul_at_b(&b);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Property tests pinning the blocked/register-tiled kernels to the
 //! naive reference kernels **bitwise**, not approximately: the blocked
-//! matmul, matmul_t and transpose must produce the exact same bits as
-//! the pre-optimisation triple loops for every shape (including ragged
-//! remainders around the MR×NR register tile) and for signed zeros.
-//! Also pins `segment_max`'s documented NaN and tie semantics against a
-//! straightforward oracle.
+//! matmul, matmul_t, fused `aᵀ·b` and transpose must produce the exact
+//! same bits as the pre-optimisation triple loops for every shape
+//! (including ragged remainders around the MR×NR register tile), for
+//! signed zeros, and at **every selectable SIMD width** (the baseline
+//! SSE2 tile and, where the CPU has it, the widened AVX2 tile — proving
+//! the AVX2 instantiation never contracts to FMA). The blocked segment
+//! kernels and their backward scatters are pinned to their references
+//! the same way. Also pins `segment_max`'s documented NaN and tie
+//! semantics against a straightforward oracle.
 //!
 //! Every test in this binary runs in [`KernelMode::Fast`]; the naive
 //! side of each comparison calls the reference kernels directly, so no
@@ -12,8 +16,26 @@
 //! with concurrently running tests).
 
 use proptest::prelude::*;
+use typilus_nn::segment::{self, SegmentPlan};
 use typilus_nn::tensor::reference;
-use typilus_nn::{set_kernel_mode, KernelMode, ParamSet, Tape, Tensor};
+use typilus_nn::{
+    available_widths, set_kernel_mode, set_simd_width, KernelMode, ParamSet, Tape, Tensor,
+};
+
+/// Runs `body` once at every SIMD width the dispatcher can select on
+/// this CPU (`sse2` always; `avx2` where available), so each property
+/// below proves bit-identity for every reachable kernel instantiation.
+/// The width is process-global and tests run concurrently, but every
+/// width must produce identical bits, so the races are harmless.
+fn with_each_width(
+    mut body: impl FnMut() -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    for w in available_widths() {
+        set_simd_width(w);
+        body()?;
+    }
+    Ok(())
+}
 
 /// Elements that exercise rounding, cancellation and signed zero.
 fn arb_elem() -> impl Strategy<Value = f32> {
@@ -43,6 +65,22 @@ fn arb_matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
             (
                 Tensor::from_vec(m, k, da[..m * k].to_vec()),
                 Tensor::from_vec(k, n, db[..k * n].to_vec()),
+            )
+        })
+}
+
+/// `(a[m×k], b[m×n])` for the fused `aᵀ · b` kernel (shared leading
+/// dimension — the backward pass's `gw = xᵀ·g` shape family).
+fn arb_matmul_at_b_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (
+        arb_mkn(),
+        prop::collection::vec(arb_elem(), 20 * 20),
+        prop::collection::vec(arb_elem(), 20 * 20),
+    )
+        .prop_map(|((m, k, n), da, db)| {
+            (
+                Tensor::from_vec(m, k, da[..m * k].to_vec()),
+                Tensor::from_vec(m, n, db[..m * n].to_vec()),
             )
         })
 }
@@ -83,13 +121,21 @@ proptest! {
     #[test]
     fn blocked_matmul_is_bitwise_naive((a, b) in arb_matmul_pair()) {
         set_kernel_mode(KernelMode::Fast);
-        assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        with_each_width(|| assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b)))?;
     }
 
     #[test]
     fn blocked_matmul_t_is_bitwise_naive((a, b) in arb_matmul_t_pair()) {
         set_kernel_mode(KernelMode::Fast);
-        assert_bits_equal(&a.matmul_t(&b), &reference::matmul_t(&a, &b))?;
+        with_each_width(|| assert_bits_equal(&a.matmul_t(&b), &reference::matmul_t(&a, &b)))?;
+    }
+
+    #[test]
+    fn fused_at_b_matmul_is_bitwise_naive((a, b) in arb_matmul_at_b_pair()) {
+        set_kernel_mode(KernelMode::Fast);
+        with_each_width(|| {
+            assert_bits_equal(&a.matmul_at_b(&b), &reference::matmul_at_b(&a, &b))
+        })?;
     }
 
     #[test]
@@ -117,7 +163,49 @@ proptest! {
             n,
             (0..k * n).map(|i| if i % 3 == 0 { -0.0 } else { 1.5 }).collect(),
         );
-        assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b))?;
+        with_each_width(|| assert_bits_equal(&a.matmul(&b), &reference::matmul(&a, &b)))?;
+    }
+
+    #[test]
+    fn blocked_segment_ops_are_bitwise_naive(
+        (rows, cols, num_segments) in (1usize..12, 1usize..8, 1usize..6),
+        data in prop::collection::vec(arb_elem(), 12 * 8),
+        seg_seed in prop::collection::vec(0usize..6, 12),
+    ) {
+        set_kernel_mode(KernelMode::Fast);
+        let a = Tensor::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let segments: Vec<usize> =
+            seg_seed[..rows].iter().map(|&s| s % num_segments).collect();
+        let g = Tensor::from_vec(
+            num_segments,
+            cols,
+            data[..num_segments * cols].to_vec(),
+        );
+        with_each_width(|| {
+            let plan = SegmentPlan::build(&segments, num_segments);
+            assert_bits_equal(
+                &segment::sum_blocked(&a, &plan),
+                &segment::reference::sum(&a, &segments, num_segments),
+            )?;
+            assert_bits_equal(
+                &segment::mean_blocked(&a, &plan),
+                &segment::reference::mean(&a, &segments, num_segments),
+            )?;
+            let (max_fast, argmax_fast) = segment::max_blocked(&a, &plan);
+            let (max_ref, argmax_ref) =
+                segment::reference::max(&a, &segments, num_segments);
+            assert_bits_equal(&max_fast, &max_ref)?;
+            prop_assert_eq!(argmax_fast, argmax_ref);
+            assert_bits_equal(
+                &segment::sum_backward_blocked(&g, &plan, rows),
+                &segment::reference::sum_backward(&g, &segments, rows),
+            )?;
+            assert_bits_equal(
+                &segment::mean_backward_blocked(&g, &plan, rows),
+                &segment::reference::mean_backward(&g, &segments, num_segments, rows),
+            )?;
+            Ok(())
+        })?;
     }
 
     #[test]

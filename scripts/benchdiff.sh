@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Benchmark-regression smoke: regenerates BENCH_nn.json into a temp
+# file and compares each dim's fast-vs-naive train-step speedup against
+# the committed BENCH_nn.json, failing if any fresh speedup falls more
+# than 10% below the committed one. Speedups are ratios measured within
+# a single run, so — unlike absolute timings — they compare across
+# machines. Pass a path to an already-generated fresh JSON to skip the
+# (slow) regeneration; otherwise the benchmark is built and run.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+COMMITTED=BENCH_nn.json
+[ -f "$COMMITTED" ] || { echo "benchdiff: no committed $COMMITTED" >&2; exit 1; }
+
+FRESH=${1:-}
+if [ -z "$FRESH" ]; then
+    FRESH=$(mktemp "${TMPDIR:-/tmp}/bench_nn.XXXXXX.json")
+    trap 'rm -f "$FRESH"' EXIT
+    echo "benchdiff: regenerating benchmark into $FRESH ..."
+    TYPILUS_BENCH_OUT="$FRESH" cargo run -q --release -p typilus-bench --bin bench_nn >/dev/null
+fi
+
+extract() { # extract <json> -> lines of "dim step_speedup"
+    awk '
+        /"dim":/          { v = $2; gsub(/[^0-9]/, "", v); dim = v }
+        /"step_speedup":/ { v = $2; gsub(/[^0-9.]/, "", v); print dim, v }
+    ' "$1"
+}
+
+status=0
+found=0
+while read -r dim fresh_speedup; do
+    found=1
+    committed_speedup=$(extract "$COMMITTED" | awk -v d="$dim" '$1 == d { print $2 }')
+    if [ -z "$committed_speedup" ]; then
+        echo "benchdiff: dim $dim missing from committed $COMMITTED" >&2
+        status=1
+        continue
+    fi
+    if awk -v f="$fresh_speedup" -v c="$committed_speedup" 'BEGIN { exit !(f < 0.9 * c) }'; then
+        echo "benchdiff: dim $dim REGRESSED: fresh ${fresh_speedup}x vs committed ${committed_speedup}x (>10% below)" >&2
+        status=1
+    else
+        echo "benchdiff: dim $dim OK: fresh ${fresh_speedup}x vs committed ${committed_speedup}x"
+    fi
+done < <(extract "$FRESH")
+
+if [ "$found" -eq 0 ]; then
+    echo "benchdiff: no step_speedup entries found in $FRESH" >&2
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "benchdiff: FAILED" >&2
+    exit "$status"
+fi
+echo "benchdiff: OK"

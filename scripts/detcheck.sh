@@ -7,9 +7,12 @@
 # checkpoint, and requires the resumed artifacts to match the
 # uninterrupted ones byte-for-byte — including a run whose newest
 # checkpoint was corrupted (resume must fall back to the previous
-# one). Run from anywhere; operates on the repo root. Expects `cargo
-# build --release` to have run (tier1.sh orders it that way) but
-# builds on demand otherwise.
+# one). Further legs force the SIMD tile width (TYPILUS_SIMD), the
+# naive reference kernels (TYPILUS_NN_NAIVE) and a kill-and-resume run
+# at a forced width: artifacts must be byte-identical across kernel
+# mode x SIMD width x thread count x resume path. Run from anywhere;
+# operates on the repo root. Expects `cargo build --release` to have
+# run (tier1.sh orders it that way) but builds on demand otherwise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,16 +27,17 @@ trap 'rm -rf "$WORK"' EXIT
 # unordered reduction or map-order leak has room to show up.
 "$TYPILUS" gen-corpus --out "$WORK/corpus" --files 24 --seed 7
 
-run() { # run <threads> <outdir>
+run() { # run <threads> <outdir> [ENV=value ...]
     local threads=$1 out=$2
+    shift 2
     mkdir -p "$out"
-    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+    env "$@" TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
         --model "$out/model.typilus" \
         --epochs 2 --dim 16 --gnn-steps 2 --seed 7 >"$out/train.out"
     find "$WORK/corpus" -name '*.py' | sort | head -8 |
-        TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
+        env "$@" TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
             --model "$out/model.typilus" --top 3 >"$out/predict.out"
-    TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
+    env "$@" TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
         --corpus "$WORK/corpus" >"$out/eval.out"
 }
 
@@ -43,11 +47,12 @@ run() { # run <threads> <outdir>
 # artifacts as an uninterrupted run. With corrupt=yes the newest
 # checkpoint is truncated before resuming, so resume must fall back to
 # the previous valid one.
-run_resumed() { # run_resumed <threads> <outdir> <kill_after_epoch> <corrupt>
+run_resumed() { # run_resumed <threads> <outdir> <kill_after_epoch> <corrupt> [ENV=value ...]
     local threads=$1 out=$2 kill_epoch=$3 corrupt=$4
+    shift 4
     mkdir -p "$out"
     set +e
-    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+    env "$@" TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
         --model "$out/model.typilus" --checkpoint-dir "$out/ckpt" \
         --epochs 2 --dim 16 --gnn-steps 2 --seed 7 \
         --kill-after-epoch "$kill_epoch" >"$out/train.out" 2>"$out/train.err"
@@ -69,13 +74,13 @@ run_resumed() { # run_resumed <threads> <outdir> <kill_after_epoch> <corrupt>
         size=$(wc -c <"$newest")
         head -c "$((size / 2))" "$newest" >"$newest.torn" && mv "$newest.torn" "$newest"
     fi
-    TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
+    env "$@" TYPILUS_THREADS=$threads "$TYPILUS" train --corpus "$WORK/corpus" \
         --model "$out/model.typilus" --checkpoint-dir "$out/ckpt" --resume \
         --epochs 2 --dim 16 --gnn-steps 2 --seed 7 >"$out/train.out"
     find "$WORK/corpus" -name '*.py' | sort | head -8 |
-        TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
+        env "$@" TYPILUS_THREADS=$threads xargs "$TYPILUS" predict \
             --model "$out/model.typilus" --top 3 --out "$out/predict.out"
-    TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
+    env "$@" TYPILUS_THREADS=$threads "$TYPILUS" eval --model "$out/model.typilus" \
         --corpus "$WORK/corpus" >"$out/eval.out"
 }
 
@@ -84,6 +89,13 @@ run 4 "$WORK/t4"
 run_resumed 1 "$WORK/r1" 0 no
 run_resumed 4 "$WORK/r4" 0 no
 run_resumed 1 "$WORK/rc" 1 yes
+# Kernel-variant legs: forced baseline SIMD width, forced widened
+# width (clamped to baseline on CPUs without AVX2), naive reference
+# kernels, and a kill-and-resume run at the forced baseline width.
+run 4 "$WORK/sse2" TYPILUS_SIMD=sse2
+run 2 "$WORK/avx2" TYPILUS_SIMD=avx2
+run 2 "$WORK/naive" TYPILUS_NN_NAIVE=1
+run_resumed 2 "$WORK/rs" 0 no TYPILUS_SIMD=sse2
 
 status=0
 check() { # check <artifact> <dir_a> <label_a> <dir_b> <label_b>
@@ -104,10 +116,14 @@ for artifact in model.typilus predict.out eval.out; do
     check "$artifact" "$WORK/t1" 1-thread "$WORK/r1" resumed-1t
     check "$artifact" "$WORK/t1" 1-thread "$WORK/r4" resumed-4t
     check "$artifact" "$WORK/t1" 1-thread "$WORK/rc" resumed-corrupt
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/sse2" sse2-4t
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/avx2" avx2-2t
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/naive" naive-2t
+    check "$artifact" "$WORK/t1" 1-thread "$WORK/rs" resumed-sse2
 done
 
 if [ "$status" -ne 0 ]; then
-    echo "detcheck: FAILED — results depend on thread count or resume path" >&2
+    echo "detcheck: FAILED — results depend on thread count, kernel variant or resume path" >&2
     exit "$status"
 fi
 echo "detcheck: OK"

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, release build, full test suite (once
 # normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
-# env-driven thread resolution), the fault-injection suite, the
-# determinism lint, the dynamic 1-vs-4-thread determinism and
-# kill-and-resume check, clippy with warnings denied. Run from
-# anywhere; operates on the repo root.
+# env-driven thread resolution), the kernel bit-equivalence properties
+# under each forced SIMD width, the fault-injection suite, the
+# determinism lint, the dynamic determinism and kill-and-resume check
+# (threads x SIMD width x kernel mode), the benchmark-regression
+# smoke, clippy with warnings denied. Run from anywhere; operates on
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,9 +16,12 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 TYPILUS_THREADS=2 cargo test -q
+TYPILUS_SIMD=sse2 cargo test -q -p typilus-nn --test kernel_bitident
+TYPILUS_SIMD=avx2 cargo test -q -p typilus-nn --test kernel_bitident
 cargo test -q -p typilus --features faults --test fault_injection
 cargo run -p typilus-lint --release
 scripts/detcheck.sh
+scripts/benchdiff.sh
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

@@ -1,18 +1,19 @@
 //! The blocked/fused/arena-backed Fast kernels and the pre-optimisation
 //! Naive reference kernels must be interchangeable end to end: a full
-//! train + predict pipeline run under each mode produces bit-identical
-//! per-epoch losses, identical τ-map markers and identical predictions.
+//! train + predict pipeline run under each mode — and at each
+//! selectable SIMD tile width — produces bit-identical per-epoch
+//! losses, identical τ-map markers and identical predictions.
 //!
-//! Kernel mode is process-global, so this lives in its own test binary
-//! with a single `#[test]`: nothing else in the process observes the
-//! temporary switch to Naive.
+//! Kernel mode and SIMD width are process-global, so this lives in its
+//! own test binary with a single `#[test]`: nothing else in the process
+//! observes the temporary switches.
 
 use typilus::{
     train, EncoderKind, LossKind, ModelConfig, Parallelism, PreparedCorpus, TrainedSystem,
     TypilusConfig,
 };
 use typilus_corpus::{generate, CorpusConfig};
-use typilus_nn::{set_kernel_mode, KernelMode};
+use typilus_nn::{available_widths, set_kernel_mode, set_simd_width, KernelMode};
 
 fn run(seed: u64, threads: usize) -> (TrainedSystem, PreparedCorpus) {
     let corpus = generate(&CorpusConfig {
@@ -82,6 +83,21 @@ fn fast_and_naive_kernels_are_bitwise_interchangeable() {
     let (wide_system, wide_data) = run(23, 7);
     let wide = fingerprint(&wide_system, &wide_data);
     assert_eq!(fast, wide, "pool size changed fast-mode results");
+
+    // SIMD width must be invisible too: force each selectable tile
+    // width in turn (auto-detection picked one already; this covers
+    // both on AVX2 hardware) and expect the exact same artifacts.
+    for width in available_widths() {
+        set_simd_width(width);
+        let (w_system, w_data) = run(23, 2);
+        let w = fingerprint(&w_system, &w_data);
+        assert_eq!(
+            fast,
+            w,
+            "SIMD width {} changed fast-mode results",
+            width.name()
+        );
+    }
 
     set_kernel_mode(KernelMode::Naive);
     let (naive_system, naive_data) = run(23, 2);
