@@ -65,6 +65,27 @@ pub fn bench_threads(default: usize) -> usize {
     env_usize("TYPILUS_BENCH_THREADS", default)
 }
 
+/// Marker counts for the TypeSpace index benchmark (`bench_space`):
+/// `TYPILUS_SPACE_SCALES` as a comma-separated list (e.g.
+/// `"10000,100000"`), or `default` when unset. Unparsable entries are
+/// skipped.
+pub fn space_scales(default: &[usize]) -> Vec<usize> {
+    match std::env::var("TYPILUS_SPACE_SCALES") {
+        Ok(raw) => {
+            let scales: Vec<usize> = raw
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect();
+            if scales.is_empty() {
+                default.to_vec()
+            } else {
+                scales
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
 impl Scale {
     /// Reads the scale from the environment (see crate docs).
     pub fn from_env() -> Scale {

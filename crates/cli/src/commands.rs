@@ -4,9 +4,10 @@ use crate::args::{ArgError, Args};
 use std::error::Error;
 use std::path::Path;
 use typilus::{
-    evaluate_files, table2_row, train_with_options, Aggregation, CheckerProfile, EncoderKind,
-    GraphConfig, KnnConfig, LossKind, ModelConfig, NodeInit, Parallelism, PreparedCorpus,
-    TrainError, TrainOptions, TrainedSystem, TypilusConfig,
+    evaluate_files, open_space_index, space_sidecar_path, table2_row, train_with_options,
+    Aggregation, CheckerProfile, EncoderKind, GraphConfig, KnnConfig, LossKind, ModelConfig,
+    NodeInit, Parallelism, PreparedCorpus, RpForestConfig, SpaceConfig, TrainError, TrainOptions,
+    TrainedSystem, TypilusConfig,
 };
 use typilus_check::TypeChecker;
 use typilus_corpus::{generate, CorpusConfig};
@@ -25,11 +26,16 @@ USAGE:
                      [--loss class|space|typilus] [--epochs N] [--dim D]
                      [--gnn-steps T] [--lr F] [--seed S] [--threads N]
                      [--knn-k K] [--knn-p P] [--profile]
+                     [--index exact|forest|sharded] [--shards N] [--trees N]
+                     [--leaf-size N] [--search-k N] [--rebuild-threshold N]
                      [--checkpoint-dir DIR] [--resume] [--kill-after-epoch N]
   typilus predict    --model FILE [--top K] [--min-confidence F] [--check]
                      [--out FILE] PY_FILE...
   typilus eval       --model FILE --corpus DIR [--common N] [--threads N]
   typilus audit      --model FILE --corpus DIR [--min-confidence F]
+  typilus index      --model FILE [--info | --verify] [--shards N] [--trees N]
+                     [--leaf-size N] [--search-k N] [--rebuild-threshold N]
+                     [--seed S] [--threads N]
 
 Corpora are directories of .py files. Models are .typilus artefacts
 written by `train` (see typilus::TrainedSystem::save).
@@ -44,6 +50,18 @@ a configuration error.
 --knn-k / --knn-p set the kNN prediction parameters of Eq. 5 (k
 nearest markers, distance exponent p); k must be positive and p
 non-negative.
+
+--index picks the TypeSpace nearest-neighbour index built after
+training: exact (default, brute force), forest (in-memory RP forest),
+or sharded (the million-marker index: shard groups of trees built in
+parallel, persisted as an mmap-able `MODEL.space` sidecar that loads
+in O(header) and serves zero-copy). --shards/--trees/--leaf-size/
+--search-k/--rebuild-threshold tune it.
+
+`typilus index` (re)builds the sharded index of an existing model and
+rewrites the sidecar; --info prints the sidecar's header, --verify
+additionally sweeps its checksums. The sidecar bytes are identical at
+any --threads value.
 
 `train --profile` prints arena allocation counters after training; when
 the binary is built with `--features nn-profile` it also prints a per-op
@@ -173,6 +191,24 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         p: args.get_parsed("knn-p", KnnConfig::default().p)?,
     };
     knn.validate()?;
+    let space = space_config_from(args, SpaceConfig::default())?;
+    let (approximate_index, space) = match args.get("index").unwrap_or("exact") {
+        "exact" => (false, space),
+        "forest" => (true, SpaceConfig { shards: 1, ..space }),
+        "sharded" => (
+            true,
+            SpaceConfig {
+                shards: space.shards.max(2),
+                ..space
+            },
+        ),
+        other => {
+            return Err(ArgError(format!(
+                "--index: unknown mode {other:?} (exact|forest|sharded)"
+            ))
+            .into())
+        }
+    };
     let graph = GraphConfig::default();
     let data = load_prepared(corpus_dir, &graph, seed)?;
     let config = TypilusConfig {
@@ -191,10 +227,11 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         batch_size: args.get_parsed("batch-size", 8usize)?,
         lr: args.get_parsed("lr", 0.015f32)?,
         knn,
+        approximate_index,
+        space,
         common_threshold: args.get_parsed("common", 15usize)?,
         seed,
         parallelism,
-        ..TypilusConfig::default()
     };
     let profile = args.has_flag("profile");
     if profile {
@@ -246,6 +283,86 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         system.model.params.scalar_count(),
         system.type_map.len(),
         system.type_map.distinct_types()
+    );
+    Ok(())
+}
+
+/// The sharded-index knobs shared by `train` and `index`, defaulted
+/// from `base`.
+fn space_config_from(args: &Args, base: SpaceConfig) -> Result<SpaceConfig, ArgError> {
+    Ok(SpaceConfig {
+        shards: args.get_parsed("shards", base.shards)?,
+        forest: RpForestConfig {
+            trees: args.get_parsed("trees", base.forest.trees)?,
+            leaf_size: args.get_parsed("leaf-size", base.forest.leaf_size)?,
+            search_k: args.get_parsed("search-k", base.forest.search_k)?,
+        },
+        rebuild_threshold: args.get_parsed("rebuild-threshold", base.rebuild_threshold)?,
+    })
+}
+
+/// `typilus index` — build, inspect or verify a model's sharded
+/// TypeSpace index sidecar.
+pub fn index_cmd(args: &Args) -> CmdResult {
+    let model_path = args.require("model")?;
+    let sidecar = space_sidecar_path(model_path);
+    if args.has_flag("info") || args.has_flag("verify") {
+        let index = open_space_index(&sidecar)?;
+        if args.has_flag("verify") {
+            index.verify()?;
+        }
+        let config = index.config();
+        println!(
+            "sidecar {}: {} markers (dim {}), {} shards, {} trees \
+             (leaf size {}, search-k {}), rebuild threshold {}, seed {}, \
+             file id {:016x}{}",
+            sidecar.display(),
+            index.len(),
+            index.dim(),
+            index.shard_count(),
+            config.forest.trees,
+            config.forest.leaf_size,
+            config.forest.search_k,
+            config.rebuild_threshold,
+            index.seed(),
+            index.file_id(),
+            if args.has_flag("verify") {
+                " [checksums verified]"
+            } else {
+                ""
+            }
+        );
+        return Ok(());
+    }
+    let mut system = TrainedSystem::load(model_path)?;
+    let config = space_config_from(args, system.config.space)?;
+    let seed = args.get_parsed("seed", system.config.seed)?;
+    if args.get("threads").is_some() {
+        system.config.parallelism = Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+        system.config.parallelism.try_resolve()?;
+    }
+    // Record the knobs so automatic overlay rebuilds and future
+    // `typilus index` runs default to them. The artifact stays
+    // byte-identical at any --threads value: the thread policy
+    // serializes as auto-detect, and the sharded build itself is
+    // thread-count independent.
+    system.config.space = config;
+    system.config.approximate_index = true;
+    let threads = system.config.parallelism.resolve();
+    let pool = system.pool.get_or_create(|| threads);
+    system
+        .type_map
+        .build_sharded_index(&config, seed, Some(pool))?;
+    system.save(model_path)?;
+    let index = system.type_map.space_index().expect("index just built");
+    println!(
+        "indexed {} markers into {} shards ({} trees); sidecar {} ({} bytes, file id {:016x})",
+        index.len(),
+        index.shard_count(),
+        config.forest.trees,
+        sidecar.display(),
+        index.payload().len(),
+        index.file_id()
     );
     Ok(())
 }

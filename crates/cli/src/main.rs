@@ -15,7 +15,10 @@ use args::Args;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match Args::parse(raw, &["check", "help", "profile", "resume"]) {
+    let parsed = match Args::parse(
+        raw,
+        &["check", "help", "info", "profile", "resume", "verify"],
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -33,6 +36,7 @@ fn main() {
         "predict" => commands::predict_cmd(&parsed),
         "eval" => commands::eval_cmd(&parsed),
         "audit" => commands::audit_cmd(&parsed),
+        "index" => commands::index_cmd(&parsed),
         "help" | "--help" => {
             commands::usage();
             return;

@@ -94,6 +94,34 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 /// payload length disagrees with the actual one;
 /// [`PersistError::ChecksumMismatch`] when the payload fails its CRC.
 pub fn verify_framed(mut bytes: Vec<u8>) -> Result<Vec<u8>, PersistError> {
+    let n = framed_payload_len(&bytes)?;
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[n + 8..n + 16]);
+    let stored_crc = u64::from_le_bytes(word);
+    let actual = crc64(&bytes[..n]);
+    if stored_crc != actual {
+        return Err(PersistError::ChecksumMismatch {
+            expected: stored_crc,
+            found: actual,
+        });
+    }
+    bytes.truncate(n);
+    Ok(bytes)
+}
+
+/// O(1) footer inspection of a framed artifact: checks the footer
+/// magic and the recorded payload length against the actual one, and
+/// returns that length — without touching (or checksumming) the
+/// payload bytes themselves. This is what lets a memory-mapped
+/// artifact open in O(header): the caller locates the payload here
+/// and defers integrity to the payload's own internal checksums (the
+/// TypeSpace index is fully self-checksummed).
+///
+/// # Errors
+///
+/// [`PersistError::MissingFooter`] and [`PersistError::Truncated`], as
+/// in [`verify_framed`]; checksum failures are *not* detected here.
+pub fn framed_payload_len(bytes: &[u8]) -> Result<usize, PersistError> {
     if bytes.len() < FOOTER_LEN || &bytes[bytes.len() - 8..] != FOOTER_MAGIC {
         return Err(PersistError::MissingFooter);
     }
@@ -107,17 +135,7 @@ pub fn verify_framed(mut bytes: Vec<u8>) -> Result<Vec<u8>, PersistError> {
             found: n as u64,
         });
     }
-    word.copy_from_slice(&bytes[n + 8..n + 16]);
-    let stored_crc = u64::from_le_bytes(word);
-    let actual = crc64(&bytes[..n]);
-    if stored_crc != actual {
-        return Err(PersistError::ChecksumMismatch {
-            expected: stored_crc,
-            found: actual,
-        });
-    }
-    bytes.truncate(n);
-    Ok(bytes)
+    Ok(n)
 }
 
 /// Writes `payload` to `path` atomically with an integrity footer.

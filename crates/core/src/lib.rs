@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod data;
 pub mod faults;
 pub mod metrics;
+pub mod mmap;
 pub mod persist;
 pub mod pipeline;
 pub mod suggest;
@@ -53,7 +54,7 @@ pub use metrics::{
     by_annotation_count, by_kind, default_thresholds, evaluate_files, pr_curve, table2_row,
     Criterion, EvalExample, KindBreakdown, MatchRates, PrPoint, Table2Row,
 };
-pub use persist::PersistError;
+pub use persist::{open_space_index, space_sidecar_path, PersistError};
 pub use pipeline::{
     train, train_with_options, EpochStats, Parallelism, SymbolPrediction, TrainError, TrainOptions,
     TrainedSystem, TypilusConfig,
@@ -68,5 +69,7 @@ pub use typecheck_eval::{
 pub use typilus_check::CheckerProfile;
 pub use typilus_graph::{EdgeLabel, EdgeSet, GraphConfig};
 pub use typilus_models::{Aggregation, EncoderKind, LossKind, ModelConfig, NodeInit};
-pub use typilus_space::{KnnConfig, TypePrediction};
+pub use typilus_space::{
+    KnnConfig, RpForestConfig, SpaceConfig, SpaceError, SpaceIndex, TypePrediction,
+};
 pub use typilus_types::{PyType, TypeHierarchy};

@@ -1,0 +1,235 @@
+//! Minimal read-only memory mapping, with no FFI dependency.
+//!
+//! The zero-copy TypeSpace loader wants the index sidecar mapped rather
+//! than read: opening a mapped [`crate::pipeline::TrainedSystem`] then
+//! costs O(header), and the kernel pages index data in on demand as
+//! queries touch it. The workspace deliberately vendors no `libc`, so
+//! on Linux/x86-64 the two syscalls involved (`mmap`, `munmap`) are
+//! issued directly; everywhere else [`Mmap::map`] reports `Ok(None)`
+//! and callers fall back to a buffered read. Mapping failure is never
+//! an error for the same reason — the read path is always correct,
+//! just not zero-copy.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Raw syscalls return `-errno` in `[-4095, -1]` on failure.
+    fn syscall_error(ret: isize) -> Option<i32> {
+        if (-4095..0).contains(&ret) {
+            Some(-ret as i32)
+        } else {
+            None
+        }
+    }
+
+    /// Maps `len` bytes of `fd` read-only and private.
+    ///
+    /// # Safety
+    ///
+    /// `fd` must be a valid open file descriptor and `len` non-zero.
+    /// The returned pages stay valid until `munmap`.
+    pub unsafe fn mmap(len: usize, fd: i32) -> Result<*const u8, i32> {
+        let ret: isize;
+        // SAFETY (lint D5): the raw `syscall` instruction with the
+        // x86-64 Linux convention — number in rax, arguments in
+        // rdi/rsi/rdx/r10/r8/r9, rcx/r11 clobbered by the kernel. A
+        // NULL hint address and offset 0 are always valid; the kernel
+        // validates fd/len and reports -errno instead of faulting.
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP as isize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        match syscall_error(ret) {
+            Some(errno) => Err(errno),
+            None => Ok(ret as *const u8),
+        }
+    }
+
+    /// Unmaps a region returned by [`mmap`].
+    ///
+    /// # Safety
+    ///
+    /// `(ptr, len)` must be exactly a live mapping from [`mmap`]; no
+    /// references into it may outlive this call.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let ret: isize;
+        // SAFETY (lint D5): same calling convention as above; munmap
+        // only touches the page tables of this process.
+        asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP as isize => ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        // Unmapping a region we mapped cannot fail except by misuse;
+        // there is no recovery at drop time anyway.
+        debug_assert!(syscall_error(ret).is_none());
+    }
+}
+
+/// A read-only memory-mapped file. Obtained from [`Mmap::map`]; the
+/// mapping lives until drop, independent of the originating `File`.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+/// On targets without the raw-syscall mapping this type is
+/// uninhabited — [`Mmap::map`] always answers `Ok(None)` there.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub struct Mmap {
+    never: std::convert::Infallible,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+// SAFETY: the mapping is read-only (PROT_READ) and private, so shared
+// references to its bytes are valid from any thread.
+unsafe impl Send for Mmap {}
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+// SAFETY: as above — immutable pages, no interior mutability.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only. `Ok(None)` means mapping is unavailable
+    /// (unsupported target, empty file, or the kernel refused) and the
+    /// caller should fall back to reading the file; errors are real
+    /// filesystem failures like a missing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `open`/`stat` failures only — never mapping failures.
+    pub fn map(path: impl AsRef<Path>) -> io::Result<Option<Mmap>> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 || len > usize::MAX as u64 {
+                return Ok(None);
+            }
+            // SAFETY: the fd is open for the duration of the call and
+            // len is non-zero; the mapping outlives the closed fd by
+            // POSIX mmap semantics.
+            match unsafe { sys::mmap(len as usize, file.as_raw_fd()) } {
+                Ok(ptr) => Ok(Some(Mmap {
+                    ptr,
+                    len: len as usize,
+                })),
+                Err(_errno) => Ok(None),
+            }
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            // Still distinguish "no file" from "no mapping support".
+            File::open(path)?;
+            Ok(None)
+        }
+    }
+
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            self.len
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        match self.never {}
+    }
+
+    /// Whether the mapping is empty (never: empty files are not mapped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, unmapped only in drop, after which no `&self` exists.
+        unsafe {
+            std::slice::from_raw_parts(self.ptr, self.len)
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        match self.never {}
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `(ptr, len)` is the exact region mmap returned, and
+        // drop runs after every borrow of the slice has ended.
+        unsafe { sys::munmap(self.ptr, self.len) }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents_or_falls_back() {
+        let dir = std::env::temp_dir().join(format!("typilus_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped.bin");
+        let content: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        crate::atomic_io::write_atomic(&path, &content).unwrap();
+        match Mmap::map(&path).unwrap() {
+            Some(m) => {
+                assert_eq!(m.len(), content.len());
+                assert!(!m.is_empty());
+                assert_eq!(m.as_ref(), &content[..]);
+                // Page-aligned, hence 8-aligned — what the zero-copy
+                // index view requires.
+                assert_eq!(m.as_ref().as_ptr() as usize % 4096, 0);
+            }
+            None => {
+                // Acceptable only where the fast path does not exist.
+                #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+                panic!("mmap must map a small regular file on linux/x86-64");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error_empty_file_is_none() {
+        let dir = std::env::temp_dir().join(format!("typilus_mmap_none_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Mmap::map(dir.join("absent.bin")).is_err());
+        let empty = dir.join("empty.bin");
+        crate::atomic_io::write_atomic(&empty, b"").unwrap();
+        assert!(Mmap::map(&empty).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

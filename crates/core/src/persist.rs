@@ -7,14 +7,19 @@
 
 use crate::pipeline::TrainedSystem;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use typilus_space::{SpaceError, SpaceIndex};
 
 /// Magic bytes at the start of every artefact file.
 const MAGIC: &[u8; 8] = b"TYPILUS\0";
 /// Bump when the on-disk layout of [`TrainedSystem`] changes.
 /// v2: `TypilusConfig` gained `parallelism`; the type map stores
 /// embeddings contiguously.
-const VERSION: u32 = 2;
+/// v3: `TypilusConfig` gained `space`; a sharded TypeSpace index is
+/// persisted as a `<model>.space` sidecar, the model artifact records
+/// only its identity.
+const VERSION: u32 = 3;
 
 /// Errors of artefact persistence.
 #[derive(Debug)]
@@ -51,6 +56,9 @@ pub enum PersistError {
         /// Checksum of the bytes actually present.
         found: u64,
     },
+    /// The TypeSpace index sidecar is malformed or does not belong to
+    /// this model.
+    Space(SpaceError),
 }
 
 impl fmt::Display for PersistError {
@@ -80,6 +88,7 @@ impl fmt::Display for PersistError {
                     "artefact checksum mismatch: footer records {expected:#018x}, computed {found:#018x}"
                 )
             }
+            PersistError::Space(e) => write!(f, "type-space index sidecar: {e}"),
         }
     }
 }
@@ -96,6 +105,45 @@ impl From<typilus_serbin::Error> for PersistError {
     fn from(e: typilus_serbin::Error) -> Self {
         PersistError::Codec(e)
     }
+}
+
+impl From<SpaceError> for PersistError {
+    fn from(e: SpaceError) -> Self {
+        PersistError::Space(e)
+    }
+}
+
+/// The sidecar file holding a model's sharded TypeSpace index payload:
+/// `<model path>.space` next to the model.
+pub fn space_sidecar_path(model: impl AsRef<Path>) -> PathBuf {
+    let mut name = model.as_ref().as_os_str().to_os_string();
+    name.push(".space");
+    PathBuf::from(name)
+}
+
+/// Opens a TypeSpace index sidecar written by [`TrainedSystem::save`]
+/// (or `typilus index`) as a zero-copy view.
+///
+/// The fast path memory-maps the file and validates only the atomic_io
+/// footer's magic and length plus the index header — O(header), no
+/// deserialization, no payload copy. Where mapping is unavailable the
+/// file is read and verified through [`crate::atomic_io::read_artifact`]
+/// instead. Either way the view is *not* yet integrity-swept; call
+/// [`SpaceIndex::verify`] (as [`TrainedSystem::load`] does) to check
+/// the payload's own checksums before trusting query results.
+///
+/// # Errors
+///
+/// Filesystem errors, footer errors, and [`PersistError::Space`] for a
+/// malformed index header.
+pub fn open_space_index(path: impl AsRef<Path>) -> Result<SpaceIndex, PersistError> {
+    let path = path.as_ref();
+    if let Some(map) = crate::mmap::Mmap::map(path)? {
+        let payload_len = crate::atomic_io::framed_payload_len(map.as_ref())?;
+        return Ok(SpaceIndex::from_provider(Arc::new(map), payload_len)?);
+    }
+    let payload = crate::atomic_io::read_artifact(path)?;
+    Ok(SpaceIndex::from_payload_vec(payload)?)
 }
 
 impl TrainedSystem {
@@ -137,23 +185,72 @@ impl TrainedSystem {
     /// Saves the system to a file atomically (write-temp → fsync →
     /// rename) with an integrity footer; see [`crate::atomic_io`].
     ///
+    /// When the type map carries a sharded TypeSpace index, the index
+    /// payload is written first as a `<path>.space` sidecar (also
+    /// atomic and footer-framed) and the model artifact records only
+    /// its `file_id` — so loading the model never deserializes the
+    /// index, and the artifact stays small. A crash between the two
+    /// writes leaves a model paired with a mismatched sidecar, which
+    /// [`TrainedSystem::load`] detects by id and degrades to exact
+    /// search instead of serving a stale index.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem and codec errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        if let Some(payload) = self.type_map.space_payload() {
+            crate::atomic_io::write_artifact(space_sidecar_path(path), payload)?;
+        }
         crate::atomic_io::write_artifact(path, &self.to_bytes()?)
     }
 
     /// Loads a system from a file saved with [`TrainedSystem::save`],
     /// verifying its integrity footer first.
     ///
+    /// If the model references a sharded TypeSpace index, its sidecar
+    /// is opened zero-copy (memory-mapped where supported), integrity-
+    /// swept with [`SpaceIndex::verify`], and attached. A *missing* or
+    /// *mismatched* sidecar is survivable — the map's markers all live
+    /// in the model artifact, so the system warns and serves exact
+    /// search. A sidecar that is present and paired but *corrupt* is a
+    /// hard, typed error: silently dropping to exact search would mask
+    /// bit rot.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem, corruption (truncation, checksum,
-    /// missing footer), format and codec errors.
+    /// missing footer, index section corruption), format and codec
+    /// errors.
     pub fn load(path: impl AsRef<Path>) -> Result<TrainedSystem, PersistError> {
+        let path = path.as_ref();
         let bytes = crate::atomic_io::read_artifact(path)?;
-        TrainedSystem::from_bytes(&bytes)
+        let mut system = TrainedSystem::from_bytes(&bytes)?;
+        if system.type_map.expected_file_id().is_some() {
+            let sidecar = space_sidecar_path(path);
+            match open_space_index(&sidecar) {
+                Ok(index) => {
+                    if index.file_id() == system.type_map.expected_file_id().unwrap_or(0) {
+                        index.verify()?;
+                        system.type_map.attach_space_index(index)?;
+                    } else {
+                        eprintln!(
+                            "typilus: index sidecar {} belongs to a different build \
+                             of this model; using exact search",
+                            sidecar.display()
+                        );
+                    }
+                }
+                Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    eprintln!(
+                        "typilus: index sidecar {} is missing; using exact search",
+                        sidecar.display()
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(system)
     }
 }
 

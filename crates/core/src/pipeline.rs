@@ -17,7 +17,7 @@ use typilus_nn::{
     resolve_threads, try_resolve_threads, Adam, PoolCell, ThreadConfigError, WorkerPool,
 };
 use typilus_pyast::symtable::{SymbolId, SymbolKind};
-use typilus_space::{KnnConfig, RpForestConfig, TypeMap, TypePrediction};
+use typilus_space::{KnnConfig, SpaceConfig, TypeMap, TypePrediction};
 use typilus_types::{PyType, TypeHierarchy};
 
 /// Thread-count policy for the data-parallel pipeline stages (minibatch
@@ -98,6 +98,12 @@ pub struct TypilusConfig {
     /// Whether to build the approximate (Annoy-like) index over the
     /// type map; small maps use exact search.
     pub approximate_index: bool,
+    /// Sharded TypeSpace index parameters (shard count, per-tree
+    /// forest knobs, overlay rebuild threshold). With more than one
+    /// shard the approximate index is built sharded — in parallel,
+    /// persisted as an mmap-able sidecar; one shard keeps the
+    /// in-memory forest.
+    pub space: SpaceConfig,
     /// Types seen at least this many times in training count as
     /// *common* in the evaluation breakdown (paper: 100 at full scale).
     pub common_threshold: usize,
@@ -117,6 +123,7 @@ impl Default for TypilusConfig {
             lr: 0.01,
             knn: KnnConfig::default(),
             approximate_index: false,
+            space: SpaceConfig::default(),
             common_threshold: 20,
             seed: 0,
             parallelism: Parallelism::default(),
@@ -443,7 +450,17 @@ pub fn train_with_options(
         }
     }
     if config.approximate_index && type_map.len() > 64 {
-        type_map.build_index(RpForestConfig::default(), config.seed);
+        if config.space.shards > 1 {
+            // Sharded build on the training pool: byte-identical at any
+            // thread count, and the index persists as an mmap-able
+            // sidecar on save.
+            if let Err(e) = type_map.build_sharded_index(&config.space, config.seed, Some(&pool)) {
+                eprintln!("typilus: sharded index build failed ({e}); using in-memory forest");
+                type_map.build_index(config.space.forest, config.seed);
+            }
+        } else {
+            type_map.build_index(config.space.forest, config.seed);
+        }
     }
 
     let mut hierarchy = TypeHierarchy::new();

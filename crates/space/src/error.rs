@@ -1,0 +1,129 @@
+//! Typed errors of the TypeSpace index machinery.
+
+use std::fmt;
+
+/// Everything that can go wrong building, validating, or attaching the
+/// sharded TypeSpace index. Mirrors the typed-corruption philosophy of
+/// `typilus_core::PersistError`: a caller can always tell *which*
+/// integrity guarantee failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// A point's width differs from the store's dimension.
+    DimensionMismatch {
+        /// Width the store was created with.
+        expected: usize,
+        /// Width of the offending row.
+        found: usize,
+    },
+    /// The payload does not start with the `TYPSPIDX` magic.
+    BadMagic,
+    /// The payload was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The fixed-size header fails its own CRC-64.
+    HeaderCorrupt {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed from the header bytes.
+        found: u64,
+    },
+    /// The payload is shorter (or longer) than the header records.
+    Truncated {
+        /// Byte length the header (or format minimum) requires.
+        expected: u64,
+        /// Byte length actually present.
+        found: u64,
+    },
+    /// A checksummed section's bytes do not match their recorded CRC-64.
+    SectionCorrupt {
+        /// Which section failed (`"payload"`, `"shard 3"`, ...).
+        section: String,
+        /// Checksum recorded at build time.
+        expected: u64,
+        /// Checksum recomputed from the section bytes.
+        found: u64,
+    },
+    /// A section offset or length is inconsistent with the payload.
+    BadLayout {
+        /// Human-readable description of the inconsistent field.
+        what: String,
+    },
+    /// The buffer backing a zero-copy view is not 8-byte aligned.
+    Misaligned,
+    /// A count exceeds the 32-bit on-disk id space.
+    TooLarge {
+        /// Which count overflowed.
+        what: String,
+    },
+    /// An index sidecar's identity does not match what the map expects.
+    IndexMismatch {
+        /// `file_id` the map's `Detached` marker records.
+        expected: u64,
+        /// `file_id` of the index actually offered.
+        found: u64,
+    },
+    /// The index covers a different marker set than the map holds.
+    MarkerMismatch {
+        /// Points the index was built over.
+        index_points: usize,
+        /// Markers the map (or type table) holds.
+        map_markers: usize,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DimensionMismatch { expected, found } => {
+                write!(f, "point width mismatch: store is {expected}-wide, row is {found}-wide")
+            }
+            SpaceError::BadMagic => write!(f, "not a TypeSpace index (bad magic)"),
+            SpaceError::VersionMismatch { found, expected } => write!(
+                f,
+                "TypeSpace index format version {found} unsupported (this build reads {expected})"
+            ),
+            SpaceError::HeaderCorrupt { expected, found } => write!(
+                f,
+                "TypeSpace index header corrupt: crc {found:016x}, header records {expected:016x}"
+            ),
+            SpaceError::Truncated { expected, found } => write!(
+                f,
+                "TypeSpace index truncated: {found} bytes present, {expected} required"
+            ),
+            SpaceError::SectionCorrupt {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "TypeSpace index section `{section}` corrupt: crc {found:016x}, recorded {expected:016x}"
+            ),
+            SpaceError::BadLayout { what } => {
+                write!(f, "TypeSpace index layout inconsistent: {what}")
+            }
+            SpaceError::Misaligned => {
+                write!(f, "TypeSpace index buffer is not 8-byte aligned")
+            }
+            SpaceError::TooLarge { what } => {
+                write!(f, "TypeSpace index too large: {what} exceeds the 32-bit id space")
+            }
+            SpaceError::IndexMismatch { expected, found } => write!(
+                f,
+                "TypeSpace index identity mismatch: map expects file id {expected:016x}, index has {found:016x}"
+            ),
+            SpaceError::MarkerMismatch {
+                index_points,
+                map_markers,
+            } => write!(
+                f,
+                "TypeSpace index covers {index_points} markers but the map holds {map_markers}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}

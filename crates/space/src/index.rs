@@ -12,12 +12,23 @@
 //! (`O(n log k)` instead of a full `O(n log n)` sort), and the L1 kernel
 //! early-exits as soon as a partial sum proves a point cannot beat the
 //! current k-th best distance.
+//!
+//! Serving is allocation-free at steady state: every index exposes
+//! `query_into(&self, q, k, scratch, out)` writing into a reusable
+//! [`QueryScratch`] (frontier heap, visited stamps, candidate list,
+//! top-k heap) — the allocating `query` wrappers remain for tests and
+//! one-off callers. The priority-search frontier is ordered by
+//! `(margin, insertion sequence)`, a total order independent of how
+//! tree nodes are addressed, so the in-memory forest and the zero-copy
+//! on-disk view (`crate::disk`) visit candidates in exactly the same
+//! order.
 
+use crate::error::SpaceError;
+pub use crate::kernel::{l1, l1_pruned, l1_pruned_reference, l1_reference};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Contiguous row-major point storage.
 ///
@@ -58,15 +69,36 @@ impl PointStore {
         store
     }
 
+    /// Appends one point, validating its width: a mismatched row would
+    /// otherwise shear every later row's `[i * dim, (i + 1) * dim)`
+    /// slice and silently corrupt the contiguous buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`SpaceError::DimensionMismatch`] if `row`'s width differs from
+    /// the store's dimension; the store is left unchanged.
+    pub fn try_push(&mut self, row: &[f32]) -> Result<(), SpaceError> {
+        if row.len() != self.dim {
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.dim,
+                found: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        Ok(())
+    }
+
     /// Appends one point.
     ///
     /// # Panics
     ///
-    /// Panics if `row`'s width differs from the store's dimension.
+    /// Panics if `row`'s width differs from the store's dimension
+    /// (infallible version of [`PointStore::try_push`]).
     pub fn push(&mut self, row: &[f32]) {
-        assert_eq!(row.len(), self.dim, "point width mismatch");
-        self.data.extend_from_slice(row);
-        self.len += 1;
+        if let Err(e) = self.try_push(row) {
+            panic!("{e}");
+        }
     }
 
     /// Number of points.
@@ -97,42 +129,12 @@ impl PointStore {
     pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
         (0..self.len).map(|i| self.row(i))
     }
-}
 
-/// L1 (Manhattan) distance — the metric of the paper's type space.
-pub fn l1(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-}
-
-/// Coordinates summed between bound checks of [`l1_pruned`].
-const PRUNE_CHUNK: usize = 8;
-
-/// L1 distance with early exit: accumulates `|a - b|` in the same
-/// left-to-right order as [`l1`], and after every [`PRUNE_CHUNK`]-wide
-/// chunk stops as soon as the partial sum strictly exceeds `bound`.
-///
-/// When the result is `<= bound` it is bit-identical to `l1(a, b)`;
-/// otherwise it is some partial sum `> bound`, which suffices to reject
-/// the point in a top-k scan. The exit test is strict so that distances
-/// exactly equal to the bound are still computed exactly (ties are
-/// broken by index downstream).
-pub fn l1_pruned(a: &[f32], b: &[f32], bound: f32) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut sum = 0.0f32;
-    let mut i = 0;
-    let n = a.len();
-    while i < n {
-        let end = (i + PRUNE_CHUNK).min(n);
-        while i < end {
-            sum += (a[i] - b[i]).abs();
-            i += 1;
-        }
-        if sum > bound {
-            return sum;
-        }
+    /// The whole contiguous coordinate buffer (the on-disk writer
+    /// copies it out verbatim).
+    pub(crate) fn data(&self) -> &[f32] {
+        &self.data
     }
-    sum
 }
 
 /// A `(point index, distance)` search hit.
@@ -147,8 +149,8 @@ pub struct Hit {
 /// Heap entry ordered worst-first: greater distance, then greater index,
 /// so the max-heap's top is the hit that drops out next and ties keep
 /// the lowest index (matching a `(distance, index)` sort).
-#[derive(PartialEq)]
-struct Worst(f32, usize);
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) struct Worst(pub(crate) f32, pub(crate) usize);
 
 impl Eq for Worst {}
 
@@ -164,38 +166,247 @@ impl Ord for Worst {
     }
 }
 
+impl std::fmt::Debug for Worst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Worst({}, {})", self.0, self.1)
+    }
+}
+
+/// Row access shared by the top-k kernel: implemented by the owned
+/// [`PointStore`] and by the zero-copy on-disk point block.
+pub(crate) trait PointSource {
+    /// Point `i` as a slice.
+    fn row(&self, i: usize) -> &[f32];
+}
+
+impl PointSource for PointStore {
+    fn row(&self, i: usize) -> &[f32] {
+        PointStore::row(self, i)
+    }
+}
+
+/// Borrowed row-major points (the on-disk point block).
+pub(crate) struct SliceRows<'a> {
+    pub(crate) data: &'a [f32],
+    pub(crate) dim: usize,
+}
+
+impl PointSource for SliceRows<'_> {
+    fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+// --- manual binary heaps over reusable Vec storage -----------------------
+//
+// `std::collections::BinaryHeap` owns its buffer, so a per-query heap
+// means a per-query allocation. These sift helpers run the same
+// algorithm over caller-owned Vecs that live in `QueryScratch`.
+
+fn worst_sift_up(heap: &mut [Worst], mut i: usize) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[i] <= heap[parent] {
+            break;
+        }
+        heap.swap(i, parent);
+        i = parent;
+    }
+}
+
+fn worst_sift_down(heap: &mut [Worst], mut i: usize) {
+    loop {
+        let mut largest = i;
+        let l = 2 * i + 1;
+        let r = l + 1;
+        if l < heap.len() && heap[l] > heap[largest] {
+            largest = l;
+        }
+        if r < heap.len() && heap[r] > heap[largest] {
+            largest = r;
+        }
+        if largest == i {
+            break;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+/// Priority-search frontier entry: `(margin, insertion sequence,
+/// node address)`. The sequence number makes the order total and
+/// representation-independent — two traversals that push the same
+/// logical nodes in the same order pop them in the same order, whether
+/// a node is addressed as an in-memory index or an on-disk offset.
+#[derive(Debug, Clone, Copy)]
+struct FrontierEntry {
+    margin: f32,
+    seq: u32,
+    payload: u64,
+}
+
+#[inline]
+fn frontier_less(a: &FrontierEntry, b: &FrontierEntry) -> bool {
+    a.margin
+        .total_cmp(&b.margin)
+        .then(a.seq.cmp(&b.seq))
+        .is_lt()
+}
+
+/// Reusable buffers for the serve-critical query path: the priority
+/// frontier, the visited-point stamp set, the candidate list, and the
+/// bounded top-k heap. One scratch per thread makes `query_into`
+/// allocation-free at steady state; `begin` resets it in O(1) (the
+/// stamp set uses an epoch counter instead of clearing).
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    pub(crate) heap: Vec<Worst>,
+    pub(crate) candidates: Vec<u32>,
+    stamps: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<FrontierEntry>,
+    seq: u32,
+    pub(crate) aux: Vec<Hit>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch; buffers grow to steady-state sizes on
+    /// first use.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Starts a query over `points` points: clears per-query state and
+    /// advances the visited epoch.
+    pub(crate) fn begin(&mut self, points: usize) {
+        self.candidates.clear();
+        self.frontier.clear();
+        self.seq = 0;
+        if self.stamps.len() < points {
+            self.stamps.resize(points, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks point `p` visited; `true` when it had not been seen in
+    /// this query yet.
+    pub(crate) fn mark_new(&mut self, p: usize) -> bool {
+        if self.stamps[p] == self.epoch {
+            false
+        } else {
+            self.stamps[p] = self.epoch;
+            true
+        }
+    }
+
+    /// Pushes a node onto the priority frontier.
+    pub(crate) fn frontier_push(&mut self, margin: f32, payload: u64) {
+        self.frontier.push(FrontierEntry {
+            margin,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+        let mut i = self.frontier.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !frontier_less(&self.frontier[i], &self.frontier[parent]) {
+                break;
+            }
+            self.frontier.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    /// Pops the frontier node with the smallest `(margin, seq)`.
+    pub(crate) fn frontier_pop(&mut self) -> Option<u64> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let top = self.frontier.swap_remove(0);
+        let mut i = 0;
+        loop {
+            let mut smallest = i;
+            let l = 2 * i + 1;
+            let r = l + 1;
+            if l < self.frontier.len() && frontier_less(&self.frontier[l], &self.frontier[smallest])
+            {
+                smallest = l;
+            }
+            if r < self.frontier.len() && frontier_less(&self.frontier[r], &self.frontier[smallest])
+            {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.frontier.swap(i, smallest);
+            i = smallest;
+        }
+        Some(top.payload)
+    }
+}
+
 /// The `k` candidates nearest to `query`, in ascending `(distance,
-/// index)` order. A bounded max-heap carries the best `k` seen so far;
-/// its worst distance prunes every later [`l1_pruned`] scan.
+/// index)` order, written into `out`. A bounded max-heap (caller-owned
+/// `heap` storage, cleared here) carries the best `k` seen so far; its
+/// worst distance prunes every later [`l1_pruned`] scan.
+pub(crate) fn top_k_into<P: PointSource + ?Sized>(
+    points: &P,
+    candidates: impl Iterator<Item = usize>,
+    query: &[f32],
+    k: usize,
+    heap: &mut Vec<Worst>,
+    out: &mut Vec<Hit>,
+) {
+    out.clear();
+    heap.clear();
+    if k == 0 {
+        return;
+    }
+    for i in candidates {
+        let bound = if heap.len() == k {
+            heap[0].0
+        } else {
+            f32::INFINITY
+        };
+        let d = l1_pruned(query, points.row(i), bound);
+        let cand = Worst(d, i);
+        if heap.len() < k {
+            heap.push(cand);
+            let last = heap.len() - 1;
+            worst_sift_up(heap, last);
+        } else if cand < heap[0] {
+            heap[0] = cand;
+            worst_sift_down(heap, 0);
+        }
+    }
+    out.extend(
+        heap.iter()
+            .map(|&Worst(distance, index)| Hit { index, distance }),
+    );
+    out.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+}
+
+/// Allocating convenience wrapper over [`top_k_into`].
 pub(crate) fn top_k(
     store: &PointStore,
     candidates: impl Iterator<Item = usize>,
     query: &[f32],
     k: usize,
 ) -> Vec<Hit> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
-    for i in candidates {
-        let bound = if heap.len() == k {
-            heap.peek().expect("heap is full").0
-        } else {
-            f32::INFINITY
-        };
-        let d = l1_pruned(query, store.row(i), bound);
-        let cand = Worst(d, i);
-        if heap.len() < k {
-            heap.push(cand);
-        } else if cand < *heap.peek().expect("heap is full") {
-            heap.pop();
-            heap.push(cand);
-        }
-    }
-    heap.into_sorted_vec()
-        .into_iter()
-        .map(|Worst(distance, index)| Hit { index, distance })
-        .collect()
+    let mut heap = Vec::new();
+    let mut out = Vec::new();
+    top_k_into(store, candidates, query, k, &mut heap, &mut out);
+    out
 }
 
 /// Brute-force exact kNN.
@@ -231,10 +442,29 @@ impl ExactIndex {
     pub fn query(&self, query: &[f32], k: usize) -> Vec<Hit> {
         top_k(&self.points, 0..self.points.len(), query, k)
     }
+
+    /// Allocation-free [`ExactIndex::query`]: identical hits written
+    /// into `out`, reusing `scratch`'s buffers.
+    pub fn query_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Hit>,
+    ) {
+        top_k_into(
+            &self.points,
+            0..self.points.len(),
+            query,
+            k,
+            &mut scratch.heap,
+            out,
+        );
+    }
 }
 
 /// Construction options for [`RpForest`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RpForestConfig {
     /// Number of trees; more trees, better recall.
     pub trees: usize,
@@ -256,7 +486,7 @@ impl Default for RpForestConfig {
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum TreeNode {
+pub(crate) enum TreeNode {
     Leaf {
         points: Vec<usize>,
     },
@@ -270,46 +500,35 @@ enum TreeNode {
     },
 }
 
-/// An Annoy-style forest of random-projection trees under L1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RpForest {
-    points: PointStore,
-    nodes: Vec<TreeNode>,
-    roots: Vec<usize>,
+/// Builds random-projection trees over a borrowed [`PointStore`],
+/// accumulating nodes into one arena. Children are pushed before their
+/// parent, so node `i`'s subtree lives entirely in `nodes[..=i]` — the
+/// on-disk writer relies on this to emit blocks in a single pass.
+pub(crate) struct TreeBuilder<'a> {
+    points: &'a PointStore,
     config: RpForestConfig,
+    pub(crate) nodes: Vec<TreeNode>,
+    pub(crate) roots: Vec<usize>,
 }
 
-impl RpForest {
-    /// Builds the forest over `points`.
-    pub fn build(points: Vec<Vec<f32>>, config: RpForestConfig, seed: u64) -> RpForest {
-        RpForest::from_store(PointStore::from_rows(points), config, seed)
-    }
-
-    /// Builds the forest over already-contiguous points.
-    pub fn from_store(points: PointStore, config: RpForestConfig, seed: u64) -> RpForest {
-        let mut forest = RpForest {
+impl<'a> TreeBuilder<'a> {
+    pub(crate) fn new(points: &'a PointStore, config: RpForestConfig) -> TreeBuilder<'a> {
+        TreeBuilder {
             points,
+            config,
             nodes: Vec::new(),
             roots: Vec::new(),
-            config,
-        };
-        let mut rng = StdRng::seed_from_u64(seed);
-        let all: Vec<usize> = (0..forest.points.len()).collect();
-        for _ in 0..config.trees {
-            let root = forest.build_node(&all, &mut rng, 0);
-            forest.roots.push(root);
         }
-        forest
     }
 
-    /// Number of indexed points.
-    pub fn len(&self) -> usize {
-        self.points.len()
-    }
-
-    /// Whether the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+    /// Builds `trees` trees from one RNG stream seeded with `seed`.
+    pub(crate) fn build_trees(&mut self, trees: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<usize> = (0..self.points.len()).collect();
+        for _ in 0..trees {
+            let root = self.build_node(&all, &mut rng, 0);
+            self.roots.push(root);
+        }
     }
 
     fn build_node(&mut self, points: &[usize], rng: &mut StdRng, depth: usize) -> usize {
@@ -371,46 +590,99 @@ impl RpForest {
         });
         self.nodes.len() - 1
     }
+}
+
+/// An Annoy-style forest of random-projection trees under L1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RpForest {
+    points: PointStore,
+    nodes: Vec<TreeNode>,
+    roots: Vec<usize>,
+    config: RpForestConfig,
+}
+
+impl RpForest {
+    /// Builds the forest over `points`.
+    pub fn build(points: Vec<Vec<f32>>, config: RpForestConfig, seed: u64) -> RpForest {
+        RpForest::from_store(PointStore::from_rows(points), config, seed)
+    }
+
+    /// Builds the forest over already-contiguous points.
+    pub fn from_store(points: PointStore, config: RpForestConfig, seed: u64) -> RpForest {
+        let mut builder = TreeBuilder::new(&points, config);
+        builder.build_trees(config.trees, seed);
+        let TreeBuilder { nodes, roots, .. } = builder;
+        RpForest {
+            points,
+            nodes,
+            roots,
+            config,
+        }
+    }
+
+    /// Assembles a forest from pre-built parts (the sharded builder's
+    /// merged tree sets).
+    pub(crate) fn from_parts(
+        points: PointStore,
+        nodes: Vec<TreeNode>,
+        roots: Vec<usize>,
+        config: RpForestConfig,
+    ) -> RpForest {
+        RpForest {
+            points,
+            nodes,
+            roots,
+            config,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
 
     /// The approximate `k` nearest points in ascending distance.
     ///
     /// Performs a priority search across all trees, examining at least
     /// `search_k` candidate points, then ranks candidates by true L1.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        if self.points.is_empty() {
-            return Vec::new();
-        }
-        // Max-heap on -margin so the closest frontier expands first.
-        #[derive(PartialEq)]
-        struct Frontier(f32, usize);
-        impl Eq for Frontier {}
-        impl PartialOrd for Frontier {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Frontier {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other.0.total_cmp(&self.0) // min-heap on margin
-            }
-        }
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.query_into(query, k, &mut scratch, &mut out);
+        out
+    }
 
-        let mut heap = BinaryHeap::new();
-        for &root in &self.roots {
-            heap.push(Frontier(0.0, root));
+    /// Allocation-free [`RpForest::query`]: identical hits written into
+    /// `out`, reusing `scratch`'s buffers.
+    pub fn query_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Hit>,
+    ) {
+        out.clear();
+        if self.points.is_empty() {
+            return;
         }
-        let mut candidates: Vec<usize> = Vec::new();
-        let mut seen = vec![false; self.points.len()];
-        while let Some(Frontier(_, node)) = heap.pop() {
-            match &self.nodes[node] {
+        scratch.begin(self.points.len());
+        for &root in &self.roots {
+            scratch.frontier_push(0.0, root as u64);
+        }
+        while let Some(payload) = scratch.frontier_pop() {
+            match &self.nodes[payload as usize] {
                 TreeNode::Leaf { points } => {
                     for &p in points {
-                        if !seen[p] {
-                            seen[p] = true;
-                            candidates.push(p);
+                        if scratch.mark_new(p) {
+                            scratch.candidates.push(p as u32);
                         }
                     }
-                    if candidates.len() >= self.config.search_k {
+                    if scratch.candidates.len() >= self.config.search_k {
                         break;
                     }
                 }
@@ -420,22 +692,32 @@ impl RpForest {
                     left,
                     right,
                 } => {
-                    let margin = dot(query, direction) - threshold;
+                    let margin = dot(query, direction) - *threshold;
                     let (near, far) = if margin < 0.0 {
                         (*left, *right)
                     } else {
                         (*right, *left)
                     };
-                    heap.push(Frontier(0.0, near));
-                    heap.push(Frontier(margin.abs(), far));
+                    scratch.frontier_push(0.0, near as u64);
+                    scratch.frontier_push(margin.abs(), far as u64);
                 }
             }
         }
-        top_k(&self.points, candidates.into_iter(), query, k)
+        let QueryScratch {
+            heap, candidates, ..
+        } = scratch;
+        top_k_into(
+            &self.points,
+            candidates.iter().map(|&c| c as usize),
+            query,
+            k,
+            heap,
+            out,
+        );
     }
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -535,6 +817,42 @@ mod tests {
         grown.push(&[7.0, 8.0]);
         assert_eq!(grown.len(), 1);
         assert_eq!(grown.row(0), &[7.0, 8.0]);
+    }
+
+    #[test]
+    fn try_push_rejects_width_mismatch_without_corrupting() {
+        let mut store = PointStore::new(3);
+        store.push(&[1.0, 2.0, 3.0]);
+        let err = store.try_push(&[4.0, 5.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        // The failed push left the buffer untouched.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.row(0), &[1.0, 2.0, 3.0]);
+        store.try_push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(store.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn query_into_matches_query_and_reuses_buffers() {
+        let points = random_points(300, 9, 21);
+        let exact = ExactIndex::new(points.clone());
+        let forest = RpForest::build(points, RpForestConfig::default(), 5);
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let q: Vec<f32> = (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            exact.query_into(&q, 7, &mut scratch, &mut out);
+            assert_eq!(out, exact.query(&q, 7));
+            forest.query_into(&q, 7, &mut scratch, &mut out);
+            assert_eq!(out, forest.query(&q, 7));
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The L1 distance kernels of the TypeSpace, runtime SIMD-dispatched.
+//!
+//! The accumulation order is the determinism contract here: both kernels
+//! sum `|a[i] - b[i]|` in strictly ascending index order starting from
+//! `0.0`, so every per-element rounding sequence is fixed. The dispatched
+//! fast path groups the absolute differences into [`PRUNE_CHUNK`]-wide
+//! blocks — the differences are independent and vectorize freely — but
+//! feeds them into the *same serial* sum chain, so results stay
+//! bit-identical to the scalar references at every width. Where the
+//! [`typilus_nn::simd`] dispatcher selects the widened tile, the same
+//! generic body is re-instantiated inside a
+//! `#[target_feature(enable = "avx2")]` function (plain `vsubps`/
+//! `vandps`/`vaddps`; no FMA, which would change rounding).
+//!
+//! [`l1_reference`] and [`l1_pruned_reference`] keep the original scalar
+//! loops; the `kernel_bitident`-style proptests in
+//! `crates/space/tests/proptests.rs` prove bit-identity at every
+//! selectable width.
+
+use typilus_nn::{simd_width, SimdWidth};
+
+/// Coordinates summed between bound checks of [`l1_pruned`]. Also the
+/// vector block width of the fast path: keeping the early-exit cadence
+/// equal to the block width means the dispatched kernel tests the bound
+/// at exactly the same partial sums as the scalar reference.
+pub(crate) const PRUNE_CHUNK: usize = 8;
+
+/// Scalar reference for [`l1`]: the original iterator-sum loop.
+pub fn l1_reference(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Scalar reference for [`l1_pruned`]: the original chunked loop.
+pub fn l1_pruned_reference(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0f32;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let end = (i + PRUNE_CHUNK).min(n);
+        while i < end {
+            sum += (a[i] - b[i]).abs();
+            i += 1;
+        }
+        if sum > bound {
+            return sum;
+        }
+    }
+    sum
+}
+
+/// The shared accumulation body of [`l1`]: blockwise absolute
+/// differences (vectorizable), serial ascending-index sum (bit-fixed).
+#[inline(always)]
+fn l1_body(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    // -0.0, not 0.0: `iter::Sum for f32` folds from -0.0, and the
+    // bit-identity contract with [`l1_reference`] includes the empty
+    // input (-0.0 + x == x for every abs result, so only n = 0 differs).
+    let mut sum = -0.0f32;
+    let mut i = 0;
+    while i + PRUNE_CHUNK <= n {
+        let mut d = [0.0f32; PRUNE_CHUNK];
+        for j in 0..PRUNE_CHUNK {
+            d[j] = (a[i + j] - b[i + j]).abs();
+        }
+        for &x in &d {
+            sum += x;
+        }
+        i += PRUNE_CHUNK;
+    }
+    while i < n {
+        sum += (a[i] - b[i]).abs();
+        i += 1;
+    }
+    sum
+}
+
+/// The shared accumulation body of [`l1_pruned`]. Exit points and
+/// partial sums match [`l1_pruned_reference`] exactly: the bound is
+/// tested after every full [`PRUNE_CHUNK`] block and once after the
+/// tail, which is where the reference's chunked loop tests it too.
+#[inline(always)]
+fn l1_pruned_body(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut sum = 0.0f32;
+    let mut i = 0;
+    while i + PRUNE_CHUNK <= n {
+        let mut d = [0.0f32; PRUNE_CHUNK];
+        for j in 0..PRUNE_CHUNK {
+            d[j] = (a[i + j] - b[i + j]).abs();
+        }
+        for &x in &d {
+            sum += x;
+        }
+        i += PRUNE_CHUNK;
+        if sum > bound {
+            return sum;
+        }
+    }
+    while i < n {
+        sum += (a[i] - b[i]).abs();
+        i += 1;
+    }
+    sum
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn l1_avx2(a: &[f32], b: &[f32]) -> f32 {
+    l1_body(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn l1_pruned_avx2(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    l1_pruned_body(a, b, bound)
+}
+
+/// L1 (Manhattan) distance — the metric of the paper's type space.
+///
+/// Bit-identical to [`l1_reference`] at every dispatched SIMD width.
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_width() == SimdWidth::Avx2 {
+        // SAFETY: the dispatcher only selects Avx2 when the CPU
+        // reports it (set_simd_width asserts availability).
+        return unsafe { l1_avx2(a, b) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd_width();
+    l1_body(a, b)
+}
+
+/// L1 distance with early exit: accumulates `|a - b|` in the same
+/// left-to-right order as [`l1`], and after every [`PRUNE_CHUNK`]-wide
+/// block stops as soon as the partial sum strictly exceeds `bound`.
+///
+/// When the result is `<= bound` it is bit-identical to `l1(a, b)`;
+/// otherwise it is some partial sum `> bound`, which suffices to reject
+/// the point in a top-k scan. The exit test is strict so that distances
+/// exactly equal to the bound are still computed exactly (ties are
+/// broken by index downstream). Bit-identical to
+/// [`l1_pruned_reference`] — including every early-exit partial sum —
+/// at every dispatched SIMD width.
+#[inline]
+pub fn l1_pruned(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_width() == SimdWidth::Avx2 {
+        // SAFETY: the dispatcher only selects Avx2 when the CPU
+        // reports it (set_simd_width asserts availability).
+        return unsafe { l1_pruned_avx2(a, b, bound) };
+    }
+    l1_pruned_body(a, b, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let a = (0..n).map(|_| next()).collect();
+        let b = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn l1_matches_reference_bitwise() {
+        for n in [0, 1, 7, 8, 9, 16, 33, 257] {
+            let (a, b) = fixture(n, n as u64 + 3);
+            assert_eq!(l1(&a, &b).to_bits(), l1_reference(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn l1_pruned_matches_reference_bitwise_at_any_bound() {
+        for n in [1, 8, 9, 31, 64] {
+            let (a, b) = fixture(n, n as u64 + 11);
+            let exact = l1_reference(&a, &b);
+            for bound in [f32::INFINITY, exact, exact * 0.5, exact * 0.1, 0.0] {
+                assert_eq!(
+                    l1_pruned(&a, &b, bound).to_bits(),
+                    l1_pruned_reference(&a, &b, bound).to_bits(),
+                    "n={n} bound={bound}"
+                );
+            }
+        }
+    }
+}

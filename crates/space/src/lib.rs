@@ -6,6 +6,14 @@
 //! random-projection forest for sub-linear queries under L1 (the paper
 //! uses Annoy with the same metric).
 //!
+//! For million-marker spaces the forest scales through the sharded
+//! machinery: [`shard`] builds tree groups in parallel with
+//! deterministic per-shard seeds, [`disk`] lays the whole index out in
+//! a contiguous little-endian format that [`SpaceIndex`] queries
+//! zero-copy straight from a memory-mapped (or any borrowed) view, and
+//! [`TypeMap`] keeps post-build markers queryable through a
+//! deterministic overlay merged by periodic rebuild.
+//!
 //! ```
 //! use typilus_space::{KnnConfig, TypeMap};
 //!
@@ -21,8 +29,20 @@
 
 #![warn(missing_docs)]
 
+pub mod disk;
+pub mod error;
 pub mod index;
+pub mod kernel;
+pub mod shard;
 pub mod typemap;
 
-pub use index::{l1, l1_pruned, ExactIndex, Hit, PointStore, RpForest, RpForestConfig};
+pub use disk::{
+    build_payload, AlignedBytes, SpaceIndex, SPACE_HEADER_LEN, SPACE_MAGIC, SPACE_VERSION,
+};
+pub use error::SpaceError;
+pub use index::{
+    l1, l1_pruned, l1_pruned_reference, l1_reference, ExactIndex, Hit, PointStore, QueryScratch,
+    RpForest, RpForestConfig,
+};
+pub use shard::{reference_forest, SpaceConfig};
 pub use typemap::{KnnConfig, TypeMap, TypePrediction};

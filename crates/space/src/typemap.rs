@@ -9,10 +9,27 @@
 //! The map is *adaptive*: binding a marker for a previously unseen type
 //! makes it predictable immediately, with no retraining — the paper's
 //! one-shot open-vocabulary mechanism.
+//!
+//! Three index states back the nearest-neighbour search: brute-force
+//! [`Index::Exact`], the in-memory [`RpForest`], and the sharded
+//! zero-copy [`SpaceIndex`] view. The sharded state supports
+//! *incremental* insertion: markers added after the build live in a
+//! deterministic overlay that is scanned exactly and merged with the
+//! view's hits, and once the overlay reaches the configured threshold
+//! the index is rebuilt in place from the same config and seed.
+//! When a map with a sharded index is serialized, only the index's
+//! identity (`file_id`) travels inside the model artifact; the payload
+//! itself is persisted as a sidecar file and re-attached on load
+//! ([`Index::Detached`] in between).
 
-use crate::index::{self, Hit, PointStore, RpForest, RpForestConfig};
+use crate::disk::SpaceIndex;
+use crate::error::SpaceError;
+use crate::index::{self, Hit, PointStore, QueryScratch, RpForest, RpForestConfig};
+use crate::shard::SpaceConfig;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use typilus_nn::WorkerPool;
 use typilus_types::PyType;
 
 /// A scored candidate type.
@@ -80,12 +97,71 @@ impl KnnConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Index {
-    /// Brute force (always exact, default until `build_index`).
+    /// Brute force (always exact, default until an index is built).
     Exact,
-    /// Annoy-style approximate forest.
+    /// Annoy-style approximate forest, in memory.
     Forest(Box<RpForest>),
+    /// Sharded zero-copy view of the on-disk index payload.
+    Sharded(SpaceIndex),
+    /// A sharded index existed when the map was serialized; only its
+    /// identity travelled. Queries fall back to exact search until
+    /// [`TypeMap::attach_space_index`] re-attaches the sidecar.
+    Detached {
+        /// `file_id` of the sidecar payload to attach.
+        file_id: u64,
+    },
+}
+
+/// The serde wire shape of [`Index`]. `Sharded` intentionally has no
+/// wire form — the view's payload is persisted out-of-band as a
+/// sidecar, and serializing the in-memory variant writes the same
+/// `Detached` record (variant index 2) that deserialization reads
+/// back.
+#[derive(Deserialize)]
+enum IndexWire {
+    Exact,
+    Forest(Box<RpForest>),
+    Detached { file_id: u64 },
+}
+
+impl Serialize for Index {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStructVariant;
+        match self {
+            Index::Exact => serializer.serialize_unit_variant("Index", 0, "Exact"),
+            Index::Forest(f) => serializer.serialize_newtype_variant("Index", 1, "Forest", f),
+            Index::Sharded(ix) => {
+                let mut sv = serializer.serialize_struct_variant("Index", 2, "Detached", 1)?;
+                sv.serialize_field("file_id", &ix.file_id())?;
+                sv.end()
+            }
+            Index::Detached { file_id } => {
+                let mut sv = serializer.serialize_struct_variant("Index", 2, "Detached", 1)?;
+                sv.serialize_field("file_id", file_id)?;
+                sv.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Index {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(match IndexWire::deserialize(deserializer)? {
+            IndexWire::Exact => Index::Exact,
+            IndexWire::Forest(f) => Index::Forest(f),
+            IndexWire::Detached { file_id } => Index::Detached { file_id },
+        })
+    }
+}
+
+thread_local! {
+    /// Per-thread query scratch for [`TypeMap::predict`] — keeps the
+    /// serve path allocation-free at steady state without threading a
+    /// scratch through every caller.
+    static PREDICT_SCRATCH: RefCell<(QueryScratch, Vec<Hit>)> =
+        RefCell::new((QueryScratch::new(), Vec::new()));
 }
 
 /// The type map: embeddings of symbols with known types, queryable by
@@ -111,9 +187,15 @@ impl TypeMap {
 
     /// Adds a marker binding `embedding ↦ ty`.
     ///
-    /// Invalidates any approximate index built earlier (queries fall back
-    /// to exact search until [`TypeMap::build_index`] is called again) —
-    /// this is what makes the map adaptive.
+    /// The new marker is queryable immediately in every index state —
+    /// this is what makes the map adaptive. An in-memory forest is
+    /// invalidated (queries fall back to exact search until
+    /// [`TypeMap::build_index`] runs again). A sharded index stays
+    /// attached: the marker joins a deterministic overlay that is
+    /// scanned exactly and merged into every query, and once the
+    /// overlay reaches the index's `rebuild_threshold` (a threshold of
+    /// 0 means every insertion) the index is rebuilt in place from its
+    /// recorded config and seed.
     ///
     /// # Panics
     ///
@@ -122,7 +204,42 @@ impl TypeMap {
         assert_eq!(embedding.len(), self.dim, "embedding width mismatch");
         self.embeddings.push(&embedding);
         self.types.push(ty);
-        self.index = Index::Exact;
+        enum After {
+            Nothing,
+            DropForest,
+            Rebuild { config: SpaceConfig, seed: u64 },
+        }
+        let action = match &self.index {
+            Index::Exact | Index::Detached { .. } => After::Nothing,
+            Index::Forest(_) => After::DropForest,
+            Index::Sharded(ix) => {
+                let overlay = self.embeddings.len() - ix.len();
+                if overlay >= ix.rebuild_threshold().max(1) {
+                    After::Rebuild {
+                        config: ix.config(),
+                        seed: ix.seed(),
+                    }
+                } else {
+                    After::Nothing
+                }
+            }
+        };
+        match action {
+            After::Nothing => {}
+            After::DropForest => self.index = Index::Exact,
+            After::Rebuild { config, seed } => {
+                if let Err(e) = self.build_sharded_index(&config, seed, None) {
+                    // Rebuild failure (e.g. the map outgrew the 32-bit
+                    // id space) must not lose markers or correctness:
+                    // degrade to exact search.
+                    eprintln!(
+                        "typilus-space: sharded index rebuild failed ({e}); \
+                         falling back to exact search"
+                    );
+                    self.index = Index::Exact;
+                }
+            }
+        }
     }
 
     /// Number of markers.
@@ -149,7 +266,7 @@ impl TypeMap {
         seen.len()
     }
 
-    /// Builds the approximate spatial index (Annoy-like RP forest).
+    /// Builds the in-memory approximate index (Annoy-like RP forest).
     pub fn build_index(&mut self, config: RpForestConfig, seed: u64) {
         self.index = Index::Forest(Box::new(RpForest::from_store(
             self.embeddings.clone(),
@@ -158,17 +275,162 @@ impl TypeMap {
         )));
     }
 
-    fn nearest(&self, query: &[f32], k: usize) -> Vec<Hit> {
+    /// Builds the sharded on-disk-format index over the current
+    /// markers — in parallel on `pool` when given; the resulting bytes
+    /// are identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpaceError::TooLarge`] when a count exceeds the 32-bit
+    /// on-disk id space.
+    pub fn build_sharded_index(
+        &mut self,
+        config: &SpaceConfig,
+        seed: u64,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(), SpaceError> {
+        let names: Vec<String> = self.types.iter().map(|t| t.to_string()).collect();
+        let index = SpaceIndex::build(&self.embeddings, &names, config, seed, pool)?;
+        self.index = Index::Sharded(index);
+        Ok(())
+    }
+
+    /// The sharded index payload to persist as a sidecar file, if a
+    /// sharded index is attached.
+    pub fn space_payload(&self) -> Option<&[u8]> {
+        match &self.index {
+            Index::Sharded(ix) => Some(ix.payload()),
+            _ => None,
+        }
+    }
+
+    /// The identity of the sidecar this map expects attached — set
+    /// after deserializing a map that had a sharded index.
+    pub fn expected_file_id(&self) -> Option<u64> {
+        match &self.index {
+            Index::Detached { file_id } => Some(*file_id),
+            _ => None,
+        }
+    }
+
+    /// The attached sharded view, if any.
+    pub fn space_index(&self) -> Option<&SpaceIndex> {
+        match &self.index {
+            Index::Sharded(ix) => Some(ix),
+            _ => None,
+        }
+    }
+
+    /// Markers added since the sharded index was built (scanned
+    /// exactly on every query until the next rebuild).
+    pub fn overlay_len(&self) -> usize {
+        match &self.index {
+            Index::Sharded(ix) => self.embeddings.len() - ix.len(),
+            _ => 0,
+        }
+    }
+
+    /// Attaches a loaded sidecar view. When the map is `Detached` the
+    /// view's `file_id` must match the recorded identity; in every
+    /// case the dimensions must agree and the view may not cover more
+    /// markers than the map holds (markers beyond the view's count are
+    /// treated as overlay).
+    ///
+    /// # Errors
+    ///
+    /// [`SpaceError::IndexMismatch`], [`SpaceError::DimensionMismatch`]
+    /// or [`SpaceError::MarkerMismatch`] when the sidecar does not
+    /// belong to this map.
+    pub fn attach_space_index(&mut self, index: SpaceIndex) -> Result<(), SpaceError> {
+        if let Index::Detached { file_id } = self.index {
+            if file_id != index.file_id() {
+                return Err(SpaceError::IndexMismatch {
+                    expected: file_id,
+                    found: index.file_id(),
+                });
+            }
+        }
+        if index.dim() != self.dim {
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.dim,
+                found: index.dim(),
+            });
+        }
+        if index.len() > self.embeddings.len() {
+            return Err(SpaceError::MarkerMismatch {
+                index_points: index.len(),
+                map_markers: self.embeddings.len(),
+            });
+        }
+        self.index = Index::Sharded(index);
+        Ok(())
+    }
+
+    /// Detaches an attached sharded view down to its identity marker —
+    /// the state a deserialized map is in before its sidecar is
+    /// attached. No-op in other states.
+    pub fn detach_space_index(&mut self) {
+        if let Index::Sharded(ix) = &self.index {
+            self.index = Index::Detached {
+                file_id: ix.file_id(),
+            };
+        }
+    }
+
+    /// The `k` nearest markers in ascending `(distance, index)` order,
+    /// written into `out` reusing `scratch` — the allocation-free core
+    /// of [`TypeMap::predict`]. With a sharded index attached, overlay
+    /// markers are scanned exactly and merged with the view's hits.
+    pub fn nearest_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Hit>,
+    ) {
         match &self.index {
             // Brute force straight over the marker store — no per-query
-            // copy of the embeddings.
-            Index::Exact => index::top_k(&self.embeddings, 0..self.embeddings.len(), query, k),
-            Index::Forest(f) => f.query(query, k),
+            // copy of the embeddings. A detached map searches exactly
+            // too: correct, just not sub-linear, until re-attachment.
+            Index::Exact | Index::Detached { .. } => index::top_k_into(
+                &self.embeddings,
+                0..self.embeddings.len(),
+                query,
+                k,
+                &mut scratch.heap,
+                out,
+            ),
+            Index::Forest(f) => f.query_into(query, k, scratch, out),
+            Index::Sharded(ix) => {
+                ix.query_into(query, k, scratch, out);
+                let base = ix.len();
+                if base < self.embeddings.len() {
+                    let mut aux = std::mem::take(&mut scratch.aux);
+                    index::top_k_into(
+                        &self.embeddings,
+                        base..self.embeddings.len(),
+                        query,
+                        k,
+                        &mut scratch.heap,
+                        &mut aux,
+                    );
+                    out.extend_from_slice(&aux);
+                    scratch.aux = aux;
+                    out.sort_by(|a, b| {
+                        a.distance
+                            .total_cmp(&b.distance)
+                            .then(a.index.cmp(&b.index))
+                    });
+                    out.truncate(k);
+                }
+            }
         }
     }
 
     /// Predicts a distribution over candidate types for `query` (Eq. 5),
-    /// sorted by descending probability.
+    /// sorted by descending probability. The kNN search runs through a
+    /// per-thread reusable scratch, so it allocates nothing at steady
+    /// state.
     ///
     /// # Panics
     ///
@@ -179,33 +441,37 @@ impl TypeMap {
             return Vec::new();
         }
         let config = config.effective();
-        let hits = self.nearest(query, config.k);
-        // Keyed in type-name order so accumulation and the collect
-        // below are deterministic (lint rule D1).
-        let mut scores: BTreeMap<String, (PyType, f64)> = BTreeMap::new();
-        let mut z = 0.0f64;
-        for h in hits {
-            // d^{-p} with a floor so exact matches dominate but stay finite.
-            let d = f64::from(h.distance).max(1e-6);
-            let w = d.powf(f64::from(-config.p));
-            z += w;
-            let ty = &self.types[h.index];
-            let e = scores.entry(ty.to_string()).or_insert((ty.clone(), 0.0));
-            e.1 += w;
-        }
-        let mut out: Vec<TypePrediction> = scores
-            .into_values()
-            .map(|(ty, s)| TypePrediction {
-                ty,
-                probability: (s / z) as f32,
-            })
-            .collect();
-        out.sort_by(|a, b| {
-            b.probability
-                .total_cmp(&a.probability)
-                .then_with(|| a.ty.to_string().cmp(&b.ty.to_string()))
-        });
-        out
+        PREDICT_SCRATCH.with(|cell| {
+            let mut guard = cell.borrow_mut();
+            let (scratch, hits) = &mut *guard;
+            self.nearest_into(query, config.k, scratch, hits);
+            // Keyed in type-name order so accumulation and the collect
+            // below are deterministic (lint rule D1).
+            let mut scores: BTreeMap<String, (PyType, f64)> = BTreeMap::new();
+            let mut z = 0.0f64;
+            for h in hits.iter() {
+                // d^{-p} with a floor so exact matches dominate but stay finite.
+                let d = f64::from(h.distance).max(1e-6);
+                let w = d.powf(f64::from(-config.p));
+                z += w;
+                let ty = &self.types[h.index];
+                let e = scores.entry(ty.to_string()).or_insert((ty.clone(), 0.0));
+                e.1 += w;
+            }
+            let mut out: Vec<TypePrediction> = scores
+                .into_values()
+                .map(|(ty, s)| TypePrediction {
+                    ty,
+                    probability: (s / z) as f32,
+                })
+                .collect();
+            out.sort_by(|a, b| {
+                b.probability
+                    .total_cmp(&a.probability)
+                    .then_with(|| a.ty.to_string().cmp(&b.ty.to_string()))
+            });
+            out
+        })
     }
 
     /// The single best prediction, if any.
@@ -228,6 +494,26 @@ mod tests {
         m.add(vec![0.1, 0.1], t("int"));
         m.add(vec![1.0, 1.0], t("str"));
         m.add(vec![1.1, 0.9], t("str"));
+        m
+    }
+
+    fn filled_map(n: usize) -> TypeMap {
+        let mut m = TypeMap::new(4);
+        let mut rng_state = 12345u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for i in 0..n {
+            let ty = if i % 3 == 0 {
+                t("int")
+            } else if i % 3 == 1 {
+                t("str")
+            } else {
+                t("List[int]")
+            };
+            m.add(vec![next(), next(), next(), next()], ty);
+        }
         m
     }
 
@@ -278,22 +564,7 @@ mod tests {
 
     #[test]
     fn approximate_index_agrees_with_exact() {
-        let mut m = TypeMap::new(4);
-        let mut rng_state = 12345u64;
-        let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-        };
-        for i in 0..300 {
-            let ty = if i % 3 == 0 {
-                t("int")
-            } else if i % 3 == 1 {
-                t("str")
-            } else {
-                t("List[int]")
-            };
-            m.add(vec![next(), next(), next(), next()], ty);
-        }
+        let mut m = filled_map(300);
         let query = vec![0.1, -0.2, 0.3, 0.0];
         let exact_top = m.predict_top(&query, KnnConfig::default()).unwrap();
         m.build_index(
@@ -309,6 +580,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_index_agrees_with_exact() {
+        let mut m = filled_map(300);
+        let query = vec![0.1, -0.2, 0.3, 0.0];
+        let exact = m.predict(&query, KnnConfig::default());
+        m.build_sharded_index(
+            &SpaceConfig {
+                shards: 4,
+                forest: RpForestConfig {
+                    trees: 8,
+                    leaf_size: 8,
+                    search_k: 300,
+                },
+                rebuild_threshold: 1024,
+            },
+            1,
+            None,
+        )
+        .unwrap();
+        assert!(m.space_index().is_some());
+        // search_k >= n makes the sharded search exhaustive, so the
+        // predictions must be identical, not merely close.
+        assert_eq!(m.predict(&query, KnnConfig::default()), exact);
+    }
+
+    #[test]
     fn adding_marker_invalidates_index() {
         let mut m = small_map();
         m.build_index(RpForestConfig::default(), 0);
@@ -318,6 +614,70 @@ mod tests {
             .predict_top(&[9.0, 9.0], KnnConfig { k: 1, p: 1.0 })
             .unwrap();
         assert_eq!(top.ty, t("bytes"));
+    }
+
+    #[test]
+    fn sharded_overlay_finds_new_marker_without_rebuild() {
+        let mut m = filled_map(300);
+        m.build_sharded_index(&SpaceConfig::default(), 7, None)
+            .unwrap();
+        m.add(vec![9.0, 9.0, 9.0, 9.0], t("bytes"));
+        assert_eq!(m.overlay_len(), 1, "marker must land in the overlay");
+        assert!(m.space_index().is_some(), "index must stay attached");
+        let top = m
+            .predict_top(&[9.0, 9.0, 9.0, 9.0], KnnConfig { k: 1, p: 1.0 })
+            .unwrap();
+        assert_eq!(top.ty, t("bytes"));
+    }
+
+    #[test]
+    fn sharded_overlay_rebuild_at_threshold() {
+        let mut m = filled_map(100);
+        let config = SpaceConfig {
+            rebuild_threshold: 4,
+            ..SpaceConfig::default()
+        };
+        m.build_sharded_index(&config, 7, None).unwrap();
+        let before = m.space_index().unwrap().file_id();
+        for i in 0..3 {
+            m.add(vec![i as f32; 4], t("bytes"));
+        }
+        assert_eq!(m.overlay_len(), 3);
+        assert_eq!(m.space_index().unwrap().file_id(), before);
+        m.add(vec![3.0; 4], t("bytes"));
+        // Threshold hit: rebuilt over all 104 markers, overlay empty.
+        assert_eq!(m.overlay_len(), 0);
+        let rebuilt = m.space_index().unwrap();
+        assert_eq!(rebuilt.len(), 104);
+        assert_ne!(rebuilt.file_id(), before);
+        assert_eq!(rebuilt.config(), config, "rebuild keeps the config");
+    }
+
+    #[test]
+    fn detach_attach_round_trip() {
+        let mut m = filled_map(200);
+        m.build_sharded_index(&SpaceConfig::default(), 3, None)
+            .unwrap();
+        let index = m.space_index().unwrap().clone();
+        let query = vec![0.2, -0.1, 0.0, 0.3];
+        let attached = m.predict(&query, KnnConfig::default());
+        m.detach_space_index();
+        assert_eq!(m.expected_file_id(), Some(index.file_id()));
+        assert!(m.space_payload().is_none());
+        // Detached queries are exact, hence still correct.
+        assert!(!m.predict(&query, KnnConfig::default()).is_empty());
+        // Wrong sidecar is rejected; the right one restores the state.
+        let mut other = filled_map(200);
+        other
+            .build_sharded_index(&SpaceConfig::default(), 99, None)
+            .unwrap();
+        let wrong = other.space_index().unwrap().clone();
+        assert!(matches!(
+            m.attach_space_index(wrong),
+            Err(SpaceError::IndexMismatch { .. })
+        ));
+        m.attach_space_index(index).unwrap();
+        assert_eq!(m.predict(&query, KnnConfig::default()), attached);
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! Property-based invariants of the kNN indexes and the type map.
 
 use proptest::prelude::*;
-use typilus_space::{l1, l1_pruned, ExactIndex, Hit, KnnConfig, RpForest, RpForestConfig, TypeMap};
+use typilus_nn::{available_widths, set_simd_width};
+use typilus_space::{
+    build_payload, l1, l1_pruned, l1_pruned_reference, l1_reference, reference_forest, ExactIndex,
+    Hit, KnnConfig, PointStore, QueryScratch, RpForest, RpForestConfig, SpaceConfig, SpaceIndex,
+    TypeMap,
+};
 use typilus_types::PyType;
 
 fn arb_points(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
@@ -129,5 +134,131 @@ proptest! {
             .predict_top(&seed_point, KnnConfig { k: 5, p: 30.0 })
             .expect("nonempty map");
         prop_assert_eq!(top.ty.to_string(), "int");
+    }
+
+    /// At every SIMD width the dispatcher can select on this CPU, the
+    /// dispatched L1 kernels are bit-identical to their scalar
+    /// references — the TypeSpace analogue of the matmul
+    /// `kernel_bitident` contract.
+    #[test]
+    fn l1_kernels_bit_identical_at_every_simd_width(
+        a in prop::collection::vec(-8.0f32..8.0, 0..70),
+        b_seed in prop::collection::vec(-8.0f32..8.0, 70),
+        bound in 0.0f32..50.0,
+    ) {
+        let b = &b_seed[..a.len()];
+        let want = l1_reference(&a, b);
+        let want_pruned = l1_pruned_reference(&a, b, bound);
+        for width in available_widths() {
+            set_simd_width(width);
+            prop_assert_eq!(l1(&a, b).to_bits(), want.to_bits());
+            prop_assert_eq!(l1_pruned(&a, b, bound).to_bits(), want_pruned.to_bits());
+        }
+    }
+
+    /// The zero-copy on-disk index returns exactly the hits of the
+    /// in-memory forest the sharded build is defined against — same
+    /// indexes, same distance bits — for any shard count and seed.
+    #[test]
+    fn disk_index_query_equals_reference_forest(
+        points in arb_points(2..40, 4),
+        query in prop::collection::vec(-1.0f32..1.0, 4),
+        seed in 0u64..50,
+        shards in 1usize..5,
+        k in 1usize..8,
+    ) {
+        let mut store = PointStore::new(4);
+        for p in &points {
+            store.push(p);
+        }
+        let config = SpaceConfig {
+            shards,
+            forest: RpForestConfig { trees: 5, leaf_size: 4, search_k: 64 },
+            rebuild_threshold: 8,
+        };
+        let names: Vec<String> =
+            (0..points.len()).map(|i| format!("t{}", i % 3)).collect();
+        let payload = build_payload(&store, &names, &config, seed, None).expect("build");
+        let index = SpaceIndex::from_payload(&payload).expect("open");
+        let forest = reference_forest(store, &config, seed);
+        let mut scratch = QueryScratch::new();
+        let mut disk_hits = Vec::new();
+        index.query_into(&query, k, &mut scratch, &mut disk_hits);
+        let mem_hits = forest.query(&query, k);
+        prop_assert_eq!(disk_hits.len(), mem_hits.len());
+        for (d, m) in disk_hits.iter().zip(&mem_hits) {
+            prop_assert_eq!(d.index, m.index);
+            prop_assert_eq!(d.distance.to_bits(), m.distance.to_bits());
+        }
+    }
+
+    /// `query_into` with dirty, reused buffers returns exactly what the
+    /// allocating `query` does, for both index kinds.
+    #[test]
+    fn query_into_with_reused_buffers_matches_query(
+        points in arb_points(2..40, 3),
+        queries in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 3), 1..5),
+        k in 1usize..6,
+        seed in 0u64..20,
+    ) {
+        let n = points.len();
+        let exact = ExactIndex::new(points.clone());
+        let forest = RpForest::build(
+            points,
+            RpForestConfig { trees: 4, leaf_size: 4, search_k: n },
+            seed,
+        );
+        let mut scratch = QueryScratch::new();
+        // Pre-soiled output: query_into must fully overwrite it.
+        let mut out = vec![Hit { index: usize::MAX, distance: f32::NAN }];
+        for q in &queries {
+            exact.query_into(q, k, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &exact.query(q, k));
+            forest.query_into(q, k, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &forest.query(q, k));
+        }
+    }
+
+    /// A map serving part of its markers from the zero-copy sharded
+    /// index and the rest from the incremental overlay predicts exactly
+    /// what a plain exact-scan map over the same markers does.
+    #[test]
+    fn sharded_map_with_overlay_matches_exact_map(
+        points in arb_points(4..30, 3),
+        extra in arb_points(1..6, 3),
+        query in prop::collection::vec(-1.0f32..1.0, 3),
+        k in 1usize..6,
+    ) {
+        let tys = ["int", "str", "bool"];
+        let mut sharded = TypeMap::new(3);
+        let mut exact = TypeMap::new(3);
+        for (i, p) in points.iter().enumerate() {
+            let ty = tys[i % 3].parse::<PyType>().expect("valid");
+            sharded.add(p.clone(), ty.clone());
+            exact.add(p.clone(), ty);
+        }
+        let config = SpaceConfig {
+            shards: 3,
+            // search_k far above the point count: the approximate index
+            // degenerates to exhaustive search, so results must match
+            // the exact scan hit-for-hit.
+            forest: RpForestConfig { trees: 4, leaf_size: 4, search_k: 1 << 20 },
+            // High threshold: the extra markers stay in the overlay.
+            rebuild_threshold: 1_000_000,
+        };
+        sharded.build_sharded_index(&config, 9, None).expect("build");
+        for (i, p) in extra.iter().enumerate() {
+            let ty = tys[(i + 1) % 3].parse::<PyType>().expect("valid");
+            sharded.add(p.clone(), ty.clone());
+            exact.add(p.clone(), ty);
+        }
+        prop_assert_eq!(sharded.overlay_len(), extra.len());
+        let a = sharded.predict(&query, KnnConfig { k, p: 1.3 });
+        let b = exact.predict(&query, KnnConfig { k, p: 1.3 });
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.ty.to_string(), y.ty.to_string());
+            prop_assert_eq!(x.probability.to_bits(), y.probability.to_bits());
+        }
     }
 }

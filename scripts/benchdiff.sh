@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# Benchmark-regression smoke: regenerates BENCH_nn.json into a temp
-# file and compares each dim's fast-vs-naive train-step speedup against
-# the committed BENCH_nn.json, failing if any fresh speedup falls more
-# than 10% below the committed one. Speedups are ratios measured within
-# a single run, so — unlike absolute timings — they compare across
-# machines. Pass a path to an already-generated fresh JSON to skip the
-# (slow) regeneration; otherwise the benchmark is built and run.
-# Run from anywhere; operates on the repo root.
+# Benchmark-regression smoke over the committed benchmark reports.
+#
+# Leg 1 (BENCH_nn.json): regenerates the kernel benchmark and compares
+# each dim's fast-vs-naive train-step speedup against the committed
+# report, failing if any fresh speedup falls more than 10% below the
+# committed one.
+#
+# Leg 2 (BENCH_space.json): regenerates the TypeSpace index benchmark
+# at reduced scale (10^4 and 10^5 markers) and fails if any scale's
+# sharded-query speedup over the exact scan falls more than 10% below
+# the committed ratio, or if recall@10 drops below the 0.95 floor.
+#
+# Speedups are ratios measured within a single run, so — unlike
+# absolute timings — they compare across machines. Pass paths to
+# already-generated fresh JSONs ($1 = nn, $2 = space) to skip the
+# (slow) regenerations. Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+status=0
+
+# ---------------- leg 1: nn kernel speedups ----------------
 COMMITTED=BENCH_nn.json
 [ -f "$COMMITTED" ] || { echo "benchdiff: no committed $COMMITTED" >&2; exit 1; }
 
@@ -19,7 +30,7 @@ FRESH=${1:-}
 if [ -z "$FRESH" ]; then
     FRESH=$(mktemp "${TMPDIR:-/tmp}/bench_nn.XXXXXX.json")
     trap 'rm -f "$FRESH"' EXIT
-    echo "benchdiff: regenerating benchmark into $FRESH ..."
+    echo "benchdiff: regenerating nn benchmark into $FRESH ..."
     TYPILUS_BENCH_OUT="$FRESH" cargo run -q --release -p typilus-bench --bin bench_nn >/dev/null
 fi
 
@@ -30,7 +41,6 @@ extract() { # extract <json> -> lines of "dim step_speedup"
     ' "$1"
 }
 
-status=0
 found=0
 while read -r dim fresh_speedup; do
     found=1
@@ -50,6 +60,55 @@ done < <(extract "$FRESH")
 
 if [ "$found" -eq 0 ]; then
     echo "benchdiff: no step_speedup entries found in $FRESH" >&2
+    status=1
+fi
+
+# ---------------- leg 2: space index query speedup + recall ----------------
+SPACE_COMMITTED=BENCH_space.json
+[ -f "$SPACE_COMMITTED" ] || { echo "benchdiff: no committed $SPACE_COMMITTED" >&2; exit 1; }
+
+SPACE_FRESH=${2:-}
+if [ -z "$SPACE_FRESH" ]; then
+    SPACE_FRESH=$(mktemp "${TMPDIR:-/tmp}/bench_space.XXXXXX.json")
+    trap 'rm -f "$FRESH" "$SPACE_FRESH"' EXIT
+    echo "benchdiff: regenerating space benchmark into $SPACE_FRESH ..."
+    TYPILUS_SPACE_SCALES="10000,100000" TYPILUS_BENCH_OUT="$SPACE_FRESH" \
+        cargo run -q --release -p typilus-bench --bin bench_space >/dev/null
+fi
+
+extract_space() { # extract_space <json> -> lines of "markers speedup recall"
+    awk '
+        /"markers":/                { v = $2; gsub(/[^0-9]/, "", v); markers = v }
+        /"recall_at_10":/           { v = $2; gsub(/[^0-9.]/, "", v); recall = v }
+        /"query_speedup_vs_exact":/ { v = $2; gsub(/[^0-9.]/, "", v); print markers, v, recall }
+    ' "$1"
+}
+
+space_found=0
+while read -r markers fresh_speedup fresh_recall; do
+    space_found=1
+    committed_speedup=$(extract_space "$SPACE_COMMITTED" | awk -v m="$markers" '$1 == m { print $2 }')
+    if [ -z "$committed_speedup" ]; then
+        echo "benchdiff: $markers markers missing from committed $SPACE_COMMITTED" >&2
+        status=1
+        continue
+    fi
+    if awk -v f="$fresh_speedup" -v c="$committed_speedup" 'BEGIN { exit !(f < 0.9 * c) }'; then
+        echo "benchdiff: space $markers markers query REGRESSED: fresh ${fresh_speedup}x vs committed ${committed_speedup}x (>10% below)" >&2
+        status=1
+    else
+        echo "benchdiff: space $markers markers query OK: fresh ${fresh_speedup}x vs committed ${committed_speedup}x"
+    fi
+    if awk -v r="$fresh_recall" 'BEGIN { exit !(r < 0.95) }'; then
+        echo "benchdiff: space $markers markers recall@10 TOO LOW: ${fresh_recall} (< 0.95)" >&2
+        status=1
+    else
+        echo "benchdiff: space $markers markers recall@10 OK: ${fresh_recall}"
+    fi
+done < <(extract_space "$SPACE_FRESH")
+
+if [ "$space_found" -eq 0 ]; then
+    echo "benchdiff: no query_speedup_vs_exact entries found in $SPACE_FRESH" >&2
     status=1
 fi
 

@@ -111,6 +111,23 @@ check() { # check <artifact> <dir_a> <label_a> <dir_b> <label_b>
     fi
 }
 
+# Sharded-index leg: build the mmap-able TypeSpace index sidecar on
+# copies of the 1-thread model at 1 vs 4 threads. The rewritten model
+# and the sidecar must be byte-identical, the sidecar must pass its
+# checksum sweep, and predictions served through the zero-copy view
+# must not depend on the thread count either.
+for t in 1 4; do
+    mkdir -p "$WORK/ix$t"
+    cp "$WORK/t1/model.typilus" "$WORK/ix$t/model.typilus"
+    TYPILUS_THREADS=$t "$TYPILUS" index --model "$WORK/ix$t/model.typilus" \
+        --shards 6 --trees 8 --search-k 64 >"$WORK/ix$t/index.out"
+    TYPILUS_THREADS=$t "$TYPILUS" index --model "$WORK/ix$t/model.typilus" \
+        --verify >>"$WORK/ix$t/index.out"
+    find "$WORK/corpus" -name '*.py' | sort | head -8 |
+        TYPILUS_THREADS=$t xargs "$TYPILUS" predict \
+            --model "$WORK/ix$t/model.typilus" --top 3 >"$WORK/ix$t/predict.out"
+done
+
 for artifact in model.typilus predict.out eval.out; do
     check "$artifact" "$WORK/t1" 1-thread "$WORK/t4" 4-thread
     check "$artifact" "$WORK/t1" 1-thread "$WORK/r1" resumed-1t
@@ -120,6 +137,10 @@ for artifact in model.typilus predict.out eval.out; do
     check "$artifact" "$WORK/t1" 1-thread "$WORK/avx2" avx2-2t
     check "$artifact" "$WORK/t1" 1-thread "$WORK/naive" naive-2t
     check "$artifact" "$WORK/t1" 1-thread "$WORK/rs" resumed-sse2
+done
+
+for artifact in model.typilus model.typilus.space predict.out; do
+    check "$artifact" "$WORK/ix1" index-1t "$WORK/ix4" index-4t
 done
 
 if [ "$status" -ne 0 ]; then
