@@ -42,7 +42,8 @@ fn bench_typemap_predict(c: &mut Criterion) {
     let points = random_points(20_000, dim, 7);
     let mut map = TypeMap::new(dim);
     for (i, p) in points.into_iter().enumerate() {
-        map.add(p, types[i % types.len()].clone());
+        map.add(p, types[i % types.len()].clone())
+            .expect("fresh map accepts matching-dim points");
     }
     let query: Vec<f32> = random_points(1, dim, 8).pop().expect("one point");
 

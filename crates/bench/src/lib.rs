@@ -86,6 +86,33 @@ pub fn space_scales(default: &[usize]) -> Vec<usize> {
     }
 }
 
+/// Client counts for the serve benchmark (`bench_serve`):
+/// `TYPILUS_SERVE_CLIENTS` as a comma-separated list (e.g. `"1,4,8"`),
+/// or `default` when unset. Unparsable entries are skipped.
+pub fn serve_clients(default: &[usize]) -> Vec<usize> {
+    match std::env::var("TYPILUS_SERVE_CLIENTS") {
+        Ok(raw) => {
+            let counts: Vec<usize> = raw
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&c| c > 0)
+                .collect();
+            if counts.is_empty() {
+                default.to_vec()
+            } else {
+                counts
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Requests each serve-benchmark client sends:
+/// `TYPILUS_SERVE_REQUESTS`, or `default` when unset or unparsable.
+pub fn serve_requests(default: usize) -> usize {
+    env_usize("TYPILUS_SERVE_REQUESTS", default)
+}
+
 impl Scale {
     /// Reads the scale from the environment (see crate docs).
     pub fn from_env() -> Scale {

@@ -11,6 +11,7 @@ use typilus::{
 };
 use typilus_check::TypeChecker;
 use typilus_corpus::{generate, CorpusConfig};
+use typilus_serve::{Client, Endpoint, Response, ServeOptions, Server};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -36,6 +37,13 @@ USAGE:
   typilus index      --model FILE [--info | --verify] [--shards N] [--trees N]
                      [--leaf-size N] [--search-k N] [--rebuild-threshold N]
                      [--seed S] [--threads N]
+  typilus serve      --model FILE (--addr HOST:PORT | --socket PATH)
+                     [--batch-max N] [--queue-max N] [--timeout-ms N]
+                     [--threads N]
+  typilus query      (--addr HOST:PORT | --socket PATH) [--top K]
+                     [--min-confidence F] [--out FILE] PY_FILE...
+  typilus query      ... --add-symbol NAME --add-type TYPE PY_FILE
+  typilus query      ... (--stats | --reindex | --shutdown)
 
 Corpora are directories of .py files. Models are .typilus artefacts
 written by `train` (see typilus::TrainedSystem::save).
@@ -73,6 +81,16 @@ newest valid checkpoint (corrupt ones are reported and skipped) and
 produces byte-identical artifacts to an uninterrupted run.
 --kill-after-epoch N aborts right after checkpointing epoch N (exit
 code 3) — the fault-injection hook used by scripts/detcheck.sh.
+
+`typilus serve` keeps a loaded model resident and answers requests over
+a length-prefixed binary protocol: the sidecar mmap, worker pool and
+prediction scratch stay warm across requests, and concurrent predicts
+are batched into single pooled forward passes — replies are
+byte-identical to one-shot `typilus predict` output at any client or
+thread count. Serving never writes an artifact; kill it at any moment.
+`typilus query` is the matching client: predict files, bind one
+open-vocabulary marker (--add-symbol/--add-type), or ask for --stats,
+--reindex (in-memory index rebuild), --shutdown.
 
 Unparseable or empty .py files never abort a run: they are quarantined,
 counted and named on stderr, and the rest of the corpus proceeds."
@@ -354,7 +372,10 @@ pub fn index_cmd(args: &Args) -> CmdResult {
         .type_map
         .build_sharded_index(&config, seed, Some(pool))?;
     system.save(model_path)?;
-    let index = system.type_map.space_index().expect("index just built");
+    let index = system
+        .type_map
+        .space_index()
+        .ok_or("internal error: sharded index absent right after a successful build")?;
     println!(
         "indexed {} markers into {} shards ({} trees); sidecar {} ({} bytes, file id {:016x})",
         index.len(),
@@ -367,9 +388,61 @@ pub fn index_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// One renderable candidate: display type, probability, and the
+/// checker verdict suffix (`""` when the checker did not run).
+struct RenderEntry {
+    ty: String,
+    probability: f32,
+    verdict: &'static str,
+}
+
+/// One renderable symbol row of a prediction report.
+struct RenderSymbol {
+    name: String,
+    kind: String,
+    entries: Vec<RenderEntry>,
+}
+
+/// Renders one file's rows exactly the way `typilus predict` always
+/// has. `typilus query` renders served [`SymbolHints`] through the same
+/// function, which is what makes served reports byte-identical to
+/// one-shot output.
+fn render_file(
+    report: &mut String,
+    file: &str,
+    symbols: &[RenderSymbol],
+    top: usize,
+    min_confidence: f32,
+) -> Result<(), std::fmt::Error> {
+    use std::fmt::Write as _;
+    writeln!(report, "== {file}")?;
+    for s in symbols {
+        let confidence = s.entries.first().map(|e| e.probability).unwrap_or(0.0);
+        if confidence < min_confidence {
+            continue;
+        }
+        let shown: Vec<String> = s
+            .entries
+            .iter()
+            .take(top)
+            .map(|e| format!("{} (p={:.2}){}", e.ty, e.probability, e.verdict))
+            .collect();
+        if shown.is_empty() {
+            continue;
+        }
+        writeln!(
+            report,
+            "  {:<20} {:<10} {}",
+            s.name,
+            s.kind,
+            shown.join(", ")
+        )?;
+    }
+    Ok(())
+}
+
 /// `typilus predict`
 pub fn predict_cmd(args: &Args) -> CmdResult {
-    use std::fmt::Write as _;
     let model_path = args.require("model")?;
     let top = args.get_parsed("top", 3usize)?;
     let min_confidence = args.get_parsed("min-confidence", 0.0f32)?;
@@ -384,45 +457,205 @@ pub fn predict_cmd(args: &Args) -> CmdResult {
     let mut report = String::new();
     for file in files {
         let source = std::fs::read_to_string(file)?;
-        writeln!(report, "== {file}")?;
         let predictions = system.predict_source(&source)?;
         // For the optional checker filter we need the parsed module.
         let parsed = typilus_pyast::parse(&source)?;
         let table = typilus_pyast::SymbolTable::build(&parsed.module);
-        for p in predictions {
-            if p.confidence() < min_confidence {
-                continue;
-            }
-            let mut shown = Vec::new();
-            for c in p.candidates.iter().take(top) {
-                let verdict = if run_checker && !c.ty.is_top() {
-                    let issues =
-                        checker.check_with_override(&parsed, &table, p.symbol, c.ty.clone());
-                    if issues.is_empty() {
-                        " [ok]"
-                    } else {
-                        " [type error]"
-                    }
-                } else {
-                    ""
-                };
-                shown.push(format!("{} (p={:.2}){verdict}", c.ty, c.probability));
-            }
-            if shown.is_empty() {
-                continue;
-            }
-            writeln!(
-                report,
-                "  {:<20} {:<10} {}",
-                p.name,
-                format!("{:?}", p.kind),
-                shown.join(", ")
-            )?;
-        }
+        let symbols: Vec<RenderSymbol> = predictions
+            .iter()
+            .map(|p| RenderSymbol {
+                name: p.name.clone(),
+                kind: format!("{:?}", p.kind),
+                entries: p
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| RenderEntry {
+                        ty: c.ty.to_string(),
+                        probability: c.probability,
+                        // Only candidates within --top are shown, so
+                        // only those pay for a checker pass.
+                        verdict: if i < top && run_checker && !c.ty.is_top() {
+                            let issues = checker.check_with_override(
+                                &parsed,
+                                &table,
+                                p.symbol,
+                                c.ty.clone(),
+                            );
+                            if issues.is_empty() {
+                                " [ok]"
+                            } else {
+                                " [type error]"
+                            }
+                        } else {
+                            ""
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        render_file(&mut report, file, &symbols, top, min_confidence)?;
     }
     match out_path {
         // A prediction artifact on disk goes through the same
         // atomic-write path as models: no torn half-report on crash.
+        Some(path) => typilus::atomic_io::write_atomic(Path::new(path), report.as_bytes())?,
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
+/// Parses the endpoint flags shared by `serve` and `query`.
+fn endpoint_from(args: &Args) -> Result<Endpoint, ArgError> {
+    match (args.get("addr"), args.get("socket")) {
+        (Some(addr), None) => Ok(Endpoint::Tcp(addr.to_string())),
+        (None, Some(path)) => Ok(Endpoint::Unix(path.into())),
+        (Some(_), Some(_)) => Err(ArgError("give --addr or --socket, not both".to_string())),
+        (None, None) => Err(ArgError(
+            "--addr HOST:PORT or --socket PATH is required".to_string(),
+        )),
+    }
+}
+
+/// Turns an error reply into the CLI's error type.
+fn server_error(code: typilus_serve::ErrorCode, message: &str) -> Box<dyn Error> {
+    format!("server error [{code}]: {message}").into()
+}
+
+/// `typilus serve` — the long-lived batched prediction daemon.
+pub fn serve_cmd(args: &Args) -> CmdResult {
+    use std::io::Write as _;
+    let model_path = args.require("model")?;
+    let endpoint = endpoint_from(args)?;
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        batch_max: args.get_parsed("batch-max", defaults.batch_max)?,
+        queue_max: args.get_parsed("queue-max", defaults.queue_max)?,
+        timeout_ms: args.get_parsed("timeout-ms", defaults.timeout_ms)?,
+    };
+    let mut system = TrainedSystem::load(model_path)?;
+    if args.get("threads").is_some() {
+        system.config.parallelism = Parallelism::fixed(args.get_parsed("threads", 0usize)?);
+        system.config.parallelism.try_resolve()?;
+    }
+    let server = Server::bind(&endpoint, options)?;
+    // The readiness line goes to stdout and is flushed explicitly so
+    // harnesses piping the output can wait on it.
+    println!(
+        "serving {model_path} on {} ({} markers, {} distinct types, index {})",
+        server.endpoint(),
+        system.type_map.len(),
+        system.type_map.distinct_types(),
+        system.type_map.index_kind()
+    );
+    std::io::stdout().flush()?;
+    let s = server.run(&mut system);
+    println!(
+        "served {} requests ({} predictions, {} markers added, {} errors) \
+         in {} batches (largest {})",
+        s.requests, s.predicts, s.markers_added, s.errors, s.batches, s.largest_batch
+    );
+    Ok(())
+}
+
+/// `typilus query` — client for a running `typilus serve` daemon.
+pub fn query_cmd(args: &Args) -> CmdResult {
+    let endpoint = endpoint_from(args)?;
+    let mut client = Client::connect(&endpoint)?;
+    if args.has_flag("stats") {
+        return match client.stats()? {
+            Response::Stats(s) => {
+                println!(
+                    "type map: {} markers, {} distinct types, dim {}, index {} \
+                     ({} overlay)",
+                    s.markers, s.distinct_types, s.dim, s.index, s.overlay
+                );
+                println!(
+                    "server: {} requests ({} predictions, {} markers added, {} errors) \
+                     in {} batches (largest {})",
+                    s.requests, s.predicts, s.markers_added, s.errors, s.batches, s.largest_batch
+                );
+                for (key, count) in &s.warnings {
+                    println!("warning[{key}]: raised {count}x");
+                }
+                Ok(())
+            }
+            Response::Error { code, message } => Err(server_error(code, &message)),
+            other => Err(format!("unexpected reply to stats: {other:?}").into()),
+        };
+    }
+    if args.has_flag("reindex") {
+        return match client.reindex()? {
+            Response::Reindexed { markers, index } => {
+                println!("reindexed {markers} markers (index {index}, in memory only)");
+                Ok(())
+            }
+            Response::Error { code, message } => Err(server_error(code, &message)),
+            other => Err(format!("unexpected reply to reindex: {other:?}").into()),
+        };
+    }
+    if args.has_flag("shutdown") {
+        return match client.shutdown()? {
+            Response::Bye => {
+                println!("server shut down");
+                Ok(())
+            }
+            Response::Error { code, message } => Err(server_error(code, &message)),
+            other => Err(format!("unexpected reply to shutdown: {other:?}").into()),
+        };
+    }
+    if args.get("add-symbol").is_some() || args.get("add-type").is_some() {
+        let symbol = args.require("add-symbol")?;
+        let ty = args.require("add-type")?;
+        let file = args
+            .positionals()
+            .get(1)
+            .ok_or("--add-symbol needs one PY_FILE with the binding snippet")?;
+        let source = std::fs::read_to_string(file)?;
+        return match client.add_marker(&source, symbol, ty)? {
+            Response::MarkerAdded { markers } => {
+                println!("bound {symbol}: {ty} ({markers} markers, in memory only)");
+                Ok(())
+            }
+            Response::Error { code, message } => Err(server_error(code, &message)),
+            other => Err(format!("unexpected reply to add-marker: {other:?}").into()),
+        };
+    }
+    let top = args.get_parsed("top", 3usize)?;
+    let min_confidence = args.get_parsed("min-confidence", 0.0f32)?;
+    let out_path = args.get("out");
+    let files = &args.positionals()[1..];
+    if files.is_empty() {
+        return Err("query needs at least one .py file (or --stats/--reindex/--shutdown)".into());
+    }
+    let mut report = String::new();
+    for file in files {
+        let source = std::fs::read_to_string(file)?;
+        match client.predict(&source)? {
+            Response::Predictions(symbols) => {
+                let rows: Vec<RenderSymbol> = symbols
+                    .iter()
+                    .map(|s| RenderSymbol {
+                        name: s.name.clone(),
+                        kind: s.kind.clone(),
+                        entries: s
+                            .hints
+                            .iter()
+                            .map(|h| RenderEntry {
+                                ty: h.ty.clone(),
+                                probability: h.probability,
+                                verdict: "",
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                render_file(&mut report, file, &rows, top, min_confidence)?;
+            }
+            Response::Error { code, message } => return Err(server_error(code, &message)),
+            other => return Err(format!("unexpected reply to predict: {other:?}").into()),
+        }
+    }
+    match out_path {
         Some(path) => typilus::atomic_io::write_atomic(Path::new(path), report.as_bytes())?,
         None => print!("{report}"),
     }

@@ -17,7 +17,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match Args::parse(
         raw,
-        &["check", "help", "info", "profile", "resume", "verify"],
+        &[
+            "check", "help", "info", "profile", "reindex", "resume", "shutdown", "stats", "verify",
+        ],
     ) {
         Ok(a) => a,
         Err(e) => {
@@ -37,6 +39,8 @@ fn main() {
         "eval" => commands::eval_cmd(&parsed),
         "audit" => commands::audit_cmd(&parsed),
         "index" => commands::index_cmd(&parsed),
+        "serve" => commands::serve_cmd(&parsed),
+        "query" => commands::query_cmd(&parsed),
         "help" | "--help" => {
             commands::usage();
             return;

@@ -56,8 +56,8 @@ pub use metrics::{
 };
 pub use persist::{open_space_index, space_sidecar_path, PersistError};
 pub use pipeline::{
-    train, train_with_options, EpochStats, Parallelism, SymbolPrediction, TrainError, TrainOptions,
-    TrainedSystem, TypilusConfig,
+    train, train_with_options, AddMarkerError, EpochStats, Parallelism, SymbolPrediction,
+    TrainError, TrainOptions, TrainedSystem, TypilusConfig,
 };
 pub use suggest::{SuggestOptions, Suggestion};
 pub use typecheck_eval::{

@@ -234,17 +234,25 @@ impl TrainedSystem {
                         index.verify()?;
                         system.type_map.attach_space_index(index)?;
                     } else {
-                        eprintln!(
-                            "typilus: index sidecar {} belongs to a different build \
-                             of this model; using exact search",
-                            sidecar.display()
+                        // Warn-once: a long-lived process reloading the
+                        // same model must not repeat this on every load.
+                        typilus_nn::warn_once(
+                            "persist.sidecar-mismatch",
+                            &format!(
+                                "index sidecar {} belongs to a different build \
+                                 of this model; using exact search",
+                                sidecar.display()
+                            ),
                         );
                     }
                 }
                 Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                    eprintln!(
-                        "typilus: index sidecar {} is missing; using exact search",
-                        sidecar.display()
+                    typilus_nn::warn_once(
+                        "persist.sidecar-missing",
+                        &format!(
+                            "index sidecar {} is missing; using exact search",
+                            sidecar.display()
+                        ),
                     );
                 }
                 Err(e) => return Err(e),

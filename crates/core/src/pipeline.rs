@@ -274,6 +274,49 @@ impl From<PersistError> for TrainError {
     }
 }
 
+/// Errors of one-shot open-vocabulary adaptation
+/// ([`TrainedSystem::add_marker`]). Every variant is survivable by a
+/// long-lived caller: the system is left exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddMarkerError {
+    /// The binding snippet is not valid Python.
+    Parse(typilus_pyast::ParseError),
+    /// The snippet parsed but contains no occurrence of the named
+    /// symbol among its annotatable targets.
+    SymbolNotFound {
+        /// The symbol that was asked for.
+        symbol: String,
+    },
+    /// The snippet has no embeddable targets (e.g. an empty module),
+    /// so no embedding could be produced for the symbol.
+    NoEmbedding,
+    /// The type map rejected the marker (embedding-width mismatch).
+    Space(typilus_space::SpaceError),
+}
+
+impl std::fmt::Display for AddMarkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddMarkerError::Parse(e) => write!(f, "binding snippet does not parse: {e}"),
+            AddMarkerError::SymbolNotFound { symbol } => {
+                write!(f, "symbol {symbol:?} not found in the binding snippet")
+            }
+            AddMarkerError::NoEmbedding => {
+                write!(f, "binding snippet produced no symbol embeddings")
+            }
+            AddMarkerError::Space(e) => write!(f, "type map rejected the marker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AddMarkerError {}
+
+impl From<typilus_space::SpaceError> for AddMarkerError {
+    fn from(e: typilus_space::SpaceError) -> Self {
+        AddMarkerError::Space(e)
+    }
+}
+
 /// Trains a system on the prepared corpus' training split.
 pub fn train(data: &PreparedCorpus, config: &TypilusConfig) -> TrainedSystem {
     match train_with_options(data, config, &TrainOptions::default()) {
@@ -443,7 +486,9 @@ pub fn train_with_options(
         };
         for (t, target) in prepared[idx].targets.iter().enumerate() {
             let Some(ty) = &target.ty else { continue };
-            type_map.add(embeddings.row(t).to_vec(), ty.clone());
+            type_map
+                .add(embeddings.row(t).to_vec(), ty.clone())
+                .expect("train-time embedding width always equals the map dimension");
             if train_set.contains(&idx) {
                 *train_type_counts.entry(ty.to_string()).or_insert(0) += 1;
             }
@@ -506,6 +551,21 @@ impl TrainedSystem {
             .map_ordered(indices, |_, &idx| self.predict_file(data, idx))
     }
 
+    /// Predicts over many out-of-corpus source strings at once, fanning
+    /// the per-source work (parse, graph build, prepare, embed, kNN)
+    /// across the system's worker pool. Results keep the order of
+    /// `sources`, and each entry is exactly what a lone
+    /// [`TrainedSystem::predict_source`] call on that source returns —
+    /// batching never changes a reply, whatever the pool size. The
+    /// serve daemon's batched predict path runs through here.
+    pub fn predict_sources(
+        &self,
+        sources: &[String],
+    ) -> Vec<Result<Vec<SymbolPrediction>, typilus_pyast::ParseError>> {
+        self.worker_pool()
+            .map_ordered(sources, |_, src| self.predict_source(src))
+    }
+
     /// Predicts types for an out-of-corpus source string.
     ///
     /// # Errors
@@ -562,26 +622,49 @@ impl TrainedSystem {
         out
     }
 
-    /// One-shot open-vocabulary adaptation: embeds the named symbol from
-    /// `source` and binds its embedding to `ty` in the type map, without
-    /// any retraining (paper Sec. 4.2).
+    /// One-shot open-vocabulary adaptation with typed failure reasons:
+    /// embeds the named symbol from `source` and binds its embedding to
+    /// `ty` in the type map, without any retraining (paper Sec. 4.2).
+    /// This is the serve daemon's `add-marker` path, so every failure
+    /// is a typed, survivable error and the system is left unchanged.
     ///
-    /// Returns `false` when the symbol is not found in the snippet.
-    pub fn bind_type_example(&mut self, source: &str, symbol_name: &str, ty: PyType) -> bool {
-        let Ok(parsed) = typilus_pyast::parse(source) else {
-            return false;
-        };
+    /// Returns the map's marker count after the insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`AddMarkerError`] naming what went wrong: unparseable snippet,
+    /// symbol absent from it, no embeddable targets, or a type-map
+    /// rejection.
+    pub fn add_marker(
+        &mut self,
+        source: &str,
+        symbol_name: &str,
+        ty: PyType,
+    ) -> Result<usize, AddMarkerError> {
+        let parsed = typilus_pyast::parse(source).map_err(AddMarkerError::Parse)?;
         let table = typilus_pyast::SymbolTable::build(&parsed.module);
         let graph = typilus_graph::build_graph(&parsed, &table, &self.config.graph, "<binding>");
         let prepared = self.model.prepare(&graph);
-        let Some(idx) = prepared.targets.iter().position(|t| t.name == symbol_name) else {
-            return false;
-        };
-        let Some(embeddings) = self.model.embed_inference(&prepared) else {
-            return false;
-        };
-        self.type_map.add(embeddings.row(idx).to_vec(), ty);
-        true
+        let idx = prepared
+            .targets
+            .iter()
+            .position(|t| t.name == symbol_name)
+            .ok_or_else(|| AddMarkerError::SymbolNotFound {
+                symbol: symbol_name.to_string(),
+            })?;
+        let embeddings = self
+            .model
+            .embed_inference(&prepared)
+            .ok_or(AddMarkerError::NoEmbedding)?;
+        self.type_map.add(embeddings.row(idx).to_vec(), ty)?;
+        Ok(self.type_map.len())
+    }
+
+    /// One-shot open-vocabulary adaptation; `true` on success. Thin
+    /// boolean wrapper over [`TrainedSystem::add_marker`] for callers
+    /// that do not care why a binding failed.
+    pub fn bind_type_example(&mut self, source: &str, symbol_name: &str, ty: PyType) -> bool {
+        self.add_marker(source, symbol_name, ty).is_ok()
     }
 
     /// Number of training annotations of a type (0 if unseen).

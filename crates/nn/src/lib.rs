@@ -25,6 +25,7 @@
 pub mod arena;
 pub mod config;
 pub mod layers;
+pub mod log;
 pub mod mode;
 pub mod optim;
 pub mod par;
@@ -38,6 +39,7 @@ pub mod tensor;
 
 pub use arena::{arena_stats, recycle_shared, reset_arena_stats, ArenaStats};
 pub use layers::{Embedding, GruCell, Linear};
+pub use log::{reset_warnings, warn_once, warning_count, warning_counts};
 pub use mode::{kernel_mode, set_kernel_mode, KernelMode};
 pub use optim::{Adam, Sgd};
 pub use par::{

@@ -1,0 +1,206 @@
+//! A small synchronous client for the serve protocol — used by the
+//! CLI's `query` verb, the protocol tests, and `bench_serve`.
+
+use crate::protocol::{decode, encode, read_frame, write_frame, FrameError, Request, Response};
+use crate::server::Endpoint;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Errors of a client round trip.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting to the endpoint failed.
+    Connect(std::io::Error),
+    /// Frame-level failure (server closed the stream, oversized
+    /// reply, mid-frame I/O error).
+    Frame(FrameError),
+    /// A payload failed to encode or decode.
+    Codec(typilus_serbin::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot connect to server: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol frame error: {e}"),
+            ClientError::Codec(e) => write!(f, "protocol codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<typilus_serbin::Error> for ClientError {
+    fn from(e: typilus_serbin::Error) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected client. One request is in flight at a time; replies
+/// arrive in request order.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the endpoint is unreachable.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ClientError> {
+        let stream = match endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str())
+                .map(Stream::Tcp)
+                .map_err(ClientError::Connect)?,
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(Stream::Unix)
+                .map_err(ClientError::Connect)?,
+        };
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Frame or codec failures; a server that closed the stream
+    /// surfaces as [`FrameError::Closed`] inside
+    /// [`ClientError::Frame`].
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let bytes = encode(request)?;
+        write_frame(&mut self.stream, &bytes)?;
+        let reply = read_frame(&mut self.stream)?;
+        Ok(decode::<Response>(&reply)?)
+    }
+
+    /// Predicts type hints for a source snippet.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn predict(&mut self, source: &str) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Predict {
+            source: source.to_string(),
+        })
+    }
+
+    /// Binds one `(symbol-from-source, type)` marker into the server's
+    /// type map.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn add_marker(
+        &mut self,
+        source: &str,
+        symbol: &str,
+        ty: &str,
+    ) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::AddMarker {
+            source: source.to_string(),
+            symbol: symbol.to_string(),
+            ty: ty.to_string(),
+        })
+    }
+
+    /// Fetches server and type-map statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Asks the server to rebuild its TypeSpace index in memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn reindex(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Reindex)
+    }
+
+    /// Asks the server to shut down cleanly; the reply is
+    /// [`Response::Bye`] and the connection closes after it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Shutdown)
+    }
+
+    /// Writes raw bytes as one frame — test hook for malformed and
+    /// hostile payloads.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn send_raw_frame(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// Reads one reply frame and decodes it — pairs with
+    /// [`Client::send_raw_frame`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn read_reply(&mut self) -> Result<Response, ClientError> {
+        let reply = read_frame(&mut self.stream)?;
+        Ok(decode::<Response>(&reply)?)
+    }
+
+    /// Writes arbitrary bytes to the stream without framing — test
+    /// hook for truncated prefixes and mid-frame disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure as [`ClientError::Connect`].
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream
+            .write_all(bytes)
+            .and_then(|()| self.stream.flush())
+            .map_err(ClientError::Connect)
+    }
+}

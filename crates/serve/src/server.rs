@@ -1,0 +1,584 @@
+//! The serve daemon: accept loop, per-connection readers, and the
+//! single-threaded batching engine that owns the trained system.
+//!
+//! # Threading model
+//!
+//! One *engine* thread (the caller of [`Server::run`]) owns the
+//! `&mut TrainedSystem` and is the only thread that touches the model
+//! or the type map. Connection threads decode frames into [`Request`]s
+//! and push them over a **bounded** channel; the engine drains up to
+//! `batch_max` queued jobs per pass and replies through per-job
+//! one-shot channels. When the queue is full, the connection thread
+//! answers [`ErrorCode::Overloaded`] itself — backpressure never
+//! blocks a reader on a slow engine.
+//!
+//! # Determinism
+//!
+//! Jobs are processed strictly in arrival order. Maximal runs of
+//! consecutive `Predict` jobs are batched into one
+//! [`TrainedSystem::predict_sources`] call, whose per-source results
+//! are exactly what lone `predict_source` calls return (ordered pool
+//! reduction; sources are independent). Mutating requests
+//! (`add-marker`, `reindex`) are natural barriers because the engine
+//! is single-threaded. Net effect: every reply is byte-identical to a
+//! one-shot CLI run against the same system state, at any thread or
+//! client count.
+
+use crate::protocol::{
+    decode, encode, read_frame, write_frame, ErrorCode, FrameError, Request, Response, ServerStats,
+    SymbolHints,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use typilus::{AddMarkerError, TrainedSystem};
+use typilus_types::PyType;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7977`. Port `0` binds an
+    /// ephemeral port; [`Server::endpoint`] reports the resolved one.
+    Tcp(String),
+    /// A Unix-domain socket path. A stale socket file at the path is
+    /// removed at bind time and the live one at shutdown.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// Tunables of a serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Most queued jobs drained into one engine pass (consecutive
+    /// predicts among them share one pooled forward pass).
+    pub batch_max: usize,
+    /// Bound of the request queue; a full queue answers
+    /// [`ErrorCode::Overloaded`] instead of blocking the reader.
+    pub queue_max: usize,
+    /// Per-request deadline in milliseconds: a job still queued past
+    /// it is answered [`ErrorCode::Timeout`] instead of being run.
+    pub timeout_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            batch_max: 16,
+            queue_max: 256,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// What a finished serve run did, for the operator's log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Requests accepted (decoded frames).
+    pub requests: u64,
+    /// Predict requests answered with predictions.
+    pub predicts: u64,
+    /// Markers bound through `add-marker`.
+    pub markers_added: u64,
+    /// Engine batches executed.
+    pub batches: u64,
+    /// Largest batch drained in one pass.
+    pub largest_batch: u64,
+    /// Error replies sent (any [`ErrorCode`]).
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    predicts: AtomicU64,
+    markers_added: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Counters {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests.load(Ordering::SeqCst),
+            predicts: self.predicts.load(Ordering::SeqCst),
+            markers_added: self.markers_added.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            largest_batch: self.largest_batch.load(Ordering::SeqCst),
+            errors: self.errors.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One queued request plus its reply channel and deadline.
+struct Job {
+    request: Request,
+    reply: SyncSender<Response>,
+    deadline: Instant,
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl ListenerKind {
+    fn accept(&self) -> std::io::Result<StreamKind> {
+        match self {
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| StreamKind::Tcp(s)),
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| StreamKind::Unix(s)),
+        }
+    }
+}
+
+enum StreamKind {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.read(buf),
+            StreamKind::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.write(buf),
+            StreamKind::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.flush(),
+            StreamKind::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: ListenerKind,
+    endpoint: Endpoint,
+    options: ServeOptions,
+}
+
+impl Server {
+    /// Binds the endpoint. A stale Unix socket file is removed first;
+    /// TCP port `0` binds an ephemeral port (see [`Server::endpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, ...).
+    pub fn bind(endpoint: &Endpoint, options: ServeOptions) -> std::io::Result<Server> {
+        let (listener, resolved) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let actual = l.local_addr()?.to_string();
+                (ListenerKind::Tcp(l), Endpoint::Tcp(actual))
+            }
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                (ListenerKind::Unix(l), Endpoint::Unix(path.clone()))
+            }
+        };
+        Ok(Server {
+            listener,
+            endpoint: resolved,
+            options,
+        })
+    }
+
+    /// The resolved endpoint the server listens on (for TCP port `0`,
+    /// the actual ephemeral address).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Runs the daemon until a [`Request::Shutdown`] arrives. The
+    /// calling thread becomes the engine and is the only thread that
+    /// touches `system`; serving mutates process memory only — no
+    /// artifact on disk is written, so a kill at any moment leaves
+    /// them untouched.
+    pub fn run(self, system: &mut TrainedSystem) -> ServeSummary {
+        let Server {
+            listener,
+            endpoint,
+            options,
+        } = self;
+        let (jobs_tx, jobs_rx) = sync_channel::<Job>(options.queue_max.max(1));
+        // The conn thread that writes the `Bye` reply acks here, so
+        // the engine never lets the process exit while the farewell
+        // frame is still unflushed (the client would see a closed
+        // connection instead of a clean shutdown).
+        let (bye_tx, bye_rx) = sync_channel::<()>(1);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let timeout = Duration::from_millis(options.timeout_ms.max(1));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            thread::spawn(move || {
+                accept_loop(listener, jobs_tx, bye_tx, shutdown, counters, timeout)
+            })
+        };
+
+        engine_loop(
+            &options, &endpoint, &jobs_rx, &bye_rx, system, &shutdown, &counters,
+        );
+
+        let _ = accept.join();
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        counters.summary()
+    }
+}
+
+/// Drains and executes jobs until shutdown. Strict arrival order;
+/// maximal consecutive predict runs share one pooled forward pass.
+fn engine_loop(
+    options: &ServeOptions,
+    endpoint: &Endpoint,
+    jobs_rx: &Receiver<Job>,
+    bye_rx: &Receiver<()>,
+    system: &mut TrainedSystem,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let batch_max = options.batch_max.max(1);
+    'serve: loop {
+        let first = match jobs_rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match jobs_rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        counters.batches.fetch_add(1, Ordering::SeqCst);
+        counters
+            .largest_batch
+            .fetch_max(batch.len() as u64, Ordering::SeqCst);
+
+        // One clock read per batch; the deadline decision is
+        // operational (drop stale work) and never reaches reply
+        // payloads or artifacts.
+        // lint: allow(D6) — request-timeout bookkeeping, not a result path
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if now > job.deadline {
+                send_reply(
+                    counters,
+                    &job,
+                    error_reply(ErrorCode::Timeout, "request timed out in queue"),
+                );
+            } else {
+                live.push(job);
+            }
+        }
+
+        let mut i = 0;
+        while i < live.len() {
+            match &live[i].request {
+                Request::Predict { .. } => {
+                    let mut j = i;
+                    while j < live.len() && matches!(live[j].request, Request::Predict { .. }) {
+                        j += 1;
+                    }
+                    let sources: Vec<String> = live[i..j]
+                        .iter()
+                        .map(|job| match &job.request {
+                            Request::Predict { source } => source.clone(),
+                            _ => String::new(),
+                        })
+                        .collect();
+                    let results = system.predict_sources(&sources);
+                    for (job, result) in live[i..j].iter().zip(results) {
+                        let resp = match result {
+                            Ok(preds) => {
+                                counters.predicts.fetch_add(1, Ordering::SeqCst);
+                                Response::Predictions(preds.iter().map(SymbolHints::of).collect())
+                            }
+                            Err(e) => error_reply(ErrorCode::Parse, &e.to_string()),
+                        };
+                        send_reply(counters, job, resp);
+                    }
+                    i = j;
+                }
+                Request::AddMarker { source, symbol, ty } => {
+                    let resp = match ty.parse::<PyType>() {
+                        Err(e) => error_reply(ErrorCode::BadType, &e.to_string()),
+                        Ok(parsed) => match system.add_marker(source, symbol, parsed) {
+                            Ok(markers) => {
+                                counters.markers_added.fetch_add(1, Ordering::SeqCst);
+                                Response::MarkerAdded { markers }
+                            }
+                            Err(e) => error_reply(add_marker_code(&e), &e.to_string()),
+                        },
+                    };
+                    send_reply(counters, &live[i], resp);
+                    i += 1;
+                }
+                Request::Reindex => {
+                    // Disjoint field borrows: the pool lives in
+                    // `system.pool`, the rebuild mutates
+                    // `system.type_map`.
+                    let pool = system
+                        .pool
+                        .get_or_create(|| system.config.parallelism.resolve());
+                    let resp = match system.type_map.build_sharded_index(
+                        &system.config.space,
+                        system.config.seed,
+                        Some(pool),
+                    ) {
+                        Ok(()) => Response::Reindexed {
+                            markers: system.type_map.len(),
+                            index: system.type_map.index_kind().to_string(),
+                        },
+                        Err(e) => error_reply(ErrorCode::Space, &e.to_string()),
+                    };
+                    send_reply(counters, &live[i], resp);
+                    i += 1;
+                }
+                Request::Stats => {
+                    let resp = Response::Stats(stats(system, counters));
+                    send_reply(counters, &live[i], resp);
+                    i += 1;
+                }
+                Request::Shutdown => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    send_reply(counters, &live[i], Response::Bye);
+                    for job in &live[i + 1..] {
+                        send_reply(
+                            counters,
+                            job,
+                            error_reply(ErrorCode::ShuttingDown, "server is shutting down"),
+                        );
+                    }
+                    // Unblock the accept loop so it can observe the
+                    // flag and exit.
+                    nudge(endpoint);
+                    while let Ok(job) = jobs_rx.try_recv() {
+                        send_reply(
+                            counters,
+                            &job,
+                            error_reply(ErrorCode::ShuttingDown, "server is shutting down"),
+                        );
+                    }
+                    // Wait (bounded) for the conn thread to flush the
+                    // `Bye` frame before tearing the process down; a
+                    // client that vanished first simply never acks.
+                    let _ = bye_rx.recv_timeout(Duration::from_secs(2));
+                    break 'serve;
+                }
+            }
+        }
+    }
+}
+
+/// Maps an adaptation failure to its wire code.
+fn add_marker_code(e: &AddMarkerError) -> ErrorCode {
+    match e {
+        AddMarkerError::Parse(_) => ErrorCode::Parse,
+        AddMarkerError::SymbolNotFound { .. } => ErrorCode::SymbolNotFound,
+        AddMarkerError::NoEmbedding => ErrorCode::NoEmbedding,
+        AddMarkerError::Space(_) => ErrorCode::Space,
+    }
+}
+
+fn error_reply(code: ErrorCode, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+    }
+}
+
+/// Sends a reply to a job's connection thread, counting error replies.
+/// A gone receiver (client disconnected or timed out) is not an error.
+fn send_reply(counters: &Counters, job: &Job, resp: Response) {
+    if matches!(resp, Response::Error { .. }) {
+        counters.errors.fetch_add(1, Ordering::SeqCst);
+    }
+    let _ = job.reply.send(resp);
+}
+
+fn stats(system: &TrainedSystem, counters: &Counters) -> ServerStats {
+    let s = counters.summary();
+    ServerStats {
+        markers: system.type_map.len(),
+        distinct_types: system.type_map.distinct_types(),
+        overlay: system.type_map.overlay_len(),
+        dim: system.type_map.dim(),
+        index: system.type_map.index_kind().to_string(),
+        requests: s.requests,
+        predicts: s.predicts,
+        markers_added: s.markers_added,
+        batches: s.batches,
+        largest_batch: s.largest_batch,
+        errors: s.errors,
+        warnings: typilus_nn::warning_counts(),
+    }
+}
+
+/// Opens and immediately drops a connection to the endpoint, so an
+/// accept loop blocked in `accept()` wakes up and re-checks the
+/// shutdown flag.
+fn nudge(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr.as_str());
+        }
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: ListenerKind,
+    jobs: SyncSender<Job>,
+    bye_ack: SyncSender<()>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let jobs = jobs.clone();
+        let bye_ack = bye_ack.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        thread::spawn(move || handle_conn(stream, jobs, bye_ack, shutdown, counters, timeout));
+    }
+}
+
+/// Reads frames off one connection, queues them for the engine, and
+/// writes the replies back. Client misbehaviour degrades only this
+/// connection: malformed payloads get an error reply and the stream
+/// stays usable (framing is intact); an oversized prefix or mid-frame
+/// disconnect closes the stream.
+fn handle_conn(
+    mut stream: StreamKind,
+    jobs: SyncSender<Job>,
+    bye_ack: SyncSender<()>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    timeout: Duration,
+) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
+            Err(FrameError::Oversized { len, max }) => {
+                // The stream cannot be resynchronised; reply and drop.
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                let resp = error_reply(
+                    ErrorCode::Oversized,
+                    &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                );
+                let _ = write_reply(&mut stream, &resp);
+                break;
+            }
+        };
+        let request: Request = match decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                let resp = error_reply(ErrorCode::Malformed, &format!("undecodable request: {e}"));
+                if write_reply(&mut stream, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        counters.requests.fetch_add(1, Ordering::SeqCst);
+        if shutdown.load(Ordering::SeqCst) {
+            counters.errors.fetch_add(1, Ordering::SeqCst);
+            let resp = error_reply(ErrorCode::ShuttingDown, "server is shutting down");
+            let _ = write_reply(&mut stream, &resp);
+            break;
+        }
+        let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+        // The deadline starts when the request is accepted off the
+        // wire; it is compared once per engine batch.
+        // lint: allow(D6) — request-timeout bookkeeping, not a result path
+        let deadline = Instant::now() + timeout;
+        let job = Job {
+            request,
+            reply: reply_tx,
+            deadline,
+        };
+        let resp = match jobs.try_send(job) {
+            Ok(()) => {
+                // Backstop far beyond the engine's own deadline check,
+                // so a conn thread can never hang forever.
+                match reply_rx.recv_timeout(timeout * 2 + Duration::from_secs(1)) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        counters.errors.fetch_add(1, Ordering::SeqCst);
+                        error_reply(ErrorCode::Timeout, "no engine reply before the deadline")
+                    }
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                error_reply(ErrorCode::Overloaded, "request queue is full; retry")
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                counters.errors.fetch_add(1, Ordering::SeqCst);
+                error_reply(ErrorCode::ShuttingDown, "server is shutting down")
+            }
+        };
+        let is_bye = matches!(resp, Response::Bye);
+        let written = write_reply(&mut stream, &resp).is_ok();
+        if is_bye && written {
+            let _ = bye_ack.try_send(());
+        }
+        if !written || is_bye {
+            break;
+        }
+    }
+}
+
+fn write_reply(stream: &mut StreamKind, resp: &Response) -> Result<(), FrameError> {
+    let bytes = encode(resp).map_err(|_| FrameError::Closed)?;
+    write_frame(stream, &bytes)
+}

@@ -17,10 +17,10 @@
 //! ```
 //! use typilus_space::{KnnConfig, TypeMap};
 //!
-//! # fn main() -> Result<(), typilus_types::ParseTypeError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut map = TypeMap::new(2);
-//! map.add(vec![0.0, 0.0], "int".parse()?);
-//! map.add(vec![1.0, 1.0], "str".parse()?);
+//! map.add(vec![0.0, 0.0], "int".parse()?)?;
+//! map.add(vec![1.0, 1.0], "str".parse()?)?;
 //! let top = map.predict_top(&[0.1, 0.0], KnnConfig::default()).unwrap();
 //! assert_eq!(top.ty.to_string(), "int");
 //! # Ok(())

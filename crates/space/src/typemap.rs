@@ -195,14 +195,21 @@ impl TypeMap {
     /// scanned exactly and merged into every query, and once the
     /// overlay reaches the index's `rebuild_threshold` (a threshold of
     /// 0 means every insertion) the index is rebuilt in place from its
-    /// recorded config and seed.
+    /// recorded config and seed. A *detached* map accepts markers too:
+    /// they are served through the exact fallback immediately and
+    /// count toward the overlay once the sidecar re-attaches
+    /// ([`TypeMap::attach_space_index`] merges and rebuilds at the
+    /// same threshold), so adds made before attachment are never lost
+    /// to the rebuild accounting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the embedding width differs from the map's dimension.
-    pub fn add(&mut self, embedding: Vec<f32>, ty: PyType) {
-        assert_eq!(embedding.len(), self.dim, "embedding width mismatch");
-        self.embeddings.push(&embedding);
+    /// [`SpaceError::DimensionMismatch`] when the embedding width
+    /// differs from the map's dimension; the map is left unchanged, so
+    /// a malformed `add-marker` request cannot corrupt (or crash) a
+    /// long-lived server.
+    pub fn add(&mut self, embedding: Vec<f32>, ty: PyType) -> Result<(), SpaceError> {
+        self.embeddings.try_push(&embedding)?;
         self.types.push(ty);
         enum After {
             Nothing,
@@ -231,20 +238,42 @@ impl TypeMap {
                 if let Err(e) = self.build_sharded_index(&config, seed, None) {
                     // Rebuild failure (e.g. the map outgrew the 32-bit
                     // id space) must not lose markers or correctness:
-                    // degrade to exact search.
-                    eprintln!(
-                        "typilus-space: sharded index rebuild failed ({e}); \
-                         falling back to exact search"
+                    // degrade to exact search. Warn-once so a busy
+                    // server hitting this on every add does not flood
+                    // stderr.
+                    typilus_nn::warn_once(
+                        "space.rebuild",
+                        &format!(
+                            "sharded index rebuild failed ({e}); falling back to exact search"
+                        ),
                     );
                     self.index = Index::Exact;
                 }
             }
         }
+        Ok(())
     }
 
     /// Number of markers.
     pub fn len(&self) -> usize {
         self.types.len()
+    }
+
+    /// Embedding width the map was created with.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The index state backing nearest-neighbour search, as a stable
+    /// lowercase name: `"exact"`, `"forest"`, `"sharded"` or
+    /// `"detached"`. Diagnostic surface for `stats`-style endpoints.
+    pub fn index_kind(&self) -> &'static str {
+        match &self.index {
+            Index::Exact => "exact",
+            Index::Forest(_) => "forest",
+            Index::Sharded(_) => "sharded",
+            Index::Detached { .. } => "detached",
+        }
     }
 
     /// Whether the map has no markers.
@@ -333,8 +362,15 @@ impl TypeMap {
     /// Attaches a loaded sidecar view. When the map is `Detached` the
     /// view's `file_id` must match the recorded identity; in every
     /// case the dimensions must agree and the view may not cover more
-    /// markers than the map holds (markers beyond the view's count are
-    /// treated as overlay).
+    /// markers than the map holds. Markers beyond the view's count —
+    /// typically added while the map was detached — become overlay,
+    /// and when that overlay already meets the index's rebuild
+    /// threshold the index is rebuilt in place over all markers
+    /// (*attach-then-merge*): pre-attach adds are counted against the
+    /// threshold exactly as post-attach ones, instead of silently
+    /// drifting outside the rebuild accounting. A failed merge rebuild
+    /// warns once and keeps the attached view — queries stay correct
+    /// through the exact overlay scan.
     ///
     /// # Errors
     ///
@@ -362,7 +398,24 @@ impl TypeMap {
                 map_markers: self.embeddings.len(),
             });
         }
+        let overlay = self.embeddings.len() - index.len();
+        let merge = if overlay >= index.rebuild_threshold().max(1) {
+            Some((index.config(), index.seed()))
+        } else {
+            None
+        };
         self.index = Index::Sharded(index);
+        if let Some((config, seed)) = merge {
+            if let Err(e) = self.build_sharded_index(&config, seed, None) {
+                typilus_nn::warn_once(
+                    "space.rebuild",
+                    &format!(
+                        "attach-time overlay merge failed ({e}); serving the \
+                         attached index with an exact-scanned overlay of {overlay}"
+                    ),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -490,10 +543,10 @@ mod tests {
 
     fn small_map() -> TypeMap {
         let mut m = TypeMap::new(2);
-        m.add(vec![0.0, 0.0], t("int"));
-        m.add(vec![0.1, 0.1], t("int"));
-        m.add(vec![1.0, 1.0], t("str"));
-        m.add(vec![1.1, 0.9], t("str"));
+        m.add(vec![0.0, 0.0], t("int")).unwrap();
+        m.add(vec![0.1, 0.1], t("int")).unwrap();
+        m.add(vec![1.0, 1.0], t("str")).unwrap();
+        m.add(vec![1.1, 0.9], t("str")).unwrap();
         m
     }
 
@@ -512,7 +565,7 @@ mod tests {
             } else {
                 t("List[int]")
             };
-            m.add(vec![next(), next(), next(), next()], ty);
+            m.add(vec![next(), next(), next(), next()], ty).unwrap();
         }
         m
     }
@@ -539,9 +592,9 @@ mod tests {
     #[test]
     fn high_p_approaches_one_nearest_neighbour() {
         let mut m = TypeMap::new(1);
-        m.add(vec![0.0], t("int"));
-        m.add(vec![0.2], t("str"));
-        m.add(vec![0.25], t("str"));
+        m.add(vec![0.0], t("int")).unwrap();
+        m.add(vec![0.2], t("str")).unwrap();
+        m.add(vec![0.25], t("str")).unwrap();
         // Query nearest to int but str has more (slightly farther) votes.
         let uniform = m.predict_top(&[0.1], KnnConfig { k: 3, p: 0.01 }).unwrap();
         assert_eq!(uniform.ty, t("str"), "p→0 is a majority vote");
@@ -557,7 +610,7 @@ mod tests {
         // Before binding, the novel type cannot be predicted.
         assert!(m.predict(&[5.0, 5.0], cfg).iter().all(|p| p.ty != novel));
         // One marker suffices: no retraining.
-        m.add(vec![5.0, 5.0], novel.clone());
+        m.add(vec![5.0, 5.0], novel.clone()).unwrap();
         let top = m.predict_top(&[5.1, 4.9], cfg).unwrap();
         assert_eq!(top.ty, novel);
     }
@@ -608,7 +661,7 @@ mod tests {
     fn adding_marker_invalidates_index() {
         let mut m = small_map();
         m.build_index(RpForestConfig::default(), 0);
-        m.add(vec![9.0, 9.0], t("bytes"));
+        m.add(vec![9.0, 9.0], t("bytes")).unwrap();
         // The new marker must be findable immediately.
         let top = m
             .predict_top(&[9.0, 9.0], KnnConfig { k: 1, p: 1.0 })
@@ -621,7 +674,7 @@ mod tests {
         let mut m = filled_map(300);
         m.build_sharded_index(&SpaceConfig::default(), 7, None)
             .unwrap();
-        m.add(vec![9.0, 9.0, 9.0, 9.0], t("bytes"));
+        m.add(vec![9.0, 9.0, 9.0, 9.0], t("bytes")).unwrap();
         assert_eq!(m.overlay_len(), 1, "marker must land in the overlay");
         assert!(m.space_index().is_some(), "index must stay attached");
         let top = m
@@ -640,11 +693,11 @@ mod tests {
         m.build_sharded_index(&config, 7, None).unwrap();
         let before = m.space_index().unwrap().file_id();
         for i in 0..3 {
-            m.add(vec![i as f32; 4], t("bytes"));
+            m.add(vec![i as f32; 4], t("bytes")).unwrap();
         }
         assert_eq!(m.overlay_len(), 3);
         assert_eq!(m.space_index().unwrap().file_id(), before);
-        m.add(vec![3.0; 4], t("bytes"));
+        m.add(vec![3.0; 4], t("bytes")).unwrap();
         // Threshold hit: rebuilt over all 104 markers, overlay empty.
         assert_eq!(m.overlay_len(), 0);
         let rebuilt = m.space_index().unwrap();
@@ -719,9 +772,9 @@ mod tests {
         // A negative exponent would weight *far* neighbours above near
         // ones; prediction clamps it to 0 (uniform vote) instead.
         let mut m = TypeMap::new(1);
-        m.add(vec![0.0], t("int"));
-        m.add(vec![5.0], t("str"));
-        m.add(vec![6.0], t("str"));
+        m.add(vec![0.0], t("int")).unwrap();
+        m.add(vec![5.0], t("str")).unwrap();
+        m.add(vec![6.0], t("str")).unwrap();
         let preds = m.predict(&[0.1], KnnConfig { k: 3, p: -8.0 });
         let uniform = m.predict(&[0.1], KnnConfig { k: 3, p: 0.0 });
         assert_eq!(preds, uniform, "negative p must clamp to a uniform vote");
@@ -735,5 +788,102 @@ mod tests {
     #[test]
     fn distinct_type_count() {
         assert_eq!(small_map().distinct_types(), 2);
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error_and_leaves_the_map_unchanged() {
+        let mut m = small_map();
+        let before = m.len();
+        let preds_before = m.predict(&[0.05, 0.0], KnnConfig::default());
+        // Too narrow, too wide, empty: all must be rejected, none may
+        // panic (the serve daemon routes raw client input here).
+        for bad in [vec![1.0], vec![1.0, 2.0, 3.0], vec![]] {
+            let err = m.add(bad.clone(), t("bytes")).unwrap_err();
+            assert_eq!(
+                err,
+                SpaceError::DimensionMismatch {
+                    expected: 2,
+                    found: bad.len()
+                }
+            );
+        }
+        assert_eq!(m.len(), before, "rejected adds must not leave debris");
+        assert_eq!(
+            m.predict(&[0.05, 0.0], KnnConfig::default()),
+            preds_before,
+            "rejected adds must not disturb predictions"
+        );
+        // The map still works after the failures.
+        m.add(vec![7.0, 7.0], t("bytes")).unwrap();
+        assert_eq!(m.len(), before + 1);
+    }
+
+    #[test]
+    fn width_mismatch_with_sharded_index_keeps_index_consistent() {
+        let mut m = filled_map(100);
+        m.build_sharded_index(&SpaceConfig::default(), 7, None)
+            .unwrap();
+        assert!(m.add(vec![1.0; 3], t("bytes")).is_err());
+        assert_eq!(m.overlay_len(), 0, "failed add must not count as overlay");
+        assert!(m.space_index().is_some(), "index must stay attached");
+    }
+
+    #[test]
+    fn detached_adds_merge_into_the_index_on_attach() {
+        let mut m = filled_map(100);
+        let config = SpaceConfig {
+            rebuild_threshold: 3,
+            ..SpaceConfig::default()
+        };
+        m.build_sharded_index(&config, 7, None).unwrap();
+        let index = m.space_index().unwrap().clone();
+        let before_id = index.file_id();
+        m.detach_space_index();
+        // Markers bound while detached: immediately queryable (exact
+        // fallback), and counted against the rebuild threshold once the
+        // sidecar re-attaches.
+        for i in 0..3 {
+            m.add(vec![10.0 + i as f32; 4], t("bytes")).unwrap();
+        }
+        let top = m
+            .predict_top(&[10.0; 4], KnnConfig { k: 1, p: 1.0 })
+            .unwrap();
+        assert_eq!(top.ty, t("bytes"), "detached adds must be queryable");
+        m.attach_space_index(index).unwrap();
+        // Attach-then-merge: the overlay met the threshold, so the
+        // index was rebuilt over all 103 markers.
+        assert_eq!(m.overlay_len(), 0, "attach must merge a full overlay");
+        let rebuilt = m.space_index().unwrap();
+        assert_eq!(rebuilt.len(), 103);
+        assert_ne!(rebuilt.file_id(), before_id);
+        assert_eq!(rebuilt.config(), config, "merge rebuild keeps the config");
+        let top = m
+            .predict_top(&[11.0; 4], KnnConfig { k: 1, p: 1.0 })
+            .unwrap();
+        assert_eq!(top.ty, t("bytes"));
+    }
+
+    #[test]
+    fn detached_adds_below_threshold_stay_overlay_after_attach() {
+        let mut m = filled_map(100);
+        let config = SpaceConfig {
+            rebuild_threshold: 8,
+            ..SpaceConfig::default()
+        };
+        m.build_sharded_index(&config, 7, None).unwrap();
+        let index = m.space_index().unwrap().clone();
+        let before_id = index.file_id();
+        m.detach_space_index();
+        m.add(vec![10.0; 4], t("bytes")).unwrap();
+        m.attach_space_index(index).unwrap();
+        // Below threshold: no rebuild, but the pre-attach marker is
+        // overlay — scanned exactly on every query and counted toward
+        // the next rebuild.
+        assert_eq!(m.overlay_len(), 1);
+        assert_eq!(m.space_index().unwrap().file_id(), before_id);
+        let top = m
+            .predict_top(&[10.0; 4], KnnConfig { k: 1, p: 1.0 })
+            .unwrap();
+        assert_eq!(top.ty, t("bytes"));
     }
 }

@@ -107,7 +107,8 @@ proptest! {
         let mut map = TypeMap::new(3);
         let tys = ["int", "str", "bool"];
         for (i, pt) in points.iter().enumerate() {
-            map.add(pt.clone(), tys[i % 3].parse::<PyType>().expect("valid"));
+            map.add(pt.clone(), tys[i % 3].parse::<PyType>().expect("valid"))
+                .expect("matching-dim add");
         }
         let preds = map.predict(&query, KnnConfig { k, p });
         prop_assert!(!preds.is_empty());
@@ -127,9 +128,11 @@ proptest! {
         // dominate regardless of the rest of the map.
         let mut map = TypeMap::new(2);
         for pt in points.drain(..) {
-            map.add(pt, "str".parse::<PyType>().expect("valid"));
+            map.add(pt, "str".parse::<PyType>().expect("valid"))
+                .expect("matching-dim add");
         }
-        map.add(seed_point.clone(), "int".parse::<PyType>().expect("valid"));
+        map.add(seed_point.clone(), "int".parse::<PyType>().expect("valid"))
+            .expect("matching-dim add");
         let top = map
             .predict_top(&seed_point, KnnConfig { k: 5, p: 30.0 })
             .expect("nonempty map");
@@ -234,8 +237,8 @@ proptest! {
         let mut exact = TypeMap::new(3);
         for (i, p) in points.iter().enumerate() {
             let ty = tys[i % 3].parse::<PyType>().expect("valid");
-            sharded.add(p.clone(), ty.clone());
-            exact.add(p.clone(), ty);
+            sharded.add(p.clone(), ty.clone()).expect("matching-dim add");
+            exact.add(p.clone(), ty).expect("matching-dim add");
         }
         let config = SpaceConfig {
             shards: 3,
@@ -249,8 +252,8 @@ proptest! {
         sharded.build_sharded_index(&config, 9, None).expect("build");
         for (i, p) in extra.iter().enumerate() {
             let ty = tys[(i + 1) % 3].parse::<PyType>().expect("valid");
-            sharded.add(p.clone(), ty.clone());
-            exact.add(p.clone(), ty);
+            sharded.add(p.clone(), ty.clone()).expect("matching-dim add");
+            exact.add(p.clone(), ty).expect("matching-dim add");
         }
         prop_assert_eq!(sharded.overlay_len(), extra.len());
         let a = sharded.predict(&query, KnnConfig { k, p: 1.3 });

@@ -11,10 +11,17 @@
 # sharded-query speedup over the exact scan falls more than 10% below
 # the committed ratio, or if recall@10 drops below the 0.95 floor.
 #
+# Leg 3 (BENCH_serve.json): regenerates the serve daemon benchmark and
+# fails if any client count produced error replies (concurrency may
+# never cost correctness) or if the fresh throughput-scaling ratio
+# (largest client count vs one client) falls below half the committed
+# one.
+#
 # Speedups are ratios measured within a single run, so — unlike
 # absolute timings — they compare across machines. Pass paths to
-# already-generated fresh JSONs ($1 = nn, $2 = space) to skip the
-# (slow) regenerations. Run from anywhere; operates on the repo root.
+# already-generated fresh JSONs ($1 = nn, $2 = space, $3 = serve) to
+# skip the (slow) regenerations. Run from anywhere; operates on the
+# repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -110,6 +117,57 @@ done < <(extract_space "$SPACE_FRESH")
 if [ "$space_found" -eq 0 ]; then
     echo "benchdiff: no query_speedup_vs_exact entries found in $SPACE_FRESH" >&2
     status=1
+fi
+
+# ---------------- leg 3: serve error-free replies + throughput scaling ----------------
+SERVE_COMMITTED=BENCH_serve.json
+[ -f "$SERVE_COMMITTED" ] || { echo "benchdiff: no committed $SERVE_COMMITTED" >&2; exit 1; }
+
+SERVE_FRESH=${3:-}
+if [ -z "$SERVE_FRESH" ]; then
+    SERVE_FRESH=$(mktemp "${TMPDIR:-/tmp}/bench_serve.XXXXXX.json")
+    trap 'rm -f "$FRESH" "$SPACE_FRESH" "$SERVE_FRESH"' EXIT
+    echo "benchdiff: regenerating serve benchmark into $SERVE_FRESH ..."
+    TYPILUS_BENCH_OUT="$SERVE_FRESH" \
+        cargo run -q --release -p typilus-bench --bin bench_serve >/dev/null
+fi
+
+extract_serve() { # extract_serve <json> -> lines of "clients errors"
+    awk '
+        /"clients":/ { v = $2; gsub(/[^0-9]/, "", v); clients = v }
+        /"errors":/  { v = $2; gsub(/[^0-9]/, "", v); print clients, v }
+    ' "$1"
+}
+scaling_of() { # scaling_of <json> -> the throughput_scaling value
+    awk '/"throughput_scaling":/ { v = $2; gsub(/[^0-9.]/, "", v); print v }' "$1"
+}
+
+serve_found=0
+while read -r clients errs; do
+    serve_found=1
+    if [ "$errs" -ne 0 ]; then
+        echo "benchdiff: serve $clients clients REGRESSED: $errs error replies (must be 0)" >&2
+        status=1
+    else
+        echo "benchdiff: serve $clients clients OK: 0 error replies"
+    fi
+done < <(extract_serve "$SERVE_FRESH")
+
+if [ "$serve_found" -eq 0 ]; then
+    echo "benchdiff: no serve rows found in $SERVE_FRESH" >&2
+    status=1
+fi
+
+fresh_scaling=$(scaling_of "$SERVE_FRESH")
+committed_scaling=$(scaling_of "$SERVE_COMMITTED")
+if [ -z "$fresh_scaling" ] || [ -z "$committed_scaling" ]; then
+    echo "benchdiff: throughput_scaling missing from serve reports" >&2
+    status=1
+elif awk -v f="$fresh_scaling" -v c="$committed_scaling" 'BEGIN { exit !(f < 0.5 * c) }'; then
+    echo "benchdiff: serve throughput scaling REGRESSED: fresh ${fresh_scaling}x vs committed ${committed_scaling}x (below half)" >&2
+    status=1
+else
+    echo "benchdiff: serve throughput scaling OK: fresh ${fresh_scaling}x vs committed ${committed_scaling}x"
 fi
 
 if [ "$status" -ne 0 ]; then

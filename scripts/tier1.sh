@@ -5,8 +5,9 @@
 # under each forced SIMD width, the fault-injection suite, the
 # determinism lint, the dynamic determinism and kill-and-resume check
 # (threads x SIMD width x kernel mode), the benchmark-regression
-# smoke, clippy with warnings denied. Run from anywhere; operates on
-# the repo root.
+# smoke, the serve round-trip gate (byte-identical served replies,
+# untouched artifacts), clippy with warnings denied. Run from
+# anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +22,7 @@ TYPILUS_SIMD=avx2 cargo test -q -p typilus-nn --test kernel_bitident
 cargo test -q -p typilus --features faults --test fault_injection
 cargo run -p typilus-lint --release
 scripts/detcheck.sh
+scripts/servecheck.sh
 scripts/benchdiff.sh
 cargo clippy --workspace --all-targets -- -D warnings
 
