@@ -600,13 +600,16 @@ impl TrainedSystem {
         let mut out = Vec::with_capacity(prepared.targets.len());
         for (t, target) in prepared.targets.iter().enumerate() {
             let candidates = match (&class_predictions, &embeddings) {
-                (Some(preds), _) => {
-                    let (ty, p) = &preds[t];
-                    vec![TypePrediction {
+                // The class head emits one prediction per target; a
+                // shorter vector would be a model bug — degrade to "no
+                // candidates" rather than panic (lint rule S3).
+                (Some(preds), _) => match preds.get(t) {
+                    Some((ty, p)) => vec![TypePrediction {
                         ty: ty.clone(),
                         probability: *p,
-                    }]
-                }
+                    }],
+                    None => Vec::new(),
+                },
                 (None, Some(emb)) => self.type_map.predict(emb.row(t), self.config.knn),
                 (None, None) => Vec::new(),
             };

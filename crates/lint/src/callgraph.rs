@@ -1,0 +1,367 @@
+//! The workspace call graph and reachability from annotated roots.
+//!
+//! Nodes are the `fn` items parsed by [`crate::parse`] across every
+//! non-test, non-leaf file of the workspace. Edges come from syntactic
+//! call expressions, resolved *conservatively by name*:
+//!
+//! - `Type::name(…)` and `module::name(…)` resolve against the impl
+//!   type or the defining file's module name; `Self::name(…)` resolves
+//!   inside the caller's own impl.
+//! - `.name(…)` method calls resolve to **every** workspace impl
+//!   method of that name (receiver types are unknown to a lexer-level
+//!   analysis) — an over-approximation that can only add reachability,
+//!   never hide it.
+//! - Unqualified `name(…)` resolves to every workspace free fn of that
+//!   name.
+//! - A qualified call whose qualifier names no workspace type or
+//!   module is external (`std`, vendored crates) and produces no edge.
+//! - Cross-crate edges only follow the crate dependency DAG, inferred
+//!   from `typilus_*` path idents in each file: a `.len(…)` call in
+//!   `space` can never resolve into `pyast`, because `space` does not
+//!   depend on it. This keeps ubiquitous method names (`push`, `iter`,
+//!   `row`, …) from wiring unrelated crates together.
+//!
+//! Calls inside closures belong to the enclosing `fn`, so reachability
+//! flows through `WorkerPool::map_ordered(…, |…| f(…))` into `f`.
+//!
+//! Reachability is a deterministic BFS per root family
+//! ([`crate::parse::RootKind`]); each reached node keeps its BFS parent
+//! so diagnostics can print the call chain that makes a panic
+//! client-reachable.
+
+use crate::parse::{FnItem, PanicKind, RootKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-crate transitive dependency closures (each crate includes
+/// itself), inferred from `typilus_<name>` idents by the engine.
+pub type CrateDeps = BTreeMap<String, BTreeSet<String>>;
+
+/// Expands direct dependency edges into transitive closures, with every
+/// crate a member of its own closure.
+pub fn close_deps(direct: &CrateDeps) -> CrateDeps {
+    let mut closed: CrateDeps = direct.clone();
+    for (k, set) in &mut closed {
+        set.insert(k.clone());
+    }
+    loop {
+        let mut grew = false;
+        let snapshot = closed.clone();
+        for set in closed.values_mut() {
+            let extra: Vec<String> = set
+                .iter()
+                .filter_map(|d| snapshot.get(d))
+                .flatten()
+                .filter(|d| !set.contains(*d))
+                .cloned()
+                .collect();
+            if !extra.is_empty() {
+                grew = true;
+                set.extend(extra);
+            }
+        }
+        if !grew {
+            return closed;
+        }
+    }
+}
+
+/// A function's global identity: `(file index, fn index within file)`
+/// flattened into one id by the builder.
+pub type FnId = usize;
+
+/// One node of the graph, borrowing the parsed item.
+pub struct Node<'a> {
+    /// Workspace-relative path of the defining file.
+    pub path: &'a str,
+    /// Crate name derived from the path (`crates/<name>/…`), or the
+    /// top-level directory for root files.
+    pub krate: &'a str,
+    /// File stem (`typemap` for `crates/space/src/typemap.rs`) — acts
+    /// as the module name for `module::fn` resolution.
+    pub stem: &'a str,
+    /// The parsed fn item.
+    pub item: &'a FnItem,
+}
+
+/// The built graph plus per-family reachability.
+pub struct CallGraph<'a> {
+    /// All nodes, in (file, item) order — deterministic.
+    pub nodes: Vec<Node<'a>>,
+    /// Sorted, deduplicated adjacency lists.
+    pub edges: Vec<Vec<FnId>>,
+    /// `reach[Serve as usize][id]`: BFS parent if reachable (roots
+    /// point at themselves), `None` otherwise.
+    reach: [Vec<Option<FnId>>; 2],
+}
+
+/// Derives `(crate, stem)` from a workspace-relative path.
+pub fn crate_and_stem(path: &str) -> (&str, &str) {
+    let krate = path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or_else(|| path.split('/').next().unwrap_or(path));
+    let stem = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs");
+    (krate, stem)
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over `files` (path + parsed fns per file).
+    /// Fns with `in_graph == false` (test code, graph-exempt leaf
+    /// crates) never become nodes: they are neither callees nor roots.
+    /// `deps` is the transitive crate-dependency closure — edges only
+    /// land in the caller's own crate or one it depends on.
+    pub fn build(files: &'a [(String, Vec<FnItem>)], deps: &CrateDeps) -> CallGraph<'a> {
+        let mut nodes = Vec::new();
+        for (path, fns) in files {
+            let (krate, stem) = crate_and_stem(path);
+            for item in fns {
+                if !item.in_graph {
+                    continue;
+                }
+                nodes.push(Node {
+                    path,
+                    krate,
+                    stem,
+                    item,
+                });
+            }
+        }
+
+        // Name indexes. `by_name` holds every fn; `methods` only impl
+        // members (reachable through `.name(…)`); `free` only
+        // module-level fns (reachable through bare `name(…)`).
+        let mut by_qual: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut crate_free: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut known_quals: BTreeMap<&str, ()> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            let name = n.item.name.as_str();
+            match &n.item.qual {
+                Some(q) => {
+                    by_qual.entry((q.as_str(), name)).or_default().push(id);
+                    methods.entry(name).or_default().push(id);
+                    known_quals.entry(q.as_str()).or_default();
+                }
+                None => {
+                    by_qual.entry((n.stem, name)).or_default().push(id);
+                    free.entry(name).or_default().push(id);
+                    crate_free.entry((n.krate, name)).or_default().push(id);
+                }
+            }
+            known_quals.entry(n.stem).or_default();
+        }
+
+        let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); nodes.len()];
+        for (id, n) in nodes.iter().enumerate() {
+            // Visible callees: same crate, or a crate in the caller's
+            // dependency closure.
+            let visible = |c: &FnId| {
+                let ck = nodes[*c].krate;
+                ck == n.krate || deps.get(n.krate).is_some_and(|s| s.contains(ck))
+            };
+            let mut out: Vec<FnId> = Vec::new();
+            for call in &n.item.calls {
+                let name = call.name.as_str();
+                if call.method {
+                    if let Some(ids) = methods.get(name) {
+                        // `.unwrap()`/`.expect()` are usually
+                        // Option/Result panics, and `.clone()`/iterator
+                        // adapters are usually std methods that happen
+                        // to share a name with a workspace impl. All of
+                        // these resolve as calls only inside the crate
+                        // that defines a method of that name (e.g. the
+                        // pyast parser's own fallible `expect`, an
+                        // nn-internal `Tensor::map`). See
+                        // `resolves_in_crate`.
+                        let std_shadowed = matches!(
+                            name,
+                            "unwrap"
+                                | "expect"
+                                | "clone"
+                                | "iter"
+                                | "iter_mut"
+                                | "into_iter"
+                                | "map"
+                                | "filter"
+                                | "retain"
+                                | "fold"
+                                | "zip"
+                                | "for_each"
+                                | "sum"
+                                | "count"
+                                | "min"
+                                | "max"
+                                | "next"
+                                | "load"
+                                | "store"
+                                | "push"
+                                | "pop"
+                                | "send"
+                                | "recv"
+                                | "join"
+                                | "read"
+                                | "write"
+                                | "flush"
+                                | "accept"
+                        );
+                        if std_shadowed {
+                            out.extend(ids.iter().filter(|&&c| nodes[c].krate == n.krate));
+                        } else {
+                            out.extend(ids.iter().filter(|c| visible(c)));
+                        }
+                    }
+                    continue;
+                }
+                match call.qual.as_deref() {
+                    Some("Self") => {
+                        if let Some(q) = &n.item.qual {
+                            if let Some(ids) = by_qual.get(&(q.as_str(), name)) {
+                                out.extend(ids.iter().filter(|c| visible(c)));
+                            }
+                        }
+                    }
+                    Some("self") => {
+                        if let Some(ids) = by_qual.get(&(n.stem, name)) {
+                            out.extend(ids.iter().filter(|c| visible(c)));
+                        }
+                    }
+                    // Crate-qualified free-fn call: `typilus_pyast::parse(…)`
+                    // (the core crate's lib is plain `typilus`).
+                    Some(q) if q == "typilus" || q.starts_with("typilus_") => {
+                        let krate = if q == "typilus" {
+                            "core"
+                        } else {
+                            &q["typilus_".len()..]
+                        };
+                        if let Some(ids) = crate_free.get(&(krate, name)) {
+                            out.extend(ids.iter().filter(|c| visible(c)));
+                        }
+                    }
+                    Some(q) => {
+                        if let Some(ids) = by_qual.get(&(q, name)) {
+                            out.extend(ids.iter().filter(|c| visible(c)));
+                        } else if known_quals.contains_key(q) {
+                            // A workspace type/module, but no exact
+                            // member match (re-export, trait method
+                            // called as `Type::name`): fall back to
+                            // any fn of that name.
+                            if let Some(ids) = methods.get(name) {
+                                out.extend(ids.iter().filter(|c| visible(c)));
+                            }
+                            if let Some(ids) = free.get(name) {
+                                out.extend(ids.iter().filter(|c| visible(c)));
+                            }
+                        }
+                        // Unknown qualifier: external call, no edge.
+                    }
+                    None => {
+                        if let Some(ids) = free.get(name) {
+                            out.extend(ids.iter().filter(|c| visible(c)));
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out.retain(|&c| c != id);
+            edges[id] = out;
+        }
+
+        let mut graph = CallGraph {
+            nodes,
+            edges,
+            reach: [Vec::new(), Vec::new()],
+        };
+        graph.reach = [
+            graph.reachability(RootKind::Serve),
+            graph.reachability(RootKind::Hotpath),
+        ];
+        graph
+    }
+
+    /// Deterministic BFS from every root of `kind`; returns parents.
+    fn reachability(&self, kind: RootKind) -> Vec<Option<FnId>> {
+        let mut parent: Vec<Option<FnId>> = vec![None; self.nodes.len()];
+        let mut queue: Vec<FnId> = Vec::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.item.roots.contains(&kind) {
+                parent[id] = Some(id);
+                queue.push(id);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            for &next in &self.edges[id] {
+                if parent[next].is_none() {
+                    parent[next] = Some(id);
+                    queue.push(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Whether `id` is reachable from any `kind` root.
+    pub fn reachable(&self, kind: RootKind, id: FnId) -> bool {
+        self.reach[kind as usize][id].is_some()
+    }
+
+    /// Number of fns reachable from `kind` roots.
+    pub fn reachable_count(&self, kind: RootKind) -> usize {
+        self.reach[kind as usize].iter().flatten().count()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The call chain from a `kind` root to `id` as fn names,
+    /// `root → … → id`, truncated in the middle when longer than six.
+    pub fn chain(&self, kind: RootKind, id: FnId) -> String {
+        let parents = &self.reach[kind as usize];
+        let mut names: Vec<&str> = Vec::new();
+        let mut cur = id;
+        // The workspace graph is a few thousand nodes; the bound stops
+        // a malformed parent cycle from hanging the lint.
+        for _ in 0..parents.len() + 1 {
+            names.push(self.nodes[cur].item.name.as_str());
+            match parents[cur] {
+                Some(p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        names.reverse();
+        if names.len() > 6 {
+            let head = names[..2].join(" → ");
+            let tail = names[names.len() - 3..].join(" → ");
+            format!("{head} → … → {tail}")
+        } else {
+            names.join(" → ")
+        }
+    }
+
+    /// Whether an `unwrap`/`expect` **method call** at a node resolves
+    /// to a workspace-defined method in the same crate (then it is a
+    /// call, not an `Option`/`Result` panic site).
+    pub fn resolves_in_crate(&self, id: FnId, name: &str) -> bool {
+        let krate = self.nodes[id].krate;
+        self.nodes
+            .iter()
+            .any(|n| n.item.qual.is_some() && n.item.name == name && n.krate == krate)
+    }
+
+    /// Panic sites of `id` that rule S should report, given resolution.
+    pub fn live_panics(&self, id: FnId) -> impl Iterator<Item = &crate::parse::PanicSite> {
+        self.nodes[id].item.panics.iter().filter(move |p| {
+            p.kind != PanicKind::UnwrapExpect || !self.resolves_in_crate(id, &p.what)
+        })
+    }
+}

@@ -24,6 +24,22 @@ pub enum Rule {
     /// the designated atomic-I/O module: a crash mid-write leaves a
     /// torn, checksum-less file.
     D7,
+    /// `unwrap()`/`expect()` on a serve-reachable path — a hostile or
+    /// merely surprising client input must never panic the engine.
+    S1,
+    /// Panicking macro (`panic!`, `assert!`, `unreachable!`, …) on a
+    /// serve-reachable path.
+    S2,
+    /// Slice/array indexing on a serve-reachable path (out-of-bounds
+    /// panics are the classic daemon killer).
+    S3,
+    /// Allocation on the allocation-free query hot path.
+    A1,
+    /// `unsafe fn` without a `# Safety` doc section naming the
+    /// caller's obligations.
+    U1,
+    /// Raw pointer (`*const`/`*mut`) in a public API signature.
+    U2,
     /// Malformed `// lint: allow(...)` suppression (unknown rule name or
     /// missing justification).
     Allow,
@@ -40,6 +56,12 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::S1 => "S1",
+            Rule::S2 => "S2",
+            Rule::S3 => "S3",
+            Rule::A1 => "A1",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
             Rule::Allow => "allow",
         }
     }
@@ -55,8 +77,25 @@ impl Rule {
             "D5" => Rule::D5,
             "D6" => Rule::D6,
             "D7" => Rule::D7,
+            "S1" => Rule::S1,
+            "S2" => Rule::S2,
+            "S3" => Rule::S3,
+            "A1" => Rule::A1,
+            "U1" => Rule::U1,
+            "U2" => Rule::U2,
             _ => return None,
         })
+    }
+
+    /// Expands a suppression name into rules: either one rule (`"S2"`)
+    /// or a whole family (`"S"` → S1–S3), as the rule table documents.
+    pub fn parse_family(name: &str) -> Option<Vec<Rule>> {
+        match name {
+            "S" => Some(vec![Rule::S1, Rule::S2, Rule::S3]),
+            "A" => Some(vec![Rule::A1]),
+            "U" => Some(vec![Rule::U1, Rule::U2]),
+            _ => Rule::parse(name).map(|r| vec![r]),
+        }
     }
 }
 
@@ -110,6 +149,99 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// A `// lint: allow(...)` comment that never suppressed anything in a
+/// whole-workspace run. Stale suppressions are debt: the finding they
+/// once carried is gone, but the justification keeps claiming it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleSuppression {
+    /// File holding the suppression comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rules it names.
+    pub rules: Vec<Rule>,
+}
+
+impl std::fmt::Display for StaleSuppression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.rules.iter().map(|r| r.name()).collect();
+        write!(
+            f,
+            "{}:{}: stale-allow: suppression for {} never fires — remove it",
+            self.file,
+            self.line,
+            names.join(",")
+        )
+    }
+}
+
+/// Workspace-level analysis counters, reported in `--json` and by
+/// `bench_lint` so the cost and coverage of the lint stay visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Files analyzed.
+    pub files: usize,
+    /// Non-test `fn` items parsed.
+    pub fns: usize,
+    /// Call-graph edges after resolution.
+    pub edges: usize,
+    /// Fns reachable from `root(serve)` annotations.
+    pub serve_reachable: usize,
+    /// Fns reachable from `root(hotpath)` annotations.
+    pub hotpath_reachable: usize,
+    /// Live suppression comments.
+    pub suppressions: usize,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressions that fired nothing (`--deny-stale` gates on these).
+    pub stale: Vec<StaleSuppression>,
+    /// Analysis counters.
+    pub stats: LintStats,
+}
+
+/// Renders a full report as a JSON object:
+/// `{"diagnostics": […], "stale_suppressions": […], "stats": {…}}`.
+pub fn report_to_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n\"diagnostics\": ");
+    out.push_str(&to_json(&report.diagnostics));
+    out.push_str(",\n\"stale_suppressions\": [");
+    for (i, s) in report.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let names: Vec<&str> = s.rules.iter().map(|r| r.name()).collect();
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rules\": \"{}\"}}",
+            escape(&s.file),
+            s.line,
+            names.join(",")
+        ));
+    }
+    if !report.stale.is_empty() {
+        out.push('\n');
+    }
+    let s = report.stats;
+    out.push_str(&format!(
+        "],\n\"stats\": {{\"files\": {}, \"fns\": {}, \"edges\": {}, \
+         \"serve_reachable\": {}, \"hotpath_reachable\": {}, \
+         \"suppressions\": {}, \"diagnostics\": {}, \"stale\": {}}}\n}}\n",
+        s.files,
+        s.fns,
+        s.edges,
+        s.serve_reachable,
+        s.hotpath_reachable,
+        s.suppressions,
+        report.diagnostics.len(),
+        report.stale.len()
+    ));
     out
 }
 

@@ -1,22 +1,24 @@
 //! `typilus-lint` — walk the workspace, print diagnostics, gate on them.
 //!
 //! ```sh
-//! typilus-lint [--root DIR] [--json]
+//! typilus-lint [--root DIR] [--json] [--deny-stale]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` unsuppressed diagnostics, `2` usage or
-//! I/O/lex errors.
+//! Exit codes: `0` clean, `1` unsuppressed diagnostics (or stale
+//! suppressions under `--deny-stale`), `2` usage or I/O/lex errors.
 
 use std::path::PathBuf;
-use typilus_lint::{lint_workspace, to_json};
+use typilus_lint::{lint_workspace, report_to_json};
 
 fn main() {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut deny_stale = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-stale" => deny_stale = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -25,7 +27,7 @@ fn main() {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: typilus-lint [--root DIR] [--json]");
+                eprintln!("usage: typilus-lint [--root DIR] [--json] [--deny-stale]");
                 return;
             }
             other => {
@@ -42,20 +44,39 @@ fn main() {
         }
     }
     match lint_workspace(&root) {
-        Ok(diags) => {
+        Ok(report) => {
+            let diags = &report.diagnostics;
             if json {
-                print!("{}", to_json(&diags));
+                print!("{}", report_to_json(&report));
             } else {
-                for d in &diags {
+                for d in diags {
                     println!("{d}");
                 }
-                if diags.is_empty() {
-                    eprintln!("typilus-lint: workspace clean");
+                for s in &report.stale {
+                    println!("{s}");
+                }
+                let st = report.stats;
+                if diags.is_empty() && report.stale.is_empty() {
+                    eprintln!(
+                        "typilus-lint: workspace clean ({} files, {} fns, {} edges, \
+                         {} serve-reachable, {} hotpath-reachable, {} suppressions)",
+                        st.files,
+                        st.fns,
+                        st.edges,
+                        st.serve_reachable,
+                        st.hotpath_reachable,
+                        st.suppressions
+                    );
                 } else {
-                    eprintln!("typilus-lint: {} diagnostic(s)", diags.len());
+                    eprintln!(
+                        "typilus-lint: {} diagnostic(s), {} stale suppression(s)",
+                        diags.len(),
+                        report.stale.len()
+                    );
                 }
             }
-            std::process::exit(if diags.is_empty() { 0 } else { 1 });
+            let gate = !diags.is_empty() || (deny_stale && !report.stale.is_empty());
+            std::process::exit(if gate { 1 } else { 0 });
         }
         Err(e) => {
             eprintln!("typilus-lint: error: {e}");

@@ -1,0 +1,657 @@
+//! A lightweight item/block parser over the token stream.
+//!
+//! The determinism rules D1–D7 work on flat token patterns; the
+//! serve-era rules (S/A/U) need *structure*: which `fn` a token belongs
+//! to, which type an `impl` block targets, what a function calls, and
+//! where the panic- and allocation-capable expressions sit. This module
+//! recovers exactly that much shape — fn/impl/mod items with body
+//! extents, call expressions (direct, path-qualified and method calls),
+//! panic sites (`unwrap`/`expect`, panicking macros, slice indexing)
+//! and allocation sites — without attempting a full Rust grammar.
+//! Closure bodies are attributed to their enclosing `fn`; nested `fn`
+//! items get their own node and own their tokens exclusively.
+
+use crate::engine::Ct;
+use crate::lexer::TokKind;
+
+/// Rust keywords — excluded from call-name and indexing-receiver
+/// positions so `if (…)`, `return […]` and friends never look like
+/// expressions.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Macros whose expansion panics unconditionally or on a failed check.
+/// `debug_assert*` is excluded: it compiles out of release builds, and
+/// the serve contract is a release-mode contract.
+pub const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// Macros that allocate on every expansion.
+pub const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Method names that allocate a fresh buffer (or clone into one).
+pub const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "collect",
+    "into_owned",
+    "concat",
+    "join",
+    "repeat",
+];
+
+/// `Type::constructor` pairs that allocate (or exist to grow).
+pub const ALLOC_CALLS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("BTreeMap", "new"),
+    ("BTreeSet", "new"),
+    ("HashMap", "new"),
+    ("HashSet", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+];
+
+/// Reachability root families, declared with `// lint: root(...)`
+/// comments on a function's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    /// Client-reachable serve path: no panic may be reachable from here
+    /// (rules S1–S3).
+    Serve,
+    /// Allocation-free query hot path (rule A1).
+    Hotpath,
+}
+
+impl RootKind {
+    /// Parses a root family name as written inside `root(...)`.
+    pub fn parse(name: &str) -> Option<RootKind> {
+        match name {
+            "serve" => Some(RootKind::Serve),
+            "hotpath" => Some(RootKind::Hotpath),
+            _ => None,
+        }
+    }
+
+    /// The name as written in annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            RootKind::Serve => "serve",
+            RootKind::Hotpath => "hotpath",
+        }
+    }
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (`foo` of `foo(…)`, `bar` of `x.bar(…)`).
+    pub name: String,
+    /// Last path segment before the name (`index` of `index::top_k(…)`,
+    /// `Vec` of `Vec::new()`); `None` for unqualified and method calls.
+    pub qual: Option<String>,
+    /// Whether this is a `.name(…)` method call.
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// What kind of panic-capable expression a [`PanicSite`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.expect(…)` — rule S1 (unless the name resolves
+    /// to a workspace-defined method of the same crate).
+    UnwrapExpect,
+    /// A panicking macro (`panic!`, `assert!`, …) — rule S2.
+    Macro,
+    /// Slice/array indexing `expr[…]` — rule S3.
+    Indexing,
+}
+
+/// One panic-capable expression.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Which family of panic site.
+    pub kind: PanicKind,
+    /// The offending token text (`unwrap`, `assert_eq`, the indexed
+    /// receiver, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One allocating expression.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// Rendered form of the allocation (`Vec::new`, `format!`, `clone`).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` target type name, if the fn is a method or
+    /// associated function.
+    pub qual: Option<String>,
+    /// Module path inside the file (nested `mod` names, `/`-joined;
+    /// empty at file level).
+    pub module: String,
+    /// 1-based line of the item's first token (attributes included).
+    pub item_line: u32,
+    /// Header extent: item start line through the body-open (or `;`)
+    /// line. Root annotations and fn-scope suppressions attach here.
+    pub header_lines: (u32, u32),
+    /// Full extent, item start through body close (or `;`).
+    pub lines: (u32, u32),
+    /// Token-index range of the signature after the name (generics,
+    /// params, return type) — scanned by rule U2 for raw pointers.
+    pub sig_range: (usize, usize),
+    /// Token indices of the body braces, if the fn has a body.
+    pub body: Option<(usize, usize)>,
+    /// `pub` with no `(…)` restriction, with every enclosing `mod`
+    /// also `pub` — i.e. plausibly visible outside the crate.
+    pub effectively_pub: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Inside a `#[cfg(test)]` region (set by the engine).
+    pub is_test: bool,
+    /// Participates in the workspace call graph (set by the engine:
+    /// non-test fns outside the graph-exempt leaf crates).
+    pub in_graph: bool,
+    /// Whether the doc comment carries a `# Safety` section (set by the
+    /// engine, which owns the comments).
+    pub doc_has_safety: bool,
+    /// Root annotations attached to the header (set by the engine).
+    pub roots: Vec<RootKind>,
+    /// Call expressions in the body (nested fns excluded).
+    pub calls: Vec<CallSite>,
+    /// Panic-capable expressions in the body (nested fns excluded).
+    pub panics: Vec<PanicSite>,
+    /// Allocating expressions in the body (nested fns excluded).
+    pub allocs: Vec<AllocSite>,
+}
+
+/// Whether a token is an identifier that is not a keyword.
+fn is_expr_ident(t: &Ct) -> bool {
+    t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text)
+}
+
+/// Finds the matching close for the opener at `idx` (`(`/`[`/`{`),
+/// clamping to the last token when unbalanced.
+fn matching(code: &[Ct], idx: usize) -> usize {
+    let (open, close) = match code[idx].text {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return idx,
+    };
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(idx) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Skips a `<…>` generics group starting at `idx` (which must be `<`),
+/// returning the index one past the matching `>`. When the `<` turns
+/// out to be a comparison operator (a `(`/`{`/`;` shows up at angle
+/// depth), returns `idx + 1` — skip just the operator token — so
+/// callers always make progress.
+fn skip_angles(code: &[Ct], idx: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = idx;
+    while i < code.len() {
+        match code[i].text {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            "(" | "{" | ";" => return idx + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    idx + 1
+}
+
+/// Extracts the target type name of an `impl` block whose `impl`
+/// keyword sits at `idx`; returns `(type_name, body_open_idx)`.
+/// `impl<T> Trait for Type<T> { … }` yields `Type`.
+fn parse_impl(code: &[Ct], idx: usize) -> Option<(String, usize)> {
+    let mut i = idx + 1;
+    if code.get(i).map(|t| t.text) == Some("<") {
+        i = skip_angles(code, i);
+    }
+    // Collect idents up to the body `{`, tracking the last ident seen
+    // after a `for` (trait impl) or overall (inherent impl).
+    let mut last_ident: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    while i < code.len() {
+        let t = &code[i];
+        match t.text {
+            "{" => {
+                let name = if saw_for { after_for } else { last_ident };
+                return name.map(|n| (n.to_string(), i));
+            }
+            ";" => return None,
+            "for" if t.kind == TokKind::Ident => saw_for = true,
+            "<" => {
+                i = skip_angles(code, i);
+                continue;
+            }
+            "where" => {
+                // Type name is fixed by now; scan on to the `{`.
+            }
+            _ if t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text) => {
+                last_ident = Some(t.text);
+                if saw_for {
+                    after_for = Some(t.text);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks backwards from the `fn` keyword over its modifiers and
+/// attributes; returns `(item_start_idx, is_pub, restricted, is_unsafe)`.
+fn scan_modifiers(code: &[Ct], fn_idx: usize) -> (usize, bool, bool, bool) {
+    let mut start = fn_idx;
+    let mut is_pub = false;
+    let mut restricted = false;
+    let mut is_unsafe = false;
+    let mut i = fn_idx;
+    while i > 0 {
+        let prev = &code[i - 1];
+        match prev.text {
+            "unsafe" => {
+                is_unsafe = true;
+                i -= 1;
+            }
+            "const" | "async" | "extern" | "default" => i -= 1,
+            _ if prev.kind == TokKind::Str => i -= 1, // extern "C"
+            ")" => {
+                // `pub(crate)` / `pub(in path)` restriction group.
+                let mut depth = 0usize;
+                let mut j = i - 1;
+                loop {
+                    match code[j].text {
+                        ")" => depth += 1,
+                        "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                if j >= 1 && code[j - 1].text == "pub" {
+                    is_pub = true;
+                    restricted = true;
+                    i = j - 1;
+                } else {
+                    break;
+                }
+            }
+            "pub" => {
+                is_pub = true;
+                i -= 1;
+            }
+            _ => break,
+        }
+        start = i;
+    }
+    // Attributes above the modifiers: `#[…]` groups.
+    loop {
+        // Find a `]` directly before `start` that closes a `#[…]`.
+        if start < 2 || code[start - 1].text != "]" {
+            break;
+        }
+        let mut depth = 0usize;
+        let mut j = start - 1;
+        loop {
+            match code[j].text {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        if j >= 1 && code[j - 1].text == "#" {
+            start = j - 1;
+        } else {
+            break;
+        }
+    }
+    (start, is_pub, restricted, is_unsafe)
+}
+
+/// Parses every `fn` item of a file's code-token stream, attributing
+/// call/panic/alloc sites to the innermost enclosing fn.
+pub fn parse_fns(code: &[Ct]) -> Vec<FnItem> {
+    struct Scope {
+        close: usize,
+        kind: ScopeKind,
+    }
+    enum ScopeKind {
+        Mod { name: String, is_pub: bool },
+        Impl { ty: String },
+    }
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        // Pop scopes we have walked past.
+        while scopes.last().is_some_and(|s| i > s.close) {
+            scopes.pop();
+        }
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text {
+            "mod" => {
+                if let (Some(name_t), Some(open_t)) = (code.get(i + 1), code.get(i + 2)) {
+                    if name_t.kind == TokKind::Ident && open_t.text == "{" {
+                        let is_pub = i > 0 && code[i - 1].text == "pub";
+                        scopes.push(Scope {
+                            close: matching(code, i + 2),
+                            kind: ScopeKind::Mod {
+                                name: name_t.text.to_string(),
+                                is_pub,
+                            },
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((ty, open)) = parse_impl(code, i) {
+                    scopes.push(Scope {
+                        close: matching(code, open),
+                        kind: ScopeKind::Impl { ty },
+                    });
+                    i = open + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            "fn" => {
+                let Some(name_t) = code.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                // `fn(` is a function-pointer type, not an item.
+                if name_t.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let (item_start, is_pub, restricted, is_unsafe) = scan_modifiers(code, i);
+                // Signature: optional generics, params, return type /
+                // where clause up to `{` or `;` at paren depth 0.
+                let mut j = i + 2;
+                if code.get(j).map(|t| t.text) == Some("<") {
+                    j = skip_angles(code, j);
+                }
+                let sig_start = j;
+                let mut body_open = None;
+                let mut depth = 0usize;
+                while j < code.len() {
+                    match code[j].text {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "<" if depth == 0 => {
+                            j = skip_angles(code, j);
+                            continue;
+                        }
+                        "{" if depth == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let sig_end = j.min(code.len().saturating_sub(1));
+                let (body, end_idx) = match body_open {
+                    Some(open) => {
+                        let close = matching(code, open);
+                        (Some((open, close)), close)
+                    }
+                    None => (None, sig_end),
+                };
+                let qual = scopes.iter().rev().find_map(|s| match &s.kind {
+                    ScopeKind::Impl { ty } => Some(ty.clone()),
+                    _ => None,
+                });
+                let module = scopes
+                    .iter()
+                    .filter_map(|s| match &s.kind {
+                        ScopeKind::Mod { name, .. } => Some(name.as_str()),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let mods_pub = scopes.iter().all(|s| match &s.kind {
+                    ScopeKind::Mod { is_pub, .. } => *is_pub,
+                    _ => true,
+                });
+                fns.push(FnItem {
+                    name: name_t.text.to_string(),
+                    qual,
+                    module,
+                    item_line: code[item_start].line,
+                    header_lines: (
+                        code[item_start].line,
+                        code[body_open.unwrap_or(sig_end)].line,
+                    ),
+                    lines: (code[item_start].line, code[end_idx].line),
+                    sig_range: (sig_start, sig_end),
+                    body,
+                    effectively_pub: is_pub && !restricted && mods_pub,
+                    is_unsafe,
+                    is_test: false,
+                    in_graph: true,
+                    doc_has_safety: false,
+                    roots: Vec::new(),
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                    allocs: Vec::new(),
+                });
+                // Do not skip the body: nested fns inside it must be
+                // found too. Scope popping keeps impl/mod attribution
+                // correct because fn bodies cannot re-open impls of
+                // other files.
+                i = body_open.map_or(sig_end + 1, |open| open + 1);
+            }
+            _ => i += 1,
+        }
+    }
+
+    attribute_sites(code, &mut fns);
+    fns
+}
+
+/// For each token range, finds the innermost fn body containing it and
+/// records call/panic/alloc sites there.
+fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
+    // innermost[i] = index of the fn whose body most tightly contains
+    // token i (fn bodies nest strictly, so the smallest range wins).
+    let mut innermost: Vec<Option<usize>> = vec![None; code.len()];
+    for (f_idx, f) in fns.iter().enumerate() {
+        if let Some((open, close)) = f.body {
+            for slot in innermost
+                .iter_mut()
+                .take(close.min(code.len().saturating_sub(1)))
+                .skip(open + 1)
+            {
+                // Later fns with containing ranges are nested deeper in
+                // the scan order only if they start later; strictly
+                // smaller ranges always overwrite.
+                *slot = Some(match *slot {
+                    Some(prev) => {
+                        let prev_span = fns[prev].body.map_or(usize::MAX, |(o, c)| c - o);
+                        if close - open <= prev_span {
+                            f_idx
+                        } else {
+                            prev
+                        }
+                    }
+                    None => f_idx,
+                });
+            }
+        }
+    }
+
+    for i in 0..code.len() {
+        let Some(owner) = innermost[i] else { continue };
+        let t = &code[i];
+        let line = t.line;
+        // Macro invocation: `name !` — panicking or allocating.
+        if t.kind == TokKind::Ident && code.get(i + 1).map(|n| n.text) == Some("!") {
+            // `!=` is the inequality operator, not a macro bang.
+            if code.get(i + 2).map(|n| n.text) != Some("=") {
+                if PANIC_MACROS.contains(&t.text) {
+                    fns[owner].panics.push(PanicSite {
+                        kind: PanicKind::Macro,
+                        what: format!("{}!", t.text),
+                        line,
+                    });
+                } else if ALLOC_MACROS.contains(&t.text) {
+                    fns[owner].allocs.push(AllocSite {
+                        what: format!("{}!", t.text),
+                        line,
+                    });
+                }
+            }
+            continue;
+        }
+        // Method call: `. name (` with optional turbofish.
+        if t.text == "." && code.get(i + 1).is_some_and(is_expr_ident) {
+            let m = &code[i + 1];
+            let mut k = i + 2;
+            if code.get(k).map(|t| t.text) == Some(":")
+                && code.get(k + 1).map(|t| t.text) == Some(":")
+                && code.get(k + 2).map(|t| t.text) == Some("<")
+            {
+                k = skip_angles(code, k + 2);
+            }
+            if code.get(k).map(|t| t.text) == Some("(") {
+                fns[owner].calls.push(CallSite {
+                    name: m.text.to_string(),
+                    qual: None,
+                    method: true,
+                    line: m.line,
+                });
+                if m.text == "unwrap" || m.text == "expect" {
+                    fns[owner].panics.push(PanicSite {
+                        kind: PanicKind::UnwrapExpect,
+                        what: m.text.to_string(),
+                        line: m.line,
+                    });
+                } else if ALLOC_METHODS.contains(&m.text) {
+                    fns[owner].allocs.push(AllocSite {
+                        what: m.text.to_string(),
+                        line: m.line,
+                    });
+                }
+            }
+            continue;
+        }
+        // Direct / path-qualified call: `name (` not preceded by `.`.
+        if is_expr_ident(t)
+            && code.get(i + 1).map(|n| n.text) == Some("(")
+            && (i == 0 || (code[i - 1].text != "." && code[i - 1].text != "fn"))
+        {
+            let qual = if i >= 3
+                && code[i - 1].text == ":"
+                && code[i - 2].text == ":"
+                && code[i - 3].kind == TokKind::Ident
+            {
+                Some(code[i - 3].text.to_string())
+            } else {
+                None
+            };
+            if let Some(q) = &qual {
+                if ALLOC_CALLS.contains(&(q.as_str(), t.text)) {
+                    fns[owner].allocs.push(AllocSite {
+                        what: format!("{q}::{}", t.text),
+                        line,
+                    });
+                }
+            }
+            fns[owner].calls.push(CallSite {
+                name: t.text.to_string(),
+                qual,
+                method: false,
+                line,
+            });
+            continue;
+        }
+        // Indexing: `[` whose previous token ends an expression.
+        if t.text == "["
+            && i > 0
+            && (is_expr_ident(&code[i - 1]) || code[i - 1].text == ")" || code[i - 1].text == "]")
+        {
+            fns[owner].panics.push(PanicSite {
+                kind: PanicKind::Indexing,
+                what: code[i - 1].text.to_string(),
+                line,
+            });
+        }
+    }
+}

@@ -438,3 +438,320 @@ mod tests {
 "#;
     assert!(diags(src).is_empty());
 }
+
+// ------------------------------------------------- S: panic freedom
+
+use typilus_lint::{lint_files, LintReport};
+
+/// Lints a synthetic multi-file workspace; the call graph spans it.
+fn workspace(files: &[(&str, &str)]) -> LintReport {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_files(&owned).expect("fixture lexes")
+}
+
+#[test]
+fn s1_fires_on_unwrap_reached_from_a_serve_root() {
+    let src = r#"
+// lint: root(serve)
+fn handle(x: &str) -> usize {
+    helper(x)
+}
+fn helper(x: &str) -> usize {
+    x.parse().unwrap()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::S1], "{:?}", report.diagnostics);
+    // The message carries the offending call chain.
+    assert!(
+        report.diagnostics[0].message.contains("handle → helper"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+#[test]
+fn s2_fires_on_panic_macro_and_s3_on_indexing() {
+    let src = r#"
+// lint: root(serve)
+fn handle(xs: &[u32], i: usize) -> u32 {
+    if i > xs.len() {
+        panic!("bad index");
+    }
+    xs[i]
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::S2, Rule::S3], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn s_rules_quiet_off_the_reachable_set() {
+    // Same panicking code, but no root reaches it: S stays quiet.
+    let src = r#"
+fn handle(x: &str) -> usize {
+    x.parse().unwrap()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn s_rules_quiet_in_test_code() {
+    let src = r#"
+// lint: root(serve)
+fn handle(x: &str) -> usize {
+    x.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], 1);
+    }
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn s1_suppressible_on_the_fn_header_with_justification() {
+    let src = r#"
+// lint: root(serve)
+fn handle(x: &str) -> usize {
+    helper(x)
+}
+// lint: allow(S) — input is validated by the framing layer first
+fn helper(x: &str) -> usize {
+    x.parse().unwrap()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
+// ----------------------------------------- A: hot-path allocations
+
+#[test]
+fn a1_fires_on_allocation_reached_from_a_hotpath_root() {
+    let src = r#"
+// lint: root(hotpath)
+fn query(xs: &[u32]) -> usize {
+    scan(xs)
+}
+fn scan(xs: &[u32]) -> usize {
+    let held: Vec<u32> = xs.to_vec();
+    held.len()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::A1], "{:?}", report.diagnostics);
+    assert!(
+        report.diagnostics[0].message.contains("query → scan"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+#[test]
+fn a1_quiet_on_serve_only_paths() {
+    // Serve-reachable code may allocate; only hotpath roots forbid it.
+    let src = r#"
+// lint: root(serve)
+fn handle(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ------------------------------------------- U: unsafe invariants
+
+#[test]
+fn u1_fires_on_unsafe_fn_without_safety_doc() {
+    let src = r#"
+/// Reads a raw byte.
+unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid.
+    unsafe { *p }
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::U1]);
+}
+
+#[test]
+fn u1_quiet_with_safety_doc_section() {
+    let src = r#"
+/// Reads a raw byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid, per the doc contract.
+    unsafe { *p }
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+#[test]
+fn u2_fires_on_pub_safe_fn_exposing_raw_pointer() {
+    let src = r#"
+pub fn base_ptr(xs: &[u8]) -> *const u8 {
+    xs.as_ptr()
+}
+"#;
+    assert_eq!(rules(src), vec![Rule::U2]);
+}
+
+#[test]
+fn u2_quiet_on_private_and_unsafe_signatures() {
+    let src = r#"
+fn base_ptr(xs: &[u8]) -> *const u8 {
+    xs.as_ptr()
+}
+"#;
+    assert!(diags(src).is_empty());
+}
+
+// ------------------------------------------------ root annotations
+
+#[test]
+fn malformed_root_annotation_is_a_finding() {
+    let src = r#"
+// lint: root(serve
+fn handle() {}
+"#;
+    assert!(rules(src).contains(&Rule::Allow));
+}
+
+#[test]
+fn unknown_root_family_is_a_finding() {
+    let src = r#"
+// lint: root(fastpath)
+fn handle() {}
+"#;
+    assert!(rules(src).contains(&Rule::Allow));
+}
+
+#[test]
+fn floating_root_annotation_is_a_finding() {
+    let src = r#"
+// lint: root(serve)
+
+struct NotAFn;
+"#;
+    assert!(rules(src).contains(&Rule::Allow));
+}
+
+// ---------------------------------------------- stale suppressions
+
+#[test]
+fn unused_suppression_is_reported_stale() {
+    let src = r#"
+// lint: allow(S1) — nothing here actually unwraps
+fn calm(x: usize) -> usize {
+    x + 1
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.stale.len(), 1, "{:?}", report.stale);
+    assert_eq!(report.stale[0].line, 2);
+    assert_eq!(report.stale[0].rules, vec![Rule::S1]);
+}
+
+#[test]
+fn used_suppression_is_not_stale() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak(m: &HashMap<String, usize>) {
+    // lint: allow(D1) — display order does not matter here
+    for (k, v) in m {
+        println!("{k}={v}");
+    }
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
+// ------------------------------------------------------ call graph
+
+#[test]
+fn call_graph_resolves_cross_crate_edges_within_declared_deps() {
+    // `fix` depends on `util` (the `typilus_util` ident below declares
+    // it); the chain handle → fetch → pick crosses the crate boundary
+    // and still carries S3 back to the indexing site.
+    let caller = r#"
+use typilus_util::fetch;
+
+// lint: root(serve)
+fn handle(xs: &[u32]) -> u32 {
+    fetch(xs)
+}
+"#;
+    let callee = r#"
+pub fn fetch(xs: &[u32]) -> u32 {
+    pick(xs)
+}
+fn pick(xs: &[u32]) -> u32 {
+    xs[0]
+}
+"#;
+    let report = workspace(&[
+        ("crates/fix/src/lib.rs", caller),
+        ("crates/util/src/lib.rs", callee),
+    ]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::S3], "{:?}", report.diagnostics);
+    assert!(
+        report.diagnostics[0]
+            .message
+            .contains("handle → fetch → pick"),
+        "{}",
+        report.diagnostics[0].message
+    );
+    assert!(report.stats.edges >= 2, "{:?}", report.stats);
+    assert!(report.stats.serve_reachable >= 3, "{:?}", report.stats);
+}
+
+#[test]
+fn call_graph_refuses_edges_outside_the_dependency_closure() {
+    // No `typilus_util` ident in the caller: same-named free fns in an
+    // undeclared crate must not produce an edge, so nothing is
+    // reachable and S stays quiet.
+    let caller = r#"
+// lint: root(serve)
+fn handle(xs: &[u32]) -> u32 {
+    fetch(xs)
+}
+fn fetch(xs: &[u32]) -> u32 {
+    xs.len() as u32
+}
+"#;
+    let callee = r#"
+pub fn fetch(xs: &[u32]) -> u32 {
+    xs[0]
+}
+"#;
+    let report = workspace(&[
+        ("crates/fix/src/lib.rs", caller),
+        ("crates/util/src/lib.rs", callee),
+    ]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}

@@ -1,6 +1,6 @@
 //! The workspace must lint clean: this is the same gate
-//! `cargo run -p typilus-lint` applies in tier-1, kept as a test so
-//! `cargo test` alone catches a regression.
+//! `cargo run -p typilus-lint -- --deny-stale` applies in tier-1, kept
+//! as a test so `cargo test` alone catches a regression.
 
 use typilus_lint::lint_workspace;
 
@@ -10,15 +10,55 @@ fn workspace_lints_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root");
-    let diags = lint_workspace(&root).expect("lint runs");
+    let report = lint_workspace(&root).expect("lint runs");
     assert!(
-        diags.is_empty(),
+        report.diagnostics.is_empty(),
         "workspace has {} lint finding(s):\n{}",
-        diags.len(),
-        diags
+        report.diagnostics.len(),
+        report
+            .diagnostics
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert!(
+        report.stale.is_empty(),
+        "workspace has {} stale suppression(s):\n{}",
+        report.stale.len(),
+        report
+            .stale
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_call_graph_is_resolved() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = lint_workspace(&root).expect("lint runs");
+    let st = report.stats;
+    assert!(st.files > 50, "walked only {} files", st.files);
+    assert!(st.fns > 300, "parsed only {} fns", st.fns);
+    assert!(st.edges > 1000, "resolved only {} edges", st.edges);
+    // The serve roots must reach deep into the stack (protocol decode,
+    // the pyast parser, the models, the kNN search) and the hotpath
+    // roots must cover the index query fns — a near-empty reachable
+    // set means the root annotations or the resolution broke, which
+    // would silently disable the S/A families.
+    assert!(
+        st.serve_reachable > 100,
+        "only {} fns serve-reachable",
+        st.serve_reachable
+    );
+    assert!(
+        st.hotpath_reachable > 10,
+        "only {} fns hotpath-reachable",
+        st.hotpath_reachable
     );
 }

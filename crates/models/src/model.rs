@@ -521,17 +521,11 @@ impl TypeModel {
     }
 
     /// Classification-head prediction for a file: per target, the best
-    /// non-UNK class and its probability. Only meaningful for
-    /// [`LossKind::Class`] models.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the model has no classification head.
+    /// non-UNK class and its probability. Returns `None` when the
+    /// model has no classification head (non-[`LossKind::Class`]
+    /// models) or when the file embeds to nothing.
     pub fn predict_class(&self, file: &PreparedFile) -> Option<Vec<(PyType, f32)>> {
-        let head = self
-            .class_head
-            .as_ref()
-            .expect("predict_class needs a Class model");
+        let head = self.class_head.as_ref()?;
         let mut tape = Tape::new(&self.params);
         let emb = self.embed(&mut tape, file)?;
         let logits = head.apply(&mut tape, emb);

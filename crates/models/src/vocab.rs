@@ -114,13 +114,10 @@ impl TypeVocab {
         self.by_type.contains_key(&ty.to_string())
     }
 
-    /// The type for a class id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is out of range.
+    /// The type for a class id; an out-of-range id maps to the UNK
+    /// type, like every other lookup here (lint rule S3).
     pub fn ty(&self, id: usize) -> &PyType {
-        &self.types[id]
+        self.types.get(id).unwrap_or(&PyType::Any)
     }
 
     /// Number of classes including UNK.

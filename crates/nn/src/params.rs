@@ -39,6 +39,7 @@ impl ParamSet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this set.
+    // lint: allow(S3) — a ParamId is only minted by add, which pushes tensors and names in lockstep
     pub fn get(&self, id: ParamId) -> &Tensor {
         &self.tensors[id.0]
     }
@@ -48,6 +49,7 @@ impl ParamSet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this set.
+    // lint: allow(S3) — a ParamId is only minted by add, which pushes tensors and names in lockstep
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
         &mut self.tensors[id.0]
     }
@@ -57,6 +59,7 @@ impl ParamSet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this set.
+    // lint: allow(S3) — a ParamId is only minted by add, which pushes tensors and names in lockstep
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
     }

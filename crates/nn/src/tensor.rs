@@ -76,6 +76,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
+    // lint: allow(S2) — constructor contract: every call site derives data.len() from the same rows*cols
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
         assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
         Tensor { data, rows, cols }
@@ -129,6 +130,7 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     #[inline]
+    // lint: allow(S3) — r < rows and c < cols is the Tensor shape contract; a violation is a model bug, not request data
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
@@ -140,6 +142,7 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     #[inline]
+    // lint: allow(S3) — r < rows and c < cols is the Tensor shape contract; a violation is a model bug, not request data
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
@@ -165,6 +168,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
+    // lint: allow(S3) — r < rows is the Tensor shape contract and data is sized rows*cols
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -174,6 +178,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
+    // lint: allow(S3) — r < rows is the Tensor shape contract and data is sized rows*cols
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -193,6 +198,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
+    // lint: allow(S2) — inner-dimension agreement is fixed by the model architecture, not request data
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -258,6 +264,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if column counts differ.
+    // lint: allow(S2) — inner-dimension agreement is fixed by the model architecture, not request data
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -555,6 +562,12 @@ fn matmul_at_b_tile<const MRX: usize, const NRX: usize>(
 /// enables floating-point contraction, so the generated `vmulps` +
 /// `vaddps` pairs round exactly like the scalar baseline — the widening
 /// stays inside the bit-exactness contract.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (checked at dispatch
+/// via `is_x86_feature_detected!`); the slices themselves are bounds-
+/// checked as in the generic body.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn matmul_tile_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
@@ -563,6 +576,11 @@ unsafe fn matmul_tile_avx2(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: u
 
 /// AVX2 instantiation of [`matmul_at_b_tile`]; see
 /// [`matmul_tile_avx2`] for the no-FMA bit-exactness argument.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (checked at dispatch
+/// via `is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn matmul_at_b_tile_avx2(
@@ -620,6 +638,7 @@ pub(crate) fn matmul_at_b_into(
 /// Blocked transpose into an arena-backed tensor: `TB×TB` tiles keep
 /// both the read and write streams within a few cache lines, instead of
 /// striding the whole destination once per source row.
+// lint: allow(S3) — blocked loop bounds are min-clamped to rows/cols, keeping both linear indices in range
 fn transpose_blocked(t: &Tensor) -> Tensor {
     let (rows, cols) = t.shape();
     let len = rows * cols;

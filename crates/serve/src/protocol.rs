@@ -92,12 +92,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     // Distinguish "closed between frames" (clean) from "closed inside
     // a frame" (mid-request disconnect): read the first prefix byte
     // separately.
-    match r.read(&mut prefix[..1]) {
+    let (head, rest) = prefix.split_at_mut(1);
+    match r.read(head) {
         Ok(0) => return Err(FrameError::Closed),
         Ok(_) => {}
         Err(e) => return Err(FrameError::Io(e)),
     }
-    r.read_exact(&mut prefix[1..])?;
+    r.read_exact(rest)?;
     let len = u32::from_le_bytes(prefix);
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized {

@@ -259,6 +259,7 @@ impl Server {
 
 /// Drains and executes jobs until shutdown. Strict arrival order;
 /// maximal consecutive predict runs share one pooled forward pass.
+// lint: root(serve)
 fn engine_loop(
     options: &ServeOptions,
     endpoint: &Endpoint,
@@ -304,15 +305,19 @@ fn engine_loop(
             }
         }
 
-        let mut i = 0;
-        while i < live.len() {
-            match &live[i].request {
+        // Index-free dispatch (lint rule S3): walk the batch as a
+        // shrinking slice, splitting a maximal predict run off the
+        // front when one starts.
+        let mut rest: &[Job] = &live;
+        while let Some((first, tail)) = rest.split_first() {
+            match &first.request {
                 Request::Predict { .. } => {
-                    let mut j = i;
-                    while j < live.len() && matches!(live[j].request, Request::Predict { .. }) {
-                        j += 1;
-                    }
-                    let sources: Vec<String> = live[i..j]
+                    let run_len = 1 + tail
+                        .iter()
+                        .take_while(|job| matches!(job.request, Request::Predict { .. }))
+                        .count();
+                    let (run, after) = rest.split_at(run_len);
+                    let sources: Vec<String> = run
                         .iter()
                         .map(|job| match &job.request {
                             Request::Predict { source } => source.clone(),
@@ -320,7 +325,7 @@ fn engine_loop(
                         })
                         .collect();
                     let results = system.predict_sources(&sources);
-                    for (job, result) in live[i..j].iter().zip(results) {
+                    for (job, result) in run.iter().zip(results) {
                         let resp = match result {
                             Ok(preds) => {
                                 counters.predicts.fetch_add(1, Ordering::SeqCst);
@@ -330,7 +335,7 @@ fn engine_loop(
                         };
                         send_reply(counters, job, resp);
                     }
-                    i = j;
+                    rest = after;
                 }
                 Request::AddMarker { source, symbol, ty } => {
                     let resp = match ty.parse::<PyType>() {
@@ -343,8 +348,8 @@ fn engine_loop(
                             Err(e) => error_reply(add_marker_code(&e), &e.to_string()),
                         },
                     };
-                    send_reply(counters, &live[i], resp);
-                    i += 1;
+                    send_reply(counters, first, resp);
+                    rest = tail;
                 }
                 Request::Reindex => {
                     // Disjoint field borrows: the pool lives in
@@ -364,18 +369,18 @@ fn engine_loop(
                         },
                         Err(e) => error_reply(ErrorCode::Space, &e.to_string()),
                     };
-                    send_reply(counters, &live[i], resp);
-                    i += 1;
+                    send_reply(counters, first, resp);
+                    rest = tail;
                 }
                 Request::Stats => {
                     let resp = Response::Stats(stats(system, counters));
-                    send_reply(counters, &live[i], resp);
-                    i += 1;
+                    send_reply(counters, first, resp);
+                    rest = tail;
                 }
                 Request::Shutdown => {
                     shutdown.store(true, Ordering::SeqCst);
-                    send_reply(counters, &live[i], Response::Bye);
-                    for job in &live[i + 1..] {
+                    send_reply(counters, first, Response::Bye);
+                    for job in tail {
                         send_reply(
                             counters,
                             job,
@@ -461,6 +466,7 @@ fn nudge(endpoint: &Endpoint) {
     }
 }
 
+// lint: root(serve)
 fn accept_loop(
     listener: ListenerKind,
     jobs: SyncSender<Job>,
@@ -495,6 +501,7 @@ fn accept_loop(
 /// connection: malformed payloads get an error reply and the stream
 /// stays usable (framing is intact); an oversized prefix or mid-frame
 /// disconnect closes the stream.
+// lint: root(serve)
 fn handle_conn(
     mut stream: StreamKind,
     jobs: SyncSender<Job>,

@@ -83,6 +83,7 @@ fn l1_body(a: &[f32], b: &[f32]) -> f32 {
 /// tested after every full [`PRUNE_CHUNK`] block and once after the
 /// tail, which is where the reference's chunked loop tests it too.
 #[inline(always)]
+// lint: allow(S3) — callers pass equal-length points (the debug_assert documents it), i stays < n = a.len(), and d is the fixed PRUNE_CHUNK-wide scratch with j < PRUNE_CHUNK
 fn l1_pruned_body(a: &[f32], b: &[f32], bound: f32) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
@@ -108,12 +109,24 @@ fn l1_pruned_body(a: &[f32], b: &[f32], bound: f32) -> f32 {
     sum
 }
 
+/// AVX2 instantiation of [`l1_body`].
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (checked at dispatch
+/// via `is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn l1_avx2(a: &[f32], b: &[f32]) -> f32 {
     l1_body(a, b)
 }
 
+/// AVX2 instantiation of [`l1_pruned_body`].
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (checked at dispatch
+/// via `is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn l1_pruned_avx2(a: &[f32], b: &[f32], bound: f32) -> f32 {

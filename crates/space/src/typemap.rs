@@ -434,6 +434,7 @@ impl TypeMap {
     /// written into `out` reusing `scratch` — the allocation-free core
     /// of [`TypeMap::predict`]. With a sharded index attached, overlay
     /// markers are scanned exactly and merged with the view's hits.
+    // lint: root(hotpath)
     pub fn nearest_into(
         &self,
         query: &[f32],
@@ -485,12 +486,10 @@ impl TypeMap {
     /// per-thread reusable scratch, so it allocates nothing at steady
     /// state.
     ///
-    /// # Panics
-    ///
-    /// Panics if the query width differs from the map's dimension.
+    /// A query whose width differs from the map's dimension yields no
+    /// predictions (serve-reachable code must not panic, lint rule S2).
     pub fn predict(&self, query: &[f32], config: KnnConfig) -> Vec<TypePrediction> {
-        assert_eq!(query.len(), self.dim, "query width mismatch");
-        if self.is_empty() {
+        if query.len() != self.dim || self.is_empty() {
             return Vec::new();
         }
         let config = config.effective();
@@ -506,8 +505,12 @@ impl TypeMap {
                 // d^{-p} with a floor so exact matches dominate but stay finite.
                 let d = f64::from(h.distance).max(1e-6);
                 let w = d.powf(f64::from(-config.p));
+                // A hit index out of range would mean index/metadata
+                // desync; skip it rather than panic (lint rule S3).
+                let Some(ty) = self.types.get(h.index) else {
+                    continue;
+                };
                 z += w;
-                let ty = &self.types[h.index];
                 let e = scores.entry(ty.to_string()).or_insert((ty.clone(), 0.0));
                 e.1 += w;
             }

@@ -3,7 +3,8 @@
 # normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
 # env-driven thread resolution), the kernel bit-equivalence properties
 # under each forced SIMD width, the fault-injection suite, the
-# determinism lint, the dynamic determinism and kill-and-resume check
+# determinism/panic-freedom lint (stale suppressions denied), the
+# dynamic determinism and kill-and-resume check
 # (threads x SIMD width x kernel mode), the benchmark-regression
 # smoke, the serve round-trip gate (byte-identical served replies,
 # untouched artifacts), clippy with warnings denied. Run from
@@ -20,7 +21,7 @@ TYPILUS_THREADS=2 cargo test -q
 TYPILUS_SIMD=sse2 cargo test -q -p typilus-nn --test kernel_bitident
 TYPILUS_SIMD=avx2 cargo test -q -p typilus-nn --test kernel_bitident
 cargo test -q -p typilus --features faults --test fault_injection
-cargo run -p typilus-lint --release
+cargo run -p typilus-lint --release -- --deny-stale
 scripts/detcheck.sh
 scripts/servecheck.sh
 scripts/benchdiff.sh
