@@ -16,6 +16,12 @@
 //! hold near or above 1.0 even when cores are scarce.
 //! `scripts/benchdiff.sh` keys its serve regression check on it.
 //!
+//! `supervision_p50_overhead` is an in-process A/B of the engine's
+//! `catch_unwind` supervisor: the same predict workload run directly
+//! and inside the wrapper the engine applies to every batch, as a p50
+//! ratio. Supervision is unconditional in the daemon, so this ratio is
+//! the price of panic-safety per request; benchdiff gates it at 1.05.
+//!
 //! Writes `BENCH_serve.json` (or `TYPILUS_BENCH_OUT`) and prints it to
 //! stdout.
 
@@ -92,6 +98,45 @@ fn run_clients(endpoint: &Endpoint, sources: &[String], clients: usize, per_clie
     }
 }
 
+/// In-process A/B of the serve supervisor: the same predict workload
+/// run directly and inside the `catch_unwind` wrapper [`Server::run`]'s
+/// engine applies to every batch. Interleaved reps so drift (cache
+/// warm-up, host noise) lands on both arms; returns
+/// `(direct_p50_ms, supervised_p50_ms, ratio)`.
+fn supervision_overhead(system: &typilus::TrainedSystem, sources: &[String]) -> (f64, f64, f64) {
+    const REPS: usize = 60;
+    let mut direct = Vec::with_capacity(REPS);
+    let mut supervised = Vec::with_capacity(REPS);
+    let time_direct = |src: &String| {
+        let t = Instant::now();
+        let _ = system.predict_source(src);
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let time_supervised = |src: &String| {
+        let t = Instant::now();
+        let _ =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| system.predict_source(src)));
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    for r in 0..REPS {
+        let src = &sources[r % sources.len()];
+        // Alternate which arm goes first so cache warm-up from the
+        // first arm does not systematically favour the second.
+        if r % 2 == 0 {
+            direct.push(time_direct(src));
+            supervised.push(time_supervised(src));
+        } else {
+            supervised.push(time_supervised(src));
+            direct.push(time_direct(src));
+        }
+    }
+    direct.sort_by(f64::total_cmp);
+    supervised.sort_by(f64::total_cmp);
+    let d = percentile(&direct, 0.50);
+    let s = percentile(&supervised, 0.50);
+    (d, s, s / d.max(1e-9))
+}
+
 fn main() {
     let scale = Scale::small();
     let client_counts = typilus_bench::serve_clients(&[1, 2, 4]);
@@ -111,6 +156,13 @@ fn main() {
         .map(|f| f.source.clone())
         .collect();
     assert!(!sources.is_empty(), "benchmark corpus is empty");
+
+    eprintln!("[serve] measuring supervision overhead (direct vs catch_unwind) ...");
+    let (direct_p50, supervised_p50, overhead) = supervision_overhead(&system, &sources);
+    eprintln!(
+        "[serve] supervision: direct p50 {direct_p50:.2}ms, supervised p50 \
+         {supervised_p50:.2}ms, overhead {overhead:.3}x"
+    );
 
     let server = Server::bind(
         &Endpoint::Tcp("127.0.0.1:0".to_string()),
@@ -171,7 +223,10 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"requests_per_client\": {per_client},\n  \
          \"sources\": {},\n  \"host_cpus\": {cpus},\n  \
-         \"largest_batch\": {},\n  \"rows\": [\n{body}\n  ],\n  \
+         \"largest_batch\": {},\n  \
+         \"supervision_direct_p50_ms\": {direct_p50:.3},\n  \
+         \"supervision_supervised_p50_ms\": {supervised_p50:.3},\n  \
+         \"supervision_p50_overhead\": {overhead:.3},\n  \"rows\": [\n{body}\n  ],\n  \
          \"throughput_scaling\": {scaling:.3}\n}}\n",
         sources.len(),
         summary.largest_batch

@@ -11,7 +11,7 @@ use typilus::{
 };
 use typilus_check::TypeChecker;
 use typilus_corpus::{generate, CorpusConfig};
-use typilus_serve::{Client, Endpoint, Response, ServeOptions, Server};
+use typilus_serve::{Client, ClientOptions, Endpoint, Response, ServeOptions, Server};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -38,12 +38,13 @@ USAGE:
                      [--leaf-size N] [--search-k N] [--rebuild-threshold N]
                      [--seed S] [--threads N]
   typilus serve      --model FILE (--addr HOST:PORT | --socket PATH)
-                     [--batch-max N] [--queue-max N] [--timeout-ms N]
-                     [--threads N]
+                     [--batch-max N] [--batch-bytes-max N] [--queue-max N]
+                     [--timeout-ms N] [--threads N]
   typilus query      (--addr HOST:PORT | --socket PATH) [--top K]
-                     [--min-confidence F] [--out FILE] PY_FILE...
+                     [--min-confidence F] [--out FILE] [--retry]
+                     [--timeout-ms N] PY_FILE...
   typilus query      ... --add-symbol NAME --add-type TYPE PY_FILE
-  typilus query      ... (--stats | --reindex | --shutdown)
+  typilus query      ... (--stats | --reindex | --drain | --shutdown)
 
 Corpora are directories of .py files. Models are .typilus artefacts
 written by `train` (see typilus::TrainedSystem::save).
@@ -88,9 +89,18 @@ prediction scratch stay warm across requests, and concurrent predicts
 are batched into single pooled forward passes — replies are
 byte-identical to one-shot `typilus predict` output at any client or
 thread count. Serving never writes an artifact; kill it at any moment.
+A panic anywhere in the engine is supervised: the affected requests
+get a typed `internal` error, the worker scratch is rebuilt, repeat
+offenders are quarantined, and the daemon keeps serving — `--stats`
+reports the health (ok/degraded/draining) and recovery counters.
+--batch-bytes-max caps the source bytes drained into one engine pass.
 `typilus query` is the matching client: predict files, bind one
 open-vocabulary marker (--add-symbol/--add-type), or ask for --stats,
---reindex (in-memory index rebuild), --shutdown.
+--reindex (in-memory index rebuild), --drain (stop accepting new
+connections), --shutdown. --retry turns on resilient transport:
+connect/read/write timeouts, reconnect with bounded exponential
+backoff and deterministic jitter, retries for idempotent requests
+only (never --add-symbol). --timeout-ms bounds the whole query.
 
 Unparseable or empty .py files never abort a run: they are quarantined,
 counted and named on stderr, and the rest of the corpus proceeds."
@@ -530,6 +540,7 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
     let defaults = ServeOptions::default();
     let options = ServeOptions {
         batch_max: args.get_parsed("batch-max", defaults.batch_max)?,
+        batch_bytes_max: args.get_parsed("batch-bytes-max", defaults.batch_bytes_max)?,
         queue_max: args.get_parsed("queue-max", defaults.queue_max)?,
         timeout_ms: args.get_parsed("timeout-ms", defaults.timeout_ms)?,
     };
@@ -555,13 +566,41 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
          in {} batches (largest {})",
         s.requests, s.predicts, s.markers_added, s.errors, s.batches, s.largest_batch
     );
+    if s.panics_recovered > 0 || s.quarantined > 0 || s.client_gone > 0 || s.write_faults > 0 {
+        println!(
+            "recovered {} engine panics ({} requests quarantined, \
+             {} client-gone writes, {} write faults)",
+            s.panics_recovered, s.quarantined, s.client_gone, s.write_faults
+        );
+    }
     Ok(())
 }
 
 /// `typilus query` — client for a running `typilus serve` daemon.
 pub fn query_cmd(args: &Args) -> CmdResult {
     let endpoint = endpoint_from(args)?;
-    let mut client = Client::connect(&endpoint)?;
+    // --retry opts into the resilient transport profile (timeouts,
+    // reconnect with deterministic backoff, idempotent-only
+    // retries); --timeout-ms bounds the whole query either way.
+    let mut options = if args.has_flag("retry") {
+        ClientOptions::default()
+    } else {
+        ClientOptions::blocking()
+    };
+    if args.get("timeout-ms").is_some() {
+        let ms = args.get_parsed("timeout-ms", 0u64)?;
+        options.deadline_ms = ms;
+        if options.connect_timeout_ms == 0 {
+            options.connect_timeout_ms = ms;
+        }
+        if options.read_timeout_ms == 0 {
+            options.read_timeout_ms = ms;
+        }
+        if options.write_timeout_ms == 0 {
+            options.write_timeout_ms = ms;
+        }
+    }
+    let mut client = Client::connect_with(&endpoint, options)?;
     if args.has_flag("stats") {
         return match client.stats()? {
             Response::Stats(s) => {
@@ -574,6 +613,11 @@ pub fn query_cmd(args: &Args) -> CmdResult {
                     "server: {} requests ({} predictions, {} markers added, {} errors) \
                      in {} batches (largest {})",
                     s.requests, s.predicts, s.markers_added, s.errors, s.batches, s.largest_batch
+                );
+                println!(
+                    "health: {} ({} panics recovered, {} quarantined, \
+                     {} client-gone writes, {} write faults)",
+                    s.health, s.panics_recovered, s.quarantined, s.client_gone, s.write_faults
                 );
                 for (key, count) in &s.warnings {
                     println!("warning[{key}]: raised {count}x");
@@ -592,6 +636,16 @@ pub fn query_cmd(args: &Args) -> CmdResult {
             }
             Response::Error { code, message } => Err(server_error(code, &message)),
             other => Err(format!("unexpected reply to reindex: {other:?}").into()),
+        };
+    }
+    if args.has_flag("drain") {
+        return match client.drain()? {
+            Response::Draining => {
+                println!("server is draining (existing connections served, new ones refused)");
+                Ok(())
+            }
+            Response::Error { code, message } => Err(server_error(code, &message)),
+            other => Err(format!("unexpected reply to drain: {other:?}").into()),
         };
     }
     if args.has_flag("shutdown") {
@@ -626,7 +680,9 @@ pub fn query_cmd(args: &Args) -> CmdResult {
     let out_path = args.get("out");
     let files = &args.positionals()[1..];
     if files.is_empty() {
-        return Err("query needs at least one .py file (or --stats/--reindex/--shutdown)".into());
+        return Err(
+            "query needs at least one .py file (or --stats/--reindex/--drain/--shutdown)".into(),
+        );
     }
     let mut report = String::new();
     for file in files {

@@ -18,7 +18,8 @@ fn main() {
     let parsed = match Args::parse(
         raw,
         &[
-            "check", "help", "info", "profile", "reindex", "resume", "shutdown", "stats", "verify",
+            "check", "drain", "help", "info", "profile", "reindex", "resume", "retry", "shutdown",
+            "stats", "verify",
         ],
     ) {
         Ok(a) => a,

@@ -19,6 +19,10 @@
 //! | `atomic_io.sync`   | `IoError`: fsync fails                         |
 //! | `atomic_io.rename` | `IoError`: rename fails, destination untouched |
 //! | `train.batch`      | any: panic mid-epoch (crash between checkpoints) |
+//! | `serve.engine.batch` | any: engine panic mid-batch — the serve supervisor must recover |
+//! | `serve.reply.write`  | `IoError`: reply write fails; `ShortWrite(n)`: torn reply frame; `Panic`: conn thread dies |
+//! | `serve.add_marker`   | any: the marker is not bound and the client gets a typed `space` error |
+//! | `serve.reindex`      | any: the index is left unchanged and the client gets a typed `space` error |
 //!
 //! The registry is process-global; tests that arm faults must
 //! serialize themselves (e.g. behind a shared `Mutex`) and disarm in
@@ -41,6 +45,7 @@ impl Fault {
     /// Panics with a recognizable payload. Used by sites where the only
     /// meaningful injection is a crash (and as the fallback for fault
     /// kinds a site cannot express).
+    // lint: allow(S) — fault injection exists to crash; a no-op without the faults feature
     pub fn trigger_panic(&self, site: &str) -> ! {
         panic!("injected fault at {site}: {self:?}")
     }

@@ -324,7 +324,6 @@ impl<'a> Builder<'a> {
 
     /// CHILD edges from a syntax node to the tokens in its span that are
     /// not covered by any of its children.
-    // lint: allow(S3) — i ranges over indices of included_tokens/token_offsets, which the same pass fills in lockstep
     fn attach_tokens(&mut self, node: u32, span: Span, children: &[ChildRef<'_>]) {
         let lo = self
             .token_offsets
@@ -376,7 +375,6 @@ impl<'a> Builder<'a> {
         }
     }
 
-    // lint: allow(S3) — pair comes from windows(2), so indices 0 and 1 always exist
     fn build_use_edges(&mut self) {
         // NEXT_LEXICAL_USE: consecutive occurrences of a symbol. Free
         // (unresolved) names are still variables from the graph's view.

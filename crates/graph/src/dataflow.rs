@@ -64,7 +64,6 @@ struct Analysis {
 
 impl Analysis {
     /// Occurrences inside `span` excluding the given child spans.
-    // lint: allow(S3) — lo..hi come from partition_point over occs, so both are <= len
     fn occurrences_in(&self, span: Span, exclude: &[Span]) -> Vec<(usize, SymbolId)> {
         let lo = self
             .occs

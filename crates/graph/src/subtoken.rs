@@ -10,7 +10,6 @@
 /// `numNodes` → `["num", "nodes"]`; `HTTPResponse` → `["http",
 /// "response"]`; `max_pool2d` → `["max", "pool", "2", "d"]`. Identifiers
 /// with no letters or digits yield an empty vector.
-// lint: allow(S3) — i is bounded by chars.len() in the loop condition and i > 0 guards the lookback
 pub fn subtokens(identifier: &str) -> Vec<String> {
     let chars: Vec<char> = identifier.chars().collect();
     let mut out = Vec::new();

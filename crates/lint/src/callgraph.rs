@@ -24,6 +24,12 @@
 //! Calls inside closures belong to the enclosing `fn`, so reachability
 //! flows through `WorkerPool::map_ordered(…, |…| f(…))` into `f`.
 //!
+//! Calls inside a `catch_unwind(…)` argument list are *caught*: a panic
+//! below them unwinds into the supervisor, not the client connection,
+//! so **serve** reachability does not flow through them. **Hotpath**
+//! reachability uses every edge — catching a panic does not undo the
+//! allocations a callee performs.
+//!
 //! Reachability is a deterministic BFS per root family
 //! ([`crate::parse::RootKind`]); each reached node keeps its BFS parent
 //! so diagnostics can print the call chain that makes a panic
@@ -87,8 +93,12 @@ pub struct Node<'a> {
 pub struct CallGraph<'a> {
     /// All nodes, in (file, item) order — deterministic.
     pub nodes: Vec<Node<'a>>,
-    /// Sorted, deduplicated adjacency lists.
+    /// Sorted, deduplicated adjacency lists (every call).
     pub edges: Vec<Vec<FnId>>,
+    /// Adjacency lists restricted to calls outside `catch_unwind(…)`
+    /// extents — the edges panics can unwind through. Serve BFS walks
+    /// these; hotpath BFS walks [`CallGraph::edges`].
+    pub uncaught_edges: Vec<Vec<FnId>>,
     /// `reach[Serve as usize][id]`: BFS parent if reachable (roots
     /// point at themselves), `None` otherwise.
     reach: [Vec<Option<FnId>>; 2],
@@ -157,6 +167,7 @@ impl<'a> CallGraph<'a> {
         }
 
         let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); nodes.len()];
+        let mut uncaught_edges: Vec<Vec<FnId>> = vec![Vec::new(); nodes.len()];
         for (id, n) in nodes.iter().enumerate() {
             // Visible callees: same crate, or a crate in the caller's
             // dependency closure.
@@ -164,9 +175,11 @@ impl<'a> CallGraph<'a> {
                 let ck = nodes[*c].krate;
                 ck == n.krate || deps.get(n.krate).is_some_and(|s| s.contains(ck))
             };
-            let mut out: Vec<FnId> = Vec::new();
+            let mut all: Vec<FnId> = Vec::new();
+            let mut uncaught: Vec<FnId> = Vec::new();
             for call in &n.item.calls {
                 let name = call.name.as_str();
+                let mut out: Vec<FnId> = Vec::new();
                 if call.method {
                     if let Some(ids) = methods.get(name) {
                         // `.unwrap()`/`.expect()` are usually
@@ -214,6 +227,10 @@ impl<'a> CallGraph<'a> {
                         } else {
                             out.extend(ids.iter().filter(|c| visible(c)));
                         }
+                    }
+                    all.extend(out.iter().copied());
+                    if !call.caught {
+                        uncaught.extend(out);
                     }
                     continue;
                 }
@@ -265,16 +282,23 @@ impl<'a> CallGraph<'a> {
                         }
                     }
                 }
+                all.extend(out.iter().copied());
+                if !call.caught {
+                    uncaught.extend(out);
+                }
             }
-            out.sort_unstable();
-            out.dedup();
-            out.retain(|&c| c != id);
-            edges[id] = out;
+            for (mut list, slot) in [(all, &mut edges[id]), (uncaught, &mut uncaught_edges[id])] {
+                list.sort_unstable();
+                list.dedup();
+                list.retain(|&c| c != id);
+                *slot = list;
+            }
         }
 
         let mut graph = CallGraph {
             nodes,
             edges,
+            uncaught_edges,
             reach: [Vec::new(), Vec::new()],
         };
         graph.reach = [
@@ -285,7 +309,13 @@ impl<'a> CallGraph<'a> {
     }
 
     /// Deterministic BFS from every root of `kind`; returns parents.
+    /// Serve reachability walks only uncaught edges — a callee reached
+    /// exclusively through `catch_unwind(…)` cannot kill the daemon.
     fn reachability(&self, kind: RootKind) -> Vec<Option<FnId>> {
+        let edges = match kind {
+            RootKind::Serve => &self.uncaught_edges,
+            RootKind::Hotpath => &self.edges,
+        };
         let mut parent: Vec<Option<FnId>> = vec![None; self.nodes.len()];
         let mut queue: Vec<FnId> = Vec::new();
         for (id, n) in self.nodes.iter().enumerate() {
@@ -298,7 +328,7 @@ impl<'a> CallGraph<'a> {
         while head < queue.len() {
             let id = queue[head];
             head += 1;
-            for &next in &self.edges[id] {
+            for &next in &edges[id] {
                 if parent[next].is_none() {
                     parent[next] = Some(id);
                     queue.push(next);
@@ -359,9 +389,11 @@ impl<'a> CallGraph<'a> {
     }
 
     /// Panic sites of `id` that rule S should report, given resolution.
+    /// Sites inside a `catch_unwind(…)` extent are supervised — their
+    /// panic is a typed error at the boundary, not a daemon killer.
     pub fn live_panics(&self, id: FnId) -> impl Iterator<Item = &crate::parse::PanicSite> {
         self.nodes[id].item.panics.iter().filter(move |p| {
-            p.kind != PanicKind::UnwrapExpect || !self.resolves_in_crate(id, &p.what)
+            !p.caught && (p.kind != PanicKind::UnwrapExpect || !self.resolves_in_crate(id, &p.what))
         })
     }
 }

@@ -109,6 +109,10 @@ pub struct CallSite {
     pub qual: Option<String>,
     /// Whether this is a `.name(…)` method call.
     pub method: bool,
+    /// Inside a `catch_unwind(…)` argument list: a panic below this
+    /// call unwinds into the supervisor, not through the caller, so
+    /// serve reachability does not flow through it.
+    pub caught: bool,
     /// 1-based line.
     pub line: u32,
 }
@@ -133,6 +137,10 @@ pub struct PanicSite {
     /// The offending token text (`unwrap`, `assert_eq`, the indexed
     /// receiver, …).
     pub what: String,
+    /// Inside a `catch_unwind(…)` argument list: the panic is a typed
+    /// error at the supervision boundary, not a daemon killer, so the
+    /// S-rules skip it.
+    pub caught: bool,
     /// 1-based line.
     pub line: u32,
 }
@@ -526,9 +534,40 @@ pub fn parse_fns(code: &[Ct]) -> Vec<FnItem> {
     fns
 }
 
+/// Marks every token inside a `catch_unwind(…)` argument list. A
+/// panic raised there unwinds into the supervisor instead of through
+/// the enclosing fn, so the S-rules treat these regions as legitimate
+/// panic sinks (the A-rule does not: allocations still happen).
+fn mark_caught_regions(code: &[Ct]) -> Vec<bool> {
+    let mut caught = vec![false; code.len()];
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || t.text != "catch_unwind" {
+            continue;
+        }
+        // `catch_unwind(` directly or through a `::<F>` turbofish.
+        let mut k = i + 1;
+        if code.get(k).map(|t| t.text) == Some(":")
+            && code.get(k + 1).map(|t| t.text) == Some(":")
+            && code.get(k + 2).map(|t| t.text) == Some("<")
+        {
+            k = skip_angles(code, k + 2);
+        }
+        if code.get(k).map(|t| t.text) != Some("(") {
+            continue;
+        }
+        let close = matching(code, k);
+        for slot in caught.iter_mut().take(close).skip(k + 1) {
+            *slot = true;
+        }
+    }
+    caught
+}
+
 /// For each token range, finds the innermost fn body containing it and
 /// records call/panic/alloc sites there.
 fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
+    let caught = mark_caught_regions(code);
     // innermost[i] = index of the fn whose body most tightly contains
     // token i (fn bodies nest strictly, so the smallest range wins).
     let mut innermost: Vec<Option<usize>> = vec![None; code.len()];
@@ -569,6 +608,7 @@ fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
                     fns[owner].panics.push(PanicSite {
                         kind: PanicKind::Macro,
                         what: format!("{}!", t.text),
+                        caught: caught[i],
                         line,
                     });
                 } else if ALLOC_MACROS.contains(&t.text) {
@@ -595,12 +635,14 @@ fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
                     name: m.text.to_string(),
                     qual: None,
                     method: true,
+                    caught: caught[i],
                     line: m.line,
                 });
                 if m.text == "unwrap" || m.text == "expect" {
                     fns[owner].panics.push(PanicSite {
                         kind: PanicKind::UnwrapExpect,
                         what: m.text.to_string(),
+                        caught: caught[i],
                         line: m.line,
                     });
                 } else if ALLOC_METHODS.contains(&m.text) {
@@ -638,6 +680,7 @@ fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
                 name: t.text.to_string(),
                 qual,
                 method: false,
+                caught: caught[i],
                 line,
             });
             continue;
@@ -650,6 +693,7 @@ fn attribute_sites(code: &[Ct], fns: &mut [FnItem]) {
             fns[owner].panics.push(PanicSite {
                 kind: PanicKind::Indexing,
                 what: code[i - 1].text.to_string(),
+                caught: caught[i],
                 line,
             });
         }

@@ -540,6 +540,86 @@ fn helper(x: &str) -> usize {
     assert!(report.stale.is_empty(), "{:?}", report.stale);
 }
 
+// ------------------------------------ S: catch_unwind supervision
+
+#[test]
+fn s_rules_quiet_inside_a_catch_unwind_extent() {
+    // The panic unwinds into the supervisor, not the client
+    // connection: a supervised batch is a legitimate panic sink.
+    let src = r#"
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// lint: root(serve)
+fn handle(x: &str) -> usize {
+    let got = catch_unwind(AssertUnwindSafe(|| x.parse().unwrap()));
+    got.unwrap_or(0)
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn s_rules_quiet_on_a_callee_reached_only_through_catch_unwind() {
+    // Serve reachability must not flow through the supervised call, so
+    // the helper's unwrap/indexing never become daemon killers.
+    let src = r#"
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// lint: root(serve)
+fn handle(xs: &[u32]) -> u32 {
+    catch_unwind(AssertUnwindSafe(|| risky(xs))).unwrap_or(0)
+}
+fn risky(xs: &[u32]) -> u32 {
+    xs[0]
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn s_rules_fire_when_an_uncaught_edge_also_reaches_the_callee() {
+    // The same helper called both under supervision and directly: the
+    // direct edge keeps it serve-reachable and S3 must still fire.
+    let src = r#"
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// lint: root(serve)
+fn handle(xs: &[u32]) -> u32 {
+    let first = catch_unwind(AssertUnwindSafe(|| risky(xs))).unwrap_or(0);
+    first + risky(xs)
+}
+fn risky(xs: &[u32]) -> u32 {
+    xs[0]
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::S3], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn a1_still_fires_through_catch_unwind() {
+    // Catching a panic does not undo allocations: hotpath reachability
+    // keeps flowing through supervised calls.
+    let src = r#"
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// lint: root(hotpath)
+fn query(xs: &[u32]) -> usize {
+    catch_unwind(AssertUnwindSafe(|| scan(xs))).unwrap_or(0)
+}
+fn scan(xs: &[u32]) -> usize {
+    let held: Vec<u32> = xs.to_vec();
+    held.len()
+}
+"#;
+    let report = workspace(&[("crates/fix/src/lib.rs", src)]);
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![Rule::A1], "{:?}", report.diagnostics);
+}
+
 // ----------------------------------------- A: hot-path allocations
 
 #[test]

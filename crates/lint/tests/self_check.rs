@@ -46,13 +46,17 @@ fn workspace_call_graph_is_resolved() {
     assert!(st.files > 50, "walked only {} files", st.files);
     assert!(st.fns > 300, "parsed only {} fns", st.fns);
     assert!(st.edges > 1000, "resolved only {} edges", st.edges);
-    // The serve roots must reach deep into the stack (protocol decode,
-    // the pyast parser, the models, the kNN search) and the hotpath
-    // roots must cover the index query fns — a near-empty reachable
-    // set means the root annotations or the resolution broke, which
-    // would silently disable the S/A families.
+    // The serve roots must still reach the connection/framing layer
+    // and the engine supervisor, and the hotpath roots must cover the
+    // index query fns — a near-empty reachable set means the root
+    // annotations or the resolution broke, which would silently
+    // disable the S/A families. The bound is far below the pre-
+    // supervision count (~170): the engine runs batches under
+    // `catch_unwind`, so predict internals (pyast, models, kNN) are
+    // deliberately no longer serve-reachable — their panics surface as
+    // typed `internal` replies, not daemon deaths.
     assert!(
-        st.serve_reachable > 100,
+        st.serve_reachable > 30,
         "only {} fns serve-reachable",
         st.serve_reachable
     );

@@ -105,7 +105,6 @@ impl GnnEncoder {
 
     /// Runs `T` steps of message passing and returns the final states of
     /// all nodes, `[num_nodes, D]`.
-    // lint: allow(S3) — the relation index is < the edge-type count the message weights were sized for at construction
     pub fn node_states(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         let mut h = self.initial_states(tape, file);
         // Precompute flattened edge endpoints per relation.
@@ -152,7 +151,6 @@ impl GnnEncoder {
     /// # Panics
     ///
     /// Panics if the file has no targets (check before calling).
-    // lint: allow(S2) — predict_prepared returns early on a target-less file, so encode never sees one
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         assert!(
             !file.targets.is_empty(),

@@ -152,7 +152,6 @@ pub fn parse_ground_truth(annotation: Option<&str>) -> Option<PyType> {
 }
 
 /// Prepares one program graph for all encoders.
-// lint: allow(S3) — relation buckets are sized 2*edge_types up front and node ids are minted by the graph builder
 pub fn prepare(
     graph: &ProgramGraph,
     subtoken_vocab: &Vocab,
@@ -341,7 +340,6 @@ pub fn prepare(
 /// Deterministically samples leaf-to-leaf paths from each start node to
 /// nearby identifier tokens through the AST parent chain.
 #[allow(clippy::too_many_arguments)]
-// lint: allow(S3) — parent is sized to graph.nodes.len() and every id walked comes from that graph’s edges
 fn sample_paths(
     graph: &ProgramGraph,
     parent: &[Option<u32>],

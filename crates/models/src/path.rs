@@ -74,7 +74,6 @@ impl PathEncoder {
     /// # Panics
     ///
     /// Panics if the file has no targets.
-    // lint: allow(S2) — predict_prepared returns early on a target-less file, so encode never sees one
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         assert!(
             !file.targets.is_empty(),

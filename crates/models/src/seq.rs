@@ -89,7 +89,6 @@ impl SeqEncoder {
     }
 
     /// Per-token representations `[L, D]`.
-    // lint: allow(S3) — node is a graph node id and node_subtokens is sized to the node count by prepare
     pub fn token_states(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         let len = file.token_seq.len();
         // Token inputs: mean of subtoken embeddings per token.
@@ -122,7 +121,6 @@ impl SeqEncoder {
     /// # Panics
     ///
     /// Panics if the file has no targets or no tokens.
-    // lint: allow(S2) — predict_prepared returns early on a target-less file, and targets imply tokens
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         assert!(
             !file.targets.is_empty(),

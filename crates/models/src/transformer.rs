@@ -99,7 +99,6 @@ impl TransformerEncoder {
     }
 
     /// Per-token representations `[L, D]`.
-    // lint: allow(S3) — node is a graph node id and node_subtokens is sized to the node count by prepare
     pub fn token_states(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         let len = file.token_seq.len();
         let mut ids = Vec::new();
@@ -127,7 +126,6 @@ impl TransformerEncoder {
     /// # Panics
     ///
     /// Panics if the file has no targets or no tokens.
-    // lint: allow(S2) — predict_prepared returns early on a target-less file, and targets imply tokens
     pub fn encode(&self, tape: &mut Tape<'_>, file: &PreparedFile) -> Var {
         assert!(
             !file.targets.is_empty(),

@@ -96,7 +96,6 @@ impl Pool {
     /// bin is sorted by descending capacity, so within a bin the best
     /// fit is the deepest fitting entry — `pop` for the (common)
     /// homogeneous bins.
-    // lint: allow(S3) — class comes from class_of, which only returns indices < the fixed bin count
     fn pop_for_request(&mut self, len: usize) -> Option<Vec<f32>> {
         let exact = class_for_request(len).min(NUM_CLASSES - 1);
         let floor = if exact > 0 && !len.max(1).is_power_of_two() {
@@ -123,7 +122,6 @@ impl Pool {
     /// a bin full of identical power-of-two buffers), and dropping the
     /// buffer when the class is at [`PER_CLASS_CAP`]. Returns whether
     /// the buffer was kept.
-    // lint: allow(S3) — class comes from class_of, which only returns indices < the fixed bin count
     fn store(&mut self, buf: Vec<f32>) -> bool {
         let class = class_of_capacity(buf.capacity()).min(NUM_CLASSES - 1);
         let bin = &mut self.classes[class];
@@ -221,7 +219,6 @@ pub(crate) fn copy_of(t: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics if `data.len() != rows * cols`.
-// lint: allow(S2) — the arena carves the buffer to rows*cols itself before handing it to this copy
 pub(crate) fn copy_slice(rows: usize, cols: usize, data: &[f32]) -> Tensor {
     assert_eq!(data.len(), rows * cols, "arena copy length mismatch");
     let mut buf = take(data.len());

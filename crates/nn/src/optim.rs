@@ -67,7 +67,6 @@ impl Adam {
         self.step_impl(params, grads, Some(pool));
     }
 
-    // lint: allow(S3) — p, g, m and v belong to one ParamSet entry and share a length; i ranges over it
     fn step_impl(
         &mut self,
         params: &mut ParamSet,
@@ -158,7 +157,6 @@ impl Sgd {
     }
 
     /// Applies one update step.
-    // lint: allow(S3) — p and g are the same tensor’s shape by ParamSet construction; i ranges over that length
     pub fn step(&self, params: &mut ParamSet, grads: &Gradients) {
         for (id, g) in grads.iter() {
             let p = params.get_mut(id);

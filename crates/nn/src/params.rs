@@ -49,7 +49,6 @@ impl ParamSet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this set.
-    // lint: allow(S3) — a ParamId is only minted by add, which pushes tensors and names in lockstep
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
         &mut self.tensors[id.0]
     }
@@ -59,7 +58,6 @@ impl ParamSet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this set.
-    // lint: allow(S3) — a ParamId is only minted by add, which pushes tensors and names in lockstep
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
     }

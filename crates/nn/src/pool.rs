@@ -174,7 +174,6 @@ impl<P> SendPtr<P> {
 impl WorkerPool {
     /// Creates a pool with `threads` logical workers (`threads - 1` OS
     /// threads plus the calling thread; `0` is treated as `1`).
-    // lint: allow(S1) — thread spawn fails only on resource exhaustion at pool startup, before any request is accepted
     pub fn new(threads: usize) -> WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
@@ -212,7 +211,6 @@ impl WorkerPool {
     /// Applies `f` to every item on the pool's workers and returns the
     /// results in input order. Bit-identical to the sequential loop for
     /// any thread count; see the module docs for the panic contract.
-    // lint: allow(S1, S3) — stripe indices are derived from items.len(); an unfilled slot would mean a worker died, which the panic-propagating join already turns fatal
     pub fn map_ordered<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -258,7 +256,6 @@ impl WorkerPool {
     /// is dropped — and its arena buffers retired — on the worker that
     /// allocated them). Striding, ordering and panic semantics are
     /// identical to `map_ordered`.
-    // lint: allow(S1) — an unfilled slot would mean a worker died, which the panic-propagating join already turns fatal
     pub fn map_ordered_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
     where
         T: Send,
@@ -306,7 +303,6 @@ impl WorkerPool {
     /// re-raises the first captured panic. Returns `false` without
     /// running anything when the pool is busy (re-entrant call) — the
     /// caller then falls back to inline execution.
-    // lint: allow(S1, S3) — senders is sized to the worker count and stripe >= 1; channel ends fail only after a worker panicked, which is already fatal
     fn run(&self, w: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
         let inner = &self.inner;
         let Ok(_guard) = inner.run_lock.try_lock() else {

@@ -93,7 +93,6 @@ mod imp {
 
     /// Records one completed operation.
     #[inline]
-    // lint: allow(S3) — i is a Kind discriminant, < the fixed-size static tables by definition
     pub fn record(kind: OpKind, nanos: u64, bytes: u64) {
         let i = kind as usize;
         COUNTS[i].fetch_add(1, Relaxed);

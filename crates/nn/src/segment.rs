@@ -40,7 +40,6 @@ impl SegmentPlan {
     /// # Panics
     ///
     /// Panics if an id is `>= num_segments`.
-    // lint: allow(S2, S3) — counting sort over ids the assert just bounded: offsets has num_segments+1 slots and cursor/order are sized from the counts
     pub fn build(segments: &[usize], num_segments: usize) -> SegmentPlan {
         let mut offsets = vec![0usize; num_segments + 1];
         for &s in segments {
@@ -65,7 +64,6 @@ impl SegmentPlan {
     }
 
     /// The rows of segment `s`, in ascending original index.
-    // lint: allow(S3) — s < num_segments is the SegmentIndex contract and offsets holds num_segments+1 entries
     pub fn rows(&self, s: usize) -> &[usize] {
         &self.order[self.offsets[s]..self.offsets[s + 1]]
     }
@@ -107,7 +105,6 @@ pub fn mean_blocked(a: &Tensor, plan: &SegmentPlan) -> Tensor {
 /// ties keep the earliest row and NaN never wins; columns with no
 /// winner (empty segment or all-NaN) produce `0.0` and
 /// `argmax = usize::MAX`.
-// lint: allow(S3) — argmax is sized num_segments*cols and s iterates 0..num_segments
 pub fn max_blocked(a: &Tensor, plan: &SegmentPlan) -> (Tensor, Vec<usize>) {
     let cols = a.cols();
     let num = plan.num_segments();

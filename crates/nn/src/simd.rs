@@ -110,7 +110,6 @@ fn resolve() -> SimdWidth {
 ///
 /// Panics if `width` requires a CPU feature this machine lacks — the
 /// dispatcher must never be able to select an unrunnable kernel.
-// lint: allow(S2) — rejects an unrunnable kernel at configuration time; width never derives from request data
 pub fn set_simd_width(width: SimdWidth) {
     assert!(
         width != SimdWidth::Avx2 || avx2_available(),

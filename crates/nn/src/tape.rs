@@ -136,7 +136,6 @@ impl<'p> Tape<'p> {
     }
 
     /// The current value of a variable.
-    // lint: allow(S3) — a Var is only minted by this tape’s push, so the node index is always live
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
     }
@@ -205,7 +204,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics on shape mismatch or if `b` is not `1×m`.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn matmul_bias(&mut self, x: Var, w: Var, b: Var) -> Var {
         if kernel_mode() == KernelMode::Naive {
             let y = self.matmul(x, w);
@@ -239,7 +237,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
@@ -252,7 +249,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if widths differ or `row` is not a single row.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (va, vr) = (self.value(a), self.value(row));
         assert_eq!(vr.rows(), 1, "add_row needs a 1×m row");
@@ -273,7 +269,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
@@ -286,7 +281,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (va, vb) = (self.value(a), self.value(b));
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
@@ -376,7 +370,6 @@ impl<'p> Tape<'p> {
 
     /// Shared forward for the fused gates: `f((a + b) + row)`, with the
     /// additions associated exactly as in the unfused composition.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     fn fused_gate(&self, a: Var, b: Var, row: Var, f: impl Fn(f32) -> f32) -> Tensor {
         let (va, vb, vr) = (self.value(a), self.value(b), self.value(row));
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
@@ -405,7 +398,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    // lint: allow(S2) — layer shapes are fixed at model construction, not by request data
     pub fn gru_combine(&mut self, z: Var, h: Var, cand: Var) -> Var {
         if kernel_mode() == KernelMode::Naive {
             let zh = self.mul(z, h);
@@ -437,7 +429,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
-    // lint: allow(S2) — gather indices are node/target ids bounded by the same PreparedFile that sized the states
     pub fn gather(&mut self, a: Var, indices: &[usize]) -> Var {
         let va = self.value(a);
         let v = run_op(OpKind::Gather, || {
@@ -456,7 +447,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if `segments.len() != a.rows()` or an id `>= num_segments`.
-    // lint: allow(S2) — segment ids and row counts come from one SegmentIndex built over the same rows
     pub fn segment_sum(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
@@ -481,7 +471,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Tape::segment_sum`].
-    // lint: allow(S2) — segment ids and row counts come from one SegmentIndex built over the same rows
     pub fn segment_mean(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
@@ -511,7 +500,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Tape::segment_sum`].
-    // lint: allow(S2) — segment ids and row counts come from one SegmentIndex built over the same rows
     pub fn segment_max(&mut self, a: Var, segments: &[usize], num_segments: usize) -> Var {
         let va = self.value(a);
         assert_eq!(segments.len(), va.rows(), "segment id per row required");
@@ -644,7 +632,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if `parts` is empty or widths differ.
-    // lint: allow(S2, S3) — parts[0] follows from the non-empty assert one line up; widths are fixed by the model
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
         let cols = self.value(parts[0]).cols();
@@ -667,7 +654,6 @@ impl<'p> Tape<'p> {
     /// # Panics
     ///
     /// Panics if `parts` is empty or row counts differ.
-    // lint: allow(S2, S3) — parts[0] follows from the non-empty assert one line up; heights are fixed by the model
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let rows = self.value(parts[0]).rows();

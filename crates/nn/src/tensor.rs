@@ -76,7 +76,6 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
-    // lint: allow(S2) — constructor contract: every call site derives data.len() from the same rows*cols
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
         assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
         Tensor { data, rows, cols }
@@ -142,7 +141,6 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     #[inline]
-    // lint: allow(S3) — r < rows and c < cols is the Tensor shape contract; a violation is a model bug, not request data
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
@@ -168,7 +166,6 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
-    // lint: allow(S3) — r < rows is the Tensor shape contract and data is sized rows*cols
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -178,7 +175,6 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
-    // lint: allow(S3) — r < rows is the Tensor shape contract and data is sized rows*cols
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -198,7 +194,6 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
-    // lint: allow(S2) — inner-dimension agreement is fixed by the model architecture, not request data
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -264,7 +259,6 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if column counts differ.
-    // lint: allow(S2) — inner-dimension agreement is fixed by the model architecture, not request data
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -638,7 +632,6 @@ pub(crate) fn matmul_at_b_into(
 /// Blocked transpose into an arena-backed tensor: `TB×TB` tiles keep
 /// both the read and write streams within a few cache lines, instead of
 /// striding the whole destination once per source row.
-// lint: allow(S3) — blocked loop bounds are min-clamped to rows/cols, keeping both linear indices in range
 fn transpose_blocked(t: &Tensor) -> Tensor {
     let (rows, cols) = t.shape();
     let len = rows * cols;

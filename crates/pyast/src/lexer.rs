@@ -221,7 +221,6 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    // lint: allow(S3) — start.offset..pos was advanced by this lexer over the same src, so the range is in bounds on char boundaries
     fn name_or_prefixed_string(&mut self) -> Result<(), ParseError> {
         let start = self.here();
         while let Some(c) = self.peek() {

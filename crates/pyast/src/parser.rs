@@ -56,7 +56,6 @@ impl<'t> Parser<'t> {
         NodeMeta { id, span }
     }
 
-    // lint: allow(S3) — the index is min-clamped to the EOF token and the lexer always emits at least EOF
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -65,7 +64,6 @@ impl<'t> Parser<'t> {
         self.peek().kind
     }
 
-    // lint: allow(S3) — the index is min-clamped to the EOF token and the lexer always emits at least EOF
     fn peek2_kind(&self) -> TokenKind {
         self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
     }
@@ -74,7 +72,6 @@ impl<'t> Parser<'t> {
         self.peek_kind() == kind
     }
 
-    // lint: allow(S3) — the index is min-clamped to the EOF token and the lexer always emits at least EOF
     fn bump(&mut self) -> &Token {
         let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
         if self.pos < self.tokens.len() - 1 {

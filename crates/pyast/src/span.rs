@@ -104,7 +104,6 @@ impl Span {
     /// # Panics
     ///
     /// Panics if the span is out of bounds for `source`.
-    // lint: allow(S3) — span offsets were produced by the lexer from this same source, clamped to its length
     pub fn text<'s>(&self, source: &'s str) -> &'s str {
         &source[self.start.offset..self.end.offset]
     }

@@ -147,7 +147,6 @@ impl SymbolTable {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this table.
-    // lint: allow(S3) — a SymbolId is an arena index minted by this table’s push
     pub fn symbol(&self, id: SymbolId) -> &Symbol {
         &self.symbols[id.0 as usize]
     }
@@ -236,7 +235,6 @@ impl Builder {
         id
     }
 
-    // lint: allow(S3) — bindings is grown in lockstep with scopes, and ScopeId is minted by push_scope
     fn bind(&mut self, scope: ScopeId, name: &str, kind: SymbolKind, span: Span) -> SymbolId {
         if let Some(&existing) = self.bindings[scope.0 as usize].get(name) {
             return existing;
@@ -246,7 +244,6 @@ impl Builder {
         id
     }
 
-    // lint: allow(S3) — a SymbolId is an arena index minted by this table’s push
     fn record_occurrence(&mut self, id: SymbolId, span: Span) {
         let sym = &mut self.table.symbols[id.0 as usize];
         // Occurrences arrive roughly in source order; keep the list sorted.
@@ -260,7 +257,6 @@ impl Builder {
         self.table.occurrence_index.insert(span.start.offset, id);
     }
 
-    // lint: allow(S3) — bindings/scopes grow in lockstep and ScopeId is minted by push_scope
     fn resolve(&self, scope: ScopeId, name: &str) -> Option<SymbolId> {
         let mut cur = Some(scope);
         let mut first = true;
@@ -295,7 +291,6 @@ impl Builder {
         }
     }
 
-    // lint: allow(S3) — symbol/scope ids are arena indices minted by this builder’s own pushes
     fn collect_stmt(&mut self, scope: ScopeId, stmt: &Stmt) {
         match &stmt.kind {
             StmtKind::FunctionDef(f) => {
@@ -416,7 +411,6 @@ impl Builder {
     }
 
     /// Pass 2: resolve uses, attach occurrences, recurse into nested scopes.
-    // lint: allow(S3) — symbol/scope ids are arena indices minted by this builder’s own pushes
     fn visit_stmt(&mut self, scope: ScopeId, stmt: &Stmt) {
         match &stmt.kind {
             StmtKind::FunctionDef(f) => {
@@ -680,7 +674,6 @@ impl Builder {
         }
     }
 
-    // lint: allow(S3) — symbol/scope ids are arena indices minted by this builder’s own pushes
     fn visit_expr(&mut self, scope: ScopeId, expr: &Expr) {
         match &expr.kind {
             ExprKind::Name(n) => {

@@ -22,8 +22,15 @@
 //! 3. **No artifact writes.** Serving (including `add-marker` and
 //!    `reindex`) mutates only process memory; killing the daemon at
 //!    any moment leaves every on-disk artifact untouched.
+//! 4. **No panic kills the daemon.** Every batch runs under a
+//!    `catch_unwind` supervisor: a panicking request gets a typed
+//!    `internal` reply, repeat offenders are quarantined, worker
+//!    scratch is rebuilt, and serving continues — while the client
+//!    side ([`client::ClientOptions`]) adds timeouts, deterministic
+//!    backoff and idempotent-only retries.
 //!
-//! See `DESIGN.md` §13 for the wire format and ordering guarantees.
+//! See `DESIGN.md` §13 for the wire format, ordering guarantees and
+//! the failure model.
 
 #![warn(missing_docs)]
 
@@ -31,9 +38,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientOptions};
 pub use protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Hint, Request, Response, ServerStats,
+    read_frame, write_frame, ErrorCode, FrameError, Health, Hint, Request, Response, ServerStats,
     SymbolHints, MAX_FRAME_LEN,
 };
 pub use server::{Endpoint, ServeOptions, ServeSummary, Server};

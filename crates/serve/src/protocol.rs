@@ -138,6 +138,27 @@ pub enum Request {
     /// Clean shutdown: the server replies [`Response::Bye`], stops
     /// accepting, drains nothing further, and exits its run loop.
     Shutdown,
+    /// Graceful degradation: stop accepting *new* connections while
+    /// existing connections keep being served. The reply is
+    /// [`Response::Draining`]; a later [`Request::Shutdown`] finishes
+    /// the job.
+    Drain,
+}
+
+impl Request {
+    /// Whether a client may safely retry this request after a
+    /// transport failure. Retrying a request whose reply was lost must
+    /// not change server state a second time: `predict`, `stats`,
+    /// `reindex` and `drain` converge to the same state no matter how
+    /// often they run, while `add-marker` inserts a marker per
+    /// execution and `shutdown` must not chase a dying server across
+    /// reconnects.
+    pub fn idempotent(&self) -> bool {
+        match self {
+            Request::Predict { .. } | Request::Reindex | Request::Stats | Request::Drain => true,
+            Request::AddMarker { .. } | Request::Shutdown => false,
+        }
+    }
 }
 
 /// One ranked candidate type for a symbol.
@@ -208,6 +229,15 @@ pub enum ErrorCode {
     Timeout,
     /// The server is shutting down and no longer takes requests.
     ShuttingDown,
+    /// The engine hit an internal failure (e.g. a recovered panic)
+    /// while serving this request; the daemon is still up and the
+    /// request may be retried.
+    Internal,
+    /// The request matches a source that made the engine panic
+    /// repeatedly; it is refused without being run again.
+    Quarantined,
+    /// The server is draining: it no longer accepts new connections.
+    Draining,
 }
 
 impl std::fmt::Display for ErrorCode {
@@ -223,8 +253,34 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Timeout => "timeout",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::Draining => "draining",
         };
         f.write_str(name)
+    }
+}
+
+/// The server's health, reported in [`ServerStats`]. Operators and
+/// load balancers branch on this, so the states are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Health {
+    /// Serving normally; no recovered panics, no quarantined requests.
+    Ok,
+    /// Still serving, but the engine has recovered from at least one
+    /// panic or is refusing quarantined requests — worth a look.
+    Degraded,
+    /// Draining: existing connections are served, new ones refused.
+    Draining,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        })
     }
 }
 
@@ -253,6 +309,20 @@ pub struct ServerStats {
     pub largest_batch: u64,
     /// Error replies sent (any code).
     pub errors: u64,
+    /// Engine panics caught by the supervisor; the affected requests
+    /// were answered [`ErrorCode::Internal`] and serving continued.
+    pub panics_recovered: u64,
+    /// Request hashes currently quarantined (each made the engine
+    /// panic twice and is refused with [`ErrorCode::Quarantined`]).
+    pub quarantined: u64,
+    /// Reply writes that failed because the client was gone
+    /// (broken pipe / connection reset) — the client's fault.
+    pub client_gone: u64,
+    /// Reply writes that failed for any other reason — the server
+    /// side's fault, worth alerting on.
+    pub write_faults: u64,
+    /// Current health state.
+    pub health: Health,
     /// Warn-once conditions raised so far, as `(key, count)` in key
     /// order — repeats are suppressed on stderr but stay observable
     /// here.
@@ -281,6 +351,9 @@ pub enum Response {
     /// Acknowledgement of [`Request::Shutdown`]; the connection closes
     /// after this frame.
     Bye,
+    /// Acknowledgement of [`Request::Drain`]: no new connections are
+    /// accepted from now on, but this connection stays usable.
+    Draining,
     /// The request failed; the connection stays usable unless the
     /// code is [`ErrorCode::Oversized`] or [`ErrorCode::ShuttingDown`].
     Error {
@@ -363,5 +436,41 @@ mod tests {
         };
         let bytes = encode(&resp).unwrap();
         assert_eq!(decode::<Response>(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn idempotency_table_matches_retry_policy() {
+        let predict = Request::Predict {
+            source: "x = 1\n".to_string(),
+        };
+        let add = Request::AddMarker {
+            source: "x = 1\n".to_string(),
+            symbol: "x".to_string(),
+            ty: "int".to_string(),
+        };
+        assert!(predict.idempotent());
+        assert!(Request::Stats.idempotent());
+        assert!(Request::Reindex.idempotent());
+        assert!(Request::Drain.idempotent());
+        assert!(!add.idempotent());
+        assert!(!Request::Shutdown.idempotent());
+    }
+
+    #[test]
+    fn resilience_codes_round_trip() {
+        for code in [
+            ErrorCode::Internal,
+            ErrorCode::Quarantined,
+            ErrorCode::Draining,
+        ] {
+            let resp = Response::Error {
+                code,
+                message: code.to_string(),
+            };
+            let bytes = encode(&resp).unwrap();
+            assert_eq!(decode::<Response>(&bytes).unwrap(), resp);
+        }
+        let bytes = encode(&Response::Draining).unwrap();
+        assert_eq!(decode::<Response>(&bytes).unwrap(), Response::Draining);
     }
 }

@@ -112,22 +112,18 @@ fn crc64(bytes: &[u8]) -> u64 {
 
 // --- little-endian field access ------------------------------------------
 
-// lint: allow(S1, S3) — callers bound-check off against the parsed meta first, and try_into on an exact 4-byte slice cannot fail
 fn read_u32(bytes: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
 }
 
-// lint: allow(S1, S3) — callers bound-check off against the parsed meta first, and try_into on an exact 8-byte slice cannot fail
 fn read_u64(bytes: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
 }
 
-// lint: allow(S3) — writers size the payload up front from the same layout arithmetic
 fn write_u32(bytes: &mut [u8], off: usize, v: u32) {
     bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
-// lint: allow(S3) — writers size the payload up front from the same layout arithmetic
 fn write_u64(bytes: &mut [u8], off: usize, v: u64) {
     bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
@@ -194,7 +190,6 @@ impl AsRef<[u8]> for AlignedBytes {
 // --- writer ---------------------------------------------------------------
 
 /// Serializes one shard's trees into its flat word stream.
-// lint: allow(S3) — offsets maps every tree-node id, filled by the same serializer walk that emits the ids
 fn shard_block(shard: &ShardTrees, dim: usize) -> Result<Vec<u8>, SpaceError> {
     let node_words = |node: &TreeNode| match node {
         TreeNode::Leaf { points } => 1 + points.len(),
@@ -252,7 +247,6 @@ fn shard_block(shard: &ShardTrees, dim: usize) -> Result<Vec<u8>, SpaceError> {
 
 /// Serializes the type table: distinct names (sorted, so the table is
 /// canonical) followed by one id per marker.
-// lint: allow(S1) — the distinct-type set is built from the very markers being serialized, so the lookup always succeeds
 fn type_block(type_names: &[String]) -> Result<Vec<u8>, SpaceError> {
     let distinct: Vec<&str> = type_names
         .iter()
@@ -294,7 +288,6 @@ fn type_block(type_names: &[String]) -> Result<Vec<u8>, SpaceError> {
 /// on disk, and what [`SpaceIndex`] views zero-copy. Public so
 /// benchmarks and determinism checks can assert byte-identity across
 /// thread counts without opening a view.
-// lint: allow(S3) — every offset derives from the single layout computation that also sized the payload
 pub fn build_payload(
     points: &PointStore,
     type_names: &[String],
@@ -400,7 +393,6 @@ struct Meta {
 
 /// Parses and validates the header + shard table. O(header); touches
 /// no point, tree, or type bytes.
-// lint: allow(S3) — each slice is preceded by an explicit length check on the payload; fixed offsets sit inside the minimum header length checked first
 fn parse_meta(payload: &[u8]) -> Result<Meta, SpaceError> {
     if payload.len() < SPACE_HEADER_LEN {
         return Err(SpaceError::Truncated {
@@ -565,7 +557,6 @@ impl SpaceIndex {
     /// 8-aligned, [`SpaceError::Truncated`]/[`SpaceError::BadMagic`]/
     /// [`SpaceError::VersionMismatch`]/[`SpaceError::HeaderCorrupt`]/
     /// [`SpaceError::BadLayout`] on a malformed header.
-    // lint: allow(S3) — payload_len was just validated against the mapped file length
     pub fn from_provider(
         bytes: Arc<dyn AsRef<[u8]> + Send + Sync>,
         payload_len: usize,
@@ -586,7 +577,6 @@ impl SpaceIndex {
 
     /// The raw payload bytes (header included) — what gets written to
     /// the sidecar file.
-    // lint: allow(S3) — meta.payload_len was validated against the mapping at load time
     pub fn payload(&self) -> &[u8] {
         &(*self.bytes).as_ref()[..self.meta.payload_len]
     }
@@ -664,13 +654,11 @@ impl SpaceIndex {
         Ok(())
     }
 
-    // lint: allow(S3) — block ranges were validated against payload_len by parse_meta
     fn point_data(&self) -> &[f32] {
         let m = &self.meta;
         cast_f32s(&self.payload()[m.points_off..m.points_off + m.points * m.dim * 4])
     }
 
-    // lint: allow(S3) — block ranges were validated against payload_len by parse_meta
     fn shard_words(&self, s: usize) -> &[u32] {
         let range = self.meta.shards[s];
         cast_u32s(&self.payload()[range.off..range.off + range.len])
@@ -694,7 +682,6 @@ impl SpaceIndex {
     /// On an unverified view, corrupt tree bytes can make this panic
     /// on an out-of-bounds word index (memory-safe); run
     /// [`SpaceIndex::verify`] first to rule that out.
-    // lint: allow(S3) — the shard block is CRC-validated at load, so the word layout is exactly what the serializer wrote, and its offsets stay inside the block
     pub fn query_into(
         &self,
         query: &[f32],

@@ -95,7 +95,6 @@ impl PointStore {
     ///
     /// Panics if `row`'s width differs from the store's dimension
     /// (infallible version of [`PointStore::try_push`]).
-    // lint: allow(S2) — documented infallible variant: width mismatch is a caller bug, and serve builds points from its own embedding dim
     pub fn push(&mut self, row: &[f32]) {
         if let Err(e) = self.try_push(row) {
             panic!("{e}");
@@ -122,7 +121,6 @@ impl PointStore {
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
-    // lint: allow(S3) — i < points is the PointStore contract and data is sized points*dim
     pub fn row(&self, i: usize) -> &[f32] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -194,7 +192,6 @@ pub(crate) struct SliceRows<'a> {
 }
 
 impl PointSource for SliceRows<'_> {
-    // lint: allow(S3) — i < points is the PointStore contract and data is sized points*dim
     fn row(&self, i: usize) -> &[f32] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -206,7 +203,6 @@ impl PointSource for SliceRows<'_> {
 // means a per-query allocation. These sift helpers run the same
 // algorithm over caller-owned Vecs that live in `QueryScratch`.
 
-// lint: allow(S3) — binary-heap arithmetic: parent = (i-1)/2 < i and i starts < heap.len()
 fn worst_sift_up(heap: &mut [Worst], mut i: usize) {
     while i > 0 {
         let parent = (i - 1) / 2;
@@ -218,7 +214,6 @@ fn worst_sift_up(heap: &mut [Worst], mut i: usize) {
     }
 }
 
-// lint: allow(S3) — binary-heap arithmetic: children are checked against heap.len() before use
 fn worst_sift_down(heap: &mut [Worst], mut i: usize) {
     loop {
         let mut largest = i;
@@ -299,7 +294,6 @@ impl QueryScratch {
 
     /// Marks point `p` visited; `true` when it had not been seen in
     /// this query yet.
-    // lint: allow(S3) — stamps is sized to the point count at epoch reset and p is a point id
     pub(crate) fn mark_new(&mut self, p: usize) -> bool {
         if self.stamps[p] == self.epoch {
             false
@@ -310,7 +304,6 @@ impl QueryScratch {
     }
 
     /// Pushes a node onto the priority frontier.
-    // lint: allow(S3) — binary-heap arithmetic: parent = (i-1)/2 < i and i starts < frontier.len()
     pub(crate) fn frontier_push(&mut self, margin: f32, payload: u64) {
         self.frontier.push(FrontierEntry {
             margin,
@@ -330,7 +323,6 @@ impl QueryScratch {
     }
 
     /// Pops the frontier node with the smallest `(margin, seq)`.
-    // lint: allow(S3) — binary-heap arithmetic: children are checked against frontier.len() before use
     pub(crate) fn frontier_pop(&mut self) -> Option<u64> {
         if self.frontier.is_empty() {
             return None;
@@ -363,7 +355,6 @@ impl QueryScratch {
 /// index)` order, written into `out`. A bounded max-heap (caller-owned
 /// `heap` storage, cleared here) carries the best `k` seen so far; its
 /// worst distance prunes every later [`l1_pruned`] scan.
-// lint: allow(S3) — heap[0] is only read behind the len == k / non-empty branches
 pub(crate) fn top_k_into<P: PointSource + ?Sized>(
     points: &P,
     candidates: impl Iterator<Item = usize>,
@@ -540,7 +531,6 @@ impl<'a> TreeBuilder<'a> {
         }
     }
 
-    // lint: allow(S3) — the leaf cutoff keeps points non-empty here and gen_range(0..len) returns < len
     fn build_node(&mut self, points: &[usize], rng: &mut StdRng, depth: usize) -> usize {
         if points.len() <= self.config.leaf_size || depth > 24 {
             self.nodes.push(TreeNode::Leaf {
@@ -669,7 +659,6 @@ impl RpForest {
 
     /// Allocation-free [`RpForest::query`]: identical hits written into
     /// `out`, reusing `scratch`'s buffers.
-    // lint: allow(S3) — node payloads were minted from this index’s own node-vec pushes at build time
     pub fn query_into(
         &self,
         query: &[f32],

@@ -83,7 +83,6 @@ fn l1_body(a: &[f32], b: &[f32]) -> f32 {
 /// tested after every full [`PRUNE_CHUNK`] block and once after the
 /// tail, which is where the reference's chunked loop tests it too.
 #[inline(always)]
-// lint: allow(S3) — callers pass equal-length points (the debug_assert documents it), i stays < n = a.len(), and d is the fixed PRUNE_CHUNK-wide scratch with j < PRUNE_CHUNK
 fn l1_pruned_body(a: &[f32], b: &[f32], bound: f32) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();

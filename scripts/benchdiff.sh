@@ -13,9 +13,11 @@
 #
 # Leg 3 (BENCH_serve.json): regenerates the serve daemon benchmark and
 # fails if any client count produced error replies (concurrency may
-# never cost correctness) or if the fresh throughput-scaling ratio
+# never cost correctness), if the fresh throughput-scaling ratio
 # (largest client count vs one client) falls below half the committed
-# one.
+# one, or if the engine's catch_unwind supervision wrapper costs more
+# than 5% p50 on the unfaulted predict path
+# (supervision_p50_overhead >= 1.05).
 #
 # Speedups are ratios measured within a single run, so — unlike
 # absolute timings — they compare across machines. Pass paths to
@@ -141,6 +143,9 @@ extract_serve() { # extract_serve <json> -> lines of "clients errors"
 scaling_of() { # scaling_of <json> -> the throughput_scaling value
     awk '/"throughput_scaling":/ { v = $2; gsub(/[^0-9.]/, "", v); print v }' "$1"
 }
+supervision_of() { # supervision_of <json> -> the supervision_p50_overhead value
+    awk '/"supervision_p50_overhead":/ { v = $2; gsub(/[^0-9.]/, "", v); print v }' "$1"
+}
 
 serve_found=0
 while read -r clients errs; do
@@ -168,6 +173,17 @@ elif awk -v f="$fresh_scaling" -v c="$committed_scaling" 'BEGIN { exit !(f < 0.5
     status=1
 else
     echo "benchdiff: serve throughput scaling OK: fresh ${fresh_scaling}x vs committed ${committed_scaling}x"
+fi
+
+fresh_supervision=$(supervision_of "$SERVE_FRESH")
+if [ -z "$fresh_supervision" ]; then
+    echo "benchdiff: supervision_p50_overhead missing from $SERVE_FRESH" >&2
+    status=1
+elif awk -v s="$fresh_supervision" 'BEGIN { exit !(s >= 1.05) }'; then
+    echo "benchdiff: serve supervision wrapper REGRESSED: ${fresh_supervision}x p50 overhead (>= 1.05)" >&2
+    status=1
+else
+    echo "benchdiff: serve supervision wrapper OK: ${fresh_supervision}x p50 overhead"
 fi
 
 if [ "$status" -ne 0 ]; then

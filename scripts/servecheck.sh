@@ -5,10 +5,15 @@
 #   1. the served predict report is byte-identical to one-shot
 #      `typilus predict` output over the same files (the serve
 #      determinism contract),
-#   2. add-marker / reindex / stats round-trip and predictions still
+#   2. the chaos suite passes: `serve_faults` (under `--features
+#      faults`) injects engine panics, disk faults, and torn/failed
+#      reply writes, and the live daemon still serves the byte-
+#      identical report afterwards — resilience never costs
+#      determinism,
+#   3. add-marker / reindex / stats round-trip and predictions still
 #      render afterwards,
-#   3. the daemon shuts down cleanly on `query --shutdown` (exit 0),
-#   4. serving (including the in-memory add-marker and reindex) never
+#   4. the daemon shuts down cleanly on `query --shutdown` (exit 0),
+#   5. serving (including the in-memory add-marker and reindex) never
 #      modified the on-disk model or sidecar artifacts.
 #
 # Run from anywhere; operates on the repo root.
@@ -66,7 +71,21 @@ cmp "$WORK/oneshot.txt" "$WORK/served.txt" || {
 }
 echo "servecheck: served report byte-identical to one-shot output"
 
-# 2. add-marker / reindex / stats round trip
+# 2. chaos leg: fault-injection suite, then prove the daemon that was
+# running the whole time still serves the byte-identical report.
+echo "servecheck: running serve fault-injection suite ..."
+cargo test -q -p typilus-serve --features faults --test serve_faults >/dev/null || {
+    echo "servecheck: serve fault-injection suite failed" >&2
+    exit 1
+}
+"$BIN" query --socket "$SOCK" --out "$WORK/served_chaos.txt" "${FILES[@]}"
+cmp "$WORK/oneshot.txt" "$WORK/served_chaos.txt" || {
+    echo "servecheck: served report drifted after chaos suite" >&2
+    exit 1
+}
+echo "servecheck: chaos suite green; served report still byte-identical"
+
+# 3. add-marker / reindex / stats round trip
 printf 'def drain(fresh_marker_symbol):\n    return fresh_marker_symbol\n' \
     >"$WORK/bind.py"
 "$BIN" query --socket "$SOCK" --add-symbol fresh_marker_symbol --add-type int \
@@ -88,7 +107,7 @@ printf 'def drain(fresh_marker_symbol):\n    return fresh_marker_symbol\n' \
     exit 1
 }
 
-# 3. clean shutdown
+# 4. clean shutdown
 "$BIN" query --socket "$SOCK" --shutdown >/dev/null
 wait "$SERVER_PID" || {
     echo "servecheck: server exited non-zero" >&2
@@ -97,7 +116,7 @@ wait "$SERVER_PID" || {
 }
 SERVER_PID=
 
-# 4. artifacts untouched by serving
+# 5. artifacts untouched by serving
 hash_after=$(artifact_hash)
 [ "$hash_before" = "$hash_after" ] || {
     echo "servecheck: serving modified the on-disk artifacts" >&2

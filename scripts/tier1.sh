@@ -2,10 +2,11 @@
 # Tier-1 gate: formatting, release build, full test suite (once
 # normally, once with TYPILUS_THREADS=2 to exercise the worker pool's
 # env-driven thread resolution), the kernel bit-equivalence properties
-# under each forced SIMD width, the fault-injection suite, the
-# determinism/panic-freedom lint (stale suppressions denied), the
-# dynamic determinism and kill-and-resume check
-# (threads x SIMD width x kernel mode), the benchmark-regression
+# under each forced SIMD width, the fault-injection suites (core
+# atomic-I/O faults and serve chaos: engine panics, disk faults, torn
+# reply writes), the determinism/panic-freedom lint (stale
+# suppressions denied), the dynamic determinism and kill-and-resume
+# check (threads x SIMD width x kernel mode), the benchmark-regression
 # smoke, the serve round-trip gate (byte-identical served replies,
 # untouched artifacts), clippy with warnings denied. Run from
 # anywhere; operates on the repo root.
@@ -21,6 +22,7 @@ TYPILUS_THREADS=2 cargo test -q
 TYPILUS_SIMD=sse2 cargo test -q -p typilus-nn --test kernel_bitident
 TYPILUS_SIMD=avx2 cargo test -q -p typilus-nn --test kernel_bitident
 cargo test -q -p typilus --features faults --test fault_injection
+cargo test -q -p typilus-serve --features faults --test serve_faults
 cargo run -p typilus-lint --release -- --deny-stale
 scripts/detcheck.sh
 scripts/servecheck.sh

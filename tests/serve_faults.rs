@@ -1,0 +1,335 @@
+//! Serve-path fault-injection suite (`--features faults`): engine
+//! panics mid-batch, reply-write failures and disk-fault stand-ins on
+//! the mutating verbs, plus protocol-level chaos (torn frames,
+//! slow-loris clients). The daemon must survive every one of them,
+//! answer with typed errors, keep artifacts byte-identical, and keep
+//! post-recovery replies byte-identical to one-shot predictions.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread;
+use typilus::faults::{self, Fault};
+use typilus::{
+    train, EncoderKind, GraphConfig, LossKind, ModelConfig, PreparedCorpus, TrainedSystem,
+    TypilusConfig,
+};
+use typilus_corpus::{generate, CorpusConfig};
+use typilus_serve::{
+    Client, ClientError, Endpoint, ErrorCode, Health, Response, ServeOptions, ServeSummary, Server,
+    SymbolHints,
+};
+
+/// The failpoint registry is process-global: every test takes this
+/// lock, starts disarmed, and disarms again on drop (even when the
+/// test's body panics).
+fn faults_session() -> FaultSession {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::disarm_all();
+    FaultSession(guard)
+}
+
+struct FaultSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultSession {
+    fn drop(&mut self) {
+        faults::disarm_all();
+    }
+}
+
+/// One small trained system shared (by clone) across all tests.
+fn fresh_system() -> TrainedSystem {
+    static SYSTEM: OnceLock<Mutex<TrainedSystem>> = OnceLock::new();
+    SYSTEM
+        .get_or_init(|| {
+            let corpus = generate(&CorpusConfig {
+                files: 30,
+                seed: 9,
+                ..CorpusConfig::default()
+            });
+            let data = PreparedCorpus::from_corpus(&corpus, &GraphConfig::default(), 9);
+            let config = TypilusConfig {
+                model: ModelConfig {
+                    encoder: EncoderKind::Graph,
+                    loss: LossKind::Typilus,
+                    dim: 16,
+                    gnn_steps: 3,
+                    min_subtoken_count: 1,
+                    ..ModelConfig::default()
+                },
+                epochs: 4,
+                batch_size: 8,
+                lr: 0.02,
+                common_threshold: 8,
+                ..TypilusConfig::default()
+            };
+            Mutex::new(train(&data, &config))
+        })
+        .lock()
+        .unwrap()
+        .clone()
+}
+
+fn start_server(
+    options: ServeOptions,
+) -> (Endpoint, thread::JoinHandle<(ServeSummary, TrainedSystem)>) {
+    let mut system = fresh_system();
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), options).unwrap();
+    let endpoint = server.endpoint().clone();
+    let handle = thread::spawn(move || {
+        let summary = server.run(&mut system);
+        (summary, system)
+    });
+    (endpoint, handle)
+}
+
+fn shutdown_and_join(
+    endpoint: &Endpoint,
+    handle: thread::JoinHandle<(ServeSummary, TrainedSystem)>,
+) -> (ServeSummary, TrainedSystem) {
+    let mut client = Client::connect(endpoint).unwrap();
+    assert!(matches!(client.shutdown().unwrap(), Response::Bye));
+    handle.join().unwrap()
+}
+
+/// One-shot reference predictions for `src`, computed outside the
+/// daemon — the byte-identity baseline for every recovery test.
+fn one_shot(src: &str) -> Vec<SymbolHints> {
+    fresh_system()
+        .predict_source(src)
+        .unwrap()
+        .iter()
+        .map(SymbolHints::of)
+        .collect()
+}
+
+const QUERY_SRC: &str =
+    "def charge(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
+const OTHER_SRC: &str = "def scale(values, factor):\n    return [v * factor for v in values]\n";
+const BINDING_SRC: &str =
+    "def drain(flux_capacitor):\n    flux_capacitor.engage()\n    return flux_capacitor\n";
+
+#[test]
+fn engine_panic_mid_batch_is_recovered_and_replies_stay_byte_identical() {
+    let _session = faults_session();
+    let expected = one_shot(QUERY_SRC);
+    let (endpoint, handle) = start_server(ServeOptions::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    faults::arm("serve.engine.batch", Fault::Panic);
+    match client.predict(QUERY_SRC).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("expected internal error, got {other:?}"),
+    }
+    faults::disarm_all();
+
+    // The daemon survived; the same connection still serves, and the
+    // post-recovery reply is exactly the one-shot answer (recovery
+    // replaced only the worker pool, never the model or the τmap).
+    match client.predict(QUERY_SRC).unwrap() {
+        Response::Predictions(got) => assert_eq!(got, expected),
+        other => panic!("expected predictions, got {other:?}"),
+    }
+    match client.stats().unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.panics_recovered, 1);
+            assert_eq!(s.quarantined, 0, "one panic must not quarantine yet");
+            assert_eq!(s.health, Health::Degraded);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    let (summary, _) = shutdown_and_join(&endpoint, handle);
+    assert_eq!(summary.panics_recovered, 1);
+}
+
+#[test]
+fn repeatedly_panicking_request_is_quarantined_and_others_still_serve() {
+    let _session = faults_session();
+    let expected_other = one_shot(OTHER_SRC);
+    let (endpoint, handle) = start_server(ServeOptions::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    // Two panics charged to the same request hash cross the
+    // quarantine threshold.
+    faults::arm("serve.engine.batch", Fault::Panic);
+    for _ in 0..2 {
+        match client.predict(QUERY_SRC).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Internal),
+            other => panic!("expected internal error, got {other:?}"),
+        }
+    }
+    faults::disarm_all();
+
+    // Even with the fault gone, the poisoned request is refused — the
+    // quarantine outlives the injection.
+    match client.predict(QUERY_SRC).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Quarantined);
+            assert!(message.contains("quarantined"), "{message}");
+        }
+        other => panic!("expected quarantined error, got {other:?}"),
+    }
+    // Every other source is unaffected and byte-identical.
+    match client.predict(OTHER_SRC).unwrap() {
+        Response::Predictions(got) => assert_eq!(got, expected_other),
+        other => panic!("expected predictions, got {other:?}"),
+    }
+    match client.stats().unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.panics_recovered, 2);
+            assert_eq!(s.quarantined, 1);
+            assert_eq!(s.health, Health::Degraded);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    let (summary, _) = shutdown_and_join(&endpoint, handle);
+    assert_eq!(summary.quarantined, 1);
+}
+
+#[test]
+fn disk_faults_on_mutating_verbs_are_typed_errors_and_artifacts_survive() {
+    let _session = faults_session();
+    let dir = std::env::temp_dir().join(format!("typilus_serve_fault_art_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.typilus");
+    let system = fresh_system();
+    system.save(&model_path).unwrap();
+    let bytes_before = std::fs::read(&model_path).unwrap();
+    let markers_before = system.type_map.len();
+
+    let mut loaded = TrainedSystem::load(&model_path).unwrap();
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let endpoint = server.endpoint().clone();
+    let handle = thread::spawn(move || server.run(&mut loaded));
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    faults::arm("serve.add_marker", Fault::IoError);
+    match client
+        .add_marker(BINDING_SRC, "flux_capacitor", "quantum.FluxCapacitor")
+        .unwrap()
+    {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Space);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected space error, got {other:?}"),
+    }
+    faults::disarm_all();
+    faults::arm("serve.reindex", Fault::IoError);
+    match client.reindex().unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Space);
+            assert!(message.contains("index unchanged"), "{message}");
+        }
+        other => panic!("expected space error, got {other:?}"),
+    }
+    faults::disarm_all();
+
+    // The faulted add-marker bound nothing; the next one succeeds.
+    match client.stats().unwrap() {
+        Response::Stats(s) => assert_eq!(s.markers, markers_before),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    assert!(matches!(
+        client
+            .add_marker(BINDING_SRC, "flux_capacitor", "quantum.FluxCapacitor")
+            .unwrap(),
+        Response::MarkerAdded { .. }
+    ));
+    assert!(matches!(client.shutdown().unwrap(), Response::Bye));
+    handle.join().unwrap();
+
+    let bytes_after = std::fs::read(&model_path).unwrap();
+    assert_eq!(
+        bytes_before, bytes_after,
+        "faulted serving must never write to model artifacts"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reply_write_fault_is_counted_server_side_and_daemon_keeps_serving() {
+    let _session = faults_session();
+    let (endpoint, handle) = start_server(ServeOptions::default());
+    let mut doomed = Client::connect(&endpoint).unwrap();
+
+    faults::arm("serve.reply.write", Fault::IoError);
+    // The engine answers, the reply write fails server-side, and the
+    // connection is dropped: the client sees a transport error, never
+    // a half-decoded frame.
+    match doomed.predict(QUERY_SRC) {
+        Err(ClientError::Frame(_)) | Err(ClientError::Connect(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    faults::disarm_all();
+
+    let mut fresh = Client::connect(&endpoint).unwrap();
+    match fresh.stats().unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.write_faults, 1, "server-side write fault must be counted");
+            assert_eq!(s.client_gone, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    let (summary, _) = shutdown_and_join(&endpoint, handle);
+    assert_eq!(summary.write_faults, 1);
+}
+
+#[test]
+fn torn_reply_write_surfaces_as_transport_error_not_bad_decode() {
+    let _session = faults_session();
+    let (endpoint, handle) = start_server(ServeOptions::default());
+    let mut doomed = Client::connect(&endpoint).unwrap();
+
+    // The server tears its own reply after 3 payload bytes: the
+    // client must fail on framing, not hand back a garbage response.
+    faults::arm("serve.reply.write", Fault::ShortWrite(3));
+    match doomed.predict(QUERY_SRC) {
+        Err(ClientError::Frame(_)) | Err(ClientError::Connect(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    faults::disarm_all();
+
+    let mut fresh = Client::connect(&endpoint).unwrap();
+    assert!(matches!(
+        fresh.predict(QUERY_SRC).unwrap(),
+        Response::Predictions(_)
+    ));
+    shutdown_and_join(&endpoint, handle);
+}
+
+#[test]
+fn slow_loris_and_torn_frame_clients_leave_the_daemon_serving() {
+    let _session = faults_session();
+    let expected = one_shot(QUERY_SRC);
+    let (endpoint, handle) = start_server(ServeOptions::default());
+
+    // Slow loris: announces a frame, delivers a trickle, then just
+    // holds the connection open. Only its own connection thread waits.
+    let mut loris = Client::connect(&endpoint).unwrap();
+    loris.send_raw_bytes(&64u32.to_le_bytes()).unwrap();
+    loris.send_raw_bytes(b"drip").unwrap();
+
+    // Torn frame: announces 100 bytes, sends 10, vanishes.
+    {
+        let mut torn = Client::connect(&endpoint).unwrap();
+        torn.send_raw_bytes(&100u32.to_le_bytes()).unwrap();
+        torn.send_raw_bytes(b"0123456789").unwrap();
+    }
+
+    // The daemon still serves other clients, byte-identically.
+    let mut fresh = Client::connect(&endpoint).unwrap();
+    match fresh.predict(QUERY_SRC).unwrap() {
+        Response::Predictions(got) => assert_eq!(got, expected),
+        other => panic!("expected predictions, got {other:?}"),
+    }
+    drop(loris);
+    let (summary, _) = shutdown_and_join(&endpoint, handle);
+    assert_eq!(summary.panics_recovered, 0);
+}

@@ -11,8 +11,8 @@ use typilus::{
 };
 use typilus_corpus::{generate, CorpusConfig};
 use typilus_serve::{
-    Client, Endpoint, ErrorCode, Request, Response, ServeOptions, ServeSummary, Server,
-    SymbolHints, MAX_FRAME_LEN,
+    Client, ClientError, ClientOptions, Endpoint, ErrorCode, Health, Request, Response,
+    ServeOptions, ServeSummary, Server, SymbolHints, MAX_FRAME_LEN,
 };
 
 /// One small trained system shared (by clone) across all tests.
@@ -369,6 +369,157 @@ fn serving_and_mutating_never_touch_saved_artifacts() {
         "serving must never write to model artifacts"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_refuses_new_connections_but_serves_established_ones() {
+    let (endpoint, handle) = start_server(ServeOptions::default());
+    let mut established = Client::connect(&endpoint).unwrap();
+    assert!(matches!(established.drain().unwrap(), Response::Draining));
+
+    // The established connection keeps working through the drain.
+    assert!(matches!(
+        established.predict(QUERY_SRC).unwrap(),
+        Response::Predictions(_)
+    ));
+    match established.stats().unwrap() {
+        Response::Stats(s) => assert_eq!(s.health, Health::Draining),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // A new connection is accepted at the TCP level, answered with one
+    // typed `draining` frame, and dropped.
+    let mut refused = Client::connect(&endpoint).unwrap();
+    match refused.read_reply().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Draining),
+        other => panic!("expected draining error, got {other:?}"),
+    }
+    assert!(
+        refused.read_reply().is_err(),
+        "refused connection should be closed"
+    );
+
+    // Shutdown still rides the established connection.
+    assert!(matches!(established.shutdown().unwrap(), Response::Bye));
+    let (summary, _) = handle.join().unwrap();
+    assert!(summary.errors >= 1, "the refusal is counted as an error");
+}
+
+#[test]
+fn batch_byte_cap_splits_batches_without_changing_replies() {
+    let reference = fresh_system();
+    let expected: Vec<SymbolHints> = reference
+        .predict_source(QUERY_SRC)
+        .unwrap()
+        .iter()
+        .map(SymbolHints::of)
+        .collect();
+    // A 1-byte cap forces every batch down to a single request.
+    let (endpoint, handle) = start_server(ServeOptions {
+        batch_bytes_max: 1,
+        ..ServeOptions::default()
+    });
+    let mut threads = Vec::new();
+    for _ in 0..6 {
+        let endpoint = endpoint.clone();
+        let expected = expected.clone();
+        threads.push(thread::spawn(move || {
+            let mut client = Client::connect(&endpoint).unwrap();
+            match client.predict(QUERY_SRC).unwrap() {
+                Response::Predictions(got) => assert_eq!(got, expected),
+                other => panic!("expected predictions, got {other:?}"),
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (summary, _) = shutdown_and_join(&endpoint, handle);
+    assert_eq!(summary.predicts, 6);
+    assert_eq!(
+        summary.largest_batch, 1,
+        "the byte cap must split concurrent predicts into single-job batches"
+    );
+    assert_eq!(summary.errors, 0);
+}
+
+/// A hostile mock server: drops its first accepted connection without
+/// replying, then speaks one well-formed reply per connection. Returns
+/// the endpoint and a handle yielding how many connections it saw.
+fn flaky_listener(replies: usize) -> (Endpoint, thread::JoinHandle<usize>) {
+    use typilus_serve::protocol::{decode, encode};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+    let handle = thread::spawn(move || {
+        let mut seen = 0usize;
+        // First connection: accept and hang up without a reply.
+        if let Ok((stream, _)) = listener.accept() {
+            seen += 1;
+            drop(stream);
+        }
+        for _ in 0..replies {
+            let Ok((mut stream, _)) = listener.accept() else {
+                break;
+            };
+            seen += 1;
+            let Ok(payload) = typilus_serve::read_frame(&mut stream) else {
+                continue;
+            };
+            let _request: Request = decode(&payload).unwrap();
+            let bytes = encode(&Response::Draining).unwrap();
+            typilus_serve::write_frame(&mut stream, &bytes).unwrap();
+        }
+        seen
+    });
+    (endpoint, handle)
+}
+
+#[test]
+fn resilient_client_retries_idempotent_requests_after_reconnect() {
+    let (endpoint, listener) = flaky_listener(1);
+    let options = ClientOptions {
+        retries: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 5,
+        deadline_ms: 10_000,
+        ..ClientOptions::default()
+    };
+    let mut client = Client::connect_with(&endpoint, options).unwrap();
+    // First attempt lands on the dropped connection; the retry
+    // reconnects and gets the reply.
+    match client.stats().unwrap() {
+        Response::Draining => {}
+        other => panic!("expected the mock reply, got {other:?}"),
+    }
+    assert_eq!(
+        listener.join().unwrap(),
+        2,
+        "exactly one reconnect should have happened"
+    );
+}
+
+#[test]
+fn resilient_client_never_retries_add_marker() {
+    let (endpoint, listener) = flaky_listener(0);
+    let options = ClientOptions {
+        retries: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 5,
+        deadline_ms: 10_000,
+        ..ClientOptions::default()
+    };
+    let mut client = Client::connect_with(&endpoint, options).unwrap();
+    // The dropped connection surfaces immediately: a lost add-marker
+    // reply must not risk binding the marker twice.
+    match client.add_marker(BINDING_SRC, "flux_capacitor", "quantum.FluxCapacitor") {
+        Err(ClientError::Frame(_)) | Err(ClientError::Connect(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    assert_eq!(
+        listener.join().unwrap(),
+        1,
+        "a non-idempotent request must never reconnect"
+    );
 }
 
 #[test]
